@@ -1,0 +1,75 @@
+/// Reproduces Figure 2: analog (RCSJ transient) waveforms of the Last
+/// Arrival and First Arrival cells.  ASCII rendering of junction phases.
+#include <cmath>
+#include <cstdio>
+
+#include "analog/cells.hpp"
+
+using namespace xsfq::analog;
+
+namespace {
+
+void render_phase(const char* label, const circuit::probe_data& data,
+                  std::size_t jj) {
+  // One character per ~2 ps; each 2*pi slip advances the glyph.
+  std::printf("  %-10s ", label);
+  const std::size_t stride = 4;
+  for (std::size_t i = 0; i < data.time_ps.size(); i += stride) {
+    const int slips = static_cast<int>(std::floor(
+        (data.jj_phase[jj][i] + 3.14159) / 6.28318));
+    std::printf("%c", slips <= 0 ? '_' : (slips == 1 ? '#' : '*'));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: LA and FA cell transient simulation (RCSJ) ==\n");
+  std::printf("('_' initial phase, '#' after one 2*pi slip, '*' beyond;\n"
+              "  x-axis ~%.0f ps per column)\n\n", 0.8);
+
+  std::printf("Panel i — Last Arrival (C element): a @20ps, b @55ps\n");
+  {
+    auto d = make_la_cell();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    d.ckt.add_pulse(d.inputs[1], 55.0);
+    const auto r = d.ckt.run(100.0);
+    render_phase("in a", r, d.input_jjs[0]);
+    render_phase("in b", r, d.input_jjs[1]);
+    render_phase("out", r, d.output_jjs[0]);
+    const auto out = circuit::phase_slips(r, d.output_jjs[0]);
+    std::printf("  -> output fires %zu time(s)%s\n\n", out.size(),
+                out.empty() ? "" : " after the LAST arrival");
+  }
+  std::printf("Panel i (single input only — no output, state held)\n");
+  {
+    auto d = make_la_cell();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    const auto r = d.ckt.run(100.0);
+    render_phase("in a", r, d.input_jjs[0]);
+    render_phase("out", r, d.output_jjs[0]);
+    std::printf("  -> output fires %zu time(s)\n\n",
+                circuit::phase_slips(r, d.output_jjs[0]).size());
+  }
+  std::printf("Panel ii — First Arrival (inverse C element): a @20ps\n");
+  {
+    auto d = make_fa_cell();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    const auto r = d.ckt.run(100.0);
+    render_phase("in a", r, d.input_jjs[0]);
+    render_phase("out", r, d.output_jjs[0]);
+    const auto out = circuit::phase_slips(r, d.output_jjs[0]);
+    std::printf("  -> output fires %zu time(s) on the FIRST arrival", out.size());
+    if (!out.empty()) {
+      std::printf(" (delay %.1f ps)",
+                  propagation_delay_ps(r, d.input_jjs[0], d.output_jjs[0]));
+    }
+    std::printf("\n\n");
+  }
+  std::printf(
+      "Note: these decks demonstrate the cells' last-/first-arrival physics\n"
+      "in our RCSJ simulator; cycle-accurate cell semantics (Table 1) are\n"
+      "validated in the pulse-level simulator (see DESIGN.md).\n");
+  return 0;
+}

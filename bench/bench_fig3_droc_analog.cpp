@@ -1,0 +1,66 @@
+/// Reproduces Figure 3: DROC cell with DC-to-SFQ preloading — block-level
+/// behaviour in the RCSJ transient simulator.
+#include <cmath>
+#include <cstdio>
+
+#include "analog/cells.hpp"
+
+using namespace xsfq::analog;
+
+namespace {
+
+void render(const char* label, const circuit::probe_data& data,
+            std::size_t jj) {
+  std::printf("  %-10s ", label);
+  for (std::size_t i = 0; i < data.time_ps.size(); i += 4) {
+    const int slips = static_cast<int>(std::floor(
+        (data.jj_phase[jj][i] + 3.14159) / 6.28318));
+    std::printf("%c", slips <= 0 ? '_' : '#');
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 3: DROC with DC-to-SFQ preloading ==\n\n");
+
+  std::printf("Preload (DC ramp 10-30ps) then clock @60ps -> readout fires:\n");
+  {
+    auto d = make_dro_preload();
+    d.ckt.add_source(d.inputs[2],
+                     [](double t) { return t > 10 && t < 30 ? 0.12 : 0.0; });
+    d.ckt.add_pulse(d.inputs[1], 60.0);
+    const auto r = d.ckt.run(100.0);
+    render("preload", r, d.input_jjs[1]);
+    render("clock", r, d.input_jjs[2]);
+    render("readout", r, d.output_jjs[0]);
+    std::printf("  -> readout pulses: %zu (expected 1)\n\n",
+                circuit::phase_slips(r, d.output_jjs[0]).size());
+  }
+  std::printf("Clock @60ps with nothing stored -> silent:\n");
+  {
+    auto d = make_dro_preload();
+    d.ckt.add_pulse(d.inputs[1], 60.0);
+    const auto r = d.ckt.run(100.0);
+    render("clock", r, d.input_jjs[2]);
+    render("readout", r, d.output_jjs[0]);
+    std::printf("  -> readout pulses: %zu (expected 0)\n\n",
+                circuit::phase_slips(r, d.output_jjs[0]).size());
+  }
+  std::printf("Data pulse @20ps then clock @60ps (normal DRO write/read):\n");
+  {
+    auto d = make_dro_preload();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    d.ckt.add_pulse(d.inputs[1], 60.0);
+    const auto r = d.ckt.run(100.0);
+    render("data", r, d.input_jjs[0]);
+    render("readout", r, d.output_jjs[0]);
+    std::printf("  -> readout pulses: %zu (expected 1)\n\n",
+                circuit::phase_slips(r, d.output_jjs[0]).size());
+  }
+  std::printf(
+      "The preloading path costs 9 JJs (DC-to-SFQ 4 + merger 5), matching\n"
+      "Table 2's DROC 13 -> 22 JJ difference.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// Reproduces Figure 5: polarity-optimized full adders — 11 LA/FA cells with
+/// all-positive outputs (panel i) and 10 cells with coutn retained (panel ii,
+/// the domino-logic output phase assignment), 58/138 JJs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+using namespace xsfq;
+using namespace xsfq::bench;
+
+int main() {
+  std::cout << "== Figure 5: full-adder polarity optimization ==\n\n";
+  const aig fa = paper_full_adder_aig();
+
+  table_printer t({"Variant", "LA", "FA", "Cells", "Splitters", "JJ",
+                   "JJ (PTL)", "Paper"});
+  auto add = [&](const char* label, polarity_mode mode, const char* paper) {
+    mapping_params p;
+    p.polarity = mode;
+    const auto m = map_to_xsfq(fa, p);
+    t.add_row({label, std::to_string(m.stats.la_cells),
+               std::to_string(m.stats.fa_cells),
+               std::to_string(m.stats.la_cells + m.stats.fa_cells),
+               std::to_string(m.stats.splitters), std::to_string(m.stats.jj),
+               std::to_string(m.stats.jj_ptl), paper});
+    const bool ok = pulse_simulator::equivalent_to_aig(fa, m, 16);
+    if (!ok) std::cout << "ERROR: " << label << " failed pulse validation\n";
+  };
+  add("LA-FA pairs (Sec 3.1.3)", polarity_mode::direct_dual_rail,
+      "14 cells");
+  add("positive outputs (Fig 5i)", polarity_mode::positive_outputs,
+      "11 cells");
+  add("optimized polarity (Fig 5ii)", polarity_mode::optimized,
+      "10 cells, 6 splt, 58/138 JJ");
+  t.print(std::cout);
+
+  // Which polarity did the heuristic choose?
+  mapping_params p;
+  p.polarity = polarity_mode::optimized;
+  const auto m = map_to_xsfq(fa, p);
+  std::cout << "\nheuristic output phases: ";
+  for (std::size_t i = 0; i < m.co_negated.size(); ++i) {
+    std::cout << fa.po_name(i) << (m.co_negated[i] ? "=negative " : "=positive ");
+  }
+  std::cout << "\n(paper Fig 5ii retains coutn — the negative carry rail)\n";
+  return 0;
+}

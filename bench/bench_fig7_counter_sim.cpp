@@ -1,0 +1,73 @@
+/// Reproduces Figure 7: pulse-level simulation of a 2-bit xSFQ counter with
+/// the one-shot trigger, rendering the trg/clk/out waveform in ASCII.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+using namespace xsfq;
+
+int main() {
+  std::printf("== Figure 7: 2-bit xSFQ counter, pulse-level simulation ==\n\n");
+
+  aig g;
+  const signal r0 = g.create_register_output(false, "r0");
+  const signal r1 = g.create_register_output(false, "r1");
+  g.set_register_input(0, !r0);
+  g.set_register_input(1, g.create_xor(r0, r1));
+  g.create_po(r0, "out0");
+  g.create_po(r1, "out1");
+
+  // Boundary pairs give the cleanest Fig. 7 trace: exact counting from the
+  // declared reset values with the alternating property holding every cycle.
+  mapping_params p;
+  p.reg_style = register_style::pair_boundary;
+  const auto m = map_to_xsfq(g, p);
+  std::printf("mapped: %s\n\n", m.netlist.summary().c_str());
+
+  pulse_simulator sim(m.netlist, m.register_feedback);
+  sim.reset();
+  const int cycles = 6;
+  std::string row_clk = "clk    ";
+  std::string row_out0 = "out[0] ";
+  std::string row_out1 = "out[1] ";
+  std::string row_phase = "phase  ";
+  std::vector<int> values;
+  for (int c = 0; c < cycles; ++c) {
+    const auto r = sim.run_cycle({});
+    values.push_back((r.outputs[1] ? 2 : 0) + (r.outputs[0] ? 1 : 0));
+    row_phase += " e r ";
+    row_clk += " | | ";
+    row_out0 += r.outputs[0] ? " # . " : " . # ";  // excite pulse / relax pulse
+    row_out1 += r.outputs[1] ? " # . " : " . # ";
+    if (!r.alternating_ok || !r.outputs_consistent) {
+      std::printf("protocol violation at cycle %d\n", c);
+      return 1;
+    }
+  }
+  std::printf("%s\n%s\n%s\n%s\n", row_phase.c_str(), row_clk.c_str(),
+              row_out0.c_str(), row_out1.c_str());
+  std::printf("        ('#' = pulse; every signal pulses in exactly one of\n"
+              "         the two phases — the alternating encoding of Fig. 1)\n\n");
+  std::printf("counter values: ");
+  for (const int v : values) std::printf("2'b%d%d ", v >> 1, v & 1);
+  std::printf("\n(paper Fig. 7: 00 01 10 11 00 01 ...)\n\n");
+
+  // Retimed variant with the one-shot trigger (Fig. 6iii / Fig. 7 trg line).
+  mapping_params pr;
+  pr.reg_style = register_style::pair_retimed;
+  const auto mr = map_to_xsfq(g, pr);
+  pulse_simulator simr(mr.netlist, mr.register_feedback);
+  simr.reset();
+  simr.fire_trigger();
+  std::printf("retimed variant (trigger cycle first): trg | ");
+  for (int c = 0; c < cycles; ++c) {
+    const auto r = simr.run_cycle({});
+    std::printf("2'b%d%d ", r.outputs[1] ? 1 : 0, r.outputs[0] ? 1 : 0);
+  }
+  std::printf("\n(the trigger wave sets the initial state — Sec. 3.2; the\n"
+              " counter then steps through its full 4-state orbit)\n");
+  return 0;
+}

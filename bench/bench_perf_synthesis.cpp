@@ -1,0 +1,78 @@
+/// Synthesis runtime scaling (google-benchmark): optimize + map across
+/// multiplier sizes and the benchmark suites — demonstrates the laptop-scale
+/// claim of the flow ("no customization, off-the-shelf AIG optimization").
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pulsesim/pulse_sim.hpp"
+#include "benchgen/blocks.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+aig make_multiplier(unsigned width) {
+  aig g;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  for (unsigned i = 0; i < width; ++i) a.push_back(g.create_pi());
+  for (unsigned i = 0; i < width; ++i) b.push_back(g.create_pi());
+  for (const signal s : blocks::array_multiplier(g, a, b)) g.create_po(s);
+  return g;
+}
+
+void bm_optimize_multiplier(benchmark::State& state) {
+  const aig g = make_multiplier(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(g).num_gates());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void bm_map_multiplier(benchmark::State& state) {
+  const aig g = optimize(make_multiplier(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_to_xsfq(g).stats.jj);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void bm_polarity_heuristic(benchmark::State& state) {
+  const aig g = optimize(make_multiplier(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_co_polarities(g).size());
+  }
+}
+
+void bm_full_flow_benchmark(benchmark::State& state,
+                            const std::string& name) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::run_flow(name).mapped.stats.jj);
+  }
+}
+
+void bm_pulse_sim_cycle(benchmark::State& state) {
+  const aig g = optimize(benchgen::make_benchmark("c432"));
+  const auto m = map_to_xsfq(g);
+  pulse_simulator sim(m.netlist);
+  std::vector<bool> pis(g.num_pis(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_cycle(pis).outputs.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bm_optimize_multiplier)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(bm_map_multiplier)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(bm_polarity_heuristic)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_full_flow_benchmark, c880, std::string("c880"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_full_flow_benchmark, s641, std::string("s641"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_pulse_sim_cycle)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

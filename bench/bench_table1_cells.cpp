@@ -1,0 +1,48 @@
+/// Reproduces Table 1: alternating input sequences of the LA (C element)
+/// and FA (inverse C element) cells, exercised on the pulse simulator.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+using namespace xsfq;
+
+int main() {
+  std::cout << "== Table 1: LA/FA alternating input sequences ==\n"
+            << "(excite phase carries (a,b); relax carries the complement;\n"
+            << " outputs decoded from the pulse-level cell state machines)\n\n";
+
+  aig g;
+  const signal a = g.create_pi("a");
+  const signal b = g.create_pi("b");
+  g.create_po(!g.create_and(!a, !b), "FAab");  // OR = FA cell
+  g.create_po(g.create_and(a, b), "LAab");     // AND = LA cell
+  mapping_params p;
+  p.polarity = polarity_mode::positive_outputs;
+  const auto m = map_to_xsfq(g, p);
+
+  table_printer t({"state", "a", "b", "FAab", "LAab", "a'", "b'", "FA'",
+                   "LA'", "end state"});
+  pulse_simulator sim(m.netlist);
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    const bool va = (pattern >> 1) & 1;
+    const bool vb = pattern & 1;
+    sim.reset();
+    const auto r = sim.run_cycle({va, vb});
+    // Excite row carries the values; the relax row their complements, and
+    // the consistency flag confirms the Table 1 return-to-Init behaviour.
+    t.add_row({"Init", std::to_string(va), std::to_string(vb),
+               std::to_string(va || vb), std::to_string(va && vb),
+               std::to_string(!va), std::to_string(!vb),
+               std::to_string(!(va || vb)), std::to_string(!(va && vb)),
+               r.alternating_ok && r.outputs_consistent ? "Init" : "VIOLATION"});
+    if (r.outputs[0] != (va || vb) || r.outputs[1] != (va && vb)) {
+      std::cout << "ERROR: decoded outputs disagree with Table 1\n";
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nAll four logical cycles reinitialize every cell (paper: the\n"
+            << "alternation guarantees LA/FA return to Init without a clock).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// Sequential xSFQ by example: a parameterizable up-counter mapped with DROC
+/// flip-flop pairs and simulated pulse by pulse, showing the alternating
+/// excite/relax protocol of Figures 1, 6 and 7.
+///
+///   $ ./counter_pulse_sim [bits] [cycles]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/mapper.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+using namespace xsfq;
+
+int main(int argc, char** argv) {
+  const unsigned bits = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
+  const unsigned cycles = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 10;
+
+  // Build an n-bit synchronous up-counter with an enable input.
+  aig g;
+  const signal enable = g.create_pi("en");
+  std::vector<signal> state;
+  for (unsigned i = 0; i < bits; ++i) {
+    state.push_back(g.create_register_output(false, "q" + std::to_string(i)));
+  }
+  signal carry = enable;
+  for (unsigned i = 0; i < bits; ++i) {
+    g.set_register_input(i, g.create_xor(state[i], carry));
+    carry = g.create_and(carry, state[i]);
+    g.create_po(state[i], "out" + std::to_string(i));
+  }
+
+  mapping_params params;
+  params.reg_style = register_style::pair_boundary;  // Fig. 6ii flip-flops
+  const auto m = map_to_xsfq(g, params);
+  std::cout << bits << "-bit counter: " << m.netlist.summary() << "\n";
+  std::cout << "each flip-flop = a DROC pair (D1 preloaded with the\n"
+            << "complement-phase bit, D2 with the reset value)\n\n";
+
+  pulse_simulator sim(m.netlist, m.register_feedback);
+  sim.reset();
+  std::cout << "cycle | value | excite/relax protocol\n";
+  for (unsigned c = 0; c < cycles; ++c) {
+    const auto r = sim.run_cycle({true});
+    unsigned value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      if (r.outputs[i]) value |= 1u << i;
+    }
+    std::cout << "  " << c << "   |  " << value << "   | "
+              << (r.alternating_ok ? "cells reinitialized" : "VIOLATION")
+              << ", " << (r.outputs_consistent ? "rails alternate" : "BROKEN")
+              << "\n";
+  }
+
+  // Hold the counter (enable low): the state must freeze while the
+  // alternating protocol keeps running underneath.
+  std::cout << "\nwith enable low:\n";
+  for (unsigned c = 0; c < 3; ++c) {
+    const auto r = sim.run_cycle({false});
+    unsigned value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      if (r.outputs[i]) value |= 1u << i;
+    }
+    std::cout << "  hold | " << value << "   | "
+              << (r.alternating_ok ? "ok" : "VIOLATION") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+/// xsfq_synth — the end-to-end synthesis CLI (the "Yosys + ABC + mapper"
+/// command of the paper's flow in one binary).
+///
+///   xsfq_synth <circuit> [options]
+///     <circuit>          benchmark name (c880, dec, s298, ...) or a
+///                        .bench / .blif file path
+///     --polarity=MODE    direct | positive | optimized   (default optimized)
+///     --pipeline=K       architectural pipeline stages (combinational only)
+///     --registers=STYLE  boundary | retimed              (default retimed)
+///     --verilog=FILE     write the mapped xSFQ netlist as structural Verilog
+///     --dot=FILE         write the mapped netlist as Graphviz
+///     --liberty=FILE     write the Table 2 cell library (.lib)
+///     --validate         pulse-level validation against the golden model
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baseline/rsfq.hpp"
+#include "benchgen/registry.hpp"
+#include "cells/cell_library.hpp"
+#include "core/mapper.hpp"
+#include "core/xsfq_writer.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "opt/script.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+aig load_circuit(const std::string& spec) {
+  if (spec.size() > 6 && spec.ends_with(".bench")) {
+    return read_bench_file(spec).to_aig();
+  }
+  if (spec.size() > 5 && spec.ends_with(".blif")) {
+    return read_blif_file(spec).to_aig();
+  }
+  return benchgen::make_benchmark(spec);
+}
+
+std::string option_value(const std::string& arg, const std::string& key) {
+  if (arg.rfind(key + "=", 0) == 0) return arg.substr(key.size() + 1);
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: xsfq_synth <circuit|file.bench|file.blif> "
+                 "[--polarity=...] [--pipeline=K] [--registers=...]\n"
+                 "                  [--verilog=F] [--dot=F] [--liberty=F] "
+                 "[--validate]\n";
+    return 2;
+  }
+  const std::string spec = argv[1];
+  mapping_params params;
+  std::string verilog_path;
+  std::string dot_path;
+  std::string liberty_path;
+  bool validate = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto v = option_value(arg, "--polarity"); !v.empty()) {
+      params.polarity = v == "direct" ? polarity_mode::direct_dual_rail
+                        : v == "positive" ? polarity_mode::positive_outputs
+                                          : polarity_mode::optimized;
+    } else if (auto v2 = option_value(arg, "--pipeline"); !v2.empty()) {
+      params.pipeline_stages = static_cast<unsigned>(std::stoul(v2));
+    } else if (auto v3 = option_value(arg, "--registers"); !v3.empty()) {
+      params.reg_style = v3 == "boundary" ? register_style::pair_boundary
+                                          : register_style::pair_retimed;
+    } else if (auto v4 = option_value(arg, "--verilog"); !v4.empty()) {
+      verilog_path = v4;
+    } else if (auto v5 = option_value(arg, "--dot"); !v5.empty()) {
+      dot_path = v5;
+    } else if (auto v6 = option_value(arg, "--liberty"); !v6.empty()) {
+      liberty_path = v6;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const aig raw = load_circuit(spec);
+    std::cout << "loaded " << spec << ": " << raw.num_pis() << " PI, "
+              << raw.num_pos() << " PO, " << raw.num_registers() << " FF, "
+              << raw.num_gates() << " AIG nodes\n";
+
+    optimize_stats ost;
+    const aig opt = optimize(raw, {}, &ost);
+    std::cout << "optimized: " << ost.initial_gates << " -> "
+              << ost.final_gates << " nodes (depth " << ost.initial_depth
+              << " -> " << ost.final_depth << ")\n";
+
+    const auto mapped = map_to_xsfq(opt, params);
+    std::cout << "mapped:    " << mapped.netlist.summary() << "\n";
+    const auto base = map_to_rsfq(opt);
+    std::cout << "baseline:  clocked RSFQ " << base.jj_without_clock << " JJ ("
+              << base.jj_with_clock << " with clock tree) -> savings "
+              << static_cast<double>(base.jj_without_clock) /
+                     static_cast<double>(mapped.stats.jj)
+              << "x\n";
+
+    if (validate) {
+      const bool seq_retimed =
+          opt.num_registers() > 0 &&
+          params.reg_style == register_style::pair_retimed;
+      if (seq_retimed) {
+        std::cout << "validate:  (retimed sequential: structural checks only;"
+                     " use --registers=boundary for cycle-exact validation)\n";
+      } else {
+        const bool ok = pulse_simulator::equivalent_to_aig(opt, mapped, 32);
+        std::cout << "validate:  pulse-level equivalence "
+                  << (ok ? "PASS" : "FAIL") << "\n";
+        if (!ok) return 1;
+      }
+    }
+    if (!verilog_path.empty()) {
+      std::ofstream os(verilog_path);
+      write_xsfq_verilog(mapped, spec, os);
+      std::cout << "wrote " << verilog_path << "\n";
+    }
+    if (!dot_path.empty()) {
+      std::ofstream os(dot_path);
+      write_xsfq_dot(mapped, os);
+      std::cout << "wrote " << dot_path << "\n";
+    }
+    if (!liberty_path.empty()) {
+      std::ofstream os(liberty_path);
+      os << cell_library::sfq5ee().to_liberty("xsfq_sfq5ee");
+      std::cout << "wrote " << liberty_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

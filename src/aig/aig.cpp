@@ -1,0 +1,249 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+namespace xsfq {
+namespace {
+std::string default_name(const char* prefix, std::size_t index) {
+  std::string s(prefix);
+  s += std::to_string(index);
+  return s;
+}
+}  // namespace
+
+aig::aig() {
+  // Node 0 is the constant-0 node.
+  nodes_.push_back(node{});
+}
+
+signal aig::create_pi(std::string name) {
+  node n;
+  n.type = node_type::pi;
+  n.ci_ordinal = static_cast<std::uint32_t>(pis_.size());
+  const auto index = static_cast<node_index>(nodes_.size());
+  nodes_.push_back(n);
+  pis_.emplace_back(index, false);
+  if (name.empty()) name = default_name("pi", pis_.size() - 1);
+  pi_names_.push_back(std::move(name));
+  return pis_.back();
+}
+
+std::size_t aig::create_po(signal f, std::string name) {
+  if (f.index() >= nodes_.size()) {
+    throw std::invalid_argument("aig::create_po: dangling signal");
+  }
+  pos_.push_back(f);
+  if (name.empty()) name = default_name("po", pos_.size() - 1);
+  po_names_.push_back(std::move(name));
+  return pos_.size() - 1;
+}
+
+signal aig::create_register_output(bool init, std::string name) {
+  node n;
+  n.type = node_type::register_output;
+  n.ci_ordinal = static_cast<std::uint32_t>(registers_.size());
+  const auto index = static_cast<node_index>(nodes_.size());
+  nodes_.push_back(n);
+  register_info reg;
+  reg.output_node = index;
+  reg.init = init;
+  registers_.push_back(reg);
+  if (name.empty()) name = default_name("r", registers_.size() - 1);
+  register_names_.push_back(std::move(name));
+  return signal(index, false);
+}
+
+void aig::set_register_input(std::size_t reg, signal f) {
+  if (f.index() >= nodes_.size()) {
+    throw std::invalid_argument("aig::set_register_input: dangling signal");
+  }
+  registers_.at(reg).input = f;
+  registers_.at(reg).input_set = true;
+}
+
+signal aig::create_and(signal a, signal b) {
+  if (a.index() >= nodes_.size() || b.index() >= nodes_.size()) {
+    throw std::invalid_argument("aig::create_and: dangling fanin");
+  }
+  // Trivial cases.
+  if (a == b) return a;
+  if (a == !b) return get_constant(false);
+  if (a == get_constant(false) || b == get_constant(false)) {
+    return get_constant(false);
+  }
+  if (a == get_constant(true)) return b;
+  if (b == get_constant(true)) return a;
+  // Canonical fanin order for hashing.
+  if (b.raw() < a.raw()) std::swap(a, b);
+
+  const std::uint64_t key = strash_key(a, b);
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return signal(it->second, false);
+  }
+  node n;
+  n.type = node_type::gate;
+  n.fanin0 = a;
+  n.fanin1 = b;
+  const auto index = static_cast<node_index>(nodes_.size());
+  nodes_.push_back(n);
+  strash_.emplace(key, index);
+  ++num_gates_;
+  return signal(index, false);
+}
+
+std::optional<signal> aig::find_and(signal a, signal b) const {
+  // Mirror create_and's trivial cases so probing matches construction.
+  if (a == b) return a;
+  if (a == !b) return get_constant(false);
+  if (a == get_constant(false) || b == get_constant(false)) {
+    return get_constant(false);
+  }
+  if (a == get_constant(true)) return b;
+  if (b == get_constant(true)) return a;
+  if (b.raw() < a.raw()) std::swap(a, b);
+  if (const auto it = strash_.find(strash_key(a, b)); it != strash_.end()) {
+    return signal(it->second, false);
+  }
+  return std::nullopt;
+}
+
+signal aig::create_xor(signal a, signal b) {
+  // a ^ b = !(!(a & !b) & !(!a & b))
+  return !create_and(!create_and(a, !b), !create_and(!a, b));
+}
+
+signal aig::create_mux(signal sel, signal then_f, signal else_f) {
+  return !create_and(!create_and(sel, then_f), !create_and(!sel, else_f));
+}
+
+signal aig::create_maj(signal a, signal b, signal c) {
+  return !create_and(!create_and(a, b),
+                     !create_and(c, !create_and(!a, !b)));
+}
+
+namespace {
+template <typename Combine>
+signal reduce_balanced(std::span<const signal> fs, signal empty_value,
+                       Combine&& combine) {
+  if (fs.empty()) return empty_value;
+  std::vector<signal> layer(fs.begin(), fs.end());
+  while (layer.size() > 1) {
+    std::vector<signal> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(combine(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer.front();
+}
+}  // namespace
+
+signal aig::create_and_n(std::span<const signal> fs) {
+  return reduce_balanced(fs, get_constant(true),
+                         [this](signal a, signal b) { return create_and(a, b); });
+}
+
+signal aig::create_or_n(std::span<const signal> fs) {
+  return reduce_balanced(fs, get_constant(false),
+                         [this](signal a, signal b) { return create_or(a, b); });
+}
+
+signal aig::create_xor_n(std::span<const signal> fs) {
+  return reduce_balanced(fs, get_constant(false),
+                         [this](signal a, signal b) { return create_xor(a, b); });
+}
+
+std::vector<std::uint32_t> aig::compute_levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (node_index n = 0; n < nodes_.size(); ++n) {
+    if (is_gate(n)) {
+      level[n] = 1 + std::max(level[nodes_[n].fanin0.index()],
+                              level[nodes_[n].fanin1.index()]);
+    }
+  }
+  return level;
+}
+
+std::uint32_t aig::depth() const {
+  const auto level = compute_levels();
+  std::uint32_t d = 0;
+  for (std::size_t i = 0; i < num_cos(); ++i) {
+    d = std::max(d, level[co(i).index()]);
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> aig::compute_fanout_counts() const {
+  std::vector<std::uint32_t> fanout(nodes_.size(), 0);
+  for (node_index n = 0; n < nodes_.size(); ++n) {
+    if (is_gate(n)) {
+      ++fanout[nodes_[n].fanin0.index()];
+      ++fanout[nodes_[n].fanin1.index()];
+    }
+  }
+  for (std::size_t i = 0; i < num_cos(); ++i) ++fanout[co(i).index()];
+  return fanout;
+}
+
+aig aig::cleanup() const {
+  aig result;
+  std::vector<signal> map(nodes_.size(), result.get_constant(false));
+
+  // Reachability from combinational outputs.
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<node_index> stack;
+  for (std::size_t i = 0; i < num_cos(); ++i) {
+    stack.push_back(co(i).index());
+  }
+  while (!stack.empty()) {
+    const node_index n = stack.back();
+    stack.pop_back();
+    if (reachable[n]) continue;
+    reachable[n] = true;
+    if (is_gate(n)) {
+      stack.push_back(nodes_[n].fanin0.index());
+      stack.push_back(nodes_[n].fanin1.index());
+    } else if (is_register_output(n)) {
+      const auto& reg = registers_[nodes_[n].ci_ordinal];
+      if (reg.input_set) stack.push_back(reg.input.index());
+    }
+  }
+
+  // All PIs are kept (interface must not change); registers are kept too so
+  // that register ordinals remain stable for sequential flows.
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    map[pis_[i].index()] = result.create_pi(pi_names_[i]);
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    map[registers_[i].output_node] =
+        result.create_register_output(registers_[i].init, register_names_[i]);
+  }
+  for (node_index n = 0; n < nodes_.size(); ++n) {
+    if (!is_gate(n) || !reachable[n]) continue;
+    const signal a = map[nodes_[n].fanin0.index()] ^
+                     nodes_[n].fanin0.is_complemented();
+    const signal b = map[nodes_[n].fanin1.index()] ^
+                     nodes_[n].fanin1.is_complemented();
+    map[n] = result.create_and(a, b);
+  }
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    result.create_po(map[pos_[i].index()] ^ pos_[i].is_complemented(),
+                     po_names_[i]);
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (registers_[i].input_set) {
+      result.set_register_input(i, map[registers_[i].input.index()] ^
+                                       registers_[i].input.is_complemented());
+    }
+  }
+  return result;
+}
+
+bool aig::is_well_formed() const {
+  return std::all_of(registers_.begin(), registers_.end(),
+                     [](const register_info& r) { return r.input_set; });
+}
+
+}  // namespace xsfq

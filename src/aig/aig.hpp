@@ -1,0 +1,266 @@
+#pragma once
+/// \file aig.hpp
+/// \brief And-Inverter Graph (AIG) network with structural hashing.
+///
+/// The AIG is the workhorse representation of this library, mirroring its role
+/// in ABC: Sec. 3.1.3 of the paper shows that a dual-rail xSFQ circuit of
+/// LA-FA pairs is *isomorphic* to an AIG (LA = AND node / positive rail,
+/// FA = complement rail, edge inversion = free wire twist), so minimizing AIG
+/// nodes directly minimizes LA-FA pairs.
+///
+/// Design notes
+///  * Signals are (node index << 1) | complement-bit, ABC/mockturtle style.
+///  * Node 0 is the constant-0 node; combinational inputs (PIs and register
+///    outputs) are explicit nodes; AND gates are created with structural
+///    hashing and trivial-case simplification.
+///  * Gates are created only after their fanins exist, so the node array is
+///    always in topological order — passes exploit this invariant.
+///  * Sequential designs model each register as a register-output node (a
+///    combinational input) plus a register-input signal (a combinational
+///    output), the classic latch-boundary trick used for retiming.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xsfq {
+
+/// An edge in the AIG: a node index plus a complement flag.
+class signal {
+public:
+  constexpr signal() = default;
+  constexpr signal(std::uint32_t node_index, bool complemented)
+      : data_((node_index << 1) | (complemented ? 1u : 0u)) {}
+
+  static constexpr signal from_raw(std::uint32_t raw) {
+    signal s;
+    s.data_ = raw;
+    return s;
+  }
+
+  [[nodiscard]] constexpr std::uint32_t index() const { return data_ >> 1; }
+  [[nodiscard]] constexpr bool is_complemented() const { return data_ & 1u; }
+  [[nodiscard]] constexpr std::uint32_t raw() const { return data_; }
+
+  /// Complemented copy of this signal (a free "wire twist" in xSFQ).
+  constexpr signal operator!() const { return from_raw(data_ ^ 1u); }
+  /// Conditionally complemented copy.
+  constexpr signal operator^(bool complement) const {
+    return from_raw(data_ ^ (complement ? 1u : 0u));
+  }
+
+  constexpr bool operator==(const signal&) const = default;
+  constexpr auto operator<=>(const signal&) const = default;
+
+private:
+  std::uint32_t data_ = 0;
+};
+
+/// The AND-Inverter graph.
+class aig {
+public:
+  using node_index = std::uint32_t;
+  static constexpr node_index null_node =
+      std::numeric_limits<node_index>::max();
+
+  enum class node_type : std::uint8_t { constant, pi, register_output, gate };
+
+  /// One register: its output node (a combinational input), its input signal
+  /// (a combinational output, settable after the fact), and its reset value.
+  struct register_info {
+    node_index output_node = null_node;
+    signal input;
+    bool init = false;
+    bool input_set = false;
+  };
+
+  aig();
+
+  // ----- construction ------------------------------------------------------
+
+  /// The constant-`value` signal.
+  [[nodiscard]] signal get_constant(bool value) const {
+    return signal(0, value);
+  }
+  /// Creates a primary input.
+  signal create_pi(std::string name = {});
+  /// Registers `f` as a primary output; returns the output's index.
+  std::size_t create_po(signal f, std::string name = {});
+  /// Creates a register and returns its output signal; the register input is
+  /// provided later via set_register_input (registers close feedback loops).
+  signal create_register_output(bool init = false, std::string name = {});
+  /// Connects the data input of register `reg`.
+  void set_register_input(std::size_t reg, signal f);
+  /// AND with structural hashing and trivial-case simplification.
+  signal create_and(signal a, signal b);
+  /// Non-mutating strash probe: the signal create_and(a, b) would return if
+  /// it would not allocate a new node, or nullopt if a node would be created.
+  [[nodiscard]] std::optional<signal> find_and(signal a, signal b) const;
+
+  // Derived operators (all reduce to create_and + free inversions).
+  signal create_nand(signal a, signal b) { return !create_and(a, b); }
+  signal create_or(signal a, signal b) { return !create_and(!a, !b); }
+  signal create_nor(signal a, signal b) { return create_and(!a, !b); }
+  signal create_xor(signal a, signal b);
+  signal create_xnor(signal a, signal b) { return !create_xor(a, b); }
+  /// if `sel` then `then_f` else `else_f`.
+  signal create_mux(signal sel, signal then_f, signal else_f);
+  /// Majority of three.
+  signal create_maj(signal a, signal b, signal c);
+  /// Reduction AND/OR/XOR over a list (balanced trees).
+  signal create_and_n(std::span<const signal> fs);
+  signal create_or_n(std::span<const signal> fs);
+  signal create_xor_n(std::span<const signal> fs);
+
+  // ----- structure queries --------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_pis() const { return pis_.size(); }
+  [[nodiscard]] std::size_t num_pos() const { return pos_.size(); }
+  [[nodiscard]] std::size_t num_registers() const { return registers_.size(); }
+  /// Number of AND gates (the paper's "AIG nodes").
+  [[nodiscard]] std::size_t num_gates() const { return num_gates_; }
+  /// Combinational inputs = PIs then register outputs.
+  [[nodiscard]] std::size_t num_cis() const {
+    return num_pis() + num_registers();
+  }
+  /// Combinational outputs = POs then register inputs.
+  [[nodiscard]] std::size_t num_cos() const {
+    return num_pos() + num_registers();
+  }
+
+  [[nodiscard]] node_type type_of(node_index n) const {
+    return nodes_[n].type;
+  }
+  [[nodiscard]] bool is_constant(node_index n) const { return n == 0; }
+  [[nodiscard]] bool is_pi(node_index n) const {
+    return nodes_[n].type == node_type::pi;
+  }
+  [[nodiscard]] bool is_register_output(node_index n) const {
+    return nodes_[n].type == node_type::register_output;
+  }
+  [[nodiscard]] bool is_ci(node_index n) const {
+    return is_pi(n) || is_register_output(n);
+  }
+  [[nodiscard]] bool is_gate(node_index n) const {
+    return nodes_[n].type == node_type::gate;
+  }
+
+  [[nodiscard]] signal fanin0(node_index n) const { return nodes_[n].fanin0; }
+  [[nodiscard]] signal fanin1(node_index n) const { return nodes_[n].fanin1; }
+
+  [[nodiscard]] signal pi(std::size_t i) const { return pis_[i]; }
+  [[nodiscard]] signal po_signal(std::size_t i) const { return pos_[i]; }
+  void replace_po(std::size_t i, signal f) { pos_[i] = f; }
+  [[nodiscard]] const register_info& register_at(std::size_t i) const {
+    return registers_[i];
+  }
+  /// CI signal `i` (PIs first, then register outputs).
+  [[nodiscard]] signal ci(std::size_t i) const {
+    return i < pis_.size()
+               ? pis_[i]
+               : signal(registers_[i - pis_.size()].output_node, false);
+  }
+  /// CO signal `i` (POs first, then register inputs).
+  [[nodiscard]] signal co(std::size_t i) const {
+    return i < pos_.size() ? pos_[i] : registers_[i - pos_.size()].input;
+  }
+
+  [[nodiscard]] const std::string& pi_name(std::size_t i) const {
+    return pi_names_[i];
+  }
+  [[nodiscard]] const std::string& po_name(std::size_t i) const {
+    return po_names_[i];
+  }
+  [[nodiscard]] const std::string& register_name(std::size_t i) const {
+    return register_names_[i];
+  }
+
+  /// Index of the PI/register a CI node belongs to.
+  [[nodiscard]] std::size_t ci_ordinal(node_index n) const {
+    return nodes_[n].ci_ordinal;
+  }
+
+  // ----- iteration (node array is topologically sorted) ---------------------
+
+  template <typename Fn>
+  void foreach_node(Fn&& fn) const {
+    for (node_index n = 0; n < nodes_.size(); ++n) fn(n);
+  }
+  template <typename Fn>
+  void foreach_gate(Fn&& fn) const {
+    for (node_index n = 0; n < nodes_.size(); ++n) {
+      if (is_gate(n)) fn(n);
+    }
+  }
+  template <typename Fn>
+  void foreach_ci(Fn&& fn) const {
+    for (std::size_t i = 0; i < num_cis(); ++i) fn(ci(i), i);
+  }
+  template <typename Fn>
+  void foreach_co(Fn&& fn) const {
+    for (std::size_t i = 0; i < num_cos(); ++i) fn(co(i), i);
+  }
+
+  // ----- analysis ------------------------------------------------------------
+
+  /// Logic level of every node (CIs at level 0); recomputed on demand.
+  [[nodiscard]] std::vector<std::uint32_t> compute_levels() const;
+  /// Length of the longest CI->CO combinational path, in AND gates.
+  [[nodiscard]] std::uint32_t depth() const;
+  /// Static fanout count of every node (counting CO references).
+  [[nodiscard]] std::vector<std::uint32_t> compute_fanout_counts() const;
+
+  /// Returns a compacted copy containing only nodes reachable from COs.
+  /// Register order, PO order and names are preserved.
+  [[nodiscard]] aig cleanup() const;
+
+  /// True when every register input has been connected.
+  [[nodiscard]] bool is_well_formed() const;
+
+private:
+  struct node {
+    signal fanin0;
+    signal fanin1;
+    node_type type = node_type::constant;
+    std::uint32_t ci_ordinal = 0;  ///< PI index or register index
+  };
+
+  static std::uint64_t strash_key(signal a, signal b) {
+    return (std::uint64_t{a.raw()} << 32) | b.raw();
+  }
+
+  std::vector<node> nodes_;
+  std::vector<signal> pis_;
+  std::vector<signal> pos_;
+  std::vector<register_info> registers_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::vector<std::string> register_names_;
+  std::unordered_map<std::uint64_t, node_index> strash_;
+  std::size_t num_gates_ = 0;
+};
+
+/// Map from AIG nodes to values of type T (dense vector keyed by node index).
+template <typename T>
+class node_map {
+public:
+  node_map() = default;
+  explicit node_map(const aig& network, const T& init = T{})
+      : values_(network.size(), init) {}
+
+  T& operator[](aig::node_index n) { return values_[n]; }
+  const T& operator[](aig::node_index n) const { return values_[n]; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  void resize(std::size_t n, const T& init = T{}) { values_.resize(n, init); }
+
+private:
+  std::vector<T> values_;
+};
+
+}  // namespace xsfq

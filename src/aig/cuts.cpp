@@ -1,0 +1,164 @@
+#include "aig/cuts.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xsfq {
+namespace {
+
+std::uint64_t signature_of(const std::vector<aig::node_index>& leaves) {
+  std::uint64_t s = 0;
+  for (auto l : leaves) s |= std::uint64_t{1} << (l & 63u);
+  return s;
+}
+
+/// Merges two sorted leaf sets; returns false if the union exceeds `k`.
+bool merge_leaves(const std::vector<aig::node_index>& a,
+                  const std::vector<aig::node_index>& b, unsigned k,
+                  std::vector<aig::node_index>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (out.size() > k) return false;
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out.size() <= k;
+}
+
+/// Re-expresses `t` (a function of `from` leaves) over the `to` leaf set,
+/// which must be a superset of `from`.  All tables use `to.size()` variables.
+truth_table expand_table(const truth_table& t,
+                         const std::vector<aig::node_index>& from,
+                         const std::vector<aig::node_index>& to) {
+  const auto num_vars = static_cast<unsigned>(to.size());
+  // Variable i of `t` corresponds to from[i]; find its position in `to`.
+  std::vector<unsigned> position(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const auto it = std::lower_bound(to.begin(), to.end(), from[i]);
+    position[i] = static_cast<unsigned>(it - to.begin());
+  }
+  truth_table result(num_vars);
+  const std::uint64_t bits = result.num_bits();
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      if ((m >> position[i]) & 1u) src |= std::uint64_t{1} << i;
+    }
+    if (t.bit(src)) result.set_bit(m);
+  }
+  return result;
+}
+
+}  // namespace
+
+bool cut::dominates(const cut& other) const {
+  if (leaves.size() > other.leaves.size()) return false;
+  if ((signature & ~other.signature) != 0) return false;
+  return std::includes(other.leaves.begin(), other.leaves.end(),
+                       leaves.begin(), leaves.end());
+}
+
+node_map<std::vector<cut>> enumerate_cuts(const aig& network,
+                                          const cut_params& params) {
+  node_map<std::vector<cut>> cuts(network);
+
+  auto make_trivial = [](aig::node_index n) {
+    cut c;
+    c.leaves = {n};
+    c.function = truth_table::nth_var(1, 0);
+    c.signature = signature_of(c.leaves);
+    return c;
+  };
+
+  network.foreach_ci([&](signal s, std::size_t) {
+    cuts[s.index()].push_back(make_trivial(s.index()));
+  });
+  // The constant node gets a single empty cut with a constant function.
+  {
+    cut c;
+    c.function = truth_table::zeros(0);
+    cuts[0].push_back(c);
+  }
+
+  std::vector<aig::node_index> merged;
+  network.foreach_gate([&](aig::node_index n) {
+    const signal f0 = network.fanin0(n);
+    const signal f1 = network.fanin1(n);
+    auto& out = cuts[n];
+
+    for (const cut& c0 : cuts[f0.index()]) {
+      for (const cut& c1 : cuts[f1.index()]) {
+        if (!merge_leaves(c0.leaves, c1.leaves, params.cut_size, merged)) {
+          continue;
+        }
+        cut c;
+        c.leaves = merged;
+        c.signature = signature_of(c.leaves);
+
+        // Skip if dominated by an existing cut (or dominating: replace).
+        bool dominated = false;
+        for (const cut& existing : out) {
+          if (existing.dominates(c)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        std::erase_if(out, [&](const cut& existing) {
+          return c.dominates(existing);
+        });
+
+        const truth_table t0 = expand_table(c0.function, c0.leaves, c.leaves);
+        const truth_table t1 = expand_table(c1.function, c1.leaves, c.leaves);
+        c.function = (f0.is_complemented() ? ~t0 : t0) &
+                     (f1.is_complemented() ? ~t1 : t1);
+        out.push_back(std::move(c));
+        if (out.size() >= params.cut_limit) break;
+      }
+      if (out.size() >= params.cut_limit) break;
+    }
+    if (params.include_trivial) out.push_back(make_trivial(n));
+  });
+  return cuts;
+}
+
+unsigned mffc_size(const aig& network, aig::node_index root,
+                   const std::vector<aig::node_index>& leaves_in,
+                   const std::vector<std::uint32_t>& fanout) {
+  // Count gates in the cone of `root` whose fanout lies entirely inside the
+  // cone, via simulated dereferencing with a local remaining-reference map.
+  std::vector<aig::node_index> leaves(leaves_in);
+  std::sort(leaves.begin(), leaves.end());
+  std::unordered_map<aig::node_index, std::uint32_t> remaining;
+  unsigned count = 0;
+
+  auto is_leaf = [&](aig::node_index n) {
+    return std::binary_search(leaves.begin(), leaves.end(), n);
+  };
+
+  std::vector<aig::node_index> stack{root};
+  while (!stack.empty()) {
+    const aig::node_index n = stack.back();
+    stack.pop_back();
+    if (!network.is_gate(n) || is_leaf(n)) continue;
+    ++count;
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      const aig::node_index child = f.index();
+      if (!network.is_gate(child) || is_leaf(child)) continue;
+      auto [it, inserted] = remaining.try_emplace(child, fanout[child]);
+      if (--it->second == 0) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+}  // namespace xsfq

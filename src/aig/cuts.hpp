@@ -1,0 +1,52 @@
+#pragma once
+/// \file cuts.hpp
+/// \brief K-feasible priority cut enumeration with cut functions.
+///
+/// Cut-based resynthesis (rewrite/refactor in src/opt) replaces the logic
+/// cone between a node and one of its cuts with a cheaper implementation of
+/// the cut function.  This module enumerates bounded-size cuts bottom-up and
+/// computes each cut's truth table during the merge, exactly as done in ABC.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/truth_table.hpp"
+
+namespace xsfq {
+
+/// One cut: a set of leaf nodes plus the function of the root in terms of the
+/// leaves (variable i of the table corresponds to leaves[i]).
+struct cut {
+  std::vector<aig::node_index> leaves;  ///< sorted, unique
+  truth_table function;                 ///< over leaves.size() variables
+  std::uint64_t signature = 0;          ///< bloom filter for subset tests
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(leaves.size());
+  }
+  /// True iff this cut's leaves are a subset of `other`'s.
+  [[nodiscard]] bool dominates(const cut& other) const;
+};
+
+/// Parameters for cut enumeration.
+struct cut_params {
+  unsigned cut_size = 4;       ///< maximum number of leaves (k)
+  unsigned cut_limit = 10;     ///< maximum cuts stored per node
+  bool include_trivial = true; ///< keep the {n} cut at each node
+};
+
+/// Enumerates cuts for every node.  The result is indexed by node; CIs get
+/// only their trivial cut.
+node_map<std::vector<cut>> enumerate_cuts(const aig& network,
+                                          const cut_params& params = {});
+
+/// Size of the maximum fanout-free cone of `root` with respect to `leaves`:
+/// the number of AND gates in the cone that would become dead if the root
+/// were re-expressed directly in terms of the leaves.  `fanout` must come
+/// from aig::compute_fanout_counts().
+unsigned mffc_size(const aig& network, aig::node_index root,
+                   const std::vector<aig::node_index>& leaves,
+                   const std::vector<std::uint32_t>& fanout);
+
+}  // namespace xsfq

@@ -1,0 +1,102 @@
+#include "aig/npn.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace xsfq {
+namespace {
+
+/// All 24 permutations of {0,1,2,3} in lexicographic order.
+const std::array<std::array<std::uint8_t, 4>, 24>& all_perms() {
+  static const auto perms = [] {
+    std::array<std::array<std::uint8_t, 4>, 24> result{};
+    std::array<std::uint8_t, 4> p = {0, 1, 2, 3};
+    std::size_t i = 0;
+    do {
+      result[i++] = p;
+    } while (std::next_permutation(p.begin(), p.end()));
+    return result;
+  }();
+  return perms;
+}
+
+}  // namespace
+
+std::uint16_t npn4_apply(std::uint16_t function, const npn4_transform& t) {
+  std::uint16_t result = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    // Negate the inputs of the minterm, then route x_v to position perm[v].
+    const unsigned negated = m ^ t.input_neg_mask;
+    unsigned src = 0;
+    for (unsigned v = 0; v < 4; ++v) {
+      if ((negated >> v) & 1u) src |= 1u << t.perm[v];
+    }
+    if ((function >> src) & 1u) result |= std::uint16_t(1u << m);
+  }
+  return t.output_neg ? static_cast<std::uint16_t>(~result) : result;
+}
+
+std::pair<std::uint16_t, npn4_transform> npn4_canonicalize(
+    std::uint16_t function) {
+  std::uint16_t best = 0xFFFF;
+  npn4_transform best_t;
+  bool first = true;
+  for (const auto& perm : all_perms()) {
+    for (std::uint8_t neg = 0; neg < 16; ++neg) {
+      for (int out = 0; out < 2; ++out) {
+        npn4_transform t;
+        t.perm = perm;
+        t.input_neg_mask = neg;
+        t.output_neg = out != 0;
+        const std::uint16_t candidate = npn4_apply(function, t);
+        if (first || candidate < best) {
+          best = candidate;
+          best_t = t;
+          first = false;
+        }
+      }
+    }
+  }
+  return {best, best_t};
+}
+
+npn4_realization realization_from_transform(const npn4_transform& t) {
+  // From npn4_apply: c(x) = f(sigma(x ^ m)) ^ o where bit perm[v] of
+  // sigma(y) equals y_v (negation happens before routing).  Inverting:
+  // f(y) = c(x) ^ o with x_v = y_{perm[v]} ^ m_v.
+  npn4_realization r;
+  for (unsigned v = 0; v < 4; ++v) {
+    r.leaf_of_var[v] = t.perm[v];
+    r.leaf_complemented[v] = ((t.input_neg_mask >> v) & 1u) != 0;
+  }
+  r.output_complemented = t.output_neg;
+  return r;
+}
+
+const std::vector<std::uint16_t>& npn4_class_representatives() {
+  static std::vector<std::uint16_t> reps;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Ascending scan: the first unseen function is the minimum of its class,
+    // i.e. the canonical representative; mark all 768 images as seen.
+    std::vector<bool> seen(65536, false);
+    for (std::uint32_t f = 0; f < 65536; ++f) {
+      if (seen[f]) continue;
+      reps.push_back(static_cast<std::uint16_t>(f));
+      for (const auto& perm : all_perms()) {
+        for (std::uint8_t neg = 0; neg < 16; ++neg) {
+          for (int out = 0; out < 2; ++out) {
+            npn4_transform t;
+            t.perm = perm;
+            t.input_neg_mask = neg;
+            t.output_neg = out != 0;
+            seen[npn4_apply(static_cast<std::uint16_t>(f), t)] = true;
+          }
+        }
+      }
+    }
+  });
+  return reps;
+}
+
+}  // namespace xsfq

@@ -1,0 +1,56 @@
+#pragma once
+/// \file npn.hpp
+/// \brief NPN canonicalization of 4-variable Boolean functions.
+///
+/// The DAG-aware rewriting pass stores one optimized AIG structure per NPN
+/// equivalence class (negation of inputs, permutation of inputs, negation of
+/// the output).  There are 222 such classes over 4 variables.  Because
+/// inverters are free in both AIGs and xSFQ dual-rail logic (a "wire twist",
+/// Sec. 3.1.1), NPN classification loses nothing: any class member is
+/// realizable from the class representative at zero extra cost.
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xsfq {
+
+/// A transform t maps a function f to g = npn4_apply(f, t):
+///   g(x) = f(z) ^ output_neg, where z is x with inputs negated according to
+///   input_neg_mask and then redistributed so that argument position perm[v]
+///   of f receives x_v.
+struct npn4_transform {
+  std::array<std::uint8_t, 4> perm = {0, 1, 2, 3};
+  std::uint8_t input_neg_mask = 0;
+  bool output_neg = false;
+
+  bool operator==(const npn4_transform&) const = default;
+};
+
+/// Applies a transform to a 4-variable truth table (bit m = f on minterm m).
+std::uint16_t npn4_apply(std::uint16_t function, const npn4_transform& t);
+
+/// Exhaustive canonicalization: the canonical form is the numerically
+/// smallest table reachable by any of the 768 NPN transforms.  Returns the
+/// canonical table and a transform t with npn4_apply(f, t) == canonical.
+std::pair<std::uint16_t, npn4_transform> npn4_canonicalize(
+    std::uint16_t function);
+
+/// How to realize f from the canonical structure: canonical input v is fed by
+/// leaf `leaf_of_var[v]`, complemented if `leaf_complemented[v]`; the
+/// structure's output is complemented if `output_complemented`.
+/// Derived from the canonicalizing transform (see npn.cpp for the algebra).
+struct npn4_realization {
+  std::array<std::uint8_t, 4> leaf_of_var = {0, 1, 2, 3};
+  std::array<bool, 4> leaf_complemented = {false, false, false, false};
+  bool output_complemented = false;
+};
+
+npn4_realization realization_from_transform(const npn4_transform& t);
+
+/// All 222 canonical representatives over 4 variables, sorted ascending.
+/// Computed once on first use (canonicalizes all 65536 functions).
+const std::vector<std::uint16_t>& npn4_class_representatives();
+
+}  // namespace xsfq

@@ -1,0 +1,136 @@
+#include "aig/simulate.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xsfq {
+
+std::vector<std::uint64_t> simulate64(
+    const aig& network, std::span<const std::uint64_t> ci_patterns) {
+  if (ci_patterns.size() != network.num_cis()) {
+    throw std::invalid_argument("simulate64: pattern count mismatch");
+  }
+  std::vector<std::uint64_t> value(network.size(), 0);
+  network.foreach_ci([&](signal s, std::size_t i) {
+    value[s.index()] = ci_patterns[i];
+  });
+  network.foreach_gate([&](aig::node_index n) {
+    const signal a = network.fanin0(n);
+    const signal b = network.fanin1(n);
+    const std::uint64_t va =
+        a.is_complemented() ? ~value[a.index()] : value[a.index()];
+    const std::uint64_t vb =
+        b.is_complemented() ? ~value[b.index()] : value[b.index()];
+    value[n] = va & vb;
+  });
+  std::vector<std::uint64_t> result(network.num_cos());
+  network.foreach_co([&](signal s, std::size_t i) {
+    result[i] = s.is_complemented() ? ~value[s.index()] : value[s.index()];
+  });
+  return result;
+}
+
+std::vector<truth_table> compute_co_tables(const aig& network) {
+  const auto num_vars = static_cast<unsigned>(network.num_cis());
+  if (num_vars > truth_table::max_vars) {
+    throw std::invalid_argument("compute_co_tables: too many inputs");
+  }
+  std::vector<truth_table> value(network.size(), truth_table(num_vars));
+  network.foreach_ci([&](signal s, std::size_t i) {
+    value[s.index()] = truth_table::nth_var(num_vars, static_cast<unsigned>(i));
+  });
+  network.foreach_gate([&](aig::node_index n) {
+    const signal a = network.fanin0(n);
+    const signal b = network.fanin1(n);
+    const truth_table ta =
+        a.is_complemented() ? ~value[a.index()] : value[a.index()];
+    const truth_table tb =
+        b.is_complemented() ? ~value[b.index()] : value[b.index()];
+    value[n] = ta & tb;
+  });
+  std::vector<truth_table> result;
+  result.reserve(network.num_cos());
+  network.foreach_co([&](signal s, std::size_t) {
+    result.push_back(s.is_complemented() ? ~value[s.index()]
+                                         : value[s.index()]);
+  });
+  return result;
+}
+
+bool exhaustive_equivalent(const aig& a, const aig& b) {
+  if (a.num_cis() != b.num_cis() || a.num_cos() != b.num_cos()) return false;
+  return compute_co_tables(a) == compute_co_tables(b);
+}
+
+bool random_equivalent(const aig& a, const aig& b, unsigned rounds,
+                       std::uint64_t seed) {
+  if (a.num_cis() != b.num_cis() || a.num_cos() != b.num_cos()) return false;
+  rng gen(seed);
+  std::vector<std::uint64_t> patterns(a.num_cis());
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (auto& p : patterns) p = gen();
+    if (simulate64(a, patterns) != simulate64(b, patterns)) return false;
+  }
+  return true;
+}
+
+sequential_simulator::sequential_simulator(const aig& network)
+    : network_(network) {
+  if (!network.is_well_formed()) {
+    throw std::invalid_argument(
+        "sequential_simulator: register inputs not all connected");
+  }
+  reset();
+}
+
+void sequential_simulator::reset() {
+  state_.resize(network_.num_registers());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = network_.register_at(i).init;
+  }
+}
+
+std::vector<bool> sequential_simulator::step(const std::vector<bool>& pi_values) {
+  if (pi_values.size() != network_.num_pis()) {
+    throw std::invalid_argument("sequential_simulator: PI count mismatch");
+  }
+  std::vector<std::uint64_t> ci(network_.num_cis());
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    ci[i] = pi_values[i] ? ~std::uint64_t{0} : 0;
+  }
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    ci[network_.num_pis() + i] = state_[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto co = simulate64(network_, ci);
+  std::vector<bool> outputs(network_.num_pos());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    outputs[i] = (co[i] & 1u) != 0;
+  }
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = (co[network_.num_pos() + i] & 1u) != 0;
+  }
+  return outputs;
+}
+
+bool random_sequential_equivalent(const aig& a, const aig& b,
+                                  unsigned num_traces,
+                                  unsigned cycles_per_trace,
+                                  std::uint64_t seed) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  rng gen(seed);
+  sequential_simulator sim_a(a);
+  sequential_simulator sim_b(b);
+  std::vector<bool> pis(a.num_pis());
+  for (unsigned t = 0; t < num_traces; ++t) {
+    sim_a.reset();
+    sim_b.reset();
+    for (unsigned c = 0; c < cycles_per_trace; ++c) {
+      for (std::size_t i = 0; i < pis.size(); ++i) pis[i] = gen.flip();
+      if (sim_a.step(pis) != sim_b.step(pis)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xsfq

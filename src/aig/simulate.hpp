@@ -1,0 +1,63 @@
+#pragma once
+/// \file simulate.hpp
+/// \brief Bit-parallel Boolean simulation and equivalence checking of AIGs.
+///
+/// These routines provide the golden-model side of the verification story:
+/// every optimization pass and every xSFQ mapping is validated against the
+/// Boolean behaviour of the original network (Sec. 6 of DESIGN.md).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/truth_table.hpp"
+
+namespace xsfq {
+
+/// Simulates 64 input patterns at once.  `ci_patterns` holds one 64-bit word
+/// per combinational input (PIs then register outputs); the result holds one
+/// word per combinational output (POs then register inputs).
+std::vector<std::uint64_t> simulate64(const aig& network,
+                                      std::span<const std::uint64_t> ci_patterns);
+
+/// Computes the truth table of every combinational output as a function of
+/// all combinational inputs.  Requires num_cis() <= truth_table::max_vars.
+std::vector<truth_table> compute_co_tables(const aig& network);
+
+/// Exhaustive combinational equivalence check (requires matching interface
+/// sizes and num_cis() <= 16).
+bool exhaustive_equivalent(const aig& a, const aig& b);
+
+/// Randomized combinational equivalence check with `rounds` * 64 patterns.
+/// Sound "no" answers; probabilistic "yes".
+bool random_equivalent(const aig& a, const aig& b, unsigned rounds = 64,
+                       std::uint64_t seed = 1);
+
+/// Cycle-accurate sequential simulator (single trace, bool-valued).
+class sequential_simulator {
+public:
+  explicit sequential_simulator(const aig& network);
+
+  /// Resets all registers to their declared init values.
+  void reset();
+  /// Applies one clock cycle with the given PI values; returns PO values
+  /// (computed from the *current* state before the register update).
+  std::vector<bool> step(const std::vector<bool>& pi_values);
+  /// Current register state.
+  [[nodiscard]] const std::vector<bool>& state() const { return state_; }
+  void set_state(std::vector<bool> state) { state_ = std::move(state); }
+
+private:
+  const aig& network_;
+  std::vector<bool> state_;
+};
+
+/// Randomized sequential equivalence check: both networks are reset and
+/// driven with the same random input traces; POs must match at every cycle.
+bool random_sequential_equivalent(const aig& a, const aig& b,
+                                  unsigned num_traces = 8,
+                                  unsigned cycles_per_trace = 64,
+                                  std::uint64_t seed = 1);
+
+}  // namespace xsfq

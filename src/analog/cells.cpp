@@ -1,0 +1,157 @@
+#include "analog/cells.hpp"
+
+namespace xsfq::analog {
+namespace {
+
+/// Standard JTL stage values (SFQ5ee-flavoured): 0.1 mA junctions biased at
+/// 70%, ~4 pH linking inductors.
+constexpr double k_link_inductance_ph = 4.0;
+constexpr double k_bias_ma = 0.07;
+
+}  // namespace
+
+cell_deck make_jtl(unsigned stages) {
+  cell_deck d;
+  const node in = d.ckt.add_node("in");
+  d.inputs.push_back(in);
+  node prev = in;
+  for (unsigned s = 0; s < stages; ++s) {
+    const node n = d.ckt.add_node("jtl" + std::to_string(s));
+    d.ckt.add_inductor(prev, n, k_link_inductance_ph);
+    const std::size_t j = d.ckt.add_jj(n, 0);
+    d.ckt.add_bias(n, k_bias_ma);
+    if (s == 0) d.input_jjs.push_back(j);
+    if (s + 1 == stages) d.output_jjs.push_back(j);
+    prev = n;
+  }
+  return d;
+}
+
+cell_deck make_dc_sfq() {
+  cell_deck d;
+  const node in = d.ckt.add_node("in");
+  const node x = d.ckt.add_node("x");
+  d.inputs.push_back(in);
+  d.ckt.add_inductor(in, x, 8.0);
+  const std::size_t j = d.ckt.add_jj(x, 0);
+  d.ckt.add_bias(x, 0.05);
+  d.input_jjs.push_back(j);
+  d.output_jjs.push_back(j);
+  return d;
+}
+
+cell_deck make_splitter() {
+  cell_deck d;
+  const node in = d.ckt.add_node("in");
+  d.inputs.push_back(in);
+  const node hub = d.ckt.add_node("hub");
+  d.ckt.add_inductor(in, hub, k_link_inductance_ph);
+  const std::size_t j_in = d.ckt.add_jj(hub, 0, {0.15, 4.0, 0.07});
+  d.ckt.add_bias(hub, 0.105);
+  d.input_jjs.push_back(j_in);
+  for (int branch = 0; branch < 2; ++branch) {
+    const node out = d.ckt.add_node(branch ? "out_b" : "out_a");
+    d.ckt.add_inductor(hub, out, k_link_inductance_ph + 1.0);
+    const std::size_t j = d.ckt.add_jj(out, 0);
+    d.ckt.add_bias(out, k_bias_ma);
+    d.output_jjs.push_back(j);
+  }
+  return d;
+}
+
+cell_deck make_la_cell() {
+  cell_deck d;
+  // Two flux-storage input loops feeding a common output junction whose
+  // critical current requires both loops to be charged (coincidence AND).
+  const node m = d.ckt.add_node("merge");
+  for (int i = 0; i < 2; ++i) {
+    const node in = d.ckt.add_node(i ? "b" : "a");
+    d.inputs.push_back(in);
+    const node loop = d.ckt.add_node(i ? "loop_b" : "loop_a");
+    d.ckt.add_inductor(in, loop, k_link_inductance_ph);
+    // Escape junction isolates the input from back-action.
+    d.input_jjs.push_back(d.ckt.add_jj(loop, 0, {0.16, 4.0, 0.07}));
+    d.ckt.add_bias(loop, 0.04);
+    // Storage inductor: one quantum contributes ~Phi0/L ~ 0.065 mA.
+    d.ckt.add_inductor(loop, m, 32.0);
+  }
+  const std::size_t j_out = d.ckt.add_jj(m, 0, {0.12, 4.0, 0.06});
+  d.ckt.add_bias(m, 0.015);
+  d.output_jjs.push_back(j_out);
+  return d;
+}
+
+cell_deck make_fa_cell() {
+  cell_deck d;
+  // Confluence-style merge: either input pulse drives the output junction
+  // over its critical current (first arrival wins).
+  const node m = d.ckt.add_node("merge");
+  for (int i = 0; i < 2; ++i) {
+    const node in = d.ckt.add_node(i ? "b" : "a");
+    d.inputs.push_back(in);
+    const node stage = d.ckt.add_node(i ? "st_b" : "st_a");
+    d.ckt.add_inductor(in, stage, k_link_inductance_ph);
+    d.input_jjs.push_back(d.ckt.add_jj(stage, 0, {0.12, 4.0, 0.06}));
+    d.ckt.add_bias(stage, 0.07);
+    d.ckt.add_inductor(stage, m, 6.0);
+  }
+  const std::size_t j_out = d.ckt.add_jj(m, 0);
+  d.ckt.add_bias(m, 0.07);
+  d.output_jjs.push_back(j_out);
+  return d;
+}
+
+cell_deck make_dro_preload() {
+  cell_deck d;
+  // Storage loop (write junction -> L -> readout junction); a data pulse
+  // stores one quantum, the clock pulse reads it out destructively.  The
+  // preload path is a DC-to-SFQ converter whose output merges with data,
+  // reproducing Figure 3's block diagram.
+  const node data = d.ckt.add_node("data");
+  const node clk = d.ckt.add_node("clk");
+  const node pre = d.ckt.add_node("preload");
+  d.inputs = {data, clk, pre};
+
+  const node w = d.ckt.add_node("write");
+  d.ckt.add_inductor(data, w, k_link_inductance_ph);
+  const std::size_t j_write = d.ckt.add_jj(w, 0, {0.14, 4.0, 0.07});
+  d.ckt.add_bias(w, 0.03);
+  d.input_jjs.push_back(j_write);
+
+  // Preload DC-to-SFQ merged into the write node.
+  const node px = d.ckt.add_node("pre_x");
+  d.ckt.add_inductor(pre, px, 8.0);
+  const std::size_t j_pre = d.ckt.add_jj(px, 0);
+  d.ckt.add_bias(px, 0.05);
+  d.ckt.add_inductor(px, w, 6.0);
+  d.input_jjs.push_back(j_pre);
+
+  // Storage inductor into the readout junction (values chosen so a bare
+  // clock or a bare write never fires the readout; see tests).
+  const node r = d.ckt.add_node("read");
+  d.ckt.add_inductor(w, r, 34.0);
+  const std::size_t j_read = d.ckt.add_jj(r, 0, {0.18, 4.0, 0.06});
+  d.output_jjs.push_back(j_read);
+
+  // Clock injection into the readout junction.
+  const node cx = d.ckt.add_node("clk_x");
+  d.ckt.add_inductor(clk, cx, k_link_inductance_ph);
+  const std::size_t j_clk = d.ckt.add_jj(cx, 0, {0.16, 4.0, 0.07});
+  d.ckt.add_bias(cx, 0.04);
+  d.ckt.add_inductor(cx, r, 12.0);
+  d.input_jjs.push_back(j_clk);
+  return d;
+}
+
+double propagation_delay_ps(const circuit::probe_data& data,
+                            std::size_t input_jj, std::size_t output_jj,
+                            std::size_t pulse_index) {
+  const auto in_slips = circuit::phase_slips(data, input_jj);
+  const auto out_slips = circuit::phase_slips(data, output_jj);
+  if (in_slips.size() <= pulse_index || out_slips.size() <= pulse_index) {
+    return -1.0;
+  }
+  return out_slips[pulse_index] - in_slips[pulse_index];
+}
+
+}  // namespace xsfq::analog

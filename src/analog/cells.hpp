@@ -1,0 +1,53 @@
+#pragma once
+/// \file cells.hpp
+/// \brief Analog cell decks for the xSFQ library (Figures 2 and 3).
+///
+/// Each deck builds an RCSJ-level circuit for one cell and returns the
+/// junction indices to probe.  The JTL, DC-to-SFQ and splitter decks are
+/// standard textbook designs and propagate real SFQ pulses in this
+/// simulator.  The LA/FA decks demonstrate the last-arrival (coincidence)
+/// and first-arrival (merge) behaviours of Figure 2 with flux-storage input
+/// loops; they are qualitative demonstrations of the cell *principle* — the
+/// cycle-accurate cell semantics used by synthesis are validated separately
+/// in src/pulsesim (see DESIGN.md's substitution notes).
+
+#include "analog/circuit.hpp"
+
+namespace xsfq::analog {
+
+/// A built cell deck: the circuit plus probe points.
+struct cell_deck {
+  circuit ckt;
+  std::vector<node> inputs;        ///< pulse-injection nodes
+  std::vector<std::size_t> input_jjs;   ///< junction index per input
+  std::vector<std::size_t> output_jjs;  ///< junction index per output
+};
+
+/// Josephson transmission line with `stages` biased junctions.
+cell_deck make_jtl(unsigned stages = 3);
+
+/// DC-to-SFQ converter: a current ramp on input 0 produces one pulse.
+cell_deck make_dc_sfq();
+
+/// 1-to-2 splitter: one input junction, two output branches.
+cell_deck make_splitter();
+
+/// Last-Arrival demonstrator: the output junction fires only after both
+/// input loops hold flux (C-element / dual-rail AND behaviour).
+cell_deck make_la_cell();
+
+/// First-Arrival demonstrator: the output junction fires on the first
+/// arriving input pulse (inverse C-element / dual-rail OR behaviour).
+cell_deck make_fa_cell();
+
+/// DRO storage demonstrator with a DC-to-SFQ preloading path (Figure 3):
+/// input 0 = data, input 1 = clock, input 2 = preload ramp enable.
+cell_deck make_dro_preload();
+
+/// Measured propagation delay: time from the n-th input-junction slip to the
+/// n-th output-junction slip; returns negative when no propagation happened.
+double propagation_delay_ps(const circuit::probe_data& data,
+                            std::size_t input_jj, std::size_t output_jj,
+                            std::size_t pulse_index = 0);
+
+}  // namespace xsfq::analog

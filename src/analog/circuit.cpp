@@ -1,0 +1,156 @@
+#include "analog/circuit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xsfq::analog {
+
+node circuit::add_node(std::string name) {
+  if (name.empty()) name = "n" + std::to_string(names_.size());
+  names_.push_back(std::move(name));
+  return static_cast<node>(names_.size() - 1);
+}
+
+std::size_t circuit::add_jj(node a, node b, const jj_params& params) {
+  jjs_.push_back({a, b, params});
+  return jjs_.size() - 1;
+}
+
+void circuit::add_inductor(node a, node b, double inductance_ph) {
+  if (inductance_ph <= 0) {
+    throw std::invalid_argument("circuit: inductance must be positive");
+  }
+  inductors_.push_back({a, b, inductance_ph});
+}
+
+void circuit::add_resistor(node a, node b, double resistance_ohm) {
+  resistors_.push_back({a, b, resistance_ohm});
+}
+
+void circuit::add_bias(node into, double current_ma) {
+  sources_.push_back({into, [current_ma](double) { return current_ma; }});
+}
+
+void circuit::add_source(node into, std::function<double(double)> current_ma) {
+  sources_.push_back({into, std::move(current_ma)});
+}
+
+void circuit::add_pulse(node into, double t0_ps, double amplitude_ma,
+                        double sigma_ps) {
+  sources_.push_back({into, [=](double t) {
+                        const double x = (t - t0_ps) / sigma_ps;
+                        return amplitude_ma * std::exp(-0.5 * x * x);
+                      }});
+}
+
+void circuit::derivative(double t, const std::vector<double>& state,
+                         std::vector<double>& deriv) const {
+  const std::size_t n = names_.size();
+  // state: theta[0..n-1], v[0..n-1]; ground clamped.
+  const double* theta = state.data();
+  const double* v = state.data() + n;
+  double* dtheta = deriv.data();
+  double* dv = deriv.data() + n;
+  for (std::size_t i = 0; i < n; ++i) {
+    dtheta[i] = v[i];
+    dv[i] = 0.0;  // accumulates current; divided by capacitance below
+  }
+  dtheta[0] = 0.0;
+
+  auto inject = [&](node a, node b, double current) {
+    // Current flowing a -> b removes charge from a, adds to b.
+    dv[a] -= current;
+    dv[b] += current;
+  };
+
+  for (const auto& j : jjs_) {
+    const double phi = theta[j.a] - theta[j.b];
+    const double dphi = v[j.a] - v[j.b];
+    const double current = j.params.critical_current_ma * std::sin(phi) +
+                           k_phi0_bar * dphi / j.params.shunt_resistance_ohm;
+    inject(j.a, j.b, current);
+  }
+  for (const auto& l : inductors_) {
+    const double current = k_phi0_bar * (theta[l.a] - theta[l.b]) / l.value;
+    inject(l.a, l.b, current);
+  }
+  for (const auto& r : resistors_) {
+    const double current = k_phi0_bar * (v[r.a] - v[r.b]) / r.value;
+    inject(r.a, r.b, current);
+  }
+  for (const auto& s : sources_) {
+    dv[s.into] += s.current_ma(t);
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    dv[i] /= node_capacitance_[i] * k_phi0_bar;
+  }
+  dv[0] = 0.0;
+}
+
+circuit::probe_data circuit::run(double duration_ps, double dt_ps,
+                                 unsigned sample_every) {
+  const std::size_t n = names_.size();
+  // Node capacitance: parasitic floor plus junction capacitances.
+  node_capacitance_.assign(n, 0.02);  // 20 fF parasitic floor per node
+  for (const auto& j : jjs_) {
+    node_capacitance_[j.a] += j.params.capacitance_pf;
+    node_capacitance_[j.b] += j.params.capacitance_pf;
+  }
+
+  std::vector<double> state(2 * n, 0.0);
+  std::vector<double> k1(2 * n), k2(2 * n), k3(2 * n), k4(2 * n),
+      tmp(2 * n);
+
+  probe_data data;
+  data.jj_phase.resize(jjs_.size());
+  data.node_voltage.resize(n);
+
+  const auto steps = static_cast<std::size_t>(duration_ps / dt_ps);
+  for (std::size_t step = 0; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * dt_ps;
+    if (step % sample_every == 0) {
+      data.time_ps.push_back(t);
+      for (std::size_t j = 0; j < jjs_.size(); ++j) {
+        data.jj_phase[j].push_back(state[jjs_[j].a] - state[jjs_[j].b]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        // v is the scaled phase rate; node voltage = phi0_bar * v (mV).
+        data.node_voltage[i].push_back(k_phi0_bar * state[n + i]);
+      }
+    }
+    // Classic RK4 step.
+    derivative(t, state, k1);
+    for (std::size_t i = 0; i < 2 * n; ++i) tmp[i] = state[i] + 0.5 * dt_ps * k1[i];
+    derivative(t + 0.5 * dt_ps, tmp, k2);
+    for (std::size_t i = 0; i < 2 * n; ++i) tmp[i] = state[i] + 0.5 * dt_ps * k2[i];
+    derivative(t + 0.5 * dt_ps, tmp, k3);
+    for (std::size_t i = 0; i < 2 * n; ++i) tmp[i] = state[i] + dt_ps * k3[i];
+    derivative(t + dt_ps, tmp, k4);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      state[i] += dt_ps / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    }
+  }
+  return data;
+}
+
+std::vector<double> circuit::phase_slips(const probe_data& data,
+                                         std::size_t jj) {
+  std::vector<double> slips;
+  const auto& phase = data.jj_phase.at(jj);
+  constexpr double two_pi = 6.283185307179586;
+  double next_threshold = two_pi * 0.5;
+  int count = 0;
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    // The guard bounds runaway counting if an ill-conditioned deck diverges.
+    while (std::isfinite(phase[i]) && phase[i] > next_threshold &&
+           count < 100000) {
+      slips.push_back(data.time_ps[i]);
+      ++count;
+      next_threshold = two_pi * 0.5 + two_pi * count;
+    }
+  }
+  return slips;
+}
+
+}  // namespace xsfq::analog

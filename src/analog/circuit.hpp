@@ -1,0 +1,109 @@
+#pragma once
+/// \file circuit.hpp
+/// \brief Superconducting circuit transient simulation (RCSJ junction model).
+///
+/// Stands in for the paper's HSPICE + MIT-LL SFQ5ee characterization flow
+/// (Sec. 2.3).  Junctions follow the resistively-and-capacitively-shunted
+/// model:   I = Ic*sin(phi) + (Phi0/2pi) * phi_dot / R + C*(Phi0/2pi)*phi_ddot
+/// Circuits are described in node-phase coordinates (theta_n, the time
+/// integral of node voltage scaled by 2pi/Phi0), which makes inductor
+/// currents algebraic in theta and keeps flux quantization exact.  The state
+/// [theta, v = theta_dot] is integrated with fixed-step RK4; every node
+/// carries a small parasitic capacitance so the system stays an ODE.
+///
+/// Delay characterization follows the paper's method: propagation delay is
+/// measured between 2pi phase slips of the input and output junctions.
+///
+/// Units: ps, mV, mA, pH, pF, Ohm (all mutually consistent: mV = mA*Ohm,
+/// 1 pH * 1 mA/ps = 1 mV, 1 pF * 1 mV/ps = 1 mA, Phi0 = 2.0678 mV*ps).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace xsfq::analog {
+
+/// Flux quantum in mV*ps (2.0678e-15 Wb = 2.0678 mV*ps).
+inline constexpr double k_phi0 = 2.0678;
+/// Phi0 / 2pi in mV*ps.
+inline constexpr double k_phi0_bar = k_phi0 / 6.283185307179586;
+
+/// Circuit node handle (0 is ground).
+using node = std::uint32_t;
+
+/// One Josephson junction's parameters (SFQ5ee-like defaults: 0.1 mA
+/// critical current, near-critically damped: beta_c = 2*pi*Ic*R^2*C/Phi0
+/// ~ 0.24 with the values below).
+struct jj_params {
+  double critical_current_ma = 0.1;
+  double shunt_resistance_ohm = 4.0;
+  double capacitance_pf = 0.05;
+};
+
+/// A transient circuit: build with add_* calls, then run().
+class circuit {
+public:
+  node add_node(std::string name = {});
+  [[nodiscard]] std::size_t num_nodes() const { return names_.size(); }
+
+  /// Adds a junction between `a` and `b`; returns its index for probing.
+  std::size_t add_jj(node a, node b, const jj_params& params = {});
+  void add_inductor(node a, node b, double inductance_ph);
+  void add_resistor(node a, node b, double resistance_ohm);
+  /// DC bias current injected into `into` (from ground).
+  void add_bias(node into, double current_ma);
+  /// Time-dependent current source (ma as a function of ps).
+  void add_source(node into, std::function<double(double)> current_ma);
+
+  /// Injects an SFQ-like Gaussian current pulse carrying one Phi0 of charge
+  /// through `into` at time t0 (width sigma in ps).
+  void add_pulse(node into, double t0_ps, double amplitude_ma = 0.5,
+                 double sigma_ps = 1.0);
+
+  struct probe_data {
+    std::vector<double> time_ps;
+    /// Junction phases [junction][sample].
+    std::vector<std::vector<double>> jj_phase;
+    /// Node voltages (mV) [node][sample].
+    std::vector<std::vector<double>> node_voltage;
+  };
+
+  /// Runs a transient for `duration_ps`; samples every `sample_every` steps.
+  /// The default step resolves the junction plasma period (~2.5 ps) and the
+  /// shunt RC constant (~0.2 ps) comfortably.
+  probe_data run(double duration_ps, double dt_ps = 0.01,
+                 unsigned sample_every = 20);
+
+  /// Times (ps) at which junction `jj` slipped by 2pi (pulse emissions),
+  /// extracted from a probe record.
+  static std::vector<double> phase_slips(const probe_data& data,
+                                         std::size_t jj);
+
+private:
+  struct jj_instance {
+    node a, b;
+    jj_params params;
+  };
+  struct two_terminal {
+    node a, b;
+    double value;
+  };
+  struct source {
+    node into;
+    std::function<double(double)> current_ma;
+  };
+
+  /// Computes d(state)/dt into `deriv`; state = [theta..., v...].
+  void derivative(double t, const std::vector<double>& state,
+                  std::vector<double>& deriv) const;
+
+  std::vector<std::string> names_{"gnd"};
+  std::vector<jj_instance> jjs_;
+  std::vector<two_terminal> inductors_;
+  std::vector<two_terminal> resistors_;
+  std::vector<source> sources_;
+  std::vector<double> node_capacitance_;  ///< parasitic + JJ caps per node
+};
+
+}  // namespace xsfq::analog

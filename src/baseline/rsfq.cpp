@@ -1,0 +1,199 @@
+#include "baseline/rsfq.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace xsfq {
+namespace {
+
+/// Recognizes n = XOR(x, y) as the classic 3-node AIG cone
+/// n = !(!(x & !y) & !(!x & y)) with single-fanout inner nodes.
+struct xor_match {
+  bool matched = false;
+  signal x;
+  signal y;
+};
+
+xor_match match_xor(const aig& net, aig::node_index n,
+                    const std::vector<std::uint32_t>& fanout) {
+  xor_match m;
+  const signal f0 = net.fanin0(n);
+  const signal f1 = net.fanin1(n);
+  if (!f0.is_complemented() || !f1.is_complemented()) return m;
+  if (!net.is_gate(f0.index()) || !net.is_gate(f1.index())) return m;
+  if (fanout[f0.index()] != 1 || fanout[f1.index()] != 1) return m;
+  const signal a0 = net.fanin0(f0.index());
+  const signal b0 = net.fanin1(f0.index());
+  const signal a1 = net.fanin0(f1.index());
+  const signal b1 = net.fanin1(f1.index());
+  // The two inner ANDs must reference the same grandchildren with opposite
+  // polarities: (x & !y) and (!x & y).
+  if (a0 == !a1 && b0 == !b1) {
+    m.matched = true;
+    m.x = a0;
+    m.y = !b0;
+    return m;
+  }
+  if (a0 == !b1 && b0 == !a1) {
+    m.matched = true;
+    m.x = a0;
+    m.y = !b0;
+    return m;
+  }
+  return m;
+}
+
+}  // namespace
+
+rsfq_stats map_to_rsfq(const aig& network, const rsfq_params& params) {
+  rsfq_stats st;
+  const auto fanout = network.compute_fanout_counts();
+
+  // ----- cell selection -------------------------------------------------------
+  // role[n]: 0 = not a cell root (absorbed or unused), 1 = AND cell,
+  // 2 = XOR cell (absorbs its two inner AND nodes).
+  std::vector<std::uint8_t> role(network.size(), 0);
+  std::vector<bool> absorbed(network.size(), false);
+  network.foreach_gate([&](aig::node_index n) { role[n] = 1; });
+  if (params.detect_xor) {
+    // Scan in reverse topological order so outer XOR roots claim their inner
+    // nodes before the inner nodes are considered as XOR roots themselves.
+    for (aig::node_index n = static_cast<aig::node_index>(network.size());
+         n-- > 0;) {
+      if (!network.is_gate(n) || role[n] != 1 || absorbed[n]) continue;
+      const auto m = match_xor(network, n, fanout);
+      if (!m.matched) continue;
+      role[n] = 2;
+      absorbed[network.fanin0(n).index()] = true;
+      absorbed[network.fanin1(n).index()] = true;
+      role[network.fanin0(n).index()] = 0;
+      role[network.fanin1(n).index()] = 0;
+    }
+  }
+
+  // Effective cell fanins: for XOR cells the grandchildren signals.
+  auto cell_fanins = [&](aig::node_index n) -> std::pair<signal, signal> {
+    if (role[n] == 2) {
+      const auto m = match_xor(network, n, fanout);
+      return {m.x, m.y};
+    }
+    return {network.fanin0(n), network.fanin1(n)};
+  };
+
+  // ----- inverter counting ----------------------------------------------------
+  // A complemented edge into a cell or CO needs a clocked NOT cell; one NOT
+  // per distinct complemented source signal (shared through splitters).
+  // XOR cells absorb input complements pairwise (XOR(!x, y) = !XOR(x, y) is
+  // folded into the output polarity by retiming the downstream consumer in
+  // real flows; we conservatively keep NOT cells for complemented XOR fanins
+  // of COs only).
+  std::vector<bool> need_not(network.size(), false);
+  std::vector<std::uint32_t> extra_fanout(network.size(), 0);
+  network.foreach_gate([&](aig::node_index n) {
+    if (role[n] == 0) return;
+    const auto [x, y] = cell_fanins(n);
+    for (const signal f : {x, y}) {
+      if (f.is_complemented() && !network.is_constant(f.index())) {
+        need_not[f.index()] = true;
+      }
+    }
+  });
+  network.foreach_co([&](signal s, std::size_t) {
+    if (s.is_complemented() && !network.is_constant(s.index())) {
+      need_not[s.index()] = true;
+    }
+  });
+
+  // ----- levels and path balancing -------------------------------------------
+  // Unit delay per clocked stage; NOT cells add a stage on complemented edges.
+  std::vector<std::uint32_t> level(network.size(), 0);
+  std::uint32_t max_co_level = 0;
+  auto edge_level = [&](signal f) -> std::uint32_t {
+    return level[f.index()] + (f.is_complemented() &&
+                                       !network.is_constant(f.index())
+                                   ? 1u
+                                   : 0u);
+  };
+  network.foreach_gate([&](aig::node_index n) {
+    if (role[n] == 0) {
+      // Absorbed XOR inner node: carries its root's input level forward.
+      level[n] = 0;
+      return;
+    }
+    const auto [x, y] = cell_fanins(n);
+    level[n] = 1 + std::max(edge_level(x), edge_level(y));
+  });
+  network.foreach_co([&](signal s, std::size_t) {
+    max_co_level = std::max(max_co_level, edge_level(s));
+  });
+  st.depth = max_co_level;
+
+  // Balancing DROs: slack on every cell edge plus CO edges up to the
+  // common output level.
+  std::size_t dro_count = 0;
+  network.foreach_gate([&](aig::node_index n) {
+    if (role[n] == 0) return;
+    const auto [x, y] = cell_fanins(n);
+    for (const signal f : {x, y}) {
+      if (network.is_constant(f.index())) continue;
+      const std::uint32_t slack = level[n] - 1 - edge_level(f);
+      dro_count += slack;
+    }
+  });
+  network.foreach_co([&](signal s, std::size_t) {
+    if (network.is_constant(s.index())) return;
+    dro_count += max_co_level - edge_level(s);
+  });
+  st.balancing_dros = dro_count;
+
+  // ----- splitters ------------------------------------------------------------
+  // Data fanout: one splitter per extra consumer of every produced signal
+  // (cell outputs, NOT outputs, CIs).
+  std::vector<std::uint32_t> consumers(network.size(), 0);
+  std::vector<std::uint32_t> not_consumers(network.size(), 0);
+  auto note_edge = [&](signal f) {
+    if (network.is_constant(f.index())) return;
+    if (f.is_complemented()) {
+      ++not_consumers[f.index()];
+    } else {
+      ++consumers[f.index()];
+    }
+  };
+  network.foreach_gate([&](aig::node_index n) {
+    if (role[n] == 0) return;
+    const auto [x, y] = cell_fanins(n);
+    note_edge(x);
+    note_edge(y);
+  });
+  network.foreach_co([&](signal s, std::size_t) { note_edge(s); });
+
+  std::size_t splitters = 0;
+  network.foreach_node([&](aig::node_index n) {
+    std::uint32_t direct = consumers[n];
+    if (need_not[n]) ++direct;  // the NOT cell is one more consumer
+    if (direct > 1) splitters += direct - 1;
+    if (not_consumers[n] > 1) splitters += not_consumers[n] - 1;
+  });
+  st.data_splitters = splitters;
+
+  // ----- totals ---------------------------------------------------------------
+  network.foreach_gate([&](aig::node_index n) {
+    if (role[n] != 0) ++st.logic_cells;
+  });
+  network.foreach_node([&](aig::node_index n) {
+    if (need_not[n]) ++st.not_cells;
+  });
+  st.dffs = network.num_registers();
+  st.clocked_cells =
+      st.logic_cells + st.not_cells + st.balancing_dros + st.dffs;
+
+  const rsfq_costs& c = params.costs;
+  st.jj_without_clock = st.logic_cells * c.logic_cell +
+                        st.not_cells * c.not_cell +
+                        st.balancing_dros * c.dro + st.dffs * c.dff +
+                        st.data_splitters * c.splitter;
+  st.jj_with_clock = st.jj_without_clock + st.clocked_cells * c.splitter;
+  return st;
+}
+
+}  // namespace xsfq

@@ -1,0 +1,447 @@
+#include "benchgen/blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xsfq::blocks {
+namespace {
+
+signal full_adder_sum(aig& g, signal a, signal b, signal c) {
+  return g.create_xor(g.create_xor(a, b), c);
+}
+
+signal full_adder_carry(aig& g, signal a, signal b, signal c) {
+  return g.create_maj(a, b, c);
+}
+
+void require_same_width(std::span<const signal> a, std::span<const signal> b,
+                        const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": width mismatch");
+  }
+}
+
+}  // namespace
+
+add_result ripple_adder(aig& g, std::span<const signal> a,
+                        std::span<const signal> b, signal carry_in) {
+  require_same_width(a, b, "ripple_adder");
+  add_result r;
+  signal carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r.sum.push_back(full_adder_sum(g, a[i], b[i], carry));
+    carry = full_adder_carry(g, a[i], b[i], carry);
+  }
+  r.carry = carry;
+  return r;
+}
+
+add_result subtractor(aig& g, std::span<const signal> a,
+                      std::span<const signal> b) {
+  require_same_width(a, b, "subtractor");
+  std::vector<signal> not_b;
+  not_b.reserve(b.size());
+  for (const signal s : b) not_b.push_back(!s);
+  return ripple_adder(g, a, not_b, g.get_constant(true));
+}
+
+std::vector<signal> array_multiplier(aig& g, std::span<const signal> a,
+                                     std::span<const signal> b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<signal> acc(n + m, g.get_constant(false));
+  // Row-by-row carry-save accumulation (the c6288 structure).
+  for (std::size_t i = 0; i < m; ++i) {
+    signal carry = g.get_constant(false);
+    for (std::size_t j = 0; j < n; ++j) {
+      const signal pp = g.create_and(a[j], b[i]);
+      const signal sum = full_adder_sum(g, acc[i + j], pp, carry);
+      carry = full_adder_carry(g, acc[i + j], pp, carry);
+      acc[i + j] = sum;
+    }
+    // Propagate the row carry into the next column.
+    for (std::size_t k = i + n; k < n + m && !(carry == g.get_constant(false));
+         ++k) {
+      const signal sum = g.create_xor(acc[k], carry);
+      carry = g.create_and(acc[k], carry);
+      acc[k] = sum;
+    }
+  }
+  return acc;
+}
+
+signal equals(aig& g, std::span<const signal> a, std::span<const signal> b) {
+  require_same_width(a, b, "equals");
+  std::vector<signal> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(g.create_xnor(a[i], b[i]));
+  }
+  return g.create_and_n(bits);
+}
+
+signal less_than(aig& g, std::span<const signal> a,
+                 std::span<const signal> b) {
+  require_same_width(a, b, "less_than");
+  // MSB-first chain: lt = (!a & b) | (a==b) & lt_lower.
+  signal lt = g.get_constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const signal ai = a[i];
+    const signal bi = b[i];
+    const signal here = g.create_and(!ai, bi);
+    const signal same = g.create_xnor(ai, bi);
+    lt = g.create_or(here, g.create_and(same, lt));
+  }
+  return lt;
+}
+
+alu_result alu(aig& g, std::span<const signal> a, std::span<const signal> b,
+               std::span<const signal> opcode) {
+  require_same_width(a, b, "alu");
+  if (opcode.size() != 3) {
+    throw std::invalid_argument("alu: opcode must be 3 bits");
+  }
+  const std::size_t n = a.size();
+  const auto add = ripple_adder(g, a, b, g.get_constant(false));
+  const auto sub = subtractor(g, a, b);
+  const signal slt = less_than(g, a, b);
+
+  alu_result r;
+  for (std::size_t i = 0; i < n; ++i) {
+    const signal and_bit = g.create_and(a[i], b[i]);
+    const signal or_bit = g.create_or(a[i], b[i]);
+    const signal xor_bit = g.create_xor(a[i], b[i]);
+    const signal nor_bit = !or_bit;
+    const signal slt_bit = i == 0 ? slt : g.get_constant(false);
+
+    // 8:1 mux over the opcode.
+    const signal m00 = g.create_mux(opcode[0], sub.sum[i], add.sum[i]);
+    const signal m01 = g.create_mux(opcode[0], or_bit, and_bit);
+    const signal m10 = g.create_mux(opcode[0], nor_bit, xor_bit);
+    const signal m11 = g.create_mux(opcode[0], b[i], slt_bit);
+    const signal m0 = g.create_mux(opcode[1], m01, m00);
+    const signal m1 = g.create_mux(opcode[1], m11, m10);
+    r.value.push_back(g.create_mux(opcode[2], m1, m0));
+  }
+  r.carry = g.create_mux(opcode[0], sub.carry, add.carry);
+  std::vector<signal> nonzero;
+  nonzero.reserve(n);
+  for (const signal v : r.value) nonzero.push_back(v);
+  r.zero = !g.create_or_n(nonzero);
+  return r;
+}
+
+priority_result priority_encode(aig& g, std::span<const signal> req) {
+  priority_result r;
+  signal blocked = g.get_constant(false);  // some earlier request active
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    r.grant.push_back(g.create_and(req[i], !blocked));
+    blocked = g.create_or(blocked, req[i]);
+  }
+  r.valid = blocked;
+  // Binary encoding of the one-hot grant.
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < req.size()) ++bits;
+  for (unsigned b = 0; b < bits; ++b) {
+    std::vector<signal> ors;
+    for (std::size_t i = 0; i < req.size(); ++i) {
+      if ((i >> b) & 1u) ors.push_back(r.grant[i]);
+    }
+    r.encoded.push_back(g.create_or_n(ors));
+  }
+  return r;
+}
+
+std::vector<signal> decoder(aig& g, std::span<const signal> sel) {
+  std::vector<signal> out;
+  const std::size_t n = sel.size();
+  out.reserve(std::size_t{1} << n);
+  // Recursive halves would share more, but the straightforward product
+  // matches the EPFL "dec" circuit structure.
+  std::vector<signal> lows;
+  std::vector<signal> highs;
+  // Split-level decoding for sharing: decode low and high halves, AND pairs.
+  const std::size_t half = n / 2;
+  auto decode_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<signal> result{g.get_constant(true)};
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<signal> next;
+      next.reserve(result.size() * 2);
+      for (const signal s : result) next.push_back(g.create_and(s, !sel[i]));
+      for (const signal s : result) next.push_back(g.create_and(s, sel[i]));
+      result = std::move(next);
+    }
+    return result;
+  };
+  lows = decode_range(0, half);
+  highs = decode_range(half, n);
+  for (const signal h : highs) {
+    for (const signal l : lows) {
+      out.push_back(g.create_and(h, l));
+    }
+  }
+  return out;
+}
+
+std::vector<signal> popcount(aig& g, std::span<const signal> inputs) {
+  // Tree of ripple additions over growing widths.
+  std::vector<std::vector<signal>> terms;
+  for (const signal s : inputs) terms.push_back({s});
+  while (terms.size() > 1) {
+    std::vector<std::vector<signal>> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      auto& a = terms[i];
+      auto& b = terms[i + 1];
+      const std::size_t w = std::max(a.size(), b.size());
+      a.resize(w, g.get_constant(false));
+      b.resize(w, g.get_constant(false));
+      auto sum = ripple_adder(g, a, b, g.get_constant(false));
+      sum.sum.push_back(sum.carry);
+      next.push_back(std::move(sum.sum));
+    }
+    if (terms.size() % 2) next.push_back(std::move(terms.back()));
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+signal majority(aig& g, std::span<const signal> inputs) {
+  if (inputs.size() % 2 == 0) {
+    throw std::invalid_argument("majority: needs an odd input count");
+  }
+  const auto count = popcount(g, inputs);
+  const auto threshold =
+      constant_word(g, inputs.size() / 2 + 1, static_cast<unsigned>(count.size()));
+  // majority <=> count >= threshold <=> !(count < threshold)
+  return !less_than(g, count, threshold);
+}
+
+namespace {
+/// Data-bit positions covered by Hamming parity bit p (1-based positions).
+bool hamming_covers(unsigned parity_index, unsigned position) {
+  return (position >> parity_index) & 1u;
+}
+}  // namespace
+
+std::vector<signal> hamming_parity(aig& g, std::span<const signal> data) {
+  // Place data bits at non-power-of-two positions 3,5,6,7,9,... (1-based).
+  std::vector<unsigned> position_of_bit;
+  unsigned position = 1;
+  while (position_of_bit.size() < data.size()) {
+    ++position;
+    if ((position & (position - 1)) != 0) position_of_bit.push_back(position);
+  }
+  unsigned num_parity = 0;
+  while ((1u << num_parity) <= position_of_bit.back()) ++num_parity;
+
+  std::vector<signal> parity;
+  for (unsigned p = 0; p < num_parity; ++p) {
+    std::vector<signal> covered;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (hamming_covers(p, position_of_bit[i])) covered.push_back(data[i]);
+    }
+    parity.push_back(g.create_xor_n(covered));
+  }
+  return parity;
+}
+
+std::vector<signal> hamming_correct(aig& g, std::span<const signal> data,
+                                    std::span<const signal> parity) {
+  const auto recomputed = hamming_parity(g, data);
+  if (parity.size() != recomputed.size()) {
+    throw std::invalid_argument("hamming_correct: parity width mismatch");
+  }
+  std::vector<signal> syndrome;
+  for (std::size_t p = 0; p < parity.size(); ++p) {
+    syndrome.push_back(g.create_xor(parity[p], recomputed[p]));
+  }
+  // Flip the data bit whose position matches the syndrome.
+  std::vector<unsigned> position_of_bit;
+  unsigned position = 1;
+  while (position_of_bit.size() < data.size()) {
+    ++position;
+    if ((position & (position - 1)) != 0) position_of_bit.push_back(position);
+  }
+  std::vector<signal> corrected;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::vector<signal> match_bits;
+    for (std::size_t p = 0; p < syndrome.size(); ++p) {
+      const bool want = hamming_covers(static_cast<unsigned>(p),
+                                       position_of_bit[i]);
+      match_bits.push_back(want ? syndrome[p] : !syndrome[p]);
+    }
+    const signal flip = g.create_and_n(match_bits);
+    corrected.push_back(g.create_xor(data[i], flip));
+  }
+  return corrected;
+}
+
+std::vector<signal> barrel_shift_left(aig& g, std::span<const signal> value,
+                                      std::span<const signal> amount) {
+  std::vector<signal> current(value.begin(), value.end());
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const std::size_t shift = std::size_t{1} << stage;
+    std::vector<signal> shifted(current.size(), g.get_constant(false));
+    for (std::size_t i = shift; i < current.size(); ++i) {
+      shifted[i] = current[i - shift];
+    }
+    current = mux_word(g, amount[stage], shifted, current);
+  }
+  return current;
+}
+
+std::vector<signal> bcd_adder(aig& g, std::span<const signal> a,
+                              std::span<const signal> b) {
+  if (a.size() != 4 || b.size() != 4) {
+    throw std::invalid_argument("bcd_adder: digits are 4 bits");
+  }
+  auto raw = ripple_adder(g, a, b, g.get_constant(false));
+  raw.sum.push_back(raw.carry);  // 5-bit raw sum
+  // Correction: add 6 when sum > 9.
+  const signal gt9 = g.create_or(
+      raw.sum[4],
+      g.create_and(raw.sum[3], g.create_or(raw.sum[2], raw.sum[1])));
+  const auto six = constant_word(g, 6, 5);
+  std::vector<signal> six_or_zero;
+  for (const signal s : six) six_or_zero.push_back(g.create_and(s, gt9));
+  const auto corrected = ripple_adder(g, raw.sum, six_or_zero,
+                                      g.get_constant(false));
+  std::vector<signal> out(corrected.sum.begin(), corrected.sum.begin() + 4);
+  out.push_back(gt9);  // digit carry
+  return out;
+}
+
+std::vector<signal> cordic_sin(aig& g, std::span<const signal> angle,
+                               unsigned iterations) {
+  // Fixed-point CORDIC in rotation mode.  Width: angle bits + 2 guard bits.
+  const unsigned w = static_cast<unsigned>(angle.size()) + 2;
+  // z accumulates the residual angle (signed, in turns scaled by 2^w).
+  std::vector<signal> z(angle.begin(), angle.end());
+  z.resize(w, g.get_constant(false));
+
+  // x starts at the CORDIC gain-corrected constant, y at 0.
+  const auto gain = static_cast<std::uint64_t>(0.607252935 * (1u << (w - 2)));
+  std::vector<signal> x = constant_word(g, gain, w);
+  std::vector<signal> y = constant_word(g, 0, w);
+
+  for (unsigned k = 0; k < iterations && k + 1 < w; ++k) {
+    // arctan(2^-k) / (2*pi), scaled to w bits of turn.
+    const double atan_turns = std::atan(std::ldexp(1.0, -static_cast<int>(k))) /
+                              (2.0 * 3.14159265358979323846);
+    const auto alpha = static_cast<std::uint64_t>(
+        atan_turns * std::ldexp(1.0, static_cast<int>(w)));
+    const auto alpha_word = constant_word(g, alpha, w);
+
+    // Arithmetic shifts of x and y by k (signed).
+    auto shift_right = [&](const std::vector<signal>& v) {
+      std::vector<signal> s(v.size(), v.back());  // sign extension
+      for (std::size_t i = 0; i + k < v.size(); ++i) s[i] = v[i + k];
+      return s;
+    };
+    const auto x_shift = shift_right(x);
+    const auto y_shift = shift_right(y);
+
+    // Rotation direction: sign of z (MSB clear = rotate positive).
+    const signal positive = !z.back();
+
+    const auto x_plus = subtractor(g, x, y_shift);
+    const auto x_minus = ripple_adder(g, x, y_shift, g.get_constant(false));
+    const auto y_plus = ripple_adder(g, y, x_shift, g.get_constant(false));
+    const auto y_minus = subtractor(g, y, x_shift);
+    const auto z_plus = subtractor(g, z, alpha_word);
+    const auto z_minus = ripple_adder(g, z, alpha_word, g.get_constant(false));
+
+    x = mux_word(g, positive, x_plus.sum, x_minus.sum);
+    y = mux_word(g, positive, y_plus.sum, y_minus.sum);
+    z = mux_word(g, positive, z_plus.sum, z_minus.sum);
+  }
+  return y;
+}
+
+std::vector<signal> int_to_float(aig& g, std::span<const signal> value) {
+  // Normalize: find the leading one, exponent = its position + 1 (0 if zero),
+  // mantissa = next 3 bits after the leading one.
+  const std::size_t n = value.size();
+  std::vector<signal> rev(value.rbegin(), value.rend());
+  const auto pri = priority_encode(g, rev);  // grant i <=> leading one at MSB-i
+
+  std::vector<signal> mantissa(3, g.get_constant(false));
+  for (std::size_t i = 0; i < n; ++i) {
+    // Leading one at bit position p = n-1-i (grant index i): mantissa bits
+    // are value[p-1], value[p-2], value[p-3] (zero-padded).
+    for (unsigned m = 0; m < 3; ++m) {
+      const std::size_t p = n - 1 - i;
+      if (p >= m + 1) {
+        mantissa[2 - m] = g.create_or(
+            mantissa[2 - m], g.create_and(pri.grant[i], value[p - 1 - m]));
+      }
+    }
+  }
+  // Exponent = p + 1 where p = position of leading one.
+  std::vector<signal> exponent(4, g.get_constant(false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t code = n - i;  // p + 1
+    for (unsigned b = 0; b < 4; ++b) {
+      if ((code >> b) & 1u) {
+        exponent[b] = g.create_or(exponent[b], pri.grant[i]);
+      }
+    }
+  }
+  std::vector<signal> out;
+  out.insert(out.end(), mantissa.begin(), mantissa.end());
+  out.insert(out.end(), exponent.begin(), exponent.end());
+  return out;  // 7 bits: mantissa[0..2], exponent[0..3]
+}
+
+std::vector<signal> round_robin_arbiter(aig& g, std::span<const signal> req,
+                                        std::span<const signal> pointer) {
+  if (req.size() != pointer.size()) {
+    throw std::invalid_argument("round_robin_arbiter: width mismatch");
+  }
+  const std::size_t n = req.size();
+  // Mask requests at or after the pointer (thermometer mask from pointer).
+  std::vector<signal> mask(n, g.get_constant(false));
+  signal seen = g.get_constant(false);
+  for (std::size_t i = 0; i < n; ++i) {
+    seen = g.create_or(seen, pointer[i]);
+    mask[i] = seen;
+  }
+  std::vector<signal> high;
+  std::vector<signal> low;
+  for (std::size_t i = 0; i < n; ++i) {
+    high.push_back(g.create_and(req[i], mask[i]));
+    low.push_back(req[i]);
+  }
+  const auto high_grant = priority_encode(g, high);
+  const auto low_grant = priority_encode(g, low);
+  std::vector<signal> grant;
+  for (std::size_t i = 0; i < n; ++i) {
+    grant.push_back(g.create_mux(high_grant.valid, high_grant.grant[i],
+                                 low_grant.grant[i]));
+  }
+  return grant;
+}
+
+std::vector<signal> constant_word(aig& g, std::uint64_t value,
+                                  unsigned width) {
+  std::vector<signal> out;
+  out.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    out.push_back(g.get_constant(((value >> i) & 1u) != 0));
+  }
+  return out;
+}
+
+std::vector<signal> mux_word(aig& g, signal sel, std::span<const signal> t,
+                             std::span<const signal> e) {
+  require_same_width(t, e, "mux_word");
+  std::vector<signal> out;
+  out.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out.push_back(g.create_mux(sel, t[i], e[i]));
+  }
+  return out;
+}
+
+}  // namespace xsfq::blocks

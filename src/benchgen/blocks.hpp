@@ -1,0 +1,109 @@
+#pragma once
+/// \file blocks.hpp
+/// \brief Parametric combinational building blocks used by the benchmark
+/// generators (adders, multipliers, ALUs, encoders, ECC, CORDIC, ...).
+///
+/// The original ISCAS85/EPFL/ISCAS89 netlist files are not redistributable
+/// here, so src/benchgen re-creates functionally representative circuits
+/// from these blocks (see DESIGN.md "Substitutions").  All builders append
+/// logic to a caller-provided AIG and return output signals, so they compose.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace xsfq::blocks {
+
+/// Result of an addition: sum bits plus carry-out.
+struct add_result {
+  std::vector<signal> sum;
+  signal carry;
+};
+
+/// Ripple-carry adder; `a` and `b` must have equal width.
+add_result ripple_adder(aig& g, std::span<const signal> a,
+                        std::span<const signal> b, signal carry_in);
+
+/// Two's-complement subtractor (a - b); carry is the borrow-free flag.
+add_result subtractor(aig& g, std::span<const signal> a,
+                      std::span<const signal> b);
+
+/// Array multiplier; returns a.size()+b.size() product bits.  This is the
+/// exact structure of ISCAS85 c6288 (a 16x16 array multiplier built from
+/// carry-save adder rows).
+std::vector<signal> array_multiplier(aig& g, std::span<const signal> a,
+                                     std::span<const signal> b);
+
+/// Equality / less-than (unsigned) comparator.
+signal equals(aig& g, std::span<const signal> a, std::span<const signal> b);
+signal less_than(aig& g, std::span<const signal> a, std::span<const signal> b);
+
+/// Simple n-bit ALU with 3-bit opcode: 000 add, 001 sub, 010 and, 011 or,
+/// 100 xor, 101 nor, 110 slt, 111 pass-b.  Returns result bits + carry flag.
+struct alu_result {
+  std::vector<signal> value;
+  signal carry;
+  signal zero;
+};
+alu_result alu(aig& g, std::span<const signal> a, std::span<const signal> b,
+               std::span<const signal> opcode);
+
+/// One-hot priority encoder over `req` (bit 0 = highest priority): returns
+/// the one-hot grant vector plus a "some request" valid flag.
+struct priority_result {
+  std::vector<signal> grant;     ///< one-hot
+  std::vector<signal> encoded;   ///< binary index of the granted line
+  signal valid;
+};
+priority_result priority_encode(aig& g, std::span<const signal> req);
+
+/// Full binary decoder: n select bits to 2^n one-hot outputs.
+std::vector<signal> decoder(aig& g, std::span<const signal> sel);
+
+/// Majority vote over an odd number of inputs (sorting-network-free
+/// population-count comparison, the "voter" workload).
+signal majority(aig& g, std::span<const signal> inputs);
+
+/// Population count: returns ceil(log2(n+1)) sum bits.
+std::vector<signal> popcount(aig& g, std::span<const signal> inputs);
+
+/// Hamming(38,32) single-error-correcting encoder/decoder pair used as the
+/// c499/c1355/c1908-style ECC workload: decode takes 32 data + 6 parity
+/// +1 overall-parity bits and returns the corrected 32-bit word.
+std::vector<signal> hamming_parity(aig& g, std::span<const signal> data);
+std::vector<signal> hamming_correct(aig& g, std::span<const signal> data,
+                                    std::span<const signal> parity);
+
+/// Barrel shifter (logical left) with log2(width) shift-amount bits.
+std::vector<signal> barrel_shift_left(aig& g, std::span<const signal> value,
+                                      std::span<const signal> amount);
+
+/// BCD (two-digit) adder used by the c3540-style ALU workload.
+std::vector<signal> bcd_adder(aig& g, std::span<const signal> a,
+                              std::span<const signal> b);
+
+/// Fixed-point CORDIC sine: `angle` in turns (unsigned fixed point),
+/// `iterations` rotation steps, result width = angle width + 1.
+/// Reproduces the "sin" arithmetic workload from the EPFL suite.
+std::vector<signal> cordic_sin(aig& g, std::span<const signal> angle,
+                               unsigned iterations);
+
+/// Integer-to-float converter: 11-bit unsigned integer in, 7-bit float out
+/// (4-bit exponent, 3-bit mantissa), matching EPFL int2float's interface.
+std::vector<signal> int_to_float(aig& g, std::span<const signal> value);
+
+/// Round-robin arbiter over n requestors with a `pointer` priority input;
+/// returns one-hot grants (the EPFL "arbiter" workload shape).
+std::vector<signal> round_robin_arbiter(aig& g, std::span<const signal> req,
+                                        std::span<const signal> pointer);
+
+/// Constant-vector helper: bits of `value`, LSB first.
+std::vector<signal> constant_word(aig& g, std::uint64_t value, unsigned width);
+
+/// Mux between two equal-width words.
+std::vector<signal> mux_word(aig& g, signal sel, std::span<const signal> t,
+                             std::span<const signal> e);
+
+}  // namespace xsfq::blocks

@@ -1,0 +1,334 @@
+#include "benchgen/epfl.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/blocks.hpp"
+
+namespace xsfq::benchgen {
+
+using namespace blocks;
+
+namespace {
+
+std::vector<signal> make_pis(aig& g, unsigned count, const std::string& prefix) {
+  std::vector<signal> pis;
+  pis.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    pis.push_back(g.create_pi(prefix + std::to_string(i)));
+  }
+  return pis;
+}
+
+void make_pos(aig& g, std::span<const signal> outs, const std::string& prefix) {
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    g.create_po(outs[i], prefix + std::to_string(i));
+  }
+}
+
+}  // namespace
+
+aig make_arbiter() {
+  // 128 requestors with a 128-bit one-hot round-robin pointer; outputs the
+  // 128 one-hot grants plus a bus-busy flag.
+  aig g;
+  const auto req = make_pis(g, 128, "req");
+  const auto ptr = make_pis(g, 128, "ptr");
+  const auto grant = round_robin_arbiter(g, req, ptr);
+  std::vector<signal> outs = grant;
+  outs.push_back(g.create_or_n(req));
+  make_pos(g, outs, "gnt");
+  return g.cleanup();
+}
+
+aig make_cavlc() {
+  // CAVLC coefficient-token encoder: maps (TotalCoeff[0..4], TrailingOnes
+  // [0..1], context[0..2]) through a code table to (length[0..3],
+  // value[0..6]).  Implemented as table logic over the 10-bit input.
+  aig g;
+  const auto coeff = make_pis(g, 5, "tc");
+  const auto ones = make_pis(g, 2, "t1");
+  const auto ctx = make_pis(g, 3, "ctx");
+
+  // Deterministic pseudo-table (documented in DESIGN.md): code length is a
+  // saturating function of coeff and ones, value mixes the fields.  The point
+  // is matching workload shape (dense 10-in/11-out control logic).
+  std::vector<signal> in;
+  in.insert(in.end(), coeff.begin(), coeff.end());
+  in.insert(in.end(), ones.begin(), ones.end());
+  in.insert(in.end(), ctx.begin(), ctx.end());
+
+  const auto sum = ripple_adder(g, coeff, std::vector<signal>{ones[0], ones[1], ctx[0], ctx[1], ctx[2]}, g.get_constant(false));
+  std::vector<signal> outs;
+  // length[0..3]: saturated sum.
+  for (unsigned i = 0; i < 4; ++i) outs.push_back(sum.sum[i]);
+  // value[0..6]: mixed products of fields.
+  outs.push_back(g.create_and(coeff[0], g.create_xor(ones[0], ctx[0])));
+  outs.push_back(g.create_or(g.create_and(coeff[1], ones[1]), ctx[1]));
+  outs.push_back(g.create_xor(g.create_and(coeff[2], ctx[2]), ones[0]));
+  outs.push_back(g.create_mux(ctx[0], coeff[3], coeff[4]));
+  outs.push_back(g.create_maj(coeff[0], coeff[2], ctx[1]));
+  outs.push_back(g.create_xor(sum.carry, g.create_and(ones[0], ones[1])));
+  outs.push_back(g.create_and(g.create_or(coeff[3], coeff[4]), !ctx[2]));
+  make_pos(g, outs, "code");
+  return g.cleanup();
+}
+
+aig make_ctrl() {
+  // Small instruction decoder: 7-bit opcode to 26 control strobes.
+  aig g;
+  const auto op = make_pis(g, 7, "op");
+  const auto onehot = decoder(g, std::span<const signal>(op.data(), 5));
+  std::vector<signal> outs;
+  for (unsigned i = 0; i < 20; ++i) {
+    outs.push_back(g.create_and(onehot[i], op[5 + (i % 2)]));
+  }
+  outs.push_back(g.create_or_n(std::span<const signal>(onehot.data(), 8)));
+  outs.push_back(g.create_or_n(std::span<const signal>(onehot.data() + 8, 8)));
+  outs.push_back(g.create_xor(op[5], op[6]));
+  outs.push_back(g.create_and(op[5], op[6]));
+  outs.push_back(g.create_nor(op[5], op[6]));
+  outs.push_back(g.create_xor_n(op));
+  make_pos(g, outs, "ctl");
+  return g.cleanup();
+}
+
+aig make_dec() {
+  aig g;
+  const auto sel = make_pis(g, 8, "sel");
+  const auto onehot = decoder(g, sel);
+  make_pos(g, onehot, "d");
+  return g.cleanup();
+}
+
+aig make_i2c() {
+  // I2C master controller slice: command/status datapath without state
+  // (the sequential part of the original is in its registers; here the
+  // combinational next-state/output cloud is generated, 147 in / 142 out).
+  aig g;
+  const auto state = make_pis(g, 16, "st");     // current-state vector
+  const auto cmd = make_pis(g, 8, "cmd");
+  const auto data = make_pis(g, 8, "dat");
+  const auto shift = make_pis(g, 8, "shf");
+  const auto cnt = make_pis(g, 8, "cnt");
+  const auto bus = make_pis(g, 3, "bus");       // scl/sda/arb
+  const auto misc = make_pis(g, 96, "misc");
+
+  std::vector<signal> outs;
+  // Next-state logic: one-hot-ish transition cloud.
+  const auto dec_state = decoder(g, std::span<const signal>(state.data(), 4));
+  for (unsigned i = 0; i < 16; ++i) {
+    const signal take = g.create_and(dec_state[i], g.create_mux(bus[0], cmd[i % 8], data[(i + 3) % 8]));
+    outs.push_back(g.create_or(take, g.create_and(state[i], !bus[1])));
+  }
+  // Shift-register next values.
+  for (unsigned i = 0; i < 8; ++i) {
+    const signal shifted = i == 0 ? bus[2] : shift[i - 1];
+    outs.push_back(g.create_mux(cmd[0], shifted, shift[i]));
+  }
+  // Counter increment.
+  const auto inc = ripple_adder(g, cnt, constant_word(g, 1, 8), g.get_constant(false));
+  for (unsigned i = 0; i < 8; ++i) {
+    outs.push_back(g.create_mux(cmd[1], inc.sum[i], cnt[i]));
+  }
+  // Status flags and masked misc bus.
+  outs.push_back(equals(g, cnt, cmd));
+  outs.push_back(g.create_and(bus[0], bus[1]));
+  for (unsigned i = 0; i < 96; ++i) {
+    outs.push_back(g.create_and(misc[i], g.create_xor(state[i % 16], cmd[i % 8])));
+  }
+  // Arbitration-lost strobes.
+  outs.push_back(g.create_and(bus[2], !bus[1]));
+  outs.push_back(g.create_or(outs[32], outs[33]));
+  outs.push_back(g.create_xor_n(std::span<const signal>(state.data(), 16)));
+  outs.push_back(g.create_or_n(std::span<const signal>(cmd.data(), 8)));
+  // Per-command acknowledge strobes (pads the interface to 142 outputs).
+  for (unsigned i = 0; i < 8; ++i) {
+    outs.push_back(g.create_and(cmd[i], g.create_xor(shift[i], data[i])));
+  }
+  make_pos(g, outs, "o");
+  return g.cleanup();
+}
+
+aig make_int2float() {
+  aig g;
+  const auto v = make_pis(g, 11, "i");
+  const auto f = int_to_float(g, v);
+  make_pos(g, f, "f");
+  return g.cleanup();
+}
+
+aig make_mem_ctrl() {
+  // Memory controller slice: request arbitration across 4 banks, address
+  // decode, refresh counter compare, byte-mask expansion.  The original EPFL
+  // circuit has a 1204-bit interface; this keeps the same logic styles at
+  // 115 in / 90 out (documented scaling).
+  aig g;
+  const auto req = make_pis(g, 16, "req");       // 4 banks x 4 requestors
+  const auto ptr = make_pis(g, 16, "ptr");
+  const auto addr = make_pis(g, 24, "addr");
+  const auto wdata_mask = make_pis(g, 8, "wm");
+  const auto refresh = make_pis(g, 12, "rc");
+  const auto limit = make_pis(g, 12, "rl");
+  const auto cfg = make_pis(g, 27, "cfg");
+
+  std::vector<signal> outs;
+  // Per-bank round-robin grants.
+  for (unsigned bank = 0; bank < 4; ++bank) {
+    const std::span<const signal> bank_req(req.data() + 4 * bank, 4);
+    const std::span<const signal> bank_ptr(ptr.data() + 4 * bank, 4);
+    const auto grant = round_robin_arbiter(g, bank_req, bank_ptr);
+    outs.insert(outs.end(), grant.begin(), grant.end());  // 16 total
+  }
+  // Row/column decode of the address.
+  const auto row_dec = decoder(g, std::span<const signal>(addr.data(), 5));
+  outs.insert(outs.end(), row_dec.begin(), row_dec.end());  // 48
+  // Refresh due.
+  outs.push_back(!less_than(g, refresh, limit));            // 49
+  // Byte masks expanded under config.
+  for (unsigned i = 0; i < 8; ++i) {
+    outs.push_back(g.create_and(wdata_mask[i], cfg[i]));
+    outs.push_back(g.create_or(wdata_mask[i], cfg[8 + i]));  // 65
+  }
+  // Bank-collision detectors.
+  for (unsigned bank = 0; bank < 4; ++bank) {
+    std::vector<signal> bank_bits(req.begin() + 4 * bank,
+                                  req.begin() + 4 * bank + 4);
+    outs.push_back(g.create_and(g.create_or_n(bank_bits),
+                                g.create_and(addr[5 + bank], cfg[16 + bank])));
+  }
+  // Config parity / checksum outs.
+  for (unsigned grp = 0; grp < 21; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = grp; i < 27; i += 21) grp_bits.push_back(cfg[i]);
+    grp_bits.push_back(addr[grp % 24]);
+    outs.push_back(g.create_xor_n(grp_bits));  // 90
+  }
+  make_pos(g, outs, "o");
+  return g.cleanup();
+}
+
+aig make_priority() {
+  aig g;
+  const auto req = make_pis(g, 128, "req");
+  const auto pri = priority_encode(g, req);
+  std::vector<signal> outs = pri.encoded;  // 7 bits
+  outs.push_back(pri.valid);               // 8
+  make_pos(g, outs, "p");
+  return g.cleanup();
+}
+
+aig make_router() {
+  // Packet router address logic: match destination field against 4 port
+  // prefixes, compute credit-based route validity.
+  aig g;
+  const auto dest = make_pis(g, 16, "dst");
+  const auto prefix = make_pis(g, 32, "pfx");   // 4 ports x 8-bit prefix
+  const auto credit = make_pis(g, 12, "crd");   // 4 ports x 3-bit credits
+
+  std::vector<signal> outs;
+  std::vector<signal> match;
+  for (unsigned port = 0; port < 4; ++port) {
+    const std::span<const signal> p(prefix.data() + 8 * port, 8);
+    const std::span<const signal> d(dest.data(), 8);
+    match.push_back(equals(g, d, p));
+  }
+  const auto pri = priority_encode(g, match);
+  for (unsigned port = 0; port < 4; ++port) {
+    const std::span<const signal> c(credit.data() + 3 * port, 3);
+    const signal has_credit = g.create_or_n(c);
+    outs.push_back(g.create_and(pri.grant[port], has_credit));  // route strobe
+    // Decremented credit.
+    const auto dec = subtractor(g, c, constant_word(g, 1, 3));
+    for (unsigned b = 0; b < 3; ++b) {
+      outs.push_back(g.create_mux(pri.grant[port], dec.sum[b], c[b]));
+    }
+    outs.push_back(g.create_and(pri.grant[port], !has_credit));  // stall
+    outs.push_back(equals(g, std::span<const signal>(dest.data() + 8, 8),
+                          std::span<const signal>(prefix.data() + 8 * port, 8)));
+  }  // 24 so far
+  outs.push_back(pri.valid);
+  outs.push_back(!pri.valid);
+  outs.push_back(g.create_xor_n(dest));
+  outs.push_back(g.create_or_n(std::span<const signal>(credit.data(), 12)));
+  outs.push_back(g.create_and(match[0], match[1]));
+  outs.push_back(g.create_or(match[2], match[3]));  // 30
+  make_pos(g, outs, "r");
+  return g.cleanup();
+}
+
+aig make_voter() {
+  aig g;
+  const auto in = make_pis(g, 1001, "v");
+  g.create_po(majority(g, in), "maj");
+  return g.cleanup();
+}
+
+aig make_voter_sop() {
+  // Sum-of-products majority-of-15: one product per minimal winning
+  // coalition of 8 (C(15,8) = 6435 cubes would be exact; the generator uses
+  // the recursive threshold expansion which yields an OR-of-AND tree without
+  // complemented internal fanouts — the property that gives 0% duplication).
+  aig g;
+  const auto in = make_pis(g, 15, "v");
+  // th(k, i): at least k of in[i..14] are 1, built with only AND/OR of
+  // positive literals (monotone), memoized.
+  std::vector<std::vector<signal>> memo(16, std::vector<signal>(16, g.get_constant(false)));
+  std::vector<std::vector<bool>> ready(16, std::vector<bool>(16, false));
+  auto th = [&](auto&& self, unsigned k, unsigned i) -> signal {
+    if (k == 0) return g.get_constant(true);
+    if (15 - i < k) return g.get_constant(false);
+    if (ready[k][i]) return memo[k][i];
+    const signal with = g.create_and(in[i], self(self, k - 1, i + 1));
+    const signal without = self(self, k, i + 1);
+    const signal r = g.create_or(with, without);
+    memo[k][i] = r;
+    ready[k][i] = true;
+    return r;
+  };
+  g.create_po(th(th, 8, 0), "maj");
+  return g.cleanup();
+}
+
+aig make_sin() {
+  aig g;
+  const auto angle = make_pis(g, 24, "x");
+  const auto y = cordic_sin(g, angle, 14);
+  // 25 output bits (paper's sin has 25 outputs; ours: 24+2 guard, drop MSB).
+  make_pos(g, std::span<const signal>(y.data(), 25), "s");
+  return g.cleanup();
+}
+
+const std::vector<std::string>& epfl_control_names() {
+  static const std::vector<std::string> names = {
+      "arbiter", "cavlc", "ctrl", "dec", "i2c",
+      "int2float", "mem_ctrl", "priority", "router", "voter"};
+  return names;
+}
+
+const std::vector<std::string>& epfl_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = epfl_control_names();
+    all.push_back("voter_sop");
+    all.push_back("sin");
+    return all;
+  }();
+  return names;
+}
+
+aig make_epfl(const std::string& name) {
+  if (name == "arbiter") return make_arbiter();
+  if (name == "cavlc") return make_cavlc();
+  if (name == "ctrl") return make_ctrl();
+  if (name == "dec") return make_dec();
+  if (name == "i2c") return make_i2c();
+  if (name == "int2float") return make_int2float();
+  if (name == "mem_ctrl") return make_mem_ctrl();
+  if (name == "priority") return make_priority();
+  if (name == "router") return make_router();
+  if (name == "voter") return make_voter();
+  if (name == "voter_sop") return make_voter_sop();
+  if (name == "sin") return make_sin();
+  throw std::invalid_argument("make_epfl: unknown circuit " + name);
+}
+
+}  // namespace xsfq::benchgen

@@ -1,0 +1,338 @@
+#include "benchgen/iscas85.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/blocks.hpp"
+
+namespace xsfq::benchgen {
+
+using namespace blocks;
+
+namespace {
+
+std::vector<signal> make_pis(aig& g, unsigned count, const std::string& prefix) {
+  std::vector<signal> pis;
+  pis.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    pis.push_back(g.create_pi(prefix + std::to_string(i)));
+  }
+  return pis;
+}
+
+void make_pos(aig& g, std::span<const signal> outs, const std::string& prefix) {
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    g.create_po(outs[i], prefix + std::to_string(i));
+  }
+}
+
+std::span<const signal> slice(const std::vector<signal>& v, std::size_t begin,
+                              std::size_t count) {
+  return {v.data() + begin, count};
+}
+
+}  // namespace
+
+aig make_c432() {
+  // 27-channel interrupt controller: 27 request lines + 9 mask/mode bits.
+  // Priority-encodes enabled requests in three 9-channel groups and combines.
+  aig g;
+  const auto req = make_pis(g, 27, "req");
+  const auto mask = make_pis(g, 9, "mask");
+
+  std::vector<signal> enabled;
+  for (unsigned i = 0; i < 27; ++i) {
+    enabled.push_back(g.create_and(req[i], !mask[i % 9]));
+  }
+  std::vector<signal> outs;
+  // Per-group any-request flags.
+  for (unsigned grp = 0; grp < 3; ++grp) {
+    outs.push_back(g.create_or_n(slice(enabled, grp * 9, 9)));
+  }
+  // Global priority encode over all enabled lines -> 5-bit channel index,
+  // gated by a valid flag folded into the encoding like the original's PA..PE.
+  const auto pri = priority_encode(g, enabled);
+  for (unsigned b = 0; b < 4 && b < pri.encoded.size(); ++b) {
+    outs.push_back(g.create_and(pri.encoded[b], pri.valid));
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+namespace {
+
+/// Shared body for c499/c1355 (identical function per ISCAS85 documentation;
+/// c1355 expands each XOR into NAND trees, which an AIG does implicitly).
+aig make_sec32(bool expand_hint) {
+  (void)expand_hint;  // both variants lower identically in an AIG
+  aig g;
+  const auto data = make_pis(g, 32, "id");
+  const auto parity = make_pis(g, 6, "ic");     // 6 Hamming check bits
+  const auto channel = make_pis(g, 3, "r");     // rate/control lines
+  // Corrector with channel-conditioned data scrambling (keeps all 41 inputs
+  // in the support, like the original's control inputs).
+  std::vector<signal> scrambled;
+  for (unsigned i = 0; i < 32; ++i) {
+    const signal sel = channel[i % 3];
+    scrambled.push_back(g.create_xor(data[i], g.create_and(sel, data[(i + 8) % 32])));
+  }
+  const auto corrected = hamming_correct(g, scrambled, parity);
+  make_pos(g, corrected, "od");
+  return g.cleanup();
+}
+
+}  // namespace
+
+aig make_c499() { return make_sec32(false); }
+aig make_c1355() { return make_sec32(true); }
+
+aig make_c880() {
+  // 8-bit ALU core: opcode-selected arithmetic/logic plus parity and status.
+  aig g;
+  const auto a = make_pis(g, 8, "a");
+  const auto b = make_pis(g, 8, "b");
+  const auto c = make_pis(g, 8, "c");
+  const auto op = make_pis(g, 3, "op");
+  const auto ctl = make_pis(g, 33, "ctl");
+
+  const auto main = alu(g, a, b, op);
+  // Secondary datapath: c masked by control bits, added to the ALU result.
+  std::vector<signal> masked;
+  for (unsigned i = 0; i < 8; ++i) {
+    masked.push_back(g.create_and(c[i], ctl[i]));
+  }
+  const auto second = ripple_adder(g, main.value, masked, ctl[8]);
+
+  std::vector<signal> outs = main.value;                       // 8
+  outs.insert(outs.end(), second.sum.begin(), second.sum.end());  // 16
+  outs.push_back(main.carry);                                  // 17
+  outs.push_back(second.carry);                                // 18
+  outs.push_back(main.zero);                                   // 19
+  // Parity trees over control groups (keeps all 60 inputs live).
+  for (unsigned grp = 0; grp < 7; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = grp; i < 33; i += 7) grp_bits.push_back(ctl[i]);
+    grp_bits.push_back(a[grp % 8]);
+    outs.push_back(g.create_xor_n(grp_bits));                  // 26
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+aig make_c1908() {
+  // 16-bit single-error-correcting / double-error-detecting circuit.
+  aig g;
+  const auto data = make_pis(g, 16, "d");
+  const auto check = make_pis(g, 5, "c");
+  const auto overall = make_pis(g, 1, "p");
+  const auto mode = make_pis(g, 11, "m");
+
+  std::vector<signal> conditioned;
+  for (unsigned i = 0; i < 16; ++i) {
+    conditioned.push_back(g.create_xor(data[i], g.create_and(mode[i % 11], mode[(i + 3) % 11])));
+  }
+  const auto corrected = hamming_correct(g, conditioned, check);
+  std::vector<signal> outs = corrected;  // 16
+  // Double-error-detected flag: overall parity mismatch while syndrome != 0.
+  std::vector<signal> everything(conditioned.begin(), conditioned.end());
+  everything.insert(everything.end(), check.begin(), check.end());
+  const signal whole_parity = g.create_xor_n(everything);
+  const signal ded = g.create_xor(whole_parity, overall[0]);
+  outs.push_back(ded);                        // 17
+  // Syndrome-derived status outputs.
+  const auto recomputed = hamming_parity(g, conditioned);
+  for (unsigned i = 0; i < 5; ++i) {
+    outs.push_back(g.create_xor(recomputed[i], check[i]));  // 22
+  }
+  outs.push_back(g.create_and(ded, !outs[16]));
+  outs.push_back(g.create_or(ded, whole_parity));
+  outs.push_back(whole_parity);  // 25
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+aig make_c2670() {
+  // 12-bit ALU plus equality/magnitude comparators and parity network.
+  aig g;
+  const auto a = make_pis(g, 12, "a");
+  const auto b = make_pis(g, 12, "b");
+  const auto c = make_pis(g, 12, "c");
+  const auto d = make_pis(g, 12, "d");
+  const auto op = make_pis(g, 3, "op");
+  const auto ctl = make_pis(g, 106, "ctl");
+
+  const auto main = alu(g, a, b, op);
+  std::vector<signal> outs = main.value;  // 12
+  outs.push_back(main.carry);
+  outs.push_back(main.zero);
+
+  outs.push_back(equals(g, c, d));
+  outs.push_back(less_than(g, c, d));
+  const auto sum_cd = ripple_adder(g, c, d, g.get_constant(false));
+  outs.insert(outs.end(), sum_cd.sum.begin(), sum_cd.sum.end());  // 28
+  outs.push_back(sum_cd.carry);
+
+  // Control-plane logic: AND/OR/XOR reductions over control groups.
+  for (unsigned grp = 0; grp < 35; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = grp; i < 106; i += 35) grp_bits.push_back(ctl[i]);
+    switch (grp % 3) {
+      case 0: outs.push_back(g.create_and_n(grp_bits)); break;
+      case 1: outs.push_back(g.create_or_n(grp_bits)); break;
+      default: outs.push_back(g.create_xor_n(grp_bits)); break;
+    }
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+aig make_c3540() {
+  // 8-bit ALU with a BCD arithmetic path and a barrel shifter.
+  aig g;
+  const auto a = make_pis(g, 8, "a");
+  const auto b = make_pis(g, 8, "b");
+  const auto op = make_pis(g, 3, "op");
+  const auto sh = make_pis(g, 3, "sh");
+  const auto ctl = make_pis(g, 28, "ctl");
+
+  const auto main = alu(g, a, b, op);
+  // BCD path: two digits per operand.
+  const auto bcd_low = bcd_adder(g, slice(a, 0, 4), slice(b, 0, 4));
+  const auto bcd_high = bcd_adder(g, slice(a, 4, 4), slice(b, 4, 4));
+  const auto shifted = barrel_shift_left(g, main.value, sh);
+
+  std::vector<signal> outs;
+  // Select between binary and BCD result per ctl[0].
+  std::vector<signal> bcd_bits(bcd_low.begin(), bcd_low.begin() + 4);
+  bcd_bits.insert(bcd_bits.end(), bcd_high.begin(), bcd_high.begin() + 4);
+  const auto selected = mux_word(g, ctl[0], bcd_bits, shifted);
+  outs.insert(outs.end(), selected.begin(), selected.end());  // 8
+  outs.push_back(main.carry);
+  outs.push_back(bcd_low[4]);
+  outs.push_back(bcd_high[4]);
+  outs.push_back(main.zero);  // 12
+  // Flag outputs over control bits.
+  for (unsigned grp = 0; grp < 10; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = grp; i < 28; i += 10) grp_bits.push_back(ctl[i]);
+    grp_bits.push_back(main.value[grp % 8]);
+    outs.push_back(grp % 2 ? g.create_or_n(grp_bits)
+                           : g.create_xor_n(grp_bits));  // 22
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+aig make_c5315() {
+  // 9-bit ALU with two parallel datapaths and wide status logic.
+  aig g;
+  const auto a = make_pis(g, 9, "a");
+  const auto b = make_pis(g, 9, "b");
+  const auto c = make_pis(g, 9, "c");
+  const auto d = make_pis(g, 9, "d");
+  const auto e = make_pis(g, 9, "e");
+  const auto f = make_pis(g, 9, "f");
+  const auto op1 = make_pis(g, 3, "op1");
+  const auto op2 = make_pis(g, 3, "op2");
+  const auto ctl = make_pis(g, 118, "ctl");
+
+  const auto alu1 = alu(g, a, b, op1);
+  const auto alu2 = alu(g, c, d, op2);
+  const auto sum_ef = ripple_adder(g, e, f, g.get_constant(false));
+  const auto prod = array_multiplier(g, slice(e, 0, 5), slice(f, 0, 5));
+
+  std::vector<signal> outs = alu1.value;                           // 9
+  outs.insert(outs.end(), alu2.value.begin(), alu2.value.end());   // 18
+  outs.insert(outs.end(), sum_ef.sum.begin(), sum_ef.sum.end());   // 27
+  outs.insert(outs.end(), prod.begin(), prod.end());               // 37
+  outs.push_back(alu1.carry);
+  outs.push_back(alu2.carry);
+  outs.push_back(sum_ef.carry);
+  outs.push_back(alu1.zero);
+  outs.push_back(alu2.zero);                                       // 42
+  outs.push_back(equals(g, a, c));
+  outs.push_back(less_than(g, b, d));                              // 44
+  // Masked-bus outputs: datapath results gated by control bits.
+  for (unsigned i = 0; i < 40; ++i) {
+    outs.push_back(g.create_and(outs[i], ctl[i]));                 // 84
+  }
+  for (unsigned grp = 0; grp < 39; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = 40 + grp; i < 118; i += 39) grp_bits.push_back(ctl[i]);
+    grp_bits.push_back(alu1.value[grp % 9]);
+    outs.push_back(grp % 2 ? g.create_xor_n(grp_bits)
+                           : g.create_or_n(grp_bits));             // 123
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+aig make_c6288() {
+  // Structurally faithful: 16x16 array multiplier from carry-save rows.
+  aig g;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  for (unsigned i = 0; i < 16; ++i) a.push_back(g.create_pi("a" + std::to_string(i)));
+  for (unsigned i = 0; i < 16; ++i) b.push_back(g.create_pi("b" + std::to_string(i)));
+  const auto product = array_multiplier(g, a, b);
+  make_pos(g, product, "p");
+  return g.cleanup();
+}
+
+aig make_c7552() {
+  // 32-bit adder/comparator with parity checking (the documented function).
+  aig g;
+  const auto a = make_pis(g, 32, "a");
+  const auto b = make_pis(g, 32, "b");
+  const auto c = make_pis(g, 32, "c");
+  const auto ctl = make_pis(g, 110, "ctl");
+
+  const auto sum = ripple_adder(g, a, b, ctl[0]);
+  const auto diff = subtractor(g, a, c);
+
+  std::vector<signal> outs = sum.sum;                            // 32
+  outs.push_back(sum.carry);
+  outs.push_back(equals(g, a, b));
+  outs.push_back(less_than(g, a, b));
+  outs.push_back(less_than(g, b, a));                            // 36
+  outs.push_back(equals(g, a, c));
+  outs.push_back(g.create_xor_n(std::vector<signal>(a.begin(), a.end())));
+  outs.push_back(g.create_xor_n(std::vector<signal>(b.begin(), b.end())));
+  outs.push_back(g.create_xor_n(std::vector<signal>(c.begin(), c.end())));  // 40
+  // Masked difference bus.
+  for (unsigned i = 0; i < 32; ++i) {
+    outs.push_back(g.create_mux(ctl[1], diff.sum[i], g.create_and(sum.sum[i], ctl[2 + (i % 16)])));  // 72
+  }
+  // Control reductions.
+  for (unsigned grp = 0; grp < 35; ++grp) {
+    std::vector<signal> grp_bits;
+    for (unsigned i = 18 + grp; i < 110; i += 35) grp_bits.push_back(ctl[i]);
+    grp_bits.push_back(diff.sum[grp % 32]);
+    outs.push_back(grp % 2 ? g.create_or_n(grp_bits)
+                           : g.create_xor_n(grp_bits));          // 107
+  }
+  make_pos(g, outs, "po");
+  return g.cleanup();
+}
+
+const std::vector<std::string>& iscas85_names() {
+  static const std::vector<std::string> names = {
+      "c432", "c499", "c880", "c1355", "c1908",
+      "c2670", "c3540", "c5315", "c6288", "c7552"};
+  return names;
+}
+
+aig make_iscas85(const std::string& name) {
+  if (name == "c432") return make_c432();
+  if (name == "c499") return make_c499();
+  if (name == "c880") return make_c880();
+  if (name == "c1355") return make_c1355();
+  if (name == "c1908") return make_c1908();
+  if (name == "c2670") return make_c2670();
+  if (name == "c3540") return make_c3540();
+  if (name == "c5315") return make_c5315();
+  if (name == "c6288") return make_c6288();
+  if (name == "c7552") return make_c7552();
+  throw std::invalid_argument("make_iscas85: unknown circuit " + name);
+}
+
+}  // namespace xsfq::benchgen

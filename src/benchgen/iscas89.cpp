@@ -1,0 +1,154 @@
+#include "benchgen/iscas89.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/blocks.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq::benchgen {
+
+using namespace blocks;
+
+const std::vector<iscas89_profile>& iscas89_profiles() {
+  // Interface shapes of the original benchmarks (inputs/outputs/FFs).
+  static const std::vector<iscas89_profile> profiles = {
+      {"s27", 4, 1, 3},      {"s298", 3, 6, 14},   {"s344", 9, 11, 15},
+      {"s349", 9, 11, 15},   {"s382", 3, 6, 21},   {"s386", 7, 7, 6},
+      {"s400", 3, 6, 21},    {"s420.1", 18, 1, 16}, {"s444", 3, 6, 21},
+      {"s510", 19, 7, 6},    {"s526", 3, 6, 21},   {"s641", 35, 24, 19},
+      {"s713", 35, 23, 19},  {"s820", 18, 19, 5},  {"s832", 18, 19, 5},
+      {"s838.1", 34, 1, 32}};
+  return profiles;
+}
+
+aig make_sequential_equiv(const iscas89_profile& profile, std::uint64_t seed) {
+  aig g;
+  rng gen(seed);
+
+  std::vector<signal> pis;
+  for (unsigned i = 0; i < profile.inputs; ++i) {
+    pis.push_back(g.create_pi("in" + std::to_string(i)));
+  }
+  std::vector<signal> state;
+  for (unsigned i = 0; i < profile.flip_flops; ++i) {
+    state.push_back(g.create_register_output(false, "ff" + std::to_string(i)));
+  }
+
+  // State is split into a counter segment, a shift segment and an FSM
+  // segment, mirroring the control+datapath mix of the original circuits.
+  const unsigned counter_bits = std::max(1u, profile.flip_flops / 3);
+  const unsigned shift_bits = std::max(1u, profile.flip_flops / 3);
+  const unsigned fsm_bits = profile.flip_flops - counter_bits - shift_bits;
+
+  std::vector<signal> next(profile.flip_flops, g.get_constant(false));
+
+  // Counter segment: increments when a PI-derived enable is high.
+  const signal enable =
+      profile.inputs >= 2 ? g.create_or(pis[0], pis[1]) : pis[0];
+  {
+    const std::span<const signal> cnt(state.data(), counter_bits);
+    const auto inc = ripple_adder(g, cnt, constant_word(g, 1, counter_bits),
+                                  g.get_constant(false));
+    for (unsigned i = 0; i < counter_bits; ++i) {
+      next[i] = g.create_mux(enable, inc.sum[i], state[i]);
+    }
+  }
+  // Shift segment: serial input scrambled from the PIs.
+  {
+    std::vector<signal> taps;
+    for (unsigned i = 0; i < profile.inputs; i += 2) taps.push_back(pis[i]);
+    const signal serial = g.create_xor_n(taps);
+    next[counter_bits] = serial;
+    for (unsigned i = 1; i < shift_bits; ++i) {
+      next[counter_bits + i] = state[counter_bits + i - 1];
+    }
+  }
+  // FSM segment: seeded multi-level next-state cones over state and inputs.
+  // Cone depth/width is sized so the generated circuits land in the gate-count
+  // range of the original benchmarks (a few gates per FF in the small
+  // circuits, tens per FF in s641/s713-class circuits).
+  const unsigned cone_ops = 2 + static_cast<unsigned>(
+      (profile.inputs + profile.outputs) / 4);
+  auto random_operand = [&]() -> signal {
+    const bool from_state = gen.flip() && !state.empty();
+    const signal s = from_state ? state[gen.below(profile.flip_flops)]
+                                : pis[gen.below(profile.inputs)];
+    return s ^ gen.flip();
+  };
+  auto random_cone = [&]() -> signal {
+    signal acc = random_operand();
+    for (unsigned k = 0; k < cone_ops; ++k) {
+      const signal x = random_operand();
+      const signal y = random_operand();
+      switch (gen.below(4)) {
+        case 0: acc = g.create_mux(x, acc, y); break;
+        case 1: acc = g.create_xor(acc, g.create_and(x, y)); break;
+        case 2: acc = g.create_maj(acc, x, y); break;
+        default: acc = g.create_and(g.create_or(acc, x), !g.create_and(x, y)); break;
+      }
+    }
+    return acc;
+  };
+  for (unsigned i = 0; i < fsm_bits; ++i) {
+    const unsigned base = counter_bits + shift_bits;
+    next[base + i] = random_cone();
+  }
+
+  for (unsigned i = 0; i < profile.flip_flops; ++i) {
+    g.set_register_input(i, next[i]);
+  }
+
+  // Outputs: seeded multi-level cones of state and inputs.
+  for (unsigned o = 0; o < profile.outputs; ++o) {
+    g.create_po(random_cone(), "out" + std::to_string(o));
+  }
+  return g.cleanup();
+}
+
+namespace {
+
+/// s420.1 / s838.1 are documented as fractional counters: a wide counter
+/// with enable/reset inputs and a single terminal-count output.
+aig make_fractional_counter(const iscas89_profile& profile) {
+  aig g;
+  std::vector<signal> pis;
+  for (unsigned i = 0; i < profile.inputs; ++i) {
+    pis.push_back(g.create_pi("in" + std::to_string(i)));
+  }
+  std::vector<signal> state;
+  for (unsigned i = 0; i < profile.flip_flops; ++i) {
+    state.push_back(g.create_register_output(false, "ff" + std::to_string(i)));
+  }
+  // Per-nibble enables come from the inputs (the original chains 4-bit
+  // counter slices gated by dedicated enables).
+  const signal master_enable = pis[0];
+  const signal load = pis[1];
+  signal ripple = master_enable;
+  for (unsigned i = 0; i < profile.flip_flops; ++i) {
+    const signal toggled = g.create_xor(state[i], ripple);
+    ripple = g.create_and(ripple, state[i]);
+    // Parallel-load path from the remaining inputs.
+    const signal load_bit = pis[2 + (i % (profile.inputs - 2))];
+    g.set_register_input(i, g.create_mux(load, load_bit, toggled));
+  }
+  g.create_po(ripple, "tc");  // terminal count
+  return g.cleanup();
+}
+
+}  // namespace
+
+aig make_iscas89(const std::string& name) {
+  if (name == "s420.1" || name == "s838.1") {
+    for (const auto& p : iscas89_profiles()) {
+      if (p.name == name) return make_fractional_counter(p);
+    }
+  }
+  std::uint64_t seed = 0x5EED;
+  for (const auto& p : iscas89_profiles()) {
+    ++seed;
+    if (p.name == name) return make_sequential_equiv(p, seed);
+  }
+  throw std::invalid_argument("make_iscas89: unknown circuit " + name);
+}
+
+}  // namespace xsfq::benchgen

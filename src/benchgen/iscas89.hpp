@@ -1,0 +1,37 @@
+#pragma once
+/// \file iscas89.hpp
+/// \brief Generators for ISCAS89-equivalent sequential circuits.
+///
+/// Each generator builds a sequential design with the documented interface
+/// shape of the named ISCAS89 benchmark (primary inputs / outputs / flip-flop
+/// count) and a functional character matching its published description
+/// (traffic-light and protocol FSMs, fractional counters, PLD-style control).
+/// Used by the Table 6 experiment.  See DESIGN.md "Substitutions".
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace xsfq::benchgen {
+
+/// Interface profile of an ISCAS89-equivalent circuit.
+struct iscas89_profile {
+  std::string name;
+  unsigned inputs;
+  unsigned outputs;
+  unsigned flip_flops;
+};
+
+/// Profiles of the sixteen circuits used in the paper's Table 6.
+const std::vector<iscas89_profile>& iscas89_profiles();
+
+/// Builds a circuit by name ("s27", "s298", ..., "s838.1").
+aig make_iscas89(const std::string& name);
+
+/// Generic FSM + datapath generator backing most of the suite: builds a
+/// deterministic circuit with the requested interface from a seeded mix of
+/// counter, shift-register and next-state logic.  Exposed for tests.
+aig make_sequential_equiv(const iscas89_profile& profile, std::uint64_t seed);
+
+}  // namespace xsfq::benchgen

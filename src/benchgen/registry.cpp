@@ -1,0 +1,40 @@
+#include "benchgen/registry.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/epfl.hpp"
+#include "benchgen/iscas85.hpp"
+#include "benchgen/iscas89.hpp"
+
+namespace xsfq::benchgen {
+
+const std::vector<benchmark_entry>& all_benchmarks() {
+  static const std::vector<benchmark_entry> entries = [] {
+    std::vector<benchmark_entry> all;
+    for (const auto& name : iscas85_names()) {
+      all.push_back({name, suite::iscas85, false});
+    }
+    for (const auto& name : epfl_names()) {
+      all.push_back({name, suite::epfl, false});
+    }
+    for (const auto& profile : iscas89_profiles()) {
+      all.push_back({profile.name, suite::iscas89, true});
+    }
+    return all;
+  }();
+  return entries;
+}
+
+aig make_benchmark(const std::string& name) {
+  for (const auto& entry : all_benchmarks()) {
+    if (entry.name != name) continue;
+    switch (entry.which_suite) {
+      case suite::iscas85: return make_iscas85(name);
+      case suite::epfl: return make_epfl(name);
+      case suite::iscas89: return make_iscas89(name);
+    }
+  }
+  throw std::invalid_argument("make_benchmark: unknown circuit " + name);
+}
+
+}  // namespace xsfq::benchgen

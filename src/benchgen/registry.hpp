@@ -1,0 +1,26 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Name-based lookup across all benchmark suites.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace xsfq::benchgen {
+
+enum class suite { iscas85, epfl, iscas89 };
+
+struct benchmark_entry {
+  std::string name;
+  suite which_suite;
+  bool sequential;
+};
+
+/// All benchmark circuits this library can generate.
+const std::vector<benchmark_entry>& all_benchmarks();
+
+/// Builds any benchmark by name; throws on unknown names.
+aig make_benchmark(const std::string& name);
+
+}  // namespace xsfq::benchgen

@@ -1,0 +1,129 @@
+#include "cells/cell_library.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace xsfq {
+
+const char* cell_type_name(cell_type type) {
+  switch (type) {
+    case cell_type::jtl: return "JTL";
+    case cell_type::la: return "LA";
+    case cell_type::fa: return "FA";
+    case cell_type::droc: return "DROC";
+    case cell_type::droc_preload: return "DROC_P";
+    case cell_type::splitter: return "SPLIT";
+    case cell_type::merger: return "MERGE";
+    case cell_type::dc_sfq: return "DCSFQ";
+  }
+  return "?";
+}
+
+const cell_library& cell_library::sfq5ee() {
+  static const cell_library library = [] {
+    cell_library lib;
+    // Table 2 of the paper: delay (ps) and JJ count, without / with PTLs.
+    // DROC rows list clock-to-Q for Qp and Qn; JJ 13 without preloading
+    // hardware, 22 with (DC-to-SFQ 4 JJs + merger 5 JJs = +9).
+    lib.specs_ = {
+        // type                delay  jj  delayP jjP   qn    qnP
+        {cell_type::jtl,          4.6,  2, 17.0,   7,  0.0,  0.0},
+        {cell_type::la,           7.2,  4, 19.9,  12,  0.0,  0.0},
+        {cell_type::fa,           9.5,  4, 24.7,  12,  0.0,  0.0},
+        {cell_type::droc,         6.7, 13, 18.0,  27,  9.5, 21.5},
+        {cell_type::droc_preload, 6.7, 22, 18.0,  36,  9.5, 21.5},
+        {cell_type::splitter,     5.1,  3, 19.7,  10,  0.0,  0.0},
+        {cell_type::merger,       5.1,  5, 19.7,  13,  0.0,  0.0},
+        {cell_type::dc_sfq,       6.0,  4, 18.0,   9,  0.0,  0.0},
+    };
+    return lib;
+  }();
+  return library;
+}
+
+const cell_spec& cell_library::spec(cell_type type) const {
+  for (const auto& s : specs_) {
+    if (s.type == type) return s;
+  }
+  throw std::invalid_argument("cell_library: unknown cell type");
+}
+
+unsigned cell_library::jj_count(cell_type type, bool with_ptl) const {
+  const auto& s = spec(type);
+  return with_ptl ? s.jj_count_ptl : s.jj_count;
+}
+
+double cell_library::delay_ps(cell_type type, bool with_ptl) const {
+  const auto& s = spec(type);
+  const double d = with_ptl ? s.delay_ps_ptl : s.delay_ps;
+  const double qn = with_ptl ? s.delay_qn_ps_ptl : s.delay_qn_ps;
+  return d > qn ? d : qn;
+}
+
+std::string cell_library::to_liberty(const std::string& library_name) const {
+  std::ostringstream os;
+  os << "library(" << library_name << ") {\n"
+     << "  time_unit : \"1ps\";\n"
+     << "  /* JJ counts carried as cell area; PTL variants suffixed _PTL.\n"
+     << "     Single-value timing arcs: PTL routing reduces arcs to 1x1\n"
+     << "     lookup tables (Sec. 2.3). */\n";
+  auto emit = [&](const cell_spec& s, bool ptl) {
+    const double delay = ptl ? s.delay_ps_ptl : s.delay_ps;
+    const double qn = ptl ? s.delay_qn_ps_ptl : s.delay_qn_ps;
+    const unsigned jj = ptl ? s.jj_count_ptl : s.jj_count;
+    os << "  cell(" << cell_type_name(s.type) << (ptl ? "_PTL" : "") << ") {\n"
+       << "    area : " << jj << ";\n";
+    const bool is_storage =
+        s.type == cell_type::droc || s.type == cell_type::droc_preload;
+    if (is_storage) {
+      os << "    ff(IQ, IQN) { clocked_on : \"CLK\"; next_state : \"D\"; }\n"
+         << "    pin(CLK) { direction : input; clock : true; }\n"
+         << "    pin(D)   { direction : input; }\n"
+         << "    pin(QP) { direction : output; function : \"IQ\";\n"
+         << "      timing() { related_pin : \"CLK\"; timing_type : "
+            "rising_edge;\n"
+         << "        cell_rise(scalar) { values(\"" << delay << "\"); }\n"
+         << "        cell_fall(scalar) { values(\"" << delay << "\"); } } }\n"
+         << "    pin(QN) { direction : output; function : \"IQN\";\n"
+         << "      timing() { related_pin : \"CLK\"; timing_type : "
+            "rising_edge;\n"
+         << "        cell_rise(scalar) { values(\"" << qn << "\"); }\n"
+         << "        cell_fall(scalar) { values(\"" << qn << "\"); } } }\n";
+    } else {
+      const char* function = s.type == cell_type::la   ? "(A & B)"
+                             : s.type == cell_type::fa ? "(A | B)"
+                                                       : "A";
+      const unsigned inputs =
+          (s.type == cell_type::la || s.type == cell_type::fa ||
+           s.type == cell_type::merger)
+              ? 2
+              : (s.type == cell_type::dc_sfq ? 0 : 1);
+      for (unsigned i = 0; i < inputs; ++i) {
+        os << "    pin(" << static_cast<char>('A' + i)
+           << ") { direction : input; }\n";
+      }
+      const unsigned outputs = s.type == cell_type::splitter ? 2 : 1;
+      for (unsigned o = 0; o < outputs; ++o) {
+        os << "    pin(" << (o == 0 ? "Y" : "Z")
+           << ") { direction : output; function : \"" << function << "\";\n";
+        for (unsigned i = 0; i < inputs; ++i) {
+          os << "      timing() { related_pin : \"" << static_cast<char>('A' + i)
+             << "\";\n"
+             << "        cell_rise(scalar) { values(\"" << delay << "\"); }\n"
+             << "        cell_fall(scalar) { values(\"" << delay
+             << "\"); } }\n";
+        }
+        os << "    }\n";
+      }
+    }
+    os << "  }\n";
+  };
+  for (const auto& s : specs_) {
+    emit(s, false);
+    emit(s, true);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xsfq

@@ -1,0 +1,68 @@
+#pragma once
+/// \file cell_library.hpp
+/// \brief The xSFQ standard cell library (paper Table 2).
+///
+/// Costs and delays come from the paper's HSPICE characterization against the
+/// MIT-LL SFQ5ee 100 uA/um^2 process [16]: each cell is listed with and
+/// without passive-transmission-line (PTL) interfaces.  PTL drivers/receivers
+/// add JJs and delay; comparisons against PBMap/qSeq use the no-PTL numbers
+/// (Sec. 4.1).  The analog module (src/analog) demonstrates the
+/// characterization *methodology* (delay from junction phase slips) on its
+/// own RCSJ simulator; the Liberty-facing numbers are the paper's.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsfq {
+
+/// Cell types of the xSFQ library plus the interfacing cells.
+enum class cell_type : std::uint8_t {
+  jtl,            ///< Josephson transmission line segment
+  la,             ///< Last Arrival (C-element) — dual-rail AND
+  fa,             ///< First Arrival (inverse C-element) — dual-rail OR
+  droc,           ///< DRO with complementary outputs (no preload hardware)
+  droc_preload,   ///< DROC with DC-to-SFQ preloading hardware (+9 JJs)
+  splitter,       ///< 1-to-2 pulse splitter
+  merger,         ///< 2-to-1 confluence buffer
+  dc_sfq,         ///< DC-to-SFQ converter (preload pulse source)
+};
+
+/// Printable cell name ("LA", "FA", ...).
+const char* cell_type_name(cell_type type);
+
+/// Timing/cost data of one cell, with and without PTL interfaces.
+struct cell_spec {
+  cell_type type = cell_type::jtl;
+  double delay_ps = 0.0;        ///< propagation (or clock-to-Q) delay, no PTL
+  unsigned jj_count = 0;        ///< JJs, no PTL
+  double delay_ps_ptl = 0.0;    ///< with PTL interfaces
+  unsigned jj_count_ptl = 0;    ///< with PTL interfaces
+  /// DROC cells publish two clock-to-Q arcs (Qp and Qn, Table 2).
+  double delay_qn_ps = 0.0;
+  double delay_qn_ps_ptl = 0.0;
+};
+
+/// The standard library; immutable after construction.
+class cell_library {
+public:
+  /// Library loaded with the paper's Table 2 characterization.
+  static const cell_library& sfq5ee();
+
+  [[nodiscard]] const cell_spec& spec(cell_type type) const;
+  [[nodiscard]] const std::vector<cell_spec>& specs() const { return specs_; }
+
+  /// JJ count of a cell under the chosen interconnect style.
+  [[nodiscard]] unsigned jj_count(cell_type type, bool with_ptl) const;
+  /// Worst-case propagation delay of a cell (max over its timing arcs).
+  [[nodiscard]] double delay_ps(cell_type type, bool with_ptl) const;
+
+  /// Renders the library as a Liberty (.lib) file body; delays become the
+  /// 1x1 lookup tables described in Sec. 2.3.
+  [[nodiscard]] std::string to_liberty(const std::string& library_name) const;
+
+private:
+  std::vector<cell_spec> specs_;
+};
+
+}  // namespace xsfq

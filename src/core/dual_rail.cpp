@@ -1,0 +1,106 @@
+#include "core/dual_rail.hpp"
+
+#include <stdexcept>
+
+namespace xsfq {
+
+rail_demands compute_rail_demands(const aig& network,
+                                  const std::vector<bool>& co_negate) {
+  if (co_negate.size() != network.num_cos()) {
+    throw std::invalid_argument("compute_rail_demands: flag count mismatch");
+  }
+  rail_demands demands;
+  demands.bits.assign(network.size(), 0);
+
+  std::vector<std::pair<aig::node_index, bool>> worklist;  // (node, neg rail)
+  network.foreach_co([&](signal s, std::size_t i) {
+    if (!network.is_gate(s.index())) return;  // CI/constant rails are free
+    worklist.emplace_back(s.index(),
+                          s.is_complemented() ^ co_negate[i]);
+  });
+
+  while (!worklist.empty()) {
+    const auto [n, neg] = worklist.back();
+    worklist.pop_back();
+    const std::uint8_t bit = neg ? 2u : 1u;
+    if (demands.bits[n] & bit) continue;
+    demands.bits[n] |= bit;
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      if (!network.is_gate(f.index())) continue;
+      // Positive rail (LA) consumes fanin rail c; negative (FA) consumes !c.
+      const bool child_neg = f.is_complemented() ^ neg;
+      worklist.emplace_back(f.index(), child_neg);
+    }
+  }
+  return demands;
+}
+
+rail_demands direct_dual_rail_demands(const aig& network) {
+  // Both rails for every gate in the transitive fanin of some CO.
+  rail_demands demands;
+  demands.bits.assign(network.size(), 0);
+  std::vector<aig::node_index> stack;
+  network.foreach_co([&](signal s, std::size_t) {
+    if (network.is_gate(s.index())) stack.push_back(s.index());
+  });
+  while (!stack.empty()) {
+    const aig::node_index n = stack.back();
+    stack.pop_back();
+    if (demands.bits[n]) continue;
+    demands.bits[n] = 3u;
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      if (network.is_gate(f.index())) stack.push_back(f.index());
+    }
+  }
+  return demands;
+}
+
+dual_rail_stats demand_stats(const aig& network, const rail_demands& demands) {
+  dual_rail_stats stats;
+  network.foreach_gate([&](aig::node_index n) {
+    const std::uint8_t bits = demands.bits[n];
+    if (!bits) return;
+    ++stats.nodes_used;
+    stats.cells += (bits & 1u) ? 1u : 0u;
+    stats.cells += (bits & 2u) ? 1u : 0u;
+  });
+  return stats;
+}
+
+std::vector<bool> optimize_co_polarities(const aig& network,
+                                         unsigned max_passes) {
+  std::vector<bool> negate(network.num_cos(), false);
+  auto cost = [&](const std::vector<bool>& flags) {
+    return demand_stats(network, compute_rail_demands(network, flags)).cells;
+  };
+  std::size_t best = cost(negate);
+  for (unsigned pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < negate.size(); ++i) {
+      negate[i] = !negate[i];
+      const std::size_t candidate = cost(negate);
+      if (candidate < best) {
+        best = candidate;
+        improved = true;
+      } else {
+        negate[i] = !negate[i];
+      }
+    }
+    if (!improved) break;
+  }
+  return negate;
+}
+
+std::vector<bool> co_polarities_for_mode(const aig& network,
+                                         polarity_mode mode) {
+  switch (mode) {
+    case polarity_mode::direct_dual_rail:
+    case polarity_mode::positive_outputs:
+      return std::vector<bool>(network.num_cos(), false);
+    case polarity_mode::optimized:
+      return optimize_co_polarities(network);
+  }
+  throw std::logic_error("co_polarities_for_mode: bad mode");
+}
+
+}  // namespace xsfq

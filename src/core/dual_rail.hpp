@@ -1,0 +1,82 @@
+#pragma once
+/// \file dual_rail.hpp
+/// \brief Rail-demand analysis and output polarity optimization.
+///
+/// Sections 3.1.1-3.1.5 of the paper in algorithmic form.  A dual-rail xSFQ
+/// circuit needs, for every AIG node, its positive rail (an LA cell), its
+/// negative rail (an FA cell), or both.  Which rails are needed is determined
+/// purely by demand propagation from the combinational outputs:
+///
+///  * a CO demands exactly one rail of its driver (DROC inputs and dual-rail
+///    converters are single-rail, Sec. 3.1.4);
+///  * the positive rail of node n = AND(f0^c0, f1^c1) consumes rail c_i of
+///    each fanin f_i; the negative rail consumes rail !c_i (De Morgan);
+///  * CIs provide both rails for free (input converters / DROC Qp+Qn).
+///
+/// "Backward bubble pushing" is implicit: an edge complement is just a rail
+/// swap at the consumer, so no inverter cells ever exist.  The *output phase
+/// assignment* freedom of Sec. 3.1.5 (a PO may be produced in negative
+/// polarity, like domino logic [6,14]) is exposed as a per-CO negation flag,
+/// and `optimize_co_polarities` runs the greedy improvement heuristic.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace xsfq {
+
+/// How combinational-output polarities are chosen before mapping.
+enum class polarity_mode : std::uint8_t {
+  direct_dual_rail,  ///< Sec. 3.1.1: every used node gets an LA-FA pair
+  positive_outputs,  ///< Sec. 3.1.4: all COs positive, demands propagated
+  optimized,         ///< Sec. 3.1.5: per-CO polarity chosen by the heuristic
+};
+
+/// Rail demand per node: bit 0 = positive rail, bit 1 = negative rail.
+struct rail_demands {
+  std::vector<std::uint8_t> bits;
+
+  [[nodiscard]] bool positive(aig::node_index n) const {
+    return bits[n] & 1u;
+  }
+  [[nodiscard]] bool negative(aig::node_index n) const {
+    return bits[n] & 2u;
+  }
+  [[nodiscard]] bool any(aig::node_index n) const { return bits[n] != 0; }
+};
+
+/// Statistics of a demand assignment over the AIG's gates.
+struct dual_rail_stats {
+  std::size_t cells = 0;       ///< LA + FA cells
+  std::size_t nodes_used = 0;  ///< gates needing at least one rail
+  /// The paper's duplication penalty: extra cells over one per used node.
+  [[nodiscard]] double duplication() const {
+    return nodes_used == 0
+               ? 0.0
+               : static_cast<double>(cells - nodes_used) /
+                     static_cast<double>(nodes_used);
+  }
+};
+
+/// Computes rail demands given per-CO negation flags (`co_negate[i]` true
+/// means CO i is produced in negative polarity).
+rail_demands compute_rail_demands(const aig& network,
+                                  const std::vector<bool>& co_negate);
+
+/// Demands for the direct LA-FA-pair mapping (both rails everywhere).
+rail_demands direct_dual_rail_demands(const aig& network);
+
+dual_rail_stats demand_stats(const aig& network, const rail_demands& demands);
+
+/// Greedy output-phase assignment (the domino-logic heuristic of Sec. 3.1.5):
+/// starts all-positive and flips CO polarities while the LA/FA cell count
+/// improves, for up to `max_passes` sweeps.  Deterministic.
+std::vector<bool> optimize_co_polarities(const aig& network,
+                                         unsigned max_passes = 8);
+
+/// Resolves a polarity mode to concrete flags (+ demands via the above).
+std::vector<bool> co_polarities_for_mode(const aig& network,
+                                         polarity_mode mode);
+
+}  // namespace xsfq

@@ -1,0 +1,494 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace xsfq {
+namespace {
+
+/// Phase-A element: like xsfq_element but fanins may reference a producer
+/// port that ends up with several consumers; phase B inserts splitter trees.
+struct proto_element {
+  xsfq_element data;
+  bool feedback_source = false;  ///< boundary DROC; data input via feedback
+};
+
+struct chain_info {
+  std::vector<std::uint32_t> drocs;  ///< element index per rank step
+  unsigned source_stage = 0;
+  bool base_rail = false;  ///< rail carried on DROC port 0
+};
+
+class mapper {
+public:
+  mapper(const aig& network, const mapping_params& params)
+      : net_(network), params_(params) {}
+
+  mapping_result run();
+
+private:
+  // ----- stage model ---------------------------------------------------------
+
+  void prepare_stages();
+  [[nodiscard]] unsigned gate_stage(aig::node_index n) const {
+    return stage_[n];
+  }
+  [[nodiscard]] unsigned co_stage() const { return co_stage_; }
+  /// True when edges leaving this source node cross pipeline/retiming ranks.
+  [[nodiscard]] bool is_crossing_source(aig::node_index n) const {
+    if (params_.pipeline_stages > 0) return true;  // all sources staged
+    if (!sequential_ || params_.reg_style != register_style::pair_retimed) {
+      return false;
+    }
+    return retimed_region_[n];
+  }
+
+  // ----- element construction ------------------------------------------------
+
+  std::uint32_t add(xsfq_element e, bool feedback_source = false) {
+    proto_element p;
+    p.data = std::move(e);
+    p.feedback_source = feedback_source;
+    elems_.push_back(std::move(p));
+    return static_cast<std::uint32_t>(elems_.size() - 1);
+  }
+
+  port_ref base_rail_ref(aig::node_index n, bool rail);
+  port_ref resolve(aig::node_index n, bool rail, unsigned consumer_stage);
+  bool rank_preloaded(unsigned rank) const { return rank % 2 == 0; }
+
+  void build_sources();
+  void build_gates();
+  void build_outputs();
+  xsfq_netlist rebuild_with_splitters(
+      std::vector<std::pair<xsfq_netlist::element_index, port_ref>>& feedback);
+
+  const aig& net_;
+  const mapping_params& params_;
+
+  bool sequential_ = false;
+  unsigned num_ranks_ = 0;  ///< DROC ranks crossed by a full input-output path
+  unsigned co_stage_ = 0;
+  std::vector<std::uint32_t> stage_;
+  std::vector<bool> retimed_region_;  ///< retimed-rank source region
+
+  rail_demands demands_;
+  std::vector<bool> co_negate_;
+
+  std::vector<proto_element> elems_;
+  /// base_[n][rail]: producing element, or -1 when not (yet) created.
+  std::vector<std::array<std::int64_t, 2>> base_;
+  std::unordered_map<aig::node_index, chain_info> chains_;
+  /// (boundary DROC element, AIG register index) feedback bookkeeping.
+  std::vector<std::pair<std::uint32_t, port_ref>> feedback_protos_;
+};
+
+void mapper::prepare_stages() {
+  sequential_ = net_.num_registers() > 0;
+  if (sequential_ && params_.pipeline_stages > 0) {
+    throw std::invalid_argument(
+        "map_to_xsfq: combinational pipelining requires a register-free "
+        "network (sequential designs pipeline through retimed DROC pairs)");
+  }
+  const auto levels = net_.compute_levels();
+  stage_.assign(net_.size(), 0);
+
+  if (params_.pipeline_stages > 0) {
+    const unsigned k = params_.pipeline_stages;
+    num_ranks_ = 2 * k;
+    const std::uint32_t depth = net_.depth();
+    // Interior thresholds at i*L/(2k); the final rank sits at the outputs.
+    std::vector<std::uint32_t> thresholds;
+    for (unsigned i = 1; i < num_ranks_; ++i) {
+      thresholds.push_back(
+          static_cast<std::uint32_t>((static_cast<std::uint64_t>(i) * depth +
+                                      num_ranks_ - 1) /
+                                     num_ranks_));
+    }
+    net_.foreach_node([&](aig::node_index n) {
+      unsigned s = 0;
+      for (const auto t : thresholds) {
+        if (levels[n] > t) ++s;
+      }
+      stage_[n] = s;
+    });
+    co_stage_ = num_ranks_;
+    return;
+  }
+
+  if (sequential_ && params_.reg_style == register_style::pair_retimed) {
+    // Forward push of each flip-flop pair's second DROC into the
+    // register-fed logic cone (Fig. 6iii): the retimed rank sits at the
+    // mid-level cut of gates reachable from register outputs.  Signals
+    // leaving that region (stage 0) toward the rest of the logic (stage 1)
+    // or toward combinational outputs receive the rank-1 DROC; counts then
+    // follow the paper's Table 6 (preloaded = one per flip-flop, plain =
+    // cut crossings).  The model is validated at pulse level on
+    // self-contained designs (the paper's Fig. 7 counter); designs with
+    // primary inputs additionally need interface-side warm-up phasing,
+    // which the interchange simulator does not model (see EXPERIMENTS.md).
+    num_ranks_ = 2;
+    co_stage_ = 1;
+    std::vector<bool> reachable(net_.size(), false);
+    net_.foreach_node([&](aig::node_index n) {
+      if (net_.is_register_output(n)) {
+        reachable[n] = true;
+        return;
+      }
+      if (!net_.is_gate(n)) return;
+      reachable[n] = reachable[net_.fanin0(n).index()] ||
+                     reachable[net_.fanin1(n).index()];
+    });
+    const std::uint32_t mid = (net_.depth() + 1) / 2;
+    net_.foreach_gate([&](aig::node_index n) {
+      // Stage 1 = outside the register-fed mid cone (consumer side).
+      stage_[n] = (reachable[n] && levels[n] <= mid) ? 0u : 1u;
+    });
+    // Register outputs and other sources are stage 0; only signals produced
+    // inside the region cross into stage 1.
+    retimed_region_.assign(net_.size(), false);
+    net_.foreach_node([&](aig::node_index n) {
+      retimed_region_[n] =
+          net_.is_register_output(n) ||
+          (net_.is_gate(n) && reachable[n] && levels[n] <= mid);
+    });
+    return;
+  }
+
+  if (sequential_) num_ranks_ = 2;  // pair_boundary: both ranks adjacent
+}
+
+port_ref mapper::base_rail_ref(aig::node_index n, bool rail) {
+  const std::size_t r = rail ? 1 : 0;
+  // Register outputs first: both rails come from the flip-flop DROC, whose
+  // Qp/Qn port assignment depends on the stored rail (it may be negative
+  // when the output phase assignment negated the register input).
+  if (net_.is_register_output(n)) {
+    // Register rails come from the flip-flop DROCs: Qp (port 0) carries the
+    // stored rail, Qn (port 1) its complement.
+    if (base_[n][0] < 0) {
+      throw std::logic_error("mapper: register DROC not created");
+    }
+    const auto element = static_cast<std::uint32_t>(base_[n][0]);
+    const bool stored_rail = elems_[element].data.rail;
+    return {element, static_cast<std::uint8_t>(rail == stored_rail ? 0 : 1)};
+  }
+  if (base_[n][r] >= 0) {
+    return {static_cast<std::uint32_t>(base_[n][r]), 0};
+  }
+  if (net_.is_constant(n)) {
+    xsfq_element e;
+    e.kind = element_kind::const_rail;
+    e.rail = rail;
+    e.aig_node = n;
+    e.name = rail ? "const1_rail" : "const0_rail";
+    base_[n][r] = add(std::move(e));
+    return {static_cast<std::uint32_t>(base_[n][r]), 0};
+  }
+  throw std::logic_error("mapper: rail has no producer (demand mismatch)");
+}
+
+port_ref mapper::resolve(aig::node_index n, bool rail,
+                         unsigned consumer_stage) {
+  if (!is_crossing_source(n)) return base_rail_ref(n, rail);
+  const unsigned src = net_.is_gate(n) || params_.pipeline_stages > 0
+                           ? gate_stage(n)
+                           : 0;  // sequential ROs sit at stage 0
+  if (consumer_stage <= src) return base_rail_ref(n, rail);
+
+  auto [it, inserted] = chains_.try_emplace(n);
+  chain_info& chain = it->second;
+  if (inserted) {
+    chain.source_stage = src;
+    chain.base_rail = demands_.positive(n) || net_.is_ci(n) ? false : true;
+  }
+  while (chain.drocs.size() < consumer_stage - src) {
+    const unsigned rank = src + static_cast<unsigned>(chain.drocs.size()) + 1;
+    xsfq_element e;
+    e.kind = rank_preloaded(rank) ? element_kind::droc_preload
+                                  : element_kind::droc;
+    e.aig_node = n;
+    e.rail = chain.base_rail;
+    e.pipeline_rank = static_cast<std::uint16_t>(rank);
+    e.fanin0 = chain.drocs.empty()
+                   ? base_rail_ref(n, chain.base_rail)
+                   : port_ref{chain.drocs.back(), 0};
+    chain.drocs.push_back(add(std::move(e)));
+  }
+  const std::uint32_t element = chain.drocs[consumer_stage - src - 1];
+  return {element, static_cast<std::uint8_t>(rail == chain.base_rail ? 0 : 1)};
+}
+
+void mapper::build_sources() {
+  base_.assign(net_.size(), {-1, -1});
+  // Primary-input rails (both polarities; unused ones cost nothing).
+  for (std::size_t i = 0; i < net_.num_pis(); ++i) {
+    const aig::node_index n = net_.pi(i).index();
+    for (int rail = 0; rail < 2; ++rail) {
+      xsfq_element e;
+      e.kind = element_kind::input_rail;
+      e.rail = rail != 0;
+      e.aig_node = n;
+      e.name = net_.pi_name(i) + (rail ? "_n" : "_p");
+      base_[n][static_cast<std::size_t>(rail)] = add(std::move(e));
+    }
+  }
+  // Register flip-flops: boundary DROC (preloaded, fed by the feedback arc).
+  for (std::size_t i = 0; i < net_.num_registers(); ++i) {
+    const aig::node_index n = net_.register_at(i).output_node;
+    // The rail stored by the flip-flop is whichever polarity the output
+    // phase assignment chose for the register input; Qp then carries that
+    // rail and Qn the other (Sec. 2.2 complementary outputs).
+    const bool stored_rail = co_negate_[net_.num_pos() + i];
+    xsfq_element boundary;
+    boundary.kind = element_kind::droc_preload;
+    boundary.aig_node = n;
+    boundary.rail = stored_rail;
+    boundary.pipeline_rank = 2;
+    boundary.name = net_.register_name(i);
+    const std::uint32_t a = add(std::move(boundary), /*feedback_source=*/true);
+    feedback_protos_.emplace_back(a, port_ref{});  // driver filled later
+
+    if (params_.reg_style == register_style::pair_boundary) {
+      // Partner DROC directly after the boundary one (Fig. 6ii).
+      xsfq_element partner;
+      partner.kind = element_kind::droc;
+      partner.aig_node = n;
+      partner.rail = stored_rail;
+      partner.pipeline_rank = 1;
+      partner.name = net_.register_name(i) + "_b";
+      partner.fanin0 = {a, 0};
+      base_[n][0] = add(std::move(partner));
+    } else {
+      base_[n][0] = a;  // rails read straight off the boundary DROC
+    }
+  }
+}
+
+void mapper::build_gates() {
+  net_.foreach_gate([&](aig::node_index n) {
+    if (!demands_.any(n)) return;
+    const signal f0 = net_.fanin0(n);
+    const signal f1 = net_.fanin1(n);
+    // Consumers sit at their own stage: pipeline cuts for pipelined
+    // networks, the retiming lag (0 = outside S, 1 = inside S) otherwise.
+    const unsigned consumer_stage =
+        params_.pipeline_stages > 0 ||
+                (sequential_ &&
+                 params_.reg_style == register_style::pair_retimed)
+            ? gate_stage(n)
+            : 0u;
+    if (demands_.positive(n)) {
+      xsfq_element e;
+      e.kind = element_kind::la;
+      e.aig_node = n;
+      e.rail = false;
+      e.fanin0 = resolve(f0.index(), f0.is_complemented(), consumer_stage);
+      e.fanin1 = resolve(f1.index(), f1.is_complemented(), consumer_stage);
+      base_[n][0] = add(std::move(e));
+    }
+    if (demands_.negative(n)) {
+      xsfq_element e;
+      e.kind = element_kind::fa;
+      e.aig_node = n;
+      e.rail = true;
+      e.fanin0 = resolve(f0.index(), !f0.is_complemented(), consumer_stage);
+      e.fanin1 = resolve(f1.index(), !f1.is_complemented(), consumer_stage);
+      base_[n][1] = add(std::move(e));
+    }
+  });
+}
+
+void mapper::build_outputs() {
+  net_.foreach_co([&](signal s, std::size_t i) {
+    const bool rail = s.is_complemented() ^ co_negate_[i];
+    const bool is_po = i < net_.num_pos();
+    // Pipelined outputs sit behind the final rank; retimed register inputs
+    // sit behind the retimed rank, but POs never do (their cones are
+    // excluded from the retiming region S).
+    unsigned consumer_stage = 0;
+    if (params_.pipeline_stages > 0) {
+      consumer_stage = co_stage_;
+    } else if (sequential_ &&
+               params_.reg_style == register_style::pair_retimed && !is_po) {
+      consumer_stage = co_stage_;
+    }
+    const port_ref driver = resolve(s.index(), rail, consumer_stage);
+    if (is_po) {
+      xsfq_element e;
+      e.kind = element_kind::output_port;
+      e.rail = co_negate_[i];
+      e.fanin0 = driver;
+      e.name = net_.po_name(i);
+      add(std::move(e));
+    } else {
+      // Register input: the boundary DROC's data arc.
+      feedback_protos_[i - net_.num_pos()].second = driver;
+    }
+  });
+}
+
+xsfq_netlist mapper::rebuild_with_splitters(
+    std::vector<std::pair<xsfq_netlist::element_index, port_ref>>& feedback) {
+  // Count consumers of every (element, port).
+  std::vector<std::array<std::uint32_t, 2>> consumers(elems_.size(), {0, 0});
+  auto note = [&](port_ref r) { ++consumers[r.element][r.port]; };
+  for (const auto& p : elems_) {
+    const auto kind = p.data.kind;
+    const bool binary = kind == element_kind::la || kind == element_kind::fa;
+    const bool unary = kind == element_kind::droc ||
+                       kind == element_kind::droc_preload ||
+                       kind == element_kind::output_port;
+    if ((binary || unary) && !p.feedback_source) note(p.data.fanin0);
+    if (binary) note(p.data.fanin1);
+  }
+  for (const auto& [element, driver] : feedback_protos_) {
+    note(driver);
+  }
+
+  xsfq_netlist out;
+  std::vector<std::uint32_t> new_index(elems_.size(), 0);
+  // Available output references per phase-A port, in consumption order.
+  std::vector<std::array<std::vector<port_ref>, 2>> avail(elems_.size());
+  std::vector<std::array<std::size_t, 2>> next_ref(elems_.size(), {0, 0});
+
+  auto pop_ref = [&](port_ref old_ref) -> port_ref {
+    auto& index = next_ref[old_ref.element][old_ref.port];
+    const auto& refs = avail[old_ref.element][old_ref.port];
+    if (index >= refs.size()) {
+      throw std::logic_error("mapper: consumer/producer bookkeeping mismatch");
+    }
+    return refs[index++];
+  };
+
+  // Builds a balanced splitter tree delivering `count` copies of `root`.
+  auto expand = [&](port_ref root, std::uint32_t count,
+                    auto&& self) -> std::vector<port_ref> {
+    if (count <= 1) return {root};
+    xsfq_element split;
+    split.kind = element_kind::splitter;
+    split.fanin0 = root;
+    const auto s = out.add_element(std::move(split));
+    const std::uint32_t left = (count + 1) / 2;
+    auto refs = self(port_ref{s, 0}, left, self);
+    auto right = self(port_ref{s, 1}, count - left, self);
+    refs.insert(refs.end(), right.begin(), right.end());
+    return refs;
+  };
+
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    const proto_element& p = elems_[i];
+    xsfq_element e = p.data;
+    const auto kind = e.kind;
+    const bool binary = kind == element_kind::la || kind == element_kind::fa;
+    const bool unary = kind == element_kind::droc ||
+                       kind == element_kind::droc_preload ||
+                       kind == element_kind::output_port;
+    if ((binary || unary) && !p.feedback_source) e.fanin0 = pop_ref(p.data.fanin0);
+    if (binary) e.fanin1 = pop_ref(p.data.fanin1);
+    if (p.feedback_source) {
+      e.fanin0 = port_ref{};  // resolved via register_feedback
+      e.feedback_input = true;
+    }
+    const auto ni = out.add_element(std::move(e));
+    new_index[i] = ni;
+    const std::uint8_t num_ports =
+        (kind == element_kind::droc || kind == element_kind::droc_preload)
+            ? 2
+            : (kind == element_kind::output_port ? 0 : 1);
+    for (std::uint8_t port = 0; port < num_ports; ++port) {
+      const std::uint32_t k = consumers[i][port];
+      if (k == 0) continue;
+      avail[i][port] = expand(port_ref{ni, port}, k, expand);
+    }
+  }
+
+  feedback.clear();
+  for (const auto& [element, driver] : feedback_protos_) {
+    feedback.emplace_back(new_index[element], pop_ref(driver));
+  }
+  return out;
+}
+
+mapping_result mapper::run() {
+  if (!net_.is_well_formed()) {
+    throw std::invalid_argument("map_to_xsfq: unconnected register inputs");
+  }
+  prepare_stages();
+
+  co_negate_ = params_.forced_polarities
+                   ? *params_.forced_polarities
+                   : co_polarities_for_mode(net_, params_.polarity);
+  if (co_negate_.size() != net_.num_cos()) {
+    throw std::invalid_argument("map_to_xsfq: bad forced_polarities size");
+  }
+  demands_ = params_.polarity == polarity_mode::direct_dual_rail
+                 ? direct_dual_rail_demands(net_)
+                 : compute_rail_demands(net_, co_negate_);
+
+  build_sources();
+  build_gates();
+  build_outputs();
+
+  mapping_result result;
+  result.co_negated = co_negate_;
+  result.netlist = rebuild_with_splitters(result.register_feedback);
+  result.netlist.check();
+
+  // ----- statistics ----------------------------------------------------------
+  mapping_stats& st = result.stats;
+  const auto& nl = result.netlist;
+  st.la_cells = nl.count(element_kind::la);
+  st.fa_cells = nl.count(element_kind::fa);
+  st.splitters = nl.num_splitters();
+  st.drocs_plain = nl.num_drocs_plain();
+  st.drocs_preload = nl.num_drocs_preload();
+  const auto ds = demand_stats(net_, demands_);
+  st.nodes_used = ds.nodes_used;
+  st.duplication = ds.duplication();
+  st.jj = nl.jj_count(false);
+  st.jj_ptl = nl.jj_count(true);
+  st.depth = nl.logical_depth();
+  st.depth_with_splitters = nl.logical_depth_with_splitters();
+  st.circuit_ghz = nl.circuit_frequency_ghz(false);
+  st.architectural_ghz = nl.architectural_frequency_ghz(false);
+
+  // Eq. (1): splitters = N_gate + N_out - N_inp, with N_inp the number of
+  // input rails actually consumed.
+  std::size_t used_input_rails = 0;
+  {
+    std::vector<bool> used(nl.size(), false);
+    for (const auto& e : nl.elements()) {
+      if (e.kind == element_kind::la || e.kind == element_kind::fa ||
+          e.kind == element_kind::splitter ||
+          e.kind == element_kind::output_port ||
+          ((e.kind == element_kind::droc ||
+            e.kind == element_kind::droc_preload))) {
+        used[e.fanin0.element] = true;
+        if (e.kind == element_kind::la || e.kind == element_kind::fa) {
+          used[e.fanin1.element] = true;
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < nl.size(); ++i) {
+      if (nl.element(i).kind == element_kind::input_rail && used[i]) {
+        ++used_input_rails;
+      }
+    }
+  }
+  st.eq1_splitters = static_cast<long>(st.la_cells + st.fa_cells) +
+                     static_cast<long>(net_.num_cos()) -
+                     static_cast<long>(used_input_rails);
+  return result;
+}
+
+}  // namespace
+
+mapping_result map_to_xsfq(const aig& network, const mapping_params& params) {
+  mapper m(network, params);
+  return m.run();
+}
+
+}  // namespace xsfq

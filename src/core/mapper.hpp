@@ -1,0 +1,78 @@
+#pragma once
+/// \file mapper.hpp
+/// \brief AIG -> clock-free xSFQ netlist mapping (the paper's core flow).
+///
+/// Combinational logic maps by the Sec. 3.1.3 isomorphism: each demanded
+/// positive rail becomes an LA cell, each demanded negative rail an FA cell,
+/// and edge complements become rail selections.  Fanout beyond one is
+/// realized with balanced trees of 1-to-2 splitters.  Sequential designs use
+/// DROC pairs per logical flip-flop (Sec. 3.2): the boundary DROC carries the
+/// preloading hardware, and the partner rank is either kept adjacent
+/// (`pair_boundary`, Fig. 6ii) or pushed into the logic at the mid-level cut
+/// of the register-fed cone (`pair_retimed`, Fig. 6iii — the retiming
+/// rebalance).  Combinational circuits can be pipelined with `k`
+/// architectural stages, which inserts `2k` DROC ranks at balanced level
+/// cuts (each logical stage needs an excite and a relax rank, Sec. 4.2.2);
+/// ranks alternate preloaded/plain so that phase patterning is correct after
+/// the one-shot trigger (even-indexed ranks carry the preload hardware).
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dual_rail.hpp"
+#include "core/xsfq_netlist.hpp"
+
+namespace xsfq {
+
+/// Placement of the second DROC of each logical flip-flop pair.
+enum class register_style : std::uint8_t {
+  pair_boundary,  ///< both DROCs back-to-back at the register boundary
+  pair_retimed,   ///< partner rank retimed into the register-fed logic cone
+};
+
+struct mapping_params {
+  polarity_mode polarity = polarity_mode::optimized;
+  /// Architectural pipeline stages for combinational designs (0 = none).
+  unsigned pipeline_stages = 0;
+  register_style reg_style = register_style::pair_retimed;
+  /// Overrides the polarity mode with an explicit per-CO negation vector
+  /// (testing / ablation hook).
+  std::optional<std::vector<bool>> forced_polarities;
+};
+
+struct mapping_stats {
+  std::size_t la_cells = 0;
+  std::size_t fa_cells = 0;
+  std::size_t splitters = 0;
+  std::size_t drocs_plain = 0;
+  std::size_t drocs_preload = 0;
+  std::size_t nodes_used = 0;
+  double duplication = 0.0;      ///< the paper's "Dupl." column
+  std::size_t jj = 0;            ///< without PTL
+  std::size_t jj_ptl = 0;        ///< with PTL
+  long eq1_splitters = 0;        ///< Eq. (1) closed form
+  unsigned depth = 0;            ///< logical depth without splitters
+  unsigned depth_with_splitters = 0;
+  double circuit_ghz = 0.0;
+  double architectural_ghz = 0.0;
+};
+
+struct mapping_result {
+  xsfq_netlist netlist;
+  mapping_stats stats;
+  std::vector<bool> co_negated;  ///< chosen CO polarities
+  /// For each register: its boundary DROC element and the netlist port that
+  /// drives its data input (the feedback arc closing the loop).
+  std::vector<std::pair<xsfq_netlist::element_index, port_ref>>
+      register_feedback;
+};
+
+/// Maps an AIG to an xSFQ netlist.  The input network should already be
+/// optimized (src/opt); mapping adds no logic restructuring of its own.
+/// Throws std::invalid_argument on unconnected registers or when
+/// pipeline_stages is combined with a sequential network.
+mapping_result map_to_xsfq(const aig& network,
+                           const mapping_params& params = {});
+
+}  // namespace xsfq

@@ -1,0 +1,216 @@
+#include "core/xsfq_netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace xsfq {
+
+const char* element_kind_name(element_kind kind) {
+  switch (kind) {
+    case element_kind::input_rail: return "IN";
+    case element_kind::const_rail: return "CONST";
+    case element_kind::la: return "LA";
+    case element_kind::fa: return "FA";
+    case element_kind::splitter: return "SPLIT";
+    case element_kind::droc: return "DROC";
+    case element_kind::droc_preload: return "DROC_P";
+    case element_kind::output_port: return "OUT";
+  }
+  return "?";
+}
+
+xsfq_netlist::element_index xsfq_netlist::add_element(xsfq_element element) {
+  elements_.push_back(std::move(element));
+  return static_cast<element_index>(elements_.size() - 1);
+}
+
+std::size_t xsfq_netlist::count(element_kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(elements_.begin(), elements_.end(),
+                    [kind](const xsfq_element& e) { return e.kind == kind; }));
+}
+
+std::size_t xsfq_netlist::jj_count(bool with_ptl) const {
+  const cell_library& lib = cell_library::sfq5ee();
+  std::size_t total = 0;
+  for (const auto& e : elements_) {
+    switch (e.kind) {
+      case element_kind::la:
+        total += lib.jj_count(cell_type::la, with_ptl);
+        break;
+      case element_kind::fa:
+        total += lib.jj_count(cell_type::fa, with_ptl);
+        break;
+      case element_kind::splitter:
+        // Footnote 1 of the paper: cell abutment is assumed at splitter
+        // outputs, so splitters never pay PTL driver/receiver costs.  This
+        // reproduces the paper's 120/264 (direct full adder) and 58/138
+        // (Fig. 5ii) JJ figures exactly.
+        total += lib.jj_count(cell_type::splitter, /*with_ptl=*/false);
+        break;
+      case element_kind::droc:
+        total += lib.jj_count(cell_type::droc, with_ptl);
+        break;
+      case element_kind::droc_preload:
+        total += lib.jj_count(cell_type::droc_preload, with_ptl);
+        break;
+      default:
+        break;  // interface pseudo-elements are free
+    }
+  }
+  return total;
+}
+
+namespace {
+
+bool is_path_start(element_kind kind) {
+  return kind == element_kind::input_rail || kind == element_kind::const_rail ||
+         kind == element_kind::droc || kind == element_kind::droc_preload;
+}
+
+bool has_fanin1(element_kind kind) {
+  return kind == element_kind::la || kind == element_kind::fa;
+}
+
+bool has_fanin0(element_kind kind) {
+  return kind == element_kind::la || kind == element_kind::fa ||
+         kind == element_kind::splitter || kind == element_kind::droc ||
+         kind == element_kind::droc_preload ||
+         kind == element_kind::output_port;
+}
+
+}  // namespace
+
+unsigned xsfq_netlist::logical_depth() const {
+  // Elements are in topological order (construction invariant).
+  std::vector<unsigned> depth(elements_.size(), 0);
+  unsigned worst = 0;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    if (is_path_start(e.kind)) {
+      depth[i] = 0;
+      continue;
+    }
+    unsigned arrival = 0;
+    if (has_fanin0(e.kind)) arrival = depth[e.fanin0.element];
+    if (has_fanin1(e.kind)) {
+      arrival = std::max(arrival, depth[e.fanin1.element]);
+    }
+    const bool counts = e.kind == element_kind::la || e.kind == element_kind::fa;
+    depth[i] = arrival + (counts ? 1 : 0);
+    worst = std::max(worst, depth[i]);
+  }
+  return worst;
+}
+
+unsigned xsfq_netlist::logical_depth_with_splitters() const {
+  std::vector<unsigned> depth(elements_.size(), 0);
+  unsigned worst = 0;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    if (is_path_start(e.kind)) {
+      depth[i] = 0;
+      continue;
+    }
+    unsigned arrival = 0;
+    if (has_fanin0(e.kind)) arrival = depth[e.fanin0.element];
+    if (has_fanin1(e.kind)) {
+      arrival = std::max(arrival, depth[e.fanin1.element]);
+    }
+    const bool counts = e.kind == element_kind::la ||
+                        e.kind == element_kind::fa ||
+                        e.kind == element_kind::splitter;
+    depth[i] = arrival + (counts ? 1 : 0);
+    worst = std::max(worst, depth[i]);
+  }
+  return worst;
+}
+
+double xsfq_netlist::critical_path_ps(bool with_ptl) const {
+  const cell_library& lib = cell_library::sfq5ee();
+  const double d_la = lib.delay_ps(cell_type::la, with_ptl);
+  const double d_fa = lib.delay_ps(cell_type::fa, with_ptl);
+  const double d_sp = lib.delay_ps(cell_type::splitter, with_ptl);
+  // Clock-to-Q of a DROC (worst of Qp / Qn arcs).
+  const auto& droc_spec = lib.spec(cell_type::droc);
+  const double d_cq = with_ptl
+                          ? std::max(droc_spec.delay_ps_ptl,
+                                     droc_spec.delay_qn_ps_ptl)
+                          : std::max(droc_spec.delay_ps, droc_spec.delay_qn_ps);
+
+  std::vector<double> arrival(elements_.size(), 0.0);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    if (is_path_start(e.kind)) {
+      const bool is_droc = e.kind == element_kind::droc ||
+                           e.kind == element_kind::droc_preload;
+      arrival[i] = is_droc ? d_cq : 0.0;
+      worst = std::max(worst, arrival[i]);
+      continue;
+    }
+    double in_time = 0.0;
+    if (has_fanin0(e.kind)) in_time = arrival[e.fanin0.element];
+    if (has_fanin1(e.kind)) {
+      in_time = std::max(in_time, arrival[e.fanin1.element]);
+    }
+    switch (e.kind) {
+      case element_kind::la: arrival[i] = in_time + d_la; break;
+      case element_kind::fa: arrival[i] = in_time + d_fa; break;
+      case element_kind::splitter: arrival[i] = in_time + d_sp; break;
+      default: arrival[i] = in_time; break;  // output ports add no delay
+    }
+    worst = std::max(worst, arrival[i]);
+  }
+  return worst;
+}
+
+double xsfq_netlist::circuit_frequency_ghz(bool with_ptl) const {
+  const double path = critical_path_ps(with_ptl);
+  if (path <= 0.0) return 0.0;
+  return 1000.0 / path;  // ps -> GHz
+}
+
+void xsfq_netlist::check() const {
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    auto check_ref = [&](port_ref r, const char* which) {
+      if (r.element >= i) {
+        throw std::logic_error(std::string("xsfq_netlist: ") + which +
+                               " of element " + std::to_string(i) +
+                               " is not topologically earlier");
+      }
+      const auto& src = elements_[r.element];
+      const std::uint8_t max_port =
+          (src.kind == element_kind::splitter ||
+           src.kind == element_kind::droc ||
+           src.kind == element_kind::droc_preload)
+              ? 1
+              : 0;
+      if (r.port > max_port) {
+        throw std::logic_error("xsfq_netlist: bad port reference");
+      }
+      if (src.kind == element_kind::output_port) {
+        throw std::logic_error("xsfq_netlist: output port used as source");
+      }
+    };
+    if (has_fanin0(e.kind) && !e.feedback_input) {
+      check_ref(e.fanin0, "fanin0");
+    }
+    if (has_fanin1(e.kind)) check_ref(e.fanin1, "fanin1");
+  }
+}
+
+std::string xsfq_netlist::summary() const {
+  std::ostringstream os;
+  os << "xSFQ netlist: " << count(element_kind::la) << " LA, "
+     << count(element_kind::fa) << " FA, " << num_splitters()
+     << " splitters, " << num_drocs_plain() << "+" << num_drocs_preload()
+     << " DROC, JJ " << jj_count(false) << " (" << jj_count(true)
+     << " with PTL), depth " << logical_depth() << "/"
+     << logical_depth_with_splitters();
+  return os.str();
+}
+
+}  // namespace xsfq

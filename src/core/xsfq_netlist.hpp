@@ -1,0 +1,131 @@
+#pragma once
+/// \file xsfq_netlist.hpp
+/// \brief The mapped clock-free xSFQ netlist: LA/FA cells, splitters, DROCs.
+///
+/// This is the output representation of the paper's synthesis flow.  Elements
+/// are LA (dual-rail AND, positive rail), FA (dual-rail OR, i.e. the
+/// complement rail), 1-to-2 splitters, DROC storage cells (with or without
+/// preloading hardware) and the interface pseudo-elements (input rails,
+/// output ports, the trigger source).  Inversion is free: it is a rail
+/// *selection* at the consumer, never a cell.
+///
+/// Cost accounting follows Table 2 exactly:
+///   JJ = 4*(LA+FA) + 3*splitters + 13*DROC + 22*DROC_preloaded   (no PTL)
+///   JJ = 12*(LA+FA) + 10*splitters + 27*DROC + 36*DROC_preloaded (PTL)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cells/cell_library.hpp"
+
+namespace xsfq {
+
+/// Kinds of netlist elements.  `input_rail` and `const_rail` are sources;
+/// `output_port` is a sink; the rest are physical cells.
+enum class element_kind : std::uint8_t {
+  input_rail,   ///< one rail of a dual-rail primary input
+  const_rail,   ///< constant rail (never-pulsing or every-cycle-pulsing)
+  la,           ///< Last Arrival cell (C-element)
+  fa,           ///< First Arrival cell (inverse C-element)
+  splitter,     ///< 1-to-2 pulse splitter
+  droc,         ///< DROC storage cell (outputs both rails)
+  droc_preload, ///< DROC with DC-to-SFQ preloading hardware
+  output_port,  ///< primary-output / register-input interface point
+};
+
+const char* element_kind_name(element_kind kind);
+
+/// Reference to one output port of an element: (element index, port).
+/// Splitters have ports 0/1; DROCs have port 0 = Qp, port 1 = Qn; all other
+/// elements have a single port 0.
+struct port_ref {
+  std::uint32_t element = 0;
+  std::uint8_t port = 0;
+
+  bool operator==(const port_ref&) const = default;
+};
+
+/// One element of the mapped netlist.
+struct xsfq_element {
+  element_kind kind = element_kind::input_rail;
+  port_ref fanin0;            ///< valid for la/fa/splitter/droc/output
+  port_ref fanin1;            ///< valid for la/fa
+  std::int64_t aig_node = -1; ///< original AIG node (provenance), -1 if none
+  bool rail = false;          ///< rail polarity this element produces/carries
+                              ///< (false = positive)
+  std::uint16_t pipeline_rank = 0;  ///< DROC rank index (1-based), 0 = none
+  /// Boundary flip-flop DROC whose data input arrives through the feedback
+  /// arc recorded in mapping_result::register_feedback; fanin0 is unused.
+  bool feedback_input = false;
+  std::string name;           ///< interface name for sources/sinks
+};
+
+/// The mapped netlist plus cost/timing queries.
+class xsfq_netlist {
+public:
+  using element_index = std::uint32_t;
+
+  element_index add_element(xsfq_element element);
+
+  [[nodiscard]] const std::vector<xsfq_element>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] const xsfq_element& element(element_index i) const {
+    return elements_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return elements_.size(); }
+
+  // ----- component counts (the paper's table columns) -----------------------
+
+  [[nodiscard]] std::size_t count(element_kind kind) const;
+  /// LA + FA cells (the paper's "#LA/FA" column).
+  [[nodiscard]] std::size_t num_logic_cells() const {
+    return count(element_kind::la) + count(element_kind::fa);
+  }
+  [[nodiscard]] std::size_t num_splitters() const {
+    return count(element_kind::splitter);
+  }
+  /// DROCs without preloading hardware.
+  [[nodiscard]] std::size_t num_drocs_plain() const {
+    return count(element_kind::droc);
+  }
+  /// DROCs with preloading hardware.
+  [[nodiscard]] std::size_t num_drocs_preload() const {
+    return count(element_kind::droc_preload);
+  }
+
+  /// Total JJ count per the Table 2 cost model.
+  [[nodiscard]] std::size_t jj_count(bool with_ptl = false) const;
+
+  // ----- timing --------------------------------------------------------------
+
+  /// Longest source-to-sink path length counted in LA/FA cells only
+  /// ("logical depth without splitters", Table 5).
+  [[nodiscard]] unsigned logical_depth() const;
+  /// Longest path counting LA/FA cells and splitters ("with splitters").
+  [[nodiscard]] unsigned logical_depth_with_splitters() const;
+  /// Critical path delay in ps (Table 2 delays; DROC clock-to-Q included).
+  /// Paths are measured between synchronization points: sources and DROC
+  /// outputs start paths; DROC inputs and output ports end them.
+  [[nodiscard]] double critical_path_ps(bool with_ptl = false) const;
+  /// Circuit clock frequency in GHz (1 / critical path).
+  [[nodiscard]] double circuit_frequency_ghz(bool with_ptl = false) const;
+  /// Architectural frequency: half the circuit frequency, because every
+  /// logical cycle spends an excite and a relax phase (Sec. 4.2.2).
+  [[nodiscard]] double architectural_frequency_ghz(bool with_ptl = false) const {
+    return circuit_frequency_ghz(with_ptl) / 2.0;
+  }
+
+  /// Basic structural validation (fanin indices in range, kinds consistent);
+  /// throws std::logic_error on violation.
+  void check() const;
+
+  /// Short human-readable summary line.
+  [[nodiscard]] std::string summary() const;
+
+private:
+  std::vector<xsfq_element> elements_;
+};
+
+}  // namespace xsfq

@@ -1,0 +1,197 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xsfq {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("bench: line " + std::to_string(line) + ": " +
+                              message);
+}
+
+gate_kind kind_from_name(const std::string& name, std::size_t line) {
+  const std::string u = upper(name);
+  if (u == "AND") return gate_kind::and_gate;
+  if (u == "OR") return gate_kind::or_gate;
+  if (u == "NAND") return gate_kind::nand_gate;
+  if (u == "NOR") return gate_kind::nor_gate;
+  if (u == "XOR") return gate_kind::xor_gate;
+  if (u == "XNOR") return gate_kind::xnor_gate;
+  if (u == "NOT" || u == "INV") return gate_kind::inverter;
+  if (u == "BUF" || u == "BUFF") return gate_kind::buffer;
+  if (u == "MUX") return gate_kind::mux_gate;
+  if (u == "DFF") return gate_kind::dff;
+  if (u == "CONST0" || u == "GND") return gate_kind::constant0;
+  if (u == "CONST1" || u == "VDD") return gate_kind::constant1;
+  fail(line, "unknown gate type '" + name + "'");
+}
+
+}  // namespace
+
+netlist read_bench(std::istream& is, const std::string& model_name) {
+  netlist result;
+  result.set_name(model_name);
+  std::string raw_line;
+  std::size_t line_number = 0;
+  std::vector<std::string> pending_outputs;
+
+  while (std::getline(is, raw_line)) {
+    ++line_number;
+    std::string line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::string u = upper(line);
+    if (u.starts_with("INPUT(") || u.starts_with("OUTPUT(")) {
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (close == std::string::npos || close < open) {
+        fail(line_number, "missing ')'");
+      }
+      const std::string net = trim(line.substr(open + 1, close - open - 1));
+      if (net.empty()) fail(line_number, "empty port name");
+      if (u.starts_with("INPUT(")) {
+        result.add_input(net);
+      } else {
+        // Defer output marking: the net may not exist yet.
+        pending_outputs.push_back(net);
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_number, "expected '='");
+    const std::string target = trim(line.substr(0, eq));
+    std::string rhs = trim(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(line_number, "expected GATE(args)");
+    }
+    const gate_kind kind = kind_from_name(trim(rhs.substr(0, open)),
+                                          line_number);
+    const std::string args = rhs.substr(open + 1, close - open - 1);
+
+    std::vector<netlist::net_index> fanins;
+    bool init = false;
+    std::stringstream ss(args);
+    std::string token;
+    std::vector<std::string> arg_names;
+    while (std::getline(ss, token, ',')) {
+      token = trim(token);
+      if (!token.empty()) arg_names.push_back(token);
+    }
+    if (kind == gate_kind::dff) {
+      if (arg_names.empty() || arg_names.size() > 2) {
+        fail(line_number, "DFF takes 1 or 2 arguments");
+      }
+      fanins.push_back(result.net_by_name(arg_names[0]));
+      if (arg_names.size() == 2) {
+        if (arg_names[1] != "0" && arg_names[1] != "1") {
+          fail(line_number, "DFF init must be 0 or 1");
+        }
+        init = arg_names[1] == "1";
+      }
+    } else {
+      for (const auto& a : arg_names) {
+        fanins.push_back(result.net_by_name(a));
+      }
+      const std::size_t arity = fanins.size();
+      const bool unary = kind == gate_kind::inverter ||
+                         kind == gate_kind::buffer;
+      const bool nullary = kind == gate_kind::constant0 ||
+                           kind == gate_kind::constant1;
+      if (unary && arity != 1) fail(line_number, "unary gate needs 1 input");
+      if (nullary && arity != 0) fail(line_number, "constant takes no input");
+      if (kind == gate_kind::mux_gate && arity != 3) {
+        fail(line_number, "MUX needs 3 inputs (sel, then, else)");
+      }
+      if (!unary && !nullary && kind != gate_kind::mux_gate && arity < 2) {
+        fail(line_number, "gate needs at least 2 inputs");
+      }
+    }
+    result.add_gate(kind, std::move(fanins), target, init);
+  }
+
+  for (const auto& net : pending_outputs) {
+    result.mark_output(result.net_by_name(net));
+  }
+  if (!result.is_fully_driven()) {
+    throw std::invalid_argument("bench: undriven nets referenced");
+  }
+  return result;
+}
+
+netlist read_bench_string(const std::string& text,
+                          const std::string& model_name) {
+  std::istringstream is(text);
+  return read_bench(is, model_name);
+}
+
+netlist read_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("bench: cannot open " + path);
+  auto model = path;
+  if (const auto slash = model.find_last_of('/'); slash != std::string::npos) {
+    model = model.substr(slash + 1);
+  }
+  if (const auto dot = model.find_last_of('.'); dot != std::string::npos) {
+    model = model.substr(0, dot);
+  }
+  return read_bench(is, model);
+}
+
+void write_bench(const netlist& circuit, std::ostream& os) {
+  os << "# " << circuit.name() << " — written by xsfq\n";
+  for (const auto in : circuit.inputs()) {
+    os << "INPUT(" << circuit.net_name(in) << ")\n";
+  }
+  for (const auto out : circuit.outputs()) {
+    os << "OUTPUT(" << circuit.net_name(out) << ")\n";
+  }
+  for (const auto& g : circuit.gates()) {
+    os << circuit.net_name(g.output) << " = " << gate_kind_name(g.kind) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << circuit.net_name(g.fanins[i]);
+    }
+    if (g.kind == gate_kind::dff && g.init) os << ", 1";
+    os << ")\n";
+  }
+}
+
+std::string write_bench_string(const netlist& circuit) {
+  std::ostringstream os;
+  write_bench(circuit, os);
+  return os.str();
+}
+
+void write_bench_file(const netlist& circuit, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::invalid_argument("bench: cannot open " + path);
+  write_bench(circuit, os);
+}
+
+}  // namespace xsfq

@@ -1,0 +1,316 @@
+#include "netlist/blif_io.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xsfq {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("blif: line " + std::to_string(line) + ": " +
+                              message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::stringstream ss(line);
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// A parsed .names block before lowering.
+struct names_block {
+  std::vector<std::string> nets;  ///< inputs then output
+  std::vector<std::pair<std::string, char>> cover;  ///< (input part, out bit)
+  std::size_t line = 0;
+};
+
+/// Lowers one SOP cover to AND/OR/NOT netlist gates.
+void lower_names(netlist& result, const names_block& block,
+                 std::size_t& fresh) {
+  const std::size_t num_inputs = block.nets.size() - 1;
+  const std::string& output = block.nets.back();
+
+  // Constant covers.
+  if (num_inputs == 0) {
+    const bool value = !block.cover.empty() && block.cover.front().second == '1';
+    result.add_gate(value ? gate_kind::constant1 : gate_kind::constant0, {},
+                    output);
+    return;
+  }
+
+  // The output polarity of a BLIF cover is uniform (all lines share the same
+  // output bit); a '0' output lists the offset instead of the onset.
+  bool onset = true;
+  if (!block.cover.empty()) onset = block.cover.front().second == '1';
+
+  auto fresh_net = [&](const char* tag) {
+    // Skip names already present (e.g. when re-reading our own output).
+    std::string name;
+    do {
+      name = "_blif" + std::to_string(fresh++) + tag;
+    } while (result.has_net(name));
+    return name;
+  };
+
+  std::vector<netlist::net_index> product_nets;
+  for (const auto& [mask, out_bit] : block.cover) {
+    if (mask.size() != num_inputs) {
+      fail(block.line, "cover width mismatch in .names " + output);
+    }
+    std::vector<netlist::net_index> literals;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      if (mask[i] == '-') continue;
+      netlist::net_index n = result.net_by_name(block.nets[i]);
+      if (mask[i] == '0') {
+        const auto inv = result.add_gate(gate_kind::inverter, {n},
+                                         fresh_net("n"));
+        n = inv;
+      } else if (mask[i] != '1') {
+        fail(block.line, "bad cover character");
+      }
+      literals.push_back(n);
+    }
+    if (literals.empty()) {
+      // Tautological cube: the cover is constant.
+      result.add_gate(onset ? gate_kind::constant1 : gate_kind::constant0, {},
+                      output);
+      return;
+    }
+    if (literals.size() == 1) {
+      product_nets.push_back(literals.front());
+    } else {
+      product_nets.push_back(
+          result.add_gate(gate_kind::and_gate, literals, fresh_net("a")));
+    }
+  }
+
+  if (product_nets.empty()) {
+    // Empty cover: constant 0 onset (or constant 1 if offset listed).
+    result.add_gate(onset ? gate_kind::constant0 : gate_kind::constant1, {},
+                    output);
+    return;
+  }
+  if (product_nets.size() == 1 && onset) {
+    result.add_gate(gate_kind::buffer, {product_nets.front()}, output);
+    return;
+  }
+  if (product_nets.size() == 1) {
+    result.add_gate(gate_kind::inverter, {product_nets.front()}, output);
+    return;
+  }
+  result.add_gate(onset ? gate_kind::or_gate : gate_kind::nor_gate,
+                  product_nets, output);
+}
+
+}  // namespace
+
+netlist read_blif(std::istream& is) {
+  netlist result;
+  std::string raw_line;
+  std::string line;
+  std::size_t line_number = 0;
+  std::vector<names_block> blocks;
+  std::size_t fresh = 0;
+  bool ended = false;
+
+  auto read_logical_line = [&]() -> bool {
+    line.clear();
+    while (std::getline(is, raw_line)) {
+      ++line_number;
+      if (const auto hash = raw_line.find('#'); hash != std::string::npos) {
+        raw_line.resize(hash);
+      }
+      // Line continuation.
+      while (!raw_line.empty() &&
+             (raw_line.back() == '\\' ||
+              (raw_line.size() >= 2 && raw_line.ends_with("\\\r")))) {
+        raw_line.resize(raw_line.find_last_of('\\'));
+        std::string next;
+        if (!std::getline(is, next)) break;
+        ++line_number;
+        raw_line += next;
+      }
+      line = raw_line;
+      if (!tokenize(line).empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> pending_outputs;
+  names_block* open_block = nullptr;
+
+  while (read_logical_line()) {
+    const auto tokens = tokenize(line);
+    const std::string& head = tokens.front();
+    if (head[0] == '.') {
+      open_block = nullptr;
+      if (head == ".model") {
+        if (tokens.size() > 1) result.set_name(tokens[1]);
+      } else if (head == ".inputs") {
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          result.add_input(tokens[i]);
+        }
+      } else if (head == ".outputs") {
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          pending_outputs.push_back(tokens[i]);
+        }
+      } else if (head == ".names") {
+        if (tokens.size() < 2) fail(line_number, ".names needs an output");
+        names_block block;
+        block.nets.assign(tokens.begin() + 1, tokens.end());
+        block.line = line_number;
+        blocks.push_back(std::move(block));
+        open_block = &blocks.back();
+      } else if (head == ".latch") {
+        if (tokens.size() < 3) fail(line_number, ".latch needs input output");
+        const std::string& input = tokens[1];
+        const std::string& output = tokens[2];
+        bool init = false;
+        // Optional fields: [<type> <control>] [<init-val>].
+        if (tokens.size() >= 4) {
+          const std::string& last = tokens.back();
+          if (last == "1" || last == "3") init = last == "1";
+        }
+        result.add_gate(gate_kind::dff,
+                        {result.net_by_name(input)}, output, init);
+      } else if (head == ".end") {
+        ended = true;
+        break;
+      } else {
+        fail(line_number, "unsupported directive " + head);
+      }
+    } else {
+      if (!open_block) fail(line_number, "cover line outside .names");
+      if (open_block->nets.size() == 1) {
+        // Constant: single token "0" or "1".
+        if (tokens.size() != 1) fail(line_number, "bad constant cover");
+        open_block->cover.emplace_back("", tokens[0][0]);
+      } else {
+        if (tokens.size() != 2) fail(line_number, "bad cover line");
+        open_block->cover.emplace_back(tokens[0], tokens[1][0]);
+      }
+    }
+  }
+  (void)ended;
+
+  // Register all declared net names before lowering so that generated
+  // helper nets never collide with names later in the file.
+  for (const auto& block : blocks) {
+    for (const auto& net : block.nets) result.net_by_name(net);
+  }
+  for (const auto& block : blocks) {
+    lower_names(result, block, fresh);
+  }
+  for (const auto& net : pending_outputs) {
+    result.mark_output(result.net_by_name(net));
+  }
+  if (!result.is_fully_driven()) {
+    throw std::invalid_argument("blif: undriven nets referenced");
+  }
+  return result;
+}
+
+netlist read_blif_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_blif(is);
+}
+
+netlist read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("blif: cannot open " + path);
+  return read_blif(is);
+}
+
+void write_blif(const netlist& circuit, std::ostream& os) {
+  os << ".model " << circuit.name() << "\n.inputs";
+  for (const auto in : circuit.inputs()) {
+    os << ' ' << circuit.net_name(in);
+  }
+  os << "\n.outputs";
+  for (const auto out : circuit.outputs()) {
+    os << ' ' << circuit.net_name(out);
+  }
+  os << '\n';
+
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == gate_kind::dff) {
+      os << ".latch " << circuit.net_name(g.fanins.at(0)) << ' '
+         << circuit.net_name(g.output) << ' ' << (g.init ? 1 : 0) << '\n';
+      continue;
+    }
+    os << ".names";
+    for (const auto f : g.fanins) os << ' ' << circuit.net_name(f);
+    os << ' ' << circuit.net_name(g.output) << '\n';
+    const std::size_t arity = g.fanins.size();
+    switch (g.kind) {
+      case gate_kind::constant0:
+        break;  // empty cover = constant 0
+      case gate_kind::constant1:
+        os << "1\n";
+        break;
+      case gate_kind::buffer:
+        os << "1 1\n";
+        break;
+      case gate_kind::inverter:
+        os << "0 1\n";
+        break;
+      case gate_kind::and_gate:
+        os << std::string(arity, '1') << " 1\n";
+        break;
+      case gate_kind::nand_gate:
+        os << std::string(arity, '1') << " 0\n";
+        break;
+      case gate_kind::or_gate:
+        for (std::size_t i = 0; i < arity; ++i) {
+          std::string mask(arity, '-');
+          mask[i] = '1';
+          os << mask << " 1\n";
+        }
+        break;
+      case gate_kind::nor_gate:
+        os << std::string(arity, '0') << " 1\n";
+        break;
+      case gate_kind::xor_gate:
+      case gate_kind::xnor_gate: {
+        if (arity > 16) {
+          throw std::invalid_argument("blif: XOR arity too large to expand");
+        }
+        const bool odd_wanted = g.kind == gate_kind::xor_gate;
+        for (std::uint32_t m = 0; m < (1u << arity); ++m) {
+          const bool odd = (std::popcount(m) & 1) != 0;
+          if (odd != odd_wanted) continue;
+          std::string mask(arity, '0');
+          for (std::size_t i = 0; i < arity; ++i) {
+            if ((m >> i) & 1u) mask[i] = '1';
+          }
+          os << mask << " 1\n";
+        }
+        break;
+      }
+      case gate_kind::mux_gate:
+        os << "11- 1\n0-1 1\n";
+        break;
+      case gate_kind::dff:
+        break;  // handled above
+    }
+  }
+  os << ".end\n";
+}
+
+std::string write_blif_string(const netlist& circuit) {
+  std::ostringstream os;
+  write_blif(circuit, os);
+  return os.str();
+}
+
+void write_blif_file(const netlist& circuit, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::invalid_argument("blif: cannot open " + path);
+  write_blif(circuit, os);
+}
+
+}  // namespace xsfq

@@ -1,0 +1,27 @@
+#pragma once
+/// \file blif_io.hpp
+/// \brief Reader/writer for the Berkeley Logic Interchange Format (BLIF).
+///
+/// BLIF is the distribution format of the EPFL benchmark suite used in the
+/// paper's evaluation (Tables 3 and 4).  Supported subset: .model, .inputs,
+/// .outputs, .names (SOP covers with '-' don't-cares), .latch (re/fe/ah/al/as
+/// and clock fields optional, init 0/1/2/3), .end.  SOP covers are lowered to
+/// AND/OR/NOT gates while parsing.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace xsfq {
+
+netlist read_blif(std::istream& is);
+netlist read_blif_string(const std::string& text);
+netlist read_blif_file(const std::string& path);
+
+/// Writes the netlist as BLIF (.names covers; DFFs as .latch).
+void write_blif(const netlist& circuit, std::ostream& os);
+std::string write_blif_string(const netlist& circuit);
+void write_blif_file(const netlist& circuit, const std::string& path);
+
+}  // namespace xsfq

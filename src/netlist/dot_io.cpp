@@ -1,0 +1,49 @@
+#include "netlist/dot_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace xsfq {
+
+void write_dot(const aig& network, std::ostream& os,
+               const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=circle];\n";
+  network.foreach_ci([&](signal s, std::size_t i) {
+    const bool is_reg = network.is_register_output(s.index());
+    const std::string label =
+        is_reg ? network.register_name(i - network.num_pis())
+               : network.pi_name(i);
+    os << "  n" << s.index() << " [shape=box,label=\"" << label << "\"];\n";
+  });
+  network.foreach_gate([&](aig::node_index n) {
+    os << "  n" << n << " [label=\"" << n << "\"];\n";
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      os << "  n" << f.index() << " -> n" << n;
+      if (f.is_complemented()) os << " [style=dotted]";
+      os << ";\n";
+    }
+  });
+  network.foreach_co([&](signal s, std::size_t i) {
+    const bool is_po = i < network.num_pos();
+    const std::string label = is_po
+                                  ? network.po_name(i)
+                                  : network.register_name(i - network.num_pos()) +
+                                        ".d";
+    os << "  o" << i << " [shape=box,label=\"" << label << "\"];\n";
+    os << "  n" << s.index() << " -> o" << i;
+    if (s.is_complemented()) os << " [style=dotted]";
+    os << ";\n";
+  });
+  os << "}\n";
+}
+
+std::string write_dot_string(const aig& network,
+                             const std::string& graph_name) {
+  std::ostringstream os;
+  write_dot(network, os, graph_name);
+  return os.str();
+}
+
+}  // namespace xsfq

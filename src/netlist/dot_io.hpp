@@ -1,0 +1,20 @@
+#pragma once
+/// \file dot_io.hpp
+/// \brief Graphviz DOT export for AIGs (documentation and debugging aid,
+/// e.g. to render the Figure 4 full-adder AIG).
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace xsfq {
+
+/// Writes the AIG as a DOT digraph; dotted edges mark complemented fanins
+/// (the paper's Figure 4 convention).
+void write_dot(const aig& network, std::ostream& os,
+               const std::string& graph_name = "aig");
+std::string write_dot_string(const aig& network,
+                             const std::string& graph_name = "aig");
+
+}  // namespace xsfq

@@ -1,0 +1,221 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xsfq {
+
+const char* gate_kind_name(gate_kind kind) {
+  switch (kind) {
+    case gate_kind::constant0: return "CONST0";
+    case gate_kind::constant1: return "CONST1";
+    case gate_kind::buffer: return "BUFF";
+    case gate_kind::inverter: return "NOT";
+    case gate_kind::and_gate: return "AND";
+    case gate_kind::or_gate: return "OR";
+    case gate_kind::nand_gate: return "NAND";
+    case gate_kind::nor_gate: return "NOR";
+    case gate_kind::xor_gate: return "XOR";
+    case gate_kind::xnor_gate: return "XNOR";
+    case gate_kind::mux_gate: return "MUX";
+    case gate_kind::dff: return "DFF";
+  }
+  return "?";
+}
+
+netlist::net_index netlist::add_net(const std::string& name) {
+  const auto index = static_cast<net_index>(net_names_.size());
+  net_names_.push_back(name);
+  driver_.push_back(-1);
+  by_name_.emplace(name, index);
+  return index;
+}
+
+netlist::net_index netlist::add_input(const std::string& name) {
+  const net_index n = net_by_name(name);
+  if (driver_[n] != -1) {
+    throw std::invalid_argument("netlist: input net already driven: " + name);
+  }
+  driver_[n] = -2;
+  inputs_.push_back(n);
+  return n;
+}
+
+void netlist::mark_output(net_index net) { outputs_.push_back(net); }
+
+netlist::net_index netlist::add_gate(gate_kind kind,
+                                     std::vector<net_index> fanins,
+                                     const std::string& name, bool init) {
+  const net_index out = net_by_name(name);
+  if (driver_[out] != -1) {
+    throw std::invalid_argument("netlist: net driven twice: " + name);
+  }
+  gate g;
+  g.kind = kind;
+  g.fanins = std::move(fanins);
+  g.output = out;
+  g.init = init;
+  driver_[out] = static_cast<std::int32_t>(gates_.size());
+  gates_.push_back(std::move(g));
+  return out;
+}
+
+netlist::net_index netlist::net_by_name(const std::string& name) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  return add_net(name);
+}
+
+bool netlist::has_net(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+std::size_t netlist::num_dffs() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(), [](const gate& g) {
+        return g.kind == gate_kind::dff;
+      }));
+}
+
+bool netlist::is_fully_driven() const {
+  return std::all_of(driver_.begin(), driver_.end(),
+                     [](std::int32_t d) { return d != -1; });
+}
+
+aig netlist::to_aig() const {
+  if (!is_fully_driven()) {
+    throw std::invalid_argument("netlist::to_aig: undriven nets present");
+  }
+  aig result;
+  std::vector<signal> value(net_names_.size(), result.get_constant(false));
+  std::vector<bool> ready(net_names_.size(), false);
+
+  for (const net_index n : inputs_) {
+    value[n] = result.create_pi(net_names_[n]);
+    ready[n] = true;
+  }
+  // DFF outputs are register outputs (combinational inputs).
+  std::vector<std::pair<std::size_t, const gate*>> dffs;
+  for (const gate& g : gates_) {
+    if (g.kind == gate_kind::dff) {
+      value[g.output] =
+          result.create_register_output(g.init, net_names_[g.output]);
+      ready[g.output] = true;
+      dffs.emplace_back(result.num_registers() - 1, &g);
+    }
+  }
+
+  // Lower combinational gates; iterate until fixpoint since file order and
+  // gate order are arbitrary (BENCH allows forward references).
+  auto lower = [&](const gate& g) -> signal {
+    std::vector<signal> ins;
+    ins.reserve(g.fanins.size());
+    for (const net_index f : g.fanins) ins.push_back(value[f]);
+    switch (g.kind) {
+      case gate_kind::constant0: return result.get_constant(false);
+      case gate_kind::constant1: return result.get_constant(true);
+      case gate_kind::buffer: return ins.at(0);
+      case gate_kind::inverter: return !ins.at(0);
+      case gate_kind::and_gate: return result.create_and_n(ins);
+      case gate_kind::or_gate: return result.create_or_n(ins);
+      case gate_kind::nand_gate: return !result.create_and_n(ins);
+      case gate_kind::nor_gate: return !result.create_or_n(ins);
+      case gate_kind::xor_gate: return result.create_xor_n(ins);
+      case gate_kind::xnor_gate: return !result.create_xor_n(ins);
+      case gate_kind::mux_gate:
+        return result.create_mux(ins.at(0), ins.at(1), ins.at(2));
+      case gate_kind::dff: break;  // handled above
+    }
+    throw std::logic_error("netlist::to_aig: unexpected gate kind");
+  };
+
+  bool progress = true;
+  std::size_t remaining = 0;
+  do {
+    progress = false;
+    remaining = 0;
+    for (const gate& g : gates_) {
+      if (g.kind == gate_kind::dff || ready[g.output]) continue;
+      const bool inputs_ready =
+          std::all_of(g.fanins.begin(), g.fanins.end(),
+                      [&](net_index f) { return ready[f]; });
+      if (!inputs_ready) {
+        ++remaining;
+        continue;
+      }
+      value[g.output] = lower(g);
+      ready[g.output] = true;
+      progress = true;
+    }
+  } while (progress && remaining > 0);
+  if (remaining > 0) {
+    throw std::invalid_argument(
+        "netlist::to_aig: combinational cycle detected");
+  }
+
+  for (const net_index n : outputs_) {
+    result.create_po(value[n], net_names_[n]);
+  }
+  for (const auto& [reg, g] : dffs) {
+    result.set_register_input(reg, value[g->fanins.at(0)]);
+  }
+  return result;
+}
+
+netlist netlist_from_aig(const aig& network, const std::string& model_name) {
+  netlist result;
+  result.set_name(model_name);
+
+  // Net naming: CIs keep their names; gates get n<idx>; complement edges
+  // materialize inverter gates (shared per node).
+  std::vector<netlist::net_index> net_of(network.size());
+  std::vector<std::int32_t> inverted_net_of(network.size(), -1);
+
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    net_of[network.pi(i).index()] = result.add_input(network.pi_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    // Placeholder nets now; DFF gates added after combinational logic so
+    // that their data fanin nets exist.
+    net_of[network.register_at(i).output_node] =
+        result.net_by_name(network.register_name(i));
+  }
+  const netlist::net_index const0 =
+      result.add_gate(gate_kind::constant0, {}, "const0");
+  net_of[0] = const0;
+
+  auto net_for = [&](signal s) -> netlist::net_index {
+    if (!s.is_complemented()) return net_of[s.index()];
+    if (inverted_net_of[s.index()] < 0) {
+      const std::string name =
+          "ninv" + std::to_string(static_cast<unsigned long>(s.index()));
+      inverted_net_of[s.index()] = static_cast<std::int32_t>(
+          result.add_gate(gate_kind::inverter, {net_of[s.index()]}, name));
+    }
+    return static_cast<netlist::net_index>(inverted_net_of[s.index()]);
+  };
+
+  network.foreach_gate([&](aig::node_index n) {
+    const std::string name = "n" + std::to_string(static_cast<unsigned long>(n));
+    net_of[n] = result.add_gate(
+        gate_kind::and_gate,
+        {net_for(network.fanin0(n)), net_for(network.fanin1(n))}, name);
+  });
+
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const signal po = network.po_signal(i);
+    // Emit a named buffer so output names survive.
+    const netlist::net_index n = result.add_gate(
+        gate_kind::buffer, {net_for(po)}, network.po_name(i));
+    result.mark_output(n);
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const auto& reg = network.register_at(i);
+    result.add_gate(gate_kind::dff, {net_for(reg.input)},
+                    network.register_name(i), reg.init);
+  }
+  return result;
+}
+
+}  // namespace xsfq

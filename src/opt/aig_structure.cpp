@@ -1,0 +1,85 @@
+#include "opt/aig_structure.hpp"
+
+#include <stdexcept>
+
+namespace xsfq {
+
+truth_table aig_structure::evaluate() const {
+  std::vector<truth_table> value;
+  value.reserve(num_leaves + steps.size());
+  for (unsigned v = 0; v < num_leaves; ++v) {
+    value.push_back(truth_table::nth_var(num_leaves, v));
+  }
+  auto resolve = [&](std::uint32_t lit) -> truth_table {
+    if (lit == const0_lit) return truth_table::zeros(num_leaves);
+    if (lit == const1_lit) return truth_table::ones(num_leaves);
+    const truth_table& t = value[lit >> 1];
+    return (lit & 1u) ? ~t : t;
+  };
+  for (const auto& st : steps) {
+    value.push_back(resolve(st.lit0) & resolve(st.lit1));
+  }
+  return resolve(out_lit);
+}
+
+namespace {
+
+/// During probing, a step either resolves to a concrete signal in `dest` or
+/// is "virtual" (would be newly created).
+struct probe_value {
+  bool known = false;
+  signal value;
+};
+
+}  // namespace
+
+std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
+                                        const std::vector<signal>& leaf_signals,
+                                        unsigned budget) {
+  if (leaf_signals.size() != s.num_leaves) {
+    throw std::invalid_argument("count_new_nodes: leaf count mismatch");
+  }
+  std::vector<probe_value> value(s.num_leaves + s.steps.size());
+  for (unsigned v = 0; v < s.num_leaves; ++v) {
+    value[v] = {true, leaf_signals[v]};
+  }
+  unsigned added = 0;
+  for (std::size_t i = 0; i < s.steps.size(); ++i) {
+    const auto& st = s.steps[i];
+    // Constants cannot appear as step fanins (providers fold them away).
+    const probe_value& a = value[st.lit0 >> 1];
+    const probe_value& b = value[st.lit1 >> 1];
+    probe_value& out = value[s.num_leaves + i];
+    if (a.known && b.known) {
+      if (const auto found = dest.find_and(a.value ^ (st.lit0 & 1u),
+                                           b.value ^ (st.lit1 & 1u))) {
+        out = {true, *found};
+        continue;
+      }
+    }
+    out = {false, signal{}};
+    if (++added > budget) return std::nullopt;
+  }
+  return added;
+}
+
+signal build_structure(aig& dest, const aig_structure& s,
+                       const std::vector<signal>& leaf_signals) {
+  if (leaf_signals.size() != s.num_leaves) {
+    throw std::invalid_argument("build_structure: leaf count mismatch");
+  }
+  std::vector<signal> value;
+  value.reserve(s.num_leaves + s.steps.size());
+  value.insert(value.end(), leaf_signals.begin(), leaf_signals.end());
+  auto resolve = [&](std::uint32_t lit) -> signal {
+    if (lit == aig_structure::const0_lit) return dest.get_constant(false);
+    if (lit == aig_structure::const1_lit) return dest.get_constant(true);
+    return value[lit >> 1] ^ ((lit & 1u) != 0);
+  };
+  for (const auto& st : s.steps) {
+    value.push_back(dest.create_and(resolve(st.lit0), resolve(st.lit1)));
+  }
+  return resolve(s.out_lit);
+}
+
+}  // namespace xsfq

@@ -1,0 +1,19 @@
+#pragma once
+/// \file balance.hpp
+/// \brief AND-tree balancing for depth reduction (ABC `balance` analogue).
+///
+/// Collects maximal multi-input conjunctions by traversing non-complemented,
+/// single-fanout AND edges and rebuilds each as a minimum-depth tree, pairing
+/// the two shallowest operands first (Huffman-style on arrival levels).
+/// Depth matters doubly in xSFQ: the paper's Table 5 reports logical depth
+/// both as the critical path and, after splitter insertion, as the quantity
+/// that sets the circuit clock frequency of pipelined designs.
+
+#include "aig/aig.hpp"
+
+namespace xsfq {
+
+/// Returns a depth-balanced, cleaned-up copy of the network.
+aig balance(const aig& network);
+
+}  // namespace xsfq

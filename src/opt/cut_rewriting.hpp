@@ -1,0 +1,55 @@
+#pragma once
+/// \file cut_rewriting.hpp
+/// \brief DAG-aware cut rewriting engine (ABC `rewrite`/`refactor` analogue).
+///
+/// The engine walks the network in topological order, builds an optimized
+/// copy, and for every gate compares the "just copy this AND" default against
+/// candidate re-implementations of its cut functions.  A candidate's benefit
+/// is estimated exactly as in DAG-aware rewriting [9]:
+///
+///     gain = MFFC(cut)  -  nodes the candidate would really add
+///
+/// where the added-node count is obtained by probing the destination
+/// network's structural hash table (shared logic is free), and the MFFC is
+/// the cone logic that dies once the root is re-expressed over the cut
+/// leaves.  Candidates come from a pluggable resynthesis provider: the
+/// precomputed 4-input library (rewrite) or ISOP factoring (refactor).
+
+#include <functional>
+#include <optional>
+
+#include "aig/aig.hpp"
+#include "aig/cuts.hpp"
+#include "opt/aig_structure.hpp"
+
+namespace xsfq {
+
+/// Produces a candidate structure for a cut function, or nullopt to skip.
+using resynthesis_fn =
+    std::function<std::optional<aig_structure>(const truth_table&)>;
+
+struct cut_rewriting_params {
+  cut_params cuts;               ///< cut enumeration settings
+  bool allow_zero_gain = false;  ///< also take gain == 0 replacements
+};
+
+struct cut_rewriting_stats {
+  unsigned replacements = 0;
+  unsigned gain_estimate = 0;  ///< sum of accepted gains (pre-cleanup)
+};
+
+/// Runs one rewriting pass; returns the optimized (cleaned-up) network.
+aig cut_rewriting(const aig& network, const resynthesis_fn& resynthesize,
+                  const cut_rewriting_params& params = {},
+                  cut_rewriting_stats* stats = nullptr);
+
+/// ABC-style `rewrite`: 4-input cuts resynthesized from the precomputed
+/// minimal-structure library.
+aig rewrite(const aig& network, bool allow_zero_gain = false);
+
+/// ABC-style `refactor`: larger cuts resynthesized via ISOP + algebraic
+/// factoring.
+aig refactor(const aig& network, unsigned cut_size = 6,
+             bool allow_zero_gain = false);
+
+}  // namespace xsfq

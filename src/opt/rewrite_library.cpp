@@ -1,0 +1,152 @@
+#include "opt/rewrite_library.hpp"
+
+#include <stdexcept>
+
+#include "aig/npn.hpp"
+
+namespace xsfq {
+namespace {
+
+constexpr std::uint8_t k_var_const = 0xF0;  ///< entry::var code for constant 0
+
+constexpr std::uint16_t k_projection[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+}  // namespace
+
+const rewrite_library& rewrite_library::instance() {
+  static const rewrite_library library;
+  return library;
+}
+
+rewrite_library::rewrite_library(unsigned budget) : entries_(65536) {
+  settle_base();
+  run_closure(budget);
+}
+
+void rewrite_library::settle_base() {
+  auto settle_pair = [&](std::uint16_t table, std::uint8_t var) {
+    entry e;
+    e.cost = 0;
+    e.var = var;
+    entries_[table] = e;
+    e.out_compl = true;
+    entries_[static_cast<std::uint16_t>(~table)] = e;
+    num_settled_ += 2;
+  };
+  settle_pair(0x0000, k_var_const);
+  for (std::uint8_t v = 0; v < 4; ++v) {
+    settle_pair(k_projection[v], v);
+  }
+}
+
+void rewrite_library::run_closure(unsigned budget) {
+  std::vector<std::vector<std::uint16_t>> wave(budget + 1);
+  wave[0] = {k_projection[0], k_projection[1], k_projection[2],
+             k_projection[3]};
+
+  auto try_settle = [&](std::uint16_t f, bool p, std::uint16_t g, bool q,
+                        std::uint8_t c) {
+    const auto fa = static_cast<std::uint16_t>(p ? ~f : f);
+    const auto fb = static_cast<std::uint16_t>(q ? ~g : g);
+    const auto h = static_cast<std::uint16_t>(fa & fb);
+    if (entries_[h].cost <= c) return;
+    entry e;
+    e.cost = c;
+    e.is_and = true;
+    e.lit0 = (std::uint32_t{f} << 1) | (p ? 1u : 0u);
+    e.lit1 = (std::uint32_t{g} << 1) | (q ? 1u : 0u);
+    entries_[h] = e;
+    e.out_compl = true;
+    entries_[static_cast<std::uint16_t>(~h)] = e;
+    num_settled_ += 2;
+    wave[c].push_back(h);
+  };
+
+  for (unsigned c = 1; c <= budget; ++c) {
+    for (unsigned cf = 0; 2 * cf <= c - 1; ++cf) {
+      const unsigned cg = c - 1 - cf;
+      if (cg > budget) continue;
+      const auto& wf = wave[cf];
+      const auto& wg = wave[cg];
+      for (std::size_t i = 0; i < wf.size(); ++i) {
+        const std::size_t j_begin = (cf == cg) ? i : 0;
+        for (std::size_t j = j_begin; j < wg.size(); ++j) {
+          const std::uint16_t f = wf[i];
+          const std::uint16_t g = wg[j];
+          try_settle(f, false, g, false, static_cast<std::uint8_t>(c));
+          try_settle(f, false, g, true, static_cast<std::uint8_t>(c));
+          try_settle(f, true, g, false, static_cast<std::uint8_t>(c));
+          try_settle(f, true, g, true, static_cast<std::uint8_t>(c));
+        }
+      }
+    }
+  }
+}
+
+std::optional<unsigned> rewrite_library::cost(std::uint16_t function) const {
+  const entry& e = entries_[function];
+  if (e.cost == 0xFF) return std::nullopt;
+  return e.cost;
+}
+
+std::uint32_t rewrite_library::emit(
+    std::uint16_t function, aig_structure& s,
+    std::vector<std::pair<std::uint16_t, std::uint32_t>>& step_of) const {
+  const entry& e = entries_[function];
+  if (e.cost == 0xFF) {
+    throw std::logic_error("rewrite_library::emit: unsettled function");
+  }
+  if (!e.is_and) {
+    if (e.var == k_var_const) {
+      return e.out_compl ? aig_structure::const1_lit
+                         : aig_structure::const0_lit;
+    }
+    return (std::uint32_t{e.var} << 1) | (e.out_compl ? 1u : 0u);
+  }
+  // The underlying AND node's table (strip output complement for memoizing).
+  const auto and_table = static_cast<std::uint16_t>(
+      e.out_compl ? ~function : function);
+  std::uint32_t step_index = 0;
+  bool found = false;
+  for (const auto& [table, index] : step_of) {
+    if (table == and_table) {
+      step_index = index;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    const std::uint32_t a =
+        emit(static_cast<std::uint16_t>(e.lit0 >> 1), s, step_of) ^
+        (e.lit0 & 1u);
+    const std::uint32_t b =
+        emit(static_cast<std::uint16_t>(e.lit1 >> 1), s, step_of) ^
+        (e.lit1 & 1u);
+    s.steps.push_back({a, b});
+    step_index = static_cast<std::uint32_t>(s.steps.size()) - 1;
+    step_of.emplace_back(and_table, step_index);
+  }
+  const auto ref =
+      static_cast<std::uint32_t>(s.num_leaves + step_index);
+  return (ref << 1) | (e.out_compl ? 1u : 0u);
+}
+
+std::optional<aig_structure> rewrite_library::structure(
+    std::uint16_t function) const {
+  if (entries_[function].cost == 0xFF) return std::nullopt;
+  aig_structure s;
+  s.num_leaves = 4;
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> step_of;
+  s.out_lit = emit(function, s, step_of);
+  return s;
+}
+
+std::size_t rewrite_library::num_classes_covered() const {
+  std::size_t covered = 0;
+  for (const std::uint16_t rep : npn4_class_representatives()) {
+    if (entries_[rep].cost != 0xFF) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace xsfq

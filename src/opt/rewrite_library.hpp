@@ -1,0 +1,72 @@
+#pragma once
+/// \file rewrite_library.hpp
+/// \brief Precomputed minimal tree-size AIG structures for 4-input functions.
+///
+/// The DAG-aware rewriting pass (ABC's `rewrite` [9]) looks up each 4-cut
+/// function in a library of optimized implementations.  This library is built
+/// once per process by a bounded Dijkstra-style closure: starting from the
+/// projection functions, functions are settled in order of increasing tree
+/// cost (number of AND gates, inverters free), combining settled pairs with
+/// all four input-polarity choices.  The budget cap keeps construction fast;
+/// functions beyond the budget fall back to the ISOP-factoring provider at
+/// rewrite time.
+///
+/// Tree cost ignores subgraph sharing; sharing is recovered at replacement
+/// time by probing the destination network's structural hash table, which is
+/// exactly the "DAG-aware" part of DAG-aware rewriting.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "opt/aig_structure.hpp"
+
+namespace xsfq {
+
+/// Library of optimized structures for all reachable 4-variable functions.
+class rewrite_library {
+public:
+  /// Maximum tree cost settled by the closure.
+  static constexpr unsigned default_budget = 14;
+
+  /// Singleton accessor; the library is built on first use.
+  static const rewrite_library& instance();
+
+  /// Builds a library with a custom budget (mainly for tests).
+  explicit rewrite_library(unsigned budget = default_budget);
+
+  /// Minimal known tree cost of `function`, or nullopt if not settled.
+  [[nodiscard]] std::optional<unsigned> cost(std::uint16_t function) const;
+
+  /// Optimized structure implementing `function` over 4 leaves, or nullopt
+  /// if the function was not settled within the budget.
+  [[nodiscard]] std::optional<aig_structure> structure(
+      std::uint16_t function) const;
+
+  /// Number of settled functions (out of 65536).
+  [[nodiscard]] std::size_t num_settled() const { return num_settled_; }
+  /// Number of NPN classes fully covered (out of 222).
+  [[nodiscard]] std::size_t num_classes_covered() const;
+
+private:
+  struct entry {
+    std::uint8_t cost = 0xFF;       ///< 0xFF = not settled
+    std::uint32_t lit0 = 0;         ///< fanin literals: (table << 1) | compl
+    std::uint32_t lit1 = 0;
+    bool is_and = false;            ///< false: constant / variable / alias
+    bool out_compl = false;         ///< realize as complement of the AND
+    std::uint8_t var = 0xFF;        ///< projection variable if not an AND
+  };
+
+  void settle_base();
+  void run_closure(unsigned budget);
+  std::uint32_t emit(
+      std::uint16_t function, aig_structure& s,
+      std::vector<std::pair<std::uint16_t, std::uint32_t>>& step_of) const;
+
+  std::vector<entry> entries_;
+  std::size_t num_settled_ = 0;
+};
+
+}  // namespace xsfq

@@ -1,0 +1,40 @@
+#pragma once
+/// \file script.hpp
+/// \brief Canned optimization scripts (ABC `resyn2` analogue).
+///
+/// Sec. 4.1 of the paper runs Yosys + unmodified ABC; the equivalent here is
+/// `optimize`, which iterates balance / rewrite / refactor until the AIG node
+/// count converges.  Because LA-FA pairs are isomorphic to AIG nodes
+/// (Sec. 3.1.3), this directly minimizes the xSFQ cell count.
+
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace xsfq {
+
+struct optimize_params {
+  unsigned max_rounds = 4;       ///< resyn rounds before giving up
+  bool zero_gain_final = true;   ///< allow zero-gain rewrites in last round
+  unsigned refactor_cut_size = 6;
+};
+
+struct optimize_stats {
+  std::size_t initial_gates = 0;
+  std::size_t final_gates = 0;
+  unsigned initial_depth = 0;
+  unsigned final_depth = 0;
+  unsigned rounds = 0;
+};
+
+/// Runs rounds of (balance; rewrite; refactor; balance; rewrite) until the
+/// gate count stops improving.  Functional equivalence is preserved by
+/// construction; tests double-check with simulation.
+aig optimize(const aig& network, const optimize_params& params = {},
+             optimize_stats* stats = nullptr);
+
+/// Runs a single named pass: "b" (balance), "rw" (rewrite), "rwz",
+/// "rf" (refactor), "rfz", "clean".  Throws on unknown names.
+aig run_pass(const aig& network, const std::string& pass);
+
+}  // namespace xsfq

@@ -1,0 +1,358 @@
+#include "pulsesim/pulse_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "aig/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq {
+namespace {
+
+const cell_library& lib() { return cell_library::sfq5ee(); }
+
+}  // namespace
+
+pulse_simulator::pulse_simulator(
+    const xsfq_netlist& netlist,
+    std::vector<std::pair<xsfq_netlist::element_index, port_ref>> feedback)
+    : netlist_(netlist), feedback_(std::move(feedback)) {
+  const auto& elems = netlist.elements();
+  consumers_.assign(elems.size(), {std::pair<std::int64_t, std::uint8_t>{-1, 0},
+                                   std::pair<std::int64_t, std::uint8_t>{-1, 0}});
+
+  auto connect = [&](port_ref from, std::uint32_t to, std::uint8_t pin) {
+    auto& slot = consumers_[from.element][from.port];
+    if (slot.first >= 0) {
+      throw std::invalid_argument(
+          "pulse_simulator: port with multiple consumers (splitters missing)");
+    }
+    slot = {static_cast<std::int64_t>(to), pin};
+  };
+
+  for (std::uint32_t i = 0; i < elems.size(); ++i) {
+    const auto& e = elems[i];
+    switch (e.kind) {
+      case element_kind::la:
+      case element_kind::fa:
+        connect(e.fanin0, i, 0);
+        connect(e.fanin1, i, 1);
+        break;
+      case element_kind::splitter:
+      case element_kind::output_port:
+        connect(e.fanin0, i, 0);
+        break;
+      case element_kind::droc:
+      case element_kind::droc_preload:
+        if (!e.feedback_input) connect(e.fanin0, i, 0);
+        break;
+      case element_kind::input_rail: {
+        if (e.rail) {
+          pi_neg_elements_.push_back(i);
+        } else {
+          pi_elements_.push_back(i);
+        }
+        break;
+      }
+      case element_kind::const_rail:
+        const_elements_.push_back(i);
+        break;
+    }
+    if (e.kind == element_kind::output_port) outputs_.push_back(i);
+    if (e.feedback_input) boundary_drocs_.push_back(i);
+  }
+  if (pi_elements_.size() != pi_neg_elements_.size()) {
+    throw std::invalid_argument("pulse_simulator: unpaired input rails");
+  }
+  for (const auto& [droc, driver] : feedback_) {
+    connect(driver, droc, 0);
+  }
+  register_init_.assign(boundary_drocs_.size(), false);
+
+  // Classify the netlist: combinational pipelines stagger their odd ranks;
+  // sequential designs with rank-1 DROCs not directly paired with their
+  // boundary partner are retimed (Fig. 6iii).
+  unsigned max_rank = 0;
+  bool any_unpaired_rank1 = false;
+  for (std::uint32_t i = 0; i < elems.size(); ++i) {
+    const auto& e = elems[i];
+    const bool is_droc = e.kind == element_kind::droc ||
+                         e.kind == element_kind::droc_preload;
+    if (!is_droc) continue;
+    max_rank = std::max<unsigned>(max_rank, e.pipeline_rank);
+    if (e.pipeline_rank == 1) {
+      const auto& src = elems[e.fanin0.element];
+      const bool paired = src.feedback_input && src.aig_node == e.aig_node;
+      if (!paired) any_unpaired_rank1 = true;
+    }
+  }
+  stagger_odd_ranks_ = boundary_drocs_.empty() && max_rank > 0;
+  retimed_ranks_ = !boundary_drocs_.empty() && any_unpaired_rank1;
+  reset();
+}
+
+void pulse_simulator::reset() {
+  state_.assign(netlist_.size(), {});
+  // Pipeline-rank preload pattern: preloaded DROCs start set.
+  for (std::uint32_t i = 0; i < netlist_.size(); ++i) {
+    if (netlist_.element(i).kind == element_kind::droc_preload) {
+      state_[i].droc_stored = true;
+    }
+  }
+  // Register pairs: D1 (boundary) holds the complement-phase bit, D2 the
+  // value; both are expressed in stored-rail terms (rail flag of the DROC).
+  for (std::size_t r = 0; r < boundary_drocs_.size(); ++r) {
+    const std::uint32_t d1 = boundary_drocs_[r];
+    const bool rail = netlist_.element(d1).rail;
+    const bool v0 = register_init_[r];
+    state_[d1].droc_stored = !v0 ^ rail;
+    // Find the adjacent partner (pair_boundary style): the DROC consuming
+    // port 0 of d1.
+    const auto& [consumer, pin] = consumers_[d1][0];
+    if (consumer >= 0) {
+      const auto& ce = netlist_.element(static_cast<std::uint32_t>(consumer));
+      if ((ce.kind == element_kind::droc ||
+           ce.kind == element_kind::droc_preload) &&
+          ce.aig_node == netlist_.element(d1).aig_node) {
+        state_[static_cast<std::size_t>(consumer)].droc_stored = v0 ^ rail;
+      }
+    }
+    (void)pin;
+  }
+  phase_ = 0;
+  trace_.clear();
+  queue_.clear();
+  excite_pulse_.assign(outputs_.size(), false);
+}
+
+void pulse_simulator::set_register_init(std::size_t reg, bool value) {
+  register_init_.at(reg) = value;
+}
+
+std::vector<bool> pulse_simulator::read_register_state() const {
+  std::vector<bool> state(boundary_drocs_.size());
+  for (std::size_t r = 0; r < state.size(); ++r) {
+    const std::uint32_t d1 = boundary_drocs_[r];
+    state[r] = state_[d1].droc_stored != netlist_.element(d1).rail;
+  }
+  return state;
+}
+
+void pulse_simulator::emit(std::uint32_t element, std::uint8_t port,
+                           double time) {
+  if (trace_enabled_) {
+    trace_.push_back({element, port, phase_, time});
+  }
+  const auto& [consumer, pin] = consumers_[element][port];
+  if (consumer < 0) return;  // unused rail
+  queue_.push_back({time, static_cast<std::uint32_t>(consumer), pin});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+void pulse_simulator::deliver(std::uint32_t element, std::uint8_t input,
+                              double time) {
+  const auto& e = netlist_.element(element);
+  element_state& s = state_[element];
+  switch (e.kind) {
+    case element_kind::la: {
+      // C element: fires on the last arrival, then reinitializes (Table 1).
+      if (input == 0) s.la_a = true; else s.la_b = true;
+      if (s.la_a && s.la_b) {
+        s.la_a = s.la_b = false;
+        emit(element, 0, time + lib().delay_ps(cell_type::la, false));
+      }
+      break;
+    }
+    case element_kind::fa: {
+      // Inverse C element: fires on the first arrival; the second input
+      // pulse restores the initial state without an output (Table 1).
+      ++s.fa_count;
+      if (s.fa_count == 1) {
+        emit(element, 0, time + lib().delay_ps(cell_type::fa, false));
+      } else {
+        s.fa_count = 0;
+      }
+      break;
+    }
+    case element_kind::splitter: {
+      const double t = time + lib().delay_ps(cell_type::splitter, false);
+      emit(element, 0, t);
+      emit(element, 1, t);
+      break;
+    }
+    case element_kind::droc:
+    case element_kind::droc_preload:
+      s.droc_stored = true;  // data pulse sets the storage loop
+      break;
+    case element_kind::output_port:
+      if (s.out_pulsed) {
+        throw std::logic_error(
+            "pulse_simulator: output pulsed twice in one phase");
+      }
+      s.out_pulsed = true;
+      break;
+    default:
+      throw std::logic_error("pulse_simulator: pulse delivered to a source");
+  }
+}
+
+void pulse_simulator::settle() {
+  while (!queue_.empty()) {
+    std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+    const event ev = queue_.back();
+    queue_.pop_back();
+    deliver(ev.element, ev.input, ev.time);
+  }
+}
+
+void pulse_simulator::clock_drocs(bool boundary_only) {
+  const auto& droc_spec = lib().spec(cell_type::droc);
+  for (std::uint32_t i = 0; i < netlist_.size(); ++i) {
+    const auto& e = netlist_.element(i);
+    const bool is_droc = e.kind == element_kind::droc ||
+                         e.kind == element_kind::droc_preload;
+    if (!is_droc) continue;
+    if (boundary_only && !e.feedback_input) continue;
+    // Staggered start: odd ranks of a combinational pipeline do not receive
+    // the very first clock, so every pipeline segment sees an even number of
+    // priming waves before real data arrives.
+    if (stagger_odd_ranks_ && phase_ == 0 && e.pipeline_rank % 2 == 1) {
+      continue;
+    }
+    element_state& s = state_[i];
+    if (s.droc_stored) {
+      emit(i, 0, droc_spec.delay_ps);      // Qp
+    } else {
+      emit(i, 1, droc_spec.delay_qn_ps);   // Qn
+    }
+    s.droc_stored = false;
+  }
+}
+
+void pulse_simulator::begin_phase() {
+  for (const auto out : outputs_) state_[out].out_pulsed = false;
+}
+
+void pulse_simulator::fire_trigger() {
+  if (boundary_drocs_.empty()) return;
+  begin_phase();
+  clock_drocs(/*boundary_only=*/true);
+  settle();
+  ++phase_;
+}
+
+cycle_result pulse_simulator::run_cycle(const std::vector<bool>& pi_values) {
+  if (pi_values.size() != pi_elements_.size()) {
+    throw std::invalid_argument("pulse_simulator: PI count mismatch");
+  }
+  cycle_result result;
+  result.outputs.resize(outputs_.size());
+
+  for (int half = 0; half < 2; ++half) {
+    const bool excite = half == 0;
+    begin_phase();
+    clock_drocs(/*boundary_only=*/false);
+    for (std::size_t i = 0; i < pi_values.size(); ++i) {
+      // Excite carries the value, relax its complement (Figure 1): the
+      // positive rail pulses when the phase-value is 1, else the negative.
+      const bool phase_value = pi_values[i] == excite;
+      emit(phase_value ? pi_elements_[i] : pi_neg_elements_[i], 0, 0.0);
+    }
+    for (const auto c : const_elements_) {
+      // const_rail with rail=false is the positive rail of logical 0: it
+      // pulses in the relax phase; the negative rail pulses in excite.
+      const bool pulses = netlist_.element(c).rail == excite;
+      if (pulses) emit(c, 0, 0.0);
+    }
+    settle();
+
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+      const bool pulsed = state_[outputs_[o]].out_pulsed;
+      if (excite) {
+        excite_pulse_[o] = pulsed;
+        // Decode: pulse on rail r in excite means value r==pos ? 1 : 0;
+        // the element's rail flag records the chosen output polarity.
+        result.outputs[o] = pulsed != netlist_.element(outputs_[o]).rail;
+      } else if (pulsed == excite_pulse_[o]) {
+        result.outputs_consistent = false;
+      }
+    }
+    ++phase_;
+  }
+
+  // Alternating property: every LA/FA cell back in Init (Table 1).
+  for (std::uint32_t i = 0; i < netlist_.size(); ++i) {
+    const auto& e = netlist_.element(i);
+    if (e.kind == element_kind::la &&
+        (state_[i].la_a || state_[i].la_b)) {
+      result.alternating_ok = false;
+    }
+    if (e.kind == element_kind::fa && state_[i].fa_count != 0) {
+      result.alternating_ok = false;
+    }
+  }
+  return result;
+}
+
+bool pulse_simulator::equivalent_to_aig(const aig& golden,
+                                        const mapping_result& mapped,
+                                        unsigned cycles, std::uint64_t seed) {
+  pulse_simulator sim(mapped.netlist, mapped.register_feedback);
+  for (std::size_t r = 0; r < golden.num_registers(); ++r) {
+    sim.set_register_init(r, golden.register_at(r).init);
+  }
+  sim.reset();
+
+  // Pipeline latency in logical cycles: half the number of DROC ranks on a
+  // PI-to-PO path (each rank delays by one phase).
+  unsigned max_rank = 0;
+  for (const auto& e : mapped.netlist.elements()) {
+    max_rank = std::max<unsigned>(max_rank, e.pipeline_rank);
+  }
+  const bool is_sequential = golden.num_registers() > 0;
+  const unsigned latency = is_sequential ? 0 : max_rank / 2;
+  // Retimed/pipelined ranks pair phases across run_cycle boundaries (cells
+  // behind odd ranks complete their logical cycles at odd phase boundaries),
+  // so the per-cycle alternating snapshot only holds for unpipelined and
+  // boundary-paired designs; the outputs_consistent invariant always holds.
+  const bool retimed = sim.has_retimed_ranks();
+  const bool strict_alternating =
+      max_rank == 0 || (is_sequential && !retimed);
+  const bool retimed_seq = retimed && is_sequential;
+  // Retimed sequential designs need the one-shot trigger; their first cycle
+  // carries the trigger wave and the visible behaviour lags golden by one
+  // cycle (Fig. 7: the counter starts after the trigger cycle).
+  const unsigned golden_lag = retimed_seq ? 1 : 0;
+  if (retimed_seq) sim.fire_trigger();
+
+  rng gen(seed);
+  sequential_simulator golden_sim(golden);
+
+  std::vector<std::vector<bool>> input_history;
+  for (unsigned c = 0; c < cycles; ++c) {
+    std::vector<bool> pis(golden.num_pis());
+    for (std::size_t i = 0; i < pis.size(); ++i) pis[i] = gen.flip();
+    input_history.push_back(pis);
+
+    const auto r = sim.run_cycle(pis);
+    if (c >= latency && !r.outputs_consistent) return false;
+    if (c >= latency && strict_alternating && !r.alternating_ok) return false;
+
+    if (is_sequential) {
+      if (golden_lag == 0) {
+        const auto expected = golden_sim.step(pis);
+        if (r.outputs != expected) return false;
+      } else if (c >= golden_lag) {
+        const auto expected = golden_sim.step(input_history[c - golden_lag]);
+        if (r.outputs != expected) return false;
+      }
+    } else if (c >= latency) {
+      const auto expected = golden_sim.step(input_history[c - latency]);
+      if (r.outputs != expected) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xsfq

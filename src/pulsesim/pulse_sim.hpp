@@ -1,0 +1,157 @@
+#pragma once
+/// \file pulse_sim.hpp
+/// \brief Event-driven pulse-level simulation of xSFQ netlists.
+///
+/// Plays the role of PyLSE [2] in the paper: every cell is simulated as a
+/// pulse-transfer state machine (Table 1 semantics for LA/FA; DRO semantics
+/// for DROC), pulses carry Table 2 propagation delays, and the alternating
+/// dual-rail protocol of Figure 1 is enforced as a runtime invariant:
+///
+///  * a logical cycle is an excite phase followed by a relax phase; every
+///    input rail pulses in exactly one of the two phases;
+///  * at the end of each logical cycle every LA/FA cell must be back in its
+///    Init state (Table 1) — the clock-free reinitialization property;
+///  * every single-rail output must pulse in exactly one phase per cycle.
+///
+/// Sequential designs follow Sec. 3.2: each logical flip-flop is a DROC pair
+/// (D1 holds the complement-phase value and carries preload hardware when the
+/// reset value is 0; D2 holds the value).  For retimed designs the one-shot
+/// trigger clocks the boundary DROCs before normal operation (Fig. 6iii);
+/// the first excite wave then carries f1 applied to the preload pattern,
+/// exactly as the paper's Figure 7 counter illustrates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+
+namespace xsfq {
+
+/// One recorded pulse (for waveform rendering, e.g. the Figure 7 trace).
+struct pulse_record {
+  std::uint32_t element = 0;
+  std::uint8_t port = 0;
+  unsigned phase = 0;   ///< phase index (0 = first phase after trigger)
+  double time_ps = 0.0; ///< time within the phase
+};
+
+/// Result of simulating one logical cycle (excite + relax).
+struct cycle_result {
+  std::vector<bool> outputs;        ///< decoded PO values (excite data)
+  bool alternating_ok = true;       ///< all LA/FA back to Init at cycle end
+  bool outputs_consistent = true;   ///< relax pulses complement excite pulses
+};
+
+/// Pulse-level simulator over a mapped netlist.
+class pulse_simulator {
+public:
+  /// `feedback` comes from mapping_result::register_feedback and closes the
+  /// register loops.
+  explicit pulse_simulator(
+      const xsfq_netlist& netlist,
+      std::vector<std::pair<xsfq_netlist::element_index, port_ref>> feedback =
+          {});
+
+  /// Number of primary inputs / outputs discovered in the netlist.
+  [[nodiscard]] std::size_t num_inputs() const { return pi_elements_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Resets all cell states; DROCs resume their preload pattern and
+  /// registers their init values (see set_register_init).
+  void reset();
+
+  /// Declares the reset value of the register whose boundary DROC is
+  /// feedback element `reg` (default 0).  Value 1 moves the preload to D2,
+  /// mirroring the paper's selective preload-hardware placement.
+  void set_register_init(std::size_t reg, bool value);
+
+  /// Fires the one-shot trigger: clocks every boundary (feedback) DROC once
+  /// and lets the wave settle (Fig. 6iii).  Required before run_cycle on
+  /// retimed sequential netlists; a no-op for netlists without registers.
+  void fire_trigger();
+
+  /// Runs one logical cycle: excite phase with `pi_values`, relax phase with
+  /// their complements, DROCs clocked at each phase boundary.
+  cycle_result run_cycle(const std::vector<bool>& pi_values);
+
+  /// Decodes the current register state from the boundary DROCs' storage
+  /// bits (valid between logical cycles; used to sync golden models after
+  /// the retimed warm-up cycle, whose state is f1 applied to the trigger
+  /// wave rather than the declared reset values — see Sec. 3.2 / Fig. 7).
+  [[nodiscard]] std::vector<bool> read_register_state() const;
+
+  /// All pulses recorded so far (cleared by reset).
+  [[nodiscard]] const std::vector<pulse_record>& trace() const {
+    return trace_;
+  }
+  /// Enables pulse recording (off by default; traces can be large).
+  void enable_trace(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] unsigned current_phase() const { return phase_; }
+
+  /// Convenience: simulates `cycles` random logical cycles and compares the
+  /// decoded outputs against a golden AIG simulation; returns true when all
+  /// cycles match and all invariants hold.  For sequential designs the
+  /// golden model is stepped with the same inputs after aligning the initial
+  /// state (pair_boundary style preserves reset values exactly).
+  static bool equivalent_to_aig(const aig& golden, const mapping_result& mapped,
+                                unsigned cycles, std::uint64_t seed = 1);
+
+private:
+  struct element_state {
+    bool la_a = false;       ///< LA: input a arrived
+    bool la_b = false;
+    std::uint8_t fa_count = 0;  ///< FA: pulses since init
+    bool droc_stored = false;
+    bool out_pulsed = false;    ///< output port: pulse seen this phase
+  };
+
+  struct event {
+    double time = 0.0;
+    std::uint32_t element = 0;
+    std::uint8_t input = 0;  ///< which input pin of the element
+    bool operator>(const event& o) const { return time > o.time; }
+  };
+
+  void deliver(std::uint32_t element, std::uint8_t input, double time);
+  void emit(std::uint32_t element, std::uint8_t port, double time);
+  void settle();
+  void clock_drocs(bool boundary_only);
+  void begin_phase();
+
+public:
+  /// True when the netlist is a pipelined combinational design whose
+  /// odd-rank DROCs skip the first clock phase (the staggered-start
+  /// generalization of the paper's trigger: it keeps the priming waves
+  /// pairwise complementary at every pipeline segment).
+  [[nodiscard]] bool staggered_start() const { return stagger_odd_ranks_; }
+  /// True when the netlist contains retimed DROC ranks, which pair phases
+  /// across run_cycle boundaries; the per-cycle alternating check then only
+  /// applies to the aligned subset and equivalent_to_aig relaxes it.
+  [[nodiscard]] bool has_retimed_ranks() const { return retimed_ranks_; }
+
+private:
+
+  const xsfq_netlist& netlist_;
+  std::vector<std::pair<xsfq_netlist::element_index, port_ref>> feedback_;
+  /// consumer_[element][port] = (consumer element, consumer input pin).
+  std::vector<std::array<std::pair<std::int64_t, std::uint8_t>, 2>> consumers_;
+
+  std::vector<element_state> state_;
+  std::vector<std::uint32_t> pi_elements_;   ///< pos-rail element per PI
+  std::vector<std::uint32_t> pi_neg_elements_;
+  std::vector<std::uint32_t> const_elements_;
+  std::vector<std::uint32_t> outputs_;       ///< output_port elements
+  std::vector<std::uint32_t> boundary_drocs_;
+  std::vector<bool> register_init_;
+
+  std::vector<event> queue_;  ///< min-heap on time
+  unsigned phase_ = 0;
+  bool stagger_odd_ranks_ = false;
+  bool retimed_ranks_ = false;
+  bool trace_enabled_ = false;
+  std::vector<pulse_record> trace_;
+  std::vector<bool> excite_pulse_;  ///< per-output pulse flag in excite phase
+};
+
+}  // namespace xsfq

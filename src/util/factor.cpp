@@ -1,0 +1,187 @@
+#include "util/factor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+namespace xsfq {
+namespace {
+
+std::unique_ptr<factor_expr> make_const(bool value) {
+  auto e = std::make_unique<factor_expr>();
+  e->op = factor_expr::kind::constant;
+  e->const_value = value;
+  return e;
+}
+
+std::unique_ptr<factor_expr> make_literal(unsigned var, bool complemented) {
+  auto e = std::make_unique<factor_expr>();
+  e->op = factor_expr::kind::literal;
+  e->var = var;
+  e->complemented = complemented;
+  return e;
+}
+
+std::unique_ptr<factor_expr> make_cube_expr(const cube& c) {
+  std::vector<std::unique_ptr<factor_expr>> lits;
+  for (unsigned v = 0; v < 32; ++v) {
+    if (c.pos & (1u << v)) lits.push_back(make_literal(v, false));
+    if (c.neg & (1u << v)) lits.push_back(make_literal(v, true));
+  }
+  if (lits.empty()) return make_const(true);
+  if (lits.size() == 1) return std::move(lits.front());
+  auto e = std::make_unique<factor_expr>();
+  e->op = factor_expr::kind::and_op;
+  e->children = std::move(lits);
+  return e;
+}
+
+/// Finds the literal occurring in the most cubes; returns occurrence count.
+unsigned best_literal(const std::vector<cube>& cover, unsigned& var,
+                      bool& complemented) {
+  std::array<unsigned, 32> pos_count{};
+  std::array<unsigned, 32> neg_count{};
+  for (const auto& c : cover) {
+    for (unsigned v = 0; v < 32; ++v) {
+      if (c.pos & (1u << v)) ++pos_count[v];
+      if (c.neg & (1u << v)) ++neg_count[v];
+    }
+  }
+  unsigned best = 0;
+  for (unsigned v = 0; v < 32; ++v) {
+    if (pos_count[v] > best) {
+      best = pos_count[v];
+      var = v;
+      complemented = false;
+    }
+    if (neg_count[v] > best) {
+      best = neg_count[v];
+      var = v;
+      complemented = true;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<factor_expr> factor_rec(std::vector<cube> cover) {
+  if (cover.empty()) return make_const(false);
+  if (cover.size() == 1) return make_cube_expr(cover.front());
+
+  unsigned var = 0;
+  bool complemented = false;
+  const unsigned occurrences = best_literal(cover, var, complemented);
+  if (occurrences < 2) {
+    // Cube-free: plain OR of the cube expressions.
+    auto e = std::make_unique<factor_expr>();
+    e->op = factor_expr::kind::or_op;
+    for (const auto& c : cover) e->children.push_back(make_cube_expr(c));
+    return e;
+  }
+
+  const std::uint32_t mask = 1u << var;
+  std::vector<cube> quotient;
+  std::vector<cube> remainder;
+  for (const auto& c : cover) {
+    const bool has = complemented ? (c.neg & mask) : (c.pos & mask);
+    if (has) {
+      cube q = c;
+      if (complemented) {
+        q.neg &= ~mask;
+      } else {
+        q.pos &= ~mask;
+      }
+      quotient.push_back(q);
+    } else {
+      remainder.push_back(c);
+    }
+  }
+
+  // literal & factor(quotient)
+  auto product = std::make_unique<factor_expr>();
+  product->op = factor_expr::kind::and_op;
+  product->children.push_back(make_literal(var, complemented));
+  auto q_expr = factor_rec(std::move(quotient));
+  if (q_expr->op == factor_expr::kind::constant) {
+    // Quotient is const 1 only if a cube equalled the literal itself.
+    if (q_expr->const_value) {
+      product = make_literal(var, complemented);
+    } else {
+      product = make_const(false);
+    }
+  } else {
+    product->children.push_back(std::move(q_expr));
+  }
+
+  if (remainder.empty()) return product;
+  auto sum = std::make_unique<factor_expr>();
+  sum->op = factor_expr::kind::or_op;
+  sum->children.push_back(std::move(product));
+  sum->children.push_back(factor_rec(std::move(remainder)));
+  return sum;
+}
+
+}  // namespace
+
+unsigned factor_expr::num_literals() const {
+  switch (op) {
+    case kind::constant: return 0;
+    case kind::literal: return 1;
+    case kind::and_op:
+    case kind::or_op: {
+      unsigned n = 0;
+      for (const auto& c : children) n += c->num_literals();
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::string factor_expr::to_string() const {
+  switch (op) {
+    case kind::constant: return const_value ? "1" : "0";
+    case kind::literal: {
+      std::string s = complemented ? "!" : "";
+      s += 'a' + static_cast<char>(var % 26);
+      if (var >= 26) s += std::to_string(var / 26);
+      return s;
+    }
+    case kind::and_op:
+    case kind::or_op: {
+      const char* sep = op == kind::and_op ? " & " : " | ";
+      std::string s = "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) s += sep;
+        s += children[i]->to_string();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+bool factor_expr::evaluate(std::uint64_t minterm) const {
+  switch (op) {
+    case kind::constant: return const_value;
+    case kind::literal:
+      return (((minterm >> var) & 1u) != 0) != complemented;
+    case kind::and_op:
+      return std::all_of(children.begin(), children.end(),
+                         [&](const auto& c) { return c->evaluate(minterm); });
+    case kind::or_op:
+      return std::any_of(children.begin(), children.end(),
+                         [&](const auto& c) { return c->evaluate(minterm); });
+  }
+  return false;
+}
+
+std::unique_ptr<factor_expr> factor_cover(const std::vector<cube>& cover) {
+  return factor_rec(cover);
+}
+
+std::unique_ptr<factor_expr> factor_function(const truth_table& function) {
+  if (function.is_const0()) return factor_cover({});
+  if (function.is_const1()) return factor_cover({cube{}});
+  return factor_cover(isop(function));
+}
+
+}  // namespace xsfq

@@ -1,0 +1,45 @@
+#pragma once
+/// \file factor.hpp
+/// \brief Algebraic factoring of SOP covers into expression trees.
+///
+/// The refactoring pass (src/opt/refactor.*) resynthesizes cut functions by
+/// computing an ISOP and factoring it; the factored tree is then rebuilt as
+/// an AIG fragment.  Factoring uses most-frequent-literal weak division — the
+/// same "quick factor" idea used by SIS/ABC.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/isop.hpp"
+
+namespace xsfq {
+
+/// Node of a factored Boolean expression tree.
+struct factor_expr {
+  enum class kind : std::uint8_t { constant, literal, and_op, or_op };
+
+  kind op = kind::constant;
+  bool const_value = false;            ///< for kind::constant
+  unsigned var = 0;                    ///< for kind::literal
+  bool complemented = false;           ///< for kind::literal
+  std::vector<std::unique_ptr<factor_expr>> children;  ///< for and/or
+
+  /// Number of literal leaves in the tree.
+  [[nodiscard]] unsigned num_literals() const;
+  /// Human-readable rendering, e.g. "(a & !b) | c".
+  [[nodiscard]] std::string to_string() const;
+  /// Evaluates the expression on a minterm.
+  [[nodiscard]] bool evaluate(std::uint64_t minterm) const;
+};
+
+/// Factors an SOP cover into an expression tree.  The cover of the constant
+/// functions must be passed as an empty vector (const 0) or a vector holding
+/// one empty cube (const 1).
+std::unique_ptr<factor_expr> factor_cover(const std::vector<cube>& cover);
+
+/// Convenience: ISOP + factoring of a truth table.
+std::unique_ptr<factor_expr> factor_function(const truth_table& function);
+
+}  // namespace xsfq

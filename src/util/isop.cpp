@@ -1,0 +1,94 @@
+#include "util/isop.hpp"
+
+#include <stdexcept>
+
+namespace xsfq {
+namespace {
+
+/// Minato-Morreale recursion.  Computes an ISOP of some g with
+/// on <= g <= on|dc, appending cubes to `cover` and returning the table of
+/// the cover restricted to the current variable set.
+truth_table isop_rec(const truth_table& on, const truth_table& dc,
+                     unsigned num_vars, std::vector<cube>& cover) {
+  if (on.is_const0()) return truth_table::zeros(on.num_vars());
+  const truth_table upper = on | dc;
+  if (upper.is_const1()) {
+    cover.push_back(cube{});
+    return truth_table::ones(on.num_vars());
+  }
+
+  // Find the top variable in the support of on or dc-boundary.
+  unsigned var = num_vars;
+  while (var-- > 0) {
+    if (on.has_var(var) || upper.has_var(var)) break;
+  }
+
+  const truth_table on0 = on.cofactor0(var);
+  const truth_table on1 = on.cofactor1(var);
+  const truth_table dc0 = dc.cofactor0(var);
+  const truth_table dc1 = dc.cofactor1(var);
+
+  // Cubes containing !x_var must cover on0 outside (on1|dc1).
+  const std::size_t begin0 = cover.size();
+  const truth_table res0 =
+      isop_rec(on0 & ~(on1 | dc1), dc0, var, cover);
+  for (std::size_t i = begin0; i < cover.size(); ++i) {
+    cover[i].neg |= 1u << var;
+  }
+
+  // Cubes containing x_var must cover on1 outside (on0|dc0).
+  const std::size_t begin1 = cover.size();
+  const truth_table res1 =
+      isop_rec(on1 & ~(on0 | dc0), dc1, var, cover);
+  for (std::size_t i = begin1; i < cover.size(); ++i) {
+    cover[i].pos |= 1u << var;
+  }
+
+  // The remainder must be covered by cubes independent of x_var.
+  const truth_table on_common = (on0 & ~res0) | (on1 & ~res1);
+  const truth_table dc_common = (dc0 | res0) & (dc1 | res1);
+  const truth_table res2 = isop_rec(on_common, dc_common & ~on_common,
+                                    var, cover);
+
+  const truth_table x = truth_table::nth_var(on.num_vars(), var);
+  return (res0 & ~x) | (res1 & x) | res2;
+}
+
+}  // namespace
+
+std::vector<cube> isop(const truth_table& onset, const truth_table& dcset) {
+  if (onset.num_vars() != dcset.num_vars()) {
+    throw std::invalid_argument("isop: domain mismatch");
+  }
+  if (onset.num_vars() > 32) {
+    throw std::invalid_argument("isop: more than 32 variables");
+  }
+  std::vector<cube> cover;
+  isop_rec(onset, dcset, onset.num_vars(), cover);
+  return cover;
+}
+
+std::vector<cube> isop(const truth_table& function) {
+  return isop(function, truth_table::zeros(function.num_vars()));
+}
+
+truth_table cover_to_table(const std::vector<cube>& cover, unsigned num_vars) {
+  truth_table t(num_vars);
+  for (std::uint64_t m = 0; m < t.num_bits(); ++m) {
+    for (const auto& c : cover) {
+      if (c.evaluates_true(m)) {
+        t.set_bit(m);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+unsigned cover_literals(const std::vector<cube>& cover) {
+  unsigned n = 0;
+  for (const auto& c : cover) n += c.num_literals();
+  return n;
+}
+
+}  // namespace xsfq

@@ -1,0 +1,48 @@
+#pragma once
+/// \file isop.hpp
+/// \brief Irredundant sum-of-products computation (Minato-Morreale ISOP).
+///
+/// Produces cube covers used by the refactoring pass and the duplication-free
+/// voter rewrite described in the paper (Sec. 3.1.5, sum-of-products form).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/truth_table.hpp"
+
+namespace xsfq {
+
+/// A product term over up to 32 variables: variable v appears positively when
+/// bit v of `pos` is set and negatively when bit v of `neg` is set.
+struct cube {
+  std::uint32_t pos = 0;
+  std::uint32_t neg = 0;
+
+  bool operator==(const cube&) const = default;
+
+  /// Number of literals in the cube.
+  [[nodiscard]] unsigned num_literals() const {
+    return static_cast<unsigned>(std::popcount(pos) + std::popcount(neg));
+  }
+  /// Evaluates the cube on a minterm (bit i of `minterm` = value of x_i).
+  [[nodiscard]] bool evaluates_true(std::uint64_t minterm) const {
+    const auto m = static_cast<std::uint32_t>(minterm);
+    return (m & pos) == pos && (~m & neg) == neg;
+  }
+};
+
+/// Computes an irredundant SOP cover of any function g with
+/// `onset` <= g <= `onset | dcset` using the Minato-Morreale procedure.
+/// The returned cubes are pairwise-irredundant and cover the onset.
+std::vector<cube> isop(const truth_table& onset, const truth_table& dcset);
+
+/// Convenience overload: exact cover of `function` (empty don't-care set).
+std::vector<cube> isop(const truth_table& function);
+
+/// Re-evaluates a cover into a truth table over `num_vars` variables.
+truth_table cover_to_table(const std::vector<cube>& cover, unsigned num_vars);
+
+/// Total literal count of a cover.
+unsigned cover_literals(const std::vector<cube>& cover);
+
+}  // namespace xsfq

@@ -1,0 +1,84 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xsfq {
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("table_printer: too many cells in row");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table_printer::add_separator() { rows_.emplace_back(); }
+
+void table_printer::print(std::ostream& os) const { os << to_string(); }
+
+std::string table_printer::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_separator = [&] {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '|';
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  emit_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_separator();
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string table_printer::fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string table_printer::pair(const std::string& a, const std::string& b) {
+  return a + "/" + b;
+}
+
+std::string table_printer::ratio(double value, int precision) {
+  return fixed(value, precision) + "x";
+}
+
+std::string table_printer::percent(double fraction, int precision) {
+  return fixed(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace xsfq

@@ -1,0 +1,43 @@
+#pragma once
+/// \file table_printer.hpp
+/// \brief Minimal aligned ASCII table formatting for the benchmark harness.
+///
+/// Every bench binary regenerates one paper table/figure as text; this helper
+/// keeps their output format consistent and diff-friendly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xsfq {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class table_printer {
+public:
+  /// Creates a table with the given column headers.
+  explicit table_printer(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats a double with fixed precision (helper for numeric cells).
+  static std::string fixed(double value, int precision = 1);
+  /// Formats "a/b" pairs like the paper's without/with columns.
+  static std::string pair(const std::string& a, const std::string& b);
+  /// Formats a ratio as "4.4x".
+  static std::string ratio(double value, int precision = 1);
+  /// Formats a fraction as a percentage, e.g. 0.5 -> "50%".
+  static std::string percent(double fraction, int precision = 0);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+}  // namespace xsfq

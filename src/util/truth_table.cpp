@@ -1,0 +1,173 @@
+#include "util/truth_table.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace xsfq {
+namespace {
+
+/// Repeating bit patterns of the first six projection variables.
+constexpr std::array<std::uint64_t, 6> k_var_masks = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("truth_table: bad hex digit");
+}
+
+}  // namespace
+
+truth_table truth_table::nth_var(unsigned num_vars, unsigned var) {
+  if (var >= num_vars) {
+    throw std::invalid_argument("truth_table::nth_var: variable out of range");
+  }
+  truth_table t(num_vars);
+  if (var < 6) {
+    for (auto& w : t.words_) w = k_var_masks[var];
+  } else {
+    // Variable >= 6 selects whole words: blocks of 2^(var-6) words alternate.
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < t.words_.size(); ++i) {
+      if ((i / block) & 1u) t.words_[i] = ~std::uint64_t{0};
+    }
+  }
+  t.mask_tail();
+  return t;
+}
+
+truth_table truth_table::from_hex(unsigned num_vars, const std::string& hex) {
+  truth_table t(num_vars);
+  const std::uint64_t bits = t.num_bits();
+  const std::size_t nibbles = bits >= 4 ? bits / 4 : 1;
+  if (hex.size() != nibbles) {
+    throw std::invalid_argument("truth_table::from_hex: wrong digit count");
+  }
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    // Most significant nibble first.
+    const auto value = static_cast<std::uint64_t>(hex_digit(hex[i]));
+    const std::size_t nibble_index = hex.size() - 1 - i;
+    t.words_[nibble_index / 16] |= value << (4 * (nibble_index % 16));
+  }
+  t.mask_tail();
+  return t;
+}
+
+truth_table truth_table::cofactor0(unsigned var) const {
+  truth_table r(*this);
+  if (var < 6) {
+    const std::uint64_t mask = ~k_var_masks[var];
+    const unsigned shift = 1u << var;
+    for (auto& w : r.words_) {
+      const std::uint64_t low = w & mask;
+      w = low | (low << shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+      for (std::size_t j = 0; j < block; ++j) {
+        r.words_[i + block + j] = r.words_[i + j];
+      }
+    }
+  }
+  return r;
+}
+
+truth_table truth_table::cofactor1(unsigned var) const {
+  truth_table r(*this);
+  if (var < 6) {
+    const std::uint64_t mask = k_var_masks[var];
+    const unsigned shift = 1u << var;
+    for (auto& w : r.words_) {
+      const std::uint64_t high = w & mask;
+      w = high | (high >> shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+      for (std::size_t j = 0; j < block; ++j) {
+        r.words_[i + j] = r.words_[i + block + j];
+      }
+    }
+  }
+  return r;
+}
+
+truth_table truth_table::flip_var(unsigned var) const {
+  truth_table r(num_vars_);
+  if (var < 6) {
+    const unsigned shift = 1u << var;
+    const std::uint64_t mask = k_var_masks[var];
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t w = words_[i];
+      r.words_[i] = ((w & mask) >> shift) | ((w & ~mask) << shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < words_.size(); i += 2 * block) {
+      for (std::size_t j = 0; j < block; ++j) {
+        r.words_[i + j] = words_[i + block + j];
+        r.words_[i + block + j] = words_[i + j];
+      }
+    }
+  }
+  return r;
+}
+
+truth_table truth_table::swap_vars(unsigned var_a, unsigned var_b) const {
+  if (var_a == var_b) return *this;
+  // Generic (and simple) implementation via minterm remapping; tables used for
+  // canonicalization are small (<= 6 vars, single word), so this is fine.
+  truth_table r(num_vars_);
+  const std::uint64_t bits = num_bits();
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    const std::uint64_t a = (m >> var_a) & 1u;
+    const std::uint64_t b = (m >> var_b) & 1u;
+    std::uint64_t src = m & ~((std::uint64_t{1} << var_a) |
+                              (std::uint64_t{1} << var_b));
+    src |= (b << var_a) | (a << var_b);
+    if (bit(src)) r.set_bit(m);
+  }
+  return r;
+}
+
+truth_table truth_table::permute(const std::vector<unsigned>& perm) const {
+  if (perm.size() != num_vars_) {
+    throw std::invalid_argument("truth_table::permute: wrong permutation size");
+  }
+  truth_table r(num_vars_);
+  const std::uint64_t bits = num_bits();
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    std::uint64_t src = 0;
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      if ((m >> v) & 1u) src |= std::uint64_t{1} << perm[v];
+    }
+    if (bit(src)) r.set_bit(m);
+  }
+  return r;
+}
+
+std::string truth_table::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const std::uint64_t bits = num_bits();
+  const std::size_t nibbles = bits >= 4 ? bits / 4 : 1;
+  std::string s(nibbles, '0');
+  for (std::size_t n = 0; n < nibbles; ++n) {
+    const std::uint64_t value = (words_[n / 16] >> (4 * (n % 16))) & 0xFu;
+    s[nibbles - 1 - n] = digits[value];
+  }
+  return s;
+}
+
+std::string truth_table::to_binary() const {
+  const std::uint64_t bits = num_bits();
+  std::string s(bits, '0');
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    if (bit(m)) s[bits - 1 - m] = '1';
+  }
+  return s;
+}
+
+}  // namespace xsfq

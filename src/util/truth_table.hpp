@@ -1,0 +1,209 @@
+#pragma once
+/// \file truth_table.hpp
+/// \brief Dynamic truth tables over up to 16 variables.
+///
+/// A truth table stores the output column of a Boolean function f(x0..x_{n-1})
+/// packed into 64-bit words; bit position m of the table holds f evaluated on
+/// the minterm whose i-th variable equals bit i of m.  Tables are the lingua
+/// franca of cut-based optimization (NPN classification, rewriting, ISOP) in
+/// this library, mirroring the role they play inside ABC and mockturtle.
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xsfq {
+
+/// Truth table of a Boolean function over `num_vars()` variables (0..16).
+class truth_table {
+public:
+  /// Constructs the constant-zero function over `num_vars` variables.
+  explicit truth_table(unsigned num_vars = 0) : num_vars_(num_vars) {
+    if (num_vars > max_vars) {
+      throw std::invalid_argument("truth_table: too many variables");
+    }
+    words_.assign(word_count(num_vars), 0u);
+  }
+
+  static constexpr unsigned max_vars = 16;
+
+  /// Number of variables in the function's domain.
+  [[nodiscard]] unsigned num_vars() const { return num_vars_; }
+  /// Number of rows (minterms) in the table, i.e. 2^num_vars.
+  [[nodiscard]] std::uint64_t num_bits() const {
+    return std::uint64_t{1} << num_vars_;
+  }
+
+  /// Value of the function on minterm `index`.
+  [[nodiscard]] bool bit(std::uint64_t index) const {
+    return (words_[index >> 6] >> (index & 63u)) & 1u;
+  }
+  /// Sets the function value on minterm `index`.
+  void set_bit(std::uint64_t index, bool value = true) {
+    const std::uint64_t mask = std::uint64_t{1} << (index & 63u);
+    if (value) {
+      words_[index >> 6] |= mask;
+    } else {
+      words_[index >> 6] &= ~mask;
+    }
+  }
+
+  /// Raw packed words (low minterms in word 0, bit 0).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t>& words() { return words_; }
+
+  /// The projection function x_var over `num_vars` variables.
+  static truth_table nth_var(unsigned num_vars, unsigned var);
+  /// The constant-one function over `num_vars` variables.
+  static truth_table ones(unsigned num_vars) {
+    truth_table t(num_vars);
+    for (auto& w : t.words_) w = ~std::uint64_t{0};
+    t.mask_tail();
+    return t;
+  }
+  /// The constant-zero function over `num_vars` variables.
+  static truth_table zeros(unsigned num_vars) { return truth_table(num_vars); }
+  /// Builds a table from a hex string, most significant nibble first.
+  static truth_table from_hex(unsigned num_vars, const std::string& hex);
+
+  truth_table operator~() const {
+    truth_table r(*this);
+    for (auto& w : r.words_) w = ~w;
+    r.mask_tail();
+    return r;
+  }
+  truth_table operator&(const truth_table& o) const {
+    return apply(o, [](std::uint64_t a, std::uint64_t b) { return a & b; });
+  }
+  truth_table operator|(const truth_table& o) const {
+    return apply(o, [](std::uint64_t a, std::uint64_t b) { return a | b; });
+  }
+  truth_table operator^(const truth_table& o) const {
+    return apply(o, [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+  }
+  truth_table& operator&=(const truth_table& o) { return assign(o, '&'); }
+  truth_table& operator|=(const truth_table& o) { return assign(o, '|'); }
+  truth_table& operator^=(const truth_table& o) { return assign(o, '^'); }
+
+  bool operator==(const truth_table& o) const {
+    return num_vars_ == o.num_vars_ && words_ == o.words_;
+  }
+  bool operator!=(const truth_table& o) const { return !(*this == o); }
+  /// Lexicographic order on (num_vars, words); used for canonical pick.
+  bool operator<(const truth_table& o) const {
+    if (num_vars_ != o.num_vars_) return num_vars_ < o.num_vars_;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+      if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool is_const0() const {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool is_const1() const { return (~*this).is_const0(); }
+
+  /// Number of minterms on which the function is 1.
+  [[nodiscard]] std::uint64_t count_ones() const {
+    std::uint64_t n = 0;
+    for (auto w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Negative cofactor f|_{x_var = 0}, domain unchanged.
+  [[nodiscard]] truth_table cofactor0(unsigned var) const;
+  /// Positive cofactor f|_{x_var = 1}, domain unchanged.
+  [[nodiscard]] truth_table cofactor1(unsigned var) const;
+  /// True iff the function depends on x_var.
+  [[nodiscard]] bool has_var(unsigned var) const {
+    return cofactor0(var) != cofactor1(var);
+  }
+  /// Bitmask of variables in the functional support.
+  [[nodiscard]] std::uint32_t support_mask() const {
+    std::uint32_t m = 0;
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      if (has_var(v)) m |= (1u << v);
+    }
+    return m;
+  }
+
+  /// Returns the same function with inputs `var_a` and `var_b` swapped.
+  [[nodiscard]] truth_table swap_vars(unsigned var_a, unsigned var_b) const;
+  /// Returns the same function with input `var` complemented.
+  [[nodiscard]] truth_table flip_var(unsigned var) const;
+  /// Applies a full input permutation: new variable i reads old variable
+  /// perm[i] (i.e. result(m) = f applied to the permuted minterm).
+  [[nodiscard]] truth_table permute(const std::vector<unsigned>& perm) const;
+
+  /// Hex string, most significant nibble first (ABC convention).
+  [[nodiscard]] std::string to_hex() const;
+  /// Binary string, minterm 2^n-1 first.
+  [[nodiscard]] std::string to_binary() const;
+
+  /// 64-bit hash of the packed contents (FNV-1a over words).
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (auto w : words_) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    h ^= num_vars_;
+    h *= 1099511628211ull;
+    return h;
+  }
+
+private:
+  static std::size_t word_count(unsigned num_vars) {
+    return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+  }
+  template <typename Op>
+  truth_table apply(const truth_table& o, Op op) const {
+    if (num_vars_ != o.num_vars_) {
+      throw std::invalid_argument("truth_table: domain mismatch");
+    }
+    truth_table r(num_vars_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      r.words_[i] = op(words_[i], o.words_[i]);
+    }
+    return r;
+  }
+  truth_table& assign(const truth_table& o, char op) {
+    if (num_vars_ != o.num_vars_) {
+      throw std::invalid_argument("truth_table: domain mismatch");
+    }
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      switch (op) {
+        case '&': words_[i] &= o.words_[i]; break;
+        case '|': words_[i] |= o.words_[i]; break;
+        default: words_[i] ^= o.words_[i]; break;
+      }
+    }
+    return *this;
+  }
+  /// Clears bits beyond 2^num_vars in the last word (tables < 6 vars).
+  void mask_tail() {
+    if (num_vars_ < 6) {
+      words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+    }
+  }
+
+  unsigned num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace xsfq
+
+template <>
+struct std::hash<xsfq::truth_table> {
+  std::size_t operator()(const xsfq::truth_table& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

@@ -1,0 +1,205 @@
+#include "aig/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+
+namespace xsfq {
+namespace {
+
+TEST(Signal, ComplementAlgebra) {
+  const signal s(5, false);
+  EXPECT_EQ(s.index(), 5u);
+  EXPECT_FALSE(s.is_complemented());
+  EXPECT_TRUE((!s).is_complemented());
+  EXPECT_EQ(!!s, s);
+  EXPECT_EQ(s ^ true, !s);
+  EXPECT_EQ(s ^ false, s);
+}
+
+TEST(Aig, TrivialAndRules) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal t = g.get_constant(true);
+  const signal f = g.get_constant(false);
+  EXPECT_EQ(g.create_and(a, a), a);
+  EXPECT_EQ(g.create_and(a, !a), f);
+  EXPECT_EQ(g.create_and(a, t), a);
+  EXPECT_EQ(g.create_and(t, b), b);
+  EXPECT_EQ(g.create_and(a, f), f);
+  EXPECT_EQ(g.num_gates(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal x = g.create_and(a, b);
+  EXPECT_EQ(g.create_and(a, b), x);
+  EXPECT_EQ(g.create_and(b, a), x);  // commutative
+  EXPECT_EQ(g.num_gates(), 1u);
+  EXPECT_NE(g.create_and(!a, b), x);
+  EXPECT_EQ(g.num_gates(), 2u);
+}
+
+TEST(Aig, FindAndMatchesCreate) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  EXPECT_EQ(g.find_and(a, g.get_constant(true)), a);
+  EXPECT_EQ(g.find_and(a, a), a);
+  EXPECT_EQ(g.find_and(a, b), std::nullopt);
+  const signal x = g.create_and(a, b);
+  EXPECT_EQ(g.find_and(b, a), x);
+}
+
+TEST(Aig, DerivedGatesComputeCorrectFunctions) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal c = g.create_pi();
+  g.create_po(g.create_or(a, b));
+  g.create_po(g.create_xor(a, b));
+  g.create_po(g.create_mux(a, b, c));
+  g.create_po(g.create_maj(a, b, c));
+  g.create_po(g.create_nand(a, b));
+  g.create_po(g.create_nor(a, b));
+  g.create_po(g.create_xnor(a, b));
+  const auto tables = compute_co_tables(g);
+  const auto ta = truth_table::nth_var(3, 0);
+  const auto tb = truth_table::nth_var(3, 1);
+  const auto tc = truth_table::nth_var(3, 2);
+  EXPECT_EQ(tables[0], ta | tb);
+  EXPECT_EQ(tables[1], ta ^ tb);
+  EXPECT_EQ(tables[2], (ta & tb) | (~ta & tc));
+  EXPECT_EQ(tables[3], (ta & tb) | (ta & tc) | (tb & tc));
+  EXPECT_EQ(tables[4], ~(ta & tb));
+  EXPECT_EQ(tables[5], ~(ta | tb));
+  EXPECT_EQ(tables[6], ~(ta ^ tb));
+}
+
+TEST(Aig, ReductionGates) {
+  aig g;
+  std::vector<signal> pis;
+  for (int i = 0; i < 5; ++i) pis.push_back(g.create_pi());
+  g.create_po(g.create_and_n(pis));
+  g.create_po(g.create_or_n(pis));
+  g.create_po(g.create_xor_n(pis));
+  const auto tables = compute_co_tables(g);
+  truth_table and_t = truth_table::ones(5);
+  truth_table or_t = truth_table::zeros(5);
+  truth_table xor_t = truth_table::zeros(5);
+  for (unsigned v = 0; v < 5; ++v) {
+    and_t &= truth_table::nth_var(5, v);
+    or_t |= truth_table::nth_var(5, v);
+    xor_t ^= truth_table::nth_var(5, v);
+  }
+  EXPECT_EQ(tables[0], and_t);
+  EXPECT_EQ(tables[1], or_t);
+  EXPECT_EQ(tables[2], xor_t);
+  // Empty reductions give identities.
+  EXPECT_EQ(g.create_and_n({}), g.get_constant(true));
+  EXPECT_EQ(g.create_or_n({}), g.get_constant(false));
+  EXPECT_EQ(g.create_xor_n({}), g.get_constant(false));
+}
+
+TEST(Aig, LevelsAndDepth) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal c = g.create_pi();
+  const signal x = g.create_and(a, b);
+  const signal y = g.create_and(x, c);
+  g.create_po(y);
+  const auto levels = g.compute_levels();
+  EXPECT_EQ(levels[x.index()], 1u);
+  EXPECT_EQ(levels[y.index()], 2u);
+  EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(Aig, FanoutCounts) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal x = g.create_and(a, b);
+  g.create_and(x, a);
+  g.create_po(x);
+  const auto fanout = g.compute_fanout_counts();
+  EXPECT_EQ(fanout[x.index()], 2u);  // gate + PO
+  EXPECT_EQ(fanout[a.index()], 2u);
+}
+
+TEST(Aig, CleanupRemovesDanglingAndPreservesFunction) {
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal used = g.create_and(a, b);
+  g.create_and(!a, !b);  // dangling
+  g.create_po(!used);
+  const aig clean = g.cleanup();
+  EXPECT_EQ(clean.num_gates(), 1u);
+  EXPECT_EQ(clean.num_pis(), 2u);
+  EXPECT_TRUE(exhaustive_equivalent(g, clean));
+}
+
+TEST(Aig, RegistersRoundTrip) {
+  aig g;
+  const signal en = g.create_pi("en");
+  const signal r = g.create_register_output(true, "state");
+  g.set_register_input(0, g.create_xor(r, en));
+  g.create_po(r, "q");
+  EXPECT_TRUE(g.is_well_formed());
+  EXPECT_EQ(g.num_registers(), 1u);
+  EXPECT_EQ(g.register_at(0).init, true);
+
+  sequential_simulator sim(g);
+  // Toggle FF starting at 1.
+  EXPECT_EQ(sim.step({true})[0], true);
+  EXPECT_EQ(sim.step({true})[0], false);
+  EXPECT_EQ(sim.step({false})[0], true);
+  EXPECT_EQ(sim.step({true})[0], true);
+  sim.reset();
+  EXPECT_EQ(sim.step({false})[0], true);
+}
+
+TEST(Aig, CleanupKeepsRegisters) {
+  aig g;
+  const signal r0 = g.create_register_output(false, "r0");
+  const signal r1 = g.create_register_output(false, "r1");
+  g.set_register_input(0, !r0);
+  g.set_register_input(1, g.create_xor(r0, r1));
+  g.create_po(r1);
+  const aig clean = g.cleanup();
+  EXPECT_EQ(clean.num_registers(), 2u);
+  EXPECT_TRUE(random_sequential_equivalent(g, clean, 4, 32));
+}
+
+TEST(Aig, NamesArePreserved) {
+  aig g;
+  g.create_pi("alpha");
+  g.create_po(g.get_constant(false), "beta");
+  g.create_register_output(false, "gamma");
+  g.set_register_input(0, g.get_constant(false));
+  EXPECT_EQ(g.pi_name(0), "alpha");
+  EXPECT_EQ(g.po_name(0), "beta");
+  EXPECT_EQ(g.register_name(0), "gamma");
+  const aig clean = g.cleanup();
+  EXPECT_EQ(clean.pi_name(0), "alpha");
+  EXPECT_EQ(clean.po_name(0), "beta");
+  EXPECT_EQ(clean.register_name(0), "gamma");
+}
+
+TEST(Aig, InvalidUsageThrows) {
+  aig g;
+  EXPECT_THROW(g.create_po(signal(99, false)), std::invalid_argument);
+  EXPECT_THROW(g.set_register_input(0, g.get_constant(false)),
+               std::out_of_range);
+  const signal r = g.create_register_output();
+  (void)r;
+  EXPECT_FALSE(g.is_well_formed());
+  EXPECT_THROW(sequential_simulator sim(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xsfq

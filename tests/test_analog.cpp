@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "analog/cells.hpp"
+
+namespace xsfq::analog {
+namespace {
+
+TEST(Analog, BiasedJunctionStaysSuperconducting) {
+  // A junction biased below Ic settles at a static phase, no slips.
+  circuit ckt;
+  const node n = ckt.add_node();
+  const std::size_t j = ckt.add_jj(n, 0);
+  ckt.add_bias(n, 0.07);
+  const auto r = ckt.run(100.0);
+  EXPECT_TRUE(circuit::phase_slips(r, j).empty());
+  // Settles near asin(0.7) ~ 0.775 rad.
+  EXPECT_NEAR(r.jj_phase[j].back(), 0.775, 0.08);
+}
+
+TEST(Analog, OverdrivenJunctionRuns) {
+  // Above Ic the junction enters the voltage state and slips repeatedly.
+  circuit ckt;
+  const node n = ckt.add_node();
+  const std::size_t j = ckt.add_jj(n, 0);
+  ckt.add_bias(n, 0.15);
+  const auto r = ckt.run(200.0);
+  EXPECT_GT(circuit::phase_slips(r, j).size(), 3u);
+}
+
+TEST(Analog, PhaseSlipIsOneFluxQuantum) {
+  // Each output event advances the junction phase by one 2*pi slip on top
+  // of the static bias tilt (asin(0.7) ~ 0.775 rad).
+  auto d = make_jtl(3);
+  d.ckt.add_pulse(d.inputs[0], 20.0);
+  const auto r = d.ckt.run(80.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+  const double final_phase = r.jj_phase[d.output_jjs[0]].back();
+  EXPECT_NEAR(final_phase, 6.283 + 0.775, 1.0);
+}
+
+TEST(Analog, JtlPropagatesEveryPulse) {
+  auto d = make_jtl(4);
+  d.ckt.add_pulse(d.inputs[0], 20.0);
+  d.ckt.add_pulse(d.inputs[0], 50.0);
+  d.ckt.add_pulse(d.inputs[0], 80.0);
+  const auto r = d.ckt.run(120.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.input_jjs[0]).size(), 3u);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 3u);
+  const double delay = propagation_delay_ps(r, d.input_jjs[0], d.output_jjs[0]);
+  EXPECT_GT(delay, 0.0);
+  EXPECT_LT(delay, 20.0);
+}
+
+TEST(Analog, JtlQuietWithoutInput) {
+  auto d = make_jtl(3);
+  const auto r = d.ckt.run(100.0);
+  EXPECT_TRUE(circuit::phase_slips(r, d.output_jjs[0]).empty());
+}
+
+TEST(Analog, SplitterDrivesBothBranches) {
+  auto d = make_splitter();
+  d.ckt.add_pulse(d.inputs[0], 20.0);
+  const auto r = d.ckt.run(60.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[1]).size(), 1u);
+}
+
+TEST(Analog, LaFiresOnlyOnCoincidence) {
+  // Single input: no output (Figure 2 panel i, first half).
+  {
+    auto d = make_la_cell();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    const auto r = d.ckt.run(100.0);
+    EXPECT_TRUE(circuit::phase_slips(r, d.output_jjs[0]).empty());
+  }
+  // Both inputs: one output (last arrival triggers).
+  {
+    auto d = make_la_cell();
+    d.ckt.add_pulse(d.inputs[0], 20.0);
+    d.ckt.add_pulse(d.inputs[1], 40.0);
+    const auto r = d.ckt.run(100.0);
+    EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+    // Output after the *second* arrival.
+    EXPECT_GT(circuit::phase_slips(r, d.output_jjs[0]).front(), 40.0);
+  }
+}
+
+TEST(Analog, LaOrderIndependent) {
+  auto d = make_la_cell();
+  d.ckt.add_pulse(d.inputs[1], 20.0);  // b first
+  d.ckt.add_pulse(d.inputs[0], 45.0);
+  const auto r = d.ckt.run(100.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+}
+
+TEST(Analog, FaFiresOnFirstArrival) {
+  auto d = make_fa_cell();
+  d.ckt.add_pulse(d.inputs[0], 20.0);
+  const auto r = d.ckt.run(60.0);
+  ASSERT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+  EXPECT_LT(circuit::phase_slips(r, d.output_jjs[0]).front(), 40.0);
+}
+
+TEST(Analog, DroReadsOutStoredQuantum) {
+  // data then clock -> one readout pulse.
+  auto d = make_dro_preload();
+  d.ckt.add_pulse(d.inputs[0], 20.0);
+  d.ckt.add_pulse(d.inputs[1], 50.0);
+  const auto r = d.ckt.run(90.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+}
+
+TEST(Analog, DroEmptyAndWriteOnlyStaySilent) {
+  {
+    auto d = make_dro_preload();
+    d.ckt.add_pulse(d.inputs[1], 50.0);  // clock only
+    const auto r = d.ckt.run(90.0);
+    EXPECT_TRUE(circuit::phase_slips(r, d.output_jjs[0]).empty());
+  }
+  {
+    auto d = make_dro_preload();
+    d.ckt.add_pulse(d.inputs[0], 20.0);  // write only, never clocked
+    const auto r = d.ckt.run(90.0);
+    EXPECT_TRUE(circuit::phase_slips(r, d.output_jjs[0]).empty());
+  }
+}
+
+TEST(Analog, DroPreloadPathSetsTheLoop) {
+  // Figure 3: the DC ramp preloads the cell; the next clock reads out 1.
+  auto d = make_dro_preload();
+  d.ckt.add_source(d.inputs[2],
+                   [](double t) { return t > 10 && t < 30 ? 0.12 : 0.0; });
+  d.ckt.add_pulse(d.inputs[1], 50.0);
+  const auto r = d.ckt.run(90.0);
+  EXPECT_EQ(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+}
+
+TEST(Analog, DcSfqConvertsRampToPulse) {
+  auto d = make_dc_sfq();
+  d.ckt.add_source(d.inputs[0],
+                   [](double t) { return t > 20 && t < 45 ? 0.15 : 0.0; });
+  const auto r = d.ckt.run(80.0);
+  EXPECT_GE(circuit::phase_slips(r, d.output_jjs[0]).size(), 1u);
+}
+
+TEST(Analog, InvalidComponentThrows) {
+  circuit ckt;
+  const node n = ckt.add_node();
+  EXPECT_THROW(ckt.add_inductor(n, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_inductor(n, 0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xsfq::analog

@@ -1,0 +1,292 @@
+#include <bit>
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "benchgen/blocks.hpp"
+#include "benchgen/epfl.hpp"
+#include "benchgen/iscas85.hpp"
+#include "benchgen/iscas89.hpp"
+#include "benchgen/registry.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq {
+namespace {
+
+using namespace benchgen;
+
+TEST(Blocks, RippleAdderAddsCorrectly) {
+  aig g;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  for (int i = 0; i < 6; ++i) a.push_back(g.create_pi());
+  for (int i = 0; i < 6; ++i) b.push_back(g.create_pi());
+  const auto sum = blocks::ripple_adder(g, a, b, g.get_constant(false));
+  for (const signal s : sum.sum) g.create_po(s);
+  g.create_po(sum.carry);
+
+  rng gen(2);
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t va = gen.below(64);
+    const std::uint64_t vb = gen.below(64);
+    std::vector<std::uint64_t> ci(12);
+    for (int i = 0; i < 6; ++i) {
+      ci[static_cast<std::size_t>(i)] = (va >> i) & 1 ? ~0ull : 0;
+      ci[static_cast<std::size_t>(6 + i)] = (vb >> i) & 1 ? ~0ull : 0;
+    }
+    const auto out = simulate64(g, ci);
+    std::uint64_t result = 0;
+    for (int i = 0; i < 7; ++i) {
+      if (out[static_cast<std::size_t>(i)] & 1) result |= 1ull << i;
+    }
+    EXPECT_EQ(result, va + vb);
+  }
+}
+
+TEST(Blocks, MultiplierMultiplies) {
+  aig g;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  for (int i = 0; i < 5; ++i) a.push_back(g.create_pi());
+  for (int i = 0; i < 5; ++i) b.push_back(g.create_pi());
+  for (const signal p : blocks::array_multiplier(g, a, b)) g.create_po(p);
+
+  rng gen(3);
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t va = gen.below(32);
+    const std::uint64_t vb = gen.below(32);
+    std::vector<std::uint64_t> ci(10);
+    for (int i = 0; i < 5; ++i) {
+      ci[static_cast<std::size_t>(i)] = (va >> i) & 1 ? ~0ull : 0;
+      ci[static_cast<std::size_t>(5 + i)] = (vb >> i) & 1 ? ~0ull : 0;
+    }
+    const auto out = simulate64(g, ci);
+    std::uint64_t result = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (out[static_cast<std::size_t>(i)] & 1) result |= 1ull << i;
+    }
+    EXPECT_EQ(result, va * vb);
+  }
+}
+
+TEST(Blocks, ComparatorAndMajority) {
+  aig g;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  for (int i = 0; i < 4; ++i) a.push_back(g.create_pi());
+  for (int i = 0; i < 4; ++i) b.push_back(g.create_pi());
+  g.create_po(blocks::equals(g, a, b));
+  g.create_po(blocks::less_than(g, a, b));
+  std::vector<signal> maj_in(a.begin(), a.end());
+  maj_in.push_back(b[0]);
+  g.create_po(blocks::majority(g, maj_in));
+
+  for (unsigned va = 0; va < 16; ++va) {
+    for (unsigned vb = 0; vb < 16; ++vb) {
+      std::vector<std::uint64_t> ci(8);
+      for (int i = 0; i < 4; ++i) {
+        ci[static_cast<std::size_t>(i)] = (va >> i) & 1 ? ~0ull : 0;
+        ci[static_cast<std::size_t>(4 + i)] = (vb >> i) & 1 ? ~0ull : 0;
+      }
+      const auto out = simulate64(g, ci);
+      EXPECT_EQ((out[0] & 1) != 0, va == vb);
+      EXPECT_EQ((out[1] & 1) != 0, va < vb);
+      const int pop = std::popcount(va) + ((vb & 1u) != 0 ? 1 : 0);
+      EXPECT_EQ((out[2] & 1) != 0, pop >= 3);
+    }
+  }
+}
+
+TEST(Blocks, HammingCorrectsSingleErrors) {
+  // Build encoder + corrector; flip each data bit and verify correction.
+  aig g;
+  std::vector<signal> data;
+  for (int i = 0; i < 16; ++i) data.push_back(g.create_pi());
+  std::vector<signal> parity_in;
+  for (int i = 0; i < 5; ++i) parity_in.push_back(g.create_pi());
+  for (const signal s : blocks::hamming_correct(g, data, parity_in)) {
+    g.create_po(s);
+  }
+  // Reference parity from a second network.
+  aig enc;
+  std::vector<signal> enc_data;
+  for (int i = 0; i < 16; ++i) enc_data.push_back(enc.create_pi());
+  for (const signal s : blocks::hamming_parity(enc, enc_data)) {
+    enc.create_po(s);
+  }
+
+  rng gen(4);
+  for (int round = 0; round < 50; ++round) {
+    const auto word = static_cast<std::uint32_t>(gen.below(1u << 16));
+    std::vector<std::uint64_t> enc_ci(16);
+    for (int i = 0; i < 16; ++i) {
+      enc_ci[static_cast<std::size_t>(i)] = (word >> i) & 1 ? ~0ull : 0;
+    }
+    const auto parity = simulate64(enc, enc_ci);
+
+    // Corrupt one random data bit.
+    const auto flip = static_cast<unsigned>(gen.below(16));
+    std::vector<std::uint64_t> ci(21);
+    for (int i = 0; i < 16; ++i) {
+      const bool bit = (((word >> i) & 1) != 0) != (static_cast<unsigned>(i) == flip);
+      ci[static_cast<std::size_t>(i)] = bit ? ~0ull : 0;
+    }
+    for (int p = 0; p < 5; ++p) {
+      ci[static_cast<std::size_t>(16 + p)] = parity[static_cast<std::size_t>(p)];
+    }
+    const auto corrected = simulate64(g, ci);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ((corrected[static_cast<std::size_t>(i)] & 1) != 0,
+                ((word >> i) & 1) != 0)
+          << "bit " << i << " flip " << flip;
+    }
+  }
+}
+
+TEST(Benchgen, DecIsAFullDecoder) {
+  const aig g = make_dec();
+  ASSERT_EQ(g.num_pis(), 8u);
+  ASSERT_EQ(g.num_pos(), 256u);
+  for (unsigned v : {0u, 1u, 37u, 200u, 255u}) {
+    std::vector<std::uint64_t> ci(8);
+    for (int i = 0; i < 8; ++i) {
+      ci[static_cast<std::size_t>(i)] = (v >> i) & 1 ? ~0ull : 0;
+    }
+    const auto out = simulate64(g, ci);
+    for (unsigned o = 0; o < 256; ++o) {
+      EXPECT_EQ((out[o] & 1) != 0, o == v);
+    }
+  }
+}
+
+TEST(Benchgen, PriorityEncodesHighestPriorityRequest) {
+  const aig g = make_priority();
+  ASSERT_EQ(g.num_pis(), 128u);
+  ASSERT_EQ(g.num_pos(), 8u);
+  rng gen(5);
+  for (int round = 0; round < 30; ++round) {
+    const auto req = static_cast<unsigned>(gen.below(128));
+    std::vector<std::uint64_t> ci(128, 0);
+    ci[req] = ~0ull;
+    // Also set some lower-priority (higher index) requests.
+    for (int extra = 0; extra < 3; ++extra) {
+      ci[req + gen.below(128 - req)] |= ~0ull;
+    }
+    ci[req] = ~0ull;
+    const auto out = simulate64(g, ci);
+    unsigned encoded = 0;
+    for (int b = 0; b < 7; ++b) {
+      if (out[static_cast<std::size_t>(b)] & 1) encoded |= 1u << b;
+    }
+    EXPECT_EQ(encoded, req);
+    EXPECT_TRUE(out[7] & 1);  // valid
+  }
+}
+
+TEST(Benchgen, VoterMatchesMajority) {
+  const aig g = make_voter();
+  ASSERT_EQ(g.num_pis(), 1001u);
+  rng gen(6);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> ci(1001);
+    // 64 random ballots at once.
+    for (auto& w : ci) w = gen();
+    const auto out = simulate64(g, ci);
+    for (int lane = 0; lane < 64; ++lane) {
+      int count = 0;
+      for (const auto w : ci) count += static_cast<int>((w >> lane) & 1);
+      EXPECT_EQ((out[0] >> lane) & 1, count >= 501 ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Benchgen, VoterSopEquivalentToMajority15) {
+  const aig g = make_voter_sop();
+  ASSERT_EQ(g.num_pis(), 15u);
+  aig ref;
+  std::vector<signal> in;
+  for (int i = 0; i < 15; ++i) in.push_back(ref.create_pi());
+  ref.create_po(blocks::majority(ref, in));
+  EXPECT_TRUE(random_equivalent(g, ref, 64, 7));
+}
+
+TEST(Benchgen, C6288IsA16x16Multiplier) {
+  const aig g = make_c6288();
+  ASSERT_EQ(g.num_pis(), 32u);
+  ASSERT_EQ(g.num_pos(), 32u);
+  rng gen(8);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t a = gen.below(1u << 16);
+    const std::uint64_t b = gen.below(1u << 16);
+    std::vector<std::uint64_t> ci(32);
+    for (int i = 0; i < 16; ++i) {
+      ci[static_cast<std::size_t>(i)] = (a >> i) & 1 ? ~0ull : 0;
+      ci[static_cast<std::size_t>(16 + i)] = (b >> i) & 1 ? ~0ull : 0;
+    }
+    const auto out = simulate64(g, ci);
+    std::uint64_t p = 0;
+    for (int i = 0; i < 32; ++i) {
+      if (out[static_cast<std::size_t>(i)] & 1) p |= 1ull << i;
+    }
+    EXPECT_EQ(p, a * b);
+  }
+}
+
+TEST(Benchgen, InterfaceProfilesMatch) {
+  // ISCAS89 circuits must match their documented interface shapes.
+  for (const auto& profile : iscas89_profiles()) {
+    const aig g = make_iscas89(profile.name);
+    EXPECT_EQ(g.num_pis(), profile.inputs) << profile.name;
+    EXPECT_EQ(g.num_pos(), profile.outputs) << profile.name;
+    EXPECT_EQ(g.num_registers(), profile.flip_flops) << profile.name;
+    EXPECT_TRUE(g.is_well_formed()) << profile.name;
+  }
+}
+
+TEST(Benchgen, GeneratorsAreDeterministic) {
+  for (const char* name : {"c880", "s641", "router", "cavlc"}) {
+    const aig a = make_benchmark(name);
+    const aig b = make_benchmark(name);
+    EXPECT_EQ(a.num_gates(), b.num_gates()) << name;
+    if (a.num_registers() == 0) {
+      EXPECT_TRUE(random_equivalent(a, b, 16, 11)) << name;
+    } else {
+      EXPECT_TRUE(random_sequential_equivalent(a, b, 4, 32)) << name;
+    }
+  }
+}
+
+TEST(Benchgen, RegistryCoversAllSuites) {
+  const auto& all = all_benchmarks();
+  EXPECT_GE(all.size(), 35u);
+  unsigned sequential = 0;
+  for (const auto& e : all) {
+    if (e.sequential) ++sequential;
+    EXPECT_NO_THROW(make_benchmark(e.name)) << e.name;
+  }
+  EXPECT_EQ(sequential, 16u);
+  EXPECT_THROW(make_benchmark("nonexistent"), std::invalid_argument);
+}
+
+TEST(Benchgen, Int2FloatNormalizes) {
+  const aig g = make_int2float();
+  ASSERT_EQ(g.num_pis(), 11u);
+  ASSERT_EQ(g.num_pos(), 7u);
+  // Spot-check: value 0 encodes exponent 0; 1 << 10 encodes exponent 11.
+  auto encode = [&](std::uint64_t v) {
+    std::vector<std::uint64_t> ci(11);
+    for (int i = 0; i < 11; ++i) ci[static_cast<std::size_t>(i)] = (v >> i) & 1 ? ~0ull : 0;
+    const auto out = simulate64(g, ci);
+    unsigned exponent = 0;
+    for (int b = 0; b < 4; ++b) {
+      if (out[static_cast<std::size_t>(3 + b)] & 1) exponent |= 1u << b;
+    }
+    return exponent;
+  };
+  EXPECT_EQ(encode(0), 0u);
+  EXPECT_EQ(encode(1), 1u);        // leading one at bit 0 -> exponent 1
+  EXPECT_EQ(encode(1u << 10), 11u);
+  EXPECT_EQ(encode(0x5A0), 11u);   // leading one still at bit 10
+}
+
+}  // namespace
+}  // namespace xsfq

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/dual_rail.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq {
+namespace {
+
+/// The paper's 7-node full adder AIG (Figure 4): sum shares the x^y product
+/// term with carry.
+aig paper_full_adder() {
+  aig g;
+  const signal a = g.create_pi("a");
+  const signal b = g.create_pi("b");
+  const signal c = g.create_pi("cin");
+  const signal n1 = g.create_and(a, b);
+  const signal n2 = g.create_and(!a, !b);
+  const signal n3 = g.create_and(!n1, !n2);  // a ^ b
+  const signal n4 = g.create_and(n3, c);
+  const signal n5 = g.create_and(!n3, !c);
+  const signal n6 = g.create_and(!n4, !n5);  // sum
+  const signal n8 = g.create_and(!n1, !n4);  // !cout
+  g.create_po(n6, "s");
+  g.create_po(!n8, "cout");
+  return g;
+}
+
+TEST(DualRail, DirectMappingDoublesEverything) {
+  const aig g = paper_full_adder();
+  const auto demands = direct_dual_rail_demands(g);
+  const auto stats = demand_stats(g, demands);
+  EXPECT_EQ(stats.nodes_used, 7u);
+  EXPECT_EQ(stats.cells, 14u);  // the paper's "14 LA/FA cells" after AIG opt
+  EXPECT_DOUBLE_EQ(stats.duplication(), 1.0);  // 100%
+}
+
+TEST(DualRail, PositiveOutputsGiveElevenCells) {
+  // Figure 5i: 11 LA/FA cells with both outputs in positive polarity.
+  const aig g = paper_full_adder();
+  const auto demands =
+      compute_rail_demands(g, std::vector<bool>(g.num_cos(), false));
+  EXPECT_EQ(demand_stats(g, demands).cells, 11u);
+}
+
+TEST(DualRail, OptimizedPolarityGivesTenCells) {
+  // Figure 5ii: choosing cout's negative polarity reaches 10 cells.
+  const aig g = paper_full_adder();
+  const auto negate = optimize_co_polarities(g);
+  const auto demands = compute_rail_demands(g, negate);
+  EXPECT_EQ(demand_stats(g, demands).cells, 10u);
+}
+
+TEST(DualRail, DemandPropagationFollowsDeMorgan) {
+  // y = !(a & b): PO rail positive means the node's NEGATIVE rail (an FA).
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal n = g.create_and(a, b);
+  g.create_po(!n);
+  const auto demands = compute_rail_demands(g, {false});
+  EXPECT_FALSE(demands.positive(n.index()));
+  EXPECT_TRUE(demands.negative(n.index()));
+  // With the negated output polarity, the positive rail suffices.
+  const auto demands2 = compute_rail_demands(g, {true});
+  EXPECT_TRUE(demands2.positive(n.index()));
+  EXPECT_FALSE(demands2.negative(n.index()));
+}
+
+TEST(DualRail, ChainDemandsSingleRail) {
+  // A chain with no fanout needs exactly one rail per node.
+  aig g;
+  signal acc = g.create_pi();
+  for (int i = 0; i < 6; ++i) acc = g.create_and(acc, g.create_pi());
+  g.create_po(acc);
+  const auto demands = compute_rail_demands(g, {false});
+  const auto stats = demand_stats(g, demands);
+  EXPECT_EQ(stats.cells, stats.nodes_used);
+  EXPECT_DOUBLE_EQ(stats.duplication(), 0.0);
+}
+
+TEST(DualRail, ComplementedChainAlternatesRails) {
+  // NAND chain: y = !(!( ... ) & x): rails alternate but still one per node.
+  aig g;
+  signal acc = g.create_pi();
+  for (int i = 0; i < 6; ++i) acc = !g.create_and(acc, g.create_pi());
+  g.create_po(acc);
+  const auto stats =
+      demand_stats(g, compute_rail_demands(g, {false}));
+  EXPECT_EQ(stats.cells, stats.nodes_used);
+}
+
+TEST(DualRail, BothPolaritiesConsumedForcesPair) {
+  // A node whose both rails are consumed must be an LA-FA pair.
+  aig g;
+  const signal a = g.create_pi();
+  const signal b = g.create_pi();
+  const signal c = g.create_pi();
+  const signal n = g.create_and(a, b);
+  g.create_po(g.create_and(n, c));    // uses positive rail
+  g.create_po(g.create_and(!n, c));   // uses negative rail
+  const auto demands = compute_rail_demands(g, {false, false});
+  EXPECT_TRUE(demands.positive(n.index()));
+  EXPECT_TRUE(demands.negative(n.index()));
+}
+
+TEST(DualRail, OptimizerNeverWorseThanAllPositive) {
+  rng gen(55);
+  for (int round = 0; round < 10; ++round) {
+    aig g;
+    std::vector<signal> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(g.create_pi());
+    for (int i = 0; i < 50; ++i) {
+      const signal x = pool[gen.below(pool.size())] ^ gen.flip();
+      const signal y = pool[gen.below(pool.size())] ^ gen.flip();
+      pool.push_back(g.create_and(x, y));
+    }
+    for (int i = 0; i < 5; ++i) {
+      g.create_po(pool[pool.size() - 1 - static_cast<std::size_t>(i)] ^ gen.flip());
+    }
+    const aig clean = g.cleanup();
+    const auto all_pos = demand_stats(
+        clean, compute_rail_demands(clean,
+                                    std::vector<bool>(clean.num_cos(), false)));
+    const auto optimized = demand_stats(
+        clean, compute_rail_demands(clean, optimize_co_polarities(clean)));
+    EXPECT_LE(optimized.cells, all_pos.cells);
+  }
+}
+
+TEST(DualRail, RegisterInputsParticipateInPolarityChoice) {
+  aig g;
+  const signal r = g.create_register_output(false, "r");
+  const signal a = g.create_pi();
+  g.set_register_input(0, !g.create_and(r, a));  // complemented feedback
+  g.create_po(r);
+  // All-positive choice demands the negative rail of the AND.
+  const auto demands = compute_rail_demands(g, {false, false});
+  const auto n = g.register_at(0).input.index();
+  EXPECT_TRUE(demands.negative(n));
+  // Negating the register input flips the demand.
+  const auto demands2 = compute_rail_demands(g, {false, true});
+  EXPECT_TRUE(demands2.positive(n));
+  EXPECT_FALSE(demands2.negative(n));
+}
+
+}  // namespace
+}  // namespace xsfq

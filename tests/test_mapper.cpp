@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/registry.hpp"
+#include "core/mapper.hpp"
+#include "opt/script.hpp"
+
+namespace xsfq {
+namespace {
+
+aig paper_full_adder() {
+  aig g;
+  const signal a = g.create_pi("a");
+  const signal b = g.create_pi("b");
+  const signal c = g.create_pi("cin");
+  const signal n1 = g.create_and(a, b);
+  const signal n2 = g.create_and(!a, !b);
+  const signal n3 = g.create_and(!n1, !n2);
+  const signal n4 = g.create_and(n3, c);
+  const signal n5 = g.create_and(!n3, !c);
+  g.create_po(g.create_and(!n4, !n5), "s");
+  g.create_po(!g.create_and(!n1, !n4), "cout");
+  return g;
+}
+
+TEST(Mapper, FullAdderReproducesPaperFigures) {
+  const aig g = paper_full_adder();
+  // Section 3.1.1 direct mapping on the 7-node AIG: 14 cells.
+  {
+    mapping_params p;
+    p.polarity = polarity_mode::direct_dual_rail;
+    const auto m = map_to_xsfq(g, p);
+    EXPECT_EQ(m.stats.la_cells + m.stats.fa_cells, 14u);
+  }
+  // Figure 5i: positive outputs -> 11 cells.
+  {
+    mapping_params p;
+    p.polarity = polarity_mode::positive_outputs;
+    const auto m = map_to_xsfq(g, p);
+    EXPECT_EQ(m.stats.la_cells + m.stats.fa_cells, 11u);
+    EXPECT_EQ(m.stats.splitters, 7u);
+  }
+  // Figure 5ii: optimized polarity -> 10 cells, 6 splitters, 58/138 JJ.
+  {
+    mapping_params p;
+    p.polarity = polarity_mode::optimized;
+    const auto m = map_to_xsfq(g, p);
+    EXPECT_EQ(m.stats.la_cells + m.stats.fa_cells, 10u);
+    EXPECT_EQ(m.stats.splitters, 6u);
+    EXPECT_EQ(m.stats.jj, 58u);
+    EXPECT_EQ(m.stats.jj_ptl, 138u);
+  }
+}
+
+TEST(Mapper, Eq1MatchesExactSplitterCount) {
+  // When every input rail is consumed, Eq. (1) equals the exact count.
+  for (const char* name : {"c432", "cavlc", "int2float"}) {
+    const aig g = optimize(benchgen::make_benchmark(name));
+    const auto m = map_to_xsfq(g);
+    EXPECT_EQ(static_cast<long>(m.stats.splitters), m.stats.eq1_splitters)
+        << name;
+  }
+}
+
+TEST(Mapper, JjFormulaHolds) {
+  const aig g = optimize(benchgen::make_benchmark("c880"));
+  const auto m = map_to_xsfq(g);
+  EXPECT_EQ(m.stats.jj, 4 * (m.stats.la_cells + m.stats.fa_cells) +
+                            3 * m.stats.splitters +
+                            13 * m.stats.drocs_plain +
+                            22 * m.stats.drocs_preload);
+  // Footnote 1: splitters never pay PTL costs.
+  EXPECT_EQ(m.stats.jj_ptl, 12 * (m.stats.la_cells + m.stats.fa_cells) +
+                                3 * m.stats.splitters +
+                                27 * m.stats.drocs_plain +
+                                36 * m.stats.drocs_preload);
+}
+
+TEST(Mapper, NetlistPassesStructuralChecks) {
+  for (const char* name : {"c499", "router", "dec"}) {
+    const aig g = optimize(benchgen::make_benchmark(name));
+    const auto m = map_to_xsfq(g);
+    EXPECT_NO_THROW(m.netlist.check()) << name;
+    // Combinational circuits need no DROCs (the paper's Table 4 point).
+    EXPECT_EQ(m.stats.drocs_plain + m.stats.drocs_preload, 0u) << name;
+  }
+}
+
+TEST(Mapper, EveryPortHasAtMostOneConsumer) {
+  const aig g = optimize(benchgen::make_benchmark("c1355"));
+  const auto m = map_to_xsfq(g);
+  std::vector<std::array<unsigned, 2>> uses(m.netlist.size(), {0, 0});
+  for (const auto& e : m.netlist.elements()) {
+    switch (e.kind) {
+      case element_kind::la:
+      case element_kind::fa:
+        ++uses[e.fanin0.element][e.fanin0.port];
+        ++uses[e.fanin1.element][e.fanin1.port];
+        break;
+      case element_kind::splitter:
+      case element_kind::output_port:
+        ++uses[e.fanin0.element][e.fanin0.port];
+        break;
+      case element_kind::droc:
+      case element_kind::droc_preload:
+        if (!e.feedback_input) ++uses[e.fanin0.element][e.fanin0.port];
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& u : uses) {
+    EXPECT_LE(u[0], 1u);
+    EXPECT_LE(u[1], 1u);
+  }
+}
+
+TEST(Mapper, PipelineRanksAndPreloadPattern) {
+  const aig g = optimize(benchgen::make_benchmark("c6288"));
+  for (unsigned k : {1u, 2u}) {
+    mapping_params p;
+    p.pipeline_stages = k;
+    const auto m = map_to_xsfq(g, p);
+    // Even ranks carry preload hardware, odd ranks do not.
+    unsigned max_rank = 0;
+    for (const auto& e : m.netlist.elements()) {
+      if (e.pipeline_rank == 0) continue;
+      max_rank = std::max<unsigned>(max_rank, e.pipeline_rank);
+      if (e.kind == element_kind::droc_preload) {
+        EXPECT_EQ(e.pipeline_rank % 2, 0u);
+      } else if (e.kind == element_kind::droc) {
+        EXPECT_EQ(e.pipeline_rank % 2, 1u);
+      }
+    }
+    EXPECT_EQ(max_rank, 2 * k);
+    EXPECT_GT(m.stats.drocs_plain, 0u);
+    EXPECT_GT(m.stats.drocs_preload, 0u);
+    // The output rank has one DROC per distinct PO driver node.
+    EXPECT_GE(m.stats.drocs_preload, g.num_pos() / 2);
+  }
+}
+
+TEST(Mapper, PipeliningReducesDepthAndRaisesFrequency) {
+  const aig g = optimize(benchgen::make_benchmark("c6288"));
+  mapping_params p0;
+  const auto m0 = map_to_xsfq(g, p0);
+  mapping_params p1;
+  p1.pipeline_stages = 1;
+  const auto m1 = map_to_xsfq(g, p1);
+  mapping_params p2;
+  p2.pipeline_stages = 2;
+  const auto m2 = map_to_xsfq(g, p2);
+  EXPECT_LT(m1.stats.depth, m0.stats.depth);
+  EXPECT_LT(m2.stats.depth, m1.stats.depth);
+  EXPECT_GT(m1.stats.circuit_ghz, m0.stats.circuit_ghz);
+  EXPECT_GT(m2.stats.circuit_ghz, m1.stats.circuit_ghz);
+  // Architectural frequency is half the circuit frequency (Sec. 4.2.2).
+  EXPECT_DOUBLE_EQ(m1.stats.architectural_ghz, m1.stats.circuit_ghz / 2.0);
+}
+
+TEST(Mapper, SequentialBoundaryPairs) {
+  const aig g = benchgen::make_benchmark("s27");
+  mapping_params p;
+  p.reg_style = register_style::pair_boundary;
+  const auto m = map_to_xsfq(g, p);
+  EXPECT_EQ(m.stats.drocs_preload, g.num_registers());
+  EXPECT_EQ(m.stats.drocs_plain, g.num_registers());
+  EXPECT_EQ(m.register_feedback.size(), g.num_registers());
+}
+
+TEST(Mapper, SequentialRetimedRankCounts) {
+  const aig g = optimize(benchgen::make_benchmark("s298"));
+  mapping_params p;
+  p.reg_style = register_style::pair_retimed;
+  const auto m = map_to_xsfq(g, p);
+  // Preloaded = one per logical flip-flop (the boundary rank, Table 6).
+  EXPECT_EQ(m.stats.drocs_preload, g.num_registers());
+  // The retimed rank crosses the mid-level cut; it exists and generally
+  // differs from the flip-flop count.
+  EXPECT_GT(m.stats.drocs_plain, 0u);
+}
+
+TEST(Mapper, RejectsInvalidCombinations) {
+  const aig seq = benchgen::make_benchmark("s27");
+  mapping_params p;
+  p.pipeline_stages = 1;
+  EXPECT_THROW(map_to_xsfq(seq, p), std::invalid_argument);
+
+  aig incomplete;
+  incomplete.create_register_output();
+  EXPECT_THROW(map_to_xsfq(incomplete), std::invalid_argument);
+}
+
+TEST(Mapper, DuplicationMatchesDemandAnalysis) {
+  for (const char* name : {"c880", "priority", "voter_sop"}) {
+    const aig g = optimize(benchgen::make_benchmark(name));
+    const auto m = map_to_xsfq(g);
+    const auto stats = demand_stats(
+        g, compute_rail_demands(g, m.co_negated));
+    EXPECT_EQ(m.stats.la_cells + m.stats.fa_cells, stats.cells) << name;
+    EXPECT_DOUBLE_EQ(m.stats.duplication, stats.duplication()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace xsfq

@@ -1,0 +1,168 @@
+#include "util/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace xsfq {
+namespace {
+
+TEST(TruthTable, ConstantsAndProjections) {
+  for (unsigned n = 0; n <= 8; ++n) {
+    EXPECT_TRUE(truth_table::zeros(n).is_const0());
+    EXPECT_TRUE(truth_table::ones(n).is_const1());
+    EXPECT_EQ(truth_table::zeros(n).count_ones(), 0u);
+    EXPECT_EQ(truth_table::ones(n).count_ones(), std::uint64_t{1} << n);
+  }
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (unsigned v = 0; v < n; ++v) {
+      const auto t = truth_table::nth_var(n, v);
+      EXPECT_EQ(t.count_ones(), std::uint64_t{1} << (n - 1));
+      for (std::uint64_t m = 0; m < t.num_bits(); ++m) {
+        EXPECT_EQ(t.bit(m), ((m >> v) & 1u) != 0);
+      }
+    }
+  }
+}
+
+TEST(TruthTable, BitSetAndGet) {
+  truth_table t(7);
+  t.set_bit(0);
+  t.set_bit(77);
+  t.set_bit(127);
+  EXPECT_TRUE(t.bit(0));
+  EXPECT_TRUE(t.bit(77));
+  EXPECT_TRUE(t.bit(127));
+  EXPECT_FALSE(t.bit(1));
+  EXPECT_EQ(t.count_ones(), 3u);
+  t.set_bit(77, false);
+  EXPECT_FALSE(t.bit(77));
+}
+
+TEST(TruthTable, BooleanAlgebra) {
+  const auto a = truth_table::nth_var(3, 0);
+  const auto b = truth_table::nth_var(3, 1);
+  const auto c = truth_table::nth_var(3, 2);
+  EXPECT_EQ((a & b) | (a & c), a & (b | c));
+  EXPECT_EQ(~(a & b), ~a | ~b);
+  EXPECT_EQ(a ^ b, (a | b) & ~(a & b));
+  EXPECT_EQ(a ^ a, truth_table::zeros(3));
+  EXPECT_EQ((~~a), a);
+}
+
+TEST(TruthTable, CofactorsAndSupport) {
+  // f = x0 & x2 over 3 vars: independent of x1.
+  const auto f = truth_table::nth_var(3, 0) & truth_table::nth_var(3, 2);
+  EXPECT_TRUE(f.has_var(0));
+  EXPECT_FALSE(f.has_var(1));
+  EXPECT_TRUE(f.has_var(2));
+  EXPECT_EQ(f.support_mask(), 0b101u);
+  EXPECT_EQ(f.cofactor1(0), truth_table::nth_var(3, 2));
+  EXPECT_TRUE(f.cofactor0(0).is_const0());
+  // Shannon expansion identity.
+  const auto x0 = truth_table::nth_var(3, 0);
+  EXPECT_EQ(f, (x0 & f.cofactor1(0)) | (~x0 & f.cofactor0(0)));
+}
+
+TEST(TruthTable, CofactorAboveWordBoundary) {
+  rng gen(11);
+  truth_table f(8);
+  for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+    if (gen.flip()) f.set_bit(m);
+  }
+  for (unsigned v = 0; v < 8; ++v) {
+    const auto c0 = f.cofactor0(v);
+    const auto c1 = f.cofactor1(v);
+    for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+      EXPECT_EQ(c0.bit(m), f.bit(m & ~(std::uint64_t{1} << v)));
+      EXPECT_EQ(c1.bit(m), f.bit(m | (std::uint64_t{1} << v)));
+    }
+    // Shannon expansion.
+    const auto x = truth_table::nth_var(8, v);
+    EXPECT_EQ(f, (x & c1) | (~x & c0));
+  }
+}
+
+TEST(TruthTable, FlipAndSwap) {
+  rng gen(5);
+  truth_table f(7);
+  for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+    if (gen.flip()) f.set_bit(m);
+  }
+  for (unsigned v = 0; v < 7; ++v) {
+    EXPECT_EQ(f.flip_var(v).flip_var(v), f);
+    for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+      EXPECT_EQ(f.flip_var(v).bit(m), f.bit(m ^ (std::uint64_t{1} << v)));
+    }
+  }
+  for (unsigned a = 0; a < 7; ++a) {
+    for (unsigned b = 0; b < 7; ++b) {
+      EXPECT_EQ(f.swap_vars(a, b).swap_vars(a, b), f);
+    }
+  }
+}
+
+TEST(TruthTable, PermuteComposition) {
+  const auto f = (truth_table::nth_var(4, 0) & truth_table::nth_var(4, 1)) |
+                 truth_table::nth_var(4, 3);
+  const std::vector<unsigned> rotate = {1, 2, 3, 0};
+  auto g = f;
+  for (int i = 0; i < 4; ++i) g = g.permute(rotate);
+  EXPECT_EQ(g, f);  // four rotations = identity
+  // Identity permutation is a no-op.
+  EXPECT_EQ(f.permute({0, 1, 2, 3}), f);
+}
+
+TEST(TruthTable, HexRoundTrip) {
+  rng gen(99);
+  for (unsigned n : {2u, 4u, 6u, 8u}) {
+    truth_table f(n);
+    for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+      if (gen.flip()) f.set_bit(m);
+    }
+    EXPECT_EQ(truth_table::from_hex(n, f.to_hex()), f);
+  }
+  EXPECT_EQ(truth_table::from_hex(4, "8000").count_ones(), 1u);
+  EXPECT_TRUE(truth_table::from_hex(4, "8000").bit(15));
+  EXPECT_THROW(truth_table::from_hex(4, "123"), std::invalid_argument);
+  EXPECT_THROW(truth_table::from_hex(4, "12g4"), std::invalid_argument);
+}
+
+TEST(TruthTable, DomainMismatchThrows) {
+  EXPECT_THROW(truth_table(3) & truth_table(4), std::invalid_argument);
+  EXPECT_THROW(truth_table::nth_var(3, 3), std::invalid_argument);
+  EXPECT_THROW(truth_table(17), std::invalid_argument);
+}
+
+TEST(TruthTable, HashDistinguishes) {
+  const auto a = truth_table::nth_var(5, 0);
+  const auto b = truth_table::nth_var(5, 1);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), truth_table::nth_var(5, 0).hash());
+}
+
+class TruthTableWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruthTableWidths, DeMorganHoldsOnRandomFunctions) {
+  const unsigned n = GetParam();
+  rng gen(n * 17 + 1);
+  for (int round = 0; round < 8; ++round) {
+    truth_table f(n);
+    truth_table g(n);
+    for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+      if (gen.flip()) f.set_bit(m);
+      if (gen.flip()) g.set_bit(m);
+    }
+    EXPECT_EQ(~(f & g), ~f | ~g);
+    EXPECT_EQ(~(f | g), ~f & ~g);
+    EXPECT_EQ(f ^ g, (f & ~g) | (~f & g));
+    EXPECT_EQ(f.count_ones() + (~f).count_ones(), f.num_bits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, TruthTableWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u));
+
+}  // namespace
+}  // namespace xsfq

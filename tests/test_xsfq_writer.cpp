@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "benchgen/registry.hpp"
+#include "core/xsfq_writer.hpp"
+#include "opt/script.hpp"
+
+namespace xsfq {
+namespace {
+
+TEST(XsfqWriter, VerilogContainsAllCells) {
+  const aig g = optimize(benchgen::make_benchmark("cavlc"));
+  const auto m = map_to_xsfq(g);
+  const std::string v = write_xsfq_verilog_string(m, "cavlc");
+  EXPECT_NE(v.find("module cavlc"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Instance counts match the netlist exactly.
+  auto count_occurrences = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = v.find(needle); pos != std::string::npos;
+         pos = v.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_occurrences("\n  LA u"), m.stats.la_cells);
+  EXPECT_EQ(count_occurrences("\n  FA u"), m.stats.fa_cells);
+  EXPECT_EQ(count_occurrences("\n  SPLIT u"), m.stats.splitters);
+}
+
+TEST(XsfqWriter, SequentialVerilogClosesFeedback) {
+  const aig g = optimize(benchgen::make_benchmark("s27"));
+  mapping_params p;
+  p.reg_style = register_style::pair_boundary;
+  const auto m = map_to_xsfq(g, p);
+  const std::string v = write_xsfq_verilog_string(m, "s27");
+  EXPECT_NE(v.find("DROC_P"), std::string::npos);
+  EXPECT_NE(v.find(".trg(trg"), std::string::npos);
+  // Every boundary DROC data input references a wire, not an empty name.
+  EXPECT_EQ(v.find("(.d(),"), std::string::npos);
+}
+
+TEST(XsfqWriter, DotIsBalancedAndAnnotated) {
+  const aig g = optimize(benchgen::make_benchmark("c432"));
+  mapping_params p;
+  p.pipeline_stages = 1;
+  const auto m = map_to_xsfq(g, p);
+  const std::string dot = write_xsfq_dot_string(m, "c432");
+  EXPECT_NE(dot.find("digraph c432"), std::string::npos);
+  EXPECT_NE(dot.find("rank 1"), std::string::npos);
+  EXPECT_NE(dot.find("rank 2"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(XsfqWriter, NamesAreSanitized) {
+  aig g;
+  const signal a = g.create_pi("a[0]");
+  g.create_po(a, "out.q");
+  const auto m = map_to_xsfq(g);
+  const std::string v = write_xsfq_verilog_string(m, "weird-name");
+  EXPECT_NE(v.find("module weird_name"), std::string::npos);
+  EXPECT_NE(v.find("a_0__p"), std::string::npos);
+  EXPECT_NE(v.find("out_q"), std::string::npos);
+  EXPECT_EQ(v.find('['), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsfq
