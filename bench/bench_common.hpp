@@ -12,26 +12,23 @@
 #include "baseline/rsfq.hpp"
 #include "benchgen/registry.hpp"
 #include "core/mapper.hpp"
+#include "flow/batch_runner.hpp"
+#include "flow/flow.hpp"
 #include "opt/script.hpp"
 #include "util/table_printer.hpp"
 
 namespace xsfq::bench {
 
-/// Complete flow record for one circuit.
-struct flow_record {
-  aig optimized;
-  mapping_result mapped;
-  rsfq_stats baseline;
-};
+/// Complete flow record for one circuit (see src/flow).
+using flow_record = flow::flow_result;
 
-/// optimize -> map -> baseline on a named benchmark.
+/// optimize -> map -> baseline on a named benchmark, via the flow
+/// pass manager.
 inline flow_record run_flow(const std::string& name,
                             const mapping_params& params = {}) {
-  flow_record r;
-  r.optimized = optimize(benchgen::make_benchmark(name));
-  r.mapped = map_to_xsfq(r.optimized, params);
-  r.baseline = map_to_rsfq(r.optimized);
-  return r;
+  flow::flow_options options;
+  options.map = params;
+  return flow::run_flow(name, options);
 }
 
 /// The paper's 7-node full adder AIG (Figure 4).

@@ -11,18 +11,17 @@
 ///     --dot=FILE         write the mapped netlist as Graphviz
 ///     --liberty=FILE     write the Table 2 cell library (.lib)
 ///     --validate         pulse-level validation against the golden model
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
-#include "baseline/rsfq.hpp"
 #include "benchgen/registry.hpp"
 #include "cells/cell_library.hpp"
-#include "core/mapper.hpp"
 #include "core/xsfq_writer.hpp"
+#include "flow/flow.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/blif_io.hpp"
-#include "opt/script.hpp"
 #include "pulsesim/pulse_sim.hpp"
 
 using namespace xsfq;
@@ -68,7 +67,14 @@ int main(int argc, char** argv) {
                         : v == "positive" ? polarity_mode::positive_outputs
                                           : polarity_mode::optimized;
     } else if (auto v2 = option_value(arg, "--pipeline"); !v2.empty()) {
-      params.pipeline_stages = static_cast<unsigned>(std::stoul(v2));
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(v2.c_str(), &end, 10);
+      if (end == v2.c_str() || *end != '\0' || k > 64) {
+        std::cerr << "--pipeline expects a stage count 0..64, got: " << v2
+                  << "\n";
+        return 2;
+      }
+      params.pipeline_stages = static_cast<unsigned>(k);
     } else if (auto v3 = option_value(arg, "--registers"); !v3.empty()) {
       params.reg_style = v3 == "boundary" ? register_style::pair_boundary
                                           : register_style::pair_retimed;
@@ -87,25 +93,40 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const aig raw = load_circuit(spec);
-    std::cout << "loaded " << spec << ": " << raw.num_pis() << " PI, "
-              << raw.num_pos() << " PO, " << raw.num_registers() << " FF, "
-              << raw.num_gates() << " AIG nodes\n";
+    // The CLI is literally the paper flow: a load front end composed with
+    // the canned optimize -> map -> baseline pass manager from src/flow.
+    flow::flow synth("xsfq_synth");
+    synth.add_stage("load", [&spec](flow::flow_context& ctx) {
+      ctx.name = spec;
+      ctx.network = load_circuit(spec);
+      std::cout << "loaded " << spec << ": " << ctx.network.num_pis()
+                << " PI, " << ctx.network.num_pos() << " PO, "
+                << ctx.network.num_registers() << " FF, "
+                << ctx.network.num_gates() << " AIG nodes\n";
+    });
+    flow::flow_options options;
+    options.map = params;
+    synth.add_stages(flow::make_synthesis_flow(options));
+    const auto r = synth.run();
 
-    optimize_stats ost;
-    const aig opt = optimize(raw, {}, &ost);
-    std::cout << "optimized: " << ost.initial_gates << " -> "
-              << ost.final_gates << " nodes (depth " << ost.initial_depth
-              << " -> " << ost.final_depth << ")\n";
-
-    const auto mapped = map_to_xsfq(opt, params);
+    const aig& opt = r.optimized;
+    const auto& mapped = r.mapped;
+    const auto& base = r.baseline;
+    std::cout << "optimized: " << r.opt_stats.initial_gates << " -> "
+              << r.opt_stats.final_gates << " nodes (depth "
+              << r.opt_stats.initial_depth << " -> "
+              << r.opt_stats.final_depth << ")\n";
     std::cout << "mapped:    " << mapped.netlist.summary() << "\n";
-    const auto base = map_to_rsfq(opt);
     std::cout << "baseline:  clocked RSFQ " << base.jj_without_clock << " JJ ("
               << base.jj_with_clock << " with clock tree) -> savings "
               << static_cast<double>(base.jj_without_clock) /
                      static_cast<double>(mapped.stats.jj)
               << "x\n";
+    std::cout << "timing:   ";
+    for (const auto& st : r.timings) {
+      std::cout << " " << st.stage << " " << st.ms << " ms";
+    }
+    std::cout << " (total " << r.total_ms << " ms)\n";
 
     if (validate) {
       const bool seq_retimed =

@@ -1,0 +1,215 @@
+#include "flow/batch_runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace xsfq::flow {
+
+std::optional<unsigned> parse_thread_count(const char* arg) {
+  if (arg == nullptr || *arg == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long n = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || n < 0 || n > 256) return std::nullopt;
+  return static_cast<unsigned>(n);
+}
+
+std::size_t batch_report::num_ok() const {
+  std::size_t n = 0;
+  for (const auto& e : entries) {
+    if (e.ok) ++n;
+  }
+  return n;
+}
+
+std::size_t batch_report::num_failed() const {
+  return entries.size() - num_ok();
+}
+
+std::vector<const flow_result*> batch_report::ok_results() const {
+  std::vector<const flow_result*> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (e.ok) out.push_back(&e.result);
+  }
+  return out;
+}
+
+batch_summary summarize(const batch_report& report) {
+  batch_summary s;
+  double log_sum = 0.0;
+  double log_sum_clock = 0.0;
+  std::size_t ratio_count = 0;
+  for (const auto& e : report.entries) {
+    if (!e.ok) continue;
+    const auto& r = e.result;
+    ++s.circuits;
+    s.aig_gates += r.optimized.num_gates();
+    s.xsfq_jj += r.mapped.stats.jj;
+    s.rsfq_jj += r.baseline.jj_without_clock;
+    s.rsfq_jj_clock += r.baseline.jj_with_clock;
+    if (r.mapped.stats.jj > 0 && r.baseline.jj_without_clock > 0) {
+      log_sum += std::log(static_cast<double>(r.baseline.jj_without_clock) /
+                          static_cast<double>(r.mapped.stats.jj));
+      log_sum_clock +=
+          std::log(static_cast<double>(r.baseline.jj_with_clock) /
+                   static_cast<double>(r.mapped.stats.jj));
+      ++ratio_count;
+    }
+  }
+  if (ratio_count > 0) {
+    const double n = static_cast<double>(ratio_count);
+    s.geomean_savings = std::exp(log_sum / n);
+    s.geomean_savings_clock = std::exp(log_sum_clock / n);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+// ---------------------------------------------------------------------------
+
+struct batch_runner::impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  std::queue<std::function<void()>> queue;
+  std::size_t in_flight = 0;  ///< queued + currently executing jobs
+  bool shutting_down = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock,
+                        [this] { return shutting_down || !queue.empty(); });
+        if (queue.empty()) return;  // shutting down
+        job = std::move(queue.front());
+        queue.pop();
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --in_flight;
+        if (in_flight == 0) batch_done.notify_all();
+      }
+    }
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push(std::move(job));
+      ++in_flight;
+    }
+    work_ready.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex);
+    batch_done.wait(lock, [this] { return in_flight == 0; });
+  }
+};
+
+batch_runner::batch_runner(unsigned num_threads) : impl_(new impl) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  impl_->workers.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+batch_runner::~batch_runner() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+batch_report batch_runner::run_jobs(
+    std::vector<std::string> names,
+    std::vector<std::function<flow_result()>> jobs) {
+  if (names.size() != jobs.size()) {
+    throw std::invalid_argument("batch_runner: names/jobs size mismatch");
+  }
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+
+  batch_report report;
+  report.threads = num_threads_;
+  report.entries.resize(jobs.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    report.entries[i].name = std::move(names[i]);
+  }
+
+  // Each worker writes only its own slot; the report is read after
+  // wait_idle(), so no further synchronization is needed.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    batch_entry* slot = &report.entries[i];
+    std::function<flow_result()> job = std::move(jobs[i]);
+    impl_->submit([slot, job = std::move(job)] {
+      try {
+        slot->result = job();
+        slot->ok = true;
+      } catch (const std::exception& e) {
+        slot->error = e.what();
+      } catch (...) {
+        slot->error = "unknown exception";
+      }
+    });
+  }
+  impl_->wait_idle();
+
+  const std::chrono::duration<double, std::milli> wall = clock::now() - start;
+  report.wall_ms = wall.count();
+  for (const auto& e : report.entries) {
+    if (e.ok) report.flow_ms_sum += e.result.total_ms;
+  }
+  return report;
+}
+
+batch_report batch_runner::run(const std::vector<std::string>& benchmark_names,
+                               const flow_options& options) {
+  std::vector<std::function<flow_result()>> jobs;
+  jobs.reserve(benchmark_names.size());
+  for (const auto& name : benchmark_names) {
+    jobs.push_back([name, options] { return run_flow(name, options); });
+  }
+  return run_jobs(benchmark_names, std::move(jobs));
+}
+
+batch_report batch_runner::run(
+    const std::vector<std::string>& benchmark_names,
+    const std::function<flow(const std::string&)>& make_flow) {
+  std::vector<std::function<flow_result()>> jobs;
+  jobs.reserve(benchmark_names.size());
+  for (const auto& name : benchmark_names) {
+    flow f = make_flow(name);
+    jobs.push_back([f = std::move(f)] { return f.run(); });
+  }
+  return run_jobs(benchmark_names, std::move(jobs));
+}
+
+batch_report run_batch(const std::vector<std::string>& benchmark_names,
+                       const flow_options& options, unsigned num_threads) {
+  batch_runner runner(num_threads);
+  return runner.run(benchmark_names, options);
+}
+
+}  // namespace xsfq::flow

@@ -1,0 +1,106 @@
+#pragma once
+/// \file batch_runner.hpp
+/// \brief Parallel execution of synthesis flows over benchmark suites.
+///
+/// One persistent worker pool runs a flow per circuit concurrently; results
+/// come back in input order with per-circuit timing, so the output of a
+/// 8-thread run is byte-identical to a 1-thread run (every flow is
+/// deterministic, and aggregation happens in input order after the barrier).
+/// This is the single parallel engine behind every table-reproduction binary
+/// and the intended entry point for future serving workloads.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace xsfq::flow {
+
+/// Parses a worker-thread count from a command-line argument.  Accepts
+/// 0 (= hardware concurrency) through 256; returns nullopt on non-numeric,
+/// trailing-garbage, negative, or out-of-range input so callers can print
+/// usage instead of spawning a surprising number of threads.
+std::optional<unsigned> parse_thread_count(const char* arg);
+
+/// Result slot of one batch entry.  A failed flow (stage threw) carries the
+/// exception text instead of a result.
+struct batch_entry {
+  std::string name;
+  bool ok = false;
+  std::string error;   ///< what() of the stage exception, if !ok
+  flow_result result;  ///< valid only when ok
+};
+
+/// Outcome of one batch: entries in input order plus wall-clock accounting.
+struct batch_report {
+  std::vector<batch_entry> entries;
+  double wall_ms = 0.0;      ///< elapsed wall-clock for the whole batch
+  double flow_ms_sum = 0.0;  ///< sum of per-circuit flow times (CPU-ish)
+  unsigned threads = 1;      ///< worker threads that served the batch
+
+  std::size_t num_ok() const;
+  std::size_t num_failed() const;
+  /// Results of the successful entries, still in input order.
+  std::vector<const flow_result*> ok_results() const;
+};
+
+/// Deterministic roll-up across the successful circuits of a batch.
+struct batch_summary {
+  std::size_t circuits = 0;
+  std::size_t aig_gates = 0;         ///< optimized AIG nodes, summed
+  std::size_t xsfq_jj = 0;           ///< mapped JJ, summed
+  std::size_t rsfq_jj = 0;           ///< baseline JJ without clock, summed
+  std::size_t rsfq_jj_clock = 0;     ///< baseline JJ with clock, summed
+  double geomean_savings = 0.0;      ///< geomean rsfq_jj / xsfq_jj
+  double geomean_savings_clock = 0.0;
+};
+
+batch_summary summarize(const batch_report& report);
+
+/// Thread-pool flow executor.  Construct once, run many batches; worker
+/// threads persist across run() calls.  One batch at a time: run() and
+/// run_jobs() must not be called concurrently from multiple threads on the
+/// same runner (in-flight accounting and wall-clock timing are per-runner,
+/// not per-call) — a serving front end should serialize batches or use one
+/// runner per caller.
+class batch_runner {
+ public:
+  /// \param num_threads worker count; 0 picks hardware_concurrency (min 1).
+  explicit batch_runner(unsigned num_threads = 0);
+  ~batch_runner();
+  batch_runner(const batch_runner&) = delete;
+  batch_runner& operator=(const batch_runner&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Runs the canned paper flow (generate -> optimize -> map -> baseline)
+  /// over every named benchmark.
+  batch_report run(const std::vector<std::string>& benchmark_names,
+                   const flow_options& options = {});
+
+  /// Runs an arbitrary per-name flow factory: `make_flow(name)` is called on
+  /// the submitting thread, the returned flow executes on a worker.
+  batch_report run(const std::vector<std::string>& benchmark_names,
+                   const std::function<flow(const std::string&)>& make_flow);
+
+  /// Fully generic: one job per entry, executed on the pool, results in
+  /// input order.
+  batch_report run_jobs(std::vector<std::string> names,
+                        std::vector<std::function<flow_result()>> jobs);
+
+ private:
+  struct impl;
+  impl* impl_;
+  unsigned num_threads_ = 1;
+};
+
+/// One-shot convenience: run the paper flow over the names with a temporary
+/// pool of `num_threads` workers.
+batch_report run_batch(const std::vector<std::string>& benchmark_names,
+                       const flow_options& options = {},
+                       unsigned num_threads = 0);
+
+}  // namespace xsfq::flow

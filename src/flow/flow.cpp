@@ -1,0 +1,146 @@
+#include "flow/flow.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/xsfq_writer.hpp"
+
+namespace xsfq::flow {
+
+double flow_result::stage_ms(const std::string& stage_name) const {
+  for (const auto& t : timings) {
+    if (t.stage == stage_name) return t.ms;
+  }
+  return 0.0;
+}
+
+flow& flow::add_stage(std::string stage_name,
+                      std::function<void(flow_context&)> fn) {
+  stages_.push_back({std::move(stage_name), std::move(fn)});
+  return *this;
+}
+
+flow& flow::add_stage(stage s) {
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+flow& flow::add_stages(const flow& other) {
+  for (const auto& s : other.stages()) stages_.push_back(s);
+  return *this;
+}
+
+flow_result flow::run() const { return run_context(flow_context{}); }
+
+flow_result flow::run_on(const aig& network, std::string circuit_name) const {
+  flow_context ctx;
+  ctx.network = network;
+  ctx.name = std::move(circuit_name);
+  return run_context(std::move(ctx));
+}
+
+flow_result flow::run_context(flow_context ctx) const {
+  using clock = std::chrono::steady_clock;
+  flow_result result;
+  const auto flow_start = clock::now();
+  for (const auto& s : stages_) {
+    const auto stage_start = clock::now();
+    s.run(ctx);
+    const std::chrono::duration<double, std::milli> elapsed =
+        clock::now() - stage_start;
+    result.timings.push_back({s.name, elapsed.count()});
+  }
+  const std::chrono::duration<double, std::milli> total =
+      clock::now() - flow_start;
+  result.total_ms = total.count();
+
+  result.name = std::move(ctx.name);
+  result.optimized = std::move(ctx.network);
+  if (ctx.opt) result.opt_stats = *ctx.opt;
+  if (ctx.mapped) result.mapped = std::move(*ctx.mapped);
+  if (ctx.baseline) result.baseline = *ctx.baseline;
+  result.verilog = std::move(ctx.verilog);
+  return result;
+}
+
+namespace stages {
+
+stage benchmark(std::string benchmark_name) {
+  return {"generate", [name = std::move(benchmark_name)](flow_context& ctx) {
+            ctx.name = name;
+            ctx.network = benchgen::make_benchmark(name);
+          }};
+}
+
+stage preset(aig network, std::string circuit_name) {
+  return {"generate",
+          [network = std::move(network),
+           name = std::move(circuit_name)](flow_context& ctx) {
+            ctx.name = name;
+            ctx.network = network;
+          }};
+}
+
+stage optimize(optimize_params params) {
+  return {"optimize", [params](flow_context& ctx) {
+            optimize_stats st;
+            ctx.network = xsfq::optimize(ctx.network, params, &st);
+            ctx.opt = st;
+          }};
+}
+
+stage pass(std::string pass_name) {
+  return {pass_name, [pass_name](flow_context& ctx) {
+            ctx.network = run_pass(ctx.network, pass_name);
+          }};
+}
+
+stage map(mapping_params params) {
+  return {"map", [params](flow_context& ctx) {
+            ctx.mapped = map_to_xsfq(ctx.network, params);
+          }};
+}
+
+stage baseline(rsfq_params params) {
+  return {"baseline", [params](flow_context& ctx) {
+            ctx.baseline = map_to_rsfq(ctx.network, params);
+          }};
+}
+
+stage emit_verilog(std::string module_name) {
+  return {"emit", [module = std::move(module_name)](flow_context& ctx) {
+            if (!ctx.mapped) {
+              throw std::logic_error(
+                  "flow: emit_verilog stage requires a map stage before it");
+            }
+            ctx.verilog = write_xsfq_verilog_string(
+                *ctx.mapped, module.empty() ? ctx.name : module);
+          }};
+}
+
+}  // namespace stages
+
+flow make_synthesis_flow(const flow_options& options) {
+  flow f("synthesis");
+  if (options.run_optimize) f.add_stage(stages::optimize(options.opt));
+  f.add_stage(stages::map(options.map));
+  if (options.run_baseline) f.add_stage(stages::baseline(options.baseline));
+  if (options.emit_verilog) f.add_stage(stages::emit_verilog());
+  return f;
+}
+
+flow_result run_flow(const std::string& benchmark_name,
+                     const flow_options& options) {
+  flow full("synthesis");
+  full.add_stage(stages::benchmark(benchmark_name));
+  full.add_stages(make_synthesis_flow(options));
+  return full.run();
+}
+
+flow_result run_flow(const aig& network, std::string circuit_name,
+                     const flow_options& options) {
+  return make_synthesis_flow(options).run_on(network, std::move(circuit_name));
+}
+
+}  // namespace xsfq::flow

@@ -1,0 +1,156 @@
+#pragma once
+/// \file flow.hpp
+/// \brief Composable synthesis-flow pass manager.
+///
+/// One `flow` is an ordered list of named stages (generate/parse ->
+/// optimize -> map -> baseline -> emit) operating on a shared
+/// `flow_context`.  Running a flow times every stage and returns a
+/// `flow_result` carrying the optimized network, mapping and baseline
+/// stats, and the per-stage wall-clock breakdown.  The table/figure
+/// binaries, the examples, and the batch_runner all compose their flows
+/// from the stage factories below instead of hand-rolling the
+/// optimize/map/baseline sequence.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "baseline/rsfq.hpp"
+#include "benchgen/registry.hpp"
+#include "core/mapper.hpp"
+#include "opt/script.hpp"
+
+namespace xsfq::flow {
+
+/// Mutable state threaded through the stages of one flow run.  Stages fill
+/// in the optional fields they are responsible for; later stages may read
+/// anything earlier stages produced.
+struct flow_context {
+  std::string name;  ///< circuit name (set by the generate/parse stage)
+  aig network;       ///< current network; transform stages replace it
+  std::optional<optimize_stats> opt;
+  std::optional<mapping_result> mapped;
+  std::optional<rsfq_stats> baseline;
+  std::string verilog;  ///< structural Verilog, if an emit stage ran
+};
+
+/// Wall-clock cost of one executed stage.
+struct stage_timing {
+  std::string stage;
+  double ms = 0.0;
+};
+
+/// Everything one flow run produced.  Field names mirror the old
+/// bench_common `flow_record` so table binaries read naturally:
+/// `r.mapped.stats.jj`, `r.baseline.jj_without_clock`, ...
+struct flow_result {
+  std::string name;
+  aig optimized;  ///< network after the last transform stage
+  optimize_stats opt_stats;
+  mapping_result mapped;
+  rsfq_stats baseline;
+  std::string verilog;
+  std::vector<stage_timing> timings;
+  double total_ms = 0.0;
+
+  /// Wall-clock of a named stage, or 0 if it did not run.
+  double stage_ms(const std::string& stage) const;
+};
+
+/// A named unit of work inside a flow.
+struct stage {
+  std::string name;
+  std::function<void(flow_context&)> run;
+};
+
+/// Ordered stage list with timed execution.
+class flow {
+ public:
+  flow() = default;
+  explicit flow(std::string flow_name) : name_(std::move(flow_name)) {}
+
+  /// Appends a stage; returns *this for chaining.
+  flow& add_stage(std::string stage_name, std::function<void(flow_context&)> fn);
+  flow& add_stage(stage s);
+
+  /// Appends every stage of another flow (front-end + canned-flow
+  /// composition).
+  flow& add_stages(const flow& other);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_stages() const { return stages_.size(); }
+  const std::vector<stage>& stages() const { return stages_; }
+
+  /// Runs every stage in order over a fresh context and reports the result.
+  /// Stage exceptions propagate to the caller.
+  flow_result run() const;
+
+  /// Same, but seeds the context with an existing network (for flows whose
+  /// first stage is not a generate/parse stage).
+  flow_result run_on(const aig& network, std::string circuit_name) const;
+
+ private:
+  flow_result run_context(flow_context ctx) const;
+
+  std::string name_;
+  std::vector<stage> stages_;
+};
+
+// ---------------------------------------------------------------------------
+// Stage factories: the vocabulary every flow is built from.
+// ---------------------------------------------------------------------------
+namespace stages {
+
+/// Generate a named benchmark from the registry (the "parse" front end).
+stage benchmark(std::string benchmark_name);
+
+/// Provide an already-built network.
+stage preset(aig network, std::string circuit_name);
+
+/// resyn-style optimization (src/opt); records optimize_stats.
+stage optimize(optimize_params params = {});
+
+/// A single named pass ("b", "rw", "rwz", "rf", "rfz", "clean").
+stage pass(std::string pass_name);
+
+/// AIG -> xSFQ mapping; records the mapping_result.
+stage map(mapping_params params = {});
+
+/// Clocked-RSFQ baseline on the current network; records rsfq_stats.
+stage baseline(rsfq_params params = {});
+
+/// Structural-Verilog emission of the mapped netlist (requires map()).
+stage emit_verilog(std::string module_name = "");
+
+}  // namespace stages
+
+// ---------------------------------------------------------------------------
+// Canned flows.
+// ---------------------------------------------------------------------------
+
+/// Knobs for the standard paper flow.
+struct flow_options {
+  optimize_params opt;
+  mapping_params map;
+  rsfq_params baseline;
+  bool run_optimize = true;   ///< skip to map the raw network
+  bool run_baseline = true;   ///< skip the clocked-RSFQ comparison
+  bool emit_verilog = false;  ///< fill flow_result::verilog
+};
+
+/// optimize -> map [-> baseline] [-> emit]; prepend your own front end.
+flow make_synthesis_flow(const flow_options& options = {});
+
+/// The paper flow on a named benchmark: generate -> optimize -> map ->
+/// baseline.  This is the one-call replacement for the old
+/// bench_common::run_flow.
+flow_result run_flow(const std::string& benchmark_name,
+                     const flow_options& options = {});
+
+/// The paper flow on an existing network.
+flow_result run_flow(const aig& network, std::string circuit_name,
+                     const flow_options& options = {});
+
+}  // namespace xsfq::flow

@@ -1,0 +1,244 @@
+#include "flow/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flow/batch_runner.hpp"
+
+namespace xsfq {
+namespace {
+
+aig tiny_adder() {
+  aig g;
+  const signal a = g.create_pi("a");
+  const signal b = g.create_pi("b");
+  const signal c = g.create_pi("cin");
+  g.create_po(g.create_xor(g.create_xor(a, b), c), "s");
+  g.create_po(g.create_maj(a, b, c), "cout");
+  return g;
+}
+
+TEST(Flow, StagesRunInOrderOverSharedContext) {
+  std::vector<std::string> order;
+  flow::flow f("test");
+  f.add_stage("first", [&](flow::flow_context& ctx) {
+     order.push_back("first");
+     ctx.name = "tiny";
+     ctx.network = tiny_adder();
+   }).add_stage("second", [&](flow::flow_context& ctx) {
+    order.push_back("second");
+    EXPECT_EQ(ctx.name, "tiny");  // sees the first stage's writes
+    EXPECT_GT(ctx.network.num_gates(), 0u);
+  });
+  EXPECT_EQ(f.num_stages(), 2u);
+
+  const auto r = f.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(r.name, "tiny");
+  ASSERT_EQ(r.timings.size(), 2u);
+  EXPECT_EQ(r.timings[0].stage, "first");
+  EXPECT_EQ(r.timings[1].stage, "second");
+  EXPECT_GE(r.total_ms, 0.0);
+  EXPECT_EQ(r.stage_ms("nonexistent"), 0.0);
+}
+
+TEST(Flow, SynthesisFlowCollectsAllStats) {
+  const auto r = flow::run_flow("c432");
+  EXPECT_EQ(r.name, "c432");
+  // optimize_stats are consistent with the network the flow returned.
+  EXPECT_EQ(r.opt_stats.final_gates, r.optimized.num_gates());
+  EXPECT_LE(r.opt_stats.final_gates, r.opt_stats.initial_gates);
+  // mapping and baseline both ran on the optimized network.
+  EXPECT_GT(r.mapped.stats.jj, 0u);
+  EXPECT_GT(r.baseline.jj_without_clock, r.mapped.stats.jj);
+  // generate + optimize + map + baseline were each timed.
+  ASSERT_EQ(r.timings.size(), 4u);
+  EXPECT_EQ(r.timings[0].stage, "generate");
+  EXPECT_EQ(r.timings[1].stage, "optimize");
+  EXPECT_EQ(r.timings[2].stage, "map");
+  EXPECT_EQ(r.timings[3].stage, "baseline");
+}
+
+TEST(Flow, OptionsSkipStages) {
+  flow::flow_options options;
+  options.run_optimize = false;
+  options.run_baseline = false;
+  const auto r = flow::run_flow(tiny_adder(), "tiny", options);
+  ASSERT_EQ(r.timings.size(), 1u);
+  EXPECT_EQ(r.timings[0].stage, "map");
+  EXPECT_EQ(r.baseline.jj_without_clock, 0u);
+}
+
+TEST(Flow, EmitVerilogStageProducesModule) {
+  flow::flow_options options;
+  options.emit_verilog = true;
+  const auto r = flow::run_flow(tiny_adder(), "tiny", options);
+  EXPECT_NE(r.verilog.find("module"), std::string::npos);
+  EXPECT_GT(r.stage_ms("emit"), 0.0);
+}
+
+TEST(Flow, EmitWithoutMapThrows) {
+  flow::flow f;
+  f.add_stage(flow::stages::preset(tiny_adder(), "tiny"));
+  f.add_stage(flow::stages::emit_verilog());
+  EXPECT_THROW(f.run(), std::logic_error);
+}
+
+TEST(Flow, NamedPassStage) {
+  flow::flow f;
+  f.add_stage(flow::stages::preset(tiny_adder(), "tiny"));
+  f.add_stage(flow::stages::pass("b"));
+  const auto r = f.run();
+  EXPECT_GT(r.optimized.num_gates(), 0u);
+  ASSERT_EQ(r.timings.size(), 2u);
+  EXPECT_EQ(r.timings[1].stage, "b");
+}
+
+TEST(Flow, MatchesManualSequence) {
+  // The pass manager must produce exactly what the hand-rolled sequence
+  // produced before this subsystem existed.
+  const aig g = benchgen::make_benchmark("c432");
+  const aig opt = optimize(g);
+  const auto mapped = map_to_xsfq(opt);
+  const auto base = map_to_rsfq(opt);
+
+  const auto r = flow::run_flow("c432");
+  EXPECT_EQ(r.optimized.num_gates(), opt.num_gates());
+  EXPECT_EQ(r.mapped.stats.jj, mapped.stats.jj);
+  EXPECT_EQ(r.mapped.stats.la_cells, mapped.stats.la_cells);
+  EXPECT_EQ(r.mapped.stats.fa_cells, mapped.stats.fa_cells);
+  EXPECT_EQ(r.mapped.stats.splitters, mapped.stats.splitters);
+  EXPECT_EQ(r.baseline.jj_without_clock, base.jj_without_clock);
+  EXPECT_EQ(r.baseline.jj_with_clock, base.jj_with_clock);
+}
+
+// ---------------------------------------------------------------------------
+// batch_runner
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> small_suite() {
+  return {"c432", "dec", "int2float", "s27", "c499"};
+}
+
+TEST(BatchRunner, ResultsComeBackInInputOrder) {
+  flow::batch_runner runner(3);
+  EXPECT_EQ(runner.num_threads(), 3u);
+  const auto report = runner.run(small_suite());
+  ASSERT_EQ(report.entries.size(), 5u);
+  const auto names = small_suite();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_TRUE(report.entries[i].ok) << report.entries[i].error;
+    EXPECT_EQ(report.entries[i].name, names[i]);
+    EXPECT_EQ(report.entries[i].result.name, names[i]);
+  }
+  EXPECT_EQ(report.num_ok(), 5u);
+  EXPECT_EQ(report.num_failed(), 0u);
+  EXPECT_GT(report.wall_ms, 0.0);
+}
+
+TEST(BatchRunner, MultiThreadedMatchesSingleThreaded) {
+  const auto names = small_suite();
+  const auto single = flow::run_batch(names, {}, 1);
+  const auto multi = flow::run_batch(names, {}, 4);
+  ASSERT_EQ(single.entries.size(), multi.entries.size());
+  EXPECT_EQ(single.threads, 1u);
+  EXPECT_EQ(multi.threads, 4u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& s = single.entries[i].result;
+    const auto& m = multi.entries[i].result;
+    ASSERT_TRUE(single.entries[i].ok && multi.entries[i].ok);
+    EXPECT_EQ(s.name, m.name);
+    EXPECT_EQ(s.optimized.num_gates(), m.optimized.num_gates());
+    EXPECT_EQ(s.optimized.depth(), m.optimized.depth());
+    EXPECT_EQ(s.mapped.stats.jj, m.mapped.stats.jj);
+    EXPECT_EQ(s.mapped.stats.la_cells, m.mapped.stats.la_cells);
+    EXPECT_EQ(s.mapped.stats.fa_cells, m.mapped.stats.fa_cells);
+    EXPECT_EQ(s.mapped.stats.splitters, m.mapped.stats.splitters);
+    EXPECT_EQ(s.mapped.stats.duplication, m.mapped.stats.duplication);
+    EXPECT_EQ(s.baseline.jj_without_clock, m.baseline.jj_without_clock);
+    EXPECT_EQ(s.baseline.jj_with_clock, m.baseline.jj_with_clock);
+  }
+  const auto sum_single = flow::summarize(single);
+  const auto sum_multi = flow::summarize(multi);
+  EXPECT_EQ(sum_single.xsfq_jj, sum_multi.xsfq_jj);
+  EXPECT_EQ(sum_single.rsfq_jj, sum_multi.rsfq_jj);
+  EXPECT_DOUBLE_EQ(sum_single.geomean_savings, sum_multi.geomean_savings);
+}
+
+TEST(BatchRunner, FailedFlowIsIsolated) {
+  const auto report =
+      flow::run_batch({"dec", "no_such_circuit", "int2float"}, {}, 2);
+  ASSERT_EQ(report.entries.size(), 3u);
+  EXPECT_TRUE(report.entries[0].ok);
+  EXPECT_FALSE(report.entries[1].ok);
+  EXPECT_FALSE(report.entries[1].error.empty());
+  EXPECT_TRUE(report.entries[2].ok);
+  EXPECT_EQ(report.num_failed(), 1u);
+  EXPECT_EQ(report.ok_results().size(), 2u);
+  // summarize only counts the successful circuits.
+  EXPECT_EQ(flow::summarize(report).circuits, 2u);
+}
+
+TEST(BatchRunner, PoolIsReusableAcrossBatches) {
+  flow::batch_runner runner(2);
+  const auto first = runner.run({"dec", "int2float"});
+  const auto second = runner.run({"s27"});
+  EXPECT_EQ(first.num_ok(), 2u);
+  EXPECT_EQ(second.num_ok(), 1u);
+  EXPECT_EQ(second.entries[0].name, "s27");
+}
+
+TEST(BatchRunner, CustomFlowFactory) {
+  flow::batch_runner runner(2);
+  const auto report = runner.run(
+      {"dec", "int2float"}, [](const std::string& name) {
+        flow::flow f(name);
+        f.add_stage(flow::stages::benchmark(name));
+        f.add_stage(flow::stages::map());  // raw mapping, no optimize
+        return f;
+      });
+  ASSERT_EQ(report.num_ok(), 2u);
+  for (const auto& e : report.entries) {
+    EXPECT_EQ(e.result.timings.size(), 2u);
+    EXPECT_GT(e.result.mapped.stats.jj, 0u);
+  }
+}
+
+TEST(BatchRunner, JobNameMismatchThrows) {
+  flow::batch_runner runner(1);
+  EXPECT_THROW(runner.run_jobs({"a", "b"}, {}), std::invalid_argument);
+}
+
+TEST(BatchRunner, ParseThreadCount) {
+  EXPECT_EQ(flow::parse_thread_count("4"), 4u);
+  EXPECT_EQ(flow::parse_thread_count("0"), 0u);
+  EXPECT_EQ(flow::parse_thread_count("256"), 256u);
+  EXPECT_FALSE(flow::parse_thread_count("-1").has_value());
+  EXPECT_FALSE(flow::parse_thread_count("257").has_value());
+  EXPECT_FALSE(flow::parse_thread_count("four").has_value());
+  EXPECT_FALSE(flow::parse_thread_count("4x").has_value());
+  EXPECT_FALSE(flow::parse_thread_count("").has_value());
+  EXPECT_FALSE(flow::parse_thread_count(nullptr).has_value());
+}
+
+TEST(BatchRunner, SummarizeAggregatesDeterministically) {
+  const auto report = flow::run_batch({"dec", "c432"}, {}, 2);
+  ASSERT_EQ(report.num_ok(), 2u);
+  const auto s = flow::summarize(report);
+  EXPECT_EQ(s.circuits, 2u);
+  const auto& a = report.entries[0].result;
+  const auto& b = report.entries[1].result;
+  EXPECT_EQ(s.xsfq_jj, a.mapped.stats.jj + b.mapped.stats.jj);
+  EXPECT_EQ(s.rsfq_jj,
+            a.baseline.jj_without_clock + b.baseline.jj_without_clock);
+  EXPECT_EQ(s.aig_gates, a.optimized.num_gates() + b.optimized.num_gates());
+  EXPECT_GT(s.geomean_savings, 1.0);
+  EXPECT_GT(s.geomean_savings_clock, s.geomean_savings);
+}
+
+}  // namespace
+}  // namespace xsfq
