@@ -1,0 +1,143 @@
+/// Microbenchmarks for the allocation-free cut engine: cut enumeration with
+/// fresh vs reused arenas, MFFC queries on the dense-scratch calculator, and
+/// the full optimize script through one reused opt_engine.  Plain chrono (no
+/// google-benchmark dependency) so it always builds; CI runs it in Release
+/// and archives the PERF lines for trend visibility (no hard gate).
+///
+///   bench_perf_cuts [circuit] [reps]     (default: c880, 5)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "aig/cuts.hpp"
+#include "benchgen/registry.hpp"
+#include "opt/opt_engine.hpp"
+#include "opt/rewrite_library.hpp"
+#include "opt/script.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "c880";
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
+  if (reps <= 0) {
+    std::cerr << "usage: " << argv[0] << " [circuit] [reps>0]\n";
+    return 2;
+  }
+
+  std::cout << "== bench_perf_cuts: cut engine microbenchmarks (" << circuit
+            << ", " << reps << " reps) ==\n\n";
+  const aig g = benchgen::make_benchmark(circuit);
+  std::cout << circuit << ": " << g.num_gates() << " AIG nodes, depth "
+            << g.depth() << "\n";
+
+  // Library construction is a one-time per-process cost; time it explicitly
+  // so it never hides inside the first optimize measurement.
+  const auto lib_start = clock_type::now();
+  rewrite_library::instance();
+  const double lib_ms = ms_since(lib_start);
+  std::cout << "rewrite library build (once per process): " << lib_ms
+            << " ms\n\n";
+
+  const cut_params params{4, 10, true};
+
+  // Fresh engine per enumeration: every arena grows from zero.
+  double fresh_ms = 0.0;
+  std::size_t num_cuts = 0;
+  {
+    const auto start = clock_type::now();
+    for (int r = 0; r < reps; ++r) {
+      cut_engine engine;
+      num_cuts = engine.enumerate(g, params).num_cuts();
+    }
+    fresh_ms = ms_since(start) / reps;
+  }
+
+  // Reused engine: arena and scratch recycled (the optimize steady state).
+  double reused_ms = 0.0;
+  std::size_t arena_bytes = 0;
+  cut_engine engine;
+  engine.enumerate(g, params);  // reach the high-water mark
+  {
+    const auto start = clock_type::now();
+    for (int r = 0; r < reps; ++r) {
+      const auto& set = engine.enumerate(g, params);
+      arena_bytes = set.arena_bytes();
+    }
+    reused_ms = ms_since(start) / reps;
+  }
+  std::cout << "enumerate_cuts (k=4, limit=10): " << num_cuts << " cuts\n"
+            << "  fresh engine per pass:  " << fresh_ms << " ms\n"
+            << "  reused engine (arena):  " << reused_ms << " ms, "
+            << arena_bytes << " arena bytes\n";
+
+  // MFFC queries over every stored cut, dense-scratch calculator.  The cone
+  // sum doubles as the dead-code keep-alive and a self-check value.
+  double mffc_ms = 0.0;
+  std::uint64_t mffc_queries = 0;
+  std::uint64_t mffc_cone_sum = 0;
+  {
+    mffc_calculator mffc;
+    mffc.attach(g);
+    const auto& set = engine.cuts();
+    const auto start = clock_type::now();
+    for (int r = 0; r < reps; ++r) {
+      g.foreach_gate([&](aig::node_index n) {
+        for (const cut_view c : set[n]) mffc_cone_sum += mffc.size(n, c.leaves());
+      });
+    }
+    mffc_ms = ms_since(start) / reps;
+    mffc_queries = mffc.num_queries() / reps;
+    mffc_cone_sum /= static_cast<std::uint64_t>(reps);
+  }
+  std::cout << "mffc queries: " << mffc_queries << " per rep, " << mffc_ms
+            << " ms/rep ("
+            << (mffc_queries ? 1e6 * mffc_ms / static_cast<double>(mffc_queries)
+                             : 0.0)
+            << " ns/query), cone sum " << mffc_cone_sum << "\n";
+
+  // Full optimize script through one reused engine (flow steady state).
+  double optimize_ms = 0.0;
+  opt_counters work;
+  std::size_t final_gates = 0;
+  {
+    opt_engine opt;
+    optimize_stats st;
+    const auto start = clock_type::now();
+    for (int r = 0; r < reps; ++r) {
+      final_gates = opt.optimize(g, {}, &st).num_gates();
+    }
+    optimize_ms = ms_since(start) / reps;
+    work = st.work;
+  }
+  std::cout << "optimize (steady state): " << optimize_ms << " ms/rep -> "
+            << final_gates << " gates\n"
+            << "  per rep: " << work.passes << " passes, "
+            << work.cuts_enumerated << " cuts, " << work.cut_candidates
+            << " merge attempts, " << work.mffc_queries << " mffc queries, "
+            << work.replacements << " rewrites, " << work.resynth_cache_hits
+            << " cache hits, " << work.cut_arena_bytes << " peak arena bytes\n";
+
+  // Machine-readable trend lines for the CI artifact.
+  std::cout << "\nPERF circuit=" << circuit << " library_build_ms=" << lib_ms
+            << " enumerate_fresh_ms=" << fresh_ms
+            << " enumerate_reused_ms=" << reused_ms << " cuts=" << num_cuts
+            << " arena_bytes=" << arena_bytes << " mffc_ns_per_query="
+            << (mffc_queries ? 1e6 * mffc_ms / static_cast<double>(mffc_queries)
+                             : 0.0)
+            << " optimize_ms=" << optimize_ms << " final_gates=" << final_gates
+            << "\n";
+  return 0;
+}

@@ -2,14 +2,28 @@
 /// architectural stages — JJ count, LA/FA cells, duplication, DROC ranks
 /// (plain/preloaded), logical depth (without/with splitters) and the circuit
 /// vs architectural clock frequencies.
+/// The multiplier is optimized once; the three pipeline mappings then run
+/// concurrently through the flow batch_runner (results aggregated in input
+/// order, so the table is identical at any thread count).
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace xsfq;
 using namespace xsfq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 3;
+  if (argc > 1) {
+    const auto parsed = flow::parse_thread_count(argv[1]);
+    if (!parsed) {
+      std::cerr << "usage: " << argv[0] << " [threads (0 = hardware)]\n";
+      return 2;
+    }
+    threads = *parsed;
+  }
   std::cout << "== Table 5: c6288 pipelining sweep ==\n\n";
 
   struct paper_row {
@@ -30,16 +44,35 @@ int main() {
   std::cout << "c6288 (16x16 array multiplier): " << g.num_gates()
             << " AIG nodes after optimization, depth " << g.depth() << "\n\n";
 
+  // One preset -> map flow per pipeline depth, all on the worker pool.
+  flow::batch_runner runner(threads);
+  std::vector<std::string> names;
+  std::vector<std::function<flow::flow_result()>> jobs;
+  for (unsigned k : {0u, 1u, 2u}) {
+    names.push_back(std::to_string(k) + "/" + std::to_string(2 * k));
+    jobs.push_back([&g, k] {
+      mapping_params p;
+      p.pipeline_stages = k;
+      flow::flow f("pipeline");
+      f.add_stage(flow::stages::preset(g, "c6288"));
+      f.add_stage(flow::stages::map(p));
+      return f.run();
+    });
+  }
+  const auto report = runner.run_jobs(names, std::move(jobs));
+
   table_printer t({"Stages", "#JJ", "#LA/FA", "Dupl", "#DROC (w/o / w)",
                    "Depth", "Freq (GHz)", "Paper JJ", "Paper DROC",
                    "Paper depth", "Paper freq"});
   for (unsigned k : {0u, 1u, 2u}) {
-    mapping_params p;
-    p.pipeline_stages = k;
-    const auto m = map_to_xsfq(g, p);
-    const auto& st = m.stats;
-    t.add_row({std::to_string(k) + "/" + std::to_string(2 * k),
-               std::to_string(st.jj),
+    const auto& entry = report.entries[k];
+    if (!entry.ok) {
+      std::cerr << "flow failed for " << entry.name << ": " << entry.error
+                << "\n";
+      return 1;
+    }
+    const auto& st = entry.result.mapped.stats;
+    t.add_row({entry.name, std::to_string(st.jj),
                std::to_string(st.la_cells + st.fa_cells),
                table_printer::percent(st.duplication),
                std::to_string(st.drocs_plain) + "/" +

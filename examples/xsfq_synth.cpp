@@ -11,6 +11,8 @@
 ///     --dot=FILE         write the mapped netlist as Graphviz
 ///     --liberty=FILE     write the Table 2 cell library (.lib)
 ///     --validate         pulse-level validation against the golden model
+///     --timing           also print per-stage counters as CSV (for perf
+///                        tracking: ms, nodes, cuts, rewrites, arena bytes)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: xsfq_synth <circuit|file.bench|file.blif> "
                  "[--polarity=...] [--pipeline=K] [--registers=...]\n"
                  "                  [--verilog=F] [--dot=F] [--liberty=F] "
-                 "[--validate]\n";
+                 "[--validate] [--timing]\n";
     return 2;
   }
   const std::string spec = argv[1];
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string liberty_path;
   bool validate = false;
+  bool print_timing_csv = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       liberty_path = v6;
     } else if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--timing") {
+      print_timing_csv = true;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return 2;
@@ -127,6 +132,15 @@ int main(int argc, char** argv) {
       std::cout << " " << st.stage << " " << st.ms << " ms";
     }
     std::cout << " (total " << r.total_ms << " ms)\n";
+    if (print_timing_csv) {
+      std::cout << "stage,ms,nodes,cuts,replacements,arena_bytes\n";
+      for (const auto& st : r.timings) {
+        const auto& c = st.counters;
+        std::cout << st.stage << "," << st.ms << "," << c.nodes << ","
+                  << c.cuts << "," << c.replacements << "," << c.arena_bytes
+                  << "\n";
+      }
+    }
 
     if (validate) {
       const bool seq_retimed =

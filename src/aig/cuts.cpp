@@ -6,15 +6,15 @@
 namespace xsfq {
 namespace {
 
-std::uint64_t signature_of(const std::vector<aig::node_index>& leaves) {
+std::uint64_t signature_of(std::span<const aig::node_index> leaves) {
   std::uint64_t s = 0;
   for (auto l : leaves) s |= std::uint64_t{1} << (l & 63u);
   return s;
 }
 
 /// Merges two sorted leaf sets; returns false if the union exceeds `k`.
-bool merge_leaves(const std::vector<aig::node_index>& a,
-                  const std::vector<aig::node_index>& b, unsigned k,
+bool merge_leaves(std::span<const aig::node_index> a,
+                  std::span<const aig::node_index> b, unsigned k,
                   std::vector<aig::node_index>& out) {
   out.clear();
   std::size_t i = 0;
@@ -34,110 +34,189 @@ bool merge_leaves(const std::vector<aig::node_index>& a,
   return out.size() <= k;
 }
 
-/// Re-expresses `t` (a function of `from` leaves) over the `to` leaf set,
-/// which must be a superset of `from`.  All tables use `to.size()` variables.
-truth_table expand_table(const truth_table& t,
-                         const std::vector<aig::node_index>& from,
-                         const std::vector<aig::node_index>& to) {
-  const auto num_vars = static_cast<unsigned>(to.size());
-  // Variable i of `t` corresponds to from[i]; find its position in `to`.
-  std::vector<unsigned> position(from.size());
-  for (std::size_t i = 0; i < from.size(); ++i) {
-    const auto it = std::lower_bound(to.begin(), to.end(), from[i]);
-    position[i] = static_cast<unsigned>(it - to.begin());
+/// Subset test with the bloom-filter fast reject (a <= b on sorted sets).
+bool leaves_dominate(std::span<const aig::node_index> a, std::uint64_t sig_a,
+                     std::span<const aig::node_index> b, std::uint64_t sig_b) {
+  if (a.size() > b.size()) return false;
+  if ((sig_a & ~sig_b) != 0) return false;
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Positions of `sub` within its superset `super` (both sorted, unique).
+/// The result is strictly increasing, as truth_table::expanded requires.
+void positions_in(std::span<const aig::node_index> sub,
+                  std::span<const aig::node_index> super,
+                  std::vector<unsigned>& out) {
+  out.clear();
+  std::size_t j = 0;
+  for (const auto leaf : sub) {
+    while (super[j] != leaf) ++j;
+    out.push_back(static_cast<unsigned>(j));
   }
-  truth_table result(num_vars);
-  const std::uint64_t bits = result.num_bits();
-  for (std::uint64_t m = 0; m < bits; ++m) {
-    std::uint64_t src = 0;
-    for (std::size_t i = 0; i < from.size(); ++i) {
-      if ((m >> position[i]) & 1u) src |= std::uint64_t{1} << i;
-    }
-    if (t.bit(src)) result.set_bit(m);
-  }
-  return result;
 }
 
 }  // namespace
 
-bool cut::dominates(const cut& other) const {
-  if (leaves.size() > other.leaves.size()) return false;
-  if ((signature & ~other.signature) != 0) return false;
-  return std::includes(other.leaves.begin(), other.leaves.end(),
-                       leaves.begin(), leaves.end());
+std::span<const aig::node_index> cut_view::leaves() const {
+  const auto& e = set_->entries_[index_];
+  return {set_->leaf_pool_.data() + e.leaf_begin, e.num_leaves};
 }
 
-node_map<std::vector<cut>> enumerate_cuts(const aig& network,
-                                          const cut_params& params) {
-  node_map<std::vector<cut>> cuts(network);
+const truth_table& cut_view::function() const {
+  return set_->entries_[index_].function;
+}
 
-  auto make_trivial = [](aig::node_index n) {
-    cut c;
-    c.leaves = {n};
-    c.function = truth_table::nth_var(1, 0);
-    c.signature = signature_of(c.leaves);
-    return c;
+std::uint64_t cut_view::signature() const {
+  return set_->entries_[index_].signature;
+}
+
+unsigned cut_view::size() const { return set_->entries_[index_].num_leaves; }
+
+bool cut_view::dominates(const cut_view& other) const {
+  return leaves_dominate(leaves(), signature(), other.leaves(),
+                         other.signature());
+}
+
+const cut_set& cut_engine::enumerate(const aig& network,
+                                     const cut_params& params) {
+  set_.spans_.assign(network.size(), {0, 0});
+  set_.entries_.clear();
+  set_.leaf_pool_.clear();
+  counters_ = {};
+
+  auto commit_trivial = [&](aig::node_index n) {
+    cut_set::entry e;
+    e.leaf_begin = static_cast<std::uint32_t>(set_.leaf_pool_.size());
+    e.num_leaves = 1;
+    set_.leaf_pool_.push_back(n);
+    e.signature = std::uint64_t{1} << (n & 63u);
+    e.function = truth_table::nth_var(1, 0);
+    set_.entries_.push_back(std::move(e));
   };
 
-  network.foreach_ci([&](signal s, std::size_t) {
-    cuts[s.index()].push_back(make_trivial(s.index()));
-  });
-  // The constant node gets a single empty cut with a constant function.
-  {
-    cut c;
-    c.function = truth_table::zeros(0);
-    cuts[0].push_back(c);
-  }
+  auto scratch_leaves_of = [&](const cut_set::entry& e) {
+    return std::span<const aig::node_index>(
+        scratch_leaves_.data() + e.leaf_begin, e.num_leaves);
+  };
 
-  std::vector<aig::node_index> merged;
-  network.foreach_gate([&](aig::node_index n) {
+  network.foreach_node([&](aig::node_index n) {
+    const auto first = static_cast<std::uint32_t>(set_.entries_.size());
+    if (network.is_constant(n)) {
+      // The constant node gets a single empty cut with a constant function.
+      cut_set::entry e;
+      e.function = truth_table::zeros(0);
+      set_.entries_.push_back(std::move(e));
+      set_.spans_[n] = {first, 1};
+      return;
+    }
+    if (network.is_ci(n)) {
+      commit_trivial(n);
+      set_.spans_[n] = {first, 1};
+      return;
+    }
+
     const signal f0 = network.fanin0(n);
     const signal f1 = network.fanin1(n);
-    auto& out = cuts[n];
+    scratch_entries_.clear();
+    scratch_leaves_.clear();
 
-    for (const cut& c0 : cuts[f0.index()]) {
-      for (const cut& c1 : cuts[f1.index()]) {
-        if (!merge_leaves(c0.leaves, c1.leaves, params.cut_size, merged)) {
+    for (const cut_view c0 : set_[f0.index()]) {
+      for (const cut_view c1 : set_[f1.index()]) {
+        ++counters_.candidates;
+        if (!merge_leaves(c0.leaves(), c1.leaves(), params.cut_size,
+                          merged_)) {
           continue;
         }
-        cut c;
-        c.leaves = merged;
-        c.signature = signature_of(c.leaves);
+        const std::uint64_t signature = signature_of(merged_);
 
         // Skip if dominated by an existing cut (or dominating: replace).
         bool dominated = false;
-        for (const cut& existing : out) {
-          if (existing.dominates(c)) {
+        for (const auto& existing : scratch_entries_) {
+          if (leaves_dominate(scratch_leaves_of(existing), existing.signature,
+                              merged_, signature)) {
             dominated = true;
             break;
           }
         }
-        if (dominated) continue;
-        std::erase_if(out, [&](const cut& existing) {
-          return c.dominates(existing);
+        if (dominated) {
+          ++counters_.dominated;
+          continue;
+        }
+        std::erase_if(scratch_entries_, [&](const cut_set::entry& existing) {
+          return leaves_dominate(merged_, signature,
+                                 scratch_leaves_of(existing),
+                                 existing.signature);
         });
 
-        const truth_table t0 = expand_table(c0.function, c0.leaves, c.leaves);
-        const truth_table t1 = expand_table(c1.function, c1.leaves, c.leaves);
-        c.function = (f0.is_complemented() ? ~t0 : t0) &
-                     (f1.is_complemented() ? ~t1 : t1);
-        out.push_back(std::move(c));
-        if (out.size() >= params.cut_limit) break;
+        cut_set::entry e;
+        e.leaf_begin = static_cast<std::uint32_t>(scratch_leaves_.size());
+        e.num_leaves = static_cast<std::uint32_t>(merged_.size());
+        e.signature = signature;
+        scratch_leaves_.insert(scratch_leaves_.end(), merged_.begin(),
+                               merged_.end());
+
+        const auto k = static_cast<unsigned>(merged_.size());
+        if (k <= truth_table::small_vars) {
+          // Word-parallel merge: expand both fanin functions onto the merged
+          // leaf slots and AND them in registers.
+          positions_in(c0.leaves(), merged_, positions_);
+          std::uint64_t w0 = truth_table::expand_word(
+              c0.function().word0(), c0.size(), positions_.data());
+          if (f0.is_complemented()) w0 = ~w0;
+          positions_in(c1.leaves(), merged_, positions_);
+          std::uint64_t w1 = truth_table::expand_word(
+              c1.function().word0(), c1.size(), positions_.data());
+          if (f1.is_complemented()) w1 = ~w1;
+          e.function = truth_table::from_word(k, w0 & w1);
+        } else {
+          positions_in(c0.leaves(), merged_, positions_);
+          const truth_table t0 = c0.function().expanded(k, positions_);
+          positions_in(c1.leaves(), merged_, positions_);
+          const truth_table t1 = c1.function().expanded(k, positions_);
+          e.function = (f0.is_complemented() ? ~t0 : t0) &
+                       (f1.is_complemented() ? ~t1 : t1);
+        }
+        scratch_entries_.push_back(std::move(e));
+        if (scratch_entries_.size() >= params.cut_limit) break;
       }
-      if (out.size() >= params.cut_limit) break;
+      if (scratch_entries_.size() >= params.cut_limit) break;
     }
-    if (params.include_trivial) out.push_back(make_trivial(n));
+
+    for (auto& e : scratch_entries_) {
+      const auto leaf_begin =
+          static_cast<std::uint32_t>(set_.leaf_pool_.size());
+      const auto sl = scratch_leaves_of(e);
+      set_.leaf_pool_.insert(set_.leaf_pool_.end(), sl.begin(), sl.end());
+      e.leaf_begin = leaf_begin;
+      set_.entries_.push_back(std::move(e));
+    }
+    if (params.include_trivial) commit_trivial(n);
+    set_.spans_[n] = {first,
+                      static_cast<std::uint32_t>(set_.entries_.size()) - first};
   });
-  return cuts;
+
+  counters_.stored = set_.entries_.size();
+  return set_;
+}
+
+cut_set enumerate_cuts(const aig& network, const cut_params& params) {
+  cut_engine engine;
+  engine.enumerate(network, params);
+  return engine.release();
 }
 
 unsigned mffc_size(const aig& network, aig::node_index root,
-                   const std::vector<aig::node_index>& leaves_in,
+                   const std::vector<aig::node_index>& leaves,
                    const std::vector<std::uint32_t>& fanout) {
   // Count gates in the cone of `root` whose fanout lies entirely inside the
-  // cone, via simulated dereferencing with a local remaining-reference map.
-  std::vector<aig::node_index> leaves(leaves_in);
-  std::sort(leaves.begin(), leaves.end());
+  // cone, via simulated dereferencing with a lazy remaining-reference map
+  // that only touches the cone.  Hot paths use mffc_calculator instead.
+  if (!std::is_sorted(leaves.begin(), leaves.end())) {
+    // Cut leaves are always sorted; sort defensively for other callers.
+    std::vector<aig::node_index> sorted_leaves(leaves);
+    std::sort(sorted_leaves.begin(), sorted_leaves.end());
+    return mffc_size(network, root, sorted_leaves, fanout);
+  }
   std::unordered_map<aig::node_index, std::uint32_t> remaining;
   unsigned count = 0;
 
@@ -156,6 +235,47 @@ unsigned mffc_size(const aig& network, aig::node_index root,
       if (!network.is_gate(child) || is_leaf(child)) continue;
       auto [it, inserted] = remaining.try_emplace(child, fanout[child]);
       if (--it->second == 0) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+void mffc_calculator::attach(const aig& network) {
+  network_ = &network;
+  fanout_ = network.compute_fanout_counts();
+  remaining_.assign(network.size(), 0);
+  stamp_.assign(network.size(), 0);
+  epoch_ = 0;
+}
+
+unsigned mffc_calculator::size(aig::node_index root,
+                               std::span<const aig::node_index> leaves) {
+  ++queries_;
+  if (++epoch_ == 0) {  // stamp wrap-around: invalidate all stamps
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 1;
+  }
+  unsigned count = 0;
+
+  auto is_leaf = [&](aig::node_index n) {
+    return std::binary_search(leaves.begin(), leaves.end(), n);
+  };
+
+  stack_.clear();
+  stack_.push_back(root);
+  while (!stack_.empty()) {
+    const aig::node_index n = stack_.back();
+    stack_.pop_back();
+    if (!network_->is_gate(n) || is_leaf(n)) continue;
+    ++count;
+    for (const signal f : {network_->fanin0(n), network_->fanin1(n)}) {
+      const aig::node_index child = f.index();
+      if (!network_->is_gate(child) || is_leaf(child)) continue;
+      if (stamp_[child] != epoch_) {
+        stamp_[child] = epoch_;
+        remaining_[child] = fanout_[child];
+      }
+      if (--remaining_[child] == 0) stack_.push_back(child);
     }
   }
   return count;

@@ -6,28 +6,24 @@
 /// cone between a node and one of its cuts with a cheaper implementation of
 /// the cut function.  This module enumerates bounded-size cuts bottom-up and
 /// computes each cut's truth table during the merge, exactly as done in ABC.
+///
+/// Storage is arena-backed: every node's cuts live as flat spans inside one
+/// shared `cut_set` (one leaf pool, one entry array), and the reusable
+/// `cut_engine` recycles the arena plus all merge/domination scratch between
+/// enumerations, so the steady state of an optimization script allocates
+/// nothing per node or per cut.  Cut functions ride in small-buffer
+/// `truth_table`s (single inline word for <= 6 leaves) and are computed with
+/// the word-parallel expand primitive instead of a bit-by-bit minterm loop.
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
 #include "util/truth_table.hpp"
 
 namespace xsfq {
-
-/// One cut: a set of leaf nodes plus the function of the root in terms of the
-/// leaves (variable i of the table corresponds to leaves[i]).
-struct cut {
-  std::vector<aig::node_index> leaves;  ///< sorted, unique
-  truth_table function;                 ///< over leaves.size() variables
-  std::uint64_t signature = 0;          ///< bloom filter for subset tests
-
-  [[nodiscard]] unsigned size() const {
-    return static_cast<unsigned>(leaves.size());
-  }
-  /// True iff this cut's leaves are a subset of `other`'s.
-  [[nodiscard]] bool dominates(const cut& other) const;
-};
 
 /// Parameters for cut enumeration.
 struct cut_params {
@@ -36,17 +32,170 @@ struct cut_params {
   bool include_trivial = true; ///< keep the {n} cut at each node
 };
 
-/// Enumerates cuts for every node.  The result is indexed by node; CIs get
-/// only their trivial cut.
-node_map<std::vector<cut>> enumerate_cuts(const aig& network,
-                                          const cut_params& params = {});
+class cut_set;
+
+/// Lightweight handle to one cut stored in a cut_set: a sorted, unique leaf
+/// span plus the function of the root in terms of the leaves (variable i of
+/// the table corresponds to leaves()[i]).
+class cut_view {
+public:
+  [[nodiscard]] std::span<const aig::node_index> leaves() const;
+  [[nodiscard]] const truth_table& function() const;
+  /// Bloom filter over the leaf indices, used to cheapen subset tests.
+  [[nodiscard]] std::uint64_t signature() const;
+  [[nodiscard]] unsigned size() const;
+  /// True iff this cut's leaves are a subset of `other`'s.
+  [[nodiscard]] bool dominates(const cut_view& other) const;
+
+private:
+  friend class cut_set;
+  cut_view(const cut_set* set, std::uint32_t index)
+      : set_(set), index_(index) {}
+  const cut_set* set_;
+  std::uint32_t index_;
+};
+
+/// All cuts of every node, packed into one arena.  Indexed by node; CIs carry
+/// only their trivial cut, the constant node one empty constant cut.
+class cut_set {
+public:
+  /// Iterable, indexable view over one node's cuts.
+  class range {
+  public:
+    class iterator {
+    public:
+      cut_view operator*() const { return {set_, index_}; }
+      iterator& operator++() {
+        ++index_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return index_ != o.index_; }
+
+    private:
+      friend class range;
+      iterator(const cut_set* set, std::uint32_t index)
+          : set_(set), index_(index) {}
+      const cut_set* set_;
+      std::uint32_t index_;
+    };
+
+    [[nodiscard]] iterator begin() const { return {set_, begin_}; }
+    [[nodiscard]] iterator end() const { return {set_, begin_ + count_}; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] cut_view operator[](std::size_t i) const {
+      return {set_, begin_ + static_cast<std::uint32_t>(i)};
+    }
+
+  private:
+    friend class cut_set;
+    range(const cut_set* set, std::uint32_t begin, std::uint32_t count)
+        : set_(set), begin_(begin), count_(count) {}
+    const cut_set* set_;
+    std::uint32_t begin_;
+    std::uint32_t count_;
+  };
+
+  /// Cuts of node `n`, in enumeration (priority) order.
+  [[nodiscard]] range operator[](aig::node_index n) const {
+    return {this, spans_[n].first, spans_[n].second};
+  }
+  /// Number of nodes the set was enumerated over.
+  [[nodiscard]] std::size_t num_nodes() const { return spans_.size(); }
+  /// Total number of stored cuts across all nodes.
+  [[nodiscard]] std::size_t num_cuts() const { return entries_.size(); }
+  /// Total number of pooled leaf references.
+  [[nodiscard]] std::size_t num_leaf_refs() const { return leaf_pool_.size(); }
+  /// Reserved footprint of the arena in bytes (capacity, not size).
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return leaf_pool_.capacity() * sizeof(aig::node_index) +
+           entries_.capacity() * sizeof(entry) +
+           spans_.capacity() * sizeof(spans_[0]);
+  }
+
+private:
+  friend class cut_view;
+  friend class cut_engine;
+
+  struct entry {
+    std::uint32_t leaf_begin = 0;  ///< offset into the shared leaf pool
+    std::uint32_t num_leaves = 0;
+    std::uint64_t signature = 0;
+    truth_table function;  ///< over num_leaves variables
+  };
+
+  std::vector<aig::node_index> leaf_pool_;
+  std::vector<entry> entries_;
+  /// Per node: (first entry index, cut count).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans_;
+};
+
+/// Reusable cut enumeration engine.  Owns the arena and all scratch buffers;
+/// enumerate() recycles them, so repeated enumerations (one per rewriting
+/// pass) are allocation-free once the high-water mark is reached.
+class cut_engine {
+public:
+  /// Work counters of the most recent enumerate() call.
+  struct counters {
+    std::uint64_t candidates = 0;  ///< leaf-set merge attempts
+    std::uint64_t dominated = 0;   ///< candidates discarded as dominated
+    std::uint64_t stored = 0;      ///< cuts committed to the arena
+  };
+
+  /// Enumerates cuts for every node of `network` into the reused arena; the
+  /// returned reference stays valid until the next enumerate() call.
+  const cut_set& enumerate(const aig& network, const cut_params& params = {});
+
+  [[nodiscard]] const cut_set& cuts() const { return set_; }
+  [[nodiscard]] const counters& last_counters() const { return counters_; }
+
+  /// Moves the arena out of the engine (one-shot enumeration helper).
+  [[nodiscard]] cut_set release() { return std::move(set_); }
+
+private:
+  cut_set set_;
+  counters counters_;
+  // Per-node scratch, recycled across nodes and enumerations.
+  std::vector<cut_set::entry> scratch_entries_;
+  std::vector<aig::node_index> scratch_leaves_;
+  std::vector<aig::node_index> merged_;
+  std::vector<unsigned> positions_;
+};
+
+/// One-shot enumeration through a temporary engine (tests, explorers).  Hot
+/// paths hold a cut_engine instead to recycle the arena between passes.
+cut_set enumerate_cuts(const aig& network, const cut_params& params = {});
 
 /// Size of the maximum fanout-free cone of `root` with respect to `leaves`:
 /// the number of AND gates in the cone that would become dead if the root
-/// were re-expressed directly in terms of the leaves.  `fanout` must come
-/// from aig::compute_fanout_counts().
+/// were re-expressed directly in terms of the leaves.  `leaves` must be
+/// sorted ascending (cut leaves always are).  `fanout` must come from
+/// aig::compute_fanout_counts().
 unsigned mffc_size(const aig& network, aig::node_index root,
                    const std::vector<aig::node_index>& leaves,
                    const std::vector<std::uint32_t>& fanout);
+
+/// Reusable MFFC calculator: dense stamped reference/visited arrays instead
+/// of a per-query hash map, so repeated queries against one network neither
+/// allocate nor sort.
+class mffc_calculator {
+public:
+  /// Binds the calculator to a network and (re)computes its fanout counts.
+  void attach(const aig& network);
+
+  /// MFFC size of `root` against sorted `leaves` (see mffc_size above).
+  unsigned size(aig::node_index root, std::span<const aig::node_index> leaves);
+
+  [[nodiscard]] std::uint64_t num_queries() const { return queries_; }
+
+private:
+  const aig* network_ = nullptr;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::uint32_t> remaining_;  ///< valid where stamp_ == epoch_
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<aig::node_index> stack_;
+  std::uint64_t queries_ = 0;
+};
 
 }  // namespace xsfq

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/xsfq_writer.hpp"
+#include "opt/opt_engine.hpp"
 
 namespace xsfq::flow {
 
@@ -46,10 +47,12 @@ flow_result flow::run_context(flow_context ctx) const {
   const auto flow_start = clock::now();
   for (const auto& s : stages_) {
     const auto stage_start = clock::now();
+    ctx.counters = {};
     s.run(ctx);
     const std::chrono::duration<double, std::milli> elapsed =
         clock::now() - stage_start;
-    result.timings.push_back({s.name, elapsed.count()});
+    ctx.counters.nodes = ctx.network.num_gates();
+    result.timings.push_back({s.name, elapsed.count(), ctx.counters});
   }
   const std::chrono::duration<double, std::milli> total =
       clock::now() - flow_start;
@@ -86,13 +89,21 @@ stage optimize(optimize_params params) {
   return {"optimize", [params](flow_context& ctx) {
             optimize_stats st;
             ctx.network = xsfq::optimize(ctx.network, params, &st);
+            ctx.counters.cuts = st.work.cuts_enumerated;
+            ctx.counters.replacements = st.work.replacements;
+            ctx.counters.arena_bytes = st.work.cut_arena_bytes;
             ctx.opt = st;
           }};
 }
 
 stage pass(std::string pass_name) {
   return {pass_name, [pass_name](flow_context& ctx) {
-            ctx.network = run_pass(ctx.network, pass_name);
+            opt_engine engine;
+            ctx.network = engine.run_pass(ctx.network, pass_name);
+            const opt_counters& work = engine.counters();
+            ctx.counters.cuts = work.cuts_enumerated;
+            ctx.counters.replacements = work.replacements;
+            ctx.counters.arena_bytes = work.cut_arena_bytes;
           }};
 }
 

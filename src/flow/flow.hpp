@@ -11,6 +11,7 @@
 /// from the stage factories below instead of hand-rolling the
 /// optimize/map/baseline sequence.
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -24,6 +25,16 @@
 
 namespace xsfq::flow {
 
+/// Work counters of one executed stage.  `nodes` is filled by the runner for
+/// every stage (AIG gates after the stage ran); the cut/rewrite counters are
+/// filled by the stages that do cut-based work (optimize, pass).
+struct stage_counters {
+  std::uint64_t nodes = 0;         ///< AIG gates after the stage
+  std::uint64_t cuts = 0;          ///< cuts enumerated during the stage
+  std::uint64_t replacements = 0;  ///< accepted resynthesis rewrites
+  std::uint64_t arena_bytes = 0;   ///< peak cut-arena footprint
+};
+
 /// Mutable state threaded through the stages of one flow run.  Stages fill
 /// in the optional fields they are responsible for; later stages may read
 /// anything earlier stages produced.
@@ -34,12 +45,16 @@ struct flow_context {
   std::optional<mapping_result> mapped;
   std::optional<rsfq_stats> baseline;
   std::string verilog;  ///< structural Verilog, if an emit stage ran
+  /// Scratch slot for the currently running stage's counters; reset by the
+  /// runner before each stage and harvested into its stage_timing after.
+  stage_counters counters;
 };
 
-/// Wall-clock cost of one executed stage.
+/// Wall-clock and work cost of one executed stage.
 struct stage_timing {
   std::string stage;
   double ms = 0.0;
+  stage_counters counters;
 };
 
 /// Everything one flow run produced.  Field names mirror the old

@@ -22,24 +22,24 @@ truth_table aig_structure::evaluate() const {
   return resolve(out_lit);
 }
 
-namespace {
-
-/// During probing, a step either resolves to a concrete signal in `dest` or
-/// is "virtual" (would be newly created).
-struct probe_value {
-  bool known = false;
-  signal value;
-};
-
-}  // namespace
-
 std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
                                         const std::vector<signal>& leaf_signals,
                                         unsigned budget) {
+  probe_scratch scratch;
+  return count_new_nodes(dest, s, leaf_signals, budget, scratch);
+}
+
+std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
+                                        const std::vector<signal>& leaf_signals,
+                                        unsigned budget,
+                                        probe_scratch& scratch) {
   if (leaf_signals.size() != s.num_leaves) {
     throw std::invalid_argument("count_new_nodes: leaf count mismatch");
   }
-  std::vector<probe_value> value(s.num_leaves + s.steps.size());
+  // A slot is either a concrete signal in `dest` (known) or "virtual"
+  // (the step would create a new node).
+  auto& value = scratch.value;
+  value.assign(s.num_leaves + s.steps.size(), {false, signal{}});
   for (unsigned v = 0; v < s.num_leaves; ++v) {
     value[v] = {true, leaf_signals[v]};
   }
@@ -47,12 +47,12 @@ std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
   for (std::size_t i = 0; i < s.steps.size(); ++i) {
     const auto& st = s.steps[i];
     // Constants cannot appear as step fanins (providers fold them away).
-    const probe_value& a = value[st.lit0 >> 1];
-    const probe_value& b = value[st.lit1 >> 1];
-    probe_value& out = value[s.num_leaves + i];
-    if (a.known && b.known) {
-      if (const auto found = dest.find_and(a.value ^ (st.lit0 & 1u),
-                                           b.value ^ (st.lit1 & 1u))) {
+    const auto& a = value[st.lit0 >> 1];
+    const auto& b = value[st.lit1 >> 1];
+    auto& out = value[s.num_leaves + i];
+    if (a.first && b.first) {
+      if (const auto found = dest.find_and(a.second ^ (st.lit0 & 1u),
+                                           b.second ^ (st.lit1 & 1u))) {
         out = {true, *found};
         continue;
       }

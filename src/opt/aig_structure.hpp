@@ -44,12 +44,25 @@ struct aig_structure {
   [[nodiscard]] truth_table evaluate() const;
 };
 
+/// Reusable scratch for count_new_nodes: one (known, signal) slot per leaf
+/// and step, recycled across probes so the rewriting hot loop does not
+/// allocate per candidate.
+struct probe_scratch {
+  std::vector<std::pair<bool, signal>> value;
+};
+
 /// Counts how many new AND nodes realizing `s` on `leaf_signals` would add to
 /// `dest`, reusing existing nodes through the structural hash table.  Stops
 /// early and returns nullopt if the count would exceed `budget`.
 std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
                                         const std::vector<signal>& leaf_signals,
                                         unsigned budget);
+
+/// Allocation-free variant backed by caller-owned scratch.
+std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
+                                        const std::vector<signal>& leaf_signals,
+                                        unsigned budget,
+                                        probe_scratch& scratch);
 
 /// Builds the structure in `dest` and returns the output signal.
 signal build_structure(aig& dest, const aig_structure& s,

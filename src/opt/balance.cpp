@@ -1,113 +1,12 @@
 #include "opt/balance.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <vector>
+#include "opt/opt_engine.hpp"
 
 namespace xsfq {
-namespace {
-
-/// Collects the leaves of the maximal AND tree rooted at `n`: traversal
-/// descends through non-complemented fanins that are ANDs with a single
-/// fanout (descending through shared nodes would duplicate logic).
-void collect_conjuncts(const aig& network, aig::node_index n,
-                       const std::vector<std::uint32_t>& fanout,
-                       std::vector<signal>& leaves) {
-  for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
-    if (!f.is_complemented() && network.is_gate(f.index()) &&
-        fanout[f.index()] == 1) {
-      collect_conjuncts(network, f.index(), fanout, leaves);
-    } else {
-      leaves.push_back(f);
-    }
-  }
-}
-
-}  // namespace
 
 aig balance(const aig& network) {
-  const auto fanout = network.compute_fanout_counts();
-
-  aig dest;
-  std::vector<signal> map(network.size(), dest.get_constant(false));
-  std::vector<std::uint32_t> dest_level;  // level of every dest node
-  dest_level.resize(1, 0);
-
-  auto level_of = [&](signal s) { return dest_level[s.index()]; };
-  auto create_and_leveled = [&](signal a, signal b) {
-    const signal r = dest.create_and(a, b);
-    if (r.index() >= dest_level.size()) {
-      dest_level.resize(r.index() + 1,
-                        1 + std::max(level_of(a), level_of(b)));
-    }
-    return r;
-  };
-
-  for (std::size_t i = 0; i < network.num_pis(); ++i) {
-    const signal s = dest.create_pi(network.pi_name(i));
-    map[network.pi(i).index()] = s;
-    dest_level.resize(s.index() + 1, 0);
-  }
-  for (std::size_t i = 0; i < network.num_registers(); ++i) {
-    const signal s = dest.create_register_output(
-        network.register_at(i).init, network.register_name(i));
-    map[network.register_at(i).output_node] = s;
-    dest_level.resize(s.index() + 1, 0);
-  }
-
-  std::vector<bool> needed(network.size(), false);
-  // Only rebuild tree roots: gates that are not absorbed into a parent tree.
-  // A gate is absorbed when referenced exactly once via a non-complemented
-  // edge from another gate; roots are everything else that is referenced.
-  std::vector<bool> is_root(network.size(), false);
-  network.foreach_gate([&](aig::node_index n) {
-    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
-      if (network.is_gate(f.index()) &&
-          (f.is_complemented() || fanout[f.index()] != 1)) {
-        is_root[f.index()] = true;
-      }
-    }
-  });
-  network.foreach_co([&](signal s, std::size_t) {
-    if (network.is_gate(s.index())) is_root[s.index()] = true;
-  });
-
-  network.foreach_gate([&](aig::node_index n) {
-    if (!is_root[n]) return;
-    std::vector<signal> conjuncts;
-    collect_conjuncts(network, n, fanout, conjuncts);
-
-    // Map to destination signals and combine shallowest-first.
-    using item = std::pair<std::uint32_t, signal>;  // (level, signal)
-    auto cmp = [](const item& a, const item& b) { return a.first > b.first; };
-    std::priority_queue<item, std::vector<item>, decltype(cmp)> queue(cmp);
-    for (const signal c : conjuncts) {
-      const signal m = map[c.index()] ^ c.is_complemented();
-      queue.emplace(level_of(m), m);
-    }
-    while (queue.size() > 1) {
-      const item a = queue.top();
-      queue.pop();
-      const item b = queue.top();
-      queue.pop();
-      const signal r = create_and_leveled(a.second, b.second);
-      queue.emplace(level_of(r), r);
-    }
-    map[n] = queue.top().second;
-  });
-
-  for (std::size_t i = 0; i < network.num_pos(); ++i) {
-    const signal po = network.po_signal(i);
-    dest.create_po(map[po.index()] ^ po.is_complemented(), network.po_name(i));
-  }
-  for (std::size_t i = 0; i < network.num_registers(); ++i) {
-    const auto& reg = network.register_at(i);
-    if (reg.input_set) {
-      dest.set_register_input(
-          i, map[reg.input.index()] ^ reg.input.is_complemented());
-    }
-  }
-  return dest.cleanup();
+  opt_engine engine;
+  return engine.balance(network);
 }
 
 }  // namespace xsfq

@@ -1,180 +1,28 @@
 #include "opt/cut_rewriting.hpp"
 
-#include <algorithm>
-
-#include "opt/rewrite_library.hpp"
-#include "util/factor.hpp"
+#include "opt/opt_engine.hpp"
 
 namespace xsfq {
-namespace {
 
-/// Replicates a table over k <= 4 variables to the full 16-row domain.
-std::uint16_t to_uint16(const truth_table& t) {
-  const std::uint64_t word = t.words()[0];
-  switch (t.num_vars()) {
-    case 0: return (word & 1u) ? 0xFFFF : 0x0000;
-    case 1: {
-      const auto b = static_cast<std::uint16_t>(word & 0x3u);
-      return static_cast<std::uint16_t>(b * 0x5555u);
-    }
-    case 2: {
-      const auto b = static_cast<std::uint16_t>(word & 0xFu);
-      return static_cast<std::uint16_t>(b * 0x1111u);
-    }
-    case 3: {
-      const auto b = static_cast<std::uint16_t>(word & 0xFFu);
-      return static_cast<std::uint16_t>(b * 0x0101u);
-    }
-    default: return static_cast<std::uint16_t>(word & 0xFFFFu);
-  }
-}
-
-/// Emits a factored expression as structure steps; returns a literal.
-std::uint32_t emit_factor(const factor_expr& e, aig_structure& s) {
-  switch (e.op) {
-    case factor_expr::kind::constant:
-      return e.const_value ? aig_structure::const1_lit
-                           : aig_structure::const0_lit;
-    case factor_expr::kind::literal:
-      return (e.var << 1) | (e.complemented ? 1u : 0u);
-    case factor_expr::kind::and_op:
-    case factor_expr::kind::or_op: {
-      // n-ary gates become balanced binary trees; OR via De Morgan.
-      const bool is_or = e.op == factor_expr::kind::or_op;
-      std::vector<std::uint32_t> lits;
-      lits.reserve(e.children.size());
-      for (const auto& child : e.children) {
-        std::uint32_t lit = emit_factor(*child, s);
-        if (is_or) lit ^= 1u;  // complement for De Morgan
-        lits.push_back(lit);
-      }
-      while (lits.size() > 1) {
-        std::vector<std::uint32_t> next;
-        next.reserve((lits.size() + 1) / 2);
-        for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
-          s.steps.push_back({lits[i], lits[i + 1]});
-          next.push_back(
-              static_cast<std::uint32_t>(s.num_leaves + s.steps.size() - 1)
-              << 1);
-        }
-        if (lits.size() % 2) next.push_back(lits.back());
-        lits = std::move(next);
-      }
-      return is_or ? (lits.front() ^ 1u) : lits.front();
-    }
-  }
-  return aig_structure::const0_lit;
-}
-
-}  // namespace
+// The pass implementations live in opt_engine, which recycles the cut arena
+// and every scratch buffer between calls; these wrappers are the one-shot
+// entry points.  optimize() (script.cpp) holds one engine across all rounds.
 
 aig cut_rewriting(const aig& network, const resynthesis_fn& resynthesize,
                   const cut_rewriting_params& params,
                   cut_rewriting_stats* stats) {
-  const auto cuts = enumerate_cuts(network, params.cuts);
-  const auto fanout = network.compute_fanout_counts();
-
-  aig dest;
-  std::vector<signal> map(network.size(), dest.get_constant(false));
-  for (std::size_t i = 0; i < network.num_pis(); ++i) {
-    map[network.pi(i).index()] = dest.create_pi(network.pi_name(i));
-  }
-  for (std::size_t i = 0; i < network.num_registers(); ++i) {
-    map[network.register_at(i).output_node] = dest.create_register_output(
-        network.register_at(i).init, network.register_name(i));
-  }
-
-  cut_rewriting_stats local_stats;
-  network.foreach_gate([&](aig::node_index n) {
-    // Default: copy the AND gate.
-    const signal f0 = network.fanin0(n);
-    const signal f1 = network.fanin1(n);
-    const signal d0 = map[f0.index()] ^ f0.is_complemented();
-    const signal d1 = map[f1.index()] ^ f1.is_complemented();
-
-    int best_gain = 0;
-    std::optional<aig_structure> best_structure;
-    std::vector<signal> best_leaves;
-
-    for (const cut& c : cuts[n]) {
-      if (c.size() == 1 && c.leaves[0] == n) continue;  // trivial cut
-      const unsigned mffc = mffc_size(network, n, c.leaves, fanout);
-      if (mffc == 0) continue;
-      auto candidate = resynthesize(c.function);
-      if (!candidate) continue;
-
-      std::vector<signal> leaves;
-      leaves.reserve(candidate->num_leaves);
-      for (const auto leaf : c.leaves) leaves.push_back(map[leaf]);
-      // Pad unused leaf slots (library structures always use 4 slots).
-      while (leaves.size() < candidate->num_leaves) {
-        leaves.push_back(dest.get_constant(false));
-      }
-
-      const auto added = count_new_nodes(dest, *candidate, leaves, mffc);
-      if (!added) continue;
-      const int gain = static_cast<int>(mffc) - static_cast<int>(*added);
-      const bool accept =
-          gain > best_gain ||
-          (params.allow_zero_gain && gain == 0 && !best_structure);
-      if (accept) {
-        best_gain = gain;
-        best_structure = std::move(candidate);
-        best_leaves = std::move(leaves);
-      }
-    }
-
-    if (best_structure) {
-      map[n] = build_structure(dest, *best_structure, best_leaves);
-      ++local_stats.replacements;
-      local_stats.gain_estimate += static_cast<unsigned>(best_gain);
-    } else {
-      map[n] = dest.create_and(d0, d1);
-    }
-  });
-
-  for (std::size_t i = 0; i < network.num_pos(); ++i) {
-    const signal po = network.po_signal(i);
-    dest.create_po(map[po.index()] ^ po.is_complemented(),
-                   network.po_name(i));
-  }
-  for (std::size_t i = 0; i < network.num_registers(); ++i) {
-    const auto& reg = network.register_at(i);
-    if (reg.input_set) {
-      dest.set_register_input(i,
-                              map[reg.input.index()] ^
-                                  reg.input.is_complemented());
-    }
-  }
-  if (stats) *stats = local_stats;
-  return dest.cleanup();
+  opt_engine engine;
+  return engine.cut_rewriting(network, resynthesize, params, stats);
 }
 
 aig rewrite(const aig& network, bool allow_zero_gain) {
-  const rewrite_library& library = rewrite_library::instance();
-  cut_rewriting_params params;
-  params.cuts.cut_size = 4;
-  params.allow_zero_gain = allow_zero_gain;
-  return cut_rewriting(
-      network,
-      [&library](const truth_table& f) { return library.structure(to_uint16(f)); },
-      params);
+  opt_engine engine;
+  return engine.rewrite(network, allow_zero_gain);
 }
 
 aig refactor(const aig& network, unsigned cut_size, bool allow_zero_gain) {
-  cut_rewriting_params params;
-  params.cuts.cut_size = cut_size;
-  params.cuts.cut_limit = 8;
-  params.allow_zero_gain = allow_zero_gain;
-  return cut_rewriting(
-      network,
-      [](const truth_table& f) -> std::optional<aig_structure> {
-        aig_structure s;
-        s.num_leaves = f.num_vars();
-        s.out_lit = emit_factor(*factor_function(f), s);
-        return s;
-      },
-      params);
+  opt_engine engine;
+  return engine.refactor(network, cut_size, allow_zero_gain);
 }
 
 }  // namespace xsfq

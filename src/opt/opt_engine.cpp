@@ -1,0 +1,375 @@
+#include "opt/opt_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/rewrite_library.hpp"
+#include "util/factor.hpp"
+
+namespace xsfq {
+namespace {
+
+/// Replicates a table over k <= 4 variables to the full 16-row domain.
+std::uint16_t to_uint16(const truth_table& t) {
+  const std::uint64_t word = t.word0();
+  switch (t.num_vars()) {
+    case 0: return (word & 1u) ? 0xFFFF : 0x0000;
+    case 1: {
+      const auto b = static_cast<std::uint16_t>(word & 0x3u);
+      return static_cast<std::uint16_t>(b * 0x5555u);
+    }
+    case 2: {
+      const auto b = static_cast<std::uint16_t>(word & 0xFu);
+      return static_cast<std::uint16_t>(b * 0x1111u);
+    }
+    case 3: {
+      const auto b = static_cast<std::uint16_t>(word & 0xFFu);
+      return static_cast<std::uint16_t>(b * 0x0101u);
+    }
+    default: return static_cast<std::uint16_t>(word & 0xFFFFu);
+  }
+}
+
+/// Emits a factored expression as structure steps; returns a literal.
+std::uint32_t emit_factor(const factor_expr& e, aig_structure& s) {
+  switch (e.op) {
+    case factor_expr::kind::constant:
+      return e.const_value ? aig_structure::const1_lit
+                           : aig_structure::const0_lit;
+    case factor_expr::kind::literal:
+      return (e.var << 1) | (e.complemented ? 1u : 0u);
+    case factor_expr::kind::and_op:
+    case factor_expr::kind::or_op: {
+      // n-ary gates become balanced binary trees; OR via De Morgan.
+      const bool is_or = e.op == factor_expr::kind::or_op;
+      std::vector<std::uint32_t> lits;
+      lits.reserve(e.children.size());
+      for (const auto& child : e.children) {
+        std::uint32_t lit = emit_factor(*child, s);
+        if (is_or) lit ^= 1u;  // complement for De Morgan
+        lits.push_back(lit);
+      }
+      while (lits.size() > 1) {
+        std::vector<std::uint32_t> next;
+        next.reserve((lits.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+          s.steps.push_back({lits[i], lits[i + 1]});
+          next.push_back(
+              static_cast<std::uint32_t>(s.num_leaves + s.steps.size() - 1)
+              << 1);
+        }
+        if (lits.size() % 2) next.push_back(lits.back());
+        lits = std::move(next);
+      }
+      return is_or ? (lits.front() ^ 1u) : lits.front();
+    }
+  }
+  return aig_structure::const0_lit;
+}
+
+/// Collects the leaves of the maximal AND tree rooted at `n`: traversal
+/// descends through non-complemented fanins that are ANDs with a single
+/// fanout (descending through shared nodes would duplicate logic).
+void collect_conjuncts(const aig& network, aig::node_index n,
+                       const std::vector<std::uint32_t>& fanout,
+                       std::vector<signal>& leaves) {
+  for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+    if (!f.is_complemented() && network.is_gate(f.index()) &&
+        fanout[f.index()] == 1) {
+      collect_conjuncts(network, f.index(), fanout, leaves);
+    } else {
+      leaves.push_back(f);
+    }
+  }
+}
+
+}  // namespace
+
+const aig_structure* opt_engine::library_candidate(
+    const truth_table& function) {
+  const std::uint16_t key = to_uint16(function);
+  auto it = library_cache_.find(key);
+  if (it == library_cache_.end()) {
+    it = library_cache_
+             .emplace(key, rewrite_library::instance().structure(key))
+             .first;
+  } else {
+    ++counters_.resynth_cache_hits;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+const aig_structure* opt_engine::factoring_candidate(
+    const truth_table& function) {
+  auto it = factoring_cache_.find(function);
+  if (it == factoring_cache_.end()) {
+    aig_structure s;
+    s.num_leaves = function.num_vars();
+    s.out_lit = emit_factor(*factor_function(function), s);
+    it = factoring_cache_.emplace(function, std::move(s)).first;
+  } else {
+    ++counters_.resynth_cache_hits;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+aig opt_engine::rewrite_core(const aig& network, const provider_fn& provider,
+                             const cut_rewriting_params& params,
+                             cut_rewriting_stats* stats) {
+  const cut_set& cuts = cuts_.enumerate(network, params.cuts);
+  mffc_.attach(network);
+  ++counters_.passes;
+  counters_.cuts_enumerated += cuts.num_cuts();
+  counters_.cut_candidates += cuts_.last_counters().candidates;
+  counters_.cut_arena_bytes = std::max<std::uint64_t>(
+      counters_.cut_arena_bytes, cuts.arena_bytes());
+
+  aig dest;
+  map_.assign(network.size(), dest.get_constant(false));
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    map_[network.pi(i).index()] = dest.create_pi(network.pi_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    map_[network.register_at(i).output_node] = dest.create_register_output(
+        network.register_at(i).init, network.register_name(i));
+  }
+
+  cut_rewriting_stats local_stats;
+  network.foreach_gate([&](aig::node_index n) {
+    // Default: copy the AND gate.
+    const signal f0 = network.fanin0(n);
+    const signal f1 = network.fanin1(n);
+    const signal d0 = map_[f0.index()] ^ f0.is_complemented();
+    const signal d1 = map_[f1.index()] ^ f1.is_complemented();
+
+    int best_gain = 0;
+    bool have_best = false;
+
+    for (const cut_view c : cuts[n]) {
+      const auto cut_leaves = c.leaves();
+      if (cut_leaves.size() == 1 && cut_leaves[0] == n) continue;  // trivial
+      const unsigned mffc = mffc_.size(n, cut_leaves);
+      if (mffc == 0) continue;
+      const aig_structure* candidate = provider(c.function());
+      if (!candidate) continue;
+
+      leaves_.clear();
+      for (const auto leaf : cut_leaves) leaves_.push_back(map_[leaf]);
+      // Pad unused leaf slots (library structures always use 4 slots).
+      while (leaves_.size() < candidate->num_leaves) {
+        leaves_.push_back(dest.get_constant(false));
+      }
+
+      const auto added =
+          count_new_nodes(dest, *candidate, leaves_, mffc, probe_);
+      if (!added) continue;
+      const int gain = static_cast<int>(mffc) - static_cast<int>(*added);
+      const bool accept =
+          gain > best_gain ||
+          (params.allow_zero_gain && gain == 0 && !have_best);
+      if (accept) {
+        best_gain = gain;
+        have_best = true;
+        best_structure_ = *candidate;
+        best_leaves_.assign(leaves_.begin(), leaves_.end());
+      }
+    }
+
+    if (have_best) {
+      map_[n] = build_structure(dest, best_structure_, best_leaves_);
+      ++local_stats.replacements;
+      local_stats.gain_estimate += static_cast<unsigned>(best_gain);
+    } else {
+      map_[n] = dest.create_and(d0, d1);
+    }
+  });
+
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const signal po = network.po_signal(i);
+    dest.create_po(map_[po.index()] ^ po.is_complemented(),
+                   network.po_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const auto& reg = network.register_at(i);
+    if (reg.input_set) {
+      dest.set_register_input(i,
+                              map_[reg.input.index()] ^
+                                  reg.input.is_complemented());
+    }
+  }
+  counters_.replacements += local_stats.replacements;
+  counters_.mffc_queries = mffc_.num_queries();
+  if (stats) *stats = local_stats;
+  return dest.cleanup();
+}
+
+aig opt_engine::cut_rewriting(const aig& network,
+                              const resynthesis_fn& resynthesize,
+                              const cut_rewriting_params& params,
+                              cut_rewriting_stats* stats) {
+  return rewrite_core(
+      network,
+      [this, &resynthesize](const truth_table& f) -> const aig_structure* {
+        adapted_ = resynthesize(f);
+        return adapted_ ? &*adapted_ : nullptr;
+      },
+      params, stats);
+}
+
+aig opt_engine::rewrite(const aig& network, bool allow_zero_gain) {
+  cut_rewriting_params params;
+  params.cuts.cut_size = 4;
+  params.allow_zero_gain = allow_zero_gain;
+  return rewrite_core(
+      network,
+      [this](const truth_table& f) { return library_candidate(f); }, params,
+      nullptr);
+}
+
+aig opt_engine::refactor(const aig& network, unsigned cut_size,
+                         bool allow_zero_gain) {
+  cut_rewriting_params params;
+  params.cuts.cut_size = cut_size;
+  params.cuts.cut_limit = 8;
+  params.allow_zero_gain = allow_zero_gain;
+  return rewrite_core(
+      network,
+      [this](const truth_table& f) { return factoring_candidate(f); }, params,
+      nullptr);
+}
+
+aig opt_engine::balance(const aig& network) {
+  const auto fanout = network.compute_fanout_counts();
+  ++counters_.passes;
+
+  aig dest;
+  balance_map_.assign(network.size(), dest.get_constant(false));
+  dest_level_.assign(1, 0);  // level of the constant node
+
+  auto level_of = [&](signal s) { return dest_level_[s.index()]; };
+  auto create_and_leveled = [&](signal a, signal b) {
+    const signal r = dest.create_and(a, b);
+    if (r.index() >= dest_level_.size()) {
+      dest_level_.resize(r.index() + 1,
+                         1 + std::max(level_of(a), level_of(b)));
+    }
+    return r;
+  };
+
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    const signal s = dest.create_pi(network.pi_name(i));
+    balance_map_[network.pi(i).index()] = s;
+    dest_level_.resize(s.index() + 1, 0);
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const signal s = dest.create_register_output(
+        network.register_at(i).init, network.register_name(i));
+    balance_map_[network.register_at(i).output_node] = s;
+    dest_level_.resize(s.index() + 1, 0);
+  }
+
+  // Only rebuild tree roots: gates that are not absorbed into a parent tree.
+  // A gate is absorbed when referenced exactly once via a non-complemented
+  // edge from another gate; roots are everything else that is referenced.
+  is_root_.assign(network.size(), false);
+  network.foreach_gate([&](aig::node_index n) {
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      if (network.is_gate(f.index()) &&
+          (f.is_complemented() || fanout[f.index()] != 1)) {
+        is_root_[f.index()] = true;
+      }
+    }
+  });
+  network.foreach_co([&](signal s, std::size_t) {
+    if (network.is_gate(s.index())) is_root_[s.index()] = true;
+  });
+
+  // Min-heap on arrival levels (pair the two shallowest operands first);
+  // push_heap/pop_heap on a reused vector replicate std::priority_queue.
+  using item = std::pair<std::uint32_t, signal>;  // (level, signal)
+  auto cmp = [](const item& a, const item& b) { return a.first > b.first; };
+
+  network.foreach_gate([&](aig::node_index n) {
+    if (!is_root_[n]) return;
+    conjuncts_.clear();
+    collect_conjuncts(network, n, fanout, conjuncts_);
+
+    heap_.clear();
+    for (const signal c : conjuncts_) {
+      const signal m = balance_map_[c.index()] ^ c.is_complemented();
+      heap_.emplace_back(level_of(m), m);
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+    while (heap_.size() > 1) {
+      const item a = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.pop_back();
+      const item b = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.pop_back();
+      const signal r = create_and_leveled(a.second, b.second);
+      heap_.emplace_back(level_of(r), r);
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+    balance_map_[n] = heap_.front().second;
+  });
+
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const signal po = network.po_signal(i);
+    dest.create_po(balance_map_[po.index()] ^ po.is_complemented(),
+                   network.po_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const auto& reg = network.register_at(i);
+    if (reg.input_set) {
+      dest.set_register_input(
+          i, balance_map_[reg.input.index()] ^ reg.input.is_complemented());
+    }
+  }
+  return dest.cleanup();
+}
+
+aig opt_engine::run_pass(const aig& network, const std::string& pass) {
+  if (pass == "b") return balance(network);
+  if (pass == "rw") return rewrite(network, false);
+  if (pass == "rwz") return rewrite(network, true);
+  if (pass == "rf") return refactor(network, 6, false);
+  if (pass == "rfz") return refactor(network, 6, true);
+  if (pass == "clean") return network.cleanup();
+  throw std::invalid_argument("run_pass: unknown pass '" + pass + "'");
+}
+
+aig opt_engine::optimize(const aig& network, const optimize_params& params,
+                         optimize_stats* stats) {
+  optimize_stats local;
+  local.initial_gates = network.num_gates();
+  local.initial_depth = network.depth();
+  const opt_counters before = counters_;
+
+  aig current = network.cleanup();
+  for (unsigned round = 0; round < params.max_rounds; ++round) {
+    const std::size_t gates_before = current.num_gates();
+    current = balance(current);
+    current = rewrite(current);
+    current = refactor(current, params.refactor_cut_size);
+    current = balance(current);
+    current = rewrite(current, params.zero_gain_final);
+    ++local.rounds;
+    if (current.num_gates() >= gates_before) break;
+  }
+
+  local.final_gates = current.num_gates();
+  local.final_depth = current.depth();
+  local.work = counters_;
+  local.work.passes -= before.passes;
+  local.work.cuts_enumerated -= before.cuts_enumerated;
+  local.work.cut_candidates -= before.cut_candidates;
+  local.work.mffc_queries -= before.mffc_queries;
+  local.work.replacements -= before.replacements;
+  local.work.resynth_cache_hits -= before.resynth_cache_hits;
+  // cut_arena_bytes stays the peak footprint, not a delta.
+  if (stats) *stats = local;
+  return current;
+}
+
+}  // namespace xsfq

@@ -1,0 +1,94 @@
+#pragma once
+/// \file opt_engine.hpp
+/// \brief Reusable optimization engine: one cut arena and one set of scratch
+/// buffers shared by every balance/rewrite/refactor pass.
+///
+/// The free functions in balance.hpp / cut_rewriting.hpp / script.hpp build a
+/// throwaway engine per call; `optimize` keeps a single engine alive across
+/// all passes of all rounds.  That is the allocation-free steady state: the
+/// cut arena, MFFC scratch, destination-map and leaf buffers, and the probe
+/// scratch all reach their high-water mark during the first pass and are
+/// recycled afterwards.  Resynthesis candidates (library structures for
+/// rewrite, ISOP factorings for refactor) are memoized per cut function, so
+/// repeated rounds do not re-factor the same functions.
+///
+/// Every engine method produces results bit-identical to the historical
+/// free-function passes; tests/test_cut_engine.cpp pins that parity.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/cuts.hpp"
+#include "opt/aig_structure.hpp"
+#include "opt/cut_rewriting.hpp"
+#include "opt/script.hpp"
+
+namespace xsfq {
+
+class opt_engine {
+public:
+  opt_engine() = default;
+
+  /// Depth balancing (see balance.hpp).
+  aig balance(const aig& network);
+  /// ABC-style `rewrite`: 4-cut resynthesis from the precomputed library.
+  aig rewrite(const aig& network, bool allow_zero_gain = false);
+  /// ABC-style `refactor`: larger cuts resynthesized via ISOP + factoring.
+  aig refactor(const aig& network, unsigned cut_size = 6,
+               bool allow_zero_gain = false);
+  /// Generic DAG-aware rewriting with a pluggable resynthesis provider.
+  aig cut_rewriting(const aig& network, const resynthesis_fn& resynthesize,
+                    const cut_rewriting_params& params = {},
+                    cut_rewriting_stats* stats = nullptr);
+  /// Named pass dispatch ("b", "rw", "rwz", "rf", "rfz", "clean").
+  aig run_pass(const aig& network, const std::string& pass);
+  /// The full resyn script, reusing this engine across all rounds.
+  aig optimize(const aig& network, const optimize_params& params = {},
+               optimize_stats* stats = nullptr);
+
+  /// Counters accumulated across every pass run on this engine.
+  [[nodiscard]] const opt_counters& counters() const { return counters_; }
+
+private:
+  /// Internal provider contract: a borrowed candidate pointer (stable until
+  /// the next provider call) or nullptr to skip the cut.
+  using provider_fn = std::function<const aig_structure*(const truth_table&)>;
+
+  aig rewrite_core(const aig& network, const provider_fn& provider,
+                   const cut_rewriting_params& params,
+                   cut_rewriting_stats* stats);
+  const aig_structure* library_candidate(const truth_table& function);
+  const aig_structure* factoring_candidate(const truth_table& function);
+
+  cut_engine cuts_;
+  mffc_calculator mffc_;
+  opt_counters counters_;
+
+  // Rewriting scratch, recycled across passes.
+  std::vector<signal> map_;
+  std::vector<signal> leaves_;
+  std::vector<signal> best_leaves_;
+  aig_structure best_structure_;
+  probe_scratch probe_;
+  std::optional<aig_structure> adapted_;  ///< slot for resynthesis_fn adapters
+
+  // Balance scratch.
+  std::vector<std::uint32_t> dest_level_;
+  std::vector<signal> balance_map_;
+  std::vector<bool> is_root_;
+  std::vector<signal> conjuncts_;
+  std::vector<std::pair<std::uint32_t, signal>> heap_;
+
+  // Memoized resynthesis candidates (nullopt = provider declined).
+  std::unordered_map<std::uint16_t, std::optional<aig_structure>>
+      library_cache_;
+  std::unordered_map<truth_table, std::optional<aig_structure>>
+      factoring_cache_;
+};
+
+}  // namespace xsfq

@@ -16,6 +16,7 @@
 /// exactly the "DAG-aware" part of DAG-aware rewriting.
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -30,11 +31,20 @@ public:
   /// Maximum tree cost settled by the closure.
   static constexpr unsigned default_budget = 14;
 
-  /// Singleton accessor; the library is built on first use.
+  /// Singleton accessor.  When the build bakes the precomputed table into
+  /// the binary (XSFQ_BAKED_REWRITE_LIBRARY, see tools/rewrite_library_gen),
+  /// this loads it in microseconds; otherwise the closure runs on first use.
+  /// Either way the entries are identical — the generator runs this exact
+  /// closure at build time, and a test pins the parity.
   static const rewrite_library& instance();
 
-  /// Builds a library with a custom budget (mainly for tests).
+  /// Builds a library with a custom budget (tests, and the bake generator).
   explicit rewrite_library(unsigned budget = default_budget);
+
+  /// Writes the settled table as a C++ .inc blob: one packed 64-bit word per
+  /// function (bits 0..7 cost, 8..15 var, 16 is_and, 17 out_compl,
+  /// 24..41 lit0, 42..59 lit1).  Build-time bake hook.
+  void dump_baked(std::ostream& os) const;
 
   /// Minimal known tree cost of `function`, or nullopt if not settled.
   [[nodiscard]] std::optional<unsigned> cost(std::uint16_t function) const;
@@ -59,6 +69,12 @@ private:
     std::uint8_t var = 0xFF;        ///< projection variable if not an AND
   };
 
+  struct baked_t {};
+  /// Loads the build-time baked table (defined only in baked builds).
+  explicit rewrite_library(baked_t);
+  /// Baked table when available, freshly built closure otherwise.
+  static rewrite_library load_baked_or_build();
+
   void settle_base();
   void run_closure(unsigned budget);
   std::uint32_t emit(
@@ -66,6 +82,10 @@ private:
       std::vector<std::pair<std::uint16_t, std::uint32_t>>& step_of) const;
 
   std::vector<entry> entries_;
+  /// Dense cost mirror (64 KB, cache-resident).  The closure performs ~500M
+  /// settled-or-cheaper probes; reading a one-byte array instead of the 16-
+  /// byte entry array keeps the whole probe table in L1/L2.
+  std::vector<std::uint8_t> costs_;
   std::size_t num_settled_ = 0;
 };
 

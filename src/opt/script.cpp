@@ -1,44 +1,20 @@
 #include "opt/script.hpp"
 
-#include <stdexcept>
-
-#include "opt/balance.hpp"
-#include "opt/cut_rewriting.hpp"
+#include "opt/opt_engine.hpp"
 
 namespace xsfq {
 
 aig optimize(const aig& network, const optimize_params& params,
              optimize_stats* stats) {
-  optimize_stats local;
-  local.initial_gates = network.num_gates();
-  local.initial_depth = network.depth();
-
-  aig current = network.cleanup();
-  for (unsigned round = 0; round < params.max_rounds; ++round) {
-    const std::size_t before = current.num_gates();
-    current = balance(current);
-    current = rewrite(current);
-    current = refactor(current, params.refactor_cut_size);
-    current = balance(current);
-    current = rewrite(current, params.zero_gain_final);
-    ++local.rounds;
-    if (current.num_gates() >= before) break;
-  }
-
-  local.final_gates = current.num_gates();
-  local.final_depth = current.depth();
-  if (stats) *stats = local;
-  return current;
+  // One engine for the whole script: every balance/rewrite/refactor round
+  // reuses the same cut arena, MFFC scratch, and resynthesis caches.
+  opt_engine engine;
+  return engine.optimize(network, params, stats);
 }
 
 aig run_pass(const aig& network, const std::string& pass) {
-  if (pass == "b") return balance(network);
-  if (pass == "rw") return rewrite(network, false);
-  if (pass == "rwz") return rewrite(network, true);
-  if (pass == "rf") return refactor(network, 6, false);
-  if (pass == "rfz") return refactor(network, 6, true);
-  if (pass == "clean") return network.cleanup();
-  throw std::invalid_argument("run_pass: unknown pass '" + pass + "'");
+  opt_engine engine;
+  return engine.run_pass(network, pass);
 }
 
 }  // namespace xsfq

@@ -7,6 +7,7 @@
 /// count converges.  Because LA-FA pairs are isomorphic to AIG nodes
 /// (Sec. 3.1.3), this directly minimizes the xSFQ cell count.
 
+#include <cstdint>
 #include <string>
 
 #include "aig/aig.hpp"
@@ -19,17 +20,32 @@ struct optimize_params {
   unsigned refactor_cut_size = 6;
 };
 
+/// Work/allocation counters accumulated by an opt_engine across every pass
+/// it runs (see opt/opt_engine.hpp).  Surfaced per stage by src/flow.
+struct opt_counters {
+  std::uint64_t passes = 0;             ///< transform passes executed
+  std::uint64_t cuts_enumerated = 0;    ///< cuts committed to the arena
+  std::uint64_t cut_candidates = 0;     ///< leaf-set merge attempts
+  std::uint64_t mffc_queries = 0;       ///< MFFC cone evaluations
+  std::uint64_t replacements = 0;       ///< accepted resynthesis rewrites
+  std::uint64_t resynth_cache_hits = 0; ///< candidate structures served from cache
+  std::uint64_t cut_arena_bytes = 0;    ///< peak footprint of the cut arena
+};
+
 struct optimize_stats {
   std::size_t initial_gates = 0;
   std::size_t final_gates = 0;
   unsigned initial_depth = 0;
   unsigned final_depth = 0;
   unsigned rounds = 0;
+  opt_counters work;  ///< engine counters summed over all passes/rounds
 };
 
 /// Runs rounds of (balance; rewrite; refactor; balance; rewrite) until the
 /// gate count stops improving.  Functional equivalence is preserved by
-/// construction; tests double-check with simulation.
+/// construction; tests double-check with simulation.  One opt_engine is
+/// reused across every pass of every round, so the steady state allocates
+/// nothing per node, cut, or candidate.
 aig optimize(const aig& network, const optimize_params& params = {},
              optimize_stats* stats = nullptr);
 

@@ -1,15 +1,9 @@
 #include "util/truth_table.hpp"
 
 #include <algorithm>
-#include <array>
 
 namespace xsfq {
 namespace {
-
-/// Repeating bit patterns of the first six projection variables.
-constexpr std::array<std::uint64_t, 6> k_var_masks = {
-    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
-    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
 
 int hex_digit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -26,12 +20,14 @@ truth_table truth_table::nth_var(unsigned num_vars, unsigned var) {
   }
   truth_table t(num_vars);
   if (var < 6) {
-    for (auto& w : t.words_) w = k_var_masks[var];
+    for (std::size_t i = 0; i < t.num_words(); ++i) {
+      t.data()[i] = var_masks[var];
+    }
   } else {
     // Variable >= 6 selects whole words: blocks of 2^(var-6) words alternate.
     const std::size_t block = std::size_t{1} << (var - 6);
-    for (std::size_t i = 0; i < t.words_.size(); ++i) {
-      if ((i / block) & 1u) t.words_[i] = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < t.num_words(); ++i) {
+      if ((i / block) & 1u) t.data()[i] = ~std::uint64_t{0};
     }
   }
   t.mask_tail();
@@ -49,26 +45,57 @@ truth_table truth_table::from_hex(unsigned num_vars, const std::string& hex) {
     // Most significant nibble first.
     const auto value = static_cast<std::uint64_t>(hex_digit(hex[i]));
     const std::size_t nibble_index = hex.size() - 1 - i;
-    t.words_[nibble_index / 16] |= value << (4 * (nibble_index % 16));
+    t.data()[nibble_index / 16] |= value << (4 * (nibble_index % 16));
   }
   t.mask_tail();
   return t;
 }
 
+truth_table truth_table::expanded(unsigned num_vars,
+                                  std::span<const unsigned> positions) const {
+  if (positions.size() != num_vars_ || num_vars < num_vars_ ||
+      num_vars > max_vars) {
+    throw std::invalid_argument("truth_table::expanded: bad position map");
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    // Strictly increasing slots (insertion-only, never a permutation) —
+    // the single-word fast path relies on it.
+    if (positions[i] >= num_vars || (i > 0 && positions[i] <= positions[i - 1])) {
+      throw std::invalid_argument("truth_table::expanded: bad position map");
+    }
+  }
+  truth_table r(num_vars);
+  if (num_vars <= small_vars) {
+    r.word0_ = expand_word(word0_, num_vars_, positions.data());
+    r.mask_tail();
+    return r;
+  }
+  // Generic spill path (cut sizes > 6); bit-by-bit over the result domain.
+  const std::uint64_t bits = r.num_bits();
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if ((m >> positions[i]) & 1u) src |= std::uint64_t{1} << i;
+    }
+    if (bit(src)) r.set_bit(m);
+  }
+  return r;
+}
+
 truth_table truth_table::cofactor0(unsigned var) const {
   truth_table r(*this);
   if (var < 6) {
-    const std::uint64_t mask = ~k_var_masks[var];
+    const std::uint64_t mask = ~var_masks[var];
     const unsigned shift = 1u << var;
-    for (auto& w : r.words_) {
-      const std::uint64_t low = w & mask;
-      w = low | (low << shift);
+    for (std::size_t i = 0; i < r.num_words(); ++i) {
+      const std::uint64_t low = r.data()[i] & mask;
+      r.data()[i] = low | (low << shift);
     }
   } else {
     const std::size_t block = std::size_t{1} << (var - 6);
-    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+    for (std::size_t i = 0; i < r.num_words(); i += 2 * block) {
       for (std::size_t j = 0; j < block; ++j) {
-        r.words_[i + block + j] = r.words_[i + j];
+        r.data()[i + block + j] = r.data()[i + j];
       }
     }
   }
@@ -78,17 +105,17 @@ truth_table truth_table::cofactor0(unsigned var) const {
 truth_table truth_table::cofactor1(unsigned var) const {
   truth_table r(*this);
   if (var < 6) {
-    const std::uint64_t mask = k_var_masks[var];
+    const std::uint64_t mask = var_masks[var];
     const unsigned shift = 1u << var;
-    for (auto& w : r.words_) {
-      const std::uint64_t high = w & mask;
-      w = high | (high >> shift);
+    for (std::size_t i = 0; i < r.num_words(); ++i) {
+      const std::uint64_t high = r.data()[i] & mask;
+      r.data()[i] = high | (high >> shift);
     }
   } else {
     const std::size_t block = std::size_t{1} << (var - 6);
-    for (std::size_t i = 0; i < r.words_.size(); i += 2 * block) {
+    for (std::size_t i = 0; i < r.num_words(); i += 2 * block) {
       for (std::size_t j = 0; j < block; ++j) {
-        r.words_[i + j] = r.words_[i + block + j];
+        r.data()[i + j] = r.data()[i + block + j];
       }
     }
   }
@@ -99,17 +126,17 @@ truth_table truth_table::flip_var(unsigned var) const {
   truth_table r(num_vars_);
   if (var < 6) {
     const unsigned shift = 1u << var;
-    const std::uint64_t mask = k_var_masks[var];
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      const std::uint64_t w = words_[i];
-      r.words_[i] = ((w & mask) >> shift) | ((w & ~mask) << shift);
+    const std::uint64_t mask = var_masks[var];
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      const std::uint64_t w = data()[i];
+      r.data()[i] = ((w & mask) >> shift) | ((w & ~mask) << shift);
     }
   } else {
     const std::size_t block = std::size_t{1} << (var - 6);
-    for (std::size_t i = 0; i < words_.size(); i += 2 * block) {
+    for (std::size_t i = 0; i < num_words(); i += 2 * block) {
       for (std::size_t j = 0; j < block; ++j) {
-        r.words_[i + j] = words_[i + block + j];
-        r.words_[i + block + j] = words_[i + j];
+        r.data()[i + j] = data()[i + block + j];
+        r.data()[i + block + j] = data()[i + j];
       }
     }
   }
@@ -118,8 +145,14 @@ truth_table truth_table::flip_var(unsigned var) const {
 
 truth_table truth_table::swap_vars(unsigned var_a, unsigned var_b) const {
   if (var_a == var_b) return *this;
-  // Generic (and simple) implementation via minterm remapping; tables used for
-  // canonicalization are small (<= 6 vars, single word), so this is fine.
+  if (is_small()) {
+    truth_table r(num_vars_);
+    r.word0_ = swap_word(word0_, var_a, var_b);
+    r.mask_tail();
+    return r;
+  }
+  // Generic spill implementation via minterm remapping; large tables are only
+  // swapped during canonicalization experiments, never on the hot path.
   truth_table r(num_vars_);
   const std::uint64_t bits = num_bits();
   for (std::uint64_t m = 0; m < bits; ++m) {
@@ -155,7 +188,7 @@ std::string truth_table::to_hex() const {
   const std::size_t nibbles = bits >= 4 ? bits / 4 : 1;
   std::string s(nibbles, '0');
   for (std::size_t n = 0; n < nibbles; ++n) {
-    const std::uint64_t value = (words_[n / 16] >> (4 * (n % 16))) & 0xFu;
+    const std::uint64_t value = (data()[n / 16] >> (4 * (n % 16))) & 0xFu;
     s[nibbles - 1 - n] = digits[value];
   }
   return s;

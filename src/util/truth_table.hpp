@@ -7,10 +7,20 @@
 /// the minterm whose i-th variable equals bit i of m.  Tables are the lingua
 /// franca of cut-based optimization (NPN classification, rewriting, ISOP) in
 /// this library, mirroring the role they play inside ABC and mockturtle.
+///
+/// Storage uses a small-buffer representation: functions over at most
+/// `small_vars` (6) variables fit in one inline word and never touch the
+/// heap; larger domains spill to a heap-backed word vector.  Cut-based
+/// optimization only ever manipulates <= 6-variable tables, so the entire
+/// rewrite/refactor hot path runs allocation-free.  Word-parallel variable
+/// primitives (stretch/swap/expand on a single word) replace the bit-by-bit
+/// minterm loops that cut merging would otherwise need.
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,10 +35,19 @@ public:
     if (num_vars > max_vars) {
       throw std::invalid_argument("truth_table: too many variables");
     }
-    words_.assign(word_count(num_vars), 0u);
+    if (num_vars > small_vars) {
+      heap_.assign(word_count(num_vars), 0u);
+    }
   }
 
   static constexpr unsigned max_vars = 16;
+  /// Largest domain stored inline (one 64-bit word, no heap allocation).
+  static constexpr unsigned small_vars = 6;
+
+  /// Repeating bit patterns of the first six projection variables.
+  static constexpr std::array<std::uint64_t, 6> var_masks = {
+      0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+      0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
 
   /// Number of variables in the function's domain.
   [[nodiscard]] unsigned num_vars() const { return num_vars_; }
@@ -36,44 +55,125 @@ public:
   [[nodiscard]] std::uint64_t num_bits() const {
     return std::uint64_t{1} << num_vars_;
   }
+  /// True when the table is stored inline (<= small_vars variables).
+  [[nodiscard]] bool is_small() const { return num_vars_ <= small_vars; }
+  /// Number of packed 64-bit words backing the table.
+  [[nodiscard]] std::size_t num_words() const {
+    return is_small() ? 1 : heap_.size();
+  }
+  [[nodiscard]] const std::uint64_t* data() const {
+    return is_small() ? &word0_ : heap_.data();
+  }
+  [[nodiscard]] std::uint64_t* data() {
+    return is_small() ? &word0_ : heap_.data();
+  }
 
   /// Value of the function on minterm `index`.
   [[nodiscard]] bool bit(std::uint64_t index) const {
-    return (words_[index >> 6] >> (index & 63u)) & 1u;
+    return (data()[index >> 6] >> (index & 63u)) & 1u;
   }
   /// Sets the function value on minterm `index`.
   void set_bit(std::uint64_t index, bool value = true) {
     const std::uint64_t mask = std::uint64_t{1} << (index & 63u);
     if (value) {
-      words_[index >> 6] |= mask;
+      data()[index >> 6] |= mask;
     } else {
-      words_[index >> 6] &= ~mask;
+      data()[index >> 6] &= ~mask;
     }
   }
 
   /// Raw packed words (low minterms in word 0, bit 0).
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
-    return words_;
+  [[nodiscard]] std::span<const std::uint64_t> words() const {
+    return {data(), num_words()};
   }
-  [[nodiscard]] std::vector<std::uint64_t>& words() { return words_; }
+  [[nodiscard]] std::span<std::uint64_t> words() {
+    return {data(), num_words()};
+  }
+  /// First packed word (the whole table for <= 6 variables).
+  [[nodiscard]] std::uint64_t word0() const { return data()[0]; }
 
   /// The projection function x_var over `num_vars` variables.
   static truth_table nth_var(unsigned num_vars, unsigned var);
   /// The constant-one function over `num_vars` variables.
   static truth_table ones(unsigned num_vars) {
     truth_table t(num_vars);
-    for (auto& w : t.words_) w = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < t.num_words(); ++i) {
+      t.data()[i] = ~std::uint64_t{0};
+    }
     t.mask_tail();
     return t;
   }
   /// The constant-zero function over `num_vars` variables.
   static truth_table zeros(unsigned num_vars) { return truth_table(num_vars); }
+  /// A small (<= 6 variables) table from its packed word.
+  static truth_table from_word(unsigned num_vars, std::uint64_t word) {
+    if (num_vars > small_vars) {
+      throw std::invalid_argument("truth_table::from_word: too many variables");
+    }
+    truth_table t(num_vars);
+    t.word0_ = word;
+    t.mask_tail();
+    return t;
+  }
   /// Builds a table from a hex string, most significant nibble first.
   static truth_table from_hex(unsigned num_vars, const std::string& hex);
 
+  // ----- word-parallel single-word primitives (<= 6-variable domain) -------
+
+  /// Replicates a table over `from_vars` variables across the full 6-variable
+  /// word, making variables from_vars..5 don't-cares.  The input word must be
+  /// tail-masked (no bits above 2^from_vars).
+  static constexpr std::uint64_t stretch_word(std::uint64_t w,
+                                              unsigned from_vars) {
+    for (unsigned v = from_vars; v < small_vars; ++v) {
+      w |= w << (1u << v);
+    }
+    return w;
+  }
+
+  /// Constant-time exchange of variables `a` and `b` on a 6-variable word.
+  static constexpr std::uint64_t swap_word(std::uint64_t w, unsigned a,
+                                           unsigned b) {
+    if (a == b) return w;
+    if (a > b) {
+      const unsigned tmp = a;
+      a = b;
+      b = tmp;
+    }
+    const std::uint64_t va = var_masks[a];
+    const std::uint64_t vb = var_masks[b];
+    const unsigned shift = (1u << b) - (1u << a);
+    return (w & ((va & vb) | (~va & ~vb))) | ((w & (va & ~vb)) << shift) |
+           ((w & (vb & ~va)) >> shift);
+  }
+
+  /// Re-expresses a word over `from_vars` variables on a superset of slots:
+  /// variable i moves to slot positions[i].  Positions must be strictly
+  /// increasing (an insertion of don't-care variables, never a permutation),
+  /// which is exactly the shape cut merging produces from sorted leaf sets.
+  /// The result is a full 6-variable word; callers mask to their domain.
+  static constexpr std::uint64_t expand_word(std::uint64_t w,
+                                             unsigned from_vars,
+                                             const unsigned* positions) {
+    w = stretch_word(w, from_vars);
+    // Move variables top-down: slot positions[i] holds a don't-care by the
+    // time variable i gets there (all larger targets are already placed).
+    for (unsigned i = from_vars; i-- > 0;) {
+      if (positions[i] != i) w = swap_word(w, i, positions[i]);
+    }
+    return w;
+  }
+
+  /// Re-expresses this function over `num_vars` >= num_vars() variables with
+  /// variable i moving to slot positions[i] (strictly increasing).  The
+  /// single-word case runs word-parallel; larger domains fall back to a
+  /// minterm loop.
+  [[nodiscard]] truth_table expanded(
+      unsigned num_vars, std::span<const unsigned> positions) const;
+
   truth_table operator~() const {
     truth_table r(*this);
-    for (auto& w : r.words_) w = ~w;
+    for (std::size_t i = 0; i < r.num_words(); ++i) r.data()[i] = ~r.data()[i];
     r.mask_tail();
     return r;
   }
@@ -91,21 +191,25 @@ public:
   truth_table& operator^=(const truth_table& o) { return assign(o, '^'); }
 
   bool operator==(const truth_table& o) const {
-    return num_vars_ == o.num_vars_ && words_ == o.words_;
+    if (num_vars_ != o.num_vars_) return false;
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      if (data()[i] != o.data()[i]) return false;
+    }
+    return true;
   }
   bool operator!=(const truth_table& o) const { return !(*this == o); }
   /// Lexicographic order on (num_vars, words); used for canonical pick.
   bool operator<(const truth_table& o) const {
     if (num_vars_ != o.num_vars_) return num_vars_ < o.num_vars_;
-    for (std::size_t i = words_.size(); i-- > 0;) {
-      if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+    for (std::size_t i = num_words(); i-- > 0;) {
+      if (data()[i] != o.data()[i]) return data()[i] < o.data()[i];
     }
     return false;
   }
 
   [[nodiscard]] bool is_const0() const {
-    for (auto w : words_) {
-      if (w != 0) return false;
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      if (data()[i] != 0) return false;
     }
     return true;
   }
@@ -114,7 +218,9 @@ public:
   /// Number of minterms on which the function is 1.
   [[nodiscard]] std::uint64_t count_ones() const {
     std::uint64_t n = 0;
-    for (auto w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      n += static_cast<std::uint64_t>(std::popcount(data()[i]));
+    }
     return n;
   }
 
@@ -151,8 +257,8 @@ public:
   /// 64-bit hash of the packed contents (FNV-1a over words).
   [[nodiscard]] std::uint64_t hash() const {
     std::uint64_t h = 1469598103934665603ull;
-    for (auto w : words_) {
-      h ^= w;
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      h ^= data()[i];
       h *= 1099511628211ull;
     }
     h ^= num_vars_;
@@ -170,8 +276,8 @@ private:
       throw std::invalid_argument("truth_table: domain mismatch");
     }
     truth_table r(num_vars_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      r.words_[i] = op(words_[i], o.words_[i]);
+    for (std::size_t i = 0; i < num_words(); ++i) {
+      r.data()[i] = op(data()[i], o.data()[i]);
     }
     return r;
   }
@@ -179,24 +285,25 @@ private:
     if (num_vars_ != o.num_vars_) {
       throw std::invalid_argument("truth_table: domain mismatch");
     }
-    for (std::size_t i = 0; i < words_.size(); ++i) {
+    for (std::size_t i = 0; i < num_words(); ++i) {
       switch (op) {
-        case '&': words_[i] &= o.words_[i]; break;
-        case '|': words_[i] |= o.words_[i]; break;
-        default: words_[i] ^= o.words_[i]; break;
+        case '&': data()[i] &= o.data()[i]; break;
+        case '|': data()[i] |= o.data()[i]; break;
+        default: data()[i] ^= o.data()[i]; break;
       }
     }
     return *this;
   }
-  /// Clears bits beyond 2^num_vars in the last word (tables < 6 vars).
+  /// Clears bits beyond 2^num_vars in the inline word (tables < 6 vars).
   void mask_tail() {
-    if (num_vars_ < 6) {
-      words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+    if (num_vars_ < small_vars) {
+      word0_ &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
     }
   }
 
   unsigned num_vars_;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t word0_ = 0;          ///< inline storage for <= 6 variables
+  std::vector<std::uint64_t> heap_;  ///< spill storage for > 6 variables
 };
 
 }  // namespace xsfq

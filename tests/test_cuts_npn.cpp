@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "aig/cuts.hpp"
 #include "aig/npn.hpp"
 #include "aig/simulate.hpp"
@@ -25,12 +27,13 @@ TEST(Cuts, LeavesAreSortedAndUnique) {
   const aig g = benchgen::make_c432();
   const auto cuts = enumerate_cuts(g, {4, 8, true});
   g.foreach_gate([&](aig::node_index n) {
-    for (const cut& c : cuts[n]) {
+    for (const cut_view c : cuts[n]) {
       EXPECT_LE(c.size(), 4u);
-      for (std::size_t i = 1; i < c.leaves.size(); ++i) {
-        EXPECT_LT(c.leaves[i - 1], c.leaves[i]);
+      const auto leaves = c.leaves();
+      for (std::size_t i = 1; i < leaves.size(); ++i) {
+        EXPECT_LT(leaves[i - 1], leaves[i]);
       }
-      EXPECT_EQ(c.function.num_vars(), c.size());
+      EXPECT_EQ(c.function().num_vars(), c.size());
     }
   });
 }
@@ -40,8 +43,8 @@ TEST(Cuts, TrivialCutPresent) {
   const auto cuts = enumerate_cuts(g);
   g.foreach_gate([&](aig::node_index n) {
     bool found = false;
-    for (const cut& c : cuts[n]) {
-      if (c.leaves == std::vector<aig::node_index>{n}) found = true;
+    for (const cut_view c : cuts[n]) {
+      if (c.size() == 1 && c.leaves()[0] == n) found = true;
     }
     EXPECT_TRUE(found);
   });
@@ -67,14 +70,15 @@ TEST(Cuts, FunctionsMatchSimulation) {
   }();
 
   g.foreach_gate([&](aig::node_index n) {
-    for (const cut& c : cuts[n]) {
+    for (const cut_view c : cuts[n]) {
       // Evaluate the cut function on the leaves' global tables.
+      const auto leaves = c.leaves();
       for (std::uint64_t m = 0; m < 16; ++m) {
         std::uint64_t leaf_values = 0;
-        for (std::size_t i = 0; i < c.leaves.size(); ++i) {
-          if (node_tables[c.leaves[i]].bit(m)) leaf_values |= 1u << i;
+        for (std::size_t i = 0; i < leaves.size(); ++i) {
+          if (node_tables[leaves[i]].bit(m)) leaf_values |= 1u << i;
         }
-        EXPECT_EQ(c.function.bit(leaf_values), node_tables[n].bit(m))
+        EXPECT_EQ(c.function().bit(leaf_values), node_tables[n].bit(m))
             << "node " << n;
       }
     }
@@ -85,16 +89,16 @@ TEST(Cuts, DominatedCutsPruned) {
   const aig g = benchgen::make_c432();
   const auto cuts = enumerate_cuts(g, {4, 10, true});
   g.foreach_gate([&](aig::node_index n) {
-    const auto& set = cuts[n];
+    const auto set = cuts[n];
     for (std::size_t i = 0; i < set.size(); ++i) {
       for (std::size_t j = 0; j < set.size(); ++j) {
         if (i == j) continue;
         // No strict domination between stored cuts (trivial cut excepted:
         // it is appended last and may be dominated by a unit cut).
-        if (set[i].leaves.size() == 1 && set[i].leaves[0] == n) continue;
-        if (set[j].leaves.size() == 1 && set[j].leaves[0] == n) continue;
+        if (set[i].size() == 1 && set[i].leaves()[0] == n) continue;
+        if (set[j].size() == 1 && set[j].leaves()[0] == n) continue;
         if (set[i].dominates(set[j])) {
-          EXPECT_EQ(set[i].leaves, set[j].leaves);
+          EXPECT_TRUE(std::ranges::equal(set[i].leaves(), set[j].leaves()));
         }
       }
     }
@@ -114,8 +118,8 @@ TEST(Mffc, SingleOutputChain) {
   EXPECT_EQ(mffc_size(g, y.index(),
                       {a.index(), b.index(), c.index()}, fanout),
             2u);
-  // If x is also a leaf, only y dies.
-  EXPECT_EQ(mffc_size(g, y.index(), {x.index(), c.index()}, fanout), 1u);
+  // If x is also a leaf, only y dies (leaves must be sorted ascending).
+  EXPECT_EQ(mffc_size(g, y.index(), {c.index(), x.index()}, fanout), 1u);
 }
 
 TEST(Mffc, SharedNodeNotCounted) {

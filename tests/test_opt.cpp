@@ -44,6 +44,34 @@ TEST(RewriteLibrary, StructuresEvaluateCorrectly) {
   }
 }
 
+TEST(RewriteLibrary, BakedTableMatchesFreshClosure) {
+  // instance() loads the build-time baked table (when the build bakes one);
+  // it must be indistinguishable from running the closure in-process.
+  const auto& baked = rewrite_library::instance();
+  const rewrite_library fresh;
+  ASSERT_EQ(baked.num_settled(), fresh.num_settled());
+  EXPECT_EQ(baked.num_classes_covered(), fresh.num_classes_covered());
+  for (std::uint32_t f = 0; f < 65536; ++f) {
+    const auto table = static_cast<std::uint16_t>(f);
+    ASSERT_EQ(baked.cost(table), fresh.cost(table)) << "function " << f;
+  }
+  rng structure_gen(17);
+  for (int round = 0; round < 200; ++round) {
+    const auto f = static_cast<std::uint16_t>(structure_gen() & 0xFFFF);
+    const auto sb = baked.structure(f);
+    const auto sf = fresh.structure(f);
+    ASSERT_EQ(sb.has_value(), sf.has_value()) << "function " << f;
+    if (!sb) continue;
+    EXPECT_EQ(sb->num_leaves, sf->num_leaves);
+    EXPECT_EQ(sb->out_lit, sf->out_lit);
+    ASSERT_EQ(sb->steps.size(), sf->steps.size());
+    for (std::size_t i = 0; i < sb->steps.size(); ++i) {
+      EXPECT_EQ(sb->steps[i].lit0, sf->steps[i].lit0);
+      EXPECT_EQ(sb->steps[i].lit1, sf->steps[i].lit1);
+    }
+  }
+}
+
 TEST(RewriteLibrary, BaseCostsAreZero) {
   const auto& lib = rewrite_library::instance();
   EXPECT_EQ(lib.cost(0xAAAA), 0u);

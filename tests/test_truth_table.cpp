@@ -164,5 +164,103 @@ INSTANTIATE_TEST_SUITE_P(AllWidths, TruthTableWidths,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
                                            10u, 12u));
 
+// ----- small-buffer representation and word-parallel primitives ------------
+
+TEST(TruthTable, SmallBufferInvariants) {
+  for (unsigned n = 0; n <= 6; ++n) {
+    EXPECT_TRUE(truth_table(n).is_small());
+    EXPECT_EQ(truth_table(n).num_words(), 1u);
+  }
+  EXPECT_FALSE(truth_table(7).is_small());
+  EXPECT_EQ(truth_table(7).num_words(), 2u);
+  EXPECT_EQ(truth_table(10).num_words(), 16u);
+  // words() stays usable as an indexed view on both representations.
+  const auto small = truth_table::nth_var(4, 0);
+  EXPECT_EQ(small.words()[0], 0xAAAAull);
+  EXPECT_EQ(small.word0(), 0xAAAAull);
+  const auto big = truth_table::nth_var(7, 6);
+  EXPECT_EQ(big.words()[0], 0u);
+  EXPECT_EQ(big.words()[1], ~std::uint64_t{0});
+}
+
+TEST(TruthTable, FromWordMasksTail) {
+  const auto t = truth_table::from_word(2, 0xFFFFFFFFull);
+  EXPECT_EQ(t.word0(), 0xFull);
+  EXPECT_TRUE(t.is_const1());
+  EXPECT_THROW(truth_table::from_word(7, 1), std::invalid_argument);
+}
+
+TEST(TruthTable, StretchWordMakesDontCares) {
+  // x0 over 1 var stretched to 6 vars equals the projection mask.
+  EXPECT_EQ(truth_table::stretch_word(0x2u, 1),
+            truth_table::var_masks[0]);
+  // A constant-1 over 0 vars stretches to all ones.
+  EXPECT_EQ(truth_table::stretch_word(0x1u, 0), ~std::uint64_t{0});
+}
+
+TEST(TruthTable, SwapWordMatchesGenericSwap) {
+  rng gen(123);
+  for (int round = 0; round < 50; ++round) {
+    truth_table f(6);
+    for (std::uint64_t m = 0; m < 64; ++m) {
+      if (gen.flip()) f.set_bit(m);
+    }
+    const auto a = static_cast<unsigned>(gen.below(6));
+    const auto b = static_cast<unsigned>(gen.below(6));
+    const auto swapped = truth_table::swap_word(f.word0(), a, b);
+    for (std::uint64_t m = 0; m < 64; ++m) {
+      std::uint64_t src = m & ~((std::uint64_t{1} << a) |
+                                (std::uint64_t{1} << b));
+      src |= (((m >> b) & 1u) << a) | (((m >> a) & 1u) << b);
+      EXPECT_EQ((swapped >> m) & 1u, f.bit(src) ? 1u : 0u);
+    }
+  }
+}
+
+/// Bit-by-bit reference for expanded(): result(m) reads f on the gathered
+/// minterm src with src bit i = m bit positions[i].
+truth_table expand_reference(const truth_table& t, unsigned num_vars,
+                             const std::vector<unsigned>& positions) {
+  truth_table r(num_vars);
+  for (std::uint64_t m = 0; m < r.num_bits(); ++m) {
+    std::uint64_t src = 0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if ((m >> positions[i]) & 1u) src |= std::uint64_t{1} << i;
+    }
+    if (t.bit(src)) r.set_bit(m);
+  }
+  return r;
+}
+
+TEST(TruthTable, ExpandedMatchesReferenceOnAllSubsets) {
+  rng gen(321);
+  for (unsigned to_vars = 1; to_vars <= 8; ++to_vars) {
+    for (int round = 0; round < 20; ++round) {
+      // Pick a random non-empty subset of the destination slots.
+      std::vector<unsigned> positions;
+      for (unsigned v = 0; v < to_vars; ++v) {
+        if (gen.flip()) positions.push_back(v);
+      }
+      if (positions.empty()) positions.push_back(0);
+      const auto from_vars = static_cast<unsigned>(positions.size());
+      truth_table f(from_vars);
+      for (std::uint64_t m = 0; m < f.num_bits(); ++m) {
+        if (gen.flip()) f.set_bit(m);
+      }
+      EXPECT_EQ(f.expanded(to_vars, positions),
+                expand_reference(f, to_vars, positions))
+          << "to_vars=" << to_vars;
+    }
+  }
+}
+
+TEST(TruthTable, ExpandedValidatesArguments) {
+  const auto f = truth_table::nth_var(2, 0);
+  const std::vector<unsigned> too_few = {0};
+  EXPECT_THROW(f.expanded(4, too_few), std::invalid_argument);
+  const std::vector<unsigned> ok = {1, 3};
+  EXPECT_EQ(f.expanded(4, ok), truth_table::nth_var(4, 1));
+}
+
 }  // namespace
 }  // namespace xsfq

@@ -1,0 +1,35 @@
+/// Build-time bake of the 4-input rewrite library (the ABC approach: ship
+/// the precomputed table as static data instead of re-running the ~500M-probe
+/// Dijkstra closure at every process start).  Runs the exact runtime closure
+/// and dumps the settled entries as a C++ .inc blob that rewrite_library.cpp
+/// includes when XSFQ_BAKED_REWRITE_LIBRARY is defined; a unit test pins the
+/// baked/fresh parity.
+///
+///   rewrite_library_gen <output.inc>
+#include <fstream>
+#include <iostream>
+
+#include "opt/rewrite_library.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <output.inc>\n";
+    return 2;
+  }
+  const xsfq::rewrite_library library;  // full closure, default budget
+  std::ofstream os(argv[1]);
+  if (!os) {
+    std::cerr << "cannot open " << argv[1] << " for writing\n";
+    return 1;
+  }
+  library.dump_baked(os);
+  os.flush();
+  if (!os.good()) {
+    std::cerr << "write failed for " << argv[1] << "\n";
+    return 1;
+  }
+  std::cout << "baked " << library.num_settled() << " settled functions ("
+            << library.num_classes_covered() << "/222 NPN classes) into "
+            << argv[1] << "\n";
+  return 0;
+}
