@@ -1,31 +1,58 @@
 /// Ablation: Eq. (1)'s closed-form splitter count versus the exact
-/// fanout-tree count on the mapped netlists, across all suites.
+/// fanout-tree count on the mapped netlists, across all suites.  The
+/// circuits run concurrently on the flow batch_runner (input-ordered
+/// aggregation keeps the table identical at any thread count).
+///
+///   $ ./bench_ablation_splitters [threads]
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace xsfq;
 using namespace xsfq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 4;
+  if (argc > 1) {
+    const auto parsed = flow::parse_thread_count(argv[1]);
+    if (!parsed) {
+      std::cerr << "usage: " << argv[0] << " [threads (0 = hardware)]\n";
+      return 2;
+    }
+    threads = *parsed;
+  }
   std::cout << "== Ablation: Eq. (1) splitter estimate vs exact count ==\n"
             << "  N_splt = N_gate + N_out - N_inp   (Sec. 3.1.2)\n\n";
+
+  const std::vector<std::string> names = {
+      "c432", "c499", "c880", "c1908", "c3540", "c6288", "cavlc", "ctrl",
+      "dec", "int2float", "priority", "router", "voter_sop"};
+  const auto report = flow::run_batch(names, {}, threads);
+
   table_printer t({"Circuit", "Cells", "Exact splitters", "Eq. (1)",
                    "Delta"});
-  for (const char* name : {"c432", "c499", "c880", "c1908", "c3540",
-                           "c6288", "cavlc", "ctrl", "dec", "int2float",
-                           "priority", "router", "voter_sop"}) {
-    const auto flow = run_flow(name);
-    const auto& st = flow.mapped.stats;
+  for (const auto& entry : report.entries) {
+    if (!entry.ok) {
+      std::cerr << "flow failed for " << entry.name << ": " << entry.error
+                << "\n";
+      return 1;
+    }
+    const auto& st = entry.result.mapped.stats;
     const long delta =
         static_cast<long>(st.splitters) - st.eq1_splitters;
-    t.add_row({name, std::to_string(st.la_cells + st.fa_cells),
+    t.add_row({entry.name, std::to_string(st.la_cells + st.fa_cells),
                std::to_string(st.splitters),
                std::to_string(st.eq1_splitters), std::to_string(delta)});
   }
   t.print(std::cout);
   std::cout << "\nEq. (1) is exact whenever every input rail is consumed at\n"
             << "least once (a positive delta indicates unused input rails,\n"
-            << "which Eq. (1) counts as available signals).\n";
+            << "which Eq. (1) counts as available signals).\n"
+            << names.size() << " circuits on " << report.threads
+            << " worker threads: " << static_cast<long>(report.flow_ms_sum)
+            << " ms of flow time in " << static_cast<long>(report.wall_ms)
+            << " ms wall clock.\n";
   return 0;
 }

@@ -1,0 +1,233 @@
+/// Microbenchmarks for the wide simulation engine: scalar-reference vs
+/// wide-engine sweep throughput, random_equivalent throughput against the
+/// pre-engine implementation (the PR acceptance gate: >= 4x on c6288), and
+/// the incremental-resimulation skip rate.  Plain chrono (no
+/// google-benchmark dependency) so it always builds; CI runs it in Release,
+/// archives the PERF lines, and uses --json to emit the BENCH_perf.json
+/// perf-trajectory artifact (stage timings + sim counters).
+///
+///   bench_perf_sim [circuit] [reps] [--json=FILE]   (default: c6288, 5)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aig/sim_reference.hpp"
+#include "aig/simulate.hpp"
+#include "benchgen/registry.hpp"
+#include "flow/flow.hpp"
+#include "opt/opt_engine.hpp"
+#include "util/rng.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+void write_json(const std::string& path, const std::string& circuit,
+                const flow::flow_result& flow_run, double scalar_mpps,
+                double wide_mpps, double requiv_ref_pps,
+                double requiv_new_pps, double skip_fraction) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"circuit\": \"" << circuit << "\",\n"
+     << "  \"sim\": {\n"
+     << "    \"scalar_sweep_mpatterns_per_s\": " << scalar_mpps << ",\n"
+     << "    \"wide_sweep_mpatterns_per_s\": " << wide_mpps << ",\n"
+     << "    \"sweep_speedup\": " << (wide_mpps / scalar_mpps) << ",\n"
+     << "    \"random_equivalent_ref_patterns_per_s\": " << requiv_ref_pps
+     << ",\n"
+     << "    \"random_equivalent_patterns_per_s\": " << requiv_new_pps
+     << ",\n"
+     << "    \"random_equivalent_speedup\": "
+     << (requiv_new_pps / requiv_ref_pps) << ",\n"
+     << "    \"incremental_skip_fraction\": " << skip_fraction << "\n"
+     << "  },\n"
+     << "  \"flow_stages\": [\n";
+  for (std::size_t i = 0; i < flow_run.timings.size(); ++i) {
+    const auto& t = flow_run.timings[i];
+    const auto& c = t.counters;
+    os << "    {\"stage\": \"" << t.stage << "\", \"ms\": " << t.ms
+       << ", \"nodes\": " << c.nodes << ", \"cuts\": " << c.cuts
+       << ", \"replacements\": " << c.replacements
+       << ", \"arena_bytes\": " << c.arena_bytes
+       << ", \"sim_words\": " << c.sim_words
+       << ", \"sim_node_evals\": " << c.sim_node_evals << "}"
+       << (i + 1 < flow_run.timings.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"flow_total_ms\": " << flow_run.total_ms << "\n"
+     << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit = "c6288";
+  int reps = 5;
+  std::string json_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (positional == 0) {
+      circuit = arg;
+      ++positional;
+    } else if (positional == 1) {
+      reps = std::atoi(arg.c_str());
+      ++positional;
+    }
+  }
+  if (reps <= 0) {
+    std::cerr << "usage: " << argv[0] << " [circuit] [reps>0] [--json=FILE]\n";
+    return 2;
+  }
+
+  std::cout << "== bench_perf_sim: wide simulation microbenchmarks ("
+            << circuit << ", " << reps << " reps) ==\n\n";
+  const aig g = benchgen::make_benchmark(circuit);
+  std::cout << circuit << ": " << g.num_gates() << " AIG nodes, "
+            << g.num_cis() << " CI, " << g.num_cos() << " CO, depth "
+            << g.depth() << "\n\n";
+
+  // A structurally different but equivalent partner for the equivalence
+  // checks (what the verification hot path actually compares).
+  opt_engine opt;
+  const aig partner = opt.run_pass(g, "b");
+
+  constexpr unsigned sweeps = 64;  // 64-pattern words per rep
+  constexpr unsigned wide_width = equivalence_checker::default_width;
+
+  // Every measurement below takes the fastest of `reps` timed runs (after
+  // one warm-up), which is robust against scheduler noise on shared or
+  // single-core machines; both sides of every comparison are treated alike.
+  const auto best_of = [&](auto&& body) {
+    body();  // warm-up: first-touch planes, page faults, caches
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto start = clock_type::now();
+      body();
+      best = std::min(best, ms_since(start));
+    }
+    return best;
+  };
+
+  // 1. Scalar reference sweeps: 64 patterns per full traversal.
+  rng scalar_gen(1);
+  std::vector<std::uint64_t> patterns(g.num_cis());
+  std::uint64_t keep_alive = 0;
+  const double scalar_ms = best_of([&] {
+    for (unsigned s = 0; s < sweeps; ++s) {
+      for (auto& p : patterns) p = scalar_gen();
+      keep_alive ^= reference_simulate64(g, patterns)[0];
+    }
+  });
+  if (keep_alive == 0x12345678u) std::cout << "";  // defeat dead-code elim
+  const double scalar_mpps =
+      sweeps * 64.0 / (scalar_ms / 1000.0) / 1e6;  // Mpatterns/s
+
+  // 2. Wide engine sweeps: wide_width x 64 patterns per traversal on one
+  // recycled plane.
+  sim_engine engine(wide_width);
+  engine.attach(g);
+  rng wide_gen(1);
+  const double wide_ms = best_of([&] {
+    for (unsigned s = 0; s < sweeps / wide_width; ++s) {
+      engine.randomize_inputs(wide_gen);
+      engine.simulate();
+    }
+  });
+  const std::uint64_t wide_node_evals = engine.counters().node_evals;
+  const double wide_mpps = sweeps * 64.0 / (wide_ms / 1000.0) / 1e6;
+
+  std::cout << "full-network sweep, " << sweeps * 64 << " patterns/rep:\n"
+            << "  scalar reference (1 word/traversal): " << scalar_ms
+            << " ms/rep = " << scalar_mpps << " Mpatterns/s\n"
+            << "  wide engine     (" << wide_width
+            << " words/traversal): " << wide_ms << " ms/rep = " << wide_mpps
+            << " Mpatterns/s  (" << wide_mpps / scalar_mpps << "x, "
+            << wide_node_evals << " node evals total)\n\n";
+
+  // 3. random_equivalent throughput: the verification hot path.
+  constexpr unsigned requiv_rounds = 64;  // x64 patterns per check
+  const double requiv_ref_ms = best_of([&] {
+    if (!reference_random_equivalent(g, partner, requiv_rounds, 7)) {
+      std::cerr << "reference_random_equivalent: unexpected mismatch\n";
+      std::exit(1);
+    }
+  });
+  equivalence_checker checker;  // persistent scratch, like the opt engine
+  const double requiv_new_ms = best_of([&] {
+    if (!checker.check(g, partner, requiv_rounds, 7)) {
+      std::cerr << "random_equivalent: unexpected mismatch\n";
+      std::exit(1);
+    }
+  });
+  const double requiv_patterns = requiv_rounds * 64.0;
+  const double requiv_ref_pps = requiv_patterns / (requiv_ref_ms / 1000.0);
+  const double requiv_new_pps = requiv_patterns / (requiv_new_ms / 1000.0);
+  const double requiv_speedup = requiv_new_pps / requiv_ref_pps;
+  std::cout << "random_equivalent vs balanced copy, " << requiv_rounds
+            << " x64 patterns/check:\n"
+            << "  pre-engine reference: " << requiv_ref_ms << " ms/check = "
+            << requiv_ref_pps / 1e6 << " Mpatterns/s\n"
+            << "  wide engine:          " << requiv_new_ms << " ms/check = "
+            << requiv_new_pps / 1e6 << " Mpatterns/s  (" << requiv_speedup
+            << "x)\n\n";
+
+  // 4. Incremental resimulation: flip one input, re-sweep only its cone.
+  double incr_ms = 0.0;
+  double skip_fraction = 0.0;
+  {
+    sim_engine engine(8);
+    engine.attach(g);
+    rng gen(3);
+    engine.randomize_inputs(gen);
+    engine.simulate();
+    engine.reset_counters();
+    const unsigned flips = 256;
+    const auto start = clock_type::now();
+    for (unsigned f = 0; f < flips; ++f) {
+      for (auto& word : engine.ci_words(f % g.num_cis())) word = gen();
+      engine.resimulate();
+    }
+    incr_ms = ms_since(start) / flips;
+    const auto& c = engine.counters();
+    skip_fraction = static_cast<double>(c.node_evals_skipped) /
+                    static_cast<double>(c.node_evals + c.node_evals_skipped);
+  }
+  std::cout << "incremental resim (1 CI touched): " << incr_ms * 1000.0
+            << " us/resim, " << skip_fraction * 100.0
+            << "% node evals skipped\n";
+
+  // Machine-readable trend lines for the CI artifact.
+  std::cout << "\nPERF_SIM circuit=" << circuit
+            << " scalar_sweep_mpps=" << scalar_mpps
+            << " wide_sweep_mpps=" << wide_mpps
+            << " sweep_speedup=" << wide_mpps / scalar_mpps
+            << " requiv_ref_pps=" << requiv_ref_pps
+            << " requiv_pps=" << requiv_new_pps
+            << " requiv_speedup=" << requiv_speedup
+            << " incr_skip=" << skip_fraction << "\n";
+
+  if (!json_path.empty()) {
+    // Stage timings with sim counters: one validated flow run.
+    flow::flow_options options;
+    options.opt.validate_passes = true;
+    const auto flow_run = flow::run_flow(circuit, options);
+    write_json(json_path, circuit, flow_run, scalar_mpps, wide_mpps,
+               requiv_ref_pps, requiv_new_pps, skip_fraction);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

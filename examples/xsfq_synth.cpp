@@ -10,9 +10,11 @@
 ///     --verilog=FILE     write the mapped xSFQ netlist as structural Verilog
 ///     --dot=FILE         write the mapped netlist as Graphviz
 ///     --liberty=FILE     write the Table 2 cell library (.lib)
-///     --validate         pulse-level validation against the golden model
+///     --validate         pulse-level validation against the golden model,
+///                        plus per-pass sim-equivalence checks in optimize
 ///     --timing           also print per-stage counters as CSV (for perf
-///                        tracking: ms, nodes, cuts, rewrites, arena bytes)
+///                        tracking: ms, nodes, cuts, rewrites, arena bytes,
+///                        sim words / node evaluations)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -111,6 +113,9 @@ int main(int argc, char** argv) {
     });
     flow::flow_options options;
     options.map = params;
+    // --validate also pins every optimize pass to its input with the wide
+    // sim engine (the pulse-level check below covers the mapping side).
+    options.opt.validate_passes = validate;
     synth.add_stages(flow::make_synthesis_flow(options));
     const auto r = synth.run();
 
@@ -133,12 +138,14 @@ int main(int argc, char** argv) {
     }
     std::cout << " (total " << r.total_ms << " ms)\n";
     if (print_timing_csv) {
-      std::cout << "stage,ms,nodes,cuts,replacements,arena_bytes\n";
+      std::cout
+          << "stage,ms,nodes,cuts,replacements,arena_bytes,sim_words,"
+             "sim_node_evals\n";
       for (const auto& st : r.timings) {
         const auto& c = st.counters;
         std::cout << st.stage << "," << st.ms << "," << c.nodes << ","
                   << c.cuts << "," << c.replacements << "," << c.arena_bytes
-                  << "\n";
+                  << "," << c.sim_words << "," << c.sim_node_evals << "\n";
       }
     }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace xsfq {
 namespace {
 std::string default_name(const char* prefix, std::size_t index) {
@@ -244,6 +246,28 @@ aig aig::cleanup() const {
 bool aig::is_well_formed() const {
   return std::all_of(registers_.begin(), registers_.end(),
                      [](const register_info& r) { return r.input_set; });
+}
+
+std::uint64_t aig::content_hash() const {
+  std::uint64_t h = 0x5851F42D4C957F2Dull;
+  h = hash_mix(h, nodes_.size());
+  h = hash_mix(h, num_pis());
+  h = hash_mix(h, num_pos());
+  h = hash_mix(h, num_registers());
+  for (const node& n : nodes_) {
+    h = hash_mix(h, (std::uint64_t{n.fanin0.raw()} << 32) | n.fanin1.raw());
+    h = hash_mix(h, (std::uint64_t{static_cast<std::uint8_t>(n.type)} << 32) |
+                        n.ci_ordinal);
+  }
+  for (const signal s : pos_) h = hash_mix(h, s.raw());
+  for (const register_info& r : registers_) {
+    h = hash_mix(h, (std::uint64_t{r.output_node} << 32) | r.input.raw());
+    h = hash_mix(h, (std::uint64_t{r.init} << 1) | std::uint64_t{r.input_set});
+  }
+  for (const auto& name : pi_names_) h = hash_mix_str(h, name);
+  for (const auto& name : po_names_) h = hash_mix_str(h, name);
+  for (const auto& name : register_names_) h = hash_mix_str(h, name);
+  return h;
 }
 
 }  // namespace xsfq

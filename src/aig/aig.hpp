@@ -223,6 +223,12 @@ public:
   /// True when every register input has been connected.
   [[nodiscard]] bool is_well_formed() const;
 
+  /// Structural content hash: covers node structure, CO signals, register
+  /// metadata, and interface names.  Equal networks (same construction
+  /// sequence) hash equal on every platform; used as the circuit half of the
+  /// flow result-cache key (src/flow/batch_runner).
+  [[nodiscard]] std::uint64_t content_hash() const;
+
 private:
   struct node {
     signal fanin0;

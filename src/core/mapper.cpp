@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace xsfq {
 namespace {
@@ -80,7 +79,10 @@ private:
   std::vector<proto_element> elems_;
   /// base_[n][rail]: producing element, or -1 when not (yet) created.
   std::vector<std::array<std::int64_t, 2>> base_;
-  std::unordered_map<aig::node_index, chain_info> chains_;
+  /// DROC rank chains, dense per node (same scratch style as the cut
+  /// engine's mffc_calculator: index by aig::node_index, no hashing).
+  std::vector<chain_info> chains_;
+  std::vector<bool> chain_started_;  ///< chains_[n] holds a live chain
   /// (boundary DROC element, AIG register index) feedback bookkeeping.
   std::vector<std::pair<std::uint32_t, port_ref>> feedback_protos_;
 };
@@ -198,9 +200,9 @@ port_ref mapper::resolve(aig::node_index n, bool rail,
                            : 0;  // sequential ROs sit at stage 0
   if (consumer_stage <= src) return base_rail_ref(n, rail);
 
-  auto [it, inserted] = chains_.try_emplace(n);
-  chain_info& chain = it->second;
-  if (inserted) {
+  chain_info& chain = chains_[n];
+  if (!chain_started_[n]) {
+    chain_started_[n] = true;
     chain.source_stage = src;
     chain.base_rail = demands_.positive(n) || net_.is_ci(n) ? false : true;
   }
@@ -223,6 +225,8 @@ port_ref mapper::resolve(aig::node_index n, bool rail,
 
 void mapper::build_sources() {
   base_.assign(net_.size(), {-1, -1});
+  chains_.assign(net_.size(), {});
+  chain_started_.assign(net_.size(), false);
   // Primary-input rails (both polarities; unused ones cost nothing).
   for (std::size_t i = 0; i < net_.num_pis(); ++i) {
     const aig::node_index n = net_.pi(i).index();

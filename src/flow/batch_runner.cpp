@@ -1,15 +1,22 @@
 #include "flow/batch_runner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+
+#include "benchgen/registry.hpp"
+#include "util/hash.hpp"
 
 namespace xsfq::flow {
 
@@ -73,50 +80,300 @@ batch_summary summarize(const batch_report& report) {
 }
 
 // ---------------------------------------------------------------------------
-// Worker pool.
+// Worker pool (per-worker deques + stealing) and cross-run result cache.
 // ---------------------------------------------------------------------------
 
 struct batch_runner::impl {
-  std::mutex mutex;
+  // ----- work-stealing pool -------------------------------------------------
+
+  /// One deque per worker; the owner pops the front, thieves pop the back.
+  struct worker_queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  std::vector<std::unique_ptr<worker_queue>> queues;
+  std::mutex mutex;  ///< guards the sleep/wake protocol and shutdown flag
   std::condition_variable work_ready;
   std::condition_variable batch_done;
-  std::queue<std::function<void()>> queue;
-  std::size_t in_flight = 0;  ///< queued + currently executing jobs
+  std::atomic<std::size_t> queued{0};     ///< jobs sitting in some deque
+  std::atomic<std::size_t> in_flight{0};  ///< queued + currently executing
+  std::atomic<std::uint64_t> steal_count{0};
   bool shutting_down = false;
   std::vector<std::thread> workers;
+  std::size_t next_queue = 0;  ///< round-robin cursor (submitting thread only)
 
-  void worker_loop() {
+  bool try_pop(std::size_t self, std::function<void()>& job) {
+    {
+      worker_queue& own = *queues[self];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.jobs.empty()) {
+        job = std::move(own.jobs.front());
+        own.jobs.pop_front();
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    for (std::size_t offset = 1; offset < queues.size(); ++offset) {
+      worker_queue& victim = *queues[(self + offset) % queues.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.jobs.empty()) {
+        job = std::move(victim.jobs.back());
+        victim.jobs.pop_back();
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        steal_count.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t self) {
     for (;;) {
       std::function<void()> job;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_ready.wait(lock,
-                        [this] { return shutting_down || !queue.empty(); });
-        if (queue.empty()) return;  // shutting down
-        job = std::move(queue.front());
-        queue.pop();
+      if (try_pop(self, job)) {
+        job();
+        if (in_flight.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(mutex);
+          batch_done.notify_all();
+        }
+        continue;
       }
-      job();
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        --in_flight;
-        if (in_flight == 0) batch_done.notify_all();
+      std::unique_lock<std::mutex> lock(mutex);
+      work_ready.wait(lock, [this] {
+        return shutting_down || queued.load(std::memory_order_relaxed) > 0;
+      });
+      if (shutting_down && queued.load(std::memory_order_relaxed) == 0) {
+        return;
       }
     }
   }
 
   void submit(std::function<void()> job) {
+    in_flight.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      queue.push(std::move(job));
-      ++in_flight;
+      worker_queue& q = *queues[next_queue];
+      next_queue = (next_queue + 1) % queues.size();
+      std::lock_guard<std::mutex> lock(q.mutex);
+      // Increment-then-push inside the queue lock: a pop (which holds the
+      // same lock) always observes the increment before the job, so
+      // `queued` can never underflow, and a worker woken by a momentarily
+      // early increment serializes on this lock and finds the job.
+      queued.fetch_add(1, std::memory_order_relaxed);
+      q.jobs.push_back(std::move(job));
     }
+    // Empty critical section pairs the increment with the workers'
+    // check-then-wait, closing the lost-wakeup window.
+    { std::lock_guard<std::mutex> lock(mutex); }
     work_ready.notify_one();
   }
 
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mutex);
-    batch_done.wait(lock, [this] { return in_flight == 0; });
+    batch_done.wait(lock, [this] { return in_flight.load() == 0; });
+  }
+
+  // ----- cross-run result cache --------------------------------------------
+
+  struct cache_key {
+    std::uint64_t circuit = 0;  ///< aig::content_hash()
+    std::uint64_t options = 0;  ///< flow::fingerprint(...)
+    bool operator==(const cache_key&) const = default;
+  };
+  struct cache_key_hash {
+    std::size_t operator()(const cache_key& k) const {
+      return static_cast<std::size_t>(k.circuit ^
+                                      (k.options * 0x9E3779B97F4A7C15ull));
+    }
+  };
+  /// Cached outcome of one optimize stage.
+  struct opt_entry {
+    aig network;
+    optimize_stats stats;
+  };
+
+  static constexpr std::size_t max_full_entries = 64;
+  static constexpr std::size_t max_opt_entries = 128;
+
+  // Entries are immutable shared_ptrs so the global lock only covers a map
+  // find plus a refcount bump — deep copies (whole AIGs) happen outside it.
+  // The optimize tier stores shared_futures: the first requester of a key
+  // becomes its producer, concurrent requesters wait on the future instead
+  // of re-running the stage (no thundering herd when one circuit appears
+  // under several mapping options in the same batch).
+  using opt_future = std::shared_future<std::shared_ptr<const opt_entry>>;
+  using opt_promise = std::promise<std::shared_ptr<const opt_entry>>;
+
+  mutable std::mutex cache_mutex;
+  std::unordered_map<cache_key, std::shared_ptr<const flow_result>,
+                     cache_key_hash>
+      full_cache;
+  std::deque<cache_key> full_order;  ///< FIFO eviction
+  std::unordered_map<cache_key, opt_future, cache_key_hash> opt_cache;
+  std::deque<cache_key> opt_order;
+  /// Registry generators are deterministic for the process lifetime, so a
+  /// benchmark's content hash is memoized: repeat full-cache hits skip the
+  /// (re)generation entirely.  Bounded by the registry size.
+  std::unordered_map<std::string, std::uint64_t> hash_memo;
+  std::atomic<bool> cache_enabled{true};
+  std::atomic<std::uint64_t> full_hits{0};
+  std::atomic<std::uint64_t> full_misses{0};
+  std::atomic<std::uint64_t> opt_hits{0};
+  std::atomic<std::uint64_t> opt_misses{0};
+
+  std::shared_ptr<const flow_result> lookup_full(const cache_key& key) {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto it = full_cache.find(key);
+    return it == full_cache.end() ? nullptr : it->second;
+  }
+
+  void store_full(const cache_key& key, const flow_result& result) {
+    auto entry = std::make_shared<const flow_result>(result);  // outside lock
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    if (!full_cache.emplace(key, std::move(entry)).second) return;  // racer won
+    full_order.push_back(key);
+    if (full_order.size() > max_full_entries) {
+      full_cache.erase(full_order.front());
+      full_order.pop_front();
+    }
+  }
+
+  /// Outcome of claiming an optimize-cache slot: a consumer gets the future
+  /// (ready, or in flight on another worker); the first requester gets the
+  /// promise too and must fulfil it.
+  struct opt_claim {
+    opt_future future;
+    std::shared_ptr<opt_promise> promise;  ///< set iff this caller produces
+  };
+
+  opt_claim claim_opt(const cache_key& key) {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto it = opt_cache.find(key);
+    if (it != opt_cache.end()) return {it->second, nullptr};
+    auto promise = std::make_shared<opt_promise>();
+    opt_future future = promise->get_future().share();
+    opt_cache.emplace(key, future);
+    opt_order.push_back(key);
+    if (opt_order.size() > max_opt_entries) {
+      opt_cache.erase(opt_order.front());
+      opt_order.pop_front();
+    }
+    return {std::move(future), std::move(promise)};
+  }
+
+  /// Drops a slot whose producer failed so later runs retry the stage.
+  void abandon_opt(const cache_key& key) {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    opt_cache.erase(key);
+    for (auto it = opt_order.begin(); it != opt_order.end(); ++it) {
+      if (*it == key) {
+        opt_order.erase(it);
+        break;
+      }
+    }
+  }
+
+  /// The canned paper flow for one entry, with both cache tiers applied.
+  flow_result run_cached_flow(const std::string& name,
+                              const flow_options& options) {
+    if (!cache_enabled.load(std::memory_order_relaxed)) {
+      return run_flow(name, options);
+    }
+    using clock = std::chrono::steady_clock;
+    double generate_ms = 0.0;
+    std::optional<aig> network;
+    const auto generate = [&] {
+      const auto start = clock::now();
+      network = benchgen::make_benchmark(name);
+      const std::chrono::duration<double, std::milli> elapsed =
+          clock::now() - start;
+      generate_ms += elapsed.count();
+    };
+
+    std::uint64_t circuit_hash = 0;
+    bool have_hash = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      const auto it = hash_memo.find(name);
+      if (it != hash_memo.end()) {
+        circuit_hash = it->second;
+        have_hash = true;
+      }
+    }
+    if (!have_hash) {
+      generate();
+      circuit_hash = network->content_hash();
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      hash_memo.emplace(name, circuit_hash);
+    }
+
+    // The benchmark name joins the circuit half of the key: name-derived
+    // artifacts (result.name, the emit stage's default Verilog module
+    // header) must never be served across two names that happen to
+    // generate content-identical circuits.
+    const cache_key full_key{hash_mix_str(circuit_hash, name),
+                             fingerprint(options)};
+    if (auto cached = lookup_full(full_key)) {
+      full_hits.fetch_add(1, std::memory_order_relaxed);
+      flow_result r = *cached;  // deep copy outside the cache lock
+      r.name = name;
+      // Charge this run's (re)generate cost; downstream stage timings are
+      // the cached run's measurements.
+      if (!r.timings.empty() && r.timings.front().stage == "generate") {
+        r.total_ms += generate_ms - r.timings.front().ms;
+        r.timings.front().ms = generate_ms;
+      }
+      return r;
+    }
+    full_misses.fetch_add(1, std::memory_order_relaxed);
+    if (!network) generate();  // hash came from the memo
+
+    flow f("synthesis");
+    f.add_stage(stages::preset(std::move(*network), name));
+    if (options.run_optimize) {
+      const cache_key opt_key{circuit_hash, fingerprint(options.opt)};
+      // Claim happens when the stage *runs* (on a worker), so whichever
+      // entry gets there first produces and everyone else — ready or still
+      // in flight on a sibling worker — consumes the same result.
+      f.add_stage("optimize", [this, opt_key,
+                               params = options.opt](flow_context& ctx) {
+        opt_claim claim = claim_opt(opt_key);
+        if (claim.promise) {  // producer: run the stage and publish
+          opt_misses.fetch_add(1, std::memory_order_relaxed);
+          try {
+            optimize_stats st;
+            ctx.network = xsfq::optimize(ctx.network, params, &st);
+            ctx.opt = st;
+            apply_opt_counters(ctx.counters, st.work);
+            claim.promise->set_value(std::make_shared<const opt_entry>(
+                opt_entry{ctx.network, st}));
+          } catch (...) {
+            claim.promise->set_exception(std::current_exception());
+            abandon_opt(opt_key);  // let later runs retry
+            throw;
+          }
+        } else {  // consumer: ready result, or wait for the producer
+          opt_hits.fetch_add(1, std::memory_order_relaxed);
+          const auto entry = claim.future.get();  // rethrows producer errors
+          ctx.network = entry->network;
+          ctx.opt = entry->stats;
+          apply_opt_counters(ctx.counters, entry->stats.work);
+        }
+      });
+    }
+    flow_options tail = options;
+    tail.run_optimize = false;  // handled above
+    f.add_stages(make_synthesis_flow(tail));
+
+    // The preset stage only copies the pre-built network; fold the actual
+    // generation cost back into its timing slot.
+    flow_result result = f.run();
+    if (!result.timings.empty() && result.timings.front().stage == "generate") {
+      result.timings.front().ms += generate_ms;
+      result.total_ms += generate_ms;
+    }
+    store_full(full_key, result);
+    return result;
   }
 };
 
@@ -126,9 +383,13 @@ batch_runner::batch_runner(unsigned num_threads) : impl_(new impl) {
     if (num_threads == 0) num_threads = 1;
   }
   num_threads_ = num_threads;
+  impl_->queues.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    impl_->queues.push_back(std::make_unique<impl::worker_queue>());
+  }
   impl_->workers.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
   }
 }
 
@@ -140,6 +401,36 @@ batch_runner::~batch_runner() {
   impl_->work_ready.notify_all();
   for (auto& w : impl_->workers) w.join();
   delete impl_;
+}
+
+std::uint64_t batch_runner::steals() const {
+  return impl_->steal_count.load();
+}
+
+void batch_runner::set_cache_enabled(bool enabled) {
+  impl_->cache_enabled.store(enabled);
+}
+
+bool batch_runner::cache_enabled() const {
+  return impl_->cache_enabled.load();
+}
+
+batch_cache_stats batch_runner::cache_stats() const {
+  batch_cache_stats s;
+  s.full_hits = impl_->full_hits.load();
+  s.full_misses = impl_->full_misses.load();
+  s.opt_hits = impl_->opt_hits.load();
+  s.opt_misses = impl_->opt_misses.load();
+  return s;
+}
+
+void batch_runner::clear_cache() {
+  std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+  impl_->full_cache.clear();
+  impl_->full_order.clear();
+  impl_->opt_cache.clear();
+  impl_->opt_order.clear();
+  impl_->hash_memo.clear();
 }
 
 batch_report batch_runner::run_jobs(
@@ -189,7 +480,25 @@ batch_report batch_runner::run(const std::vector<std::string>& benchmark_names,
   std::vector<std::function<flow_result()>> jobs;
   jobs.reserve(benchmark_names.size());
   for (const auto& name : benchmark_names) {
-    jobs.push_back([name, options] { return run_flow(name, options); });
+    jobs.push_back(
+        [this, name, options] { return impl_->run_cached_flow(name, options); });
+  }
+  return run_jobs(benchmark_names, std::move(jobs));
+}
+
+batch_report batch_runner::run(
+    const std::vector<std::string>& benchmark_names,
+    const std::vector<flow_options>& per_entry_options) {
+  if (benchmark_names.size() != per_entry_options.size()) {
+    throw std::invalid_argument("batch_runner: names/options size mismatch");
+  }
+  std::vector<std::function<flow_result()>> jobs;
+  jobs.reserve(benchmark_names.size());
+  for (std::size_t i = 0; i < benchmark_names.size(); ++i) {
+    jobs.push_back([this, name = benchmark_names[i],
+                    options = per_entry_options[i]] {
+      return impl_->run_cached_flow(name, options);
+    });
   }
   return run_jobs(benchmark_names, std::move(jobs));
 }

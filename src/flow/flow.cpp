@@ -6,6 +6,7 @@
 
 #include "core/xsfq_writer.hpp"
 #include "opt/opt_engine.hpp"
+#include "util/hash.hpp"
 
 namespace xsfq::flow {
 
@@ -67,6 +68,14 @@ flow_result flow::run_context(flow_context ctx) const {
   return result;
 }
 
+void apply_opt_counters(stage_counters& counters, const opt_counters& work) {
+  counters.cuts = work.cuts_enumerated;
+  counters.replacements = work.replacements;
+  counters.arena_bytes = work.cut_arena_bytes;
+  counters.sim_words = work.sim_words;
+  counters.sim_node_evals = work.sim_node_evals;
+}
+
 namespace stages {
 
 stage benchmark(std::string benchmark_name) {
@@ -89,9 +98,7 @@ stage optimize(optimize_params params) {
   return {"optimize", [params](flow_context& ctx) {
             optimize_stats st;
             ctx.network = xsfq::optimize(ctx.network, params, &st);
-            ctx.counters.cuts = st.work.cuts_enumerated;
-            ctx.counters.replacements = st.work.replacements;
-            ctx.counters.arena_bytes = st.work.cut_arena_bytes;
+            apply_opt_counters(ctx.counters, st.work);
             ctx.opt = st;
           }};
 }
@@ -100,10 +107,7 @@ stage pass(std::string pass_name) {
   return {pass_name, [pass_name](flow_context& ctx) {
             opt_engine engine;
             ctx.network = engine.run_pass(ctx.network, pass_name);
-            const opt_counters& work = engine.counters();
-            ctx.counters.cuts = work.cuts_enumerated;
-            ctx.counters.replacements = work.replacements;
-            ctx.counters.arena_bytes = work.cut_arena_bytes;
+            apply_opt_counters(ctx.counters, engine.counters());
           }};
 }
 
@@ -131,6 +135,40 @@ stage emit_verilog(std::string module_name) {
 }
 
 }  // namespace stages
+
+std::uint64_t fingerprint(const optimize_params& params) {
+  std::uint64_t h = 0x0B7E151628AED2A6ull;
+  h = hash_mix(h, params.max_rounds);
+  h = hash_mix(h, params.zero_gain_final);
+  h = hash_mix(h, params.refactor_cut_size);
+  h = hash_mix(h, params.validate_passes);
+  h = hash_mix(h, params.validate_passes ? params.validate_rounds : 0);
+  return h;
+}
+
+std::uint64_t fingerprint(const flow_options& options) {
+  std::uint64_t h = fingerprint(options.opt);
+  h = hash_mix(h, options.run_optimize);
+  h = hash_mix(h, static_cast<std::uint64_t>(options.map.polarity));
+  h = hash_mix(h, options.map.pipeline_stages);
+  h = hash_mix(h, static_cast<std::uint64_t>(options.map.reg_style));
+  h = hash_mix(h, options.map.forced_polarities.has_value());
+  if (options.map.forced_polarities) {
+    h = hash_mix(h, options.map.forced_polarities->size());
+    for (const bool negate : *options.map.forced_polarities) {
+      h = hash_mix(h, negate);
+    }
+  }
+  h = hash_mix(h, options.run_baseline);
+  h = hash_mix(h, options.baseline.detect_xor);
+  h = hash_mix(h, options.baseline.costs.logic_cell);
+  h = hash_mix(h, options.baseline.costs.not_cell);
+  h = hash_mix(h, options.baseline.costs.dro);
+  h = hash_mix(h, options.baseline.costs.dff);
+  h = hash_mix(h, options.baseline.costs.splitter);
+  h = hash_mix(h, options.emit_verilog);
+  return h;
+}
 
 flow make_synthesis_flow(const flow_options& options) {
   flow f("synthesis");

@@ -33,6 +33,8 @@ struct stage_counters {
   std::uint64_t cuts = 0;          ///< cuts enumerated during the stage
   std::uint64_t replacements = 0;  ///< accepted resynthesis rewrites
   std::uint64_t arena_bytes = 0;   ///< peak cut-arena footprint
+  std::uint64_t sim_words = 0;       ///< 64-pattern sim words swept
+  std::uint64_t sim_node_evals = 0;  ///< gate x word sim evaluations
 };
 
 /// Mutable state threaded through the stages of one flow run.  Stages fill
@@ -49,6 +51,11 @@ struct flow_context {
   /// runner before each stage and harvested into its stage_timing after.
   stage_counters counters;
 };
+
+/// Copies an opt_counters work record into a stage's counter slot (the one
+/// mapping shared by stages::optimize, stages::pass, and the batch_runner's
+/// cached optimize stage — add new counters here, not at the call sites).
+void apply_opt_counters(stage_counters& counters, const opt_counters& work);
 
 /// Wall-clock and work cost of one executed stage.
 struct stage_timing {
@@ -154,6 +161,15 @@ struct flow_options {
   bool run_baseline = true;   ///< skip the clocked-RSFQ comparison
   bool emit_verilog = false;  ///< fill flow_result::verilog
 };
+
+/// 64-bit digest covering every knob in `options` (fields are mixed in a
+/// fixed order, so the digest itself is order-sensitive).  Two option sets
+/// with equal fingerprints produce identical flow results on the same
+/// circuit; used as the options half of the batch_runner result-cache key.
+std::uint64_t fingerprint(const flow_options& options);
+/// Same digest restricted to the optimize stage's knobs (the optimized-
+/// network cache tier is shared across differing map/baseline options).
+std::uint64_t fingerprint(const optimize_params& params);
 
 /// optimize -> map [-> baseline] [-> emit]; prepend your own front end.
 flow make_synthesis_flow(const flow_options& options = {});

@@ -329,6 +329,22 @@ aig opt_engine::balance(const aig& network) {
   return dest.cleanup();
 }
 
+void opt_engine::verify_pass(const aig& before, const aig& after,
+                             const std::string& pass_name, unsigned rounds) {
+  ++counters_.equiv_checks;
+  // Seed varies per check so successive passes see fresh patterns but the
+  // whole script stays deterministic.
+  const bool ok = equiv_.check(before, after, rounds,
+                               /*seed=*/0x51D0 + counters_.equiv_checks);
+  const sim_counters sim = equiv_.counters();
+  counters_.sim_words = sim.pattern_words;
+  counters_.sim_node_evals = sim.node_evals;
+  if (!ok) {
+    throw std::runtime_error("optimize: pass '" + pass_name +
+                             "' broke simulation equivalence");
+  }
+}
+
 aig opt_engine::run_pass(const aig& network, const std::string& pass) {
   if (pass == "b") return balance(network);
   if (pass == "rw") return rewrite(network, false);
@@ -346,14 +362,29 @@ aig opt_engine::optimize(const aig& network, const optimize_params& params,
   local.initial_depth = network.depth();
   const opt_counters before = counters_;
 
+  // Runs one pass and, when requested, pins its output to its input with a
+  // randomized wide-sim equivalence check on the engine's recycled scratch.
+  const auto checked = [&](const aig& src, const char* pass_name,
+                           auto&& pass_fn) {
+    aig next = pass_fn(src);
+    if (params.validate_passes) {
+      verify_pass(src, next, pass_name, params.validate_rounds);
+    }
+    return next;
+  };
+
   aig current = network.cleanup();
   for (unsigned round = 0; round < params.max_rounds; ++round) {
     const std::size_t gates_before = current.num_gates();
-    current = balance(current);
-    current = rewrite(current);
-    current = refactor(current, params.refactor_cut_size);
-    current = balance(current);
-    current = rewrite(current, params.zero_gain_final);
+    current = checked(current, "b", [&](const aig& g) { return balance(g); });
+    current = checked(current, "rw", [&](const aig& g) { return rewrite(g); });
+    current = checked(current, "rf", [&](const aig& g) {
+      return refactor(g, params.refactor_cut_size);
+    });
+    current = checked(current, "b", [&](const aig& g) { return balance(g); });
+    current = checked(current, "rw", [&](const aig& g) {
+      return rewrite(g, params.zero_gain_final);
+    });
     ++local.rounds;
     if (current.num_gates() >= gates_before) break;
   }
@@ -367,6 +398,9 @@ aig opt_engine::optimize(const aig& network, const optimize_params& params,
   local.work.mffc_queries -= before.mffc_queries;
   local.work.replacements -= before.replacements;
   local.work.resynth_cache_hits -= before.resynth_cache_hits;
+  local.work.equiv_checks -= before.equiv_checks;
+  local.work.sim_words -= before.sim_words;
+  local.work.sim_node_evals -= before.sim_node_evals;
   // cut_arena_bytes stays the peak footprint, not a delta.
   if (stats) *stats = local;
   return current;

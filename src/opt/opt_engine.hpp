@@ -24,6 +24,7 @@
 
 #include "aig/aig.hpp"
 #include "aig/cuts.hpp"
+#include "aig/simulate.hpp"
 #include "opt/aig_structure.hpp"
 #include "opt/cut_rewriting.hpp"
 #include "opt/script.hpp"
@@ -54,6 +55,14 @@ public:
   /// Counters accumulated across every pass run on this engine.
   [[nodiscard]] const opt_counters& counters() const { return counters_; }
 
+  /// Randomized sim-equivalence check between `before` and `after` on the
+  /// engine's recycled wide simulator; throws std::runtime_error naming
+  /// `pass_name` on a mismatch.  Used per pass when
+  /// optimize_params::validate_passes is set; callers may also invoke it
+  /// directly after run_pass().
+  void verify_pass(const aig& before, const aig& after,
+                   const std::string& pass_name, unsigned rounds = 32);
+
 private:
   /// Internal provider contract: a borrowed candidate pointer (stable until
   /// the next provider call) or nullptr to skip the cut.
@@ -68,6 +77,7 @@ private:
   cut_engine cuts_;
   mffc_calculator mffc_;
   opt_counters counters_;
+  equivalence_checker equiv_;  ///< recycled wide-sim validation scratch
 
   // Rewriting scratch, recycled across passes.
   std::vector<signal> map_;

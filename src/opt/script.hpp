@@ -18,6 +18,13 @@ struct optimize_params {
   unsigned max_rounds = 4;       ///< resyn rounds before giving up
   bool zero_gain_final = true;   ///< allow zero-gain rewrites in last round
   unsigned refactor_cut_size = 6;
+  /// Checks randomized simulation equivalence after every pass (wide
+  /// sim_engine, scratch recycled across checks); throws std::runtime_error
+  /// on a mismatch.  Costs one pair of network sweeps per
+  /// equivalence_checker-width (32 rounds) chunk per pass, so the default
+  /// of 32 rounds uses exactly one full-width chunk.
+  bool validate_passes = false;
+  unsigned validate_rounds = 32;  ///< x64 patterns per per-pass check
 };
 
 /// Work/allocation counters accumulated by an opt_engine across every pass
@@ -30,6 +37,9 @@ struct opt_counters {
   std::uint64_t replacements = 0;       ///< accepted resynthesis rewrites
   std::uint64_t resynth_cache_hits = 0; ///< candidate structures served from cache
   std::uint64_t cut_arena_bytes = 0;    ///< peak footprint of the cut arena
+  std::uint64_t equiv_checks = 0;       ///< per-pass sim-equivalence checks
+  std::uint64_t sim_words = 0;          ///< 64-pattern words swept by checks
+  std::uint64_t sim_node_evals = 0;     ///< gate x word evaluations by checks
 };
 
 struct optimize_stats {

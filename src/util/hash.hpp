@@ -1,0 +1,31 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Shared 64-bit hash combinators.
+///
+/// Both halves of the flow result-cache key — `aig::content_hash()` and
+/// `flow::fingerprint()` — mix through these functions, so their avalanche
+/// behaviour stays in lockstep.
+
+#include <cstdint>
+#include <string>
+
+namespace xsfq {
+
+/// splitmix64-style avalanche combine: strong enough that a 64-bit
+/// collision between distinct inputs is practically impossible at
+/// result-cache scale.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t x) {
+  std::uint64_t z = h ^ (x + 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Length-prefixed string mix (distinguishes {"ab","c"} from {"a","bc"}).
+inline std::uint64_t hash_mix_str(std::uint64_t h, const std::string& s) {
+  h = hash_mix(h, s.size());
+  for (const char c : s) h = hash_mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace xsfq

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/batch_runner.hpp"
@@ -223,6 +225,206 @@ TEST(BatchRunner, ParseThreadCount) {
   EXPECT_FALSE(flow::parse_thread_count("4x").has_value());
   EXPECT_FALSE(flow::parse_thread_count("").has_value());
   EXPECT_FALSE(flow::parse_thread_count(nullptr).has_value());
+}
+
+TEST(Flow, OptimizeStageSurfacesSimCounters) {
+  flow::flow_options options;
+  options.opt.validate_passes = true;
+  options.opt.validate_rounds = 8;
+  const auto r = flow::run_flow("c432", options);
+  bool found = false;
+  for (const auto& t : r.timings) {
+    if (t.stage != "optimize") continue;
+    found = true;
+    EXPECT_GT(t.counters.sim_words, 0u);
+    EXPECT_GT(t.counters.sim_node_evals, 0u);
+  }
+  EXPECT_TRUE(found);
+  // Validation must not change the synthesis outcome.
+  const auto plain = flow::run_flow("c432");
+  EXPECT_EQ(r.optimized.num_gates(), plain.optimized.num_gates());
+  EXPECT_EQ(r.mapped.stats.jj, plain.mapped.stats.jj);
+}
+
+TEST(Flow, FingerprintSeparatesOptionSets) {
+  const flow::flow_options base;
+  EXPECT_EQ(flow::fingerprint(base), flow::fingerprint(flow::flow_options{}));
+  flow::flow_options polarity = base;
+  polarity.map.polarity = polarity_mode::direct_dual_rail;
+  EXPECT_NE(flow::fingerprint(base), flow::fingerprint(polarity));
+  flow::flow_options no_opt = base;
+  no_opt.run_optimize = false;
+  EXPECT_NE(flow::fingerprint(base), flow::fingerprint(no_opt));
+  flow::flow_options rounds = base;
+  rounds.opt.max_rounds = 2;
+  EXPECT_NE(flow::fingerprint(base), flow::fingerprint(rounds));
+  // Differing map options share the optimize-stage fingerprint.
+  EXPECT_EQ(flow::fingerprint(base.opt), flow::fingerprint(polarity.opt));
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, WorkStealingRebalancesSkewedJobs) {
+  flow::batch_runner runner(2);
+  // Round-robin submission parks jobs 0,2,4,6 on worker 0 and 1,3,5 on
+  // worker 1.  Job 0 blocks worker 0, so worker 1 must steal 2/4/6 from
+  // worker 0's deque to finish the batch.
+  std::vector<std::string> names;
+  std::vector<std::function<flow::flow_result()>> jobs;
+  for (int i = 0; i < 7; ++i) {
+    const std::string name = "job" + std::to_string(i);
+    names.push_back(name);
+    jobs.push_back([name, i] {
+      if (i == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      flow::flow_result r;
+      r.name = name;
+      return r;
+    });
+  }
+  const auto report = runner.run_jobs(names, std::move(jobs));
+  ASSERT_EQ(report.entries.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(report.entries[i].ok);
+    EXPECT_EQ(report.entries[i].name, "job" + std::to_string(i));
+    EXPECT_EQ(report.entries[i].result.name, report.entries[i].name);
+  }
+  EXPECT_GE(runner.steals(), 1u);
+}
+
+TEST(BatchRunner, StealingKeepsRealFlowsByteIdenticalToSingleThread) {
+  // Skewed sizes (c3540 first) force steals on the multi-threaded runner;
+  // every deterministic field must still match the 1-thread run.
+  const std::vector<std::string> names = {"c3540", "s27", "dec", "c432",
+                                          "int2float", "ctrl"};
+  flow::batch_runner single(1);
+  flow::batch_runner multi(3);
+  const auto a = single.run(names);
+  const auto b = multi.run(names);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(a.entries[i].ok && b.entries[i].ok);
+    EXPECT_EQ(a.entries[i].name, b.entries[i].name);
+    EXPECT_EQ(a.entries[i].result.optimized.num_gates(),
+              b.entries[i].result.optimized.num_gates());
+    EXPECT_EQ(a.entries[i].result.mapped.stats.jj,
+              b.entries[i].result.mapped.stats.jj);
+    EXPECT_EQ(a.entries[i].result.baseline.jj_without_clock,
+              b.entries[i].result.baseline.jj_without_clock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-run result cache.
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, ResultCacheServesRepeatedBatches) {
+  flow::batch_runner runner(2);
+  EXPECT_TRUE(runner.cache_enabled());
+  const auto names = small_suite();
+  const auto first = runner.run(names);
+  const auto after_first = runner.cache_stats();
+  EXPECT_EQ(after_first.full_hits, 0u);
+  EXPECT_EQ(after_first.full_misses, names.size());
+  EXPECT_EQ(after_first.opt_misses, names.size());
+
+  const auto second = runner.run(names);
+  const auto after_second = runner.cache_stats();
+  EXPECT_EQ(after_second.full_hits, names.size());
+  EXPECT_EQ(after_second.full_misses, names.size());
+
+  ASSERT_EQ(first.entries.size(), second.entries.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(second.entries[i].ok) << second.entries[i].error;
+    EXPECT_EQ(second.entries[i].result.name, names[i]);
+    EXPECT_EQ(first.entries[i].result.optimized.num_gates(),
+              second.entries[i].result.optimized.num_gates());
+    EXPECT_EQ(first.entries[i].result.mapped.stats.jj,
+              second.entries[i].result.mapped.stats.jj);
+    EXPECT_EQ(first.entries[i].result.baseline.jj_with_clock,
+              second.entries[i].result.baseline.jj_with_clock);
+    // Cached results keep the stage structure of a live run.
+    ASSERT_EQ(second.entries[i].result.timings.size(),
+              first.entries[i].result.timings.size());
+    EXPECT_EQ(second.entries[i].result.timings.front().stage, "generate");
+  }
+}
+
+TEST(BatchRunner, OptimizeCacheSharedAcrossMappingOptions) {
+  flow::batch_runner runner(1);  // sequential: hit counts are deterministic
+  std::vector<std::string> names = {"c432", "c432", "c432"};
+  std::vector<flow::flow_options> options(3);
+  options[0].map.polarity = polarity_mode::optimized;
+  options[1].map.polarity = polarity_mode::positive_outputs;
+  options[2].map.polarity = polarity_mode::direct_dual_rail;
+  for (auto& o : options) o.run_baseline = false;
+
+  const auto report = runner.run(names, options);
+  ASSERT_EQ(report.num_ok(), 3u);
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.full_misses, 3u);  // three distinct option fingerprints
+  EXPECT_EQ(stats.full_hits, 0u);
+  EXPECT_EQ(stats.opt_misses, 1u);  // optimized once...
+  EXPECT_EQ(stats.opt_hits, 2u);    // ...then reused for the other mappings
+
+  // Same optimized network, different mappings.
+  EXPECT_EQ(report.entries[0].result.optimized.num_gates(),
+            report.entries[1].result.optimized.num_gates());
+  EXPECT_NE(report.entries[0].result.mapped.stats.jj,
+            report.entries[2].result.mapped.stats.jj);
+}
+
+TEST(BatchRunner, CacheDisabledBypassesLookups) {
+  flow::batch_runner runner(1);
+  runner.set_cache_enabled(false);
+  EXPECT_FALSE(runner.cache_enabled());
+  const auto first = runner.run({"dec"});
+  const auto second = runner.run({"dec"});
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.full_hits + stats.full_misses, 0u);
+  EXPECT_EQ(stats.opt_hits + stats.opt_misses, 0u);
+  ASSERT_TRUE(first.entries[0].ok && second.entries[0].ok);
+  EXPECT_EQ(first.entries[0].result.mapped.stats.jj,
+            second.entries[0].result.mapped.stats.jj);
+}
+
+TEST(BatchRunner, CachedResultMatchesDirectFlow) {
+  flow::batch_runner runner(1);
+  (void)runner.run({"c499"});
+  const auto cached = runner.run({"c499"});  // served from the full cache
+  ASSERT_EQ(runner.cache_stats().full_hits, 1u);
+  const auto direct = flow::run_flow("c499");
+  const auto& r = cached.entries[0].result;
+  EXPECT_EQ(r.name, direct.name);
+  EXPECT_EQ(r.optimized.num_gates(), direct.optimized.num_gates());
+  EXPECT_EQ(r.optimized.depth(), direct.optimized.depth());
+  EXPECT_EQ(r.opt_stats.final_gates, direct.opt_stats.final_gates);
+  EXPECT_EQ(r.mapped.stats.jj, direct.mapped.stats.jj);
+  EXPECT_EQ(r.mapped.stats.splitters, direct.mapped.stats.splitters);
+  EXPECT_EQ(r.baseline.jj_without_clock, direct.baseline.jj_without_clock);
+  ASSERT_EQ(r.timings.size(), direct.timings.size());
+  for (std::size_t i = 0; i < r.timings.size(); ++i) {
+    EXPECT_EQ(r.timings[i].stage, direct.timings[i].stage);
+  }
+}
+
+TEST(BatchRunner, ClearCacheForgetsEntries) {
+  flow::batch_runner runner(1);
+  (void)runner.run({"dec"});
+  runner.clear_cache();
+  (void)runner.run({"dec"});
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.full_hits, 0u);
+  EXPECT_EQ(stats.full_misses, 2u);
+}
+
+TEST(BatchRunner, PerEntryOptionsSizeMismatchThrows) {
+  flow::batch_runner runner(1);
+  EXPECT_THROW(runner.run({"a", "b"}, std::vector<flow::flow_options>(1)),
+               std::invalid_argument);
 }
 
 TEST(BatchRunner, SummarizeAggregatesDeterministically) {

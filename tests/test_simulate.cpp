@@ -1,0 +1,316 @@
+/// Tests for the wide sim_engine and everything rebased onto it: parity of
+/// the W-lane plane against a scalar reference simulator on ISCAS85
+/// circuits, incremental (TFO-cone) resimulation, the engine-backed
+/// simulate64/compute_co_tables/equivalence entry points, per-pass
+/// validation in the opt_engine, and the aig content hash that keys the
+/// batch result cache.
+#include "aig/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "aig/sim_reference.hpp"
+#include "benchgen/registry.hpp"
+#include "opt/opt_engine.hpp"
+#include "opt/script.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq {
+namespace {
+
+aig tiny_adder() {
+  aig g;
+  const signal a = g.create_pi("a");
+  const signal b = g.create_pi("b");
+  const signal c = g.create_pi("cin");
+  g.create_po(g.create_xor(g.create_xor(a, b), c), "s");
+  g.create_po(g.create_maj(a, b, c), "cout");
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Wide plane parity.
+// ---------------------------------------------------------------------------
+
+TEST(SimEngine, WideLanesMatchScalarReferenceOnIscas85) {
+  for (const char* name : {"c432", "c880", "c1908"}) {
+    const aig g = benchgen::make_benchmark(name);
+    sim_engine engine(8);
+    engine.attach(g);
+    ASSERT_EQ(engine.width(), 8u);
+
+    rng gen(7);
+    std::vector<std::vector<std::uint64_t>> lane_patterns(
+        8, std::vector<std::uint64_t>(g.num_cis()));
+    for (std::size_t i = 0; i < g.num_cis(); ++i) {
+      const auto words = engine.ci_words(i);
+      for (unsigned lane = 0; lane < 8; ++lane) {
+        const std::uint64_t p = gen();
+        words[lane] = p;
+        lane_patterns[lane][i] = p;
+      }
+    }
+    engine.simulate();
+
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const auto ref = reference_simulate64(g, lane_patterns[lane]);
+      for (std::size_t i = 0; i < g.num_cos(); ++i) {
+        ASSERT_EQ(engine.co_word(i, lane), ref[i])
+            << name << " CO " << i << " lane " << lane;
+      }
+    }
+    const auto& counters = engine.counters();
+    EXPECT_EQ(counters.traversals, 1u);
+    EXPECT_EQ(counters.pattern_words, 8u);
+    EXPECT_EQ(counters.node_evals, g.num_gates() * 8u);
+  }
+}
+
+TEST(SimEngine, Simulate64MatchesReference) {
+  for (const char* name : {"c880", "s27", "dec"}) {
+    const aig g = benchgen::make_benchmark(name);
+    rng gen(21);
+    std::vector<std::uint64_t> patterns(g.num_cis());
+    for (int rep = 0; rep < 4; ++rep) {
+      for (auto& p : patterns) p = gen();
+      EXPECT_EQ(simulate64(g, patterns), reference_simulate64(g, patterns))
+          << name;
+    }
+  }
+}
+
+TEST(SimEngine, Simulate64RejectsPatternMismatch) {
+  const aig g = tiny_adder();
+  std::vector<std::uint64_t> too_few(2, 0);
+  EXPECT_THROW((void)simulate64(g, too_few), std::invalid_argument);
+}
+
+TEST(SimEngine, ComputeCoTablesMatchesReferenceSmallDomain) {
+  const aig g = tiny_adder();  // 3 CIs: single-word tables
+  EXPECT_EQ(compute_co_tables(g), reference_co_tables(g));
+}
+
+TEST(SimEngine, ComputeCoTablesMatchesReferenceWideDomain) {
+  const aig g = benchgen::make_benchmark("dec");  // 8 CIs: 4-word tables
+  ASSERT_GT(g.num_cis(), truth_table::small_vars);
+  EXPECT_EQ(compute_co_tables(g), reference_co_tables(g));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental resimulation.
+// ---------------------------------------------------------------------------
+
+TEST(SimEngine, IncrementalResimMatchesFullResim) {
+  const aig g = benchgen::make_benchmark("c880");
+  sim_engine incremental(8);
+  sim_engine full(8);
+  incremental.attach(g);
+  full.attach(g);
+
+  rng gen(13);
+  std::vector<std::vector<std::uint64_t>> patterns(
+      g.num_cis(), std::vector<std::uint64_t>(8));
+  for (std::size_t i = 0; i < g.num_cis(); ++i) {
+    for (auto& p : patterns[i]) p = gen();
+    std::copy(patterns[i].begin(), patterns[i].end(),
+              incremental.ci_words(i).begin());
+  }
+  incremental.simulate();
+
+  // Touch two inputs; only their fanout cones may be re-evaluated.
+  const std::uint64_t before_evals = incremental.counters().node_evals;
+  for (const std::size_t ci : {std::size_t{3}, std::size_t{17}}) {
+    for (auto& p : patterns[ci]) p = gen();
+    std::copy(patterns[ci].begin(), patterns[ci].end(),
+              incremental.ci_words(ci).begin());
+  }
+  incremental.resimulate();
+  EXPECT_GT(incremental.counters().node_evals_skipped, 0u);
+  EXPECT_LT(incremental.counters().node_evals - before_evals,
+            g.num_gates() * 8u);
+
+  for (std::size_t i = 0; i < g.num_cis(); ++i) {
+    std::copy(patterns[i].begin(), patterns[i].end(),
+              full.ci_words(i).begin());
+  }
+  full.simulate();
+  EXPECT_TRUE(incremental.co_equal(full));
+}
+
+TEST(SimEngine, ResimWithoutChangesDoesNoWork) {
+  const aig g = benchgen::make_benchmark("c432");
+  sim_engine engine(4);
+  engine.attach(g);
+  rng gen(3);
+  engine.randomize_inputs(gen);
+  engine.simulate();
+  const auto evals = engine.counters().node_evals;
+  engine.resimulate();  // no CI was written: nothing to do
+  EXPECT_EQ(engine.counters().node_evals, evals);
+}
+
+TEST(SimEngine, ResimBeforeFirstSweepFallsBackToFullSweep) {
+  const aig g = tiny_adder();
+  sim_engine engine(1);
+  engine.attach(g);
+  engine.ci_words(0)[0] = 0xF0F0;
+  engine.ci_words(1)[0] = 0xFF00;
+  engine.ci_words(2)[0] = 0xAAAA;
+  engine.resimulate();  // valid full sweep despite never calling simulate()
+  const std::vector<std::uint64_t> patterns = {0xF0F0, 0xFF00, 0xAAAA};
+  const auto ref = reference_simulate64(g, patterns);
+  EXPECT_EQ(engine.co_word(0, 0), ref[0]);
+  EXPECT_EQ(engine.co_word(1, 0), ref[1]);
+}
+
+TEST(SimEngine, IncrementalResimStaysEquivalentAfterRewriteSteps) {
+  const aig original = benchgen::make_benchmark("c432");
+  opt_engine opt;
+  aig previous = original;
+  for (const char* pass : {"b", "rw", "rf", "rwz"}) {
+    const aig next = opt.run_pass(previous, pass);
+
+    sim_engine sim_prev(8);
+    sim_engine sim_next(8);
+    sim_prev.attach(previous);
+    sim_next.attach(next);
+    rng gen(29);
+    for (std::size_t i = 0; i < previous.num_cis(); ++i) {
+      const auto wp = sim_prev.ci_words(i);
+      const auto wn = sim_next.ci_words(i);
+      for (unsigned lane = 0; lane < 8; ++lane) wp[lane] = wn[lane] = gen();
+    }
+    sim_prev.simulate();
+    sim_next.simulate();
+    ASSERT_TRUE(sim_prev.co_equal(sim_next)) << pass;
+
+    // Flip one input on both sides; the incremental cones must agree too.
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const std::uint64_t p = gen();
+      sim_prev.ci_words(0)[lane] = p;
+      sim_next.ci_words(0)[lane] = p;
+    }
+    sim_prev.resimulate();
+    sim_next.resimulate();
+    ASSERT_TRUE(sim_prev.co_equal(sim_next)) << pass << " (incremental)";
+    previous = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence entry points.
+// ---------------------------------------------------------------------------
+
+TEST(SimEngine, EquivalenceChecksStaySoundOnNonEquivalentNetworks) {
+  const aig adder = tiny_adder();
+  aig broken;  // same interface, cout computed as AND instead of MAJ
+  {
+    const signal a = broken.create_pi("a");
+    const signal b = broken.create_pi("b");
+    const signal c = broken.create_pi("cin");
+    broken.create_po(broken.create_xor(broken.create_xor(a, b), c), "s");
+    broken.create_po(broken.create_and(a, b), "cout");
+  }
+  EXPECT_FALSE(random_equivalent(adder, broken, 8, 3));
+  EXPECT_FALSE(exhaustive_equivalent(adder, broken));
+  EXPECT_TRUE(random_equivalent(adder, adder, 8, 3));
+  EXPECT_TRUE(exhaustive_equivalent(adder, adder));
+}
+
+TEST(SimEngine, ExhaustiveEquivalentOnWideDomain) {
+  const aig g = benchgen::make_benchmark("dec");  // > 6 CIs: multi-word plane
+  opt_engine opt;
+  const aig balanced = opt.run_pass(g, "b");
+  EXPECT_TRUE(exhaustive_equivalent(g, balanced));
+}
+
+TEST(SimEngine, EquivalenceCheckerRecyclesAcrossChecks) {
+  equivalence_checker checker;
+  const aig a = benchgen::make_benchmark("c432");
+  const aig b = benchgen::make_benchmark("c880");
+  EXPECT_TRUE(checker.check(a, a, 16, 1));
+  EXPECT_TRUE(checker.check(b, b, 16, 1));   // re-attach to a larger network
+  EXPECT_FALSE(checker.check(a, b, 16, 1));  // interface mismatch
+  EXPECT_GT(checker.counters().pattern_words, 0u);
+  EXPECT_GT(checker.counters().node_evals, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-pass validation in the opt engine.
+// ---------------------------------------------------------------------------
+
+TEST(OptEngineValidation, ValidatePassesChecksEveryPassAndKeepsResults) {
+  const aig g = benchgen::make_benchmark("c432");
+  optimize_params validated;
+  validated.validate_passes = true;
+  validated.validate_rounds = 8;
+  optimize_stats st;
+  const aig opt = optimize(g, validated, &st);
+  EXPECT_GT(st.work.equiv_checks, 0u);
+  EXPECT_GT(st.work.sim_words, 0u);
+  EXPECT_GT(st.work.sim_node_evals, 0u);
+  // 5 passes per round.
+  EXPECT_EQ(st.work.equiv_checks, st.work.passes);
+
+  optimize_stats st_plain;
+  const aig opt_plain = optimize(g, {}, &st_plain);
+  EXPECT_EQ(opt.num_gates(), opt_plain.num_gates());
+  EXPECT_EQ(opt.depth(), opt_plain.depth());
+  EXPECT_EQ(st_plain.work.equiv_checks, 0u);
+  EXPECT_EQ(st_plain.work.sim_words, 0u);
+}
+
+TEST(OptEngineValidation, VerifyPassThrowsOnBrokenEquivalence) {
+  const aig adder = tiny_adder();
+  aig broken;
+  {
+    const signal a = broken.create_pi("a");
+    const signal b = broken.create_pi("b");
+    const signal c = broken.create_pi("cin");
+    broken.create_po(broken.create_or(broken.create_xor(a, b), c), "s");
+    broken.create_po(broken.create_maj(a, b, c), "cout");
+  }
+  opt_engine engine;
+  EXPECT_THROW(engine.verify_pass(adder, broken, "rw", 8),
+               std::runtime_error);
+  EXPECT_NO_THROW(engine.verify_pass(adder, adder, "b", 8));
+  EXPECT_EQ(engine.counters().equiv_checks, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Content hash (the circuit half of the batch result-cache key).
+// ---------------------------------------------------------------------------
+
+TEST(ContentHash, EqualConstructionHashesEqual) {
+  const aig a = benchgen::make_benchmark("c432");
+  const aig b = benchgen::make_benchmark("c432");
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_NE(a.content_hash(), benchgen::make_benchmark("c880").content_hash());
+}
+
+TEST(ContentHash, SensitiveToStructureNamesAndOutputs) {
+  const aig base = tiny_adder();
+  aig extra_gate = base;
+  extra_gate.create_po(
+      extra_gate.create_and(extra_gate.pi(0), extra_gate.pi(2)), "t");
+  EXPECT_NE(base.content_hash(), extra_gate.content_hash());
+
+  aig renamed;  // same structure, different PI name
+  {
+    const signal a = renamed.create_pi("a");
+    const signal b = renamed.create_pi("b");
+    const signal c = renamed.create_pi("carry_in");
+    renamed.create_po(renamed.create_xor(renamed.create_xor(a, b), c), "s");
+    renamed.create_po(renamed.create_maj(a, b, c), "cout");
+  }
+  EXPECT_NE(base.content_hash(), renamed.content_hash());
+
+  aig flipped = base;  // same nodes, complemented PO
+  flipped.replace_po(0, !flipped.po_signal(0));
+  EXPECT_NE(base.content_hash(), flipped.content_hash());
+}
+
+}  // namespace
+}  // namespace xsfq
