@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,6 +21,9 @@
 #include "benchgen/registry.hpp"
 #include "flow/flow.hpp"
 #include "opt/opt_engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/synth_service.hpp"
 #include "util/rng.hpp"
 
 using namespace xsfq;
@@ -33,10 +37,75 @@ double ms_since(clock_type::time_point start) {
       .count();
 }
 
+/// End-to-end service latency through a real daemon (socket, protocol, and
+/// cache tiers included): one cold request, warm repeats against the live
+/// daemon's memory cache, and a disk-warm request against a restarted
+/// daemon whose only warmth is the persisted cache directory.
+struct service_latency {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double disk_warm_ms = 0.0;
+};
+
+service_latency measure_service(const std::string& circuit, int reps) {
+  char tmpl[] = "/tmp/xsfq_perf_serve_XXXXXX";
+  const char* created = mkdtemp(tmpl);
+  if (created == nullptr) {
+    std::cerr << "service benchmark: cannot create temp dir under /tmp\n";
+    std::exit(1);
+  }
+  const std::string dir = created;
+  serve::server_options options;
+  options.socket_path = dir + "/served.sock";
+  options.cache_dir = dir + "/cache";
+  options.threads = 2;
+  const serve::synth_request req = serve::make_request_for_spec(circuit);
+
+  service_latency lat;
+  {
+    serve::server srv(options);
+    serve::client cli(options.socket_path);
+    const auto cold_start = clock_type::now();
+    const auto cold = cli.submit(req);
+    lat.cold_ms = ms_since(cold_start);
+    if (!cold.ok) {
+      std::cerr << "service benchmark: cold request failed: " << cold.error
+                << "\n";
+      std::exit(1);
+    }
+    lat.warm_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto start = clock_type::now();
+      const auto warm = cli.submit(req);
+      lat.warm_ms = std::min(lat.warm_ms, ms_since(start));
+      if (!warm.ok || !warm.served_from_cache) {
+        std::cerr << "service benchmark: warm request missed the cache\n";
+        std::exit(1);
+      }
+    }
+    srv.stop();
+  }
+  {
+    serve::server srv(options);  // restart: cold memory, warm disk
+    serve::client cli(options.socket_path);
+    const auto start = clock_type::now();
+    const auto warm = cli.submit(req);
+    lat.disk_warm_ms = ms_since(start);
+    if (!warm.ok || !warm.served_from_cache) {
+      std::cerr << "service benchmark: disk-warm request missed the cache\n";
+      std::exit(1);
+    }
+    srv.stop();
+  }
+  std::filesystem::remove_all(dir);
+  return lat;
+}
+
 void write_json(const std::string& path, const std::string& circuit,
                 const flow::flow_result& flow_run, double scalar_mpps,
                 double wide_mpps, double requiv_ref_pps,
-                double requiv_new_pps, double skip_fraction) {
+                double requiv_new_pps, double skip_fraction,
+                const service_latency& service) {
   std::ofstream os(path);
   os << "{\n"
      << "  \"circuit\": \"" << circuit << "\",\n"
@@ -65,7 +134,16 @@ void write_json(const std::string& path, const std::string& circuit,
        << (i + 1 < flow_run.timings.size() ? "," : "") << "\n";
   }
   os << "  ],\n"
-     << "  \"flow_total_ms\": " << flow_run.total_ms << "\n"
+     << "  \"flow_total_ms\": " << flow_run.total_ms << ",\n"
+     << "  \"service\": {\n"
+     << "    \"cold_request_ms\": " << service.cold_ms << ",\n"
+     << "    \"warm_request_ms\": " << service.warm_ms << ",\n"
+     << "    \"disk_warm_request_ms\": " << service.disk_warm_ms << ",\n"
+     << "    \"warm_speedup\": " << (service.cold_ms / service.warm_ms)
+     << ",\n"
+     << "    \"disk_warm_speedup\": "
+     << (service.cold_ms / service.disk_warm_ms) << "\n"
+     << "  }\n"
      << "}\n";
 }
 
@@ -221,12 +299,29 @@ int main(int argc, char** argv) {
             << " incr_skip=" << skip_fraction << "\n";
 
   if (!json_path.empty()) {
+    // End-to-end service latency: cold vs warm-cache requests through a
+    // real daemon, including a restart that leaves only the disk tier warm.
+    const service_latency service = measure_service(circuit, reps);
+    std::cout << "\nservice request latency (" << circuit << "):\n"
+              << "  cold (full synthesis):    " << service.cold_ms << " ms\n"
+              << "  warm (memory cache):      " << service.warm_ms << " ms ("
+              << service.cold_ms / service.warm_ms << "x)\n"
+              << "  restart (disk cache):     " << service.disk_warm_ms
+              << " ms (" << service.cold_ms / service.disk_warm_ms << "x)\n";
+    std::cout << "\nPERF_SERVE circuit=" << circuit
+              << " cold_ms=" << service.cold_ms
+              << " warm_ms=" << service.warm_ms
+              << " disk_warm_ms=" << service.disk_warm_ms
+              << " warm_speedup=" << service.cold_ms / service.warm_ms
+              << " disk_warm_speedup="
+              << service.cold_ms / service.disk_warm_ms << "\n";
+
     // Stage timings with sim counters: one validated flow run.
     flow::flow_options options;
     options.opt.validate_passes = true;
     const auto flow_run = flow::run_flow(circuit, options);
     write_json(json_path, circuit, flow_run, scalar_mpps, wide_mpps,
-               requiv_ref_pps, requiv_new_pps, skip_fraction);
+               requiv_ref_pps, requiv_new_pps, skip_fraction, service);
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;

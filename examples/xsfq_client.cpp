@@ -1,0 +1,124 @@
+/// xsfq_client — CLI front end of the synthesis service.
+///
+///   xsfq_client [--socket=PATH] <circuit|file.bench|file.blif> [options]
+///   xsfq_client [--socket=PATH] --status | --cache-stats | --shutdown
+///
+/// Synthesis options mirror xsfq_synth exactly (--polarity, --pipeline,
+/// --registers, --verilog, --dot, --liberty, --validate, --timing,
+/// --no-timing, --progress), and the deterministic output is byte-identical
+/// to a local xsfq_synth run of the same circuit+options — both front ends
+/// render the same serve::synth_response.  The timing footer reports the
+/// daemon's wall clock for this request (suppress with --no-timing when
+/// diffing).  --progress streams the daemon's per-stage events to stderr as
+/// they happen, so stdout stays diffable.
+#include <iostream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/synth_service.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+void print_cache_stats(const serve::cache_stats_reply& reply) {
+  const auto& s = reply.stats;
+  std::cout << "full_hits=" << s.full_hits << " full_misses=" << s.full_misses
+            << " opt_hits=" << s.opt_hits << " opt_misses=" << s.opt_misses
+            << " disk_hits=" << s.disk_hits
+            << " disk_misses=" << s.disk_misses
+            << " disk_writes=" << s.disk_writes << " disk_dir="
+            << (reply.disk_directory.empty() ? "(disabled)"
+                                             : reply.disk_directory)
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = serve::default_socket_path;
+  std::string spec;
+  serve::synth_cli_options synth;  // shared parser with xsfq_synth
+  enum class action { synth, status, cache_stats, shutdown };
+  action act = action::synth;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string error;
+    switch (serve::parse_synth_option(arg, synth, error)) {
+      case serve::cli_parse::consumed:
+        continue;
+      case serve::cli_parse::invalid:
+        std::cerr << error << "\n";
+        return 2;
+      case serve::cli_parse::not_synth_option:
+        break;
+    }
+    if (auto v = serve::cli_value(arg, "--socket"); !v.empty()) {
+      socket_path = v;
+    } else if (arg == "--status") {
+      act = action::status;
+    } else if (arg == "--cache-stats") {
+      act = action::cache_stats;
+    } else if (arg == "--shutdown") {
+      act = action::shutdown;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else if (spec.empty()) {
+      spec = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (act == action::synth && spec.empty()) {
+    std::cerr << "usage: xsfq_client [--socket=PATH] "
+                 "<circuit|file.bench|file.blif> [options]\n"
+                 "       xsfq_client [--socket=PATH] --status | "
+                 "--cache-stats | --shutdown\n";
+    return 2;
+  }
+
+  try {
+    serve::client cli(socket_path);
+    switch (act) {
+      case action::status: {
+        const auto s = cli.status();
+        std::cout << "jobs_submitted=" << s.jobs_submitted
+                  << " jobs_completed=" << s.jobs_completed
+                  << " jobs_failed=" << s.jobs_failed
+                  << " active_connections=" << s.active_connections
+                  << " worker_threads=" << s.worker_threads
+                  << " steals=" << s.steals << " uptime_s=" << s.uptime_s
+                  << "\n";
+        return 0;
+      }
+      case action::cache_stats:
+        print_cache_stats(cli.cache_stats());
+        return 0;
+      case action::shutdown:
+        cli.shutdown_server();
+        std::cout << "daemon acknowledged shutdown\n";
+        return 0;
+      case action::synth:
+        break;
+    }
+
+    serve::synth_request req = serve::make_request_for_spec(spec);
+    serve::apply_cli_options(synth, req);
+    req.stream_progress = synth.progress;
+
+    const serve::synth_response resp =
+        cli.submit(req, serve::print_progress_event);
+    if (synth.progress && resp.served_from_cache) {
+      std::cerr << "(served from daemon cache)\n";
+    }
+    // The rendering IS xsfq_synth's: one shared printer, byte for byte.
+    return serve::render_synth_response(resp, synth);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

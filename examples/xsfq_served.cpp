@@ -1,0 +1,106 @@
+/// xsfq_served — the synthesis-as-a-service daemon.
+///
+///   xsfq_served [--socket=PATH] [--threads=N] [--cache-dir=DIR]
+///               [--max-disk-entries=N]
+///
+/// Owns one long-lived flow::batch_runner behind a Unix-domain socket
+/// speaking the serve protocol (src/serve/protocol.hpp): clients submit
+/// circuits, stream per-stage progress, and fetch results that are
+/// byte-identical to a local xsfq_synth run — while the daemon keeps every
+/// cache tier warm across requests and, with --cache-dir, across restarts.
+///
+/// Runs in the foreground (a supervisor or `&` backgrounds it).  SIGINT,
+/// SIGTERM, or a client `shutdown` request drain gracefully: in-flight
+/// requests finish and receive their responses, disk-cache writes land
+/// atomically, and the process exits 0.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "flow/batch_runner.hpp"
+#include "serve/server.hpp"
+#include "serve/synth_service.hpp"
+
+using namespace xsfq;
+
+int main(int argc, char** argv) {
+  serve::server_options options;
+  options.socket_path = serve::default_socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto v = serve::cli_value(arg, "--socket"); !v.empty()) {
+      options.socket_path = v;
+    } else if (auto v2 = serve::cli_value(arg, "--threads"); !v2.empty()) {
+      const auto n = flow::parse_thread_count(v2.c_str());
+      if (!n) {
+        std::cerr << "--threads expects 0..256, got: " << v2 << "\n";
+        return 2;
+      }
+      options.threads = *n;
+    } else if (auto v3 = serve::cli_value(arg, "--cache-dir"); !v3.empty()) {
+      options.cache_dir = v3;
+    } else if (auto v4 = serve::cli_value(arg, "--max-disk-entries");
+               !v4.empty()) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v4.c_str(), &end, 10);
+      if (end == v4.c_str() || *end != '\0') {
+        std::cerr << "--max-disk-entries expects a number (0 = unlimited), "
+                     "got: " << v4 << "\n";
+        return 2;
+      }
+      options.max_disk_entries = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "usage: xsfq_served [--socket=PATH] [--threads=N] "
+                   "[--cache-dir=DIR] [--max-disk-entries=N]\n";
+      return 2;
+    }
+  }
+
+  // Signals are consumed synchronously below; block them before any thread
+  // exists so every server/worker thread inherits the mask.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    serve::server srv(options);
+    std::cout << "xsfq_served: listening on " << options.socket_path << " ("
+              << srv.runner().num_threads() << " workers"
+              << (options.cache_dir.empty()
+                      ? std::string{}
+                      : ", disk cache " + options.cache_dir)
+              << ")\n"
+              << std::flush;
+
+    // Two wake sources, one drain: a client shutdown request re-raises
+    // SIGTERM so the main thread only ever waits in sigwait.
+    std::thread shutdown_waiter([&srv] {
+      srv.wait_shutdown_requested();
+      if (srv.shutdown_requested()) kill(getpid(), SIGTERM);
+    });
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::cout << "xsfq_served: "
+              << (srv.shutdown_requested() ? "shutdown requested"
+                                           : strsignal(sig))
+              << ", draining\n"
+              << std::flush;
+    srv.stop();
+    shutdown_waiter.join();
+    const auto status = srv.status();
+    std::cout << "xsfq_served: served " << status.jobs_completed << "/"
+              << status.jobs_submitted << " jobs, exiting\n";
+  } catch (const std::exception& e) {
+    std::cerr << "xsfq_served: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

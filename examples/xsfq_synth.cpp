@@ -2,8 +2,11 @@
 /// command of the paper's flow in one binary).
 ///
 ///   xsfq_synth <circuit> [options]
+///   xsfq_synth --corpus=DIR [options]
 ///     <circuit>          benchmark name (c880, dec, s298, ...) or a
 ///                        .bench / .blif file path
+///     --corpus=DIR       synthesize every .bench/.blif under DIR through
+///                        the parallel batch runner (summary table output)
 ///     --polarity=MODE    direct | positive | optimized   (default optimized)
 ///     --pipeline=K       architectural pipeline stages (combinational only)
 ///     --registers=STYLE  boundary | retimed              (default retimed)
@@ -15,36 +18,142 @@
 ///     --timing           also print per-stage counters as CSV (for perf
 ///                        tracking: ms, nodes, cuts, rewrites, arena bytes,
 ///                        sim words / node evaluations)
-#include <cstdlib>
-#include <fstream>
+///     --no-timing        suppress the wall-clock timing footer, leaving
+///                        only deterministic output (CI diffs local runs
+///                        against xsfq_client runs byte for byte)
+///     --cache-dir=DIR    disk-persistent result cache: repeated invocations
+///                        on the same circuit+options reuse prior results
+///     --threads=N        worker threads for --corpus (0 = hardware)
+///     --progress         stream per-stage progress to stderr
+///
+/// The synthesis itself runs through serve::run_synth — the exact driver the
+/// xsfq_served daemon executes — so a local run and a served run of the same
+/// circuit+options produce byte-identical deterministic output.
+///
+/// SIGINT/SIGTERM drain gracefully: in corpus mode, entries not yet started
+/// are skipped, in-flight entries finish (their disk-cache writes are
+/// synchronous and atomic), and the summary reports what completed.
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "benchgen/registry.hpp"
-#include "cells/cell_library.hpp"
-#include "core/xsfq_writer.hpp"
-#include "flow/flow.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/blif_io.hpp"
-#include "pulsesim/pulse_sim.hpp"
+#include "flow/batch_runner.hpp"
+#include "serve/synth_service.hpp"
 
 using namespace xsfq;
 
 namespace {
 
-aig load_circuit(const std::string& spec) {
-  if (spec.size() > 6 && spec.ends_with(".bench")) {
-    return read_bench_file(spec).to_aig();
-  }
-  if (spec.size() > 5 && spec.ends_with(".blif")) {
-    return read_blif_file(spec).to_aig();
-  }
-  return benchgen::make_benchmark(spec);
+// Lock-free atomic (not volatile sig_atomic_t): the handler runs on the
+// main thread but pool workers on other cores poll the flag to drain.
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+void signal_handler(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = signal_handler;
+  sa.sa_flags = SA_RESTART;  // keep in-flight IO running while we drain
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
-std::string option_value(const std::string& arg, const std::string& key) {
-  if (arg.rfind(key + "=", 0) == 0) return arg.substr(key.size() + 1);
-  return {};
+struct cli_options {
+  std::string spec;
+  std::string corpus_dir;
+  std::string cache_dir;
+  unsigned threads = 0;
+  serve::synth_cli_options synth;  ///< shared with xsfq_client
+};
+
+int run_corpus(const cli_options& cli) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& de : fs::directory_iterator(cli.corpus_dir)) {
+    const std::string ext = de.path().extension().string();
+    if (ext == ".bench" || ext == ".blif") {
+      files.push_back(de.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "corpus: no .bench/.blif files under " << cli.corpus_dir
+              << "\n";
+    return 2;
+  }
+
+  flow::batch_runner runner(cli.threads);
+  if (!cli.cache_dir.empty()) runner.set_disk_cache(cli.cache_dir);
+
+  flow::flow_options options;
+  options.map = cli.synth.map;
+  options.opt.validate_passes = cli.synth.validate;
+
+  // One enqueue per file: the corpus multiplexes onto the work-stealing
+  // pool exactly like concurrent service clients do.  Parsing happens
+  // inside the job, so a malformed file fails its own entry (and parsing
+  // parallelizes) instead of aborting the whole run.  Each job checks the
+  // signal flag on entry, so a SIGINT drains in-flight work and skips the
+  // rest instead of aborting mid-write.
+  std::vector<std::future<flow::flow_result>> futures;
+  futures.reserve(files.size());
+  for (const auto& file : files) {
+    futures.push_back(runner.enqueue_job([&runner, file, options] {
+      if (g_signal != 0) {
+        throw std::runtime_error("skipped: interrupted before start");
+      }
+      const serve::synth_request req = serve::make_request_for_spec(file);
+      return runner.run_cached(serve::load_request_circuit(req), file,
+                               options);
+    }));
+  }
+
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::cout << "circuit,gates,jj,savings,ms\n";
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    try {
+      const flow::flow_result r = futures[i].get();
+      const double savings =
+          r.mapped.stats.jj > 0
+              ? static_cast<double>(r.baseline.jj_without_clock) /
+                    static_cast<double>(r.mapped.stats.jj)
+              : 0.0;
+      std::cout << r.name << "," << r.optimized.num_gates() << ","
+                << r.mapped.stats.jj << "," << savings << "," << r.total_ms
+                << "\n";
+      ++completed;
+    } catch (const std::exception& e) {
+      const std::string what = e.what();
+      if (what.rfind("skipped:", 0) == 0) {
+        ++skipped;
+      } else {
+        std::cout << files[i] << ",error," << what << "\n";
+        ++failed;
+      }
+    }
+  }
+  std::cout << "corpus: " << completed << " completed, " << failed
+            << " failed, " << skipped << " skipped of " << files.size()
+            << " (threads " << runner.num_threads() << ")\n";
+  const auto stats = runner.cache_stats();
+  std::cout << "cache:  full " << stats.full_hits << "/"
+            << stats.full_hits + stats.full_misses << " hits, disk "
+            << stats.disk_hits << " hits " << stats.disk_writes
+            << " writes\n";
+  if (g_signal != 0) {
+    std::cout << "interrupted: drained in-flight entries and flushed the "
+                 "disk cache\n";
+    return 130;  // partial CSV must not read as a completed sweep
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -54,130 +163,80 @@ int main(int argc, char** argv) {
     std::cerr << "usage: xsfq_synth <circuit|file.bench|file.blif> "
                  "[--polarity=...] [--pipeline=K] [--registers=...]\n"
                  "                  [--verilog=F] [--dot=F] [--liberty=F] "
-                 "[--validate] [--timing]\n";
+                 "[--validate] [--timing] [--no-timing]\n"
+                 "                  [--cache-dir=DIR] [--progress]\n"
+                 "       xsfq_synth --corpus=DIR [--threads=N] [options]\n";
     return 2;
   }
-  const std::string spec = argv[1];
-  mapping_params params;
-  std::string verilog_path;
-  std::string dot_path;
-  std::string liberty_path;
-  bool validate = false;
-  bool print_timing_csv = false;
-
-  for (int i = 2; i < argc; ++i) {
+  cli_options cli;
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (auto v = option_value(arg, "--polarity"); !v.empty()) {
-      params.polarity = v == "direct" ? polarity_mode::direct_dual_rail
-                        : v == "positive" ? polarity_mode::positive_outputs
-                                          : polarity_mode::optimized;
-    } else if (auto v2 = option_value(arg, "--pipeline"); !v2.empty()) {
-      char* end = nullptr;
-      const unsigned long k = std::strtoul(v2.c_str(), &end, 10);
-      if (end == v2.c_str() || *end != '\0' || k > 64) {
-        std::cerr << "--pipeline expects a stage count 0..64, got: " << v2
-                  << "\n";
+    std::string error;
+    switch (serve::parse_synth_option(arg, cli.synth, error)) {
+      case serve::cli_parse::consumed:
+        continue;
+      case serve::cli_parse::invalid:
+        std::cerr << error << "\n";
+        return 2;
+      case serve::cli_parse::not_synth_option:
+        break;
+    }
+    if (auto v = serve::cli_value(arg, "--corpus"); !v.empty()) {
+      cli.corpus_dir = v;
+    } else if (auto v2 = serve::cli_value(arg, "--cache-dir"); !v2.empty()) {
+      cli.cache_dir = v2;
+    } else if (auto v3 = serve::cli_value(arg, "--threads"); !v3.empty()) {
+      const auto n = flow::parse_thread_count(v3.c_str());
+      if (!n) {
+        std::cerr << "--threads expects 0..256, got: " << v3 << "\n";
         return 2;
       }
-      params.pipeline_stages = static_cast<unsigned>(k);
-    } else if (auto v3 = option_value(arg, "--registers"); !v3.empty()) {
-      params.reg_style = v3 == "boundary" ? register_style::pair_boundary
-                                          : register_style::pair_retimed;
-    } else if (auto v4 = option_value(arg, "--verilog"); !v4.empty()) {
-      verilog_path = v4;
-    } else if (auto v5 = option_value(arg, "--dot"); !v5.empty()) {
-      dot_path = v5;
-    } else if (auto v6 = option_value(arg, "--liberty"); !v6.empty()) {
-      liberty_path = v6;
-    } else if (arg == "--validate") {
-      validate = true;
-    } else if (arg == "--timing") {
-      print_timing_csv = true;
-    } else {
+      cli.threads = *n;
+    } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else if (cli.spec.empty()) {
+      cli.spec = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
       return 2;
     }
   }
+  if (cli.spec.empty() == cli.corpus_dir.empty()) {
+    std::cerr << "expected exactly one of <circuit> or --corpus=DIR\n";
+    return 2;
+  }
+  if (!cli.corpus_dir.empty() &&
+      (!cli.synth.verilog_path.empty() || !cli.synth.dot_path.empty() ||
+       !cli.synth.liberty_path.empty() || cli.synth.progress)) {
+    // Rejecting beats silently dropping the user's request: corpus mode
+    // prints a summary table, not per-circuit artifacts (--validate is
+    // honored as per-pass sim checks inside every entry's optimize stage).
+    std::cerr << "--verilog/--dot/--liberty/--progress are not supported "
+                 "with --corpus\n";
+    return 2;
+  }
 
+  install_signal_handlers();
   try {
-    // The CLI is literally the paper flow: a load front end composed with
-    // the canned optimize -> map -> baseline pass manager from src/flow.
-    flow::flow synth("xsfq_synth");
-    synth.add_stage("load", [&spec](flow::flow_context& ctx) {
-      ctx.name = spec;
-      ctx.network = load_circuit(spec);
-      std::cout << "loaded " << spec << ": " << ctx.network.num_pis()
-                << " PI, " << ctx.network.num_pos() << " PO, "
-                << ctx.network.num_registers() << " FF, "
-                << ctx.network.num_gates() << " AIG nodes\n";
-    });
-    flow::flow_options options;
-    options.map = params;
-    // --validate also pins every optimize pass to its input with the wide
-    // sim engine (the pulse-level check below covers the mapping side).
-    options.opt.validate_passes = validate;
-    synth.add_stages(flow::make_synthesis_flow(options));
-    const auto r = synth.run();
+    if (!cli.corpus_dir.empty()) return run_corpus(cli);
 
-    const aig& opt = r.optimized;
-    const auto& mapped = r.mapped;
-    const auto& base = r.baseline;
-    std::cout << "optimized: " << r.opt_stats.initial_gates << " -> "
-              << r.opt_stats.final_gates << " nodes (depth "
-              << r.opt_stats.initial_depth << " -> "
-              << r.opt_stats.final_depth << ")\n";
-    std::cout << "mapped:    " << mapped.netlist.summary() << "\n";
-    std::cout << "baseline:  clocked RSFQ " << base.jj_without_clock << " JJ ("
-              << base.jj_with_clock << " with clock tree) -> savings "
-              << static_cast<double>(base.jj_without_clock) /
-                     static_cast<double>(mapped.stats.jj)
-              << "x\n";
-    std::cout << "timing:   ";
-    for (const auto& st : r.timings) {
-      std::cout << " " << st.stage << " " << st.ms << " ms";
-    }
-    std::cout << " (total " << r.total_ms << " ms)\n";
-    if (print_timing_csv) {
-      std::cout
-          << "stage,ms,nodes,cuts,replacements,arena_bytes,sim_words,"
-             "sim_node_evals\n";
-      for (const auto& st : r.timings) {
-        const auto& c = st.counters;
-        std::cout << st.stage << "," << st.ms << "," << c.nodes << ","
-                  << c.cuts << "," << c.replacements << "," << c.arena_bytes
-                  << "," << c.sim_words << "," << c.sim_node_evals << "\n";
-      }
-    }
+    // The CLI is literally the served flow: the same synth_request driver
+    // the daemon runs, on a process-local single-worker runner, rendered by
+    // the same response printer xsfq_client uses.
+    serve::synth_request req = serve::make_request_for_spec(cli.spec);
+    serve::apply_cli_options(cli.synth, req);
 
-    if (validate) {
-      const bool seq_retimed =
-          opt.num_registers() > 0 &&
-          params.reg_style == register_style::pair_retimed;
-      if (seq_retimed) {
-        std::cout << "validate:  (retimed sequential: structural checks only;"
-                     " use --registers=boundary for cycle-exact validation)\n";
-      } else {
-        const bool ok = pulse_simulator::equivalent_to_aig(opt, mapped, 32);
-        std::cout << "validate:  pulse-level equivalence "
-                  << (ok ? "PASS" : "FAIL") << "\n";
-        if (!ok) return 1;
-      }
-    }
-    if (!verilog_path.empty()) {
-      std::ofstream os(verilog_path);
-      write_xsfq_verilog(mapped, spec, os);
-      std::cout << "wrote " << verilog_path << "\n";
-    }
-    if (!dot_path.empty()) {
-      std::ofstream os(dot_path);
-      write_xsfq_dot(mapped, os);
-      std::cout << "wrote " << dot_path << "\n";
-    }
-    if (!liberty_path.empty()) {
-      std::ofstream os(liberty_path);
-      os << cell_library::sfq5ee().to_liberty("xsfq_sfq5ee");
-      std::cout << "wrote " << liberty_path << "\n";
-    }
+    flow::batch_runner runner(1);
+    if (!cli.cache_dir.empty()) runner.set_disk_cache(cli.cache_dir);
+
+    const auto progress = [&](const serve::progress_event& ev) {
+      if (cli.synth.progress) serve::print_progress_event(ev);
+    };
+    const serve::synth_response resp = serve::run_synth(req, runner, progress);
+    const int code = serve::render_synth_response(resp, cli.synth);
+    if (code != 0) return code;
+    if (g_signal != 0) return 130;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "benchgen/registry.hpp"
+#include "flow/disk_cache.hpp"
 #include "util/hash.hpp"
 
 namespace xsfq::flow {
@@ -101,7 +102,9 @@ struct batch_runner::impl {
   std::atomic<std::uint64_t> steal_count{0};
   bool shutting_down = false;
   std::vector<std::thread> workers;
-  std::size_t next_queue = 0;  ///< round-robin cursor (submitting thread only)
+  /// Round-robin cursor; atomic because enqueue() submits from arbitrary
+  /// threads concurrently (batch run() still submits from one thread).
+  std::atomic<std::size_t> next_queue{0};
 
   bool try_pop(std::size_t self, std::function<void()>& job) {
     {
@@ -152,8 +155,9 @@ struct batch_runner::impl {
   void submit(std::function<void()> job) {
     in_flight.fetch_add(1);
     {
-      worker_queue& q = *queues[next_queue];
-      next_queue = (next_queue + 1) % queues.size();
+      const std::size_t slot =
+          next_queue.fetch_add(1, std::memory_order_relaxed) % queues.size();
+      worker_queue& q = *queues[slot];
       std::lock_guard<std::mutex> lock(q.mutex);
       // Increment-then-push inside the queue lock: a pop (which holds the
       // same lock) always observes the increment before the job, so
@@ -211,6 +215,9 @@ struct batch_runner::impl {
   std::deque<cache_key> full_order;  ///< FIFO eviction
   std::unordered_map<cache_key, opt_future, cache_key_hash> opt_cache;
   std::deque<cache_key> opt_order;
+  /// Disk-persistent tier behind the in-memory full cache (set_disk_cache);
+  /// owns its own mutex, so lookups never hold cache_mutex across file IO.
+  std::unique_ptr<disk_result_cache> disk;
   /// Registry generators are deterministic for the process lifetime, so a
   /// benchmark's content hash is memoized: repeat full-cache hits skip the
   /// (re)generation entirely.  Bounded by the registry size.
@@ -227,15 +234,23 @@ struct batch_runner::impl {
     return it == full_cache.end() ? nullptr : it->second;
   }
 
-  void store_full(const cache_key& key, const flow_result& result) {
+  void store_full(const cache_key& key, const flow_result& result,
+                  bool persist) {
     auto entry = std::make_shared<const flow_result>(result);  // outside lock
-    std::lock_guard<std::mutex> lock(cache_mutex);
-    if (!full_cache.emplace(key, std::move(entry)).second) return;  // racer won
-    full_order.push_back(key);
-    if (full_order.size() > max_full_entries) {
-      full_cache.erase(full_order.front());
-      full_order.pop_front();
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      if (!full_cache.emplace(key, std::move(entry)).second) {
+        return;  // racer won; it also handled persistence
+      }
+      full_order.push_back(key);
+      if (full_order.size() > max_full_entries) {
+        full_cache.erase(full_order.front());
+        full_order.pop_front();
+      }
     }
+    // Disk writes happen outside cache_mutex (the disk tier has its own
+    // lock); entries loaded *from* disk pass persist=false.
+    if (persist && disk) disk->store(key.circuit, key.options, result);
   }
 
   /// Outcome of claiming an optimize-cache slot: a consumer gets the future
@@ -273,41 +288,41 @@ struct batch_runner::impl {
     }
   }
 
-  /// The canned paper flow for one entry, with both cache tiers applied.
-  flow_result run_cached_flow(const std::string& name,
-                              const flow_options& options) {
-    if (!cache_enabled.load(std::memory_order_relaxed)) {
-      return run_flow(name, options);
+  /// Materializes a cache hit: deep-copies, restores the caller's name,
+  /// charges this run's (re)generate cost, and replays the stage timings as
+  /// from_cache progress events.
+  flow_result finish_hit(const flow_result& cached, const std::string& name,
+                         double generate_ms, const stage_observer& observer) {
+    flow_result r = cached;  // deep copy outside the cache lock
+    r.name = name;
+    // Charge this run's (re)generate cost; downstream stage timings are
+    // the cached run's measurements.
+    if (!r.timings.empty() && r.timings.front().stage == "generate") {
+      r.total_ms += generate_ms - r.timings.front().ms;
+      r.timings.front().ms = generate_ms;
     }
-    using clock = std::chrono::steady_clock;
-    double generate_ms = 0.0;
-    std::optional<aig> network;
-    const auto generate = [&] {
-      const auto start = clock::now();
-      network = benchgen::make_benchmark(name);
-      const std::chrono::duration<double, std::milli> elapsed =
-          clock::now() - start;
-      generate_ms += elapsed.count();
-    };
-
-    std::uint64_t circuit_hash = 0;
-    bool have_hash = false;
-    {
-      std::lock_guard<std::mutex> lock(cache_mutex);
-      const auto it = hash_memo.find(name);
-      if (it != hash_memo.end()) {
-        circuit_hash = it->second;
-        have_hash = true;
+    if (observer) {
+      for (std::size_t i = 0; i < r.timings.size(); ++i) {
+        const stage_timing& t = r.timings[i];
+        observer({t.stage, i, r.timings.size(), t.ms, t.counters,
+                  /*from_cache=*/true});
       }
     }
-    if (!have_hash) {
-      generate();
-      circuit_hash = network->content_hash();
-      std::lock_guard<std::mutex> lock(cache_mutex);
-      hash_memo.emplace(name, circuit_hash);
-    }
+    return r;
+  }
 
-    // The benchmark name joins the circuit half of the key: name-derived
+  /// The canned paper flow for one entry with every cache tier applied:
+  /// in-memory full results, the disk-persistent tier, and the shared-future
+  /// optimize tier.  `network` may arrive empty for registry entries whose
+  /// content hash is memoized; `generate` then rebuilds it on demand.
+  flow_result run_cached_core(const std::string& name,
+                              std::uint64_t circuit_hash,
+                              const flow_options& options,
+                              std::optional<aig> network, double generate_ms,
+                              const std::function<aig()>& generate,
+                              const stage_observer& observer) {
+    using clock = std::chrono::steady_clock;
+    // The circuit name joins the circuit half of the key: name-derived
     // artifacts (result.name, the emit stage's default Verilog module
     // header) must never be served across two names that happen to
     // generate content-identical circuits.
@@ -315,18 +330,22 @@ struct batch_runner::impl {
                              fingerprint(options)};
     if (auto cached = lookup_full(full_key)) {
       full_hits.fetch_add(1, std::memory_order_relaxed);
-      flow_result r = *cached;  // deep copy outside the cache lock
-      r.name = name;
-      // Charge this run's (re)generate cost; downstream stage timings are
-      // the cached run's measurements.
-      if (!r.timings.empty() && r.timings.front().stage == "generate") {
-        r.total_ms += generate_ms - r.timings.front().ms;
-        r.timings.front().ms = generate_ms;
-      }
-      return r;
+      return finish_hit(*cached, name, generate_ms, observer);
     }
     full_misses.fetch_add(1, std::memory_order_relaxed);
-    if (!network) generate();  // hash came from the memo
+    if (disk) {
+      if (auto loaded = disk->load(full_key.circuit, full_key.options)) {
+        store_full(full_key, *loaded, /*persist=*/false);
+        return finish_hit(*loaded, name, generate_ms, observer);
+      }
+    }
+    if (!network) {  // hash came from the memo or the caller
+      const auto start = clock::now();
+      network = generate();
+      const std::chrono::duration<double, std::milli> elapsed =
+          clock::now() - start;
+      generate_ms += elapsed.count();
+    }
 
     flow f("synthesis");
     f.add_stage(stages::preset(std::move(*network), name));
@@ -367,13 +386,66 @@ struct batch_runner::impl {
 
     // The preset stage only copies the pre-built network; fold the actual
     // generation cost back into its timing slot.
-    flow_result result = f.run();
+    flow_result result = f.run(observer);
     if (!result.timings.empty() && result.timings.front().stage == "generate") {
       result.timings.front().ms += generate_ms;
       result.total_ms += generate_ms;
     }
-    store_full(full_key, result);
+    store_full(full_key, result, /*persist=*/true);
     return result;
+  }
+
+  /// Registry entry point: the benchmark generator is deterministic for the
+  /// process lifetime, so its content hash is memoized and repeat hits skip
+  /// the (re)generation entirely.
+  flow_result run_cached_flow(const std::string& name,
+                              const flow_options& options) {
+    if (!cache_enabled.load(std::memory_order_relaxed)) {
+      return run_flow(name, options);
+    }
+    using clock = std::chrono::steady_clock;
+    double generate_ms = 0.0;
+    std::optional<aig> network;
+
+    std::uint64_t circuit_hash = 0;
+    bool have_hash = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      const auto it = hash_memo.find(name);
+      if (it != hash_memo.end()) {
+        circuit_hash = it->second;
+        have_hash = true;
+      }
+    }
+    if (!have_hash) {
+      const auto start = clock::now();
+      network = benchgen::make_benchmark(name);
+      const std::chrono::duration<double, std::milli> elapsed =
+          clock::now() - start;
+      generate_ms += elapsed.count();
+      circuit_hash = network->content_hash();
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      hash_memo.emplace(name, circuit_hash);
+    }
+    return run_cached_core(
+        name, circuit_hash, options, std::move(network), generate_ms,
+        [&name] { return benchgen::make_benchmark(name); }, {});
+  }
+
+  /// Serving entry point: an already-built network (parsed from a request
+  /// payload or a corpus file) with optional per-stage progress streaming.
+  flow_result run_cached_network(aig network, const std::string& name,
+                                 const flow_options& options,
+                                 const stage_observer& observer) {
+    if (!cache_enabled.load(std::memory_order_relaxed)) {
+      flow f("synthesis");
+      f.add_stage(stages::preset(std::move(network), name));
+      f.add_stages(make_synthesis_flow(options));
+      return f.run(observer);
+    }
+    const std::uint64_t circuit_hash = network.content_hash();
+    return run_cached_core(name, circuit_hash, options, std::move(network),
+                           0.0, {}, observer);
   }
 };
 
@@ -421,7 +493,53 @@ batch_cache_stats batch_runner::cache_stats() const {
   s.full_misses = impl_->full_misses.load();
   s.opt_hits = impl_->opt_hits.load();
   s.opt_misses = impl_->opt_misses.load();
+  if (impl_->disk) {
+    const disk_cache_stats d = impl_->disk->stats();
+    s.disk_hits = d.hits;
+    s.disk_misses = d.misses;
+    s.disk_writes = d.writes;
+  }
   return s;
+}
+
+void batch_runner::set_disk_cache(const std::string& directory,
+                                  std::size_t max_entries) {
+  impl_->disk =
+      std::make_unique<disk_result_cache>(directory, max_entries);
+}
+
+std::string batch_runner::disk_cache_directory() const {
+  return impl_->disk ? impl_->disk->directory() : std::string{};
+}
+
+std::future<flow_result> batch_runner::enqueue(aig network, std::string name,
+                                               flow_options options,
+                                               stage_observer observer) {
+  auto task = std::make_shared<std::packaged_task<flow_result()>>(
+      [this, network = std::move(network), name = std::move(name),
+       options = std::move(options), observer = std::move(observer)]() mutable {
+        return impl_->run_cached_network(std::move(network), name, options,
+                                         observer);
+      });
+  std::future<flow_result> future = task->get_future();
+  impl_->submit([task] { (*task)(); });
+  return future;
+}
+
+flow_result batch_runner::run_cached(aig network, const std::string& name,
+                                     const flow_options& options,
+                                     const stage_observer& observer) {
+  return impl_->run_cached_network(std::move(network), name, options,
+                                   observer);
+}
+
+std::future<flow_result> batch_runner::enqueue_job(
+    std::function<flow_result()> job) {
+  auto task =
+      std::make_shared<std::packaged_task<flow_result()>>(std::move(job));
+  std::future<flow_result> future = task->get_future();
+  impl_->submit([task] { (*task)(); });
+  return future;
 }
 
 void batch_runner::clear_cache() {

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,20 +74,27 @@ struct batch_summary {
 
 batch_summary summarize(const batch_report& report);
 
-/// Cumulative result-cache counters of one batch_runner.
+/// Cumulative result-cache counters of one batch_runner.  The disk tier
+/// counters stay zero until set_disk_cache() enables persistence.
 struct batch_cache_stats {
-  std::uint64_t full_hits = 0;    ///< whole flow_results served from cache
+  std::uint64_t full_hits = 0;    ///< whole flow_results served from memory
   std::uint64_t full_misses = 0;
   std::uint64_t opt_hits = 0;     ///< optimized networks served from cache
   std::uint64_t opt_misses = 0;
+  std::uint64_t disk_hits = 0;    ///< flow_results loaded from the disk tier
+  std::uint64_t disk_misses = 0;  ///< disk lookups that found nothing usable
+  std::uint64_t disk_writes = 0;  ///< flow_results persisted to disk
 };
 
 /// Thread-pool flow executor.  Construct once, run many batches; worker
 /// threads, their deques, and the result cache persist across run() calls.
 /// One batch at a time: run() and run_jobs() must not be called concurrently
 /// from multiple threads on the same runner (in-flight accounting and
-/// wall-clock timing are per-runner, not per-call) — a serving front end
-/// should serialize batches or use one runner per caller.
+/// wall-clock timing are per-runner, not per-call).  A serving front end
+/// instead multiplexes through enqueue(), which is safe from any number of
+/// threads simultaneously and shares the worker pool and every cache tier
+/// with the batch entry points (mixing enqueue() with a concurrent run()
+/// works, but the batch's wall-clock then includes the service jobs).
 class batch_runner {
  public:
   /// \param num_threads worker count; 0 picks hardware_concurrency (min 1).
@@ -124,12 +132,45 @@ class batch_runner {
   batch_report run_jobs(std::vector<std::string> names,
                         std::vector<std::function<flow_result()>> jobs);
 
+  /// Submits ONE canned-flow job for an already-built network and returns
+  /// immediately; the flow runs on the worker pool with every cache tier
+  /// applied (memory, in-flight optimize dedup, disk).  Unlike the batch
+  /// run() entry points this is safe to call concurrently from any number
+  /// of threads — it is the serving front end's multiplexing primitive.
+  /// The observer (optional) streams per-stage progress from the executing
+  /// worker; cache hits replay the cached timings with from_cache=true.
+  std::future<flow_result> enqueue(aig network, std::string name,
+                                   flow_options options,
+                                   stage_observer observer = {});
+
+  /// Same submission path for an arbitrary job (bypasses the result cache).
+  std::future<flow_result> enqueue_job(std::function<flow_result()> job);
+
+  /// The cached canned flow executed inline on the *calling* thread (all
+  /// cache tiers applied).  For callers that already sit on a pool worker —
+  /// e.g. an enqueue_job() job that wants cache semantics after its own
+  /// preamble — where a nested enqueue().get() could self-deadlock.
+  flow_result run_cached(aig network, const std::string& name,
+                         const flow_options& options,
+                         const stage_observer& observer = {});
+
   /// The cross-run result cache is on by default; disabling it also clears
   /// nothing (re-enable to keep using prior entries).
   void set_cache_enabled(bool enabled);
   bool cache_enabled() const;
   batch_cache_stats cache_stats() const;
   void clear_cache();
+
+  /// Attaches the disk-persistent cache tier rooted at `directory` (created
+  /// if absent).  Full-result lookups that miss in memory then consult the
+  /// disk tier, and every freshly computed result is persisted atomically,
+  /// so warm results survive process restarts.  Call before serving traffic;
+  /// not thread-safe against in-flight jobs.  Throws std::runtime_error when
+  /// the directory cannot be created.
+  void set_disk_cache(const std::string& directory,
+                      std::size_t max_entries = 1024);
+  /// Directory of the disk tier, or empty when disabled.
+  std::string disk_cache_directory() const;
 
  private:
   struct impl;

@@ -1,0 +1,198 @@
+#include "flow/disk_cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "flow/result_io.hpp"
+
+namespace xsfq::flow {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t cache_magic = 0x43524658u;  // "XFRC" little-endian
+constexpr const char* entry_suffix = ".xfr";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+disk_result_cache::disk_result_cache(std::string directory,
+                                     std::size_t max_entries)
+    : directory_(std::move(directory)), max_entries_(max_entries) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec || !fs::is_directory(directory_)) {
+    throw std::runtime_error("disk_result_cache: cannot create directory " +
+                             directory_);
+  }
+  // Sweep temp files orphaned by a crashed writer (they never match the
+  // entry suffix, so pruning would skip them forever).  Only files at least
+  // an hour old: a sibling process may legitimately be mid-store right now.
+  // Iteration over a shared directory can itself throw (entries vanishing
+  // under a concurrent daemon); the sweep is best-effort like every other
+  // cache IO path.
+  try {
+    const auto cutoff =
+        fs::file_time_type::clock::now() - std::chrono::hours(1);
+    for (const auto& de : fs::directory_iterator(directory_, ec)) {
+      if (ec) break;
+      if (de.path().extension() == entry_suffix) {
+        ++entry_count_;  // seed the prune trigger with the existing entries
+        continue;
+      }
+      if (de.path().filename().string().find(".xfr.tmp.") ==
+          std::string::npos) {
+        continue;
+      }
+      std::error_code tec;
+      if (const auto mtime = fs::last_write_time(de.path(), tec);
+          !tec && mtime < cutoff) {
+        fs::remove(de.path(), tec);
+      }
+    }
+  } catch (const fs::filesystem_error&) {
+  }
+}
+
+std::string disk_result_cache::entry_path(std::uint64_t circuit_key,
+                                          std::uint64_t options_key) const {
+  return directory_ + "/" + hex16(circuit_key) + "-" + hex16(options_key) +
+         entry_suffix;
+}
+
+std::optional<flow_result> disk_result_cache::load(std::uint64_t circuit_key,
+                                                   std::uint64_t options_key) {
+  const std::string path = entry_path(circuit_key, options_key);
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    is.seekg(0, std::ios::end);
+    const auto size = is.tellg();
+    is.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(std::max<std::streamoff>(size, 0)));
+    is.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!is) bytes.clear();  // short read -> fail verification below
+  }
+  try {
+    byte_reader r(bytes);
+    if (r.u32() != cache_magic) throw serialize_error("bad magic");
+    if (r.u32() != format_version) throw serialize_error("format version");
+    if (r.u64() != circuit_key || r.u64() != options_key) {
+      throw serialize_error("key mismatch");
+    }
+    flow_result result = read_flow_result(r);
+    r.expect_done();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return result;
+  } catch (const serialize_error&) {
+    // Stale format or corruption: drop the file so it is rewritten fresh.
+    std::error_code ec;
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+void disk_result_cache::store(std::uint64_t circuit_key,
+                              std::uint64_t options_key,
+                              const flow_result& result) {
+  byte_writer w;
+  w.u32(cache_magic);
+  w.u32(format_version);
+  w.u64(circuit_key);
+  w.u64(options_key);
+  write_flow_result(w, result);
+
+  const std::string path = entry_path(circuit_key, options_key);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return;  // unwritable directory: stay a pure accelerator
+    os.write(reinterpret_cast<const char*>(w.data().data()),
+             static_cast<std::streamsize>(w.size()));
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  ++entry_count_;
+  // Rescanning the directory per store would make bulk ingestion O(N^2);
+  // the approximate count defers the scan until the cap is plausibly hit.
+  if (max_entries_ != 0 && entry_count_ > max_entries_) prune_locked();
+}
+
+void disk_result_cache::prune_locked() {
+  if (max_entries_ == 0) return;
+  struct entry {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<entry> entries;
+  // The ec iterator constructor does not cover increments, which can throw
+  // when a sibling daemon prunes the same directory concurrently; pruning
+  // must never turn a successful synthesis into a failed store().
+  try {
+    std::error_code ec;
+    for (const auto& de : fs::directory_iterator(directory_, ec)) {
+      if (ec) return;
+      if (de.path().extension() != entry_suffix) continue;
+      std::error_code tec;
+      const auto mtime = fs::last_write_time(de.path(), tec);
+      if (tec) continue;
+      entries.push_back({de.path(), mtime});
+    }
+  } catch (const fs::filesystem_error&) {
+    return;
+  }
+  entry_count_ = entries.size();  // re-synchronize the approximate count
+  if (entries.size() <= max_entries_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const entry& a, const entry& b) { return a.mtime < b.mtime; });
+  const std::size_t excess = entries.size() - max_entries_;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code rec;
+    if (fs::remove(entries[i].path, rec)) {
+      ++stats_.evictions;
+      --entry_count_;
+    }
+  }
+}
+
+disk_cache_stats disk_result_cache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace xsfq::flow

@@ -1,0 +1,77 @@
+#pragma once
+/// \file disk_cache.hpp
+/// \brief Disk-persistent tier of the batch_runner result cache.
+///
+/// One directory holds one file per cached flow_result, named by the cache
+/// key (`<circuit-hex>-<options-hex>.xfr`).  The format is versioned and
+/// self-checking: a magic tag, the format version, the key the entry was
+/// stored under, and the serialized result (whose embedded AIG content hash
+/// is re-verified on load).  Any mismatch — wrong version after an upgrade,
+/// truncation from a crashed writer that somehow survived the atomic rename,
+/// plain corruption — reads as a miss and the offending file is removed.
+///
+/// Writes go to a `.tmp.<pid>` sibling and are renamed into place, so a
+/// reader never observes a half-written entry and concurrent daemons sharing
+/// a directory at worst overwrite each other with identical bytes.  Eviction
+/// is by file modification time: when the entry count exceeds the cap after
+/// a store, the oldest entries are pruned.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "flow/flow.hpp"
+
+namespace xsfq::flow {
+
+struct disk_cache_stats {
+  std::uint64_t hits = 0;       ///< entries loaded and verified
+  std::uint64_t misses = 0;     ///< absent, stale-version, or corrupt entries
+  std::uint64_t writes = 0;     ///< entries persisted
+  std::uint64_t evictions = 0;  ///< entries pruned by the size cap
+};
+
+class disk_result_cache {
+ public:
+  /// Current on-disk format.  Bump whenever the serialized layout of
+  /// flow_result (result_io.cpp) changes; older entries then read as misses.
+  static constexpr std::uint32_t format_version = 1;
+
+  /// Creates the directory if needed.  Throws std::runtime_error when the
+  /// directory cannot be created or is not writable.
+  explicit disk_result_cache(std::string directory,
+                             std::size_t max_entries = 1024);
+
+  /// Loads and verifies the entry for (circuit_key, options_key); nullopt on
+  /// any miss.  Thread-safe.
+  std::optional<flow_result> load(std::uint64_t circuit_key,
+                                  std::uint64_t options_key);
+
+  /// Persists `result` under the key (atomic rename; prunes over-cap
+  /// entries).  IO errors are swallowed — the cache is an accelerator, never
+  /// a correctness dependency.  Thread-safe.
+  void store(std::uint64_t circuit_key, std::uint64_t options_key,
+             const flow_result& result);
+
+  disk_cache_stats stats() const;
+  const std::string& directory() const { return directory_; }
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  std::string entry_path(std::uint64_t circuit_key,
+                         std::uint64_t options_key) const;
+  void prune_locked();
+
+  std::string directory_;
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  disk_cache_stats stats_;
+  /// Approximate .xfr count (exact after every prune scan); overwrites of
+  /// an existing key may overcount, which only causes an early prune scan
+  /// that re-synchronizes it.  Keeps store() from rescanning the directory
+  /// until the cap is plausibly exceeded.
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace xsfq::flow

@@ -33,20 +33,25 @@ flow& flow::add_stages(const flow& other) {
   return *this;
 }
 
-flow_result flow::run() const { return run_context(flow_context{}); }
+flow_result flow::run(const stage_observer& observer) const {
+  return run_context(flow_context{}, observer);
+}
 
-flow_result flow::run_on(const aig& network, std::string circuit_name) const {
+flow_result flow::run_on(const aig& network, std::string circuit_name,
+                         const stage_observer& observer) const {
   flow_context ctx;
   ctx.network = network;
   ctx.name = std::move(circuit_name);
-  return run_context(std::move(ctx));
+  return run_context(std::move(ctx), observer);
 }
 
-flow_result flow::run_context(flow_context ctx) const {
+flow_result flow::run_context(flow_context ctx,
+                              const stage_observer& observer) const {
   using clock = std::chrono::steady_clock;
   flow_result result;
   const auto flow_start = clock::now();
-  for (const auto& s : stages_) {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const auto& s = stages_[i];
     const auto stage_start = clock::now();
     ctx.counters = {};
     s.run(ctx);
@@ -54,6 +59,10 @@ flow_result flow::run_context(flow_context ctx) const {
         clock::now() - stage_start;
     ctx.counters.nodes = ctx.network.num_gates();
     result.timings.push_back({s.name, elapsed.count(), ctx.counters});
+    if (observer) {
+      observer({s.name, i, stages_.size(), elapsed.count(), ctx.counters,
+                /*from_cache=*/false});
+    }
   }
   const std::chrono::duration<double, std::milli> total =
       clock::now() - flow_start;

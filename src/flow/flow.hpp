@@ -64,6 +64,25 @@ struct stage_timing {
   stage_counters counters;
 };
 
+/// One per-stage progress notification, emitted as soon as the stage
+/// finishes.  The serving front end (src/serve) streams these to clients;
+/// `from_cache` marks events replayed from a cached flow_result's timings
+/// instead of a live stage execution.
+struct stage_event {
+  std::string stage;
+  std::size_t index = 0;  ///< 0-based position within the flow
+  std::size_t total = 0;  ///< stages the flow will run in total
+  double ms = 0.0;
+  stage_counters counters;
+  bool from_cache = false;
+};
+
+/// Called after every completed stage; empty observers are skipped.  The
+/// observer runs on whichever thread executes the flow (a batch_runner
+/// worker, under enqueue()), so it must be safe to call off the submitting
+/// thread.  Observer exceptions propagate and fail the flow.
+using stage_observer = std::function<void(const stage_event&)>;
+
 /// Everything one flow run produced.  Field names mirror the old
 /// bench_common `flow_record` so table binaries read naturally:
 /// `r.mapped.stats.jj`, `r.baseline.jj_without_clock`, ...
@@ -106,15 +125,18 @@ class flow {
   const std::vector<stage>& stages() const { return stages_; }
 
   /// Runs every stage in order over a fresh context and reports the result.
-  /// Stage exceptions propagate to the caller.
-  flow_result run() const;
+  /// Stage exceptions propagate to the caller.  The observer, when given,
+  /// receives one stage_event per completed stage.
+  flow_result run(const stage_observer& observer = {}) const;
 
   /// Same, but seeds the context with an existing network (for flows whose
   /// first stage is not a generate/parse stage).
-  flow_result run_on(const aig& network, std::string circuit_name) const;
+  flow_result run_on(const aig& network, std::string circuit_name,
+                     const stage_observer& observer = {}) const;
 
  private:
-  flow_result run_context(flow_context ctx) const;
+  flow_result run_context(flow_context ctx,
+                          const stage_observer& observer) const;
 
   std::string name_;
   std::vector<stage> stages_;

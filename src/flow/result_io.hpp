@@ -1,0 +1,43 @@
+#pragma once
+/// \file result_io.hpp
+/// \brief Binary (de)serialization of flow results and their constituents.
+///
+/// The value side of the disk-persistent result cache and of the serve wire
+/// protocol: an entire `flow_result` — optimized AIG, mapped xSFQ netlist,
+/// optimize/baseline stats, per-stage timings — round-trips through the
+/// little-endian codec in util/serialize.hpp.
+///
+/// The AIG is stored as its construction replay: CIs and gates in node-array
+/// order (the array is topologically sorted by construction), then COs and
+/// register wiring.  Replaying `create_and` on a strashed network recreates
+/// every node at its original index — the strash table and the trivial-case
+/// simplifier see exactly the prefix they saw during the original
+/// construction — and `read_aig` verifies that invariant node by node, plus
+/// the full `content_hash` at the end, so a corrupted or stale entry decodes
+/// into `serialize_error`, never into a silently different network.
+
+#include "aig/aig.hpp"
+#include "flow/flow.hpp"
+#include "util/serialize.hpp"
+
+namespace xsfq::flow {
+
+void write_aig(byte_writer& w, const aig& network);
+[[nodiscard]] aig read_aig(byte_reader& r);
+
+void write_flow_result(byte_writer& w, const flow_result& result);
+[[nodiscard]] flow_result read_flow_result(byte_reader& r);
+
+void write_stage_timings(byte_writer& w,
+                         const std::vector<stage_timing>& timings);
+[[nodiscard]] std::vector<stage_timing> read_stage_timings(byte_reader& r);
+
+/// Shared with the serve protocol's progress events — one field list for
+/// stage_counters on disk and on the wire.
+void write_stage_counters(byte_writer& w, const stage_counters& c);
+[[nodiscard]] stage_counters read_stage_counters(byte_reader& r);
+
+void write_mapping_result(byte_writer& w, const mapping_result& mapped);
+[[nodiscard]] mapping_result read_mapping_result(byte_reader& r);
+
+}  // namespace xsfq::flow

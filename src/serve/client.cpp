@@ -1,0 +1,101 @@
+#include "serve/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace xsfq::serve {
+
+client::client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket failed: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = "serve: cannot connect to daemon at " +
+                             socket_path + ": " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(what);
+  }
+}
+
+client::~client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+frame client::roundtrip(msg_type request,
+                        std::span<const std::uint8_t> payload,
+                        msg_type expected) {
+  write_frame_fd(fd_, request, payload);
+  std::optional<frame> f = read_frame_fd(fd_);
+  if (!f) throw protocol_error("daemon closed the connection");
+  if (f->type == msg_type::error) {
+    throw protocol_error("daemon error: " + decode_error(f->payload));
+  }
+  if (f->type != expected) {
+    throw protocol_error("unexpected response type " +
+                         std::to_string(static_cast<unsigned>(f->type)));
+  }
+  return *std::move(f);
+}
+
+synth_response client::submit(const synth_request& req,
+                              const progress_fn& progress) {
+  write_frame_fd(fd_, msg_type::submit, encode_synth_request(req));
+  for (;;) {
+    std::optional<frame> f = read_frame_fd(fd_);
+    if (!f) throw protocol_error("daemon closed the connection mid-request");
+    switch (f->type) {
+      case msg_type::progress:
+        if (progress) progress(decode_progress_event(f->payload));
+        break;
+      case msg_type::result:
+        return decode_synth_response(f->payload);
+      case msg_type::error:
+        throw protocol_error("daemon error: " + decode_error(f->payload));
+      default:
+        throw protocol_error("unexpected frame type " +
+                             std::to_string(static_cast<unsigned>(f->type)));
+    }
+  }
+}
+
+server_status client::status() {
+  const frame f = roundtrip(msg_type::status, {}, msg_type::status_ok);
+  return decode_server_status(f.payload);
+}
+
+cache_stats_reply client::cache_stats() {
+  const frame f =
+      roundtrip(msg_type::cache_stats, {}, msg_type::cache_stats_ok);
+  return decode_cache_stats(f.payload);
+}
+
+void client::shutdown_server() {
+  roundtrip(msg_type::shutdown, {}, msg_type::shutdown_ok);
+}
+
+bool client::ping() {
+  try {
+    roundtrip(msg_type::ping, {}, msg_type::pong);
+    return true;
+  } catch (const protocol_error&) {
+    return false;
+  }
+}
+
+}  // namespace xsfq::serve

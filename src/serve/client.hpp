@@ -1,0 +1,49 @@
+#pragma once
+/// \file client.hpp
+/// \brief Client side of the serve protocol (xsfq_client's engine).
+///
+/// One `client` is one connection to a running xsfq_served daemon.  Requests
+/// are synchronous: submit() writes the request frame and consumes response
+/// frames — streamed progress events first, when requested — until the
+/// terminal result arrives.  A server-reported failure comes back as
+/// synth_response{ok=false}; transport and framing failures throw
+/// protocol_error.
+
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace xsfq::serve {
+
+class client {
+ public:
+  /// Connects to the daemon's Unix socket.  Throws std::runtime_error when
+  /// the daemon is not reachable at `socket_path`.
+  explicit client(const std::string& socket_path);
+  ~client();
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  using progress_fn = std::function<void(const progress_event&)>;
+
+  /// Runs one synthesis request on the daemon.  When req.stream_progress is
+  /// set, `progress` receives every streamed per-stage event before the
+  /// response returns.
+  synth_response submit(const synth_request& req,
+                        const progress_fn& progress = {});
+
+  server_status status();
+  cache_stats_reply cache_stats();
+  /// Asks the daemon to drain and exit; returns once it acknowledged.
+  void shutdown_server();
+  bool ping();
+
+ private:
+  frame roundtrip(msg_type request, std::span<const std::uint8_t> payload,
+                  msg_type expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace xsfq::serve

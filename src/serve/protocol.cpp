@@ -1,0 +1,297 @@
+#include "serve/protocol.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "flow/result_io.hpp"
+
+namespace xsfq::serve {
+
+namespace {
+
+constexpr std::size_t header_bytes = 6;  // u32 len + u8 version + u8 type
+
+void write_mapping_params(byte_writer& w, const mapping_params& params) {
+  w.u8(static_cast<std::uint8_t>(params.polarity));
+  w.u32(params.pipeline_stages);
+  w.u8(static_cast<std::uint8_t>(params.reg_style));
+  w.boolean(params.forced_polarities.has_value());
+  if (params.forced_polarities) {
+    w.u64(params.forced_polarities->size());
+    for (const bool negate : *params.forced_polarities) w.boolean(negate);
+  }
+}
+
+mapping_params read_mapping_params(byte_reader& r) {
+  mapping_params params;
+  const std::uint8_t polarity = r.u8();
+  if (polarity > static_cast<std::uint8_t>(polarity_mode::optimized)) {
+    throw serialize_error("polarity mode out of range");
+  }
+  params.polarity = static_cast<polarity_mode>(polarity);
+  params.pipeline_stages = r.u32();
+  // Same cap the CLIs enforce; a long-lived daemon must not run the mapper
+  // with an absurd rank count from one hand-crafted frame.
+  if (params.pipeline_stages > 64) {
+    throw serialize_error("pipeline stage count out of range");
+  }
+  const std::uint8_t style = r.u8();
+  if (style > static_cast<std::uint8_t>(register_style::pair_retimed)) {
+    throw serialize_error("register style out of range");
+  }
+  params.reg_style = static_cast<register_style>(style);
+  if (r.boolean()) {
+    const std::size_t n = r.count(/*min_element_bytes=*/1);
+    std::vector<bool> forced(n);
+    for (std::size_t i = 0; i < n; ++i) forced[i] = r.boolean();
+    params.forced_polarities = std::move(forced);
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(msg_type type,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > max_frame_payload) {
+    throw protocol_error("payload exceeds max frame size");
+  }
+  byte_writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u8(protocol_version);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+std::optional<frame> read_frame(const read_fn& read) {
+  std::uint8_t header[header_bytes];
+  std::size_t got = 0;
+  while (got < header_bytes) {
+    const std::size_t n = read(header + got, header_bytes - got);
+    if (n == 0) {
+      if (got == 0) return std::nullopt;  // clean end-of-stream
+      throw protocol_error("truncated frame header");
+    }
+    got += n;
+  }
+  byte_reader hr(std::span<const std::uint8_t>(header, header_bytes));
+  const std::uint32_t len = hr.u32();
+  const std::uint8_t version = hr.u8();
+  const std::uint8_t type = hr.u8();
+  if (version != protocol_version) {
+    throw protocol_error("unsupported protocol version " +
+                         std::to_string(version));
+  }
+  if (len > max_frame_payload) {
+    throw protocol_error("oversized frame (" + std::to_string(len) +
+                         " bytes)");
+  }
+  frame f;
+  f.type = static_cast<msg_type>(type);
+  f.payload.resize(len);
+  std::size_t read_total = 0;
+  while (read_total < len) {
+    const std::size_t n =
+        read(f.payload.data() + read_total, len - read_total);
+    if (n == 0) throw protocol_error("truncated frame payload");
+    read_total += n;
+  }
+  return f;
+}
+
+std::optional<frame> read_frame_fd(int fd) {
+  return read_frame([fd](void* dst, std::size_t n) -> std::size_t {
+    for (;;) {
+      const ssize_t got = ::read(fd, dst, n);
+      if (got >= 0) return static_cast<std::size_t>(got);
+      if (errno == EINTR) continue;
+      throw protocol_error(std::string("read failed: ") +
+                           std::strerror(errno));
+    }
+  });
+}
+
+void write_frame_fd(int fd, msg_type type,
+                    std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that disappeared mid-response must surface as a
+    // protocol_error on this connection, not as SIGPIPE for the process.
+    const ssize_t n = ::send(fd, bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw protocol_error(std::string("write failed: ") +
+                           std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_synth_request(const synth_request& req) {
+  byte_writer w;
+  w.str(req.spec);
+  w.u8(static_cast<std::uint8_t>(req.source));
+  w.str(req.source_text);
+  w.str(req.model);
+  write_mapping_params(w, req.map);
+  w.boolean(req.validate);
+  w.boolean(req.want_verilog);
+  w.boolean(req.want_dot);
+  w.boolean(req.stream_progress);
+  return w.take();
+}
+
+synth_request decode_synth_request(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  synth_request req;
+  req.spec = r.str();
+  const std::uint8_t source = r.u8();
+  if (source > static_cast<std::uint8_t>(circuit_source::blif_text)) {
+    throw serialize_error("circuit source out of range");
+  }
+  req.source = static_cast<circuit_source>(source);
+  req.source_text = r.str();
+  req.model = r.str();
+  req.map = read_mapping_params(r);
+  req.validate = r.boolean();
+  req.want_verilog = r.boolean();
+  req.want_dot = r.boolean();
+  req.stream_progress = r.boolean();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_progress_event(const progress_event& ev) {
+  byte_writer w;
+  w.str(ev.stage);
+  w.u32(ev.index);
+  w.u32(ev.total);
+  w.f64(ev.ms);
+  flow::write_stage_counters(w, ev.counters);
+  w.boolean(ev.from_cache);
+  return w.take();
+}
+
+progress_event decode_progress_event(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  progress_event ev;
+  ev.stage = r.str();
+  ev.index = r.u32();
+  ev.total = r.u32();
+  ev.ms = r.f64();
+  ev.counters = flow::read_stage_counters(r);
+  ev.from_cache = r.boolean();
+  r.expect_done();
+  return ev;
+}
+
+std::vector<std::uint8_t> encode_synth_response(const synth_response& resp) {
+  byte_writer w;
+  w.boolean(resp.ok);
+  w.str(resp.error);
+  w.str(resp.report);
+  w.str(resp.validate_report);
+  w.boolean(resp.validate_ok);
+  w.str(resp.verilog);
+  w.str(resp.dot);
+  flow::write_stage_timings(w, resp.timings);
+  w.f64(resp.total_ms);
+  w.boolean(resp.served_from_cache);
+  return w.take();
+}
+
+synth_response decode_synth_response(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  synth_response resp;
+  resp.ok = r.boolean();
+  resp.error = r.str();
+  resp.report = r.str();
+  resp.validate_report = r.str();
+  resp.validate_ok = r.boolean();
+  resp.verilog = r.str();
+  resp.dot = r.str();
+  resp.timings = flow::read_stage_timings(r);
+  resp.total_ms = r.f64();
+  resp.served_from_cache = r.boolean();
+  r.expect_done();
+  return resp;
+}
+
+std::vector<std::uint8_t> encode_server_status(const server_status& status) {
+  byte_writer w;
+  w.u64(status.jobs_submitted);
+  w.u64(status.jobs_completed);
+  w.u64(status.jobs_failed);
+  w.u64(status.active_connections);
+  w.u32(status.worker_threads);
+  w.u64(status.steals);
+  w.f64(status.uptime_s);
+  return w.take();
+}
+
+server_status decode_server_status(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  server_status status;
+  status.jobs_submitted = r.u64();
+  status.jobs_completed = r.u64();
+  status.jobs_failed = r.u64();
+  status.active_connections = r.u64();
+  status.worker_threads = r.u32();
+  status.steals = r.u64();
+  status.uptime_s = r.f64();
+  r.expect_done();
+  return status;
+}
+
+std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply) {
+  byte_writer w;
+  w.u64(reply.stats.full_hits);
+  w.u64(reply.stats.full_misses);
+  w.u64(reply.stats.opt_hits);
+  w.u64(reply.stats.opt_misses);
+  w.u64(reply.stats.disk_hits);
+  w.u64(reply.stats.disk_misses);
+  w.u64(reply.stats.disk_writes);
+  w.str(reply.disk_directory);
+  return w.take();
+}
+
+cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  cache_stats_reply reply;
+  reply.stats.full_hits = r.u64();
+  reply.stats.full_misses = r.u64();
+  reply.stats.opt_hits = r.u64();
+  reply.stats.opt_misses = r.u64();
+  reply.stats.disk_hits = r.u64();
+  reply.stats.disk_misses = r.u64();
+  reply.stats.disk_writes = r.u64();
+  reply.disk_directory = r.str();
+  r.expect_done();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  byte_writer w;
+  w.str(message);
+  return w.take();
+}
+
+std::string decode_error(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  std::string message = r.str();
+  r.expect_done();
+  return message;
+}
+
+}  // namespace xsfq::serve

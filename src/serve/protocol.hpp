@@ -1,0 +1,175 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire protocol of the synthesis service (xsfq_served / xsfq_client).
+///
+/// A connection carries a sequence of length-prefixed frames over a
+/// Unix-domain stream socket:
+///
+///   [u32 payload_len][u8 version][u8 msg_type][payload bytes...]
+///
+/// all little-endian (the codec in util/serialize.hpp).  A client sends one
+/// request frame and reads response frames until the terminal one: `submit`
+/// yields zero or more `progress` frames (when streaming was requested)
+/// followed by exactly one `result` or `error`; every other request yields
+/// exactly one response frame.  Framing violations — version mismatch,
+/// payload over `max_frame_payload`, truncation mid-frame, undecodable
+/// payload — raise `protocol_error`; the server answers with an `error`
+/// frame when the connection is still writable and closes it.
+///
+/// The payload structs below are the complete vocabulary: a synthesis
+/// request (circuit by registry name or inline .bench/.blif text + the same
+/// knobs xsfq_synth takes), per-stage progress events sourced from
+/// flow_result timings, the full response, daemon status, and cache stats.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "flow/batch_runner.hpp"
+#include "util/serialize.hpp"
+
+namespace xsfq::serve {
+
+inline constexpr std::uint8_t protocol_version = 1;
+/// Upper bound on one frame's payload; a header announcing more is garbage
+/// (the largest legitimate payload is a synth_response with Verilog text).
+inline constexpr std::uint32_t max_frame_payload = 64u << 20;
+/// Default rendezvous path shared by the daemon and client binaries.
+inline constexpr const char* default_socket_path = "/tmp/xsfq_served.sock";
+
+enum class msg_type : std::uint8_t {
+  // requests
+  submit = 1,
+  status = 2,
+  cache_stats = 3,
+  shutdown = 4,
+  ping = 5,
+  // responses
+  result = 64,
+  status_ok = 65,
+  cache_stats_ok = 66,
+  shutdown_ok = 67,
+  pong = 68,
+  progress = 96,  ///< streamed before `result` when the client asked for it
+  error = 127,
+};
+
+struct protocol_error : std::runtime_error {
+  explicit protocol_error(const std::string& what)
+      : std::runtime_error("protocol: " + what) {}
+};
+
+struct frame {
+  msg_type type = msg_type::error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes one frame (header + payload) ready for a single write.
+std::vector<std::uint8_t> encode_frame(msg_type type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Pull-style byte source: fill up to `n` bytes into `dst`, return the count
+/// actually produced (0 = end of stream).  Lets the framing layer be tested
+/// against plain byte buffers and reused over any fd-like transport.
+using read_fn = std::function<std::size_t(void* dst, std::size_t n)>;
+
+/// Reads one frame.  Returns nullopt on a clean end-of-stream *before* any
+/// header byte; throws protocol_error on truncation mid-frame, version
+/// mismatch, or an oversized payload announcement.
+std::optional<frame> read_frame(const read_fn& read);
+
+/// fd convenience wrappers (retry on EINTR; write loops until complete).
+std::optional<frame> read_frame_fd(int fd);
+void write_frame_fd(int fd, msg_type type,
+                    std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Payloads.
+// ---------------------------------------------------------------------------
+
+/// How the request's circuit text is interpreted server-side.
+enum class circuit_source : std::uint8_t {
+  registry = 0,    ///< `spec` is a benchgen registry name; no text
+  bench_text = 1,  ///< `source_text` is .bench content; `model` names it
+  blif_text = 2,   ///< `source_text` is .blif content (model from header)
+};
+
+/// One synthesis request: the circuit plus exactly the knobs xsfq_synth
+/// exposes, so a served run and a local run are the same computation.
+struct synth_request {
+  std::string spec;  ///< display name (registry name or original file path)
+  circuit_source source = circuit_source::registry;
+  std::string source_text;  ///< inline netlist text for bench/blif sources
+  std::string model;        ///< bench model name (basename of the file)
+  mapping_params map;
+  bool validate = false;       ///< per-pass sim checks + pulse-level check
+  bool want_verilog = false;   ///< fill synth_response::verilog
+  bool want_dot = false;       ///< fill synth_response::dot
+  bool stream_progress = false;
+};
+
+/// One per-stage progress notification (flow::stage_event on the wire).
+struct progress_event {
+  std::string stage;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
+  double ms = 0.0;
+  flow::stage_counters counters;
+  bool from_cache = false;
+};
+
+/// Everything a submit yields.  `report` and `validate_report` are the
+/// deterministic parts of the xsfq_synth output (byte-identical between a
+/// served and a local run); the timings are wall-clock and vary per run.
+struct synth_response {
+  bool ok = false;
+  std::string error;  ///< stage exception text when !ok
+  std::string report;
+  std::string validate_report;  ///< empty unless validation was requested
+  bool validate_ok = true;
+  std::string verilog;  ///< filled when want_verilog
+  std::string dot;      ///< filled when want_dot
+  std::vector<flow::stage_timing> timings;
+  double total_ms = 0.0;
+  bool served_from_cache = false;  ///< every stage replayed from a cache tier
+};
+
+struct server_status {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t active_connections = 0;
+  std::uint32_t worker_threads = 0;
+  std::uint64_t steals = 0;
+  double uptime_s = 0.0;
+};
+
+struct cache_stats_reply {
+  flow::batch_cache_stats stats;
+  std::string disk_directory;  ///< empty when the disk tier is disabled
+};
+
+// Encoders return the payload bytes; decoders throw serialize_error (a
+// protocol violation the caller maps to an error frame) on malformed input.
+std::vector<std::uint8_t> encode_synth_request(const synth_request& req);
+synth_request decode_synth_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_progress_event(const progress_event& ev);
+progress_event decode_progress_event(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_synth_response(const synth_response& resp);
+synth_response decode_synth_response(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_server_status(const server_status& status);
+server_status decode_server_status(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply);
+cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_error(const std::string& message);
+std::string decode_error(std::span<const std::uint8_t> payload);
+
+}  // namespace xsfq::serve

@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/synth_service.hpp"
+
+namespace xsfq::serve {
+
+namespace {
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+/// One accepted connection: the fd plus its handler thread's lifecycle
+/// bookkeeping (reaped opportunistically and on stop()).
+struct server::connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+
+  ~connection() {
+    int fd_copy = fd;
+    close_quietly(fd_copy);
+  }
+};
+
+server::server(server_options options) : options_(std::move(options)) {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket path must not be empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  runner_ = std::make_unique<flow::batch_runner>(options_.threads);
+  if (!options_.cache_dir.empty()) {
+    runner_->set_disk_cache(options_.cache_dir, options_.max_disk_entries);
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket failed: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a prior run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string what =
+        std::string("serve: bind/listen failed on ") + options_.socket_path +
+        ": " + std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw std::runtime_error(what);
+  }
+
+  start_time_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+server::~server() { stop(); }
+
+void server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal: exit the loop
+    }
+    auto conn = std::make_shared<connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        ::close(fd);
+        conn->fd = -1;
+        return;
+      }
+      reap_finished_locked();
+      connections_.push_back(conn);
+    }
+    conn->thread =
+        std::thread([this, conn] { handle_connection(conn); });
+  }
+}
+
+void server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void server::handle_connection(const std::shared_ptr<connection>& conn) {
+  const int fd = conn->fd;
+  bool writable = true;
+  const auto send = [&](msg_type type,
+                        const std::vector<std::uint8_t>& payload) {
+    if (!writable) return;
+    try {
+      write_frame_fd(fd, type, payload);
+    } catch (const protocol_error& e) {
+      // An over-limit encode throws before any byte hits the wire, so the
+      // stream is still clean — tell the client why before giving up.
+      // Transport failures just mark the connection dead; either way the
+      // handler closes below rather than leaving the client blocked on a
+      // response that will never come.
+      if (payload.size() > max_frame_payload) {
+        try {
+          write_frame_fd(fd, msg_type::error, encode_error(e.what()));
+        } catch (const protocol_error&) {
+        }
+      }
+      writable = false;
+    }
+  };
+
+  try {
+    for (;;) {
+      std::optional<frame> f = read_frame_fd(fd);
+      if (!f) break;  // clean end-of-stream (client closed, or drain)
+      switch (f->type) {
+        case msg_type::submit: {
+          const synth_request req = decode_synth_request(f->payload);
+          jobs_submitted_.fetch_add(1);
+          // Progress events stream from the executing worker thread; every
+          // event happens strictly before run_synth returns, so writes to
+          // the socket never interleave with the result frame below.
+          const auto progress = [&](const progress_event& ev) {
+            if (req.stream_progress) {
+              send(msg_type::progress, encode_progress_event(ev));
+            }
+          };
+          const synth_response resp = run_synth(req, *runner_, progress);
+          (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
+          send(msg_type::result, encode_synth_response(resp));
+          break;
+        }
+        case msg_type::status: {
+          send(msg_type::status_ok, encode_server_status(status()));
+          break;
+        }
+        case msg_type::cache_stats: {
+          cache_stats_reply reply;
+          reply.stats = runner_->cache_stats();
+          reply.disk_directory = runner_->disk_cache_directory();
+          send(msg_type::cache_stats_ok, encode_cache_stats(reply));
+          break;
+        }
+        case msg_type::shutdown: {
+          send(msg_type::shutdown_ok, {});
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_requested_ = true;
+          }
+          shutdown_cv_.notify_all();
+          break;
+        }
+        case msg_type::ping: {
+          send(msg_type::pong, {});
+          break;
+        }
+        default:
+          send(msg_type::error,
+               encode_error("unknown request type " +
+                            std::to_string(static_cast<unsigned>(f->type))));
+          break;
+      }
+      if (!writable) break;  // response undeliverable: close, don't strand
+    }
+  } catch (const serialize_error& e) {
+    send(msg_type::error, encode_error(e.what()));
+  } catch (const protocol_error& e) {
+    send(msg_type::error, encode_error(e.what()));
+  } catch (const std::exception& e) {
+    send(msg_type::error, encode_error(std::string("internal: ") + e.what()));
+  }
+  // Signal end-of-stream to the peer now; the fd itself is closed when the
+  // connection object is reaped (next accept or stop()).
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true);
+}
+
+void server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Another caller already drained (or is draining); nothing to do
+      // beyond waking any wait_shutdown_requested() sleeper.
+      shutdown_cv_.notify_all();
+      return;
+    }
+    stopping_ = true;
+  }
+  shutdown_cv_.notify_all();
+
+  // Wake the accept loop, then stop new reads on every connection.  SHUT_RD
+  // only: a handler mid-request keeps its write half to finish the response
+  // (the drain), then observes end-of-stream and exits.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_quietly(listen_fd_);
+
+  std::vector<std::shared_ptr<connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    to_join = connections_;
+    connections_.clear();
+  }
+  for (const auto& conn : to_join) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (const auto& conn : to_join) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void server::wait_shutdown_requested() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock,
+                    [this] { return shutdown_requested_ || stopping_; });
+}
+
+bool server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_requested_;
+}
+
+server_status server::status() const {
+  server_status s;
+  s.jobs_submitted = jobs_submitted_.load();
+  s.jobs_completed = jobs_completed_.load();
+  s.jobs_failed = jobs_failed_.load();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t active = 0;
+    for (const auto& conn : connections_) {
+      if (!conn->done.load()) ++active;
+    }
+    s.active_connections = active;
+  }
+  s.worker_threads = runner_->num_threads();
+  s.steals = runner_->steals();
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+                   .count();
+  return s;
+}
+
+}  // namespace xsfq::serve

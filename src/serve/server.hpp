@@ -1,0 +1,87 @@
+#pragma once
+/// \file server.hpp
+/// \brief The synthesis-as-a-service daemon core (xsfq_served's engine).
+///
+/// One `server` owns one long-lived flow::batch_runner — the work-stealing
+/// pool plus every result-cache tier, including the optional disk-persistent
+/// one — and a Unix-domain listening socket speaking the serve protocol.
+/// Each accepted connection gets a handler thread; submits multiplex onto
+/// the shared pool through batch_runner::enqueue, so N clients synthesizing
+/// concurrently share workers, de-duplicate identical in-flight optimize
+/// stages through the shared-future tier, and hit each other's cached
+/// results.
+///
+/// Shutdown is a drain, triggered either by stop() (the daemon calls it on
+/// SIGINT/SIGTERM) or by a client's `shutdown` request: the listener closes,
+/// idle connections see end-of-stream, handlers mid-request finish the
+/// request and write the response, every handler thread is joined, and disk
+/// cache writes — which are synchronous and atomic — are already on disk.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/batch_runner.hpp"
+#include "serve/protocol.hpp"
+
+namespace xsfq::serve {
+
+struct server_options {
+  std::string socket_path;
+  unsigned threads = 0;        ///< runner workers; 0 = hardware concurrency
+  std::string cache_dir;       ///< empty disables the disk-persistent tier
+  std::size_t max_disk_entries = 1024;
+};
+
+class server {
+ public:
+  /// Binds, listens, and starts accepting.  A stale socket file at the path
+  /// is removed first.  Throws std::runtime_error on bind/listen failure.
+  explicit server(server_options options);
+  ~server();
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Graceful drain; idempotent.  Returns after every connection handler
+  /// has finished and joined.
+  void stop();
+
+  /// Blocks until a client sends a `shutdown` request or stop() is called.
+  void wait_shutdown_requested();
+  [[nodiscard]] bool shutdown_requested() const;
+
+  [[nodiscard]] flow::batch_runner& runner() { return *runner_; }
+  [[nodiscard]] const server_options& options() const { return options_; }
+  [[nodiscard]] server_status status() const;
+
+ private:
+  struct connection;
+
+  void accept_loop();
+  void handle_connection(const std::shared_ptr<connection>& conn);
+  void reap_finished_locked();
+
+  server_options options_;
+  std::unique_ptr<flow::batch_runner> runner_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+  std::vector<std::shared_ptr<connection>> connections_;
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace xsfq::serve

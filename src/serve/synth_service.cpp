@@ -1,0 +1,282 @@
+#include "serve/synth_service.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "benchgen/registry.hpp"
+#include "cells/cell_library.hpp"
+#include "core/xsfq_writer.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "pulsesim/pulse_sim.hpp"
+
+namespace xsfq::serve {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::invalid_argument("cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string basename_without_extension(const std::string& path) {
+  std::string model = path;
+  if (const auto slash = model.find_last_of('/'); slash != std::string::npos) {
+    model = model.substr(slash + 1);
+  }
+  if (const auto dot = model.find_last_of('.'); dot != std::string::npos) {
+    model = model.substr(0, dot);
+  }
+  return model;
+}
+
+}  // namespace
+
+synth_request make_request_for_spec(const std::string& spec) {
+  synth_request req;
+  req.spec = spec;
+  if (spec.size() > 6 && spec.ends_with(".bench")) {
+    req.source = circuit_source::bench_text;
+    req.source_text = read_file(spec);
+    // read_bench_file names the model after the file; inlined text must
+    // reproduce that so served and local runs stay byte-identical.
+    req.model = basename_without_extension(spec);
+  } else if (spec.size() > 5 && spec.ends_with(".blif")) {
+    req.source = circuit_source::blif_text;
+    req.source_text = read_file(spec);
+  }
+  return req;
+}
+
+aig load_request_circuit(const synth_request& req) {
+  switch (req.source) {
+    case circuit_source::bench_text:
+      return read_bench_string(req.source_text,
+                               req.model.empty() ? "top" : req.model)
+          .to_aig();
+    case circuit_source::blif_text:
+      return read_blif_string(req.source_text).to_aig();
+    case circuit_source::registry:
+    default:
+      return benchgen::make_benchmark(req.spec);
+  }
+}
+
+synth_response run_synth(
+    const synth_request& req, flow::batch_runner& runner,
+    const std::function<void(const progress_event&)>& progress) {
+  synth_response resp;
+  try {
+    aig network = load_request_circuit(req);
+
+    std::ostringstream report;
+    report << "loaded " << req.spec << ": " << network.num_pis() << " PI, "
+           << network.num_pos() << " PO, " << network.num_registers()
+           << " FF, " << network.num_gates() << " AIG nodes\n";
+
+    flow::flow_options options;
+    options.map = req.map;
+    // --validate also pins every optimize pass to its input with the wide
+    // sim engine (the pulse-level check below covers the mapping side).
+    options.opt.validate_passes = req.validate;
+
+    bool any_live_stage = false;
+    bool any_stage = false;
+    const flow::stage_observer observer =
+        [&](const flow::stage_event& ev) {
+          // Runs on the executing worker; all calls happen strictly before
+          // the future below becomes ready, so these captures are safe.
+          any_stage = true;
+          if (!ev.from_cache) any_live_stage = true;
+          if (progress) {
+            progress({ev.stage, static_cast<std::uint32_t>(ev.index),
+                      static_cast<std::uint32_t>(ev.total), ev.ms,
+                      ev.counters, ev.from_cache});
+          }
+        };
+    const flow::flow_result r =
+        runner.enqueue(std::move(network), req.spec, options, observer).get();
+
+    report << "optimized: " << r.opt_stats.initial_gates << " -> "
+           << r.opt_stats.final_gates << " nodes (depth "
+           << r.opt_stats.initial_depth << " -> " << r.opt_stats.final_depth
+           << ")\n";
+    report << "mapped:    " << r.mapped.netlist.summary() << "\n";
+    report << "baseline:  clocked RSFQ " << r.baseline.jj_without_clock
+           << " JJ (" << r.baseline.jj_with_clock
+           << " with clock tree) -> savings "
+           << static_cast<double>(r.baseline.jj_without_clock) /
+                  static_cast<double>(r.mapped.stats.jj)
+           << "x\n";
+    resp.report = report.str();
+    resp.timings = r.timings;
+    resp.total_ms = r.total_ms;
+    resp.served_from_cache = any_stage && !any_live_stage;
+
+    if (req.validate) {
+      std::ostringstream validate;
+      const bool seq_retimed =
+          r.optimized.num_registers() > 0 &&
+          req.map.reg_style == register_style::pair_retimed;
+      if (seq_retimed) {
+        validate << "validate:  (retimed sequential: structural checks only;"
+                    " use --registers=boundary for cycle-exact validation)\n";
+      } else {
+        const bool ok =
+            pulse_simulator::equivalent_to_aig(r.optimized, r.mapped, 32);
+        validate << "validate:  pulse-level equivalence "
+                 << (ok ? "PASS" : "FAIL") << "\n";
+        resp.validate_ok = ok;
+      }
+      resp.validate_report = validate.str();
+    }
+    if (req.want_verilog) {
+      resp.verilog = write_xsfq_verilog_string(r.mapped, req.spec);
+    }
+    if (req.want_dot) {
+      resp.dot = write_xsfq_dot_string(r.mapped);
+    }
+    resp.ok = true;
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+std::string format_timing_line(const std::vector<flow::stage_timing>& timings,
+                               double total_ms) {
+  std::ostringstream os;
+  os << "timing:   ";
+  for (const auto& st : timings) {
+    os << " " << st.stage << " " << st.ms << " ms";
+  }
+  os << " (total " << total_ms << " ms)\n";
+  return os.str();
+}
+
+std::string format_timing_csv(
+    const std::vector<flow::stage_timing>& timings) {
+  std::ostringstream os;
+  os << "stage,ms,nodes,cuts,replacements,arena_bytes,sim_words,"
+        "sim_node_evals\n";
+  for (const auto& st : timings) {
+    const auto& c = st.counters;
+    os << st.stage << "," << st.ms << "," << c.nodes << "," << c.cuts << ","
+       << c.replacements << "," << c.arena_bytes << "," << c.sim_words << ","
+       << c.sim_node_evals << "\n";
+  }
+  return os.str();
+}
+
+std::string cli_value(const std::string& arg, const std::string& key) {
+  if (arg.rfind(key + "=", 0) == 0) return arg.substr(key.size() + 1);
+  return {};
+}
+
+cli_parse parse_synth_option(const std::string& arg, synth_cli_options& cli,
+                             std::string& error) {
+  if (auto v = cli_value(arg, "--polarity"); !v.empty()) {
+    if (v == "direct") {
+      cli.map.polarity = polarity_mode::direct_dual_rail;
+    } else if (v == "positive") {
+      cli.map.polarity = polarity_mode::positive_outputs;
+    } else if (v == "optimized") {
+      cli.map.polarity = polarity_mode::optimized;
+    } else {
+      // A typo must not synthesize (and cache) under options the user
+      // never chose.
+      error = "--polarity expects direct|positive|optimized, got: " + v;
+      return cli_parse::invalid;
+    }
+  } else if (auto v2 = cli_value(arg, "--pipeline"); !v2.empty()) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(v2.c_str(), &end, 10);
+    if (end == v2.c_str() || *end != '\0' || k > 64) {
+      error = "--pipeline expects a stage count 0..64, got: " + v2;
+      return cli_parse::invalid;
+    }
+    cli.map.pipeline_stages = static_cast<unsigned>(k);
+  } else if (auto v3 = cli_value(arg, "--registers"); !v3.empty()) {
+    if (v3 == "boundary") {
+      cli.map.reg_style = register_style::pair_boundary;
+    } else if (v3 == "retimed") {
+      cli.map.reg_style = register_style::pair_retimed;
+    } else {
+      error = "--registers expects boundary|retimed, got: " + v3;
+      return cli_parse::invalid;
+    }
+  } else if (auto v4 = cli_value(arg, "--verilog"); !v4.empty()) {
+    cli.verilog_path = v4;
+  } else if (auto v5 = cli_value(arg, "--dot"); !v5.empty()) {
+    cli.dot_path = v5;
+  } else if (auto v6 = cli_value(arg, "--liberty"); !v6.empty()) {
+    cli.liberty_path = v6;
+  } else if (arg == "--validate") {
+    cli.validate = true;
+  } else if (arg == "--timing") {
+    cli.timing_csv = true;
+  } else if (arg == "--no-timing") {
+    cli.no_timing = true;
+  } else if (arg == "--progress") {
+    cli.progress = true;
+  } else {
+    return cli_parse::not_synth_option;
+  }
+  return cli_parse::consumed;
+}
+
+void apply_cli_options(const synth_cli_options& cli, synth_request& req) {
+  req.map = cli.map;
+  req.validate = cli.validate;
+  req.want_verilog = !cli.verilog_path.empty();
+  req.want_dot = !cli.dot_path.empty();
+}
+
+void print_progress_event(const progress_event& ev) {
+  std::cerr << "stage " << ev.index + 1 << "/" << ev.total << " " << ev.stage
+            << ": " << ev.ms << " ms" << (ev.from_cache ? " (cached)" : "")
+            << "\n";
+}
+
+int render_synth_response(const synth_response& resp,
+                          const synth_cli_options& cli) {
+  if (!resp.ok) {
+    std::cerr << "error: " << resp.error << "\n";
+    return 1;
+  }
+  std::cout << resp.report;
+  if (!cli.no_timing) {
+    std::cout << format_timing_line(resp.timings, resp.total_ms);
+  }
+  if (cli.timing_csv) {
+    std::cout << format_timing_csv(resp.timings);
+  }
+  std::cout << resp.validate_report;
+  if (cli.validate && !resp.validate_ok) {
+    return 1;  // never emit output files for a netlist that failed validation
+  }
+  if (!cli.verilog_path.empty()) {
+    std::ofstream os(cli.verilog_path);
+    os << resp.verilog;
+    std::cout << "wrote " << cli.verilog_path << "\n";
+  }
+  if (!cli.dot_path.empty()) {
+    std::ofstream os(cli.dot_path);
+    os << resp.dot;
+    std::cout << "wrote " << cli.dot_path << "\n";
+  }
+  if (!cli.liberty_path.empty()) {
+    std::ofstream os(cli.liberty_path);
+    os << cell_library::sfq5ee().to_liberty("xsfq_sfq5ee");
+    std::cout << "wrote " << cli.liberty_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace xsfq::serve

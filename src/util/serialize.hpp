@@ -1,0 +1,133 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Bounds-checked binary serialization primitives.
+///
+/// One pair of tiny codec classes shared by everything that moves structured
+/// data as bytes: the disk-persistent flow result cache (src/flow/disk_cache)
+/// and the serve wire protocol (src/serve/protocol).  Encoding is explicit
+/// little-endian with fixed widths, so a cache entry written on one machine
+/// decodes identically on any other, independent of host endianness or ABI.
+///
+/// The reader throws `serialize_error` on any underrun or implausible length
+/// instead of reading past the buffer — a truncated or corrupted input (a
+/// chopped cache file, a garbage protocol frame) surfaces as one typed
+/// exception the caller converts into "cache miss" or "reject frame".
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xsfq {
+
+struct serialize_error : std::runtime_error {
+  explicit serialize_error(const std::string& what)
+      : std::runtime_error("serialize: " + what) {}
+};
+
+/// Append-only little-endian byte sink.
+class byte_writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// Length-prefixed string.
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put_le(std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte source over a borrowed buffer.
+class byte_reader {
+ public:
+  explicit byte_reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(get_le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  std::uint64_t u64() { return get_le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw serialize_error("bool byte out of range");
+    return v != 0;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    // The length prefix can never legitimately exceed what is left in the
+    // buffer; checking before allocating keeps garbage input from turning
+    // into a multi-gigabyte allocation.
+    if (n > remaining()) throw serialize_error("string length exceeds buffer");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// Reads a count prefix for a sequence whose elements take at least
+  /// `min_element_bytes` each; rejects counts the buffer cannot hold.
+  std::size_t count(std::size_t min_element_bytes) {
+    const std::uint64_t n = u64();
+    if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
+      throw serialize_error("sequence count exceeds buffer");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  /// Decoders call this last: trailing bytes mean a format mismatch.
+  void expect_done() const {
+    if (!done()) throw serialize_error("trailing bytes after payload");
+  }
+
+ private:
+  std::uint64_t get_le(unsigned n) {
+    if (remaining() < n) throw serialize_error("unexpected end of input");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xsfq

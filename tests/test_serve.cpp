@@ -1,0 +1,386 @@
+/// Tests for the serve subsystem: frame codec hardening (truncated,
+/// oversized, version-mismatched, garbage frames), payload round trips,
+/// and the in-process server end to end — concurrent clients receiving
+/// byte-identical responses to direct driver runs, streamed progress,
+/// warm disk-cache hits across a daemon restart, and graceful drain.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/synth_service.hpp"
+
+namespace xsfq {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace serve;
+
+struct temp_dir {
+  std::string path;
+  temp_dir() {
+    char tmpl[] = "/tmp/xsfq_serve_XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~temp_dir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// read_fn over an in-memory byte buffer (possibly truncated).
+read_fn buffer_reader(std::vector<std::uint8_t> bytes) {
+  auto state = std::make_shared<std::pair<std::vector<std::uint8_t>,
+                                          std::size_t>>(std::move(bytes), 0);
+  return [state](void* dst, std::size_t n) -> std::size_t {
+    const std::size_t avail = state->first.size() - state->second;
+    const std::size_t take = std::min(n, avail);
+    if (take > 0) {
+      std::memcpy(dst, state->first.data() + state->second, take);
+      state->second += take;
+    }
+    return take;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 250};
+  const auto bytes = encode_frame(msg_type::submit, payload);
+  const auto f = read_frame(buffer_reader(bytes));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, msg_type::submit);
+  EXPECT_EQ(f->payload, payload);
+  // Clean end-of-stream before any header byte is not an error.
+  EXPECT_FALSE(read_frame(buffer_reader({})).has_value());
+}
+
+TEST(ServeProtocol, TruncatedFramesRejected) {
+  const auto bytes =
+      encode_frame(msg_type::submit, std::vector<std::uint8_t>(16, 7));
+  // Every strict prefix must throw (header or payload truncation).
+  for (const std::size_t keep :
+       {std::size_t{1}, std::size_t{5}, std::size_t{6}, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_THROW(read_frame(buffer_reader(cut)), protocol_error) << keep;
+  }
+}
+
+TEST(ServeProtocol, OversizedAndGarbageFramesRejected) {
+  // Header announcing more than max_frame_payload.
+  byte_writer w;
+  w.u32(max_frame_payload + 1);
+  w.u8(protocol_version);
+  w.u8(static_cast<std::uint8_t>(msg_type::submit));
+  EXPECT_THROW(read_frame(buffer_reader(w.take())), protocol_error);
+  // Version mismatch (how arbitrary garbage usually dies).
+  byte_writer v;
+  v.u32(0);
+  v.u8(protocol_version + 1);
+  v.u8(static_cast<std::uint8_t>(msg_type::ping));
+  EXPECT_THROW(read_frame(buffer_reader(v.take())), protocol_error);
+  // Garbage payload on a valid frame dies in the payload decoder.
+  const std::vector<std::uint8_t> junk{0xde, 0xad, 0xbe, 0xef, 0x41, 0x41};
+  EXPECT_THROW(decode_synth_request(junk), serialize_error);
+  EXPECT_THROW(decode_synth_response(junk), serialize_error);
+}
+
+TEST(ServeProtocol, PayloadRoundTrips) {
+  synth_request req;
+  req.spec = "adder.bench";
+  req.source = circuit_source::bench_text;
+  req.source_text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  req.model = "adder";
+  req.map.polarity = polarity_mode::positive_outputs;
+  req.map.pipeline_stages = 3;
+  req.map.reg_style = register_style::pair_boundary;
+  req.map.forced_polarities = std::vector<bool>{true, false, true};
+  req.validate = true;
+  req.want_verilog = true;
+  req.stream_progress = true;
+  const synth_request back = decode_synth_request(encode_synth_request(req));
+  EXPECT_EQ(back.spec, req.spec);
+  EXPECT_EQ(back.source, circuit_source::bench_text);
+  EXPECT_EQ(back.source_text, req.source_text);
+  EXPECT_EQ(back.model, req.model);
+  EXPECT_EQ(back.map.polarity, req.map.polarity);
+  EXPECT_EQ(back.map.pipeline_stages, 3u);
+  EXPECT_EQ(back.map.reg_style, register_style::pair_boundary);
+  EXPECT_EQ(back.map.forced_polarities, req.map.forced_polarities);
+  EXPECT_TRUE(back.validate && back.want_verilog && back.stream_progress);
+  EXPECT_FALSE(back.want_dot);
+
+  synth_response resp;
+  resp.ok = true;
+  resp.report = "loaded ...\n";
+  resp.validate_report = "validate: PASS\n";
+  resp.verilog = "module m; endmodule\n";
+  resp.timings.push_back({"optimize", 1.5, {}});
+  resp.timings[0].counters.nodes = 42;
+  resp.total_ms = 2.25;
+  resp.served_from_cache = true;
+  const synth_response rback =
+      decode_synth_response(encode_synth_response(resp));
+  EXPECT_TRUE(rback.ok);
+  EXPECT_EQ(rback.report, resp.report);
+  EXPECT_EQ(rback.verilog, resp.verilog);
+  ASSERT_EQ(rback.timings.size(), 1u);
+  EXPECT_EQ(rback.timings[0].stage, "optimize");
+  EXPECT_EQ(rback.timings[0].counters.nodes, 42u);
+  EXPECT_TRUE(rback.served_from_cache);
+
+  progress_event ev{"map", 2, 4, 0.5, {}, true};
+  const progress_event eback =
+      decode_progress_event(encode_progress_event(ev));
+  EXPECT_EQ(eback.stage, "map");
+  EXPECT_EQ(eback.index, 2u);
+  EXPECT_EQ(eback.total, 4u);
+  EXPECT_TRUE(eback.from_cache);
+}
+
+// ---------------------------------------------------------------------------
+// End to end against an in-process server.
+// ---------------------------------------------------------------------------
+
+struct server_fixture {
+  temp_dir dir;
+  std::unique_ptr<server> srv;
+
+  std::string socket_path() const { return dir.path + "/served.sock"; }
+  std::string cache_dir() const { return dir.path + "/cache"; }
+
+  void start(unsigned threads = 2, bool with_disk_cache = true) {
+    server_options options;
+    options.socket_path = socket_path();
+    options.threads = threads;
+    if (with_disk_cache) options.cache_dir = cache_dir();
+    srv = std::make_unique<server>(options);
+  }
+};
+
+TEST(ServeEndToEnd, SubmitMatchesDirectDriverByteForByte) {
+  server_fixture fx;
+  fx.start();
+  const synth_request req = make_request_for_spec("c432");
+
+  flow::batch_runner local(1);
+  const synth_response expected = run_synth(req, local);
+  ASSERT_TRUE(expected.ok);
+
+  client cli(fx.socket_path());
+  const synth_response served = cli.submit(req);
+  ASSERT_TRUE(served.ok);
+  EXPECT_EQ(served.report, expected.report);
+  EXPECT_EQ(served.validate_report, expected.validate_report);
+}
+
+TEST(ServeEndToEnd, ConcurrentClientsGetByteIdenticalResults) {
+  server_fixture fx;
+  fx.start(/*threads=*/4);
+
+  const std::vector<std::string> circuits{"c432", "c880", "c432", "c1908",
+                                          "c880", "c432"};
+  // Expected deterministic output, computed through the same driver.
+  flow::batch_runner local(2);
+  std::vector<std::string> expected_reports;
+  for (const auto& name : circuits) {
+    const synth_response r = run_synth(make_request_for_spec(name), local);
+    ASSERT_TRUE(r.ok) << name;
+    expected_reports.push_back(r.report);
+  }
+
+  // >= 4 simultaneous clients, each on its own connection (acceptance
+  // criterion); repeated circuits also exercise the in-flight dedup and
+  // memory-cache tiers under concurrency.
+  std::vector<std::thread> threads;
+  std::vector<std::string> got(circuits.size());
+  std::vector<bool> ok(circuits.size(), false);
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    threads.emplace_back([&, i] {
+      client cli(fx.socket_path());
+      const synth_response r =
+          cli.submit(make_request_for_spec(circuits[i]));
+      got[i] = r.report;
+      ok[i] = r.ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << circuits[i];
+    EXPECT_EQ(got[i], expected_reports[i]) << circuits[i];
+  }
+  const auto status = fx.srv->status();
+  EXPECT_EQ(status.jobs_submitted, circuits.size());
+  EXPECT_EQ(status.jobs_completed, circuits.size());
+}
+
+TEST(ServeEndToEnd, ProgressEventsStreamPerStage) {
+  server_fixture fx;
+  fx.start();
+  client cli(fx.socket_path());
+
+  synth_request req = make_request_for_spec("c432");
+  req.stream_progress = true;
+  std::vector<progress_event> events;
+  const synth_response resp =
+      cli.submit(req, [&](const progress_event& ev) { events.push_back(ev); });
+  ASSERT_TRUE(resp.ok);
+  ASSERT_EQ(events.size(), 4u);  // generate, optimize, map, baseline
+  EXPECT_EQ(events[0].stage, "generate");
+  EXPECT_EQ(events[1].stage, "optimize");
+  EXPECT_EQ(events[2].stage, "map");
+  EXPECT_EQ(events[3].stage, "baseline");
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.total, 4u);
+    EXPECT_FALSE(ev.from_cache);  // cold run
+  }
+  EXPECT_FALSE(resp.served_from_cache);
+  // The events mirror flow_result.timings stage for stage.
+  ASSERT_EQ(resp.timings.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].stage, resp.timings[i].stage);
+  }
+
+  // Warm repeat: same events, now replayed from the cache.
+  events.clear();
+  const synth_response warm =
+      cli.submit(req, [&](const progress_event& ev) { events.push_back(ev); });
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.served_from_cache);
+  ASSERT_EQ(events.size(), 4u);
+  for (const auto& ev : events) EXPECT_TRUE(ev.from_cache);
+  EXPECT_EQ(warm.report, resp.report);
+}
+
+TEST(ServeEndToEnd, DiskCacheSurvivesDaemonRestart) {
+  server_fixture fx;
+  fx.start();
+  const synth_request req = make_request_for_spec("c880");
+  std::string cold_report;
+  {
+    client cli(fx.socket_path());
+    const synth_response cold = cli.submit(req);
+    ASSERT_TRUE(cold.ok);
+    EXPECT_FALSE(cold.served_from_cache);
+    cold_report = cold.report;
+    const auto stats = cli.cache_stats().stats;
+    EXPECT_EQ(stats.disk_writes, 1u);
+  }
+  fx.srv->stop();  // drain the "daemon"
+  fx.start();      // restart over the same cache directory
+
+  client cli(fx.socket_path());
+  const synth_response warm = cli.submit(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.served_from_cache);
+  EXPECT_EQ(warm.report, cold_report);
+  const auto reply = cli.cache_stats();
+  EXPECT_EQ(reply.stats.disk_hits, 1u);   // served from the disk tier
+  EXPECT_EQ(reply.stats.full_hits, 0u);   // memory cache was cold
+  EXPECT_EQ(reply.disk_directory, fx.cache_dir());
+}
+
+TEST(ServeEndToEnd, BenchTextRequestsServeParsedCircuits) {
+  server_fixture fx;
+  fx.start();
+  // An inline .bench payload, as xsfq_client sends for file specs.
+  synth_request req;
+  req.spec = "inline.bench";
+  req.source = circuit_source::bench_text;
+  req.model = "inline";
+  req.source_text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+  client cli(fx.socket_path());
+  const synth_response resp = cli.submit(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_NE(resp.report.find("loaded inline.bench: 2 PI, 1 PO"),
+            std::string::npos)
+      << resp.report;
+}
+
+TEST(ServeEndToEnd, FailuresComeBackAsErrorResponsesNotHangs) {
+  server_fixture fx;
+  fx.start();
+  client cli(fx.socket_path());
+  synth_request req;
+  req.spec = "no_such_benchmark_xyz";
+  const synth_response resp = cli.submit(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.error.empty());
+  // The connection survives a failed request.
+  EXPECT_TRUE(cli.ping());
+  EXPECT_EQ(fx.srv->status().jobs_failed, 1u);
+}
+
+TEST(ServeEndToEnd, UnknownAndGarbageFramesGetErrorFrames) {
+  server_fixture fx;
+  fx.start();
+  // Raw connection speaking nonsense.
+  client cli(fx.socket_path());  // establishes the path works first
+  {
+    // Unknown message type.
+    struct raw {
+      int fd;
+      explicit raw(const std::string& path) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)),
+                  0);
+      }
+      ~raw() { ::close(fd); }
+    };
+    raw conn(fx.socket_path());
+    write_frame_fd(conn.fd, static_cast<msg_type>(42), {});
+    const auto reply = read_frame_fd(conn.fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, msg_type::error);
+
+    // A submit frame whose payload is garbage: error frame, then close.
+    raw conn2(fx.socket_path());
+    const std::vector<std::uint8_t> junk{1, 2, 3};
+    write_frame_fd(conn2.fd, msg_type::submit, junk);
+    const auto reply2 = read_frame_fd(conn2.fd);
+    ASSERT_TRUE(reply2.has_value());
+    EXPECT_EQ(reply2->type, msg_type::error);
+    EXPECT_FALSE(read_frame_fd(conn2.fd).has_value());  // closed after
+  }
+  EXPECT_TRUE(cli.ping());  // the daemon itself is unscathed
+}
+
+TEST(ServeEndToEnd, ShutdownRequestAndGracefulStop) {
+  server_fixture fx;
+  fx.start();
+  EXPECT_FALSE(fx.srv->shutdown_requested());
+  {
+    client cli(fx.socket_path());
+    EXPECT_TRUE(cli.ping());
+    cli.shutdown_server();
+  }
+  fx.srv->wait_shutdown_requested();
+  EXPECT_TRUE(fx.srv->shutdown_requested());
+  fx.srv->stop();  // drain; idempotent
+  fx.srv->stop();
+  // Socket file is gone and new connections are refused.
+  EXPECT_FALSE(fs::exists(fx.socket_path()));
+  EXPECT_THROW({ client refused(fx.socket_path()); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xsfq
