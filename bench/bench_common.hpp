@@ -19,17 +19,10 @@
 
 namespace xsfq::bench {
 
-/// Complete flow record for one circuit (see src/flow).
+/// Complete flow record for one circuit (see src/flow).  All flow setup goes
+/// through flow::run_flow / flow::batch_runner directly — this header only
+/// keeps the hand-built example networks shared by the figure benches.
 using flow_record = flow::flow_result;
-
-/// optimize -> map -> baseline on a named benchmark, via the flow
-/// pass manager.
-inline flow_record run_flow(const std::string& name,
-                            const mapping_params& params = {}) {
-  flow::flow_options options;
-  options.map = params;
-  return flow::run_flow(name, options);
-}
 
 /// The paper's 7-node full adder AIG (Figure 4).
 inline aig paper_full_adder_aig() {

@@ -1,0 +1,144 @@
+/// bench_perf_opt — microbenchmark of the zero-rebuild optimization pipeline.
+///
+///   bench_perf_opt [circuit] [reps] [--json=FILE]   (default: c6288, 5)
+///
+/// Measures, as min-over-reps after a warm-up run (steady state is the
+/// arena-recycled regime the pipeline is designed for):
+///   * the full resyn script (optimize) sequentially and with
+///     --flow-jobs=4-style partitioning (inline executor — the deterministic
+///     result is identical to any parallel schedule),
+///   * the individual balance / rewrite / refactor passes,
+///   * AIG -> xSFQ mapping through the recycled mapper engine,
+/// plus one cold-process end-to-end figure (the first optimize+map before
+/// any cache is warm) and the arena counters (rebuilds avoided, peak
+/// network-arena bytes).  --json emits the bench_perf_opt block consumed by
+/// tools/check_perf_regression.py against bench/BENCH_baseline.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "benchgen/registry.hpp"
+#include "core/mapper.hpp"
+#include "opt/opt_engine.hpp"
+#include "opt/partition.hpp"
+#include "opt/script.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+template <typename Fn>
+double min_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = clock_type::now();
+    fn();
+    best = std::min(best, ms_since(start));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit = "c6288";
+  int reps = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.find_first_not_of("0123456789") == std::string::npos &&
+               !arg.empty()) {
+      reps = std::atoi(arg.c_str());
+    } else {
+      circuit = arg;
+    }
+  }
+  if (reps <= 0) {
+    std::cerr << "usage: " << argv[0] << " [circuit] [reps>0] [--json=FILE]\n";
+    return 2;
+  }
+
+  const aig g = benchgen::make_benchmark(circuit);
+
+  // Cold figure first: the very first optimize+map of this process, before
+  // any per-thread cache or arena has warmed (what a one-shot xsfq_synth
+  // invocation pays).
+  double cold_ms = 0.0;
+  {
+    const auto start = clock_type::now();
+    const aig opt = optimize(g);
+    const mapping_result mapped = map_to_xsfq(opt);
+    cold_ms = ms_since(start);
+    std::printf("%s: cold optimize+map %.3f ms (%zu -> %zu gates, %zu JJ)\n",
+                circuit.c_str(), cold_ms, g.num_gates(), opt.num_gates(),
+                mapped.stats.jj);
+  }
+
+  const double opt_ms = min_ms(reps, [&] { optimize(g); });
+
+  optimize_params jobs4;
+  jobs4.flow_jobs = 4;
+  partition_info pinfo;
+  const double opt_jobs4_ms =
+      min_ms(reps, [&] { optimize_partitioned(g, jobs4, nullptr, &pinfo); });
+
+  opt_engine& engine = opt_engine::thread_local_engine();
+  const double balance_ms = min_ms(reps, [&] { engine.balance(g); });
+  const double rewrite_ms = min_ms(reps, [&] { engine.rewrite(g); });
+  const double refactor_ms = min_ms(reps, [&] { engine.refactor(g); });
+
+  const aig opt = optimize(g);
+  xsfq_mapper mapper;
+  mapping_result mapped;
+  mapper.map_into(g, {}, mapped);  // warm the recycled buffers
+  const double map_ms = min_ms(reps, [&] { mapper.map_into(opt, {}, mapped); });
+
+  optimize_stats st;
+  optimize(g, {}, &st);
+
+  std::printf("optimize: %.3f ms | partitioned x%u: %.3f ms (%zu boundary)\n",
+              opt_ms, pinfo.partitions, opt_jobs4_ms, pinfo.boundary_signals);
+  std::printf("passes:   b %.3f ms | rw %.3f ms | rf %.3f ms\n", balance_ms,
+              rewrite_ms, refactor_ms);
+  std::printf("map:      %.3f ms (recycled engine)\n", map_ms);
+  std::printf(
+      "arena:    %llu rebuilds avoided / %llu passes, %.1f KB network arena\n",
+      static_cast<unsigned long long>(st.work.rebuilds_avoided),
+      static_cast<unsigned long long>(st.work.passes),
+      static_cast<double>(st.work.net_arena_bytes) / 1024.0);
+  std::printf("PERF_OPT circuit=%s cold_ms=%.3f opt_ms=%.3f opt4_ms=%.3f "
+              "map_ms=%.3f\n",
+              circuit.c_str(), cold_ms, opt_ms, opt_jobs4_ms, map_ms);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n"
+       << "  \"circuit\": \"" << circuit << "\",\n"
+       << "  \"opt\": {\n"
+       << "    \"cold_optimize_map_ms\": " << cold_ms << ",\n"
+       << "    \"optimize_ms\": " << opt_ms << ",\n"
+       << "    \"optimize_jobs4_ms\": " << opt_jobs4_ms << ",\n"
+       << "    \"balance_pass_ms\": " << balance_ms << ",\n"
+       << "    \"rewrite_pass_ms\": " << rewrite_ms << ",\n"
+       << "    \"refactor_pass_ms\": " << refactor_ms << ",\n"
+       << "    \"map_ms\": " << map_ms << ",\n"
+       << "    \"rebuilds_avoided\": " << st.work.rebuilds_avoided << ",\n"
+       << "    \"net_arena_bytes\": " << st.work.net_arena_bytes << "\n"
+       << "  }\n"
+       << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -130,7 +130,9 @@ void write_json(const std::string& path, const std::string& circuit,
        << ", \"replacements\": " << c.replacements
        << ", \"arena_bytes\": " << c.arena_bytes
        << ", \"sim_words\": " << c.sim_words
-       << ", \"sim_node_evals\": " << c.sim_node_evals << "}"
+       << ", \"sim_node_evals\": " << c.sim_node_evals
+       << ", \"arena_peak_bytes\": " << c.arena_peak_bytes
+       << ", \"rebuilds_avoided\": " << c.rebuilds_avoided << "}"
        << (i + 1 < flow_run.timings.size() ? "," : "") << "\n";
   }
   os << "  ],\n"

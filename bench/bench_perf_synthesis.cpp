@@ -47,7 +47,7 @@ void bm_polarity_heuristic(benchmark::State& state) {
 void bm_full_flow_benchmark(benchmark::State& state,
                             const std::string& name) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bench::run_flow(name).mapped.stats.jj);
+    benchmark::DoNotOptimize(flow::run_flow(name).mapped.stats.jj);
   }
 }
 

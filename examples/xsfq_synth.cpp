@@ -13,6 +13,11 @@
 ///     --verilog=FILE     write the mapped xSFQ netlist as structural Verilog
 ///     --dot=FILE         write the mapped netlist as Graphviz
 ///     --liberty=FILE     write the Table 2 cell library (.lib)
+///     --flow-jobs=N      intra-flow parallelism: partition the optimize
+///                        stage into N regions run concurrently on the
+///                        worker pool (1 = sequential pipeline; the
+///                        partition count changes the result deterministically
+///                        and joins the result-cache key)
 ///     --validate         pulse-level validation against the golden model,
 ///                        plus per-pass sim-equivalence checks in optimize
 ///     --timing           also print per-stage counters as CSV (for perf
@@ -40,6 +45,7 @@
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/batch_runner.hpp"
@@ -94,6 +100,10 @@ int run_corpus(const cli_options& cli) {
   flow::flow_options options;
   options.map = cli.synth.map;
   options.opt.validate_passes = cli.synth.validate;
+  // Intra-flow parallelism applies per entry; the runner injects its own
+  // pool as the partition executor.  With a busy corpus this mostly helps
+  // the stragglers at the tail of a skewed suite.
+  options.opt.flow_jobs = std::max(1u, cli.synth.flow_jobs);
 
   // One enqueue per file: the corpus multiplexes onto the work-stealing
   // pool exactly like concurrent service clients do.  Parsing happens
@@ -164,7 +174,8 @@ int main(int argc, char** argv) {
                  "[--polarity=...] [--pipeline=K] [--registers=...]\n"
                  "                  [--verilog=F] [--dot=F] [--liberty=F] "
                  "[--validate] [--timing] [--no-timing]\n"
-                 "                  [--cache-dir=DIR] [--progress]\n"
+                 "                  [--cache-dir=DIR] [--progress] "
+                 "[--flow-jobs=N]\n"
                  "       xsfq_synth --corpus=DIR [--threads=N] [options]\n";
     return 2;
   }
@@ -227,7 +238,12 @@ int main(int argc, char** argv) {
     serve::synth_request req = serve::make_request_for_spec(cli.spec);
     serve::apply_cli_options(cli.synth, req);
 
-    flow::batch_runner runner(1);
+    // One worker runs the flow; extra workers only exist to serve the
+    // partitioned optimize's subtasks when --flow-jobs asks for them.
+    // Capped at the hardware: surplus workers on a small machine would just
+    // timeshare the cores the partitions already occupy.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    flow::batch_runner runner(std::max(1u, std::min(cli.synth.flow_jobs, hw)));
     if (!cli.cache_dir.empty()) runner.set_disk_cache(cli.cache_dir);
 
     const auto progress = [&](const serve::progress_event& ev) {

@@ -11,12 +11,92 @@ std::string default_name(const char* prefix, std::size_t index) {
   s += std::to_string(index);
   return s;
 }
+
+std::uint64_t mix_strash_hash(std::uint64_t key) {
+  // splitmix64 finalizer: cheap and well distributed for packed fanin pairs.
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ull;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBull;
+  key ^= key >> 31;
+  return key;
+}
 }  // namespace
 
 aig::aig() {
   // Node 0 is the constant-0 node.
   nodes_.push_back(node{});
 }
+
+void aig::reset() {
+  nodes_.clear();
+  nodes_.push_back(node{});
+  pis_.clear();
+  pos_.clear();
+  registers_.clear();
+  pi_names_.clear();
+  po_names_.clear();
+  register_names_.clear();
+  std::fill(strash_keys_.begin(), strash_keys_.end(), 0);
+  strash_used_ = 0;
+  num_gates_ = 0;
+}
+
+// ----- structural hash -------------------------------------------------------
+
+std::size_t aig::strash_slot(std::uint64_t key) const {
+  return mix_strash_hash(key) & (strash_keys_.size() - 1);
+}
+
+std::optional<aig::node_index> aig::strash_find(std::uint64_t key) const {
+  if (strash_keys_.empty()) return std::nullopt;
+  std::size_t slot = strash_slot(key);
+  while (strash_keys_[slot] != 0) {
+    if (strash_keys_[slot] == key) return strash_values_[slot];
+    slot = (slot + 1) & (strash_keys_.size() - 1);
+  }
+  return std::nullopt;
+}
+
+void aig::strash_grow(std::size_t new_capacity) {
+  std::vector<std::uint64_t> old_keys = std::move(strash_keys_);
+  std::vector<node_index> old_values = std::move(strash_values_);
+  strash_keys_.assign(new_capacity, 0);
+  strash_values_.assign(new_capacity, 0);
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == 0) continue;
+    std::size_t slot = strash_slot(old_keys[i]);
+    while (strash_keys_[slot] != 0) {
+      slot = (slot + 1) & (new_capacity - 1);
+    }
+    strash_keys_[slot] = old_keys[i];
+    strash_values_[slot] = old_values[i];
+  }
+}
+
+void aig::strash_insert(std::uint64_t key, node_index value) {
+  // Grow at 70% load; capacity is always a power of two.
+  if (strash_keys_.empty() ||
+      (strash_used_ + 1) * 10 > strash_keys_.size() * 7) {
+    strash_grow(strash_keys_.empty() ? 64 : strash_keys_.size() * 2);
+  }
+  std::size_t slot = strash_slot(key);
+  while (strash_keys_[slot] != 0) {
+    slot = (slot + 1) & (strash_keys_.size() - 1);
+  }
+  strash_keys_[slot] = key;
+  strash_values_[slot] = value;
+  ++strash_used_;
+}
+
+void aig::reserve(std::size_t expected_nodes) {
+  nodes_.reserve(expected_nodes + 1);
+  std::size_t capacity = 64;
+  while (expected_nodes * 10 > capacity * 7) capacity <<= 1;
+  if (capacity > strash_keys_.size()) strash_grow(capacity);
+}
+
+// ----- construction ----------------------------------------------------------
 
 signal aig::create_pi(std::string name) {
   node n;
@@ -79,8 +159,8 @@ signal aig::create_and(signal a, signal b) {
   if (b.raw() < a.raw()) std::swap(a, b);
 
   const std::uint64_t key = strash_key(a, b);
-  if (const auto it = strash_.find(key); it != strash_.end()) {
-    return signal(it->second, false);
+  if (const auto hit = strash_find(key)) {
+    return signal(*hit, false);
   }
   node n;
   n.type = node_type::gate;
@@ -88,7 +168,7 @@ signal aig::create_and(signal a, signal b) {
   n.fanin1 = b;
   const auto index = static_cast<node_index>(nodes_.size());
   nodes_.push_back(n);
-  strash_.emplace(key, index);
+  strash_insert(key, index);
   ++num_gates_;
   return signal(index, false);
 }
@@ -103,8 +183,8 @@ std::optional<signal> aig::find_and(signal a, signal b) const {
   if (a == get_constant(true)) return b;
   if (b == get_constant(true)) return a;
   if (b.raw() < a.raw()) std::swap(a, b);
-  if (const auto it = strash_.find(strash_key(a, b)); it != strash_.end()) {
-    return signal(it->second, false);
+  if (const auto hit = strash_find(strash_key(a, b))) {
+    return signal(*hit, false);
   }
   return std::nullopt;
 }
@@ -157,14 +237,19 @@ signal aig::create_xor_n(std::span<const signal> fs) {
                          [this](signal a, signal b) { return create_xor(a, b); });
 }
 
-std::vector<std::uint32_t> aig::compute_levels() const {
-  std::vector<std::uint32_t> level(nodes_.size(), 0);
+void aig::compute_levels_into(std::vector<std::uint32_t>& levels) const {
+  levels.assign(nodes_.size(), 0);
   for (node_index n = 0; n < nodes_.size(); ++n) {
     if (is_gate(n)) {
-      level[n] = 1 + std::max(level[nodes_[n].fanin0.index()],
-                              level[nodes_[n].fanin1.index()]);
+      levels[n] = 1 + std::max(levels[nodes_[n].fanin0.index()],
+                               levels[nodes_[n].fanin1.index()]);
     }
   }
+}
+
+std::vector<std::uint32_t> aig::compute_levels() const {
+  std::vector<std::uint32_t> level;
+  compute_levels_into(level);
   return level;
 }
 
@@ -177,8 +262,9 @@ std::uint32_t aig::depth() const {
   return d;
 }
 
-std::vector<std::uint32_t> aig::compute_fanout_counts() const {
-  std::vector<std::uint32_t> fanout(nodes_.size(), 0);
+void aig::compute_fanout_counts_into(
+    std::vector<std::uint32_t>& fanout) const {
+  fanout.assign(nodes_.size(), 0);
   for (node_index n = 0; n < nodes_.size(); ++n) {
     if (is_gate(n)) {
       ++fanout[nodes_[n].fanin0.index()];
@@ -186,66 +272,97 @@ std::vector<std::uint32_t> aig::compute_fanout_counts() const {
     }
   }
   for (std::size_t i = 0; i < num_cos(); ++i) ++fanout[co(i).index()];
+}
+
+std::vector<std::uint32_t> aig::compute_fanout_counts() const {
+  std::vector<std::uint32_t> fanout;
+  compute_fanout_counts_into(fanout);
   return fanout;
 }
 
-aig aig::cleanup() const {
-  aig result;
-  std::vector<signal> map(nodes_.size(), result.get_constant(false));
-
-  // Reachability from combinational outputs.
-  std::vector<bool> reachable(nodes_.size(), false);
-  std::vector<node_index> stack;
+std::size_t aig::mark_reachable(compaction_scratch& scratch) const {
+  scratch.reachable.assign(nodes_.size(), 0);
+  scratch.stack.clear();
   for (std::size_t i = 0; i < num_cos(); ++i) {
-    stack.push_back(co(i).index());
+    scratch.stack.push_back(co(i).index());
   }
-  while (!stack.empty()) {
-    const node_index n = stack.back();
-    stack.pop_back();
-    if (reachable[n]) continue;
-    reachable[n] = true;
+  std::size_t reachable_gates = 0;
+  while (!scratch.stack.empty()) {
+    const node_index n = scratch.stack.back();
+    scratch.stack.pop_back();
+    if (scratch.reachable[n]) continue;
+    scratch.reachable[n] = 1;
     if (is_gate(n)) {
-      stack.push_back(nodes_[n].fanin0.index());
-      stack.push_back(nodes_[n].fanin1.index());
+      ++reachable_gates;
+      scratch.stack.push_back(nodes_[n].fanin0.index());
+      scratch.stack.push_back(nodes_[n].fanin1.index());
     } else if (is_register_output(n)) {
       const auto& reg = registers_[nodes_[n].ci_ordinal];
-      if (reg.input_set) stack.push_back(reg.input.index());
+      if (reg.input_set) scratch.stack.push_back(reg.input.index());
     }
   }
+  return num_gates_ - reachable_gates;
+}
+
+void aig::compact_into(aig& result, compaction_scratch& scratch) const {
+  result.reset();
+  result.reserve(nodes_.size());
+  scratch.map.assign(nodes_.size(), result.get_constant(false));
 
   // All PIs are kept (interface must not change); registers are kept too so
   // that register ordinals remain stable for sequential flows.
   for (std::size_t i = 0; i < pis_.size(); ++i) {
-    map[pis_[i].index()] = result.create_pi(pi_names_[i]);
+    scratch.map[pis_[i].index()] = result.create_pi(pi_names_[i]);
   }
   for (std::size_t i = 0; i < registers_.size(); ++i) {
-    map[registers_[i].output_node] =
+    scratch.map[registers_[i].output_node] =
         result.create_register_output(registers_[i].init, register_names_[i]);
   }
   for (node_index n = 0; n < nodes_.size(); ++n) {
-    if (!is_gate(n) || !reachable[n]) continue;
-    const signal a = map[nodes_[n].fanin0.index()] ^
+    if (!is_gate(n) || !scratch.reachable[n]) continue;
+    const signal a = scratch.map[nodes_[n].fanin0.index()] ^
                      nodes_[n].fanin0.is_complemented();
-    const signal b = map[nodes_[n].fanin1.index()] ^
+    const signal b = scratch.map[nodes_[n].fanin1.index()] ^
                      nodes_[n].fanin1.is_complemented();
-    map[n] = result.create_and(a, b);
+    scratch.map[n] = result.create_and(a, b);
   }
   for (std::size_t i = 0; i < pos_.size(); ++i) {
-    result.create_po(map[pos_[i].index()] ^ pos_[i].is_complemented(),
+    result.create_po(scratch.map[pos_[i].index()] ^ pos_[i].is_complemented(),
                      po_names_[i]);
   }
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     if (registers_[i].input_set) {
-      result.set_register_input(i, map[registers_[i].input.index()] ^
-                                       registers_[i].input.is_complemented());
+      result.set_register_input(
+          i, scratch.map[registers_[i].input.index()] ^
+                 registers_[i].input.is_complemented());
     }
   }
+}
+
+aig aig::cleanup() const {
+  aig result;
+  compaction_scratch scratch;
+  mark_reachable(scratch);
+  compact_into(result, scratch);
   return result;
 }
 
 bool aig::is_well_formed() const {
   return std::all_of(registers_.begin(), registers_.end(),
                      [](const register_info& r) { return r.input_set; });
+}
+
+std::size_t aig::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(node);
+  bytes += pis_.capacity() * sizeof(signal);
+  bytes += pos_.capacity() * sizeof(signal);
+  bytes += registers_.capacity() * sizeof(register_info);
+  bytes += (pi_names_.capacity() + po_names_.capacity() +
+            register_names_.capacity()) *
+           sizeof(std::string);
+  bytes += strash_keys_.capacity() * sizeof(std::uint64_t);
+  bytes += strash_values_.capacity() * sizeof(node_index);
+  return bytes;
 }
 
 std::uint64_t aig::content_hash() const {

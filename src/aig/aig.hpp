@@ -18,6 +18,11 @@
 ///  * Sequential designs model each register as a register-output node (a
 ///    combinational input) plus a register-input signal (a combinational
 ///    output), the classic latch-boundary trick used for retiming.
+///  * The structural hash is an open-addressed table over two plain vectors
+///    (no per-node heap cells), and `reset()` recycles every buffer at its
+///    high-water capacity — an `aig` doubles as a reusable network arena for
+///    the optimization pipeline (see opt/opt_engine.hpp), where passes write
+///    into recycled shadow networks instead of allocating fresh ones.
 
 #include <cstdint>
 #include <limits>
@@ -25,7 +30,6 @@
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace xsfq {
@@ -79,9 +83,31 @@ public:
     bool input_set = false;
   };
 
+  /// Reusable scratch for reachability marking and compaction; one instance
+  /// recycled across cleanup calls keeps the compaction path allocation-free
+  /// in the steady state (see opt/opt_engine.hpp).
+  struct compaction_scratch {
+    std::vector<signal> map;
+    std::vector<std::uint8_t> reachable;
+    std::vector<node_index> stack;
+  };
+
   aig();
 
   // ----- construction ------------------------------------------------------
+
+  /// Returns the network to its just-constructed state (only the constant-0
+  /// node) while keeping every buffer's capacity, including the structural
+  /// hash table.  This is what makes an `aig` a recyclable arena: a pass
+  /// that reset()s and refills the same instance allocates nothing once the
+  /// high-water mark is reached.
+  void reset();
+
+  /// Pre-sizes the node array and the structural hash for about
+  /// `expected_nodes` nodes, so bulk construction (compaction, partition
+  /// merges) does not grow-and-rehash its way up.  Purely an allocation
+  /// hint; never changes behavior.
+  void reserve(std::size_t expected_nodes);
 
   /// The constant-`value` signal.
   [[nodiscard]] signal get_constant(bool value) const {
@@ -211,17 +237,37 @@ public:
 
   /// Logic level of every node (CIs at level 0); recomputed on demand.
   [[nodiscard]] std::vector<std::uint32_t> compute_levels() const;
+  /// Scratch-reusing variant (resizes `levels`, no other allocation).
+  void compute_levels_into(std::vector<std::uint32_t>& levels) const;
   /// Length of the longest CI->CO combinational path, in AND gates.
   [[nodiscard]] std::uint32_t depth() const;
   /// Static fanout count of every node (counting CO references).
   [[nodiscard]] std::vector<std::uint32_t> compute_fanout_counts() const;
+  /// Scratch-reusing variant (resizes `fanout`, no other allocation).
+  void compute_fanout_counts_into(std::vector<std::uint32_t>& fanout) const;
 
   /// Returns a compacted copy containing only nodes reachable from COs.
   /// Register order, PO order and names are preserved.
   [[nodiscard]] aig cleanup() const;
 
+  /// Fills scratch.reachable with CO-reachability flags for this network and
+  /// returns the number of *unreachable* gates.  A zero return means
+  /// compact_into would reproduce this network verbatim (same construction
+  /// sequence), so callers may skip the rebuild entirely.
+  std::size_t mark_reachable(compaction_scratch& scratch) const;
+
+  /// Compacts into `result` (reset() + rebuilt), dropping gates that
+  /// scratch.reachable — as filled by a preceding mark_reachable() on *this*
+  /// network — flags as dead.  `result` must not alias this network.
+  void compact_into(aig& result, compaction_scratch& scratch) const;
+
   /// True when every register input has been connected.
   [[nodiscard]] bool is_well_formed() const;
+
+  /// Approximate heap footprint of this network's buffers (node array,
+  /// interface vectors, strash table), counting capacity rather than size —
+  /// the arena-recycling counters report peak footprint.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Structural content hash: covers node structure, CO signals, register
   /// metadata, and interface names.  Equal networks (same construction
@@ -241,6 +287,15 @@ private:
     return (std::uint64_t{a.raw()} << 32) | b.raw();
   }
 
+  // Open-addressed structural hash: parallel key/value vectors with linear
+  // probing, no erase, grown at 70% load.  Keys are the packed fanin pair;
+  // 0 marks an empty slot (legal because constant fanins are simplified away
+  // before hashing, so a stored key's high half is always >= 2).
+  [[nodiscard]] std::size_t strash_slot(std::uint64_t key) const;
+  void strash_insert(std::uint64_t key, node_index value);
+  [[nodiscard]] std::optional<node_index> strash_find(std::uint64_t key) const;
+  void strash_grow(std::size_t new_capacity);
+
   std::vector<node> nodes_;
   std::vector<signal> pis_;
   std::vector<signal> pos_;
@@ -248,7 +303,9 @@ private:
   std::vector<std::string> pi_names_;
   std::vector<std::string> po_names_;
   std::vector<std::string> register_names_;
-  std::unordered_map<std::uint64_t, node_index> strash_;
+  std::vector<std::uint64_t> strash_keys_;  ///< 0 = empty slot
+  std::vector<node_index> strash_values_;
+  std::size_t strash_used_ = 0;
   std::size_t num_gates_ = 0;
 };
 

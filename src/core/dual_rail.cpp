@@ -4,15 +4,16 @@
 
 namespace xsfq {
 
-rail_demands compute_rail_demands(const aig& network,
-                                  const std::vector<bool>& co_negate) {
+void compute_rail_demands_into(const aig& network,
+                               const std::vector<bool>& co_negate,
+                               demand_scratch& scratch, rail_demands& out) {
   if (co_negate.size() != network.num_cos()) {
     throw std::invalid_argument("compute_rail_demands: flag count mismatch");
   }
-  rail_demands demands;
-  demands.bits.assign(network.size(), 0);
+  out.bits.assign(network.size(), 0);
 
-  std::vector<std::pair<aig::node_index, bool>> worklist;  // (node, neg rail)
+  auto& worklist = scratch.worklist;  // (node, negative-rail demanded)
+  worklist.clear();
   network.foreach_co([&](signal s, std::size_t i) {
     if (!network.is_gate(s.index())) return;  // CI/constant rails are free
     worklist.emplace_back(s.index(),
@@ -23,8 +24,8 @@ rail_demands compute_rail_demands(const aig& network,
     const auto [n, neg] = worklist.back();
     worklist.pop_back();
     const std::uint8_t bit = neg ? 2u : 1u;
-    if (demands.bits[n] & bit) continue;
-    demands.bits[n] |= bit;
+    if (out.bits[n] & bit) continue;
+    out.bits[n] |= bit;
     for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
       if (!network.is_gate(f.index())) continue;
       // Positive rail (LA) consumes fanin rail c; negative (FA) consumes !c.
@@ -32,26 +33,40 @@ rail_demands compute_rail_demands(const aig& network,
       worklist.emplace_back(f.index(), child_neg);
     }
   }
+}
+
+rail_demands compute_rail_demands(const aig& network,
+                                  const std::vector<bool>& co_negate) {
+  demand_scratch scratch;
+  rail_demands demands;
+  compute_rail_demands_into(network, co_negate, scratch, demands);
   return demands;
 }
 
-rail_demands direct_dual_rail_demands(const aig& network) {
+void direct_dual_rail_demands_into(const aig& network, demand_scratch& scratch,
+                                   rail_demands& out) {
   // Both rails for every gate in the transitive fanin of some CO.
-  rail_demands demands;
-  demands.bits.assign(network.size(), 0);
-  std::vector<aig::node_index> stack;
+  out.bits.assign(network.size(), 0);
+  auto& stack = scratch.worklist;  // bool half unused here
+  stack.clear();
   network.foreach_co([&](signal s, std::size_t) {
-    if (network.is_gate(s.index())) stack.push_back(s.index());
+    if (network.is_gate(s.index())) stack.emplace_back(s.index(), false);
   });
   while (!stack.empty()) {
-    const aig::node_index n = stack.back();
+    const aig::node_index n = stack.back().first;
     stack.pop_back();
-    if (demands.bits[n]) continue;
-    demands.bits[n] = 3u;
+    if (out.bits[n]) continue;
+    out.bits[n] = 3u;
     for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
-      if (network.is_gate(f.index())) stack.push_back(f.index());
+      if (network.is_gate(f.index())) stack.emplace_back(f.index(), false);
     }
   }
+}
+
+rail_demands direct_dual_rail_demands(const aig& network) {
+  demand_scratch scratch;
+  rail_demands demands;
+  direct_dual_rail_demands_into(network, scratch, demands);
   return demands;
 }
 
@@ -67,40 +82,161 @@ dual_rail_stats demand_stats(const aig& network, const rail_demands& demands) {
   return stats;
 }
 
-std::vector<bool> optimize_co_polarities(const aig& network,
-                                         unsigned max_passes) {
-  std::vector<bool> negate(network.num_cos(), false);
-  auto cost = [&](const std::vector<bool>& flags) {
-    return demand_stats(network, compute_rail_demands(network, flags)).cells;
+namespace {
+
+/// The closure of one CO's demand propagation as a flat list of
+/// (node << 1 | negative-rail) ids, gates only.  Demand propagation is a
+/// monotone per-(node, rail) closure, so the full network's demand set is
+/// exactly the union of these per-CO closures — which makes the greedy
+/// polarity search incremental: flipping one CO swaps one list in and one
+/// out of a reference-counted union instead of re-propagating the network.
+void co_closure(const aig& network, signal s, bool neg_rail,
+                std::vector<std::pair<aig::node_index, bool>>& worklist,
+                std::vector<std::uint8_t>& visited,
+                std::vector<std::uint32_t>& out) {
+  if (!network.is_gate(s.index())) return;
+  worklist.clear();
+  worklist.emplace_back(s.index(), s.is_complemented() ^ neg_rail);
+  while (!worklist.empty()) {
+    const auto [n, neg] = worklist.back();
+    worklist.pop_back();
+    const std::uint8_t bit = neg ? 2u : 1u;
+    if (visited[n] & bit) continue;
+    visited[n] |= bit;
+    out.push_back((n << 1) | (neg ? 1u : 0u));
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      if (!network.is_gate(f.index())) continue;
+      worklist.emplace_back(f.index(), f.is_complemented() ^ neg);
+    }
+  }
+  for (const std::uint32_t id : out) visited[id >> 1] = 0;  // cheap reset
+}
+
+/// Exact greedy polarity search (identical decisions and result to the
+/// historical recompute-the-network-per-flip version; a test pins parity).
+void optimize_co_polarities_into(const aig& network, unsigned max_passes,
+                                 demand_scratch& scratch,
+                                 std::vector<bool>& negate) {
+  const std::size_t num_cos = network.num_cos();
+  negate.assign(num_cos, false);
+  if (num_cos == 0) return;
+
+  // Precompute both closures of every CO.  The flat storage is bounded; a
+  // pathological (many COs x huge shared cones) circuit falls back to the
+  // recompute-per-flip search with identical results.
+  const std::size_t entry_cap = 1u << 26;
+  std::vector<std::uint32_t> pool;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans(2 * num_cos);
+  std::vector<std::uint8_t> visited(network.size(), 0);
+  bool overflow = false;
+  {
+    std::vector<std::uint32_t> closure;
+    for (std::size_t i = 0; i < num_cos && !overflow; ++i) {
+      for (int flag = 0; flag < 2; ++flag) {
+        closure.clear();
+        co_closure(network, network.co(i), flag != 0, scratch.worklist,
+                   visited, closure);
+        spans[2 * i + flag] = {static_cast<std::uint32_t>(pool.size()),
+                               static_cast<std::uint32_t>(closure.size())};
+        pool.insert(pool.end(), closure.begin(), closure.end());
+        if (pool.size() > entry_cap) {
+          overflow = true;
+          break;
+        }
+      }
+    }
+  }
+  if (overflow) {
+    auto cost = [&](const std::vector<bool>& flags) {
+      compute_rail_demands_into(network, flags, scratch, scratch.trial);
+      return demand_stats(network, scratch.trial).cells;
+    };
+    std::size_t best = cost(negate);
+    for (unsigned pass = 0; pass < max_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t i = 0; i < negate.size(); ++i) {
+        negate[i] = !negate[i];
+        const std::size_t candidate = cost(negate);
+        if (candidate < best) {
+          best = candidate;
+          improved = true;
+        } else {
+          negate[i] = !negate[i];
+        }
+      }
+      if (!improved) break;
+    }
+    return;
+  }
+
+  // Reference-counted union of the active closures; `cells` tracks the
+  // number of demanded (gate, rail) pairs = demand_stats().cells.
+  std::vector<std::uint32_t> refs(2 * network.size(), 0);
+  std::size_t cells = 0;
+  const auto apply = [&](std::size_t i, bool flag, int delta) {
+    const auto [begin, count] = spans[2 * i + (flag ? 1 : 0)];
+    if (delta > 0) {
+      for (std::uint32_t k = 0; k < count; ++k) {
+        if (refs[pool[begin + k]]++ == 0) ++cells;
+      }
+    } else {
+      for (std::uint32_t k = 0; k < count; ++k) {
+        if (--refs[pool[begin + k]] == 0) --cells;
+      }
+    }
   };
-  std::size_t best = cost(negate);
+  for (std::size_t i = 0; i < num_cos; ++i) apply(i, false, +1);
+
+  std::size_t best = cells;
   for (unsigned pass = 0; pass < max_passes; ++pass) {
     bool improved = false;
-    for (std::size_t i = 0; i < negate.size(); ++i) {
-      negate[i] = !negate[i];
-      const std::size_t candidate = cost(negate);
-      if (candidate < best) {
-        best = candidate;
+    for (std::size_t i = 0; i < num_cos; ++i) {
+      apply(i, negate[i], -1);
+      apply(i, !negate[i], +1);
+      if (cells < best) {
+        best = cells;
+        negate[i] = !negate[i];
         improved = true;
       } else {
-        negate[i] = !negate[i];
+        apply(i, !negate[i], -1);
+        apply(i, negate[i], +1);
       }
     }
     if (!improved) break;
   }
+}
+
+}  // namespace
+
+std::vector<bool> optimize_co_polarities(const aig& network,
+                                         unsigned max_passes) {
+  demand_scratch scratch;
+  std::vector<bool> negate;
+  optimize_co_polarities_into(network, max_passes, scratch, negate);
   return negate;
+}
+
+void co_polarities_for_mode_into(const aig& network, polarity_mode mode,
+                                 demand_scratch& scratch,
+                                 std::vector<bool>& negate) {
+  switch (mode) {
+    case polarity_mode::direct_dual_rail:
+    case polarity_mode::positive_outputs:
+      negate.assign(network.num_cos(), false);
+      return;
+    case polarity_mode::optimized:
+      optimize_co_polarities_into(network, /*max_passes=*/8, scratch, negate);
+      return;
+  }
+  throw std::logic_error("co_polarities_for_mode: bad mode");
 }
 
 std::vector<bool> co_polarities_for_mode(const aig& network,
                                          polarity_mode mode) {
-  switch (mode) {
-    case polarity_mode::direct_dual_rail:
-    case polarity_mode::positive_outputs:
-      return std::vector<bool>(network.num_cos(), false);
-    case polarity_mode::optimized:
-      return optimize_co_polarities(network);
-  }
-  throw std::logic_error("co_polarities_for_mode: bad mode");
+  demand_scratch scratch;
+  std::vector<bool> negate;
+  co_polarities_for_mode_into(network, mode, scratch, negate);
+  return negate;
 }
 
 }  // namespace xsfq

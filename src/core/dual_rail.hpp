@@ -59,13 +59,29 @@ struct dual_rail_stats {
   }
 };
 
+/// Reusable scratch for the demand-propagation routines below: the polarity
+/// heuristic evaluates demands once per CO per sweep, so recycling the
+/// worklist and demand bits keeps the whole mapping front end allocation-free
+/// in the steady state (core/mapper.cpp holds one per mapper engine).
+struct demand_scratch {
+  std::vector<std::pair<aig::node_index, bool>> worklist;
+  rail_demands trial;  ///< demand bits of candidate polarity assignments
+};
+
 /// Computes rail demands given per-CO negation flags (`co_negate[i]` true
 /// means CO i is produced in negative polarity).
 rail_demands compute_rail_demands(const aig& network,
                                   const std::vector<bool>& co_negate);
+/// Scratch-reusing variant: fills `out` in place.
+void compute_rail_demands_into(const aig& network,
+                               const std::vector<bool>& co_negate,
+                               demand_scratch& scratch, rail_demands& out);
 
 /// Demands for the direct LA-FA-pair mapping (both rails everywhere).
 rail_demands direct_dual_rail_demands(const aig& network);
+/// Scratch-reusing variant: fills `out` in place.
+void direct_dual_rail_demands_into(const aig& network, demand_scratch& scratch,
+                                   rail_demands& out);
 
 dual_rail_stats demand_stats(const aig& network, const rail_demands& demands);
 
@@ -78,5 +94,9 @@ std::vector<bool> optimize_co_polarities(const aig& network,
 /// Resolves a polarity mode to concrete flags (+ demands via the above).
 std::vector<bool> co_polarities_for_mode(const aig& network,
                                          polarity_mode mode);
+/// Scratch-reusing variant: fills `negate` in place.
+void co_polarities_for_mode_into(const aig& network, polarity_mode mode,
+                                 demand_scratch& scratch,
+                                 std::vector<bool>& negate);
 
 }  // namespace xsfq

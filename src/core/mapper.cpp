@@ -20,21 +20,59 @@ struct chain_info {
   bool base_rail = false;  ///< rail carried on DROC port 0
 };
 
-class mapper {
-public:
-  mapper(const aig& network, const mapping_params& params)
-      : net_(network), params_(params) {}
+}  // namespace
 
-  mapping_result run();
+/// The two mapping phases with every scratch buffer persistent: run() binds
+/// a network, resets (not reallocates) the scratch, and emits into the
+/// caller's recycled mapping_result.  Buffer reuse never changes output
+/// bytes — element creation order is a pure function of the input.
+struct xsfq_mapper::impl {
+  const aig* net_ = nullptr;
+  mapping_params params_;
 
-private:
+  bool sequential_ = false;
+  unsigned num_ranks_ = 0;  ///< DROC ranks crossed by a full input-output path
+  unsigned co_stage_ = 0;
+  std::vector<std::uint32_t> levels_;
+  std::vector<std::uint32_t> stage_;
+  std::vector<bool> reach_;           ///< register-fed region scratch
+  std::vector<bool> retimed_region_;  ///< retimed-rank source region
+
+  demand_scratch dscratch_;
+  rail_demands demands_;
+  std::vector<bool> co_negate_;
+
+  std::vector<proto_element> elems_;
+  /// base_[n][rail]: producing element, or -1 when not (yet) created.
+  std::vector<std::array<std::int64_t, 2>> base_;
+  /// DROC rank chains, dense per node (same scratch style as the cut
+  /// engine's mffc_calculator: index by aig::node_index, no hashing).  The
+  /// per-chain droc vectors keep their capacity across runs; `started_`
+  /// remembers which chains to clear.
+  std::vector<chain_info> chains_;
+  std::vector<bool> chain_started_;  ///< chains_[n] holds a live chain
+  std::vector<aig::node_index> started_;
+  /// (boundary DROC element, AIG register index) feedback bookkeeping.
+  std::vector<std::pair<std::uint32_t, port_ref>> feedback_protos_;
+
+  // Phase-B (splitter insertion) scratch.
+  std::vector<std::array<std::uint32_t, 2>> consumers_;
+  std::vector<std::uint32_t> new_index_;
+  /// Available output references per phase-A port, in consumption order;
+  /// inner vectors are cleared, never destroyed.
+  std::vector<std::array<std::vector<port_ref>, 2>> avail_;
+  std::vector<std::array<std::size_t, 2>> next_ref_;
+  std::vector<bool> used_;  ///< Eq. (1) input-rail usage scratch
+
+  void run(const aig& network, const mapping_params& params,
+           mapping_result& out);
+
   // ----- stage model ---------------------------------------------------------
 
   void prepare_stages();
   [[nodiscard]] unsigned gate_stage(aig::node_index n) const {
     return stage_[n];
   }
-  [[nodiscard]] unsigned co_stage() const { return co_stage_; }
   /// True when edges leaving this source node cross pipeline/retiming ranks.
   [[nodiscard]] bool is_crossing_source(aig::node_index n) const {
     if (params_.pipeline_stages > 0) return true;  // all sources staged
@@ -56,51 +94,35 @@ private:
 
   port_ref base_rail_ref(aig::node_index n, bool rail);
   port_ref resolve(aig::node_index n, bool rail, unsigned consumer_stage);
-  bool rank_preloaded(unsigned rank) const { return rank % 2 == 0; }
+  [[nodiscard]] bool rank_preloaded(unsigned rank) const {
+    return rank % 2 == 0;
+  }
 
   void build_sources();
   void build_gates();
   void build_outputs();
-  xsfq_netlist rebuild_with_splitters(
+  void rebuild_with_splitters(
+      xsfq_netlist& out,
       std::vector<std::pair<xsfq_netlist::element_index, port_ref>>& feedback);
-
-  const aig& net_;
-  const mapping_params& params_;
-
-  bool sequential_ = false;
-  unsigned num_ranks_ = 0;  ///< DROC ranks crossed by a full input-output path
-  unsigned co_stage_ = 0;
-  std::vector<std::uint32_t> stage_;
-  std::vector<bool> retimed_region_;  ///< retimed-rank source region
-
-  rail_demands demands_;
-  std::vector<bool> co_negate_;
-
-  std::vector<proto_element> elems_;
-  /// base_[n][rail]: producing element, or -1 when not (yet) created.
-  std::vector<std::array<std::int64_t, 2>> base_;
-  /// DROC rank chains, dense per node (same scratch style as the cut
-  /// engine's mffc_calculator: index by aig::node_index, no hashing).
-  std::vector<chain_info> chains_;
-  std::vector<bool> chain_started_;  ///< chains_[n] holds a live chain
-  /// (boundary DROC element, AIG register index) feedback bookkeeping.
-  std::vector<std::pair<std::uint32_t, port_ref>> feedback_protos_;
 };
 
-void mapper::prepare_stages() {
-  sequential_ = net_.num_registers() > 0;
+void xsfq_mapper::impl::prepare_stages() {
+  const aig& net = *net_;
+  sequential_ = net.num_registers() > 0;
   if (sequential_ && params_.pipeline_stages > 0) {
     throw std::invalid_argument(
         "map_to_xsfq: combinational pipelining requires a register-free "
         "network (sequential designs pipeline through retimed DROC pairs)");
   }
-  const auto levels = net_.compute_levels();
-  stage_.assign(net_.size(), 0);
+  net.compute_levels_into(levels_);
+  stage_.assign(net.size(), 0);
+  num_ranks_ = 0;
+  co_stage_ = 0;
 
   if (params_.pipeline_stages > 0) {
     const unsigned k = params_.pipeline_stages;
     num_ranks_ = 2 * k;
-    const std::uint32_t depth = net_.depth();
+    const std::uint32_t depth = net.depth();
     // Interior thresholds at i*L/(2k); the final rank sits at the outputs.
     std::vector<std::uint32_t> thresholds;
     for (unsigned i = 1; i < num_ranks_; ++i) {
@@ -109,10 +131,10 @@ void mapper::prepare_stages() {
                                       num_ranks_ - 1) /
                                      num_ranks_));
     }
-    net_.foreach_node([&](aig::node_index n) {
+    net.foreach_node([&](aig::node_index n) {
       unsigned s = 0;
       for (const auto t : thresholds) {
-        if (levels[n] > t) ++s;
+        if (levels_[n] > t) ++s;
       }
       stage_[n] = s;
     });
@@ -133,28 +155,28 @@ void mapper::prepare_stages() {
     // which the interchange simulator does not model (see EXPERIMENTS.md).
     num_ranks_ = 2;
     co_stage_ = 1;
-    std::vector<bool> reachable(net_.size(), false);
-    net_.foreach_node([&](aig::node_index n) {
-      if (net_.is_register_output(n)) {
-        reachable[n] = true;
+    reach_.assign(net.size(), false);
+    net.foreach_node([&](aig::node_index n) {
+      if (net.is_register_output(n)) {
+        reach_[n] = true;
         return;
       }
-      if (!net_.is_gate(n)) return;
-      reachable[n] = reachable[net_.fanin0(n).index()] ||
-                     reachable[net_.fanin1(n).index()];
+      if (!net.is_gate(n)) return;
+      reach_[n] = reach_[net.fanin0(n).index()] ||
+                  reach_[net.fanin1(n).index()];
     });
-    const std::uint32_t mid = (net_.depth() + 1) / 2;
-    net_.foreach_gate([&](aig::node_index n) {
+    const std::uint32_t mid = (net.depth() + 1) / 2;
+    net.foreach_gate([&](aig::node_index n) {
       // Stage 1 = outside the register-fed mid cone (consumer side).
-      stage_[n] = (reachable[n] && levels[n] <= mid) ? 0u : 1u;
+      stage_[n] = (reach_[n] && levels_[n] <= mid) ? 0u : 1u;
     });
     // Register outputs and other sources are stage 0; only signals produced
     // inside the region cross into stage 1.
-    retimed_region_.assign(net_.size(), false);
-    net_.foreach_node([&](aig::node_index n) {
+    retimed_region_.assign(net.size(), false);
+    net.foreach_node([&](aig::node_index n) {
       retimed_region_[n] =
-          net_.is_register_output(n) ||
-          (net_.is_gate(n) && reachable[n] && levels[n] <= mid);
+          net.is_register_output(n) ||
+          (net.is_gate(n) && reach_[n] && levels_[n] <= mid);
     });
     return;
   }
@@ -162,12 +184,13 @@ void mapper::prepare_stages() {
   if (sequential_) num_ranks_ = 2;  // pair_boundary: both ranks adjacent
 }
 
-port_ref mapper::base_rail_ref(aig::node_index n, bool rail) {
+port_ref xsfq_mapper::impl::base_rail_ref(aig::node_index n, bool rail) {
+  const aig& net = *net_;
   const std::size_t r = rail ? 1 : 0;
   // Register outputs first: both rails come from the flip-flop DROC, whose
   // Qp/Qn port assignment depends on the stored rail (it may be negative
   // when the output phase assignment negated the register input).
-  if (net_.is_register_output(n)) {
+  if (net.is_register_output(n)) {
     // Register rails come from the flip-flop DROCs: Qp (port 0) carries the
     // stored rail, Qn (port 1) its complement.
     if (base_[n][0] < 0) {
@@ -180,7 +203,7 @@ port_ref mapper::base_rail_ref(aig::node_index n, bool rail) {
   if (base_[n][r] >= 0) {
     return {static_cast<std::uint32_t>(base_[n][r]), 0};
   }
-  if (net_.is_constant(n)) {
+  if (net.is_constant(n)) {
     xsfq_element e;
     e.kind = element_kind::const_rail;
     e.rail = rail;
@@ -192,10 +215,11 @@ port_ref mapper::base_rail_ref(aig::node_index n, bool rail) {
   throw std::logic_error("mapper: rail has no producer (demand mismatch)");
 }
 
-port_ref mapper::resolve(aig::node_index n, bool rail,
-                         unsigned consumer_stage) {
+port_ref xsfq_mapper::impl::resolve(aig::node_index n, bool rail,
+                                    unsigned consumer_stage) {
+  const aig& net = *net_;
   if (!is_crossing_source(n)) return base_rail_ref(n, rail);
-  const unsigned src = net_.is_gate(n) || params_.pipeline_stages > 0
+  const unsigned src = net.is_gate(n) || params_.pipeline_stages > 0
                            ? gate_stage(n)
                            : 0;  // sequential ROs sit at stage 0
   if (consumer_stage <= src) return base_rail_ref(n, rail);
@@ -203,8 +227,9 @@ port_ref mapper::resolve(aig::node_index n, bool rail,
   chain_info& chain = chains_[n];
   if (!chain_started_[n]) {
     chain_started_[n] = true;
+    started_.push_back(n);
     chain.source_stage = src;
-    chain.base_rail = demands_.positive(n) || net_.is_ci(n) ? false : true;
+    chain.base_rail = demands_.positive(n) || net.is_ci(n) ? false : true;
   }
   while (chain.drocs.size() < consumer_stage - src) {
     const unsigned rank = src + static_cast<unsigned>(chain.drocs.size()) + 1;
@@ -223,35 +248,41 @@ port_ref mapper::resolve(aig::node_index n, bool rail,
   return {element, static_cast<std::uint8_t>(rail == chain.base_rail ? 0 : 1)};
 }
 
-void mapper::build_sources() {
-  base_.assign(net_.size(), {-1, -1});
-  chains_.assign(net_.size(), {});
-  chain_started_.assign(net_.size(), false);
+void xsfq_mapper::impl::build_sources() {
+  const aig& net = *net_;
+  base_.assign(net.size(), {-1, -1});
+  // Recycle the rank chains: only chains started last run hold elements.
+  if (chains_.size() < net.size()) chains_.resize(net.size());
+  for (const aig::node_index n : started_) chains_[n].drocs.clear();
+  started_.clear();
+  chain_started_.assign(net.size(), false);
+  feedback_protos_.clear();
+
   // Primary-input rails (both polarities; unused ones cost nothing).
-  for (std::size_t i = 0; i < net_.num_pis(); ++i) {
-    const aig::node_index n = net_.pi(i).index();
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    const aig::node_index n = net.pi(i).index();
     for (int rail = 0; rail < 2; ++rail) {
       xsfq_element e;
       e.kind = element_kind::input_rail;
       e.rail = rail != 0;
       e.aig_node = n;
-      e.name = net_.pi_name(i) + (rail ? "_n" : "_p");
+      e.name = net.pi_name(i) + (rail ? "_n" : "_p");
       base_[n][static_cast<std::size_t>(rail)] = add(std::move(e));
     }
   }
   // Register flip-flops: boundary DROC (preloaded, fed by the feedback arc).
-  for (std::size_t i = 0; i < net_.num_registers(); ++i) {
-    const aig::node_index n = net_.register_at(i).output_node;
+  for (std::size_t i = 0; i < net.num_registers(); ++i) {
+    const aig::node_index n = net.register_at(i).output_node;
     // The rail stored by the flip-flop is whichever polarity the output
     // phase assignment chose for the register input; Qp then carries that
     // rail and Qn the other (Sec. 2.2 complementary outputs).
-    const bool stored_rail = co_negate_[net_.num_pos() + i];
+    const bool stored_rail = co_negate_[net.num_pos() + i];
     xsfq_element boundary;
     boundary.kind = element_kind::droc_preload;
     boundary.aig_node = n;
     boundary.rail = stored_rail;
     boundary.pipeline_rank = 2;
-    boundary.name = net_.register_name(i);
+    boundary.name = net.register_name(i);
     const std::uint32_t a = add(std::move(boundary), /*feedback_source=*/true);
     feedback_protos_.emplace_back(a, port_ref{});  // driver filled later
 
@@ -262,7 +293,7 @@ void mapper::build_sources() {
       partner.aig_node = n;
       partner.rail = stored_rail;
       partner.pipeline_rank = 1;
-      partner.name = net_.register_name(i) + "_b";
+      partner.name = net.register_name(i) + "_b";
       partner.fanin0 = {a, 0};
       base_[n][0] = add(std::move(partner));
     } else {
@@ -271,11 +302,12 @@ void mapper::build_sources() {
   }
 }
 
-void mapper::build_gates() {
-  net_.foreach_gate([&](aig::node_index n) {
+void xsfq_mapper::impl::build_gates() {
+  const aig& net = *net_;
+  net.foreach_gate([&](aig::node_index n) {
     if (!demands_.any(n)) return;
-    const signal f0 = net_.fanin0(n);
-    const signal f1 = net_.fanin1(n);
+    const signal f0 = net.fanin0(n);
+    const signal f1 = net.fanin1(n);
     // Consumers sit at their own stage: pipeline cuts for pipelined
     // networks, the retiming lag (0 = outside S, 1 = inside S) otherwise.
     const unsigned consumer_stage =
@@ -305,10 +337,11 @@ void mapper::build_gates() {
   });
 }
 
-void mapper::build_outputs() {
-  net_.foreach_co([&](signal s, std::size_t i) {
+void xsfq_mapper::impl::build_outputs() {
+  const aig& net = *net_;
+  net.foreach_co([&](signal s, std::size_t i) {
     const bool rail = s.is_complemented() ^ co_negate_[i];
-    const bool is_po = i < net_.num_pos();
+    const bool is_po = i < net.num_pos();
     // Pipelined outputs sit behind the final rank; retimed register inputs
     // sit behind the retimed rank, but POs never do (their cones are
     // excluded from the retiming region S).
@@ -325,20 +358,21 @@ void mapper::build_outputs() {
       e.kind = element_kind::output_port;
       e.rail = co_negate_[i];
       e.fanin0 = driver;
-      e.name = net_.po_name(i);
+      e.name = net.po_name(i);
       add(std::move(e));
     } else {
       // Register input: the boundary DROC's data arc.
-      feedback_protos_[i - net_.num_pos()].second = driver;
+      feedback_protos_[i - net.num_pos()].second = driver;
     }
   });
 }
 
-xsfq_netlist mapper::rebuild_with_splitters(
+void xsfq_mapper::impl::rebuild_with_splitters(
+    xsfq_netlist& out,
     std::vector<std::pair<xsfq_netlist::element_index, port_ref>>& feedback) {
   // Count consumers of every (element, port).
-  std::vector<std::array<std::uint32_t, 2>> consumers(elems_.size(), {0, 0});
-  auto note = [&](port_ref r) { ++consumers[r.element][r.port]; };
+  consumers_.assign(elems_.size(), {0, 0});
+  auto note = [&](port_ref r) { ++consumers_[r.element][r.port]; };
   for (const auto& p : elems_) {
     const auto kind = p.data.kind;
     const bool binary = kind == element_kind::la || kind == element_kind::fa;
@@ -352,34 +386,42 @@ xsfq_netlist mapper::rebuild_with_splitters(
     note(driver);
   }
 
-  xsfq_netlist out;
-  std::vector<std::uint32_t> new_index(elems_.size(), 0);
-  // Available output references per phase-A port, in consumption order.
-  std::vector<std::array<std::vector<port_ref>, 2>> avail(elems_.size());
-  std::vector<std::array<std::size_t, 2>> next_ref(elems_.size(), {0, 0});
+  out.clear();
+  new_index_.assign(elems_.size(), 0);
+  // Available output references per phase-A port, in consumption order
+  // (inner vectors recycled at capacity).
+  if (avail_.size() < elems_.size()) avail_.resize(elems_.size());
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    avail_[i][0].clear();
+    avail_[i][1].clear();
+  }
+  next_ref_.assign(elems_.size(), {0, 0});
 
   auto pop_ref = [&](port_ref old_ref) -> port_ref {
-    auto& index = next_ref[old_ref.element][old_ref.port];
-    const auto& refs = avail[old_ref.element][old_ref.port];
+    auto& index = next_ref_[old_ref.element][old_ref.port];
+    const auto& refs = avail_[old_ref.element][old_ref.port];
     if (index >= refs.size()) {
       throw std::logic_error("mapper: consumer/producer bookkeeping mismatch");
     }
     return refs[index++];
   };
 
-  // Builds a balanced splitter tree delivering `count` copies of `root`.
+  // Builds a balanced splitter tree delivering `count` copies of `root`,
+  // appending the delivered references to `refs` (left subtree first — the
+  // historical consumption order).
   auto expand = [&](port_ref root, std::uint32_t count,
-                    auto&& self) -> std::vector<port_ref> {
-    if (count <= 1) return {root};
+                    std::vector<port_ref>& refs, auto&& self) -> void {
+    if (count <= 1) {
+      refs.push_back(root);
+      return;
+    }
     xsfq_element split;
     split.kind = element_kind::splitter;
     split.fanin0 = root;
     const auto s = out.add_element(std::move(split));
     const std::uint32_t left = (count + 1) / 2;
-    auto refs = self(port_ref{s, 0}, left, self);
-    auto right = self(port_ref{s, 1}, count - left, self);
-    refs.insert(refs.end(), right.begin(), right.end());
-    return refs;
+    self(port_ref{s, 0}, left, refs, self);
+    self(port_ref{s, 1}, count - left, refs, self);
   };
 
   for (std::size_t i = 0; i < elems_.size(); ++i) {
@@ -397,59 +439,67 @@ xsfq_netlist mapper::rebuild_with_splitters(
       e.feedback_input = true;
     }
     const auto ni = out.add_element(std::move(e));
-    new_index[i] = ni;
+    new_index_[i] = ni;
     const std::uint8_t num_ports =
         (kind == element_kind::droc || kind == element_kind::droc_preload)
             ? 2
             : (kind == element_kind::output_port ? 0 : 1);
     for (std::uint8_t port = 0; port < num_ports; ++port) {
-      const std::uint32_t k = consumers[i][port];
+      const std::uint32_t k = consumers_[i][port];
       if (k == 0) continue;
-      avail[i][port] = expand(port_ref{ni, port}, k, expand);
+      expand(port_ref{ni, port}, k, avail_[i][port], expand);
     }
   }
 
   feedback.clear();
   for (const auto& [element, driver] : feedback_protos_) {
-    feedback.emplace_back(new_index[element], pop_ref(driver));
+    feedback.emplace_back(new_index_[element], pop_ref(driver));
   }
-  return out;
 }
 
-mapping_result mapper::run() {
-  if (!net_.is_well_formed()) {
+void xsfq_mapper::impl::run(const aig& network, const mapping_params& params,
+                            mapping_result& out) {
+  if (!network.is_well_formed()) {
     throw std::invalid_argument("map_to_xsfq: unconnected register inputs");
   }
+  net_ = &network;
+  params_ = params;
+  elems_.clear();
   prepare_stages();
 
-  co_negate_ = params_.forced_polarities
-                   ? *params_.forced_polarities
-                   : co_polarities_for_mode(net_, params_.polarity);
-  if (co_negate_.size() != net_.num_cos()) {
+  if (params.forced_polarities) {
+    co_negate_ = *params.forced_polarities;
+  } else {
+    co_polarities_for_mode_into(network, params.polarity, dscratch_,
+                                co_negate_);
+  }
+  if (co_negate_.size() != network.num_cos()) {
     throw std::invalid_argument("map_to_xsfq: bad forced_polarities size");
   }
-  demands_ = params_.polarity == polarity_mode::direct_dual_rail
-                 ? direct_dual_rail_demands(net_)
-                 : compute_rail_demands(net_, co_negate_);
+  if (params.polarity == polarity_mode::direct_dual_rail) {
+    direct_dual_rail_demands_into(network, dscratch_, demands_);
+  } else {
+    compute_rail_demands_into(network, co_negate_, dscratch_, demands_);
+  }
 
   build_sources();
   build_gates();
   build_outputs();
 
-  mapping_result result;
-  result.co_negated = co_negate_;
-  result.netlist = rebuild_with_splitters(result.register_feedback);
-  result.netlist.check();
+  out.co_negated = co_negate_;
+  rebuild_with_splitters(out.netlist, out.register_feedback);
+  out.netlist.check();
 
   // ----- statistics ----------------------------------------------------------
-  mapping_stats& st = result.stats;
-  const auto& nl = result.netlist;
+  out.stats = {};
+  mapping_stats& st = out.stats;
+  const auto& nl = out.netlist;
   st.la_cells = nl.count(element_kind::la);
   st.fa_cells = nl.count(element_kind::fa);
   st.splitters = nl.num_splitters();
   st.drocs_plain = nl.num_drocs_plain();
   st.drocs_preload = nl.num_drocs_preload();
-  const auto ds = demand_stats(net_, demands_);
+  const auto ds = demand_stats(network, demands_);
   st.nodes_used = ds.nodes_used;
   st.duplication = ds.duplication();
   st.jj = nl.jj_count(false);
@@ -463,36 +513,52 @@ mapping_result mapper::run() {
   // input rails actually consumed.
   std::size_t used_input_rails = 0;
   {
-    std::vector<bool> used(nl.size(), false);
+    used_.assign(nl.size(), false);
     for (const auto& e : nl.elements()) {
       if (e.kind == element_kind::la || e.kind == element_kind::fa ||
           e.kind == element_kind::splitter ||
           e.kind == element_kind::output_port ||
           ((e.kind == element_kind::droc ||
             e.kind == element_kind::droc_preload))) {
-        used[e.fanin0.element] = true;
+        used_[e.fanin0.element] = true;
         if (e.kind == element_kind::la || e.kind == element_kind::fa) {
-          used[e.fanin1.element] = true;
+          used_[e.fanin1.element] = true;
         }
       }
     }
     for (std::uint32_t i = 0; i < nl.size(); ++i) {
-      if (nl.element(i).kind == element_kind::input_rail && used[i]) {
+      if (nl.element(i).kind == element_kind::input_rail && used_[i]) {
         ++used_input_rails;
       }
     }
   }
   st.eq1_splitters = static_cast<long>(st.la_cells + st.fa_cells) +
-                     static_cast<long>(net_.num_cos()) -
+                     static_cast<long>(network.num_cos()) -
                      static_cast<long>(used_input_rails);
+}
+
+xsfq_mapper::xsfq_mapper() : impl_(new impl) {}
+xsfq_mapper::~xsfq_mapper() = default;
+
+xsfq_mapper& xsfq_mapper::thread_local_mapper() {
+  static thread_local xsfq_mapper mapper;
+  return mapper;
+}
+
+mapping_result xsfq_mapper::map(const aig& network,
+                                const mapping_params& params) {
+  mapping_result result;
+  map_into(network, params, result);
   return result;
 }
 
-}  // namespace
+void xsfq_mapper::map_into(const aig& network, const mapping_params& params,
+                           mapping_result& out) {
+  impl_->run(network, params, out);
+}
 
 mapping_result map_to_xsfq(const aig& network, const mapping_params& params) {
-  mapper m(network, params);
-  return m.run();
+  return xsfq_mapper::thread_local_mapper().map(network, params);
 }
 
 }  // namespace xsfq

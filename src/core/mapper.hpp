@@ -16,6 +16,7 @@
 /// ranks alternate preloaded/plain so that phase patterning is correct after
 /// the one-shot trigger (even-indexed ranks carry the preload hardware).
 
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -68,10 +69,40 @@ struct mapping_result {
       register_feedback;
 };
 
+/// Reusable mapping engine: every scratch structure of the two mapping
+/// phases (stage model, rail bases, DROC rank chains, proto elements,
+/// splitter bookkeeping, demand propagation) persists across calls, so
+/// repeated invocations rebuild nothing — the AIG -> netlist translation
+/// consumes the optimization pipeline's output through recycled buffers just
+/// like the opt passes produce it (see opt/opt_engine.hpp).  One engine per
+/// thread suffices; results never depend on engine state.
+class xsfq_mapper {
+public:
+  xsfq_mapper();
+  ~xsfq_mapper();
+  xsfq_mapper(const xsfq_mapper&) = delete;
+  xsfq_mapper& operator=(const xsfq_mapper&) = delete;
+
+  /// The calling thread's persistent engine (used by map_to_xsfq).
+  static xsfq_mapper& thread_local_mapper();
+
+  /// Maps into a fresh result.
+  mapping_result map(const aig& network, const mapping_params& params = {});
+  /// Maps into `out`, recycling its netlist/vector capacity from the
+  /// previous call — the steady state allocates (almost) nothing.
+  void map_into(const aig& network, const mapping_params& params,
+                mapping_result& out);
+
+private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
 /// Maps an AIG to an xSFQ netlist.  The input network should already be
 /// optimized (src/opt); mapping adds no logic restructuring of its own.
 /// Throws std::invalid_argument on unconnected registers or when
-/// pipeline_stages is combined with a sequential network.
+/// pipeline_stages is combined with a sequential network.  Runs on the
+/// calling thread's persistent xsfq_mapper.
 mapping_result map_to_xsfq(const aig& network,
                            const mapping_params& params = {});
 

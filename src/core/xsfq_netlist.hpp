@@ -68,6 +68,10 @@ public:
 
   element_index add_element(xsfq_element element);
 
+  /// Drops every element while keeping the buffer's capacity — the mapper
+  /// engine recycles one netlist across map_into() calls.
+  void clear() { elements_.clear(); }
+
   [[nodiscard]] const std::vector<xsfq_element>& elements() const {
     return elements_;
   }

@@ -17,6 +17,7 @@
 
 #include "benchgen/registry.hpp"
 #include "flow/disk_cache.hpp"
+#include "opt/partition.hpp"
 #include "util/hash.hpp"
 
 namespace xsfq::flow {
@@ -86,6 +87,8 @@ batch_summary summarize(const batch_report& report) {
 
 struct batch_runner::impl {
   // ----- work-stealing pool -------------------------------------------------
+
+  unsigned num_threads = 1;  ///< mirror of the owner's worker count
 
   /// One deque per worker; the owner pops the front, thieves pop the back.
   struct worker_queue {
@@ -177,6 +180,71 @@ struct batch_runner::impl {
     batch_done.wait(lock, [this] { return in_flight.load() == 0; });
   }
 
+  // ----- intra-flow subtasks (caller participates) --------------------------
+
+  /// One run_subtasks invocation: tasks are claimed through an atomic cursor
+  /// by pool workers *and* the submitting thread, so the group always drains
+  /// even on a fully loaded (or single-worker) pool.
+  struct subtask_group {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+
+    /// Claims and runs one task; false when none are left to claim.
+    bool run_next() {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return false;
+      tasks[i]();
+      if (done.fetch_add(1) + 1 == tasks.size()) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+      }
+      return true;
+    }
+  };
+
+  void run_subtasks(std::vector<std::function<void()>> tasks) {
+    if (tasks.empty()) return;
+    if (tasks.size() == 1 || num_threads <= 1) {
+      // No sibling worker could help; skip the group machinery entirely.
+      for (auto& task : tasks) task();
+      return;
+    }
+    auto group = std::make_shared<subtask_group>();
+    group->tasks = std::move(tasks);
+    const std::size_t n = group->tasks.size();
+    // Offer at most one claim job per *other* worker (more thieves than
+    // workers just adds wakeups); each helper drains the cursor until the
+    // group is empty, so surplus tasks spread over however many workers are
+    // actually free, and the caller claims whatever nobody picked up.
+    const std::size_t helpers = std::min<std::size_t>(n - 1, num_threads - 1);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      submit([group] {
+        while (group->run_next()) {
+        }
+      });
+    }
+    while (group->run_next()) {
+    }
+    std::unique_lock<std::mutex> lock(group->m);
+    group->cv.wait(lock, [&] { return group->done.load() == n; });
+  }
+
+  /// Copies `options` with the pool installed as the partitioned-optimize
+  /// executor (when requested and not caller-supplied).  The executor never
+  /// joins the fingerprint, so cache keys are unaffected.
+  flow_options with_pool_executor(const flow_options& options) {
+    flow_options out = options;
+    if (out.opt.flow_jobs > 1 && !out.opt.executor) {
+      out.opt.executor = [this](std::vector<std::function<void()>>&& tasks) {
+        run_subtasks(std::move(tasks));
+      };
+    }
+    return out;
+  }
+
   // ----- cross-run result cache --------------------------------------------
 
   struct cache_key {
@@ -219,9 +287,11 @@ struct batch_runner::impl {
   /// owns its own mutex, so lookups never hold cache_mutex across file IO.
   std::unique_ptr<disk_result_cache> disk;
   /// Registry generators are deterministic for the process lifetime, so a
-  /// benchmark's content hash is memoized: repeat full-cache hits skip the
+  /// benchmark's content hash (and gate count, which keys the effective
+  /// partition clamp) is memoized: repeat full-cache hits skip the
   /// (re)generation entirely.  Bounded by the registry size.
-  std::unordered_map<std::string, std::uint64_t> hash_memo;
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::size_t>>
+      hash_memo;
   std::atomic<bool> cache_enabled{true};
   std::atomic<std::uint64_t> full_hits{0};
   std::atomic<std::uint64_t> full_misses{0};
@@ -317,17 +387,24 @@ struct batch_runner::impl {
   /// content hash is memoized; `generate` then rebuilds it on demand.
   flow_result run_cached_core(const std::string& name,
                               std::uint64_t circuit_hash,
+                              std::size_t num_gates,
                               const flow_options& options,
                               std::optional<aig> network, double generate_ms,
                               const std::function<aig()>& generate,
                               const stage_observer& observer) {
     using clock = std::chrono::steady_clock;
+    // Cache keys fingerprint the *effective* partition count: small circuits
+    // clamp flow_jobs down (often to 1), so requests whose clamp coincides
+    // produce byte-identical results and must share one entry.
+    flow_options keyed = options;
+    keyed.opt.flow_jobs =
+        effective_partition_count(num_gates, options.opt.flow_jobs);
     // The circuit name joins the circuit half of the key: name-derived
     // artifacts (result.name, the emit stage's default Verilog module
     // header) must never be served across two names that happen to
     // generate content-identical circuits.
     const cache_key full_key{hash_mix_str(circuit_hash, name),
-                             fingerprint(options)};
+                             fingerprint(keyed)};
     if (auto cached = lookup_full(full_key)) {
       full_hits.fetch_add(1, std::memory_order_relaxed);
       return finish_hit(*cached, name, generate_ms, observer);
@@ -350,7 +427,7 @@ struct batch_runner::impl {
     flow f("synthesis");
     f.add_stage(stages::preset(std::move(*network), name));
     if (options.run_optimize) {
-      const cache_key opt_key{circuit_hash, fingerprint(options.opt)};
+      const cache_key opt_key{circuit_hash, fingerprint(keyed.opt)};
       // Claim happens when the stage *runs* (on a worker), so whichever
       // entry gets there first produces and everyone else — ready or still
       // in flight on a sibling worker — consumes the same result.
@@ -399,7 +476,8 @@ struct batch_runner::impl {
   /// process lifetime, so its content hash is memoized and repeat hits skip
   /// the (re)generation entirely.
   flow_result run_cached_flow(const std::string& name,
-                              const flow_options& options) {
+                              const flow_options& caller_options) {
+    const flow_options options = with_pool_executor(caller_options);
     if (!cache_enabled.load(std::memory_order_relaxed)) {
       return run_flow(name, options);
     }
@@ -408,12 +486,14 @@ struct batch_runner::impl {
     std::optional<aig> network;
 
     std::uint64_t circuit_hash = 0;
+    std::size_t num_gates = 0;
     bool have_hash = false;
     {
       std::lock_guard<std::mutex> lock(cache_mutex);
       const auto it = hash_memo.find(name);
       if (it != hash_memo.end()) {
-        circuit_hash = it->second;
+        circuit_hash = it->second.first;
+        num_gates = it->second.second;
         have_hash = true;
       }
     }
@@ -424,19 +504,21 @@ struct batch_runner::impl {
           clock::now() - start;
       generate_ms += elapsed.count();
       circuit_hash = network->content_hash();
+      num_gates = network->num_gates();
       std::lock_guard<std::mutex> lock(cache_mutex);
-      hash_memo.emplace(name, circuit_hash);
+      hash_memo.emplace(name, std::make_pair(circuit_hash, num_gates));
     }
     return run_cached_core(
-        name, circuit_hash, options, std::move(network), generate_ms,
-        [&name] { return benchgen::make_benchmark(name); }, {});
+        name, circuit_hash, num_gates, options, std::move(network),
+        generate_ms, [&name] { return benchgen::make_benchmark(name); }, {});
   }
 
   /// Serving entry point: an already-built network (parsed from a request
   /// payload or a corpus file) with optional per-stage progress streaming.
   flow_result run_cached_network(aig network, const std::string& name,
-                                 const flow_options& options,
+                                 const flow_options& caller_options,
                                  const stage_observer& observer) {
+    const flow_options options = with_pool_executor(caller_options);
     if (!cache_enabled.load(std::memory_order_relaxed)) {
       flow f("synthesis");
       f.add_stage(stages::preset(std::move(network), name));
@@ -444,8 +526,9 @@ struct batch_runner::impl {
       return f.run(observer);
     }
     const std::uint64_t circuit_hash = network.content_hash();
-    return run_cached_core(name, circuit_hash, options, std::move(network),
-                           0.0, {}, observer);
+    const std::size_t num_gates = network.num_gates();
+    return run_cached_core(name, circuit_hash, num_gates, options,
+                           std::move(network), 0.0, {}, observer);
   }
 };
 
@@ -455,6 +538,7 @@ batch_runner::batch_runner(unsigned num_threads) : impl_(new impl) {
     if (num_threads == 0) num_threads = 1;
   }
   num_threads_ = num_threads;
+  impl_->num_threads = num_threads;
   impl_->queues.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     impl_->queues.push_back(std::make_unique<impl::worker_queue>());
@@ -531,6 +615,16 @@ flow_result batch_runner::run_cached(aig network, const std::string& name,
                                      const stage_observer& observer) {
   return impl_->run_cached_network(std::move(network), name, options,
                                    observer);
+}
+
+void batch_runner::run_subtasks(std::vector<std::function<void()>> tasks) {
+  impl_->run_subtasks(std::move(tasks));
+}
+
+subtask_runner batch_runner::make_subtask_runner() {
+  return [this](std::vector<std::function<void()>>&& tasks) {
+    impl_->run_subtasks(std::move(tasks));
+  };
 }
 
 std::future<flow_result> batch_runner::enqueue_job(

@@ -154,6 +154,19 @@ class batch_runner {
                          const flow_options& options,
                          const stage_observer& observer = {});
 
+  /// Runs every closure to completion with pool assistance: the closures are
+  /// offered to the worker deques AND claimed by the calling thread itself,
+  /// so progress is guaranteed even when every worker is busy (a pool worker
+  /// may call this re-entrantly — that is exactly the intra-flow parallelism
+  /// path).  Closures must not throw; callers capture errors themselves.
+  void run_subtasks(std::vector<std::function<void()>> tasks);
+
+  /// run_subtasks as an optimize_params::executor.  The runner must outlive
+  /// any flow using the returned function; the cached flow entry points
+  /// install it automatically whenever flow_options asks for
+  /// opt.flow_jobs > 1 without supplying an executor.
+  subtask_runner make_subtask_runner();
+
   /// The cross-run result cache is on by default; disabling it also clears
   /// nothing (re-enable to keep using prior entries).
   void set_cache_enabled(bool enabled);

@@ -36,7 +36,9 @@ class disk_result_cache {
  public:
   /// Current on-disk format.  Bump whenever the serialized layout of
   /// flow_result (result_io.cpp) changes; older entries then read as misses.
-  static constexpr std::uint32_t format_version = 1;
+  // v2: opt/stage counters gained net_arena_bytes + rebuilds_avoided (PR 5);
+  // v1 entries are auto-dropped as stale-version misses.
+  static constexpr std::uint32_t format_version = 2;
 
   /// Creates the directory if needed.  Throws std::runtime_error when the
   /// directory cannot be created or is not writable.

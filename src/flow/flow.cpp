@@ -83,6 +83,8 @@ void apply_opt_counters(stage_counters& counters, const opt_counters& work) {
   counters.arena_bytes = work.cut_arena_bytes;
   counters.sim_words = work.sim_words;
   counters.sim_node_evals = work.sim_node_evals;
+  counters.arena_peak_bytes = work.net_arena_bytes;
+  counters.rebuilds_avoided = work.rebuilds_avoided;
 }
 
 namespace stages {
@@ -114,9 +116,13 @@ stage optimize(optimize_params params) {
 
 stage pass(std::string pass_name) {
   return {pass_name, [pass_name](flow_context& ctx) {
-            opt_engine engine;
+            // The per-thread engine persists across stages and entries, so
+            // this stage's work is the counter delta, not the lifetime total.
+            opt_engine& engine = opt_engine::thread_local_engine();
+            const opt_counters before = engine.counters();
             ctx.network = engine.run_pass(ctx.network, pass_name);
-            apply_opt_counters(ctx.counters, engine.counters());
+            apply_opt_counters(ctx.counters,
+                               engine.counters().delta_since(before));
           }};
 }
 
@@ -152,6 +158,10 @@ std::uint64_t fingerprint(const optimize_params& params) {
   h = hash_mix(h, params.refactor_cut_size);
   h = hash_mix(h, params.validate_passes);
   h = hash_mix(h, params.validate_passes ? params.validate_rounds : 0);
+  // The partition count changes the optimized network (region boundaries
+  // freeze cuts), so it is part of the result identity; the executor is
+  // wall-clock-only and deliberately excluded.
+  h = hash_mix(h, params.flow_jobs == 0 ? 1u : params.flow_jobs);
   return h;
 }
 

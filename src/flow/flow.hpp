@@ -35,6 +35,8 @@ struct stage_counters {
   std::uint64_t arena_bytes = 0;   ///< peak cut-arena footprint
   std::uint64_t sim_words = 0;       ///< 64-pattern sim words swept
   std::uint64_t sim_node_evals = 0;  ///< gate x word sim evaluations
+  std::uint64_t arena_peak_bytes = 0;  ///< peak network-arena footprint
+  std::uint64_t rebuilds_avoided = 0;  ///< pass outputs taken without rebuild
 };
 
 /// Mutable state threaded through the stages of one flow run.  Stages fill

@@ -24,6 +24,8 @@ void write_opt_counters(byte_writer& w, const opt_counters& c) {
   w.u64(c.equiv_checks);
   w.u64(c.sim_words);
   w.u64(c.sim_node_evals);
+  w.u64(c.net_arena_bytes);
+  w.u64(c.rebuilds_avoided);
 }
 
 opt_counters read_opt_counters(byte_reader& r) {
@@ -38,6 +40,8 @@ opt_counters read_opt_counters(byte_reader& r) {
   c.equiv_checks = r.u64();
   c.sim_words = r.u64();
   c.sim_node_evals = r.u64();
+  c.net_arena_bytes = r.u64();
+  c.rebuilds_avoided = r.u64();
   return c;
 }
 
@@ -391,6 +395,8 @@ void write_stage_counters(byte_writer& w, const stage_counters& c) {
   w.u64(c.arena_bytes);
   w.u64(c.sim_words);
   w.u64(c.sim_node_evals);
+  w.u64(c.arena_peak_bytes);
+  w.u64(c.rebuilds_avoided);
 }
 
 stage_counters read_stage_counters(byte_reader& r) {
@@ -401,6 +407,8 @@ stage_counters read_stage_counters(byte_reader& r) {
   c.arena_bytes = r.u64();
   c.sim_words = r.u64();
   c.sim_node_evals = r.u64();
+  c.arena_peak_bytes = r.u64();
+  c.rebuilds_avoided = r.u64();
   return c;
 }
 

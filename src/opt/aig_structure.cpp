@@ -65,10 +65,18 @@ std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
 
 signal build_structure(aig& dest, const aig_structure& s,
                        const std::vector<signal>& leaf_signals) {
+  std::vector<signal> scratch;
+  return build_structure(dest, s, leaf_signals, scratch);
+}
+
+signal build_structure(aig& dest, const aig_structure& s,
+                       const std::vector<signal>& leaf_signals,
+                       std::vector<signal>& scratch) {
   if (leaf_signals.size() != s.num_leaves) {
     throw std::invalid_argument("build_structure: leaf count mismatch");
   }
-  std::vector<signal> value;
+  auto& value = scratch;
+  value.clear();
   value.reserve(s.num_leaves + s.steps.size());
   value.insert(value.end(), leaf_signals.begin(), leaf_signals.end());
   auto resolve = [&](std::uint32_t lit) -> signal {

@@ -68,4 +68,10 @@ std::optional<unsigned> count_new_nodes(const aig& dest, const aig_structure& s,
 signal build_structure(aig& dest, const aig_structure& s,
                        const std::vector<signal>& leaf_signals);
 
+/// Allocation-free variant backed by caller-owned scratch (one call per
+/// accepted replacement sits on the rewriting hot path).
+signal build_structure(aig& dest, const aig_structure& s,
+                       const std::vector<signal>& leaf_signals,
+                       std::vector<signal>& scratch);
+
 }  // namespace xsfq

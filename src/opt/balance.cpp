@@ -5,8 +5,7 @@
 namespace xsfq {
 
 aig balance(const aig& network) {
-  opt_engine engine;
-  return engine.balance(network);
+  return opt_engine::thread_local_engine().balance(network);
 }
 
 }  // namespace xsfq

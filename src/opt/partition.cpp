@@ -1,0 +1,221 @@
+#include "opt/partition.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+#include "aig/simulate.hpp"
+#include "opt/opt_engine.hpp"
+
+namespace xsfq {
+namespace {
+
+/// Below this many gates per region, extra regions cost more (boundary
+/// freezing, merge overhead) than they parallelize; the clamp keeps tiny
+/// circuits on the sequential path deterministically.
+constexpr std::size_t min_gates_per_region = 64;
+
+struct region {
+  aig sub;                               ///< extracted subnetwork
+  std::vector<aig::node_index> inputs;   ///< parent nodes feeding sub-PIs
+  std::vector<aig::node_index> outputs;  ///< exported parent gates (= sub-POs)
+  aig optimized;
+  optimize_stats stats;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+unsigned effective_partition_count(std::size_t num_gates, unsigned flow_jobs) {
+  const unsigned regions_wanted = std::max(1u, flow_jobs);
+  const auto by_size = static_cast<unsigned>(
+      std::max<std::size_t>(1, num_gates / min_gates_per_region));
+  return std::min(regions_wanted, by_size);
+}
+
+aig optimize_partitioned(const aig& network, const optimize_params& params,
+                         optimize_stats* stats, partition_info* info) {
+  const std::size_t num_gates = network.num_gates();
+  const unsigned P = effective_partition_count(num_gates, params.flow_jobs);
+  if (P <= 1) {
+    if (info) *info = {1, 0};
+    return opt_engine::thread_local_engine().optimize(network, params, stats);
+  }
+
+  // ----- plan: contiguous topological regions over the gate array ----------
+  // chunk[n] = region of gate n (-1 for CIs/constant).  Contiguity over the
+  // topologically sorted node array guarantees a region's fanins resolve to
+  // combinational inputs or strictly earlier regions.
+  std::vector<std::int32_t> chunk(network.size(), -1);
+  {
+    std::size_t ordinal = 0;
+    network.foreach_gate([&](aig::node_index n) {
+      chunk[n] = static_cast<std::int32_t>(
+          std::min<std::size_t>(P - 1, ordinal * P / num_gates));
+      ++ordinal;
+    });
+  }
+
+  // A gate is exported when a different region or a combinational output
+  // consumes it; exported gates become sub-POs their region must preserve.
+  std::vector<std::uint8_t> exported(network.size(), 0);
+  network.foreach_gate([&](aig::node_index n) {
+    for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+      const aig::node_index m = f.index();
+      if (chunk[m] >= 0 && chunk[m] != chunk[n]) exported[m] = 1;
+    }
+  });
+  network.foreach_co([&](signal s, std::size_t) {
+    if (network.is_gate(s.index())) exported[s.index()] = 1;
+  });
+
+  // ----- extract one subnetwork per region ----------------------------------
+  std::vector<region> regions(P);
+  std::vector<signal> sub_map(network.size());
+  std::vector<std::int32_t> seen(network.size(), -1);
+  for (unsigned k = 0; k < P; ++k) {
+    region& r = regions[k];
+    const auto in_region = [&](aig::node_index n) {
+      return chunk[n] == static_cast<std::int32_t>(k);
+    };
+    network.foreach_gate([&](aig::node_index n) {
+      if (!in_region(n)) return;
+      for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+        const aig::node_index m = f.index();
+        if (m != 0 && !in_region(m) && seen[m] != static_cast<std::int32_t>(k)) {
+          seen[m] = static_cast<std::int32_t>(k);
+          r.inputs.push_back(m);
+        }
+      }
+    });
+    for (const aig::node_index m : r.inputs) {
+      sub_map[m] = r.sub.create_pi();
+    }
+    network.foreach_gate([&](aig::node_index n) {
+      if (!in_region(n)) return;
+      const auto resolve = [&](signal f) {
+        return (f.index() == 0 ? r.sub.get_constant(false)
+                               : sub_map[f.index()]) ^
+               f.is_complemented();
+      };
+      sub_map[n] =
+          r.sub.create_and(resolve(network.fanin0(n)), resolve(network.fanin1(n)));
+    });
+    network.foreach_gate([&](aig::node_index n) {
+      if (!in_region(n) || !exported[n]) return;
+      r.outputs.push_back(n);
+      r.sub.create_po(sub_map[n]);
+    });
+  }
+
+  // ----- optimize every region (inline or on the caller's executor) --------
+  optimize_params sub_params = params;
+  sub_params.flow_jobs = 1;
+  sub_params.executor = nullptr;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(P);
+  for (unsigned k = 0; k < P; ++k) {
+    region* r = &regions[k];
+    tasks.push_back([r, sub_params] {
+      try {
+        r->optimized = optimize(r->sub, sub_params, &r->stats);
+      } catch (...) {
+        r->error = std::current_exception();
+      }
+    });
+  }
+  if (params.executor) {
+    params.executor(std::move(tasks));
+  } else {
+    for (auto& task : tasks) task();
+  }
+  for (const region& r : regions) {
+    if (r.error) std::rethrow_exception(r.error);
+  }
+
+  // ----- deterministic merge, region order, global strash -------------------
+  aig merged;
+  std::vector<signal> merged_map(network.size(), merged.get_constant(false));
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    merged_map[network.pi(i).index()] = merged.create_pi(network.pi_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    merged_map[network.register_at(i).output_node] =
+        merged.create_register_output(network.register_at(i).init,
+                                      network.register_name(i));
+  }
+  std::vector<signal> replay;
+  for (unsigned k = 0; k < P; ++k) {
+    const region& r = regions[k];
+    const aig& opt = r.optimized;
+    replay.assign(opt.size(), merged.get_constant(false));
+    for (std::size_t i = 0; i < opt.num_pis(); ++i) {
+      replay[opt.pi(i).index()] = merged_map[r.inputs[i]];
+    }
+    opt.foreach_gate([&](aig::node_index n) {
+      const signal f0 = opt.fanin0(n);
+      const signal f1 = opt.fanin1(n);
+      replay[n] = merged.create_and(replay[f0.index()] ^ f0.is_complemented(),
+                                    replay[f1.index()] ^ f1.is_complemented());
+    });
+    for (std::size_t i = 0; i < r.outputs.size(); ++i) {
+      const signal po = opt.po_signal(i);
+      merged_map[r.outputs[i]] = replay[po.index()] ^ po.is_complemented();
+    }
+  }
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const signal po = network.po_signal(i);
+    merged.create_po(merged_map[po.index()] ^ po.is_complemented(),
+                     network.po_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const auto& reg = network.register_at(i);
+    if (reg.input_set) {
+      merged.set_register_input(i, merged_map[reg.input.index()] ^
+                                       reg.input.is_complemented());
+    }
+  }
+  aig result = merged.cleanup();
+
+  if (params.validate_passes &&
+      !random_equivalent(network, result, params.validate_rounds,
+                         /*seed=*/0xA11Cu + P)) {
+    throw std::runtime_error(
+        "optimize: partition merge broke simulation equivalence");
+  }
+
+  if (stats) {
+    optimize_stats total;
+    total.initial_gates = network.num_gates();
+    total.initial_depth = network.depth();
+    total.final_gates = result.num_gates();
+    total.final_depth = result.depth();
+    for (const region& r : regions) {
+      total.rounds = std::max(total.rounds, r.stats.rounds);
+      opt_counters& w = total.work;
+      const opt_counters& rw = r.stats.work;
+      w.passes += rw.passes;
+      w.cuts_enumerated += rw.cuts_enumerated;
+      w.cut_candidates += rw.cut_candidates;
+      w.mffc_queries += rw.mffc_queries;
+      w.replacements += rw.replacements;
+      w.resynth_cache_hits += rw.resynth_cache_hits;
+      w.equiv_checks += rw.equiv_checks;
+      w.sim_words += rw.sim_words;
+      w.sim_node_evals += rw.sim_node_evals;
+      w.rebuilds_avoided += rw.rebuilds_avoided;
+      w.cut_arena_bytes = std::max(w.cut_arena_bytes, rw.cut_arena_bytes);
+      w.net_arena_bytes = std::max(w.net_arena_bytes, rw.net_arena_bytes);
+    }
+    *stats = total;
+  }
+  if (info) {
+    std::size_t boundary = 0;
+    for (const region& r : regions) boundary += r.outputs.size();
+    *info = {P, boundary};
+  }
+  return result;
+}
+
+}  // namespace xsfq

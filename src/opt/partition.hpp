@@ -1,0 +1,50 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Intra-flow parallel optimization: partitioned balance/rewrite.
+///
+/// One large circuit normally occupies a single batch_runner worker for its
+/// whole flow.  `optimize_partitioned` splits the gate array into
+/// `optimize_params::flow_jobs` contiguous topological regions (disjoint by
+/// construction — every gate belongs to exactly one region, and a region's
+/// fanins point only at combinational inputs or earlier regions), runs the
+/// full resyn script on each region concurrently, and merges the optimized
+/// regions back in region order with global structural hashing.
+///
+/// Determinism contract: the result is a pure function of (circuit,
+/// optimize_params) — regions are optimized independently on isolated
+/// engines and merged in a fixed order, so running the subtasks on one
+/// thread or sixteen produces byte-identical networks
+/// (tests/test_opt_arena.cpp pins partition counts 1..8).  The partition
+/// count itself *does* change the result (cuts cannot cross region
+/// boundaries, and exported boundary nodes must be preserved), which is why
+/// flow_jobs joins the flow-options fingerprint.
+
+#include "aig/aig.hpp"
+#include "opt/script.hpp"
+
+namespace xsfq {
+
+/// How a partitioned run divided the work (observability for benches/tests).
+struct partition_info {
+  unsigned partitions = 0;           ///< regions actually used (after clamping)
+  std::size_t boundary_signals = 0;  ///< gate outputs exported across regions
+};
+
+/// The region count optimize_partitioned will actually use for a network of
+/// `num_gates` gates when `flow_jobs` regions are requested (small circuits
+/// clamp to fewer regions).  Exposed so cache keys can fingerprint the
+/// *effective* count: requests whose clamp coincides share cache entries.
+unsigned effective_partition_count(std::size_t num_gates, unsigned flow_jobs);
+
+/// The resyn script over `params.flow_jobs` concurrent regions.  Subtasks run
+/// through params.executor when set (the flow layer passes the batch_runner
+/// pool) and inline otherwise — identical results either way.  Regions
+/// validate their own passes when params.validate_passes is set, and the
+/// merged network is additionally checked against the input.  Small networks
+/// are clamped to fewer regions (deterministically, by gate count); a clamp
+/// to one region is exactly the sequential script.
+aig optimize_partitioned(const aig& network, const optimize_params& params,
+                         optimize_stats* stats = nullptr,
+                         partition_info* info = nullptr);
+
+}  // namespace xsfq

@@ -1,20 +1,39 @@
 #include "opt/script.hpp"
 
 #include "opt/opt_engine.hpp"
+#include "opt/partition.hpp"
 
 namespace xsfq {
 
+opt_counters opt_counters::delta_since(const opt_counters& before) const {
+  opt_counters d = *this;
+  d.passes -= before.passes;
+  d.cuts_enumerated -= before.cuts_enumerated;
+  d.cut_candidates -= before.cut_candidates;
+  d.mffc_queries -= before.mffc_queries;
+  d.replacements -= before.replacements;
+  d.resynth_cache_hits -= before.resynth_cache_hits;
+  d.equiv_checks -= before.equiv_checks;
+  d.sim_words -= before.sim_words;
+  d.sim_node_evals -= before.sim_node_evals;
+  d.rebuilds_avoided -= before.rebuilds_avoided;
+  // cut_arena_bytes / net_arena_bytes stay the peak footprint, not a delta.
+  return d;
+}
+
 aig optimize(const aig& network, const optimize_params& params,
              optimize_stats* stats) {
-  // One engine for the whole script: every balance/rewrite/refactor round
-  // reuses the same cut arena, MFFC scratch, and resynthesis caches.
-  opt_engine engine;
-  return engine.optimize(network, params, stats);
+  if (params.flow_jobs > 1) {
+    return optimize_partitioned(network, params, stats);
+  }
+  // The calling thread's engine: every balance/rewrite/refactor round of
+  // every call reuses the same cut arena, network arena, MFFC scratch, and
+  // resynthesis caches.
+  return opt_engine::thread_local_engine().optimize(network, params, stats);
 }
 
 aig run_pass(const aig& network, const std::string& pass) {
-  opt_engine engine;
-  return engine.run_pass(network, pass);
+  return opt_engine::thread_local_engine().run_pass(network, pass);
 }
 
 }  // namespace xsfq

@@ -8,11 +8,21 @@
 /// (Sec. 3.1.3), this directly minimizes the xSFQ cell count.
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "aig/aig.hpp"
 
 namespace xsfq {
+
+/// Runs every closure to completion before returning (closures must not
+/// throw; callers wrap their work to capture errors).  The flow layer backs
+/// this with the batch_runner's work-stealing pool so one large circuit can
+/// occupy several workers; when empty, partitions run inline on the calling
+/// thread with identical results.
+using subtask_runner =
+    std::function<void(std::vector<std::function<void()>>&&)>;
 
 struct optimize_params {
   unsigned max_rounds = 4;       ///< resyn rounds before giving up
@@ -25,6 +35,15 @@ struct optimize_params {
   /// of 32 rounds uses exactly one full-width chunk.
   bool validate_passes = false;
   unsigned validate_rounds = 32;  ///< x64 patterns per per-pass check
+  /// Intra-flow parallelism: > 1 partitions the network into that many
+  /// disjoint topological regions optimized concurrently and merged
+  /// deterministically (opt/partition.hpp).  The partition count changes the
+  /// result (cuts cannot cross region boundaries), so it joins the flow
+  /// fingerprint; 1 is the exact legacy single-region pipeline.
+  unsigned flow_jobs = 1;
+  /// Executes the partition subtasks; empty runs them inline.  Not part of
+  /// the fingerprint: the executor affects wall-clock only, never results.
+  subtask_runner executor;
 };
 
 /// Work/allocation counters accumulated by an opt_engine across every pass
@@ -40,6 +59,14 @@ struct opt_counters {
   std::uint64_t equiv_checks = 0;       ///< per-pass sim-equivalence checks
   std::uint64_t sim_words = 0;          ///< 64-pattern words swept by checks
   std::uint64_t sim_node_evals = 0;     ///< gate x word evaluations by checks
+  std::uint64_t net_arena_bytes = 0;    ///< peak footprint of the network arenas
+  std::uint64_t rebuilds_avoided = 0;   ///< pass outputs taken without a rebuild
+
+  /// This record minus `before` for the monotonic work counters; the peak
+  /// footprint fields (cut_arena_bytes, net_arena_bytes) keep their current
+  /// high-water value.  The one delta rule shared by optimize(), the flow
+  /// pass stage, and the partition merge.
+  [[nodiscard]] opt_counters delta_since(const opt_counters& before) const;
 };
 
 struct optimize_stats {
@@ -53,9 +80,12 @@ struct optimize_stats {
 
 /// Runs rounds of (balance; rewrite; refactor; balance; rewrite) until the
 /// gate count stops improving.  Functional equivalence is preserved by
-/// construction; tests double-check with simulation.  One opt_engine is
-/// reused across every pass of every round, so the steady state allocates
-/// nothing per node, cut, or candidate.
+/// construction; tests double-check with simulation.  The per-thread engine
+/// (its double-buffered network arena, cut arena, and resynthesis caches) is
+/// recycled across every pass of every round *and* across calls, so the
+/// steady state allocates nothing per node, cut, or candidate.  With
+/// params.flow_jobs > 1 the network is partitioned and the regions are
+/// optimized concurrently (opt/partition.hpp).
 aig optimize(const aig& network, const optimize_params& params = {},
              optimize_stats* stats = nullptr);
 

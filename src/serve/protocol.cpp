@@ -148,6 +148,7 @@ std::vector<std::uint8_t> encode_synth_request(const synth_request& req) {
   w.boolean(req.want_verilog);
   w.boolean(req.want_dot);
   w.boolean(req.stream_progress);
+  w.u32(req.flow_jobs);
   return w.take();
 }
 
@@ -167,6 +168,10 @@ synth_request decode_synth_request(std::span<const std::uint8_t> payload) {
   req.want_verilog = r.boolean();
   req.want_dot = r.boolean();
   req.stream_progress = r.boolean();
+  req.flow_jobs = r.u32();
+  if (req.flow_jobs == 0 || req.flow_jobs > 256) {
+    throw serialize_error("flow_jobs out of range");
+  }
   r.expect_done();
   return req;
 }

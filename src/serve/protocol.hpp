@@ -33,7 +33,9 @@
 
 namespace xsfq::serve {
 
-inline constexpr std::uint8_t protocol_version = 1;
+// v2: synth_request gained flow_jobs (intra-flow parallelism), stage
+// counters gained arena_peak_bytes + rebuilds_avoided.
+inline constexpr std::uint8_t protocol_version = 2;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;
@@ -109,6 +111,10 @@ struct synth_request {
   bool want_verilog = false;   ///< fill synth_response::verilog
   bool want_dot = false;       ///< fill synth_response::dot
   bool stream_progress = false;
+  /// Intra-flow parallelism for the optimize stage (partitioned regions on
+  /// the server's worker pool); 1 = the sequential pipeline.  Joins the
+  /// result-cache fingerprint because the partition count changes results.
+  std::uint32_t flow_jobs = 1;
 };
 
 /// One per-stage progress notification (flow::stage_event on the wire).

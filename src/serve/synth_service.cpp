@@ -84,6 +84,9 @@ synth_response run_synth(
     // --validate also pins every optimize pass to its input with the wide
     // sim engine (the pulse-level check below covers the mapping side).
     options.opt.validate_passes = req.validate;
+    // Intra-flow parallelism: the runner installs its own pool as the
+    // partition executor when flow_jobs > 1.
+    options.opt.flow_jobs = req.flow_jobs == 0 ? 1u : req.flow_jobs;
 
     bool any_live_stage = false;
     bool any_stage = false;
@@ -164,12 +167,13 @@ std::string format_timing_csv(
     const std::vector<flow::stage_timing>& timings) {
   std::ostringstream os;
   os << "stage,ms,nodes,cuts,replacements,arena_bytes,sim_words,"
-        "sim_node_evals\n";
+        "sim_node_evals,arena_peak_bytes,rebuilds_avoided\n";
   for (const auto& st : timings) {
     const auto& c = st.counters;
     os << st.stage << "," << st.ms << "," << c.nodes << "," << c.cuts << ","
        << c.replacements << "," << c.arena_bytes << "," << c.sim_words << ","
-       << c.sim_node_evals << "\n";
+       << c.sim_node_evals << "," << c.arena_peak_bytes << ","
+       << c.rebuilds_avoided << "\n";
   }
   return os.str();
 }
@@ -217,6 +221,14 @@ cli_parse parse_synth_option(const std::string& arg, synth_cli_options& cli,
     cli.dot_path = v5;
   } else if (auto v6 = cli_value(arg, "--liberty"); !v6.empty()) {
     cli.liberty_path = v6;
+  } else if (auto v7 = cli_value(arg, "--flow-jobs"); !v7.empty()) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(v7.c_str(), &end, 10);
+    if (end == v7.c_str() || *end != '\0' || n == 0 || n > 256) {
+      error = "--flow-jobs expects a partition count 1..256, got: " + v7;
+      return cli_parse::invalid;
+    }
+    cli.flow_jobs = static_cast<unsigned>(n);
   } else if (arg == "--validate") {
     cli.validate = true;
   } else if (arg == "--timing") {
@@ -236,6 +248,7 @@ void apply_cli_options(const synth_cli_options& cli, synth_request& req) {
   req.validate = cli.validate;
   req.want_verilog = !cli.verilog_path.empty();
   req.want_dot = !cli.dot_path.empty();
+  req.flow_jobs = cli.flow_jobs;
 }
 
 void print_progress_event(const progress_event& ev) {

@@ -65,6 +65,7 @@ struct synth_cli_options {
   bool timing_csv = false;   ///< --timing
   bool no_timing = false;    ///< --no-timing
   bool progress = false;     ///< --progress (stderr)
+  unsigned flow_jobs = 1;    ///< --flow-jobs=N (intra-flow parallelism)
 };
 
 enum class cli_parse {

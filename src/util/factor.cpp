@@ -24,7 +24,10 @@ std::unique_ptr<factor_expr> make_literal(unsigned var, bool complemented) {
 
 std::unique_ptr<factor_expr> make_cube_expr(const cube& c) {
   std::vector<std::unique_ptr<factor_expr>> lits;
-  for (unsigned v = 0; v < 32; ++v) {
+  // Walk only the set bits (ascending, positives before negatives per
+  // variable — the exact order of the historical 0..31 scan).
+  for (std::uint32_t bits = c.pos | c.neg; bits != 0; bits &= bits - 1) {
+    const auto v = static_cast<unsigned>(std::countr_zero(bits));
     if (c.pos & (1u << v)) lits.push_back(make_literal(v, false));
     if (c.neg & (1u << v)) lits.push_back(make_literal(v, true));
   }
@@ -36,19 +39,25 @@ std::unique_ptr<factor_expr> make_cube_expr(const cube& c) {
   return e;
 }
 
-/// Finds the literal occurring in the most cubes; returns occurrence count.
-unsigned best_literal(const std::vector<cube>& cover, unsigned& var,
-                      bool& complemented) {
+}  // namespace
+
+unsigned most_common_literal(const std::vector<cube>& cover, unsigned& var,
+                             bool& complemented) {
   std::array<unsigned, 32> pos_count{};
   std::array<unsigned, 32> neg_count{};
+  std::uint32_t support = 0;
   for (const auto& c : cover) {
-    for (unsigned v = 0; v < 32; ++v) {
-      if (c.pos & (1u << v)) ++pos_count[v];
-      if (c.neg & (1u << v)) ++neg_count[v];
+    support |= c.pos | c.neg;
+    for (std::uint32_t bits = c.pos; bits != 0; bits &= bits - 1) {
+      ++pos_count[std::countr_zero(bits)];
+    }
+    for (std::uint32_t bits = c.neg; bits != 0; bits &= bits - 1) {
+      ++neg_count[std::countr_zero(bits)];
     }
   }
   unsigned best = 0;
-  for (unsigned v = 0; v < 32; ++v) {
+  for (std::uint32_t bits = support; bits != 0; bits &= bits - 1) {
+    const auto v = static_cast<unsigned>(std::countr_zero(bits));
     if (pos_count[v] > best) {
       best = pos_count[v];
       var = v;
@@ -63,13 +72,15 @@ unsigned best_literal(const std::vector<cube>& cover, unsigned& var,
   return best;
 }
 
+namespace {
+
 std::unique_ptr<factor_expr> factor_rec(std::vector<cube> cover) {
   if (cover.empty()) return make_const(false);
   if (cover.size() == 1) return make_cube_expr(cover.front());
 
   unsigned var = 0;
   bool complemented = false;
-  const unsigned occurrences = best_literal(cover, var, complemented);
+  const unsigned occurrences = most_common_literal(cover, var, complemented);
   if (occurrences < 2) {
     // Cube-free: plain OR of the cube expressions.
     auto e = std::make_unique<factor_expr>();

@@ -34,6 +34,13 @@ struct factor_expr {
   [[nodiscard]] bool evaluate(std::uint64_t minterm) const;
 };
 
+/// The literal occurring in the most cubes of `cover` (ties keep the lowest
+/// variable, positive before negative); returns the occurrence count.  This
+/// is the division pivot of factor_cover, exposed so tree-free emitters
+/// (opt/opt_engine.cpp) can replicate its factoring decisions exactly.
+unsigned most_common_literal(const std::vector<cube>& cover, unsigned& var,
+                             bool& complemented);
+
 /// Factors an SOP cover into an expression tree.  The cover of the constant
 /// functions must be passed as an empty vector (const 0) or a vector holding
 /// one empty cube (const 1).

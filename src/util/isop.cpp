@@ -54,17 +54,92 @@ truth_table isop_rec(const truth_table& on, const truth_table& dc,
   return (res0 & ~x) | (res1 & x) | res2;
 }
 
+/// Single-word mirror of isop_rec for tail-masked <= 6-variable tables:
+/// identical recursion, identical cube order, raw uint64 arithmetic.
+std::uint64_t isop_rec_word(std::uint64_t on, std::uint64_t dc,
+                            unsigned num_vars, std::uint64_t full,
+                            std::vector<cube>& cover) {
+  if (on == 0) return 0;
+  const std::uint64_t upper = on | dc;
+  if (upper == full) {
+    cover.push_back(cube{});
+    return full;
+  }
+
+  const auto cof0 = [](std::uint64_t w, unsigned v) {
+    const std::uint64_t low = w & ~truth_table::var_masks[v];
+    return low | (low << (1u << v));
+  };
+  const auto cof1 = [](std::uint64_t w, unsigned v) {
+    const std::uint64_t high = w & truth_table::var_masks[v];
+    return high | (high >> (1u << v));
+  };
+  const auto depends = [&](std::uint64_t w, unsigned v) {
+    return cof0(w, v) != cof1(w, v);
+  };
+
+  unsigned var = num_vars;
+  while (var-- > 0) {
+    if (depends(on, var) || depends(upper, var)) break;
+  }
+
+  const std::uint64_t on0 = cof0(on, var);
+  const std::uint64_t on1 = cof1(on, var);
+  const std::uint64_t dc0 = cof0(dc, var);
+  const std::uint64_t dc1 = cof1(dc, var);
+
+  const std::size_t begin0 = cover.size();
+  const std::uint64_t res0 =
+      isop_rec_word(on0 & ~(on1 | dc1) & full, dc0, var, full, cover);
+  for (std::size_t i = begin0; i < cover.size(); ++i) {
+    cover[i].neg |= 1u << var;
+  }
+
+  const std::size_t begin1 = cover.size();
+  const std::uint64_t res1 =
+      isop_rec_word(on1 & ~(on0 | dc0) & full, dc1, var, full, cover);
+  for (std::size_t i = begin1; i < cover.size(); ++i) {
+    cover[i].pos |= 1u << var;
+  }
+
+  const std::uint64_t on_common = (on0 & ~res0) | (on1 & ~res1);
+  const std::uint64_t dc_common = (dc0 | res0) & (dc1 | res1) & full;
+  const std::uint64_t res2 = isop_rec_word(
+      on_common & full, dc_common & ~on_common, var, full, cover);
+
+  const std::uint64_t x = truth_table::var_masks[var] & full;
+  return ((res0 & ~x) | (res1 & x) | res2) & full;
+}
+
 }  // namespace
 
-std::vector<cube> isop(const truth_table& onset, const truth_table& dcset) {
+void isop_word_into(std::uint64_t onset, unsigned num_vars,
+                    std::vector<cube>& cover) {
+  if (num_vars > truth_table::small_vars) {
+    throw std::invalid_argument("isop_word_into: more than 6 variables");
+  }
+  const std::uint64_t full =
+      num_vars == 6 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (1u << num_vars)) - 1;
+  cover.clear();
+  isop_rec_word(onset & full, 0, num_vars, full, cover);
+}
+
+void isop_into(const truth_table& onset, const truth_table& dcset,
+               std::vector<cube>& cover) {
   if (onset.num_vars() != dcset.num_vars()) {
     throw std::invalid_argument("isop: domain mismatch");
   }
   if (onset.num_vars() > 32) {
     throw std::invalid_argument("isop: more than 32 variables");
   }
-  std::vector<cube> cover;
+  cover.clear();
   isop_rec(onset, dcset, onset.num_vars(), cover);
+}
+
+std::vector<cube> isop(const truth_table& onset, const truth_table& dcset) {
+  std::vector<cube> cover;
+  isop_into(onset, dcset, cover);
   return cover;
 }
 

@@ -36,6 +36,17 @@ struct cube {
 /// The returned cubes are pairwise-irredundant and cover the onset.
 std::vector<cube> isop(const truth_table& onset, const truth_table& dcset);
 
+/// Scratch-reusing variant: fills `cover` in place (cleared first).
+void isop_into(const truth_table& onset, const truth_table& dcset,
+               std::vector<cube>& cover);
+
+/// Single-word fast path (<= 6 variables, empty DC set): identical cover —
+/// same cubes in the same order — as isop() on the equivalent truth_table,
+/// without constructing any.  `onset` must be tail-masked for `num_vars`
+/// (truth_table::word0() of a valid table always is).
+void isop_word_into(std::uint64_t onset, unsigned num_vars,
+                    std::vector<cube>& cover);
+
 /// Convenience overload: exact cover of `function` (empty don't-care set).
 std::vector<cube> isop(const truth_table& function);
 

@@ -1,0 +1,460 @@
+/// Pins for the zero-rebuild optimization pipeline (in-place balance/map on
+/// recycled network arenas, partitioned intra-flow parallelism):
+///  * golden fingerprints recorded from the pre-refactor copy-out pipeline —
+///    the arena rewrite must be bit-identical end to end (optimized AIG,
+///    mapped netlist, emitted Verilog);
+///  * a test-local copy of the pre-refactor balance algorithm diffed against
+///    the in-place engine on every ISCAS pin circuit;
+///  * steady-state allocation counts: after one warm-up, optimize and map
+///    must run with a small constant number of heap allocations (arena
+///    reuse across >= 3 runs);
+///  * partitioned optimize: deterministic (inline == threads == pool) for
+///    every partition count 1..8, equivalent to the input, and exactly the
+///    sequential script at flow_jobs = 1;
+///  * the single-word ISOP fast path against the truth_table recursion.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "aig/simulate.hpp"
+#include "benchgen/registry.hpp"
+#include "core/mapper.hpp"
+#include "core/xsfq_writer.hpp"
+#include "flow/batch_runner.hpp"
+#include "flow/flow.hpp"
+#include "opt/opt_engine.hpp"
+#include "opt/partition.hpp"
+#include "opt/script.hpp"
+#include "util/hash.hpp"
+#include "util/isop.hpp"
+#include "util/rng.hpp"
+
+using namespace xsfq;
+
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every scalar operator new in this binary bumps the
+// counter, so a window delta counts the heap traffic of the code under test.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+long alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+std::uint64_t verilog_hash(const mapping_result& mapped, const char* name) {
+  return hash_mix_str(0x9E3779B97F4A7C15ull,
+                      write_xsfq_verilog_string(mapped, name));
+}
+
+// ---------------------------------------------------------------------------
+// The pre-refactor balance pass, verbatim (fresh destination network, copy
+// out, cleanup): the reference copy path the in-place engine must match.
+// ---------------------------------------------------------------------------
+
+void reference_collect_conjuncts(const aig& network, aig::node_index n,
+                                 const std::vector<std::uint32_t>& fanout,
+                                 std::vector<xsfq::signal>& leaves) {
+  for (const xsfq::signal f : {network.fanin0(n), network.fanin1(n)}) {
+    if (!f.is_complemented() && network.is_gate(f.index()) &&
+        fanout[f.index()] == 1) {
+      reference_collect_conjuncts(network, f.index(), fanout, leaves);
+    } else {
+      leaves.push_back(f);
+    }
+  }
+}
+
+aig reference_balance(const aig& network) {
+  const auto fanout = network.compute_fanout_counts();
+
+  aig dest;
+  std::vector<xsfq::signal> map(network.size(), dest.get_constant(false));
+  std::vector<std::uint32_t> dest_level(1, 0);
+
+  auto level_of = [&](xsfq::signal s) { return dest_level[s.index()]; };
+  auto create_and_leveled = [&](xsfq::signal a, xsfq::signal b) {
+    const xsfq::signal r = dest.create_and(a, b);
+    if (r.index() >= dest_level.size()) {
+      dest_level.resize(r.index() + 1, 1 + std::max(level_of(a), level_of(b)));
+    }
+    return r;
+  };
+
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    const xsfq::signal s = dest.create_pi(network.pi_name(i));
+    map[network.pi(i).index()] = s;
+    dest_level.resize(s.index() + 1, 0);
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const xsfq::signal s = dest.create_register_output(network.register_at(i).init,
+                                                 network.register_name(i));
+    map[network.register_at(i).output_node] = s;
+    dest_level.resize(s.index() + 1, 0);
+  }
+
+  std::vector<bool> is_root(network.size(), false);
+  network.foreach_gate([&](aig::node_index n) {
+    for (const xsfq::signal f : {network.fanin0(n), network.fanin1(n)}) {
+      if (network.is_gate(f.index()) &&
+          (f.is_complemented() || fanout[f.index()] != 1)) {
+        is_root[f.index()] = true;
+      }
+    }
+  });
+  network.foreach_co([&](xsfq::signal s, std::size_t) {
+    if (network.is_gate(s.index())) is_root[s.index()] = true;
+  });
+
+  using item = std::pair<std::uint32_t, xsfq::signal>;
+  auto cmp = [](const item& a, const item& b) { return a.first > b.first; };
+
+  network.foreach_gate([&](aig::node_index n) {
+    if (!is_root[n]) return;
+    std::vector<xsfq::signal> conjuncts;
+    reference_collect_conjuncts(network, n, fanout, conjuncts);
+
+    std::vector<item> heap;
+    for (const xsfq::signal c : conjuncts) {
+      const xsfq::signal m = map[c.index()] ^ c.is_complemented();
+      heap.emplace_back(level_of(m), m);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+    while (heap.size() > 1) {
+      const item a = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.pop_back();
+      const item b = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.pop_back();
+      const xsfq::signal r = create_and_leveled(a.second, b.second);
+      heap.emplace_back(level_of(r), r);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+    map[n] = heap.front().second;
+  });
+
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const xsfq::signal po = network.po_signal(i);
+    dest.create_po(map[po.index()] ^ po.is_complemented(),
+                   network.po_name(i));
+  }
+  for (std::size_t i = 0; i < network.num_registers(); ++i) {
+    const auto& reg = network.register_at(i);
+    if (reg.input_set) {
+      dest.set_register_input(i, map[reg.input.index()] ^
+                                     reg.input.is_complemented());
+    }
+  }
+  return dest.cleanup();
+}
+
+const char* const kPinCircuits[] = {"c432", "c880", "c1908", "c6288"};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bit-identity vs the pre-refactor copy pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(OptArena, GoldenFingerprintsMatchPreRefactorPipeline) {
+  struct golden {
+    const char* name;
+    std::size_t gates;
+    unsigned depth;
+    std::uint64_t content_hash;
+    std::size_t netlist_elements;
+    std::size_t jj;
+    std::uint64_t verilog_hash;
+  };
+  // Recorded from the PR 4 tree (copy-out passes, per-call mapper), gcc
+  // Release, immediately before the arena refactor.
+  const golden expected[] = {
+      {"c432", 143u, 30u, 0x8C4AD169DF088ECAull, 403u, 1166u,
+       0xEC8783A56B8EF953ull},
+      {"c880", 449u, 38u, 0x3C2EC18836CAAE1Aull, 1706u, 5507u,
+       0xD8C1DB5FF9D86987ull},
+      {"c1908", 321u, 20u, 0xBD3FCF1E8B794FBEull, 1230u, 4004u,
+       0x582A15FDF748FB02ull},
+      {"c6288", 2704u, 128u, 0xDF904711FED958ACull, 10668u, 37018u,
+       0xCD4CB37CFE410FA4ull},
+  };
+  for (const golden& e : expected) {
+    const aig g = benchgen::make_benchmark(e.name);
+    const aig o = optimize(g);
+    EXPECT_EQ(o.num_gates(), e.gates) << e.name;
+    EXPECT_EQ(o.depth(), e.depth) << e.name;
+    EXPECT_EQ(o.content_hash(), e.content_hash) << e.name;
+    const mapping_result m = map_to_xsfq(o);
+    EXPECT_EQ(m.netlist.size(), e.netlist_elements) << e.name;
+    EXPECT_EQ(m.stats.jj, e.jj) << e.name;
+    EXPECT_EQ(verilog_hash(m, e.name), e.verilog_hash) << e.name;
+  }
+}
+
+TEST(OptArena, InPlaceBalanceMatchesReferenceCopyPath) {
+  opt_engine engine;
+  for (const char* name : kPinCircuits) {
+    const aig g = benchgen::make_benchmark(name);
+    const aig in_place = engine.balance(g);
+    const aig reference = reference_balance(g);
+    EXPECT_EQ(in_place.content_hash(), reference.content_hash()) << name;
+    // And again through the warm engine: arena reuse must not leak state.
+    const aig warm = engine.balance(g);
+    EXPECT_EQ(warm.content_hash(), reference.content_hash()) << name;
+  }
+}
+
+TEST(OptArena, RecycledMapperMatchesFreshMapperAcrossCircuits) {
+  xsfq_mapper recycled;
+  mapping_result reused;
+  for (const char* name : kPinCircuits) {
+    const aig o = optimize(benchgen::make_benchmark(name));
+    xsfq_mapper fresh;
+    const mapping_result expected = fresh.map(o);
+    recycled.map_into(o, {}, reused);  // buffers warmed by previous circuits
+    EXPECT_EQ(reused.netlist.size(), expected.netlist.size()) << name;
+    EXPECT_EQ(reused.stats.jj, expected.stats.jj) << name;
+    EXPECT_EQ(write_xsfq_verilog_string(reused, name),
+              write_xsfq_verilog_string(expected, name))
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation pins (arena reuse across >= 3 runs).
+// ---------------------------------------------------------------------------
+
+TEST(OptArena, OptimizeSteadyStateAllocationsNearZero) {
+  const aig g = benchgen::make_benchmark("c880");
+  opt_engine engine;
+  aig first = engine.optimize(g);  // cold: arenas and caches reach high water
+  const long cold = alloc_count();
+  aig warmup = engine.optimize(g);
+  const long after_warmup = alloc_count();
+  (void)warmup;
+  for (int run = 0; run < 3; ++run) {
+    const long before = alloc_count();
+    const aig out = engine.optimize(g);
+    const long steady = alloc_count() - before;
+    EXPECT_EQ(out.content_hash(), first.content_hash());
+    // The only allocations left are the returned network's own buffers (the
+    // one copy that leaves the arena) — a small constant, not O(passes) or
+    // O(nodes) many.
+    EXPECT_LT(steady, 64) << "run " << run;
+  }
+  // The warm-up itself must already be in the recycled regime relative to
+  // the cold run (which built arenas, caches, and the baked-library mirror).
+  EXPECT_LT((after_warmup - cold) * 4, cold);
+}
+
+TEST(OptArena, BalanceAndMapSteadyStateAllocationsNearZero) {
+  const aig g = benchgen::make_benchmark("c880");
+  opt_engine engine;
+  const aig opt = engine.optimize(g);
+  xsfq_mapper mapper;
+  mapping_result out;
+  (void)engine.balance(opt);
+  mapper.map_into(opt, {}, out);  // warm-up run
+  const std::uint64_t expected = verilog_hash(out, "c880");
+  for (int run = 0; run < 3; ++run) {
+    const long before = alloc_count();
+    const aig balanced = engine.balance(opt);
+    const long balance_allocs = alloc_count() - before;
+    EXPECT_GT(balanced.num_gates(), 0u);
+    // balance_into writes into the recycled arena; the only allocations are
+    // the returned copy's buffers.
+    EXPECT_LT(balance_allocs, 32) << "run " << run;
+
+    const long before_map = alloc_count();
+    mapper.map_into(opt, {}, out);
+    const long map_allocs = alloc_count() - before_map;
+    EXPECT_EQ(verilog_hash(out, "c880"), expected);
+    // Chains, proto elements, splitter bookkeeping, demand propagation, and
+    // the output netlist are all recycled; what remains is a small constant
+    // (polarity-search closure collection), not O(elements).
+    EXPECT_LT(map_allocs, 64) << "run " << run;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned intra-flow parallelism.
+// ---------------------------------------------------------------------------
+
+TEST(OptArena, PartitionedOptimizeDeterministicForEveryPartitionCount) {
+  for (const char* name : {"c880", "c1908"}) {
+    const aig g = benchgen::make_benchmark(name);
+    const std::uint64_t sequential = optimize(g).content_hash();
+    for (unsigned jobs = 1; jobs <= 8; ++jobs) {
+      optimize_params inline_params;
+      inline_params.flow_jobs = jobs;
+      optimize_stats st;
+      partition_info info;
+      const aig inline_result =
+          optimize_partitioned(g, inline_params, &st, &info);
+
+      // Same partitioning on raw threads: byte-identical to the inline run.
+      optimize_params threaded = inline_params;
+      threaded.executor = [](std::vector<std::function<void()>>&& tasks) {
+        std::vector<std::thread> threads;
+        threads.reserve(tasks.size());
+        for (auto& task : tasks) threads.emplace_back(std::move(task));
+        for (auto& t : threads) t.join();
+      };
+      const aig threaded_result = optimize_partitioned(g, threaded, nullptr);
+      EXPECT_EQ(threaded_result.content_hash(), inline_result.content_hash())
+          << name << " jobs=" << jobs;
+
+      // Equivalent to the input, and jobs=1 is exactly the sequential script.
+      EXPECT_TRUE(random_equivalent(g, inline_result, 32, 7))
+          << name << " jobs=" << jobs;
+      if (jobs == 1 || info.partitions == 1) {
+        EXPECT_EQ(inline_result.content_hash(), sequential) << name;
+      }
+      EXPECT_GE(st.work.passes, 5u) << name << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(OptArena, PartitionedOptimizeOnBatchRunnerPoolMatchesInline) {
+  const aig g = benchgen::make_benchmark("c880");
+  optimize_params params;
+  params.flow_jobs = 4;
+  const aig inline_result = optimize_partitioned(g, params, nullptr);
+
+  flow::batch_runner runner(4);
+  params.executor = runner.make_subtask_runner();
+  for (int rep = 0; rep < 3; ++rep) {
+    const aig pooled = optimize_partitioned(g, params, nullptr);
+    EXPECT_EQ(pooled.content_hash(), inline_result.content_hash());
+  }
+}
+
+TEST(OptArena, FlowJobsJoinsFingerprintAndRunnerPath) {
+  optimize_params one;
+  optimize_params four;
+  four.flow_jobs = 4;
+  EXPECT_NE(flow::fingerprint(one), flow::fingerprint(four));
+
+  flow::flow_options options_one;
+  flow::flow_options options_four;
+  options_four.opt.flow_jobs = 4;
+  EXPECT_NE(flow::fingerprint(options_one), flow::fingerprint(options_four));
+
+  // Through the cached runner: the partitioned flow result matches a direct
+  // partitioned optimize, and both pool widths produce identical bytes.
+  const aig g = benchgen::make_benchmark("c880");
+  const aig expected = optimize_partitioned(g, four, nullptr);
+  for (unsigned threads : {1u, 4u}) {
+    flow::batch_runner runner(threads);
+    runner.set_cache_enabled(false);
+    const flow::flow_result r = runner.run_cached(g, "c880", options_four);
+    EXPECT_EQ(r.optimized.content_hash(), expected.content_hash())
+        << "threads=" << threads;
+  }
+}
+
+TEST(OptArena, PartitionedValidationCatchesNothingOnHealthyCircuits) {
+  const aig g = benchgen::make_benchmark("c499");
+  optimize_params params;
+  params.flow_jobs = 3;
+  params.validate_passes = true;
+  params.validate_rounds = 8;
+  optimize_stats st;
+  const aig out = optimize_partitioned(g, params, &st, nullptr);
+  EXPECT_TRUE(random_equivalent(g, out, 32, 11));
+  EXPECT_GT(st.work.equiv_checks, 0u);
+  EXPECT_EQ(st.work.equiv_checks, st.work.passes);
+}
+
+// ---------------------------------------------------------------------------
+// Counters and fast-path parity.
+// ---------------------------------------------------------------------------
+
+TEST(OptArena, ArenaCountersSurfaceThroughFlowTimings) {
+  const auto r = flow::run_flow("c432");
+  bool found = false;
+  for (const auto& t : r.timings) {
+    if (t.stage != "optimize") continue;
+    found = true;
+    EXPECT_GT(t.counters.arena_peak_bytes, 0u);
+    EXPECT_GT(t.counters.rebuilds_avoided, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OptArena, SuiteValidationOnRecycledWorkerPlanesIsDeterministic) {
+  // Per-pass validation of a whole suite runs on each worker's persistent
+  // engine: one wide-sim plane pair per worker, sized by its largest
+  // circuit, recycled across every entry.  Reuse must not change results or
+  // per-entry sim counters — a 4-worker run (interleaved entries per
+  // engine) must match a 1-worker run exactly.
+  flow::flow_options options;
+  options.opt.validate_passes = true;
+  options.opt.validate_rounds = 8;
+  const std::vector<std::string> names = {"c432", "c499", "c880", "c1355",
+                                          "c1908"};
+  flow::batch_runner one(1);
+  one.set_cache_enabled(false);
+  flow::batch_runner four(4);
+  four.set_cache_enabled(false);
+  const flow::batch_report r1 = one.run(names, options);
+  const flow::batch_report r4 = four.run(names, options);
+  ASSERT_EQ(r1.num_ok(), names.size());
+  ASSERT_EQ(r4.num_ok(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const flow::flow_result& a = r1.entries[i].result;
+    const flow::flow_result& b = r4.entries[i].result;
+    EXPECT_EQ(a.optimized.content_hash(), b.optimized.content_hash())
+        << names[i];
+    bool found = false;
+    for (std::size_t t = 0; t < a.timings.size(); ++t) {
+      if (a.timings[t].stage != "optimize") continue;
+      found = true;
+      EXPECT_EQ(a.timings[t].counters.sim_words,
+                b.timings[t].counters.sim_words)
+          << names[i];
+      EXPECT_EQ(a.timings[t].counters.sim_node_evals,
+                b.timings[t].counters.sim_node_evals)
+          << names[i];
+      EXPECT_GT(a.timings[t].counters.sim_words, 0u) << names[i];
+    }
+    EXPECT_TRUE(found) << names[i];
+  }
+}
+
+TEST(OptArena, SingleWordIsopMatchesTruthTableRecursion) {
+  rng gen(0xFAC70Dull);
+  std::vector<cube> fast;
+  for (unsigned vars = 0; vars <= 6; ++vars) {
+    for (int i = 0; i < 200; ++i) {
+      const truth_table t =
+          truth_table::from_word(vars, gen());
+      const std::vector<cube> reference = isop(t);
+      isop_word_into(t.word0(), vars, fast);
+      ASSERT_EQ(fast.size(), reference.size()) << "vars=" << vars;
+      for (std::size_t c = 0; c < fast.size(); ++c) {
+        EXPECT_EQ(fast[c].pos, reference[c].pos);
+        EXPECT_EQ(fast[c].neg, reference[c].neg);
+      }
+      // And the cover must implement the function.
+      EXPECT_EQ(cover_to_table(fast, vars), t);
+    }
+  }
+}

@@ -111,6 +111,7 @@ TEST(ServeProtocol, PayloadRoundTrips) {
   req.validate = true;
   req.want_verilog = true;
   req.stream_progress = true;
+  req.flow_jobs = 6;
   const synth_request back = decode_synth_request(encode_synth_request(req));
   EXPECT_EQ(back.spec, req.spec);
   EXPECT_EQ(back.source, circuit_source::bench_text);
@@ -122,6 +123,7 @@ TEST(ServeProtocol, PayloadRoundTrips) {
   EXPECT_EQ(back.map.forced_polarities, req.map.forced_polarities);
   EXPECT_TRUE(back.validate && back.want_verilog && back.stream_progress);
   EXPECT_FALSE(back.want_dot);
+  EXPECT_EQ(back.flow_jobs, 6u);
 
   synth_response resp;
   resp.ok = true;
