@@ -1,7 +1,13 @@
 /// xsfq_client — CLI front end of the synthesis service.
 ///
-///   xsfq_client [--socket=PATH] <circuit|file.bench|file.blif> [options]
-///   xsfq_client [--socket=PATH] --status | --cache-stats | --shutdown
+///   xsfq_client [--socket=PATH | --tcp=HOST:PORT [--auth-token=SECRET]]
+///               <circuit|file.bench|file.blif> [options]
+///   xsfq_client [connection flags] --status | --cache-stats | --stats |
+///               --shutdown
+///
+/// Connects over the daemon's Unix socket (default) or TCP (--tcp); a
+/// daemon with an auth token requires --auth-token (or the XSFQ_AUTH_TOKEN
+/// environment variable) on TCP connections.
 ///
 /// Synthesis options mirror xsfq_synth exactly (--polarity, --pipeline,
 /// --registers, --verilog, --dot, --liberty, --validate, --timing,
@@ -11,7 +17,14 @@
 /// daemon's wall clock for this request (suppress with --no-timing when
 /// diffing).  --progress streams the daemon's per-stage events to stderr as
 /// they happen, so stdout stays diffable.
+///
+/// Admission knobs: --priority=0..255 orders the wait for an execution slot
+/// (higher first); --deadline-ms=X fails the request with a typed
+/// `deadline_expired` error when no slot frees in time.  --stats dumps the
+/// daemon's full metrics scrape as Prometheus-style plaintext.
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "serve/client.hpp"
@@ -37,9 +50,16 @@ void print_cache_stats(const serve::cache_stats_reply& reply) {
 
 int main(int argc, char** argv) {
   std::string socket_path = serve::default_socket_path;
+  std::string tcp_address;  // "host:port"; empty = Unix socket
+  std::string auth_token;
+  if (const char* env = std::getenv("XSFQ_AUTH_TOKEN"); env != nullptr) {
+    auth_token = env;
+  }
   std::string spec;
   serve::synth_cli_options synth;  // shared parser with xsfq_synth
-  enum class action { synth, status, cache_stats, shutdown };
+  unsigned priority = 100;
+  double deadline_ms = 0.0;
+  enum class action { synth, status, cache_stats, server_stats, shutdown };
   action act = action::synth;
 
   for (int i = 1; i < argc; ++i) {
@@ -56,10 +76,34 @@ int main(int argc, char** argv) {
     }
     if (auto v = serve::cli_value(arg, "--socket"); !v.empty()) {
       socket_path = v;
+    } else if (auto vt = serve::cli_value(arg, "--tcp"); !vt.empty()) {
+      tcp_address = vt;
+    } else if (auto va = serve::cli_value(arg, "--auth-token"); !va.empty()) {
+      auth_token = va;
+    } else if (auto vp = serve::cli_value(arg, "--priority"); !vp.empty()) {
+      char* end = nullptr;
+      const unsigned long p = std::strtoul(vp.c_str(), &end, 10);
+      if (end == vp.c_str() || *end != '\0' || p > 255) {
+        std::cerr << "--priority expects 0..255, got: " << vp << "\n";
+        return 2;
+      }
+      priority = static_cast<unsigned>(p);
+    } else if (auto vd = serve::cli_value(arg, "--deadline-ms");
+               !vd.empty()) {
+      char* end = nullptr;
+      const double d = std::strtod(vd.c_str(), &end);
+      if (end == vd.c_str() || *end != '\0' || d < 0.0) {
+        std::cerr << "--deadline-ms expects a non-negative number, got: "
+                  << vd << "\n";
+        return 2;
+      }
+      deadline_ms = d;
     } else if (arg == "--status") {
       act = action::status;
     } else if (arg == "--cache-stats") {
       act = action::cache_stats;
+    } else if (arg == "--stats") {
+      act = action::server_stats;
     } else if (arg == "--shutdown") {
       act = action::shutdown;
     } else if (arg.rfind("--", 0) == 0) {
@@ -73,18 +117,38 @@ int main(int argc, char** argv) {
     }
   }
   if (act == action::synth && spec.empty()) {
-    std::cerr << "usage: xsfq_client [--socket=PATH] "
-                 "<circuit|file.bench|file.blif> [options]\n"
-                 "       xsfq_client [--socket=PATH] --status | "
-                 "--cache-stats | --shutdown\n";
+    std::cerr << "usage: xsfq_client [--socket=PATH | --tcp=HOST:PORT "
+                 "[--auth-token=SECRET]] <circuit|file.bench|file.blif> "
+                 "[options]\n"
+                 "       xsfq_client [connection flags] --status | "
+                 "--cache-stats | --stats | --shutdown\n";
     return 2;
   }
 
   try {
-    serve::client cli(socket_path);
+    auto make_client = [&]() {
+      if (tcp_address.empty()) {
+        return std::make_unique<serve::client>(socket_path);
+      }
+      const auto colon = tcp_address.find_last_of(':');
+      if (colon == std::string::npos || colon == tcp_address.size() - 1) {
+        throw std::runtime_error("--tcp expects HOST:PORT, got: " +
+                                 tcp_address);
+      }
+      const std::string host = tcp_address.substr(0, colon);
+      const int port = std::atoi(tcp_address.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) {
+        throw std::runtime_error("--tcp has a bad port: " + tcp_address);
+      }
+      auto cli = std::make_unique<serve::client>(
+          host, static_cast<std::uint16_t>(port));
+      if (!auth_token.empty()) cli->authenticate(auth_token);
+      return cli;
+    };
+    auto cli = make_client();
     switch (act) {
       case action::status: {
-        const auto s = cli.status();
+        const auto s = cli->status();
         std::cout << "jobs_submitted=" << s.jobs_submitted
                   << " jobs_completed=" << s.jobs_completed
                   << " jobs_failed=" << s.jobs_failed
@@ -95,10 +159,13 @@ int main(int argc, char** argv) {
         return 0;
       }
       case action::cache_stats:
-        print_cache_stats(cli.cache_stats());
+        print_cache_stats(cli->cache_stats());
+        return 0;
+      case action::server_stats:
+        std::cout << serve::format_server_stats_text(cli->server_stats());
         return 0;
       case action::shutdown:
-        cli.shutdown_server();
+        cli->shutdown_server();
         std::cout << "daemon acknowledged shutdown\n";
         return 0;
       case action::synth:
@@ -108,9 +175,11 @@ int main(int argc, char** argv) {
     serve::synth_request req = serve::make_request_for_spec(spec);
     serve::apply_cli_options(synth, req);
     req.stream_progress = synth.progress;
+    req.priority = static_cast<std::uint8_t>(priority);
+    req.deadline_ms = deadline_ms;
 
     const serve::synth_response resp =
-        cli.submit(req, serve::print_progress_event);
+        cli->submit(req, serve::print_progress_event);
     if (synth.progress && resp.served_from_cache) {
       std::cerr << "(served from daemon cache)\n";
     }

@@ -1,18 +1,28 @@
 /// xsfq_served — the synthesis-as-a-service daemon.
 ///
-///   xsfq_served [--socket=PATH] [--threads=N] [--cache-dir=DIR]
-///               [--max-disk-entries=N]
+///   xsfq_served [--socket=PATH] [--listen=HOST:PORT] [--auth-token=SECRET]
+///               [--threads=N] [--cache-dir=DIR] [--max-disk-entries=N]
+///               [--max-queue=N] [--max-inflight=N] [--max-conns=N]
 ///
-/// Owns one long-lived flow::batch_runner behind a Unix-domain socket
-/// speaking the serve protocol (src/serve/protocol.hpp): clients submit
-/// circuits, stream per-stage progress, and fetch results that are
-/// byte-identical to a local xsfq_synth run — while the daemon keeps every
-/// cache tier warm across requests and, with --cache-dir, across restarts.
+/// Owns one long-lived flow::batch_runner behind up to two listeners
+/// speaking the serve protocol (src/serve/protocol.hpp): the Unix-domain
+/// socket (local clients) and, with --listen, a TCP endpoint for remote
+/// ones.  Clients submit circuits, stream per-stage progress, and fetch
+/// results that are byte-identical to a local xsfq_synth run — while the
+/// daemon keeps every cache tier warm across requests and, with
+/// --cache-dir, across restarts.
+///
+/// TCP clients must authenticate with the shared secret when one is
+/// configured (--auth-token, or the XSFQ_AUTH_TOKEN environment variable so
+/// the secret stays out of `ps` output).  Admission control (--max-queue /
+/// --max-inflight) sheds load with typed `overloaded` errors instead of
+/// queueing unboundedly; --max-conns bounds handler threads the same way.
 ///
 /// Runs in the foreground (a supervisor or `&` backgrounds it).  SIGINT,
 /// SIGTERM, or a client `shutdown` request drain gracefully: in-flight
 /// requests finish and receive their responses, disk-cache writes land
-/// atomically, and the process exits 0.
+/// atomically, and the process exits 0.  docs/operations.md covers
+/// deployment and sizing.
 #include <unistd.h>
 
 #include <csignal>
@@ -28,13 +38,39 @@
 
 using namespace xsfq;
 
+namespace {
+
+bool parse_count(const std::string& value, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  out = static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   serve::server_options options;
   options.socket_path = serve::default_socket_path;
+  if (const char* env = std::getenv("XSFQ_AUTH_TOKEN"); env != nullptr) {
+    options.auth_token = env;
+  }
+  const auto usage = [] {
+    std::cerr << "usage: xsfq_served [--socket=PATH] [--listen=HOST:PORT] "
+                 "[--auth-token=SECRET] [--threads=N] [--cache-dir=DIR] "
+                 "[--max-disk-entries=N] [--max-queue=N] [--max-inflight=N] "
+                 "[--max-conns=N]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (auto v = serve::cli_value(arg, "--socket"); !v.empty()) {
       options.socket_path = v;
+    } else if (auto vl = serve::cli_value(arg, "--listen"); !vl.empty()) {
+      options.listen_address = vl;
+    } else if (auto va = serve::cli_value(arg, "--auth-token"); !va.empty()) {
+      options.auth_token = va;
     } else if (auto v2 = serve::cli_value(arg, "--threads"); !v2.empty()) {
       const auto n = flow::parse_thread_count(v2.c_str());
       if (!n) {
@@ -46,18 +82,32 @@ int main(int argc, char** argv) {
       options.cache_dir = v3;
     } else if (auto v4 = serve::cli_value(arg, "--max-disk-entries");
                !v4.empty()) {
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(v4.c_str(), &end, 10);
-      if (end == v4.c_str() || *end != '\0') {
+      if (!parse_count(v4, options.max_disk_entries)) {
         std::cerr << "--max-disk-entries expects a number (0 = unlimited), "
                      "got: " << v4 << "\n";
         return 2;
       }
-      options.max_disk_entries = static_cast<std::size_t>(n);
+    } else if (auto v5 = serve::cli_value(arg, "--max-queue"); !v5.empty()) {
+      if (!parse_count(v5, options.max_queue)) {
+        std::cerr << "--max-queue expects a number (0 = shed everything that "
+                     "cannot start immediately), got: " << v5 << "\n";
+        return 2;
+      }
+    } else if (auto v6 = serve::cli_value(arg, "--max-inflight");
+               !v6.empty()) {
+      if (!parse_count(v6, options.max_inflight)) {
+        std::cerr << "--max-inflight expects a number (0 = worker count), "
+                     "got: " << v6 << "\n";
+        return 2;
+      }
+    } else if (auto v7 = serve::cli_value(arg, "--max-conns"); !v7.empty()) {
+      if (!parse_count(v7, options.max_conns) || options.max_conns == 0) {
+        std::cerr << "--max-conns expects a positive number, got: " << v7
+                  << "\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: xsfq_served [--socket=PATH] [--threads=N] "
-                   "[--cache-dir=DIR] [--max-disk-entries=N]\n";
-      return 2;
+      return usage();
     }
   }
 
@@ -72,8 +122,13 @@ int main(int argc, char** argv) {
 
   try {
     serve::server srv(options);
-    std::cout << "xsfq_served: listening on " << options.socket_path << " ("
-              << srv.runner().num_threads() << " workers"
+    std::cout << "xsfq_served: listening on " << options.socket_path;
+    if (!options.listen_address.empty()) {
+      std::cout << " and tcp port " << srv.tcp_port()
+                << (options.auth_token.empty() ? " (NO auth token)"
+                                               : " (auth required)");
+    }
+    std::cout << " (" << srv.runner().num_threads() << " workers"
               << (options.cache_dir.empty()
                       ? std::string{}
                       : ", disk cache " + options.cache_dir)

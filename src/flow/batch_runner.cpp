@@ -563,6 +563,14 @@ std::uint64_t batch_runner::steals() const {
   return impl_->steal_count.load();
 }
 
+std::size_t batch_runner::queue_depth() const {
+  return impl_->queued.load(std::memory_order_relaxed);
+}
+
+std::size_t batch_runner::jobs_in_flight() const {
+  return impl_->in_flight.load(std::memory_order_relaxed);
+}
+
 void batch_runner::set_cache_enabled(bool enabled) {
   impl_->cache_enabled.store(enabled);
 }

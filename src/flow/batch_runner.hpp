@@ -110,6 +110,14 @@ class batch_runner {
   /// never changes output bytes.
   std::uint64_t steals() const;
 
+  /// Jobs sitting in some worker deque right now, not yet claimed.  A
+  /// point-in-time gauge for serving metrics; racy by nature, never used
+  /// for control decisions.
+  std::size_t queue_depth() const;
+
+  /// Jobs queued or currently executing (queue_depth() plus running jobs).
+  std::size_t jobs_in_flight() const;
+
   /// Runs the canned paper flow (generate -> optimize -> map -> baseline)
   /// over every named benchmark, consulting the result cache per entry.
   batch_report run(const std::vector<std::string>& benchmark_names,

@@ -1,0 +1,87 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xsfq::serve {
+
+admission_queue::admission_queue(std::size_t max_queue,
+                                 std::size_t max_inflight)
+    : max_queue_(max_queue), max_inflight_(std::max<std::size_t>(1,
+                                                                 max_inflight)) {}
+
+admission_queue::ticket admission_queue::acquire(unsigned priority,
+                                                 double deadline_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto arrival = clock::now();
+  const bool has_deadline = deadline_ms > 0.0;
+  const auto deadline =
+      arrival + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Fast path: a free slot and nobody with a better claim waiting.
+  if (inflight_ < max_inflight_ && waiters_.empty()) {
+    ++inflight_;
+    ++accepted_;
+    return {verdict::admitted, 0.0};
+  }
+  if (waiters_.size() >= max_queue_) {
+    ++rejected_overload_;
+    return {verdict::overloaded, 0.0};
+  }
+
+  const waiter_key me{255u - std::min(priority, 255u), next_seq_++};
+  waiters_.insert(me);
+  peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_,
+                                              waiters_.size());
+  const auto admissible = [&] {
+    return inflight_ < max_inflight_ && *waiters_.begin() == me;
+  };
+  bool admitted;
+  if (has_deadline) {
+    admitted = slot_free_.wait_until(lock, deadline, admissible);
+  } else {
+    slot_free_.wait(lock, admissible);
+    admitted = true;
+  }
+  waiters_.erase(me);
+  if (!admitted) {
+    ++rejected_deadline_;
+    // If we were the front, a free slot now belongs to the next waiter.
+    slot_free_.notify_all();
+    return {verdict::deadline_expired, 0.0};
+  }
+  ++inflight_;
+  ++accepted_;
+  // A slot may still be free for the next waiter (max_inflight_ > 1).
+  if (inflight_ < max_inflight_) slot_free_.notify_all();
+  const double queued_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - arrival)
+          .count();
+  return {verdict::admitted, queued_ms};
+}
+
+void admission_queue::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight_ > 0) --inflight_;
+  }
+  slot_free_.notify_all();
+}
+
+admission_stats admission_queue::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  admission_stats s;
+  s.accepted = accepted_;
+  s.rejected_overload = rejected_overload_;
+  s.rejected_deadline = rejected_deadline_;
+  s.peak_queue_depth = peak_queue_depth_;
+  s.queue_depth = waiters_.size();
+  s.inflight = inflight_;
+  s.max_queue = max_queue_;
+  s.max_inflight = max_inflight_;
+  return s;
+}
+
+}  // namespace xsfq::serve

@@ -1,6 +1,9 @@
 #include "serve/client.hpp"
 
 #include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -9,6 +12,22 @@
 #include <stdexcept>
 
 namespace xsfq::serve {
+
+namespace {
+
+/// Maps a received error frame to the exception the caller should see,
+/// honoring the frame's announced version: a pre-v3 daemon sends the legacy
+/// bare-string payload, which degrades to service_error{generic}.
+[[noreturn]] void throw_error_frame(const frame& f) {
+  if (f.version < 3) {
+    throw service_error(error_code::generic,
+                        "daemon error: " + decode_legacy_error(f.payload));
+  }
+  const error_reply err = decode_error(f.payload);
+  throw service_error(err.code, "daemon error: " + err.message);
+}
+
+}  // namespace
 
 client::client(const std::string& socket_path) {
   sockaddr_un addr{};
@@ -33,6 +52,42 @@ client::client(const std::string& socket_path) {
   }
 }
 
+client::client(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("serve: cannot resolve " + host + ":" + service +
+                             ": " + gai_strerror(rc));
+  }
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Request frames are small and latency-sensitive; don't batch them.
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("serve: cannot connect to daemon at " + host + ":" +
+                           service + ": " + last_error);
+}
+
 client::~client() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -43,14 +98,26 @@ frame client::roundtrip(msg_type request,
   write_frame_fd(fd_, request, payload);
   std::optional<frame> f = read_frame_fd(fd_);
   if (!f) throw protocol_error("daemon closed the connection");
-  if (f->type == msg_type::error) {
-    throw protocol_error("daemon error: " + decode_error(f->payload));
-  }
+  if (f->type == msg_type::error) throw_error_frame(*f);
   if (f->type != expected) {
     throw protocol_error("unexpected response type " +
                          std::to_string(static_cast<unsigned>(f->type)));
   }
   return *std::move(f);
+}
+
+hello_reply client::hello(const std::string& client_name) {
+  hello_request req;
+  req.client_name = client_name;
+  const frame f =
+      roundtrip(msg_type::hello, encode_hello_request(req), msg_type::hello_ok);
+  return decode_hello_reply(f.payload);
+}
+
+void client::authenticate(const std::string& token) {
+  auth_request req;
+  req.token = token;
+  roundtrip(msg_type::auth, encode_auth_request(req), msg_type::auth_ok);
 }
 
 synth_response client::submit(const synth_request& req,
@@ -66,7 +133,7 @@ synth_response client::submit(const synth_request& req,
       case msg_type::result:
         return decode_synth_response(f->payload);
       case msg_type::error:
-        throw protocol_error("daemon error: " + decode_error(f->payload));
+        throw_error_frame(*f);
       default:
         throw protocol_error("unexpected frame type " +
                              std::to_string(static_cast<unsigned>(f->type)));
@@ -83,6 +150,12 @@ cache_stats_reply client::cache_stats() {
   const frame f =
       roundtrip(msg_type::cache_stats, {}, msg_type::cache_stats_ok);
   return decode_cache_stats(f.payload);
+}
+
+server_stats_reply client::server_stats() {
+  const frame f =
+      roundtrip(msg_type::server_stats, {}, msg_type::server_stats_ok);
+  return decode_server_stats(f.payload);
 }
 
 void client::shutdown_server() {

@@ -2,13 +2,23 @@
 /// \file client.hpp
 /// \brief Client side of the serve protocol (xsfq_client's engine).
 ///
-/// One `client` is one connection to a running xsfq_served daemon.  Requests
-/// are synchronous: submit() writes the request frame and consumes response
-/// frames — streamed progress events first, when requested — until the
-/// terminal result arrives.  A server-reported failure comes back as
-/// synth_response{ok=false}; transport and framing failures throw
-/// protocol_error.
+/// One `client` is one connection to a running xsfq_served daemon, over
+/// either the Unix-domain socket or TCP.  Requests are synchronous: submit()
+/// writes the request frame and consumes response frames — streamed progress
+/// events first, when requested — until the terminal result arrives.
+///
+/// Error surface: a server-reported per-request failure comes back as
+/// synth_response{ok=false}; a typed protocol-level rejection (auth
+/// required/failed, overloaded, deadline_expired, unsupported_version, ...)
+/// throws `service_error` carrying its error_code; transport and framing
+/// failures throw plain `protocol_error`.  An error frame from a pre-v3
+/// daemon (bare-string payload, announced by its header version) is decoded
+/// at that version and surfaces as service_error{generic}.
+///
+/// Not thread-safe: one client is one ordered request/response stream; use
+/// one client per thread.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -21,20 +31,41 @@ class client {
   /// Connects to the daemon's Unix socket.  Throws std::runtime_error when
   /// the daemon is not reachable at `socket_path`.
   explicit client(const std::string& socket_path);
+
+  /// Connects over TCP.  If the daemon was started with an auth token, every
+  /// request other than hello() will be rejected until authenticate()
+  /// succeeds on this connection.  Throws std::runtime_error when the
+  /// daemon is not reachable.
+  client(const std::string& host, std::uint16_t port);
+
   ~client();
   client(const client&) = delete;
   client& operator=(const client&) = delete;
 
   using progress_fn = std::function<void(const progress_event&)>;
 
+  /// v3 capability exchange: the daemon's version, whether THIS connection
+  /// still needs auth, and its capability strings.  Allowed before auth.
+  hello_reply hello(const std::string& client_name = "xsfq_client");
+
+  /// Presents the shared-secret token.  Returns normally on success; throws
+  /// service_error{auth_failed} on mismatch (the daemon also closes the
+  /// connection, so a failed client must reconnect to retry).
+  void authenticate(const std::string& token);
+
   /// Runs one synthesis request on the daemon.  When req.stream_progress is
   /// set, `progress` receives every streamed per-stage event before the
-  /// response returns.
+  /// response returns.  Admission rejections (overloaded, deadline_expired)
+  /// throw service_error with the corresponding code; the connection remains
+  /// usable afterwards.
   synth_response submit(const synth_request& req,
                         const progress_fn& progress = {});
 
   server_status status();
   cache_stats_reply cache_stats();
+  /// The full v3 metrics scrape (admission counters, cache tiers, latency
+  /// histograms).
+  server_stats_reply server_stats();
   /// Asks the daemon to drain and exit; returns once it acknowledged.
   void shutdown_server();
   bool ping();

@@ -4,6 +4,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "flow/result_io.hpp"
@@ -55,13 +57,14 @@ mapping_params read_mapping_params(byte_reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(msg_type type,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version) {
   if (payload.size() > max_frame_payload) {
     throw protocol_error("payload exceeds max frame size");
   }
   byte_writer w;
   w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.u8(protocol_version);
+  w.u8(version);
   w.u8(static_cast<std::uint8_t>(type));
   w.bytes(payload.data(), payload.size());
   return w.take();
@@ -82,8 +85,12 @@ std::optional<frame> read_frame(const read_fn& read) {
   const std::uint32_t len = hr.u32();
   const std::uint8_t version = hr.u8();
   const std::uint8_t type = hr.u8();
-  if (version != protocol_version) {
-    throw protocol_error("unsupported protocol version " +
+  // The header layout is frozen across versions, so any *plausible* version
+  // byte parses structurally and the caller applies its version policy (the
+  // server answers a mismatched peer with a typed error at the peer's
+  // version).  0 and far-future values are how random garbage usually looks.
+  if (version == 0 || version > protocol_version + 4) {
+    throw protocol_error("implausible protocol version byte " +
                          std::to_string(version));
   }
   if (len > max_frame_payload) {
@@ -92,6 +99,7 @@ std::optional<frame> read_frame(const read_fn& read) {
   }
   frame f;
   f.type = static_cast<msg_type>(type);
+  f.version = version;
   f.payload.resize(len);
   std::size_t read_total = 0;
   while (read_total < len) {
@@ -116,8 +124,9 @@ std::optional<frame> read_frame_fd(int fd) {
 }
 
 void write_frame_fd(int fd, msg_type type,
-                    std::span<const std::uint8_t> payload) {
-  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+                    std::span<const std::uint8_t> payload,
+                    std::uint8_t version) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload, version);
   std::size_t written = 0;
   while (written < bytes.size()) {
     // MSG_NOSIGNAL: a peer that disappeared mid-response must surface as a
@@ -149,6 +158,8 @@ std::vector<std::uint8_t> encode_synth_request(const synth_request& req) {
   w.boolean(req.want_dot);
   w.boolean(req.stream_progress);
   w.u32(req.flow_jobs);
+  w.u8(req.priority);
+  w.f64(req.deadline_ms);
   return w.take();
 }
 
@@ -171,6 +182,11 @@ synth_request decode_synth_request(std::span<const std::uint8_t> payload) {
   req.flow_jobs = r.u32();
   if (req.flow_jobs == 0 || req.flow_jobs > 256) {
     throw serialize_error("flow_jobs out of range");
+  }
+  req.priority = r.u8();
+  req.deadline_ms = r.f64();
+  if (std::isnan(req.deadline_ms) || req.deadline_ms < 0.0) {
+    throw serialize_error("deadline_ms out of range");
   }
   r.expect_done();
   return req;
@@ -286,17 +302,192 @@ cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload) {
   return reply;
 }
 
-std::vector<std::uint8_t> encode_error(const std::string& message) {
+std::vector<std::uint8_t> encode_hello_request(const hello_request& req) {
+  byte_writer w;
+  w.u8(req.client_version);
+  w.str(req.client_name);
+  return w.take();
+}
+
+hello_request decode_hello_request(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  hello_request req;
+  req.client_version = r.u8();
+  req.client_name = r.str();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const hello_reply& reply) {
+  byte_writer w;
+  w.u8(reply.server_version);
+  w.boolean(reply.auth_required);
+  w.u32(reply.max_payload);
+  w.u64(reply.capabilities.size());
+  for (const auto& cap : reply.capabilities) w.str(cap);
+  return w.take();
+}
+
+hello_reply decode_hello_reply(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  hello_reply reply;
+  reply.server_version = r.u8();
+  reply.auth_required = r.boolean();
+  reply.max_payload = r.u32();
+  const std::size_t n = r.count(/*min_element_bytes=*/8);
+  reply.capabilities.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) reply.capabilities.push_back(r.str());
+  r.expect_done();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_auth_request(const auth_request& req) {
+  byte_writer w;
+  w.str(req.token);
+  return w.take();
+}
+
+auth_request decode_auth_request(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  auth_request req;
+  req.token = r.str();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_server_stats(
+    const server_stats_reply& reply) {
+  byte_writer w;
+  w.u64(reply.status.jobs_submitted);
+  w.u64(reply.status.jobs_completed);
+  w.u64(reply.status.jobs_failed);
+  w.u64(reply.status.active_connections);
+  w.u32(reply.status.worker_threads);
+  w.u64(reply.status.steals);
+  w.f64(reply.status.uptime_s);
+  w.u64(reply.cache.full_hits);
+  w.u64(reply.cache.full_misses);
+  w.u64(reply.cache.opt_hits);
+  w.u64(reply.cache.opt_misses);
+  w.u64(reply.cache.disk_hits);
+  w.u64(reply.cache.disk_misses);
+  w.u64(reply.cache.disk_writes);
+  w.str(reply.disk_directory);
+  w.u64(reply.accepted);
+  w.u64(reply.rejected_overload);
+  w.u64(reply.rejected_deadline);
+  w.u64(reply.rejected_auth);
+  w.u64(reply.rejected_conns);
+  w.u64(reply.peak_queue_depth);
+  w.u32(reply.queue_depth);
+  w.u32(reply.inflight);
+  w.u32(reply.max_queue);
+  w.u32(reply.max_inflight);
+  w.u32(reply.max_conns);
+  w.u64(reply.runner_queue_depth);
+  w.u64(reply.histograms.size());
+  for (const auto& h : reply.histograms) {
+    w.str(h.name);
+    w.u64(h.count);
+    w.f64(h.sum_ms);
+    w.f64(h.max_ms);
+    w.u64(h.buckets.size());
+    for (const std::uint64_t b : h.buckets) w.u64(b);
+  }
+  return w.take();
+}
+
+server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  server_stats_reply reply;
+  reply.status.jobs_submitted = r.u64();
+  reply.status.jobs_completed = r.u64();
+  reply.status.jobs_failed = r.u64();
+  reply.status.active_connections = r.u64();
+  reply.status.worker_threads = r.u32();
+  reply.status.steals = r.u64();
+  reply.status.uptime_s = r.f64();
+  reply.cache.full_hits = r.u64();
+  reply.cache.full_misses = r.u64();
+  reply.cache.opt_hits = r.u64();
+  reply.cache.opt_misses = r.u64();
+  reply.cache.disk_hits = r.u64();
+  reply.cache.disk_misses = r.u64();
+  reply.cache.disk_writes = r.u64();
+  reply.disk_directory = r.str();
+  reply.accepted = r.u64();
+  reply.rejected_overload = r.u64();
+  reply.rejected_deadline = r.u64();
+  reply.rejected_auth = r.u64();
+  reply.rejected_conns = r.u64();
+  reply.peak_queue_depth = r.u64();
+  reply.queue_depth = r.u32();
+  reply.inflight = r.u32();
+  reply.max_queue = r.u32();
+  reply.max_inflight = r.u32();
+  reply.max_conns = r.u32();
+  reply.runner_queue_depth = r.u64();
+  const std::size_t n = r.count(/*min_element_bytes=*/8);
+  reply.histograms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    histogram_snapshot h;
+    h.name = r.str();
+    h.count = r.u64();
+    h.sum_ms = r.f64();
+    h.max_ms = r.f64();
+    const std::size_t nb = r.count(/*min_element_bytes=*/8);
+    h.buckets.reserve(nb);
+    for (std::size_t j = 0; j < nb; ++j) h.buckets.push_back(r.u64());
+    reply.histograms.push_back(std::move(h));
+  }
+  r.expect_done();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_error(error_code code,
+                                       const std::string& message) {
+  byte_writer w;
+  w.u8(static_cast<std::uint8_t>(code));
+  w.str(message);
+  return w.take();
+}
+
+error_reply decode_error(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  error_reply reply;
+  const std::uint8_t code = r.u8();
+  reply.code = code > static_cast<std::uint8_t>(error_code::shutting_down)
+                   ? error_code::generic
+                   : static_cast<error_code>(code);
+  reply.message = r.str();
+  r.expect_done();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_legacy_error(const std::string& message) {
   byte_writer w;
   w.str(message);
   return w.take();
 }
 
-std::string decode_error(std::span<const std::uint8_t> payload) {
+std::string decode_legacy_error(std::span<const std::uint8_t> payload) {
   byte_reader r(payload);
   std::string message = r.str();
   r.expect_done();
   return message;
+}
+
+bool constant_time_equal(const std::string& a, const std::string& b) {
+  unsigned char acc = a.size() == b.size() ? 0 : 1;
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca =
+        i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb =
+        i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    acc = static_cast<unsigned char>(acc | (ca ^ cb));
+  }
+  return acc == 0;
 }
 
 }  // namespace xsfq::serve

@@ -2,24 +2,41 @@
 /// \file protocol.hpp
 /// \brief Wire protocol of the synthesis service (xsfq_served / xsfq_client).
 ///
-/// A connection carries a sequence of length-prefixed frames over a
-/// Unix-domain stream socket:
+/// A connection carries a sequence of length-prefixed frames over a stream
+/// socket (Unix-domain or TCP):
 ///
 ///   [u32 payload_len][u8 version][u8 msg_type][payload bytes...]
 ///
-/// all little-endian (the codec in util/serialize.hpp).  A client sends one
-/// request frame and reads response frames until the terminal one: `submit`
-/// yields zero or more `progress` frames (when streaming was requested)
-/// followed by exactly one `result` or `error`; every other request yields
-/// exactly one response frame.  Framing violations — version mismatch,
-/// payload over `max_frame_payload`, truncation mid-frame, undecodable
-/// payload — raise `protocol_error`; the server answers with an `error`
-/// frame when the connection is still writable and closes it.
+/// all little-endian (the codec in util/serialize.hpp).  The 6-byte header
+/// layout is FROZEN across protocol versions: any peer can read any frame's
+/// header, which is how a v3 daemon answers a v2 client with a typed error
+/// frame the v2 client can decode (encoded at the client's version) instead
+/// of both sides hanging or dying on a raw read.  Payload layouts are
+/// version-specific; a daemon only decodes payloads of its own version and
+/// rejects every other version at the frame level.
 ///
-/// The payload structs below are the complete vocabulary: a synthesis
-/// request (circuit by registry name or inline .bench/.blif text + the same
-/// knobs xsfq_synth takes), per-stage progress events sourced from
-/// flow_result timings, the full response, daemon status, and cache stats.
+/// A client sends one request frame and reads response frames until the
+/// terminal one: `submit` yields zero or more `progress` frames (when
+/// streaming was requested) followed by exactly one `result` or `error`;
+/// every other request yields exactly one response frame.  Framing
+/// violations — implausible version byte, payload over `max_frame_payload`,
+/// truncation mid-frame, undecodable payload — raise `protocol_error`; the
+/// server answers with an `error` frame when the connection is still
+/// writable and closes it.
+///
+/// v3 adds: a `hello`/`hello_ok` capability exchange, a shared-secret
+/// `auth` frame (required before any other request on TCP transports when
+/// the daemon holds a token; compared in constant time), per-request
+/// `priority`/`deadline_ms` admission fields, structured `error` payloads
+/// carrying a typed `error_code`, and the `server_stats` metrics request
+/// (admission counters + latency histograms) generalizing v2's
+/// `cache_stats`.  docs/protocol.md is the normative reference; a test
+/// cross-checks its constant tables against this header.
+///
+/// Thread-safety: every free function here is stateless and safe to call
+/// concurrently; the fd helpers assume at most one reader and one writer
+/// per fd at a time (the client and the per-connection handler both
+/// guarantee that by construction).
 
 #include <cstdint>
 #include <functional>
@@ -29,13 +46,16 @@
 
 #include "core/mapper.hpp"
 #include "flow/batch_runner.hpp"
+#include "util/histogram.hpp"
 #include "util/serialize.hpp"
 
 namespace xsfq::serve {
 
 // v2: synth_request gained flow_jobs (intra-flow parallelism), stage
 // counters gained arena_peak_bytes + rebuilds_avoided.
-inline constexpr std::uint8_t protocol_version = 2;
+// v3: hello/auth/server_stats messages, error codes, priority + deadline_ms
+// on synth_request (see docs/protocol.md for the full history).
+inline constexpr std::uint8_t protocol_version = 3;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;
@@ -49,14 +69,35 @@ enum class msg_type : std::uint8_t {
   cache_stats = 3,
   shutdown = 4,
   ping = 5,
+  hello = 6,         ///< v3: capability/version exchange, always allowed
+  auth = 7,          ///< v3: shared-secret token, must precede requests on TCP
+  server_stats = 8,  ///< v3: metrics scrape (generalizes cache_stats)
   // responses
   result = 64,
   status_ok = 65,
   cache_stats_ok = 66,
   shutdown_ok = 67,
   pong = 68,
+  hello_ok = 69,
+  auth_ok = 70,
+  server_stats_ok = 71,
   progress = 96,  ///< streamed before `result` when the client asked for it
   error = 127,
+};
+
+/// Typed reason on every v3 `error` frame, so clients and load balancers can
+/// react programmatically (retry elsewhere on overloaded, re-auth on
+/// auth_failed, upgrade on unsupported_version) instead of parsing prose.
+enum class error_code : std::uint8_t {
+  generic = 0,              ///< unclassified server-side failure
+  bad_request = 1,          ///< undecodable or unknown request frame
+  unsupported_version = 2,  ///< peer spoke a different protocol version
+  auth_required = 3,        ///< request arrived before a successful auth
+  auth_failed = 4,          ///< token mismatch; connection is closed
+  overloaded = 5,           ///< admission queue full; retry later/elsewhere
+  deadline_expired = 6,     ///< deadline passed while queued
+  too_many_connections = 7, ///< connection cap reached; connection is closed
+  shutting_down = 8,        ///< daemon is draining
 };
 
 struct protocol_error : std::runtime_error {
@@ -64,14 +105,31 @@ struct protocol_error : std::runtime_error {
       : std::runtime_error("protocol: " + what) {}
 };
 
+/// A server-reported error frame, decoded: carries the typed code alongside
+/// the human-readable message.  Thrown by the client's request methods.
+struct service_error : protocol_error {
+  error_code code;
+  service_error(error_code c, const std::string& message)
+      : protocol_error(message), code(c) {}
+};
+
 struct frame {
   msg_type type = msg_type::error;
+  /// Version byte the peer announced.  The frame header layout is frozen,
+  /// so frames of any plausible version parse structurally; callers enforce
+  /// their own version policy (the server rejects != protocol_version with
+  /// a typed error encoded at the peer's version).
+  std::uint8_t version = protocol_version;
   std::vector<std::uint8_t> payload;
 };
 
 /// Serializes one frame (header + payload) ready for a single write.
+/// `version` stamps the header: responses to a mismatched peer are encoded
+/// at the PEER's version so it can decode them (payload must then use the
+/// legacy layout — see encode_legacy_error).
 std::vector<std::uint8_t> encode_frame(msg_type type,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = protocol_version);
 
 /// Pull-style byte source: fill up to `n` bytes into `dst`, return the count
 /// actually produced (0 = end of stream).  Lets the framing layer be tested
@@ -79,14 +137,23 @@ std::vector<std::uint8_t> encode_frame(msg_type type,
 using read_fn = std::function<std::size_t(void* dst, std::size_t n)>;
 
 /// Reads one frame.  Returns nullopt on a clean end-of-stream *before* any
-/// header byte; throws protocol_error on truncation mid-frame, version
-/// mismatch, or an oversized payload announcement.
+/// header byte; throws protocol_error on truncation mid-frame, an
+/// implausible version byte (0 or far beyond the current version — how
+/// arbitrary garbage usually dies), or an oversized payload announcement.
+/// A *plausible* foreign version parses fine and surfaces in
+/// frame::version for the caller to reject with a typed error.
 std::optional<frame> read_frame(const read_fn& read);
 
 /// fd convenience wrappers (retry on EINTR; write loops until complete).
 std::optional<frame> read_frame_fd(int fd);
 void write_frame_fd(int fd, msg_type type,
-                    std::span<const std::uint8_t> payload);
+                    std::span<const std::uint8_t> payload,
+                    std::uint8_t version = protocol_version);
+
+/// Timing-safe token comparison: examines every byte of the longer input
+/// regardless of where the first mismatch sits, so a remote attacker cannot
+/// binary-search the shared secret through response-latency differences.
+bool constant_time_equal(const std::string& a, const std::string& b);
 
 // ---------------------------------------------------------------------------
 // Payloads.
@@ -115,6 +182,14 @@ struct synth_request {
   /// the server's worker pool); 1 = the sequential pipeline.  Joins the
   /// result-cache fingerprint because the partition count changes results.
   std::uint32_t flow_jobs = 1;
+  /// Admission priority, 0..255, higher admitted first (default 100).
+  /// Orders only the wait for an execution slot; execution itself is
+  /// unaffected.
+  std::uint8_t priority = 100;
+  /// Relative admission deadline in ms (0 = none): if no execution slot
+  /// frees within this budget of the request's arrival, the daemon fails it
+  /// with `deadline_expired` instead of running work nobody is waiting for.
+  double deadline_ms = 0.0;
 };
 
 /// One per-stage progress notification (flow::stage_event on the wire).
@@ -143,6 +218,26 @@ struct synth_response {
   bool served_from_cache = false;  ///< every stage replayed from a cache tier
 };
 
+/// Client side of the v3 capability exchange.
+struct hello_request {
+  std::uint8_t client_version = protocol_version;
+  std::string client_name;  ///< free-form, e.g. "xsfq_client/0.1"
+};
+
+/// Daemon side of the v3 capability exchange.
+struct hello_reply {
+  std::uint8_t server_version = protocol_version;
+  bool auth_required = false;  ///< this connection must auth before requests
+  std::uint32_t max_payload = max_frame_payload;
+  std::vector<std::string> capabilities;  ///< e.g. "auth", "server_stats"
+};
+
+/// Shared-secret credential frame (v3).  Sent once, before any request, on
+/// transports the daemon requires auth for.
+struct auth_request {
+  std::string token;
+};
+
 struct server_status {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
@@ -158,6 +253,41 @@ struct cache_stats_reply {
   std::string disk_directory;  ///< empty when the disk tier is disabled
 };
 
+/// One named latency histogram inside a server_stats scrape (the fixed
+/// log-bucket layout of util/histogram.hpp on the wire).
+struct histogram_snapshot {
+  std::string name;  ///< "queue_wait", "request_total", "stage:optimize", ...
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< log_histogram::num_buckets counts
+};
+
+/// The v3 metrics scrape: everything a load balancer or dashboard needs in
+/// one frame — job/connection gauges, every cache tier, admission counters,
+/// and per-stage latency histograms merged across workers at read time.
+struct server_stats_reply {
+  server_status status;
+  flow::batch_cache_stats cache;
+  std::string disk_directory;
+  // Admission control (see serve/admission.hpp).
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_auth = 0;   ///< failed or missing auth attempts
+  std::uint64_t rejected_conns = 0;  ///< connections bounced at the cap
+  std::uint64_t peak_queue_depth = 0;
+  std::uint32_t queue_depth = 0;  ///< admission waiters right now
+  std::uint32_t inflight = 0;     ///< admitted requests executing
+  std::uint32_t max_queue = 0;
+  std::uint32_t max_inflight = 0;
+  std::uint32_t max_conns = 0;
+  /// Jobs sitting in the batch_runner's worker deques (scheduled, not yet
+  /// picked up) — distinct from the admission queue in front of it.
+  std::uint64_t runner_queue_depth = 0;
+  std::vector<histogram_snapshot> histograms;
+};
+
 // Encoders return the payload bytes; decoders throw serialize_error (a
 // protocol violation the caller maps to an error frame) on malformed input.
 std::vector<std::uint8_t> encode_synth_request(const synth_request& req);
@@ -169,13 +299,40 @@ progress_event decode_progress_event(std::span<const std::uint8_t> payload);
 std::vector<std::uint8_t> encode_synth_response(const synth_response& resp);
 synth_response decode_synth_response(std::span<const std::uint8_t> payload);
 
+std::vector<std::uint8_t> encode_hello_request(const hello_request& req);
+hello_request decode_hello_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_hello_reply(const hello_reply& reply);
+hello_reply decode_hello_reply(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_auth_request(const auth_request& req);
+auth_request decode_auth_request(std::span<const std::uint8_t> payload);
+
 std::vector<std::uint8_t> encode_server_status(const server_status& status);
 server_status decode_server_status(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply);
 cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> encode_error(const std::string& message);
-std::string decode_error(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> encode_server_stats(const server_stats_reply& reply);
+server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload);
+
+/// v3 error payload: [u8 code][str message].
+std::vector<std::uint8_t> encode_error(error_code code,
+                                       const std::string& message);
+/// Decoded v3 error payload (out-of-range codes map to error_code::generic
+/// so a newer daemon's codes degrade gracefully).
+struct error_reply {
+  error_code code = error_code::generic;
+  std::string message;
+};
+error_reply decode_error(std::span<const std::uint8_t> payload);
+
+/// v1/v2 error payload (bare string) — used only when answering a peer that
+/// announced an older version, encoded at THAT version so it can decode.
+std::vector<std::uint8_t> encode_legacy_error(const std::string& message);
+/// The inverse: what a v3 client does with an error frame whose header
+/// announces an older version (a pre-v3 daemon rejecting us).
+std::string decode_legacy_error(std::span<const std::uint8_t> payload);
 
 }  // namespace xsfq::serve

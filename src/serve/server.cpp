@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
 #include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -22,14 +25,78 @@ void close_quietly(int& fd) {
   }
 }
 
+/// Splits "host:port" (the last ':' wins, so a future "[::1]:80" parse can
+/// slot in) and resolves it into a bound, listening TCP socket.  Returns the
+/// fd; fills `bound_port` with the kernel-assigned port (for ":0" binds).
+int listen_tcp(const std::string& address, std::uint16_t& bound_port) {
+  const auto colon = address.find_last_of(':');
+  if (colon == std::string::npos || colon == address.size() - 1) {
+    throw std::runtime_error("serve: --listen expects HOST:PORT, got: " +
+                             address);
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port = address.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("serve: cannot resolve listen address " +
+                             address + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      sockaddr_storage bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        if (bound.ss_family == AF_INET) {
+          bound_port = ntohs(
+              reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+        } else if (bound.ss_family == AF_INET6) {
+          bound_port = ntohs(
+              reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+        }
+      }
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_error = std::strerror(errno);
+    close_quietly(fd);
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("serve: cannot listen on " + address + ": " +
+                           last_error);
+}
+
 }  // namespace
 
 /// One accepted connection: the fd plus its handler thread's lifecycle
-/// bookkeeping (reaped opportunistically and on stop()).
+/// bookkeeping (reaped opportunistically and on stop()) and the per-worker
+/// latency histograms, recycled across this connection's requests and
+/// merged into the server's retired set when the connection is reaped.
 struct server::connection {
   int fd = -1;
+  bool needs_auth = false;  ///< TCP with a configured token; cleared by auth
   std::thread thread;
   std::atomic<bool> done{false};
+  /// Guards hist against a concurrent server_stats() merge; recording takes
+  /// this uncontended lock once per sample, readers once per scrape.
+  std::mutex hist_mutex;
+  histogram_set hist;
 
   ~connection() {
     int fd_copy = fd;
@@ -37,55 +104,81 @@ struct server::connection {
   }
 };
 
-server::server(server_options options) : options_(std::move(options)) {
-  if (options_.socket_path.empty()) {
-    throw std::runtime_error("serve: socket path must not be empty");
+server::server(server_options options)
+    : options_(std::move(options)),
+      runner_(std::make_unique<flow::batch_runner>(options_.threads)),
+      // max_inflight=0 defaults to the runner's resolved worker count
+      // (threads=0 resolves to hardware concurrency inside the runner).
+      admission_(options_.max_queue,
+                 options_.max_inflight != 0 ? options_.max_inflight
+                                            : runner_->num_threads()) {
+  if (options_.socket_path.empty() && options_.listen_address.empty()) {
+    throw std::runtime_error(
+        "serve: need a socket path or a TCP listen address");
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("serve: socket path too long: " +
-                             options_.socket_path);
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-
-  runner_ = std::make_unique<flow::batch_runner>(options_.threads);
   if (!options_.cache_dir.empty()) {
     runner_->set_disk_cache(options_.cache_dir, options_.max_disk_entries);
   }
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("serve: socket failed: ") +
-                             std::strerror(errno));
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("serve: socket path too long: " +
+                               options_.socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error(std::string("serve: socket failed: ") +
+                               std::strerror(errno));
+    }
+    ::unlink(options_.socket_path.c_str());  // stale socket from a prior run
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      const std::string what =
+          std::string("serve: bind/listen failed on ") + options_.socket_path +
+          ": " + std::strerror(errno);
+      close_quietly(listen_fd_);
+      throw std::runtime_error(what);
+    }
   }
-  ::unlink(options_.socket_path.c_str());  // stale socket from a prior run
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const std::string what =
-        std::string("serve: bind/listen failed on ") + options_.socket_path +
-        ": " + std::strerror(errno);
-    close_quietly(listen_fd_);
-    throw std::runtime_error(what);
+
+  if (!options_.listen_address.empty()) {
+    try {
+      tcp_listen_fd_ = listen_tcp(options_.listen_address, tcp_port_);
+    } catch (...) {
+      close_quietly(listen_fd_);
+      throw;
+    }
   }
 
   start_time_ = std::chrono::steady_clock::now();
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (listen_fd_ >= 0) {
+    accept_thread_ =
+        std::thread([this] { accept_loop(listen_fd_, /*is_tcp=*/false); });
+  }
+  if (tcp_listen_fd_ >= 0) {
+    tcp_accept_thread_ =
+        std::thread([this] { accept_loop(tcp_listen_fd_, /*is_tcp=*/true); });
+  }
 }
 
 server::~server() { stop(); }
 
-void server::accept_loop() {
+void server::accept_loop(int listen_fd, bool is_tcp) {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener shut down (stop()) or fatal: exit the loop
     }
     auto conn = std::make_shared<connection>();
     conn->fd = fd;
+    conn->needs_auth = is_tcp && !options_.auth_token.empty();
+    bool over_cap = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) {
@@ -94,7 +187,25 @@ void server::accept_loop() {
         return;
       }
       reap_finished_locked();
-      connections_.push_back(conn);
+      over_cap = active_connections_locked() >= options_.max_conns;
+      if (!over_cap) connections_.push_back(conn);
+    }
+    if (over_cap) {
+      // Bounce BEFORE a handler thread exists: a connection flood must hit
+      // this cap, not the thread allocator.  Best-effort write — the frame
+      // fits any socket buffer, and a peer that vanished just loses it.
+      rejected_conns_.fetch_add(1);
+      try {
+        write_frame_fd(fd, msg_type::error,
+                       encode_error(error_code::too_many_connections,
+                                    "connection limit reached (" +
+                                        std::to_string(options_.max_conns) +
+                                        "); retry later"));
+      } catch (const protocol_error&) {
+      }
+      ::close(fd);
+      conn->fd = -1;
+      continue;
     }
     conn->thread =
         std::thread([this, conn] { handle_connection(conn); });
@@ -105,6 +216,12 @@ void server::reap_finished_locked() {
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->done.load()) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
+      {
+        // Keep the samples: merge the dead connection's histograms into the
+        // retired set before the object goes away.
+        std::lock_guard<std::mutex> hist_lock((*it)->hist_mutex);
+        (*it)->hist.merge_into(retired_hist_);
+      }
       it = connections_.erase(it);
     } else {
       ++it;
@@ -112,9 +229,18 @@ void server::reap_finished_locked() {
   }
 }
 
+std::size_t server::active_connections_locked() const {
+  std::size_t active = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->done.load()) ++active;
+  }
+  return active;
+}
+
 void server::handle_connection(const std::shared_ptr<connection>& conn) {
   const int fd = conn->fd;
   bool writable = true;
+  bool authed = !conn->needs_auth;
   const auto send = [&](msg_type type,
                         const std::vector<std::uint8_t>& payload) {
     if (!writable) return;
@@ -128,31 +254,123 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
       // response that will never come.
       if (payload.size() > max_frame_payload) {
         try {
-          write_frame_fd(fd, msg_type::error, encode_error(e.what()));
+          write_frame_fd(fd, msg_type::error,
+                         encode_error(error_code::generic, e.what()));
         } catch (const protocol_error&) {
         }
       }
       writable = false;
     }
   };
+  const auto record_ms = [&](std::string_view name, double ms) {
+    std::lock_guard<std::mutex> lock(conn->hist_mutex);
+    conn->hist.at(name).record(ms);
+  };
 
   try {
     for (;;) {
       std::optional<frame> f = read_frame_fd(fd);
       if (!f) break;  // clean end-of-stream (client closed, or drain)
+      if (f->version != protocol_version) {
+        // Typed, decodable rejection instead of a hang: the header layout
+        // is frozen, so we answer AT THE PEER'S VERSION (legacy string
+        // payload below v3) and close.
+        const std::string what =
+            "protocol version mismatch: daemon speaks v" +
+            std::to_string(protocol_version) + ", client sent v" +
+            std::to_string(f->version) + "; upgrade the client";
+        try {
+          if (f->version < 3) {
+            write_frame_fd(fd, msg_type::error, encode_legacy_error(what),
+                           f->version);
+          } else {
+            write_frame_fd(fd, msg_type::error,
+                           encode_error(error_code::unsupported_version, what),
+                           f->version);
+          }
+        } catch (const protocol_error&) {
+        }
+        break;
+      }
+      if (!authed && f->type != msg_type::hello && f->type != msg_type::auth) {
+        rejected_auth_.fetch_add(1);
+        send(msg_type::error,
+             encode_error(error_code::auth_required,
+                          "authenticate first: this transport requires an "
+                          "auth token frame before any request"));
+        break;
+      }
       switch (f->type) {
+        case msg_type::hello: {
+          const hello_request hello = decode_hello_request(f->payload);
+          (void)hello;  // client version/name are informational in v3
+          hello_reply reply;
+          reply.server_version = protocol_version;
+          reply.auth_required = !authed;
+          reply.max_payload = max_frame_payload;
+          reply.capabilities = {"auth", "priorities", "deadlines",
+                                "server_stats", "progress"};
+          send(msg_type::hello_ok, encode_hello_reply(reply));
+          break;
+        }
+        case msg_type::auth: {
+          const auth_request auth = decode_auth_request(f->payload);
+          if (constant_time_equal(auth.token, options_.auth_token)) {
+            authed = true;
+            send(msg_type::auth_ok, {});
+          } else {
+            rejected_auth_.fetch_add(1);
+            send(msg_type::error,
+                 encode_error(error_code::auth_failed, "auth token mismatch"));
+            writable = false;  // close: do not offer retries on one stream
+          }
+          break;
+        }
         case msg_type::submit: {
           const synth_request req = decode_synth_request(f->payload);
           jobs_submitted_.fetch_add(1);
+          const auto ticket = admission_.acquire(req.priority, req.deadline_ms);
+          if (ticket.outcome == admission_queue::verdict::overloaded) {
+            jobs_failed_.fetch_add(1);
+            send(msg_type::error,
+                 encode_error(error_code::overloaded,
+                              "admission queue full (max_queue=" +
+                                  std::to_string(options_.max_queue) +
+                                  "); retry later"));
+            break;
+          }
+          if (ticket.outcome == admission_queue::verdict::deadline_expired) {
+            jobs_failed_.fetch_add(1);
+            send(msg_type::error,
+                 encode_error(error_code::deadline_expired,
+                              "deadline passed after " +
+                                  std::to_string(ticket.queued_ms) +
+                                  " ms in the admission queue"));
+            break;
+          }
+          record_ms("queue_wait", ticket.queued_ms);
           // Progress events stream from the executing worker thread; every
           // event happens strictly before run_synth returns, so writes to
           // the socket never interleave with the result frame below.
           const auto progress = [&](const progress_event& ev) {
+            if (!ev.from_cache) record_ms("stage:" + ev.stage, ev.ms);
             if (req.stream_progress) {
               send(msg_type::progress, encode_progress_event(ev));
             }
           };
-          const synth_response resp = run_synth(req, *runner_, progress);
+          const auto started = std::chrono::steady_clock::now();
+          synth_response resp;
+          try {
+            resp = run_synth(req, *runner_, progress);
+          } catch (...) {
+            admission_.release();
+            throw;
+          }
+          admission_.release();
+          record_ms("request_total",
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count());
           (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
           send(msg_type::result, encode_synth_response(resp));
           break;
@@ -166,6 +384,10 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           reply.stats = runner_->cache_stats();
           reply.disk_directory = runner_->disk_cache_directory();
           send(msg_type::cache_stats_ok, encode_cache_stats(reply));
+          break;
+        }
+        case msg_type::server_stats: {
+          send(msg_type::server_stats_ok, encode_server_stats(stats()));
           break;
         }
         case msg_type::shutdown: {
@@ -183,18 +405,21 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
         }
         default:
           send(msg_type::error,
-               encode_error("unknown request type " +
-                            std::to_string(static_cast<unsigned>(f->type))));
+               encode_error(error_code::bad_request,
+                            "unknown request type " +
+                                std::to_string(static_cast<unsigned>(f->type))));
           break;
       }
       if (!writable) break;  // response undeliverable: close, don't strand
     }
   } catch (const serialize_error& e) {
-    send(msg_type::error, encode_error(e.what()));
+    send(msg_type::error, encode_error(error_code::bad_request, e.what()));
   } catch (const protocol_error& e) {
-    send(msg_type::error, encode_error(e.what()));
+    send(msg_type::error, encode_error(error_code::bad_request, e.what()));
   } catch (const std::exception& e) {
-    send(msg_type::error, encode_error(std::string("internal: ") + e.what()));
+    send(msg_type::error,
+         encode_error(error_code::generic,
+                      std::string("internal: ") + e.what()));
   }
   // Signal end-of-stream to the peer now; the fd itself is closed when the
   // connection object is reaped (next accept or stop()).
@@ -215,12 +440,15 @@ void server::stop() {
   }
   shutdown_cv_.notify_all();
 
-  // Wake the accept loop, then stop new reads on every connection.  SHUT_RD
+  // Wake the accept loops, then stop new reads on every connection.  SHUT_RD
   // only: a handler mid-request keeps its write half to finish the response
   // (the drain), then observes end-of-stream and exits.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (tcp_listen_fd_ >= 0) ::shutdown(tcp_listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (tcp_accept_thread_.joinable()) tcp_accept_thread_.join();
   close_quietly(listen_fd_);
+  close_quietly(tcp_listen_fd_);
 
   std::vector<std::shared_ptr<connection>> to_join;
   {
@@ -234,7 +462,16 @@ void server::stop() {
   for (const auto& conn : to_join) {
     if (conn->thread.joinable()) conn->thread.join();
   }
-  ::unlink(options_.socket_path.c_str());
+  {
+    // The joined handlers can no longer record; keep their samples.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& conn : to_join) {
+      conn->hist.merge_into(retired_hist_);
+    }
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
 }
 
 void server::wait_shutdown_requested() {
@@ -255,11 +492,7 @@ server_status server::status() const {
   s.jobs_failed = jobs_failed_.load();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::uint64_t active = 0;
-    for (const auto& conn : connections_) {
-      if (!conn->done.load()) ++active;
-    }
-    s.active_connections = active;
+    s.active_connections = active_connections_locked();
   }
   s.worker_threads = runner_->num_threads();
   s.steals = runner_->steals();
@@ -267,6 +500,49 @@ server_status server::status() const {
                    std::chrono::steady_clock::now() - start_time_)
                    .count();
   return s;
+}
+
+server_stats_reply server::stats() const {
+  server_stats_reply reply;
+  reply.status = status();
+  reply.cache = runner_->cache_stats();
+  reply.disk_directory = runner_->disk_cache_directory();
+
+  const admission_stats adm = admission_.snapshot();
+  reply.accepted = adm.accepted;
+  reply.rejected_overload = adm.rejected_overload;
+  reply.rejected_deadline = adm.rejected_deadline;
+  reply.rejected_auth = rejected_auth_.load();
+  reply.rejected_conns = rejected_conns_.load();
+  reply.peak_queue_depth = adm.peak_queue_depth;
+  reply.queue_depth = static_cast<std::uint32_t>(adm.queue_depth);
+  reply.inflight = static_cast<std::uint32_t>(adm.inflight);
+  reply.max_queue = static_cast<std::uint32_t>(adm.max_queue);
+  reply.max_inflight = static_cast<std::uint32_t>(adm.max_inflight);
+  reply.max_conns = static_cast<std::uint32_t>(options_.max_conns);
+  reply.runner_queue_depth = runner_->queue_depth();
+
+  // Merge-on-read: the retired set plus every live connection's recycled
+  // per-worker histograms, none of which pay anything on the request path.
+  histogram_set merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_hist_.merge_into(merged);
+    for (const auto& conn : connections_) {
+      std::lock_guard<std::mutex> hist_lock(conn->hist_mutex);
+      conn->hist.merge_into(merged);
+    }
+  }
+  for (const auto& [name, hist] : merged.entries()) {
+    histogram_snapshot snap;
+    snap.name = name;
+    snap.count = hist.count();
+    snap.sum_ms = hist.sum_ms();
+    snap.max_ms = hist.max_ms();
+    snap.buckets.assign(hist.buckets().begin(), hist.buckets().end());
+    reply.histograms.push_back(std::move(snap));
+  }
+  return reply;
 }
 
 }  // namespace xsfq::serve

@@ -4,18 +4,33 @@
 ///
 /// One `server` owns one long-lived flow::batch_runner — the work-stealing
 /// pool plus every result-cache tier, including the optional disk-persistent
-/// one — and a Unix-domain listening socket speaking the serve protocol.
-/// Each accepted connection gets a handler thread; submits multiplex onto
-/// the shared pool through batch_runner::enqueue, so N clients synthesizing
-/// concurrently share workers, de-duplicate identical in-flight optimize
-/// stages through the shared-future tier, and hit each other's cached
-/// results.
+/// one — behind up to two listening sockets speaking the serve protocol: a
+/// Unix-domain socket (local clients, trusted by file permissions) and an
+/// optional TCP listener (`listen_address`, remote fleets).  TCP
+/// connections must present the shared-secret auth token (constant-time
+/// compare) before any request when a token is configured.
+///
+/// Each accepted connection gets a handler thread, capped at `max_conns`
+/// (excess connections receive a typed `too_many_connections` error and are
+/// closed before a thread is spawned).  Submits pass the bounded
+/// priority/deadline admission queue (serve/admission.hpp) and then
+/// multiplex onto the shared pool through batch_runner::enqueue, so N
+/// clients synthesizing concurrently share workers, de-duplicate identical
+/// in-flight optimize stages through the shared-future tier, and hit each
+/// other's cached results.  Per-request latencies (queue wait, each flow
+/// stage, end-to-end) are recorded into per-connection log-bucket
+/// histograms, recycled across requests and merged only when a
+/// `server_stats` scrape asks.
 ///
 /// Shutdown is a drain, triggered either by stop() (the daemon calls it on
-/// SIGINT/SIGTERM) or by a client's `shutdown` request: the listener closes,
-/// idle connections see end-of-stream, handlers mid-request finish the
-/// request and write the response, every handler thread is joined, and disk
-/// cache writes — which are synchronous and atomic — are already on disk.
+/// SIGINT/SIGTERM) or by a client's `shutdown` request: the listeners
+/// close, idle connections see end-of-stream, handlers mid-request (queued
+/// or executing) finish the request and write the response, every handler
+/// thread is joined, and disk cache writes — which are synchronous and
+/// atomic — are already on disk.
+///
+/// Thread-safety: every public method is safe to call from any thread;
+/// stop() is idempotent.
 
 #include <atomic>
 #include <chrono>
@@ -28,59 +43,90 @@
 #include <vector>
 
 #include "flow/batch_runner.hpp"
+#include "serve/admission.hpp"
 #include "serve/protocol.hpp"
+#include "util/histogram.hpp"
 
 namespace xsfq::serve {
 
 struct server_options {
-  std::string socket_path;
+  std::string socket_path;     ///< Unix-domain listener; empty disables it
+  /// TCP listener as "host:port" (e.g. "127.0.0.1:7341", "0.0.0.0:0" for an
+  /// ephemeral port — read it back via tcp_port()).  Empty disables TCP.
+  std::string listen_address;
+  /// Shared secret TCP clients must present in an `auth` frame before any
+  /// request.  Empty = no auth (Unix-socket-only deployments).  The Unix
+  /// listener never requires auth; its trust boundary is file permissions.
+  std::string auth_token;
   unsigned threads = 0;        ///< runner workers; 0 = hardware concurrency
   std::string cache_dir;       ///< empty disables the disk-persistent tier
   std::size_t max_disk_entries = 1024;
+  std::size_t max_queue = 64;     ///< admission waiters before shedding
+  std::size_t max_inflight = 0;   ///< concurrent submits; 0 = worker count
+  std::size_t max_conns = 256;    ///< concurrent connections before bouncing
 };
 
 class server {
  public:
-  /// Binds, listens, and starts accepting.  A stale socket file at the path
-  /// is removed first.  Throws std::runtime_error on bind/listen failure.
+  /// Binds, listens, and starts accepting on every configured transport.  A
+  /// stale Unix socket file at the path is removed first.  Throws
+  /// std::runtime_error on bind/listen failure.
   explicit server(server_options options);
   ~server();
   server(const server&) = delete;
   server& operator=(const server&) = delete;
 
   /// Graceful drain; idempotent.  Returns after every connection handler
-  /// has finished and joined.
+  /// has finished and joined (queued submits run to completion first).
   void stop();
 
   /// Blocks until a client sends a `shutdown` request or stop() is called.
   void wait_shutdown_requested();
   [[nodiscard]] bool shutdown_requested() const;
 
+  /// The TCP listener's bound port (useful with an ephemeral ":0" bind), or
+  /// 0 when TCP is disabled.
+  [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
   [[nodiscard]] flow::batch_runner& runner() { return *runner_; }
   [[nodiscard]] const server_options& options() const { return options_; }
+  /// v2 status gauges (jobs, connections, workers, uptime).
   [[nodiscard]] server_status status() const;
+  /// The full v3 metrics scrape: status + cache tiers + admission counters
+  /// + latency histograms merged across live and retired connections.
+  [[nodiscard]] server_stats_reply stats() const;
 
  private:
   struct connection;
 
-  void accept_loop();
+  void accept_loop(int listen_fd, bool is_tcp);
   void handle_connection(const std::shared_ptr<connection>& conn);
   void reap_finished_locked();
+  std::size_t active_connections_locked() const;
 
   server_options options_;
   std::unique_ptr<flow::batch_runner> runner_;
-  int listen_fd_ = -1;
+  admission_queue admission_;
+  int listen_fd_ = -1;      ///< Unix-domain listener (-1 when disabled)
+  int tcp_listen_fd_ = -1;  ///< TCP listener (-1 when disabled)
+  std::uint16_t tcp_port_ = 0;
   std::thread accept_thread_;
+  std::thread tcp_accept_thread_;
 
   mutable std::mutex mutex_;
   std::condition_variable shutdown_cv_;
   bool stopping_ = false;
   bool shutdown_requested_ = false;
   std::vector<std::shared_ptr<connection>> connections_;
+  /// Histograms of reaped connections, merged in under mutex_ so their
+  /// samples survive the connection objects.
+  histogram_set retired_hist_;
 
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> rejected_auth_{0};
+  std::atomic<std::uint64_t> rejected_conns_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

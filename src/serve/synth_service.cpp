@@ -292,4 +292,62 @@ int render_synth_response(const synth_response& resp,
   return 0;
 }
 
+std::string format_server_stats_text(const server_stats_reply& stats) {
+  std::ostringstream os;
+  const auto& st = stats.status;
+  os << "xsfq_uptime_seconds " << st.uptime_s << "\n"
+     << "xsfq_worker_threads " << st.worker_threads << "\n"
+     << "xsfq_active_connections " << st.active_connections << "\n"
+     << "xsfq_jobs_submitted_total " << st.jobs_submitted << "\n"
+     << "xsfq_jobs_completed_total " << st.jobs_completed << "\n"
+     << "xsfq_jobs_failed_total " << st.jobs_failed << "\n"
+     << "xsfq_steals_total " << st.steals << "\n";
+
+  const auto& c = stats.cache;
+  os << "xsfq_cache_hits_total{tier=\"full\"} " << c.full_hits << "\n"
+     << "xsfq_cache_misses_total{tier=\"full\"} " << c.full_misses << "\n"
+     << "xsfq_cache_hits_total{tier=\"opt\"} " << c.opt_hits << "\n"
+     << "xsfq_cache_misses_total{tier=\"opt\"} " << c.opt_misses << "\n"
+     << "xsfq_cache_hits_total{tier=\"disk\"} " << c.disk_hits << "\n"
+     << "xsfq_cache_misses_total{tier=\"disk\"} " << c.disk_misses << "\n"
+     << "xsfq_cache_disk_writes_total " << c.disk_writes << "\n";
+
+  os << "xsfq_admission_accepted_total " << stats.accepted << "\n"
+     << "xsfq_admission_rejected_total{reason=\"overload\"} "
+     << stats.rejected_overload << "\n"
+     << "xsfq_admission_rejected_total{reason=\"deadline\"} "
+     << stats.rejected_deadline << "\n"
+     << "xsfq_rejected_total{reason=\"auth\"} " << stats.rejected_auth << "\n"
+     << "xsfq_rejected_total{reason=\"connections\"} " << stats.rejected_conns
+     << "\n"
+     << "xsfq_admission_queue_depth " << stats.queue_depth << "\n"
+     << "xsfq_admission_queue_depth_peak " << stats.peak_queue_depth << "\n"
+     << "xsfq_admission_inflight " << stats.inflight << "\n"
+     << "xsfq_admission_max_queue " << stats.max_queue << "\n"
+     << "xsfq_admission_max_inflight " << stats.max_inflight << "\n"
+     << "xsfq_max_connections " << stats.max_conns << "\n"
+     << "xsfq_runner_queue_depth " << stats.runner_queue_depth << "\n";
+
+  // Sparse cumulative exposition: only buckets that actually hold samples
+  // get a line (28 log buckets x N histograms would mostly be zeros), then
+  // the implicit +Inf bucket equals _count as Prometheus requires.
+  for (const auto& h : stats.histograms) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      os << "xsfq_latency_ms_bucket{name=\"" << h.name << "\",le=\""
+         << log_histogram::bucket_upper_ms(i) << "\"} " << cumulative << "\n";
+    }
+    os << "xsfq_latency_ms_bucket{name=\"" << h.name << "\",le=\"+Inf\"} "
+       << h.count << "\n"
+       << "xsfq_latency_ms_sum{name=\"" << h.name << "\"} " << h.sum_ms << "\n"
+       << "xsfq_latency_ms_count{name=\"" << h.name << "\"} " << h.count
+       << "\n"
+       << "xsfq_latency_ms_max{name=\"" << h.name << "\"} " << h.max_ms
+       << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace xsfq::serve

@@ -94,4 +94,10 @@ void print_progress_event(const progress_event& ev);
 int render_synth_response(const synth_response& resp,
                           const synth_cli_options& cli);
 
+/// Renders a server_stats scrape as Prometheus-style plaintext exposition
+/// (`xsfq_...` gauge/counter lines; histograms as sparse cumulative
+/// `_bucket{le="..."}` lines plus `_sum`/`_count`).  Behind
+/// `xsfq_client --stats`, and scrape-parseable by the CI smoke test.
+std::string format_server_stats_text(const server_stats_reply& stats);
+
 }  // namespace xsfq::serve

@@ -1,0 +1,134 @@
+/// Tests for serve/admission: the bounded priority/deadline admission queue
+/// in front of the daemon's worker pool — immediate admits, overload
+/// shedding at the queue bound, priority ordering of waiters, deadline
+/// expiry while queued, and the stats snapshot.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace xsfq::serve {
+namespace {
+
+using verdict = admission_queue::verdict;
+
+/// Polls the queue's snapshot until `pred` holds (the queue has no test
+/// hooks; depth/inflight gauges are its observable state).
+template <typename Pred>
+void wait_until(const admission_queue& q, Pred pred) {
+  while (!pred(q.snapshot())) std::this_thread::yield();
+}
+
+TEST(AdmissionQueue, ImmediateAdmitAndRelease) {
+  admission_queue q(/*max_queue=*/4, /*max_inflight=*/2);
+  const auto t1 = q.acquire(100, 0.0);
+  const auto t2 = q.acquire(100, 0.0);
+  EXPECT_EQ(t1.outcome, verdict::admitted);
+  EXPECT_EQ(t2.outcome, verdict::admitted);
+  EXPECT_EQ(q.snapshot().inflight, 2u);
+  q.release();
+  q.release();
+  const auto s = q.snapshot();
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(AdmissionQueue, OverloadRejectsBeyondQueueBound) {
+  admission_queue q(/*max_queue=*/0, /*max_inflight=*/1);
+  ASSERT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);
+  // The slot is taken and zero waiters are allowed: instant shed, no block.
+  EXPECT_EQ(q.acquire(255, 0.0).outcome, verdict::overloaded);
+  EXPECT_EQ(q.snapshot().rejected_overload, 1u);
+  q.release();
+  // With the slot free again the same request is admitted.
+  EXPECT_EQ(q.acquire(255, 0.0).outcome, verdict::admitted);
+  q.release();
+}
+
+TEST(AdmissionQueue, HigherPriorityWaiterAdmittedFirst) {
+  admission_queue q(/*max_queue=*/4, /*max_inflight=*/1);
+  ASSERT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);  // holder
+
+  // Queue a LOW-priority waiter first, then a HIGH-priority one; on release
+  // the high one must win despite arriving later.
+  std::atomic<int> admit_order{0};
+  std::atomic<int> low_rank{0};
+  std::atomic<int> high_rank{0};
+  std::thread low([&] {
+    const auto t = q.acquire(10, 0.0);
+    EXPECT_EQ(t.outcome, verdict::admitted);
+    low_rank.store(++admit_order);
+    q.release();
+  });
+  wait_until(q, [](const admission_stats& s) { return s.queue_depth == 1; });
+  std::thread high([&] {
+    const auto t = q.acquire(200, 0.0);
+    EXPECT_EQ(t.outcome, verdict::admitted);
+    high_rank.store(++admit_order);
+    q.release();
+  });
+  wait_until(q, [](const admission_stats& s) { return s.queue_depth == 2; });
+
+  q.release();  // free the holder's slot: waiters drain in priority order
+  low.join();
+  high.join();
+  EXPECT_EQ(high_rank.load(), 1);
+  EXPECT_EQ(low_rank.load(), 2);
+  const auto s = q.snapshot();
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.peak_queue_depth, 2u);
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST(AdmissionQueue, DeadlineExpiresWhileWaiting) {
+  admission_queue q(/*max_queue=*/4, /*max_inflight=*/1);
+  ASSERT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);  // holder
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto t = q.acquire(100, 20.0);  // the holder never releases in time
+  const auto waited = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_EQ(t.outcome, verdict::deadline_expired);
+  EXPECT_GE(waited, 19.0);  // it actually waited for the deadline
+  EXPECT_EQ(q.snapshot().rejected_deadline, 1u);
+  EXPECT_EQ(q.snapshot().queue_depth, 0u);  // the expired waiter left
+
+  q.release();
+  // The queue still works after an expiry.
+  EXPECT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);
+  q.release();
+}
+
+TEST(AdmissionQueue, AdmittedTicketReportsQueuedTime) {
+  admission_queue q(/*max_queue=*/4, /*max_inflight=*/1);
+  ASSERT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);
+  std::atomic<double> queued_ms{-1.0};
+  std::thread waiter([&] {
+    const auto t = q.acquire(100, 0.0);
+    EXPECT_EQ(t.outcome, verdict::admitted);
+    queued_ms.store(t.queued_ms);
+    q.release();
+  });
+  wait_until(q, [](const admission_stats& s) { return s.queue_depth == 1; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.release();
+  waiter.join();
+  EXPECT_GE(queued_ms.load(), 9.0);  // it sat queued while we slept
+}
+
+TEST(AdmissionQueue, MaxInflightZeroClampsToOne) {
+  // A zero max_inflight would deadlock every acquire; the queue clamps it.
+  admission_queue q(/*max_queue=*/0, /*max_inflight=*/0);
+  EXPECT_EQ(q.snapshot().max_inflight, 1u);
+  EXPECT_EQ(q.acquire(100, 0.0).outcome, verdict::admitted);
+  q.release();
+}
+
+}  // namespace
+}  // namespace xsfq::serve

@@ -2,7 +2,9 @@
 /// oversized, version-mismatched, garbage frames), payload round trips,
 /// and the in-process server end to end — concurrent clients receiving
 /// byte-identical responses to direct driver runs, streamed progress,
-/// warm disk-cache hits across a daemon restart, and graceful drain.
+/// warm disk-cache hits across a daemon restart, graceful drain, TCP with
+/// shared-secret auth, typed cross-version errors, admission shedding
+/// (overload + deadline), the connection cap, and the server_stats scrape.
 #include "serve/server.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +12,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -86,16 +90,110 @@ TEST(ServeProtocol, OversizedAndGarbageFramesRejected) {
   w.u8(protocol_version);
   w.u8(static_cast<std::uint8_t>(msg_type::submit));
   EXPECT_THROW(read_frame(buffer_reader(w.take())), protocol_error);
-  // Version mismatch (how arbitrary garbage usually dies).
-  byte_writer v;
-  v.u32(0);
-  v.u8(protocol_version + 1);
-  v.u8(static_cast<std::uint8_t>(msg_type::ping));
-  EXPECT_THROW(read_frame(buffer_reader(v.take())), protocol_error);
+  // Implausible version bytes (how arbitrary garbage usually dies): zero and
+  // far-future both throw at the frame level.
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{250}}) {
+    byte_writer v;
+    v.u32(0);
+    v.u8(bad);
+    v.u8(static_cast<std::uint8_t>(msg_type::ping));
+    EXPECT_THROW(read_frame(buffer_reader(v.take())), protocol_error)
+        << unsigned{bad};
+  }
+  // A *plausible* foreign version parses structurally (frozen header) and
+  // surfaces in frame::version so the caller can answer with a typed error.
+  const auto foreign =
+      encode_frame(msg_type::ping, {}, protocol_version + 1);
+  const auto f = read_frame(buffer_reader(foreign));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, protocol_version + 1);
+  EXPECT_EQ(f->type, msg_type::ping);
   // Garbage payload on a valid frame dies in the payload decoder.
   const std::vector<std::uint8_t> junk{0xde, 0xad, 0xbe, 0xef, 0x41, 0x41};
   EXPECT_THROW(decode_synth_request(junk), serialize_error);
   EXPECT_THROW(decode_synth_response(junk), serialize_error);
+}
+
+TEST(ServeProtocol, V3PayloadRoundTrips) {
+  // Admission fields on the request.
+  synth_request req;
+  req.spec = "c432";
+  req.priority = 210;
+  req.deadline_ms = 75.5;
+  const synth_request back = decode_synth_request(encode_synth_request(req));
+  EXPECT_EQ(back.priority, 210u);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 75.5);
+
+  hello_request hreq;
+  hreq.client_name = "test/1";
+  const hello_request hback =
+      decode_hello_request(encode_hello_request(hreq));
+  EXPECT_EQ(hback.client_version, protocol_version);
+  EXPECT_EQ(hback.client_name, "test/1");
+
+  hello_reply hr;
+  hr.auth_required = true;
+  hr.capabilities = {"auth", "server_stats"};
+  const hello_reply hrback = decode_hello_reply(encode_hello_reply(hr));
+  EXPECT_TRUE(hrback.auth_required);
+  EXPECT_EQ(hrback.max_payload, max_frame_payload);
+  EXPECT_EQ(hrback.capabilities,
+            (std::vector<std::string>{"auth", "server_stats"}));
+
+  const auth_request aback =
+      decode_auth_request(encode_auth_request({"s3cret"}));
+  EXPECT_EQ(aback.token, "s3cret");
+
+  // Typed errors round trip; unknown future codes degrade to generic.
+  const error_reply err =
+      decode_error(encode_error(error_code::overloaded, "full"));
+  EXPECT_EQ(err.code, error_code::overloaded);
+  EXPECT_EQ(err.message, "full");
+  byte_writer fw;
+  fw.u8(200);  // a code this build does not know
+  fw.str("from the future");
+  const error_reply fut = decode_error(fw.take());
+  EXPECT_EQ(fut.code, error_code::generic);
+  EXPECT_EQ(fut.message, "from the future");
+  EXPECT_EQ(decode_legacy_error(encode_legacy_error("old")), "old");
+
+  server_stats_reply stats;
+  stats.status.jobs_submitted = 7;
+  stats.cache.full_hits = 3;
+  stats.accepted = 5;
+  stats.rejected_overload = 2;
+  stats.queue_depth = 1;
+  stats.runner_queue_depth = 4;
+  histogram_snapshot h;
+  h.name = "queue_wait";
+  h.count = 2;
+  h.sum_ms = 3.5;
+  h.max_ms = 3.0;
+  h.buckets.assign(log_histogram::num_buckets, 0);
+  h.buckets[4] = 2;
+  stats.histograms.push_back(h);
+  const server_stats_reply sback =
+      decode_server_stats(encode_server_stats(stats));
+  EXPECT_EQ(sback.status.jobs_submitted, 7u);
+  EXPECT_EQ(sback.cache.full_hits, 3u);
+  EXPECT_EQ(sback.accepted, 5u);
+  EXPECT_EQ(sback.rejected_overload, 2u);
+  EXPECT_EQ(sback.queue_depth, 1u);
+  EXPECT_EQ(sback.runner_queue_depth, 4u);
+  ASSERT_EQ(sback.histograms.size(), 1u);
+  EXPECT_EQ(sback.histograms[0].name, "queue_wait");
+  EXPECT_EQ(sback.histograms[0].count, 2u);
+  ASSERT_EQ(sback.histograms[0].buckets.size(), log_histogram::num_buckets);
+  EXPECT_EQ(sback.histograms[0].buckets[4], 2u);
+}
+
+TEST(ServeProtocol, ConstantTimeEqualCompares) {
+  EXPECT_TRUE(constant_time_equal("", ""));
+  EXPECT_TRUE(constant_time_equal("topsecret", "topsecret"));
+  EXPECT_FALSE(constant_time_equal("topsecret", "topsecrer"));
+  EXPECT_FALSE(constant_time_equal("topsecret", "topsecret "));
+  EXPECT_FALSE(constant_time_equal("", "x"));
+  EXPECT_FALSE(constant_time_equal("x", ""));
 }
 
 TEST(ServeProtocol, PayloadRoundTrips) {
@@ -169,7 +267,15 @@ struct server_fixture {
     options.socket_path = socket_path();
     options.threads = threads;
     if (with_disk_cache) options.cache_dir = cache_dir();
-    srv = std::make_unique<server>(options);
+    start_with(options);
+  }
+
+  /// Caller-tuned options; socket_path is filled in when left empty.
+  void start_with(server_options options) {
+    if (options.socket_path.empty() && options.listen_address.empty()) {
+      options.socket_path = socket_path();
+    }
+    srv = std::make_unique<server>(std::move(options));
   }
 };
 
@@ -382,6 +488,273 @@ TEST(ServeEndToEnd, ShutdownRequestAndGracefulStop) {
   // Socket file is gone and new connections are refused.
   EXPECT_FALSE(fs::exists(fx.socket_path()));
   EXPECT_THROW({ client refused(fx.socket_path()); }, std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// v3: TCP + auth, admission control, metrics.
+// ---------------------------------------------------------------------------
+
+/// Raw Unix-socket connection for tests that speak the protocol by hand.
+struct raw_unix_conn {
+  int fd;
+  explicit raw_unix_conn(const std::string& path) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+  }
+  ~raw_unix_conn() { ::close(fd); }
+};
+
+TEST(ServeEndToEnd, TcpWithAuthServesByteIdenticalToUnixSocket) {
+  server_fixture fx;
+  server_options options;
+  options.socket_path = fx.socket_path();
+  options.listen_address = "127.0.0.1:0";  // ephemeral port
+  options.auth_token = "hunter2";
+  options.threads = 2;
+  fx.start_with(options);
+  ASSERT_NE(fx.srv->tcp_port(), 0);
+
+  const synth_request req = make_request_for_spec("c432");
+  client unix_cli(fx.socket_path());  // Unix transport needs no auth
+  const synth_response via_unix = unix_cli.submit(req);
+  ASSERT_TRUE(via_unix.ok);
+
+  client tcp_cli("127.0.0.1", fx.srv->tcp_port());
+  const hello_reply hello = tcp_cli.hello();
+  EXPECT_EQ(hello.server_version, protocol_version);
+  EXPECT_TRUE(hello.auth_required);
+  tcp_cli.authenticate("hunter2");
+  EXPECT_FALSE(tcp_cli.hello().auth_required);  // this connection is authed
+  const synth_response via_tcp = tcp_cli.submit(req);
+  ASSERT_TRUE(via_tcp.ok);
+  EXPECT_EQ(via_tcp.report, via_unix.report);
+  EXPECT_EQ(via_tcp.validate_report, via_unix.validate_report);
+}
+
+TEST(ServeEndToEnd, TcpRejectsUnauthenticatedAndBadTokens) {
+  server_fixture fx;
+  server_options options;
+  options.socket_path = fx.socket_path();
+  options.listen_address = "127.0.0.1:0";
+  options.auth_token = "hunter2";
+  fx.start_with(options);
+
+  {
+    // Any request before auth: typed auth_required, then the daemon closes.
+    client cli("127.0.0.1", fx.srv->tcp_port());
+    try {
+      (void)cli.status();
+      FAIL() << "unauthenticated status should have thrown";
+    } catch (const service_error& e) {
+      EXPECT_EQ(e.code, error_code::auth_required);
+    }
+    EXPECT_FALSE(cli.ping());  // connection is gone
+  }
+  {
+    // Wrong token: typed auth_failed, then close (no retry on one stream).
+    client cli("127.0.0.1", fx.srv->tcp_port());
+    try {
+      cli.authenticate("wrong");
+      FAIL() << "bad token should have thrown";
+    } catch (const service_error& e) {
+      EXPECT_EQ(e.code, error_code::auth_failed);
+    }
+    EXPECT_FALSE(cli.ping());
+  }
+  // The Unix socket's trust boundary is file permissions: no auth needed.
+  client unix_cli(fx.socket_path());
+  EXPECT_TRUE(unix_cli.ping());
+  const server_stats_reply stats = unix_cli.server_stats();
+  EXPECT_EQ(stats.rejected_auth, 2u);
+}
+
+TEST(ServeEndToEnd, OldClientVersionGetsTypedErrorNotAHang) {
+  server_fixture fx;
+  fx.start();
+  // A "v2 client": same frozen frame header, older version byte.  The v3
+  // daemon must answer with an error frame AT v2 (legacy payload) and close.
+  raw_unix_conn conn(fx.socket_path());
+  write_frame_fd(conn.fd, msg_type::ping, {}, /*version=*/2);
+  const auto reply = read_frame_fd(conn.fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, msg_type::error);
+  EXPECT_EQ(reply->version, 2);
+  const std::string message = decode_legacy_error(reply->payload);
+  EXPECT_NE(message.find("version mismatch"), std::string::npos) << message;
+  EXPECT_FALSE(read_frame_fd(conn.fd).has_value());  // closed after
+}
+
+TEST(ServeEndToEnd, OverloadShedsWithTypedErrorWhileAcceptedWorkCompletes) {
+  server_fixture fx;
+  server_options options;
+  options.socket_path = fx.socket_path();
+  options.threads = 2;
+  options.max_inflight = 1;  // one executing request...
+  options.max_queue = 0;     // ...and zero queueing: burst -> overloaded
+  fx.start_with(options);
+
+  // Request A (a big multiplier, long optimize) occupies the single slot;
+  // its first streamed progress event proves it is admitted and executing.
+  std::atomic<bool> a_running{false};
+  synth_response resp_a;
+  std::thread a_thread([&] {
+    client cli(fx.socket_path());
+    synth_request req = make_request_for_spec("c6288");
+    req.stream_progress = true;
+    resp_a = cli.submit(
+        req, [&](const progress_event&) { a_running.store(true); });
+  });
+  while (!a_running.load()) std::this_thread::yield();
+
+  // Burst request B: deterministically shed with a typed overloaded error;
+  // the connection survives the rejection.
+  client cli_b(fx.socket_path());
+  try {
+    (void)cli_b.submit(make_request_for_spec("c432"));
+    FAIL() << "burst submit should have been shed";
+  } catch (const service_error& e) {
+    EXPECT_EQ(e.code, error_code::overloaded);
+  }
+  EXPECT_TRUE(cli_b.ping());
+
+  a_thread.join();
+  EXPECT_TRUE(resp_a.ok);  // the accepted request completed normally
+  const server_stats_reply stats = cli_b.server_stats();
+  EXPECT_EQ(stats.rejected_overload, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+}
+
+TEST(ServeEndToEnd, DeadlineExpiresWhileQueuedBehindSlowRequest) {
+  server_fixture fx;
+  server_options options;
+  options.socket_path = fx.socket_path();
+  options.threads = 2;
+  options.max_inflight = 1;
+  options.max_queue = 4;  // queueing allowed; the deadline does the shedding
+  fx.start_with(options);
+
+  std::atomic<bool> a_running{false};
+  synth_response resp_a;
+  std::thread a_thread([&] {
+    client cli(fx.socket_path());
+    synth_request req = make_request_for_spec("c6288");
+    req.stream_progress = true;
+    resp_a = cli.submit(
+        req, [&](const progress_event&) { a_running.store(true); });
+  });
+  while (!a_running.load()) std::this_thread::yield();
+
+  client cli_b(fx.socket_path());
+  synth_request req_b = make_request_for_spec("c432");
+  req_b.deadline_ms = 5.0;  // c6288 holds the slot far longer than this
+  try {
+    (void)cli_b.submit(req_b);
+    FAIL() << "deadlined submit should have expired in the queue";
+  } catch (const service_error& e) {
+    EXPECT_EQ(e.code, error_code::deadline_expired);
+  }
+  EXPECT_TRUE(cli_b.ping());
+
+  a_thread.join();
+  EXPECT_TRUE(resp_a.ok);
+  const server_stats_reply stats = cli_b.server_stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+}
+
+TEST(ServeEndToEnd, ConnectionCapBouncesWithTypedError) {
+  server_fixture fx;
+  server_options options;
+  options.socket_path = fx.socket_path();
+  options.max_conns = 1;
+  fx.start_with(options);
+
+  auto first = std::make_unique<client>(fx.socket_path());
+  EXPECT_TRUE(first->ping());  // the one allowed connection is live
+
+  // The next connection is bounced before any handler thread exists.
+  {
+    raw_unix_conn extra(fx.socket_path());
+    const auto reply = read_frame_fd(extra.fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, msg_type::error);
+    const error_reply err = decode_error(reply->payload);
+    EXPECT_EQ(err.code, error_code::too_many_connections);
+    EXPECT_FALSE(read_frame_fd(extra.fd).has_value());
+  }
+  EXPECT_TRUE(first->ping());  // the admitted connection is unaffected
+
+  // Freeing the slot admits a newcomer (reaped on a later accept).
+  first.reset();
+  bool reconnected = false;
+  for (int attempt = 0; attempt < 200 && !reconnected; ++attempt) {
+    client retry(fx.socket_path());
+    reconnected = retry.ping();
+    if (!reconnected) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(reconnected);
+  EXPECT_GE(fx.srv->stats().rejected_conns, 1u);
+}
+
+TEST(ServeEndToEnd, ServerStatsReportsCountersAndLatencyHistograms) {
+  server_fixture fx;
+  fx.start();
+  client cli(fx.socket_path());
+
+  const synth_request req = make_request_for_spec("c432");
+  ASSERT_TRUE(cli.submit(req).ok);  // cold: every stage executes
+  const synth_response warm = cli.submit(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.served_from_cache);
+
+  const server_stats_reply stats = cli.server_stats();
+  EXPECT_EQ(stats.status.jobs_submitted, 2u);
+  EXPECT_EQ(stats.status.jobs_completed, 2u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GT(stats.max_inflight, 0u);
+  EXPECT_EQ(stats.cache.full_hits, 1u);  // the warm repeat
+  EXPECT_EQ(stats.disk_directory, fx.cache_dir());
+
+  const auto find_hist =
+      [&](const std::string& name) -> const histogram_snapshot* {
+    for (const auto& h : stats.histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  // Both requests waited (instantly) for admission and timed end to end;
+  // only the cold one executed real stages.
+  const histogram_snapshot* queue_wait = find_hist("queue_wait");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_EQ(queue_wait->count, 2u);
+  const histogram_snapshot* total = find_hist("request_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count, 2u);
+  EXPECT_GT(total->sum_ms, 0.0);
+  std::uint64_t bucket_sum = 0;
+  for (const auto b : total->buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total->count);  // every sample landed in a bucket
+  const histogram_snapshot* optimize = find_hist("stage:optimize");
+  ASSERT_NE(optimize, nullptr);
+  EXPECT_EQ(optimize->count, 1u);  // cache replays are not re-recorded
+
+  // The plaintext rendering is scrape-parseable and carries the counters.
+  const std::string text = format_server_stats_text(stats);
+  EXPECT_NE(text.find("xsfq_jobs_submitted_total 2"), std::string::npos);
+  EXPECT_NE(text.find("xsfq_admission_accepted_total 2"), std::string::npos);
+  EXPECT_NE(
+      text.find("xsfq_latency_ms_count{name=\"request_total\"} 2"),
+      std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+Walks the given markdown files (default: README.md, ROADMAP.md, docs/*.md),
+extracts every inline link/image target, and verifies each *relative* target
+resolves to a real file or directory next to the file that references it.
+Heading anchors (`file.md#section`) are checked for the file part and, when
+the target is markdown, for a matching heading.  External URLs
+(`http(s)://`, `mailto:`) are skipped — CI must not depend on the network.
+
+Usage: check_markdown_links.py [FILE.md ...]
+Exit 0 = all links resolve, 1 = broken links found.
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.M)
+
+
+def slugify(heading):
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        return {slugify(h) for h in HEADING_RE.findall(f.read())}
+
+
+def check_file(md_path, problems):
+    base = os.path.dirname(os.path.abspath(md_path))
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Ignore fenced code blocks: shell snippets often contain (parenthes)es
+    # that are not links, and example URLs need not resolve.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    count = 0
+    for target in LINK_RE.findall(text):
+        if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        count += 1
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            resolved = os.path.abspath(md_path)
+        else:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+        if not os.path.exists(resolved):
+            problems.append(f"{md_path}: broken link -> {target}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{md_path}: missing anchor -> {target}")
+    return count
+
+
+def main(argv):
+    files = argv[1:]
+    if not files:
+        root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+        files = [os.path.join(root, "README.md"),
+                 os.path.join(root, "ROADMAP.md")]
+        files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    problems = []
+    total = 0
+    for md in files:
+        if not os.path.exists(md):
+            problems.append(f"{md}: file not found")
+            continue
+        total += check_file(md, problems)
+    if problems:
+        print(f"{len(problems)} broken markdown link(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"all {total} relative markdown links resolve "
+          f"({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,11 @@
 Usage:
     check_perf_regression.py BASELINE.json NAME=CURRENT.json [NAME=FILE ...]
                              [--max-regression 0.25] [--no-calibrate]
+    check_perf_regression.py --update BASELINE.json NAME=CURRENT.json [...]
+
+--update rewrites baseline[NAME] with each CURRENT.json instead of gating —
+the sanctioned way to re-baseline after an intentional perf change (commit
+the result and say why).
 
 BASELINE.json maps bench names to the JSON those benches emit with --json
 (see bench/BENCH_baseline.json).  For every NAME=FILE pair the current JSON
@@ -52,6 +57,7 @@ def walk(prefix, base, cur, out):
 def main(argv):
     tol = TOL_DEFAULT
     calibrate = True
+    update = False
     positional = []
     i = 1
     while i < len(argv):
@@ -61,6 +67,8 @@ def main(argv):
             tol = float(argv[i])
         elif arg == "--no-calibrate":
             calibrate = False
+        elif arg == "--update":
+            update = True
         else:
             positional.append(arg)
         i += 1
@@ -79,6 +87,16 @@ def main(argv):
             return 2
         with open(path) as f:
             currents[name] = json.load(f)
+
+    if update:
+        for name, cur in currents.items():
+            baseline[name] = cur
+            print(f"re-baselined {name}")
+        with open(positional[0], "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote {positional[0]}")
+        return 0
 
     # Hardware calibration: how much slower (>1) or faster (<1) is this host
     # than the baseline host, judged by the raw sim sweep throughput.
@@ -113,18 +131,24 @@ def main(argv):
                 print(f"{status:4} {label}: {cval:.3f} ms "
                       f"(baseline {bval:.3f}, limit {limit:.3f})")
                 if cval > limit:
-                    failures.append(label)
+                    failures.append((label, bval, cval, limit, "ms"))
             elif key.endswith("_per_s"):
                 limit = bval / ((1.0 + tol) * scale)
                 status = "FAIL" if cval < limit else "ok"
                 print(f"{status:4} {label}: {cval:.3f} /s "
                       f"(baseline {bval:.3f}, floor {limit:.3f})")
                 if cval < limit:
-                    failures.append(label)
+                    failures.append((label, bval, cval, limit, "/s"))
 
     if failures:
         print(f"\nperf regression: {len(failures)} metric(s) beyond "
-              f"{tol * 100:.0f}% of baseline: {', '.join(failures)}")
+              f"{tol * 100:.0f}% of baseline:")
+        for label, bval, cval, limit, unit in failures:
+            delta = (cval / bval - 1.0) * 100.0 if bval else float("inf")
+            print(f"  {label}: baseline {bval:.3f} {unit} -> measured "
+                  f"{cval:.3f} {unit} ({delta:+.1f}%, gate at {limit:.3f})")
+        print("intentional change? re-baseline with --update "
+              "(see docs/operations.md, 'The perf-gate workflow')")
         return 1
     print("\nperf check passed")
     return 0
