@@ -22,8 +22,22 @@
 /// (higher first); --deadline-ms=X fails the request with a typed
 /// `deadline_expired` error when no slot frees in time.  --stats dumps the
 /// daemon's full metrics scrape as Prometheus-style plaintext.
+///
+/// Incremental resynthesis (v4): --edit=FILE submits the circuit as an edit
+/// script applied to the previously synthesized base — the client loads the
+/// base circuit locally to compute its content hash, and the daemon replays
+/// the edit onto its retained copy of the base AIG, so only the touched
+/// region is re-optimized.  Output stays byte-identical to a from-scratch
+/// run of the edited circuit.  --edit-full forces the daemon to run the
+/// edited circuit cold (the byte-identity comparator for CI);
+/// --no-supersede keeps the base circuit's cache entries alive alongside
+/// the edited result.  The new content hash is printed to stderr as
+/// `content_hash=<hex>` for chaining further edits.
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -59,6 +73,9 @@ int main(int argc, char** argv) {
   serve::synth_cli_options synth;  // shared parser with xsfq_synth
   unsigned priority = 100;
   double deadline_ms = 0.0;
+  std::string edit_path;      // --edit=FILE → submit_delta
+  bool edit_full = false;     // --edit-full: force a cold full resynthesis
+  bool supersede = true;      // --no-supersede clears it
   enum class action { synth, status, cache_stats, server_stats, shutdown };
   action act = action::synth;
 
@@ -98,6 +115,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       deadline_ms = d;
+    } else if (auto ve = serve::cli_value(arg, "--edit"); !ve.empty()) {
+      edit_path = ve;
+    } else if (arg == "--edit-full") {
+      edit_full = true;
+    } else if (arg == "--no-supersede") {
+      supersede = false;
     } else if (arg == "--status") {
       act = action::status;
     } else if (arg == "--cache-stats") {
@@ -119,9 +142,13 @@ int main(int argc, char** argv) {
   if (act == action::synth && spec.empty()) {
     std::cerr << "usage: xsfq_client [--socket=PATH | --tcp=HOST:PORT "
                  "[--auth-token=SECRET]] <circuit|file.bench|file.blif> "
-                 "[options]\n"
+                 "[options] [--edit=FILE [--edit-full] [--no-supersede]]\n"
                  "       xsfq_client [connection flags] --status | "
                  "--cache-stats | --stats | --shutdown\n";
+    return 2;
+  }
+  if (edit_path.empty() && (edit_full || !supersede)) {
+    std::cerr << "--edit-full and --no-supersede require --edit=FILE\n";
     return 2;
   }
 
@@ -178,8 +205,30 @@ int main(int argc, char** argv) {
     req.priority = static_cast<std::uint8_t>(priority);
     req.deadline_ms = deadline_ms;
 
-    const serve::synth_response resp =
-        cli->submit(req, serve::print_progress_event);
+    serve::synth_response resp;
+    if (edit_path.empty()) {
+      resp = cli->submit(req, serve::print_progress_event);
+    } else {
+      std::ifstream in(edit_path);
+      if (!in) {
+        std::cerr << "cannot read edit script: " << edit_path << "\n";
+        return 2;
+      }
+      serve::synth_delta_request dreq;
+      dreq.base = req;
+      // Hash the base circuit locally: the daemon verifies its retained (or
+      // rebuilt) base network against this before replaying the edit.
+      dreq.base_content_hash = serve::load_request_circuit(req).content_hash();
+      dreq.edit_text.assign(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+      dreq.supersede_base = supersede;
+      dreq.force_full = edit_full;
+      resp = cli->submit_delta(dreq, serve::print_progress_event);
+      if (resp.ok) {
+        std::fprintf(stderr, "content_hash=%016llx\n",
+                     static_cast<unsigned long long>(resp.content_hash));
+      }
+    }
     if (synth.progress && resp.served_from_cache) {
       std::cerr << "(served from daemon cache)\n";
     }

@@ -173,6 +173,49 @@ signal aig::create_and(signal a, signal b) {
   return signal(index, false);
 }
 
+signal aig::append_gate_raw(signal a, signal b) {
+  if (a.index() >= nodes_.size() || b.index() >= nodes_.size()) {
+    throw std::invalid_argument("aig::append_gate_raw: dangling fanin");
+  }
+  if (a.index() == b.index() || a.index() == 0 || b.index() == 0) {
+    throw std::invalid_argument("aig::append_gate_raw: degenerate fanin pair");
+  }
+  if (b.raw() < a.raw()) std::swap(a, b);
+  node n;
+  n.type = node_type::gate;
+  n.fanin0 = a;
+  n.fanin1 = b;
+  const auto index = static_cast<node_index>(nodes_.size());
+  nodes_.push_back(n);
+  ++num_gates_;
+  return signal(index, false);
+}
+
+void aig::set_gate_fanins(node_index n, signal a, signal b) {
+  if (n >= nodes_.size() || !is_gate(n)) {
+    throw std::invalid_argument("aig::set_gate_fanins: not a gate");
+  }
+  if (a.index() >= n || b.index() >= n) {
+    throw std::invalid_argument("aig::set_gate_fanins: fanin not earlier");
+  }
+  if (a.index() == b.index() || a.index() == 0 || b.index() == 0) {
+    throw std::invalid_argument("aig::set_gate_fanins: degenerate fanin pair");
+  }
+  if (b.raw() < a.raw()) std::swap(a, b);
+  nodes_[n].fanin0 = a;
+  nodes_[n].fanin1 = b;
+}
+
+void aig::rebuild_strash() {
+  std::fill(strash_keys_.begin(), strash_keys_.end(), 0);
+  strash_used_ = 0;
+  for (node_index n = 0; n < nodes_.size(); ++n) {
+    if (!is_gate(n)) continue;
+    const std::uint64_t key = strash_key(nodes_[n].fanin0, nodes_[n].fanin1);
+    if (!strash_find(key)) strash_insert(key, n);
+  }
+}
+
 std::optional<signal> aig::find_and(signal a, signal b) const {
   // Mirror create_and's trivial cases so probing matches construction.
   if (a == b) return a;

@@ -128,6 +128,32 @@ public:
   /// it would not allocate a new node, or nullopt if a node would be created.
   [[nodiscard]] std::optional<signal> find_and(signal a, signal b) const;
 
+  // ----- in-place editing (ECO replay; see aig/edit.hpp) --------------------
+  //
+  // These three primitives exist for edit replay, where node *positions* must
+  // stay stable across the edit: create_and would dedup or simplify a new
+  // gate onto an existing position, shifting everything downstream of the
+  // replayed script.  They leave the structural hash stale; callers finish
+  // with rebuild_strash() so the post-edit network state is a pure function
+  // of the node array (no create/find history leaks into it).
+
+  /// Appends a gate with exactly these fanins — no trivial-case
+  /// simplification, no strash dedup.  Fanins must be existing non-constant
+  /// nodes with distinct indices (degenerate pairs would require the
+  /// simplifications this function refuses to apply); fanin order is
+  /// canonicalized as in create_and.  Throws std::invalid_argument otherwise.
+  signal append_gate_raw(signal a, signal b);
+
+  /// Redefines gate `n`'s fanins in place.  Same fanin restrictions as
+  /// append_gate_raw, plus both fanins strictly earlier than `n` so the node
+  /// array stays topologically sorted.
+  void set_gate_fanins(node_index n, signal a, signal b);
+
+  /// Rebuilds the structural hash from the node array (index order,
+  /// first-encountered node wins a duplicated key), restoring the
+  /// create_and/find_and contract after in-place edits.
+  void rebuild_strash();
+
   // Derived operators (all reduce to create_and + free inversions).
   signal create_nand(signal a, signal b) { return !create_and(a, b); }
   signal create_or(signal a, signal b) { return !create_and(!a, !b); }

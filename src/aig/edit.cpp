@@ -1,0 +1,303 @@
+#include "aig/edit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace xsfq::eco {
+namespace {
+
+[[noreturn]] void fail(unsigned line, const std::string& what) {
+  throw edit_error("edit line " + std::to_string(line) + ": " + what);
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  if (v > std::numeric_limits<std::uint32_t>::max()) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+edit_ref parse_ref(std::string token, unsigned line) {
+  edit_ref ref;
+  if (!token.empty() && token.front() == '!') {
+    ref.complement = true;
+    token.erase(token.begin());
+  }
+  if (token == "const0" || token == "const1") {
+    ref.k = edit_ref::kind::constant;
+    ref.index = token.back() == '1' ? 1 : 0;
+    return ref;
+  }
+  if (token.size() >= 2 && (token.front() == 'n' || token.front() == 'g')) {
+    std::uint32_t index = 0;
+    if (parse_u32(token.substr(1), index)) {
+      ref.k = token.front() == 'n' ? edit_ref::kind::node
+                                   : edit_ref::kind::new_gate;
+      ref.index = index;
+      return ref;
+    }
+  }
+  fail(line, "bad signal reference '" + token + "'");
+}
+
+/// Targets (`replace n<K>`, `sub n<K>`, `and g<J>`) must be plain
+/// uncomplemented references of the required kind.
+std::uint32_t parse_target(const std::string& token, edit_ref::kind want,
+                           unsigned line) {
+  const edit_ref ref = parse_ref(token, line);
+  if (ref.k != want || ref.complement) {
+    fail(line, "bad target '" + token + "'");
+  }
+  return ref.index;
+}
+
+struct replay {
+  aig& net;
+  replay_info info;
+  std::vector<signal> new_gates;       ///< resolved g<J> signals
+  std::vector<std::uint8_t> deleted;   ///< base nodes substituted away
+  bool structural = false;             ///< any strash-invalidating op ran
+
+  explicit replay(aig& network)
+      : net(network), deleted(network.size(), 0) {}
+
+  [[nodiscard]] bool is_deleted(std::uint32_t n) const {
+    return n < deleted.size() && deleted[n] != 0;
+  }
+
+  signal resolve(const edit_ref& ref, unsigned line) {
+    switch (ref.k) {
+      case edit_ref::kind::constant:
+        return net.get_constant(ref.index != 0) ^ ref.complement;
+      case edit_ref::kind::new_gate:
+        if (ref.index >= new_gates.size()) {
+          fail(line, "unknown new gate g" + std::to_string(ref.index));
+        }
+        return new_gates[ref.index] ^ ref.complement;
+      case edit_ref::kind::node:
+        if (ref.index >= net.size()) {
+          fail(line, "unknown node n" + std::to_string(ref.index));
+        }
+        if (is_deleted(ref.index)) {
+          fail(line, "node n" + std::to_string(ref.index) +
+                         " was substituted away");
+        }
+        return signal(ref.index, false) ^ ref.complement;
+    }
+    fail(line, "bad signal reference");
+  }
+
+  void touch(aig::node_index n) {
+    info.first_touched = std::min(info.first_touched, n);
+  }
+
+  static void check_pair(signal a, signal b, unsigned line,
+                         const char* what) {
+    if (a.index() == 0 || b.index() == 0 || a.index() == b.index()) {
+      fail(line, std::string(what) + " would make a degenerate gate");
+    }
+  }
+
+  void run_replace(const edit_op& op) {
+    const std::uint32_t target = op.target;
+    if (target >= net.size() || !net.is_gate(target)) {
+      fail(op.line, "replace target n" + std::to_string(target) +
+                        " is not a gate");
+    }
+    if (is_deleted(target)) {
+      fail(op.line, "replace target n" + std::to_string(target) +
+                        " was substituted away");
+    }
+    const signal a = resolve(op.a, op.line);
+    const signal b = resolve(op.b, op.line);
+    if (a.index() >= target || b.index() >= target) {
+      fail(op.line, "replace fanin does not precede n" +
+                        std::to_string(target));
+    }
+    check_pair(a, b, op.line, "replace");
+    net.set_gate_fanins(target, a, b);
+    touch(target);
+    ++info.gates_replaced;
+    structural = true;
+  }
+
+  void run_substitute(const edit_op& op) {
+    const std::uint32_t target = op.target;
+    if (target == 0 || target >= net.size()) {
+      fail(op.line, "sub target n" + std::to_string(target) +
+                        " is not a substitutable node");
+    }
+    if (is_deleted(target)) {
+      fail(op.line, "sub target n" + std::to_string(target) +
+                        " was substituted away");
+    }
+    const signal s = resolve(op.a, op.line);
+    if (s.index() == target) {
+      fail(op.line, "sub source is the target itself");
+    }
+    // Gate consumers: the source must precede every one of them, which both
+    // keeps the array topologically sorted and rejects cyclic retargets (a
+    // source depending on the target necessarily sits after some consumer).
+    for (aig::node_index n = target + 1; n < net.size(); ++n) {
+      if (!net.is_gate(n)) continue;
+      const signal f0 = net.fanin0(n);
+      const signal f1 = net.fanin1(n);
+      if (f0.index() != target && f1.index() != target) continue;
+      if (s.index() >= n) {
+        fail(op.line, "sub source does not precede consumer n" +
+                          std::to_string(n) + " (cyclic or forward retarget)");
+      }
+      const signal na =
+          f0.index() == target ? s ^ f0.is_complemented() : f0;
+      const signal nb =
+          f1.index() == target ? s ^ f1.is_complemented() : f1;
+      check_pair(na, nb, op.line, "sub");
+      net.set_gate_fanins(n, na, nb);
+      touch(n);
+      structural = true;
+    }
+    for (std::size_t i = 0; i < net.num_pos(); ++i) {
+      const signal po = net.po_signal(i);
+      if (po.index() == target) {
+        net.replace_po(i, s ^ po.is_complemented());
+      }
+    }
+    for (std::size_t i = 0; i < net.num_registers(); ++i) {
+      const signal ri = net.register_at(i).input;
+      if (net.register_at(i).input_set && ri.index() == target) {
+        net.set_register_input(i, s ^ ri.is_complemented());
+      }
+    }
+    if (target < deleted.size()) deleted[target] = 1;
+    touch(target);
+    ++info.substitutions;
+    structural = true;
+  }
+
+  void run_set_po(const edit_op& op) {
+    if (op.target >= net.num_pos()) {
+      fail(op.line, "unknown primary output " + std::to_string(op.target));
+    }
+    net.replace_po(op.target, resolve(op.a, op.line));
+    ++info.pos_retargeted;
+  }
+
+  void run_new_gate(const edit_op& op) {
+    if (op.target != new_gates.size()) {
+      fail(op.line, "new gates must be defined in order (expected g" +
+                        std::to_string(new_gates.size()) + ")");
+    }
+    const signal a = resolve(op.a, op.line);
+    const signal b = resolve(op.b, op.line);
+    check_pair(a, b, op.line, "and");
+    const signal g = net.append_gate_raw(a, b);
+    new_gates.push_back(g);
+    touch(g.index());
+    ++info.gates_added;
+    structural = true;
+  }
+
+  void run_add_pi(const edit_op& op) {
+    net.create_pi(op.name);
+    ++info.pis_added;
+  }
+
+  void run_add_po(const edit_op& op) {
+    net.create_po(resolve(op.a, op.line), op.name);
+    ++info.pos_added;
+  }
+};
+
+}  // namespace
+
+edit_script parse_edit_script(const std::string& text) {
+  edit_script script;
+  std::istringstream in(text);
+  std::string raw;
+  unsigned line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::vector<std::string> tok;
+    for (std::string t; line >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    edit_op op;
+    op.line = line_no;
+    const std::string& kw = tok.front();
+    const auto want = [&](std::size_t lo, std::size_t hi) {
+      if (tok.size() < lo + 1 || tok.size() > hi + 1) {
+        fail(line_no, "'" + kw + "' takes " + std::to_string(lo) +
+                          (lo == hi ? "" : ".." + std::to_string(hi)) +
+                          " operands");
+      }
+    };
+    if (kw == "replace") {
+      want(3, 3);
+      op.k = edit_op::kind::replace_gate;
+      op.target = parse_target(tok[1], edit_ref::kind::node, line_no);
+      op.a = parse_ref(tok[2], line_no);
+      op.b = parse_ref(tok[3], line_no);
+    } else if (kw == "sub") {
+      want(2, 2);
+      op.k = edit_op::kind::substitute;
+      op.target = parse_target(tok[1], edit_ref::kind::node, line_no);
+      op.a = parse_ref(tok[2], line_no);
+    } else if (kw == "po") {
+      want(2, 2);
+      op.k = edit_op::kind::set_po;
+      if (!parse_u32(tok[1], op.target)) {
+        fail(line_no, "bad output index '" + tok[1] + "'");
+      }
+      op.a = parse_ref(tok[2], line_no);
+    } else if (kw == "and") {
+      want(3, 3);
+      op.k = edit_op::kind::new_gate;
+      op.target = parse_target(tok[1], edit_ref::kind::new_gate, line_no);
+      op.a = parse_ref(tok[2], line_no);
+      op.b = parse_ref(tok[3], line_no);
+    } else if (kw == "addpi") {
+      want(0, 1);
+      op.k = edit_op::kind::add_pi;
+      if (tok.size() > 1) op.name = tok[1];
+    } else if (kw == "addpo") {
+      want(1, 2);
+      op.k = edit_op::kind::add_po;
+      op.a = parse_ref(tok[1], line_no);
+      if (tok.size() > 2) op.name = tok[2];
+    } else {
+      fail(line_no, "unknown edit op '" + kw + "'");
+    }
+    script.ops.push_back(std::move(op));
+  }
+  return script;
+}
+
+replay_info apply_edit(aig& network, const edit_script& script) {
+  replay state(network);
+  for (const edit_op& op : script.ops) {
+    switch (op.k) {
+      case edit_op::kind::replace_gate: state.run_replace(op); break;
+      case edit_op::kind::substitute: state.run_substitute(op); break;
+      case edit_op::kind::set_po: state.run_set_po(op); break;
+      case edit_op::kind::new_gate: state.run_new_gate(op); break;
+      case edit_op::kind::add_pi: state.run_add_pi(op); break;
+      case edit_op::kind::add_po: state.run_add_po(op); break;
+    }
+  }
+  if (state.structural) network.rebuild_strash();
+  return state.info;
+}
+
+replay_info apply_edit_text(aig& network, const std::string& text) {
+  return apply_edit(network, parse_edit_script(text));
+}
+
+}  // namespace xsfq::eco

@@ -1,0 +1,114 @@
+#pragma once
+/// \file edit.hpp
+/// \brief ECO edit scripts: a textual delta against a synthesized AIG.
+///
+/// An edit script is the wire payload of the serve protocol's `synth_delta`
+/// request (protocol v4): the client names a previously synthesized base
+/// network by content hash and ships a small script of structural edits; the
+/// daemon replays the script onto the retained network and resynthesizes the
+/// result incrementally (see docs/protocol.md, "synth_delta").
+///
+/// Replay is *position-stable*: untouched base nodes keep their exact array
+/// positions.  Gates are redefined in place (`replace`), consumers are
+/// redirected (`sub`), and new gates are appended at the array end — never
+/// inserted — so the topological-order invariant holds and the fixed-grain
+/// partition regions of the unedited logic keep identical content.  That is
+/// what lets the region result cache (opt/partition.hpp) skip re-optimizing
+/// everything the edit did not touch, while the flow output stays
+/// bit-identical to a from-scratch run of the edited circuit: region
+/// optimization is a pure function of region content, so cache hits cannot
+/// change bytes, only time.
+///
+/// Grammar (line-oriented; `#` starts a comment):
+///
+///     replace n<K> <sig> <sig>   redefine gate K's fanins in place
+///                                (both strictly earlier than K)
+///     sub n<K> <sig>             redirect every consumer of node K to <sig>
+///                                (<sig>'s node must precede every consumer)
+///     po <I> <sig>               retarget primary output I
+///     and g<J> <sig> <sig>       define new gate J (J sequential from 0),
+///                                appended after every existing node
+///     addpi [name]               append a primary input
+///     addpo <sig> [name]         append a primary output
+///
+///     sig := [!] ( n<K> | g<J> | const0 | const1 )
+///
+/// Every malformed script or illegal replay (unknown or substituted-away
+/// node, fanin ordering violation, degenerate gate, cyclic retarget — ruled
+/// out by the `sub` position rule) throws `edit_error`, which the daemon
+/// maps to the typed `bad_edit` protocol error.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace xsfq::eco {
+
+/// Malformed edit script or illegal replay step.  The message names the
+/// offending script line.
+class edit_error : public std::runtime_error {
+ public:
+  explicit edit_error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// A signal reference in an edit script, resolved against the network (and
+/// the new-gate list) at replay time.
+struct edit_ref {
+  enum class kind : std::uint8_t { node, new_gate, constant };
+  kind k = kind::constant;
+  std::uint32_t index = 0;  ///< node index / new-gate ordinal / constant value
+  bool complement = false;
+};
+
+/// One parsed edit operation.
+struct edit_op {
+  enum class kind : std::uint8_t {
+    replace_gate,  ///< replace n<K> a b
+    substitute,    ///< sub n<K> a
+    set_po,        ///< po I a
+    new_gate,      ///< and g<J> a b
+    add_pi,        ///< addpi [name]
+    add_po,        ///< addpo a [name]
+  };
+  kind k = kind::add_pi;
+  std::uint32_t target = 0;  ///< node index, PO index, or new-gate ordinal
+  edit_ref a;
+  edit_ref b;
+  std::string name;      ///< addpi/addpo interface name (may be empty)
+  unsigned line = 0;     ///< 1-based script line, for error messages
+};
+
+/// A parsed edit script.
+struct edit_script {
+  std::vector<edit_op> ops;
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+};
+
+/// What a replay touched — the daemon reports these as eco_* statistics.
+struct replay_info {
+  std::size_t gates_replaced = 0;
+  std::size_t substitutions = 0;
+  std::size_t gates_added = 0;
+  std::size_t pis_added = 0;
+  std::size_t pos_added = 0;
+  std::size_t pos_retargeted = 0;
+  /// Lowest node index whose definition changed (null_node when none did).
+  aig::node_index first_touched = aig::null_node;
+};
+
+/// Parses the textual script.  Throws edit_error on any malformed line.
+edit_script parse_edit_script(const std::string& text);
+
+/// Replays the script onto `network` in place and rebuilds its structural
+/// hash, so the resulting state is a pure function of the edited node array.
+/// Throws edit_error on any illegal step (the network is left partially
+/// edited; replay a copy when the base must survive failure).
+replay_info apply_edit(aig& network, const edit_script& script);
+
+/// parse + apply in one call.
+replay_info apply_edit_text(aig& network, const std::string& text);
+
+}  // namespace xsfq::eco

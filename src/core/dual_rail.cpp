@@ -121,15 +121,120 @@ void optimize_co_polarities_into(const aig& network, unsigned max_passes,
   negate.assign(num_cos, false);
   if (num_cos == 0) return;
 
-  // Precompute both closures of every CO.  The flat storage is bounded; a
-  // pathological (many COs x huge shared cones) circuit falls back to the
-  // recompute-per-flip search with identical results.
+  // The greedy search needs, per CO, the closure of its demand propagation
+  // under either polarity.  The normal tier computes every closure as a
+  // bitmask in ONE reverse-topological sweep: each (node, rail) carries a
+  // mask over the 2*num_cos closure roots that reach it, pushed
+  // consumer-to-fanin down the topologically sorted node array.  The search
+  // then runs DIRECTLY on the masks: the cell count is the number of
+  // (node, rail) pairs whose mask intersects the set of active closures, so
+  // a flip trial is a branch-free scan comparing the intersection under the
+  // current and the toggled active-bit word — no per-closure entry lists,
+  // no reference counts, and commit is one XOR.  Decisions and result are
+  // identical to the historical recompute-per-flip search (a test pins
+  // parity); wide-CO networks whose masks would not fit the budget fall
+  // back to DFS-built closure lists, and a pathological closure volume to
+  // the recompute-per-flip search.
   const std::size_t entry_cap = 1u << 26;
-  std::vector<std::uint32_t> pool;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans(2 * num_cos);
-  std::vector<std::uint8_t> visited(network.size(), 0);
+  const std::size_t mask_word_budget = 1u << 22;  // 32 MiB of mask words
+  const std::size_t mask_words = (2 * num_cos + 63) / 64;
+  auto& pool = scratch.pool;
+  auto& spans = scratch.spans;
+  pool.clear();
+  spans.assign(2 * num_cos, {0, 0});
   bool overflow = false;
+  if (2 * network.size() * mask_words <= mask_word_budget) {
+    auto& reach = scratch.reach;
+    reach.assign(2 * network.size() * mask_words, 0);
+    const auto rail_at = [&](aig::node_index n, bool neg) {
+      return (2 * static_cast<std::size_t>(n) + (neg ? 1 : 0)) * mask_words;
+    };
+    network.foreach_co([&](signal s, std::size_t i) {
+      if (!network.is_gate(s.index())) return;
+      for (int flag = 0; flag < 2; ++flag) {
+        const std::size_t bit = 2 * i + flag;
+        reach[rail_at(s.index(), s.is_complemented() ^ (flag != 0)) +
+              bit / 64] |= std::uint64_t{1} << (bit % 64);
+      }
+    });
+    for (aig::node_index n = static_cast<aig::node_index>(network.size());
+         n-- > 1;) {
+      if (!network.is_gate(n)) continue;
+      for (int rail = 0; rail < 2; ++rail) {
+        const std::size_t src = rail_at(n, rail != 0);
+        bool empty = true;
+        for (std::size_t w = 0; w < mask_words && empty; ++w) {
+          empty = reach[src + w] == 0;
+        }
+        if (empty) continue;
+        for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
+          if (!network.is_gate(f.index())) continue;
+          const std::size_t dst =
+              rail_at(f.index(), f.is_complemented() ^ (rail != 0));
+          for (std::size_t w = 0; w < mask_words; ++w) {
+            reach[dst + w] |= reach[src + w];
+          }
+        }
+      }
+    }
+    // Active-closure bit per CO (bit 2i+flag; flag = current polarity).
+    // Both flags of one CO share a mask word, so a flip toggles two
+    // adjacent bits of a single word.
+    const std::size_t rails = 2 * network.size();
+    auto& act = scratch.act;
+    act.assign(mask_words, 0);
+    for (std::size_t i = 0; i < num_cos; ++i) {
+      act[(2 * i) / 64] |= std::uint64_t{1} << ((2 * i) % 64);
+    }
+    std::size_t cells = 0;
+    for (std::size_t x = 0; x < rails; ++x) {
+      const std::uint64_t* m = &reach[x * mask_words];
+      bool covered = false;
+      for (std::size_t w = 0; w < mask_words && !covered; ++w) {
+        covered = (m[w] & act[w]) != 0;
+      }
+      if (covered) ++cells;
+    }
+    std::size_t best = cells;
+    for (unsigned pass = 0; pass < max_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t i = 0; i < num_cos; ++i) {
+        const std::size_t w0 = (2 * i) / 64;
+        const std::uint64_t act0 = act[w0];
+        const std::uint64_t act1 = act0 ^ (std::uint64_t{3} << ((2 * i) % 64));
+        std::ptrdiff_t delta = 0;
+        if (mask_words == 1) {
+          for (std::size_t x = 0; x < rails; ++x) {
+            const std::uint64_t m = reach[x];
+            delta += static_cast<std::ptrdiff_t>((m & act1) != 0) -
+                     static_cast<std::ptrdiff_t>((m & act0) != 0);
+          }
+        } else {
+          for (std::size_t x = 0; x < rails; ++x) {
+            const std::uint64_t* m = &reach[x * mask_words];
+            bool other = false;
+            for (std::size_t w = 0; w < mask_words && !other; ++w) {
+              other = w != w0 && (m[w] & act[w]) != 0;
+            }
+            if (other) continue;  // covered regardless of this flip
+            delta += static_cast<std::ptrdiff_t>((m[w0] & act1) != 0) -
+                     static_cast<std::ptrdiff_t>((m[w0] & act0) != 0);
+          }
+        }
+        if (cells + static_cast<std::size_t>(delta) < best) {
+          act[w0] = act1;
+          cells += static_cast<std::size_t>(delta);
+          best = cells;
+          negate[i] = !negate[i];
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+    return;
+  }
   {
+    std::vector<std::uint8_t> visited(network.size(), 0);
     std::vector<std::uint32_t> closure;
     for (std::size_t i = 0; i < num_cos && !overflow; ++i) {
       for (int flag = 0; flag < 2; ++flag) {
@@ -171,7 +276,8 @@ void optimize_co_polarities_into(const aig& network, unsigned max_passes,
 
   // Reference-counted union of the active closures; `cells` tracks the
   // number of demanded (gate, rail) pairs = demand_stats().cells.
-  std::vector<std::uint32_t> refs(2 * network.size(), 0);
+  auto& refs = scratch.refs;
+  refs.assign(2 * network.size(), 0);
   std::size_t cells = 0;
   const auto apply = [&](std::size_t i, bool flag, int delta) {
     const auto [begin, count] = spans[2 * i + (flag ? 1 : 0)];
@@ -187,19 +293,47 @@ void optimize_co_polarities_into(const aig& network, unsigned max_passes,
   };
   for (std::size_t i = 0; i < num_cos; ++i) apply(i, false, +1);
 
+  // Each flip trial is evaluated WITHOUT mutating the refcounts: one scan
+  // of the outgoing closure (stamping membership, counting uniquely covered
+  // entries) and one of the incoming closure (counting entries that would
+  // become covered) yield the exact cell delta, so a rejected flip costs two
+  // closure scans instead of the four of a mutate-then-undo round trip.
+  // Accepted flips commit through apply() as before — decisions and result
+  // are identical to the historical search (a test pins parity).
+  auto& stamp = scratch.stamp;
+  stamp.assign(2 * network.size(), 0);
+  std::uint32_t epoch = 0;
+  const auto flip_delta = [&](std::size_t i) {
+    ++epoch;
+    const auto [a_begin, a_count] = spans[2 * i + (negate[i] ? 1 : 0)];
+    const auto [b_begin, b_count] = spans[2 * i + (negate[i] ? 0 : 1)];
+    std::ptrdiff_t delta = 0;
+    for (std::uint32_t k = 0; k < a_count; ++k) {
+      const std::uint32_t x = pool[a_begin + k];
+      stamp[x] = epoch;
+      if (refs[x] == 1) --delta;  // uniquely covered by the outgoing closure
+    }
+    for (std::uint32_t k = 0; k < b_count; ++k) {
+      const std::uint32_t x = pool[b_begin + k];
+      // Covered after the flip iff nothing else holds it: refs drops by one
+      // on outgoing-closure members first.
+      const std::uint32_t held = stamp[x] == epoch ? 1u : 0u;
+      if (refs[x] == held) ++delta;
+    }
+    return delta;
+  };
+
   std::size_t best = cells;
   for (unsigned pass = 0; pass < max_passes; ++pass) {
     bool improved = false;
     for (std::size_t i = 0; i < num_cos; ++i) {
-      apply(i, negate[i], -1);
-      apply(i, !negate[i], +1);
-      if (cells < best) {
+      const std::ptrdiff_t delta = flip_delta(i);
+      if (cells + static_cast<std::size_t>(delta) < best) {
+        apply(i, negate[i], -1);
+        apply(i, !negate[i], +1);
         best = cells;
         negate[i] = !negate[i];
         improved = true;
-      } else {
-        apply(i, !negate[i], -1);
-        apply(i, negate[i], +1);
       }
     }
     if (!improved) break;

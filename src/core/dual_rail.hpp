@@ -66,6 +66,15 @@ struct dual_rail_stats {
 struct demand_scratch {
   std::vector<std::pair<aig::node_index, bool>> worklist;
   rail_demands trial;  ///< demand bits of candidate polarity assignments
+  // Closure-pool scratch of the greedy polarity search (all internal to
+  // optimize_co_polarities_into; recycled so the serving hot path maps
+  // allocation-free in the steady state).
+  std::vector<std::uint64_t> reach;     ///< per-(node,rail) CO-closure masks
+  std::vector<std::uint64_t> act;       ///< active-closure bits of the search
+  std::vector<std::uint32_t> pool;      ///< flattened per-closure entry lists
+  std::vector<std::uint32_t> refs;      ///< active-closure reference counts
+  std::vector<std::uint32_t> stamp;     ///< trial-epoch membership marks
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
 };
 
 /// Computes rail demands given per-CO negation flags (`co_negate[i]` true

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <sstream>
 #include <stdexcept>
 
 namespace xsfq {
@@ -58,11 +59,19 @@ struct xsfq_mapper::impl {
   // Phase-B (splitter insertion) scratch.
   std::vector<std::array<std::uint32_t, 2>> consumers_;
   std::vector<std::uint32_t> new_index_;
-  /// Available output references per phase-A port, in consumption order;
-  /// inner vectors are cleared, never destroyed.
-  std::vector<std::array<std::vector<port_ref>, 2>> avail_;
-  std::vector<std::array<std::size_t, 2>> next_ref_;
-  std::vector<bool> used_;  ///< Eq. (1) input-rail usage scratch
+  /// Available output references per phase-A port, in consumption order,
+  /// flattened into one pool: port (i, p) owns the contiguous slots
+  /// [offset_[i][p], offset_[i][p] + consumers_[i][p]) — exactly one
+  /// delivered reference per consumer.  fill_/take_ are the per-port write
+  /// and read cursors into that span.
+  std::vector<port_ref> avail_pool_;
+  std::vector<std::array<std::uint32_t, 2>> offset_;
+  std::vector<std::array<std::uint32_t, 2>> fill_;
+  std::vector<std::array<std::uint32_t, 2>> take_;
+  /// Input rails with at least one consumer, counted by
+  /// rebuild_with_splitters during its consumer tally — Eq. (1)'s N_inp
+  /// without a dedicated netlist pass.
+  std::size_t used_input_rails_ = 0;
 
   void run(const aig& network, const mapping_params& params,
            mapping_result& out);
@@ -85,10 +94,7 @@ struct xsfq_mapper::impl {
   // ----- element construction ------------------------------------------------
 
   std::uint32_t add(xsfq_element e, bool feedback_source = false) {
-    proto_element p;
-    p.data = std::move(e);
-    p.feedback_source = feedback_source;
-    elems_.push_back(std::move(p));
+    elems_.push_back(proto_element{std::move(e), feedback_source});
     return static_cast<std::uint32_t>(elems_.size() - 1);
   }
 
@@ -387,32 +393,46 @@ void xsfq_mapper::impl::rebuild_with_splitters(
   }
 
   out.clear();
-  new_index_.assign(elems_.size(), 0);
-  // Available output references per phase-A port, in consumption order
-  // (inner vectors recycled at capacity).
-  if (avail_.size() < elems_.size()) avail_.resize(elems_.size());
+  // Exact final size: every proto element survives, plus one splitter per
+  // delivered copy beyond the first on each port.  One allocation on the
+  // fresh-result path instead of growth doublings.  The same walk lays out
+  // the flattened delivery pool: port (i, p) owns consumers_[i][p]
+  // contiguous slots.
+  std::size_t total = elems_.size();
+  std::uint32_t pool_size = 0;
+  offset_.resize(elems_.size());
+  used_input_rails_ = 0;
   for (std::size_t i = 0; i < elems_.size(); ++i) {
-    avail_[i][0].clear();
-    avail_[i][1].clear();
+    const auto& c = consumers_[i];
+    offset_[i] = {pool_size, pool_size + c[0]};
+    pool_size += c[0] + c[1];
+    if (c[0] > 1) total += c[0] - 1;
+    if (c[1] > 1) total += c[1] - 1;
+    if (c[0] > 0 && elems_[i].data.kind == element_kind::input_rail) {
+      ++used_input_rails_;
+    }
   }
-  next_ref_.assign(elems_.size(), {0, 0});
+  out.reserve(total);
+  new_index_.assign(elems_.size(), 0);
+  avail_pool_.resize(pool_size);
+  fill_ = offset_;
+  take_ = offset_;
 
   auto pop_ref = [&](port_ref old_ref) -> port_ref {
-    auto& index = next_ref_[old_ref.element][old_ref.port];
-    const auto& refs = avail_[old_ref.element][old_ref.port];
-    if (index >= refs.size()) {
+    auto& index = take_[old_ref.element][old_ref.port];
+    if (index >= fill_[old_ref.element][old_ref.port]) {
       throw std::logic_error("mapper: consumer/producer bookkeeping mismatch");
     }
-    return refs[index++];
+    return avail_pool_[index++];
   };
 
   // Builds a balanced splitter tree delivering `count` copies of `root`,
-  // appending the delivered references to `refs` (left subtree first — the
-  // historical consumption order).
-  auto expand = [&](port_ref root, std::uint32_t count,
-                    std::vector<port_ref>& refs, auto&& self) -> void {
+  // appending the delivered references to the port's pool span (left
+  // subtree first — the historical consumption order).
+  auto expand = [&](port_ref root, std::uint32_t count, std::uint32_t& fill,
+                    auto&& self) -> void {
     if (count <= 1) {
-      refs.push_back(root);
+      avail_pool_[fill++] = root;
       return;
     }
     xsfq_element split;
@@ -420,20 +440,22 @@ void xsfq_mapper::impl::rebuild_with_splitters(
     split.fanin0 = root;
     const auto s = out.add_element(std::move(split));
     const std::uint32_t left = (count + 1) / 2;
-    self(port_ref{s, 0}, left, refs, self);
-    self(port_ref{s, 1}, count - left, refs, self);
+    self(port_ref{s, 0}, left, fill, self);
+    self(port_ref{s, 1}, count - left, fill, self);
   };
 
   for (std::size_t i = 0; i < elems_.size(); ++i) {
-    const proto_element& p = elems_[i];
-    xsfq_element e = p.data;
+    proto_element& p = elems_[i];
+    const port_ref f0 = p.data.fanin0;
+    const port_ref f1 = p.data.fanin1;
+    xsfq_element e = std::move(p.data);  // elems_ is dead after this loop
     const auto kind = e.kind;
     const bool binary = kind == element_kind::la || kind == element_kind::fa;
     const bool unary = kind == element_kind::droc ||
                        kind == element_kind::droc_preload ||
                        kind == element_kind::output_port;
-    if ((binary || unary) && !p.feedback_source) e.fanin0 = pop_ref(p.data.fanin0);
-    if (binary) e.fanin1 = pop_ref(p.data.fanin1);
+    if ((binary || unary) && !p.feedback_source) e.fanin0 = pop_ref(f0);
+    if (binary) e.fanin1 = pop_ref(f1);
     if (p.feedback_source) {
       e.fanin0 = port_ref{};  // resolved via register_feedback
       e.feedback_input = true;
@@ -447,7 +469,7 @@ void xsfq_mapper::impl::rebuild_with_splitters(
     for (std::uint8_t port = 0; port < num_ports; ++port) {
       const std::uint32_t k = consumers_[i][port];
       if (k == 0) continue;
-      expand(port_ref{ni, port}, k, avail_[i][port], expand);
+      expand(port_ref{ni, port}, k, fill_[i][port], expand);
     }
   }
 
@@ -488,53 +510,39 @@ void xsfq_mapper::impl::run(const aig& network, const mapping_params& params,
 
   out.co_negated = co_negate_;
   rebuild_with_splitters(out.netlist, out.register_feedback);
-  out.netlist.check();
+  // No netlist.check() here: the emit machinery constructs fanins from the
+  // consumer pool it just laid out, so the invariants hold by construction;
+  // an O(n) re-validation per map is real money on the sub-ms ECO path.
+  // Tests (and anything that mutates a netlist by hand) call check()
+  // directly.
 
   // ----- statistics ----------------------------------------------------------
   out.stats = {};
   mapping_stats& st = out.stats;
   const auto& nl = out.netlist;
-  st.la_cells = nl.count(element_kind::la);
-  st.fa_cells = nl.count(element_kind::fa);
-  st.splitters = nl.num_splitters();
-  st.drocs_plain = nl.num_drocs_plain();
-  st.drocs_preload = nl.num_drocs_preload();
+  const xsfq_netlist::stats_tally tl = nl.tally();  // one pass, not eleven
+  st.la_cells = tl.la;
+  st.fa_cells = tl.fa;
+  st.splitters = tl.splitters;
+  st.drocs_plain = tl.drocs_plain;
+  st.drocs_preload = tl.drocs_preload;
   const auto ds = demand_stats(network, demands_);
   st.nodes_used = ds.nodes_used;
   st.duplication = ds.duplication();
-  st.jj = nl.jj_count(false);
-  st.jj_ptl = nl.jj_count(true);
-  st.depth = nl.logical_depth();
-  st.depth_with_splitters = nl.logical_depth_with_splitters();
-  st.circuit_ghz = nl.circuit_frequency_ghz(false);
-  st.architectural_ghz = nl.architectural_frequency_ghz(false);
+  st.jj = tl.jj;
+  st.jj_ptl = tl.jj_ptl;
+  st.depth = tl.depth;
+  st.depth_with_splitters = tl.depth_with_splitters;
+  st.circuit_ghz =
+      tl.critical_path_ps <= 0.0 ? 0.0 : 1000.0 / tl.critical_path_ps;
+  st.architectural_ghz = st.circuit_ghz / 2.0;
 
   // Eq. (1): splitters = N_gate + N_out - N_inp, with N_inp the number of
-  // input rails actually consumed.
-  std::size_t used_input_rails = 0;
-  {
-    used_.assign(nl.size(), false);
-    for (const auto& e : nl.elements()) {
-      if (e.kind == element_kind::la || e.kind == element_kind::fa ||
-          e.kind == element_kind::splitter ||
-          e.kind == element_kind::output_port ||
-          ((e.kind == element_kind::droc ||
-            e.kind == element_kind::droc_preload))) {
-        used_[e.fanin0.element] = true;
-        if (e.kind == element_kind::la || e.kind == element_kind::fa) {
-          used_[e.fanin1.element] = true;
-        }
-      }
-    }
-    for (std::uint32_t i = 0; i < nl.size(); ++i) {
-      if (nl.element(i).kind == element_kind::input_rail && used_[i]) {
-        ++used_input_rails;
-      }
-    }
-  }
+  // input rails actually consumed — counted by rebuild_with_splitters from
+  // its consumer tally, so no extra netlist pass here.
   st.eq1_splitters = static_cast<long>(st.la_cells + st.fa_cells) +
                      static_cast<long>(network.num_cos()) -
-                     static_cast<long>(used_input_rails);
+                     static_cast<long>(used_input_rails_);
 }
 
 xsfq_mapper::xsfq_mapper() : impl_(new impl) {}
@@ -559,6 +567,15 @@ void xsfq_mapper::map_into(const aig& network, const mapping_params& params,
 
 mapping_result map_to_xsfq(const aig& network, const mapping_params& params) {
   return xsfq_mapper::thread_local_mapper().map(network, params);
+}
+
+std::string summary_line(const mapping_stats& st) {
+  std::ostringstream os;
+  os << "xSFQ netlist: " << st.la_cells << " LA, " << st.fa_cells << " FA, "
+     << st.splitters << " splitters, " << st.drocs_plain << "+"
+     << st.drocs_preload << " DROC, JJ " << st.jj << " (" << st.jj_ptl
+     << " with PTL), depth " << st.depth << "/" << st.depth_with_splitters;
+  return os.str();
 }
 
 }  // namespace xsfq

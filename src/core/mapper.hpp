@@ -59,6 +59,12 @@ struct mapping_stats {
   double architectural_ghz = 0.0;
 };
 
+/// xsfq_netlist::summary() rendered from already-computed mapping stats —
+/// the serving hot path formats per-request report lines without re-walking
+/// the netlist.  Byte-identical to netlist.summary() by construction (the
+/// stats were tallied from that netlist); pinned by a test.
+std::string summary_line(const mapping_stats& stats);
+
 struct mapping_result {
   xsfq_netlist netlist;
   mapping_stats stats;

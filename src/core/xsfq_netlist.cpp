@@ -172,6 +172,128 @@ double xsfq_netlist::circuit_frequency_ghz(bool with_ptl) const {
   return 1000.0 / path;  // ps -> GHz
 }
 
+xsfq_netlist::stats_tally xsfq_netlist::tally() const {
+  const cell_library& lib = cell_library::sfq5ee();
+  const std::size_t jj_la = lib.jj_count(cell_type::la, false);
+  const std::size_t jj_fa = lib.jj_count(cell_type::fa, false);
+  const std::size_t jj_sp = lib.jj_count(cell_type::splitter, false);
+  const std::size_t jj_dr = lib.jj_count(cell_type::droc, false);
+  const std::size_t jj_dp = lib.jj_count(cell_type::droc_preload, false);
+  const std::size_t jj_la_p = lib.jj_count(cell_type::la, true);
+  const std::size_t jj_fa_p = lib.jj_count(cell_type::fa, true);
+  const std::size_t jj_dr_p = lib.jj_count(cell_type::droc, true);
+  const std::size_t jj_dp_p = lib.jj_count(cell_type::droc_preload, true);
+  const double d_la = lib.delay_ps(cell_type::la, false);
+  const double d_fa = lib.delay_ps(cell_type::fa, false);
+  const double d_sp = lib.delay_ps(cell_type::splitter, false);
+  const double d_la_p = lib.delay_ps(cell_type::la, true);
+  const double d_fa_p = lib.delay_ps(cell_type::fa, true);
+  const double d_sp_p = lib.delay_ps(cell_type::splitter, true);
+  const auto& droc_spec = lib.spec(cell_type::droc);
+  const double d_cq = std::max(droc_spec.delay_ps, droc_spec.delay_qn_ps);
+  const double d_cq_p =
+      std::max(droc_spec.delay_ps_ptl, droc_spec.delay_qn_ps_ptl);
+
+  stats_tally t;
+  // Per-element DP state: {depth, depth+splitters, arrival, arrival ptl}.
+  struct dp_state {
+    unsigned depth = 0;
+    unsigned depth_sp = 0;
+    double arrival = 0.0;
+    double arrival_ptl = 0.0;
+  };
+  std::vector<dp_state> dp(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    switch (e.kind) {
+      case element_kind::la:
+        ++t.la;
+        t.jj += jj_la;
+        t.jj_ptl += jj_la_p;
+        break;
+      case element_kind::fa:
+        ++t.fa;
+        t.jj += jj_fa;
+        t.jj_ptl += jj_fa_p;
+        break;
+      case element_kind::splitter:
+        ++t.splitters;
+        // Footnote 1: splitters never pay PTL costs (see jj_count()).
+        t.jj += jj_sp;
+        t.jj_ptl += jj_sp;
+        break;
+      case element_kind::droc:
+        ++t.drocs_plain;
+        t.jj += jj_dr;
+        t.jj_ptl += jj_dr_p;
+        break;
+      case element_kind::droc_preload:
+        ++t.drocs_preload;
+        t.jj += jj_dp;
+        t.jj_ptl += jj_dp_p;
+        break;
+      default:
+        break;
+    }
+
+    dp_state& s = dp[i];
+    if (is_path_start(e.kind)) {
+      const bool is_droc = e.kind == element_kind::droc ||
+                           e.kind == element_kind::droc_preload;
+      s.arrival = is_droc ? d_cq : 0.0;
+      s.arrival_ptl = is_droc ? d_cq_p : 0.0;
+      t.critical_path_ps = std::max(t.critical_path_ps, s.arrival);
+      t.critical_path_ps_ptl = std::max(t.critical_path_ps_ptl, s.arrival_ptl);
+      continue;
+    }
+    unsigned in_depth = 0;
+    unsigned in_depth_sp = 0;
+    double in_time = 0.0;
+    double in_time_ptl = 0.0;
+    if (has_fanin0(e.kind)) {
+      const dp_state& f = dp[e.fanin0.element];
+      in_depth = f.depth;
+      in_depth_sp = f.depth_sp;
+      in_time = f.arrival;
+      in_time_ptl = f.arrival_ptl;
+    }
+    if (has_fanin1(e.kind)) {
+      const dp_state& f = dp[e.fanin1.element];
+      in_depth = std::max(in_depth, f.depth);
+      in_depth_sp = std::max(in_depth_sp, f.depth_sp);
+      in_time = std::max(in_time, f.arrival);
+      in_time_ptl = std::max(in_time_ptl, f.arrival_ptl);
+    }
+    const bool logic = e.kind == element_kind::la || e.kind == element_kind::fa;
+    const bool split = e.kind == element_kind::splitter;
+    s.depth = in_depth + (logic ? 1 : 0);
+    s.depth_sp = in_depth_sp + (logic || split ? 1 : 0);
+    switch (e.kind) {
+      case element_kind::la:
+        s.arrival = in_time + d_la;
+        s.arrival_ptl = in_time_ptl + d_la_p;
+        break;
+      case element_kind::fa:
+        s.arrival = in_time + d_fa;
+        s.arrival_ptl = in_time_ptl + d_fa_p;
+        break;
+      case element_kind::splitter:
+        s.arrival = in_time + d_sp;
+        s.arrival_ptl = in_time_ptl + d_sp_p;
+        break;
+      default:
+        s.arrival = in_time;
+        s.arrival_ptl = in_time_ptl;
+        break;
+    }
+    t.depth = std::max(t.depth, s.depth);
+    t.depth_with_splitters = std::max(t.depth_with_splitters, s.depth_sp);
+    t.critical_path_ps = std::max(t.critical_path_ps, s.arrival);
+    t.critical_path_ps_ptl = std::max(t.critical_path_ps_ptl, s.arrival_ptl);
+  }
+  return t;
+}
+
 void xsfq_netlist::check() const {
   for (std::size_t i = 0; i < elements_.size(); ++i) {
     const auto& e = elements_[i];
@@ -203,13 +325,14 @@ void xsfq_netlist::check() const {
 }
 
 std::string xsfq_netlist::summary() const {
+  // One tally pass, not nine separate walks — this renders on the serving
+  // hot path for every request, including sub-ms ECO responses.
+  const stats_tally t = tally();
   std::ostringstream os;
-  os << "xSFQ netlist: " << count(element_kind::la) << " LA, "
-     << count(element_kind::fa) << " FA, " << num_splitters()
-     << " splitters, " << num_drocs_plain() << "+" << num_drocs_preload()
-     << " DROC, JJ " << jj_count(false) << " (" << jj_count(true)
-     << " with PTL), depth " << logical_depth() << "/"
-     << logical_depth_with_splitters();
+  os << "xSFQ netlist: " << t.la << " LA, " << t.fa << " FA, "
+     << t.splitters << " splitters, " << t.drocs_plain << "+"
+     << t.drocs_preload << " DROC, JJ " << t.jj << " (" << t.jj_ptl
+     << " with PTL), depth " << t.depth << "/" << t.depth_with_splitters;
   return os.str();
 }
 

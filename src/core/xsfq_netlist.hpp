@@ -72,6 +72,11 @@ public:
   /// engine recycles one netlist across map_into() calls.
   void clear() { elements_.clear(); }
 
+  /// Pre-sizes the element buffer (the mapper knows the exact final element
+  /// count before phase B emits, so the serving hot path builds the netlist
+  /// with a single allocation instead of growth doublings).
+  void reserve(std::size_t n) { elements_.reserve(n); }
+
   [[nodiscard]] const std::vector<xsfq_element>& elements() const {
     return elements_;
   }
@@ -120,6 +125,26 @@ public:
   [[nodiscard]] double architectural_frequency_ghz(bool with_ptl = false) const {
     return circuit_frequency_ghz(with_ptl) / 2.0;
   }
+
+  /// Every per-element statistic the mapper publishes, computed in ONE pass
+  /// over the elements (the individual count()/jj_count()/depth queries each
+  /// rescan; the serving hot path calls tally() once instead).  Each field
+  /// equals its standalone query exactly — same per-element arithmetic in
+  /// the same element order.
+  struct stats_tally {
+    std::size_t la = 0;
+    std::size_t fa = 0;
+    std::size_t splitters = 0;
+    std::size_t drocs_plain = 0;
+    std::size_t drocs_preload = 0;
+    std::size_t jj = 0;       ///< == jj_count(false)
+    std::size_t jj_ptl = 0;   ///< == jj_count(true)
+    unsigned depth = 0;       ///< == logical_depth()
+    unsigned depth_with_splitters = 0;
+    double critical_path_ps = 0.0;      ///< == critical_path_ps(false)
+    double critical_path_ps_ptl = 0.0;  ///< == critical_path_ps(true)
+  };
+  [[nodiscard]] stats_tally tally() const;
 
   /// Basic structural validation (fanin indices in range, kinds consistent);
   /// throws std::logic_error on violation.

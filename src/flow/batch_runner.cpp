@@ -233,14 +233,20 @@ struct batch_runner::impl {
   }
 
   /// Copies `options` with the pool installed as the partitioned-optimize
-  /// executor (when requested and not caller-supplied).  The executor never
-  /// joins the fingerprint, so cache keys are unaffected.
+  /// executor (when requested and not caller-supplied) and the runner's
+  /// region cache installed for grain-mode flows.  Neither joins the
+  /// fingerprint — both change wall-clock only — so cache keys are
+  /// unaffected.
   flow_options with_pool_executor(const flow_options& options) {
     flow_options out = options;
     if (out.opt.flow_jobs > 1 && !out.opt.executor) {
       out.opt.executor = [this](std::vector<std::function<void()>>&& tasks) {
         run_subtasks(std::move(tasks));
       };
+    }
+    if (out.opt.partition_grain > 0 && out.opt.regions == nullptr &&
+        cache_enabled.load(std::memory_order_relaxed)) {
+      out.opt.regions = &region_tier;
     }
     return out;
   }
@@ -297,6 +303,32 @@ struct batch_runner::impl {
   std::atomic<std::uint64_t> full_misses{0};
   std::atomic<std::uint64_t> opt_hits{0};
   std::atomic<std::uint64_t> opt_misses{0};
+  std::atomic<std::uint64_t> eco_patches{0};
+
+  /// Optimized-region tier (opt/partition.hpp), installed into every
+  /// grain-mode flow: the engine of ECO resynthesis.
+  region_cache region_tier;
+
+  /// Retained-network tier: the serving entry points keep the last
+  /// max_retained distinct networks they ran, keyed by content hash, so a
+  /// synth_delta request can replay its edit script onto the base without
+  /// shipping or re-parsing the base circuit.
+  static constexpr std::size_t max_retained = 32;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const aig>> retained;
+  std::deque<std::uint64_t> retained_order;  ///< FIFO eviction
+
+  void retain_network(std::uint64_t content_hash, const aig& network) {
+    auto copy = std::make_shared<const aig>(network);  // outside the lock
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    if (!retained.emplace(content_hash, std::move(copy)).second) {
+      return;  // already retained (refresh would only churn the FIFO)
+    }
+    retained_order.push_back(content_hash);
+    if (retained_order.size() > max_retained) {
+      retained.erase(retained_order.front());
+      retained_order.pop_front();
+    }
+  }
 
   std::shared_ptr<const flow_result> lookup_full(const cache_key& key) {
     std::lock_guard<std::mutex> lock(cache_mutex);
@@ -304,12 +336,11 @@ struct batch_runner::impl {
     return it == full_cache.end() ? nullptr : it->second;
   }
 
-  void store_full(const cache_key& key, const flow_result& result,
-                  bool persist) {
-    auto entry = std::make_shared<const flow_result>(result);  // outside lock
+  void store_full(const cache_key& key,
+                  std::shared_ptr<const flow_result> entry, bool persist) {
     {
       std::lock_guard<std::mutex> lock(cache_mutex);
-      if (!full_cache.emplace(key, std::move(entry)).second) {
+      if (!full_cache.emplace(key, entry).second) {
         return;  // racer won; it also handled persistence
       }
       full_order.push_back(key);
@@ -320,7 +351,7 @@ struct batch_runner::impl {
     }
     // Disk writes happen outside cache_mutex (the disk tier has its own
     // lock); entries loaded *from* disk pass persist=false.
-    if (persist && disk) disk->store(key.circuit, key.options, result);
+    if (persist && disk) disk->store(key.circuit, key.options, *entry);
   }
 
   /// Outcome of claiming an optimize-cache slot: a consumer gets the future
@@ -358,11 +389,49 @@ struct batch_runner::impl {
     }
   }
 
-  /// Materializes a cache hit: deep-copies, restores the caller's name,
-  /// charges this run's (re)generate cost, and replays the stage timings as
-  /// from_cache progress events.
+  /// Normalizes options for fingerprinting.  Cache keys fingerprint the
+  /// *effective* partition count: small circuits clamp flow_jobs down (often
+  /// to 1), so requests whose clamp coincides produce byte-identical results
+  /// and must share one entry.  Grain mode skips the clamp — the grain alone
+  /// is the partition shape and flow_jobs never joins its fingerprint.
+  static flow_options keyed_options(std::size_t num_gates,
+                                    const flow_options& options) {
+    flow_options keyed = options;
+    if (keyed.opt.partition_grain == 0) {
+      keyed.opt.flow_jobs =
+          effective_partition_count(num_gates, options.opt.flow_jobs);
+    }
+    return keyed;
+  }
+
+  /// The circuit name joins the circuit half of the key: name-derived
+  /// artifacts (result.name, the emit stage's default Verilog module
+  /// header) must never be served across two names that happen to
+  /// generate content-identical circuits.
+  static cache_key full_key_for(std::uint64_t circuit_hash,
+                                const std::string& name,
+                                const flow_options& keyed) {
+    return {hash_mix_str(circuit_hash, name), fingerprint(keyed)};
+  }
+
+  /// Replays a cached result's stage timings as from_cache progress events,
+  /// substituting this run's (re)generate cost for the cached one.
+  static void replay_timings(const flow_result& cached, double generate_ms,
+                             const stage_observer& observer) {
+    if (!observer) return;
+    for (std::size_t i = 0; i < cached.timings.size(); ++i) {
+      const stage_timing& t = cached.timings[i];
+      const bool is_generate = i == 0 && t.stage == "generate";
+      observer({t.stage, i, cached.timings.size(),
+                is_generate ? generate_ms : t.ms, t.counters,
+                /*from_cache=*/true});
+    }
+  }
+
+  /// Materializes a cache hit for the by-value entry points: deep-copies,
+  /// restores the caller's name, and charges this run's (re)generate cost.
   flow_result finish_hit(const flow_result& cached, const std::string& name,
-                         double generate_ms, const stage_observer& observer) {
+                         double generate_ms) {
     flow_result r = cached;  // deep copy outside the cache lock
     r.name = name;
     // Charge this run's (re)generate cost; downstream stage timings are
@@ -371,49 +440,46 @@ struct batch_runner::impl {
       r.total_ms += generate_ms - r.timings.front().ms;
       r.timings.front().ms = generate_ms;
     }
-    if (observer) {
-      for (std::size_t i = 0; i < r.timings.size(); ++i) {
-        const stage_timing& t = r.timings[i];
-        observer({t.stage, i, r.timings.size(), t.ms, t.counters,
-                  /*from_cache=*/true});
-      }
-    }
     return r;
   }
+
+  /// Outcome of the shared-ownership core: the (immutable) cache entry plus
+  /// whether it was served from a cache tier.  Hits hand back the stored
+  /// entry itself — zero copies; the by-value wrappers copy, the serving
+  /// delta path (latency-critical) reads through the pointer.
+  struct cached_outcome {
+    std::shared_ptr<const flow_result> entry;
+    bool hit = false;
+  };
 
   /// The canned paper flow for one entry with every cache tier applied:
   /// in-memory full results, the disk-persistent tier, and the shared-future
   /// optimize tier.  `network` may arrive empty for registry entries whose
   /// content hash is memoized; `generate` then rebuilds it on demand.
-  flow_result run_cached_core(const std::string& name,
-                              std::uint64_t circuit_hash,
-                              std::size_t num_gates,
-                              const flow_options& options,
-                              std::optional<aig> network, double generate_ms,
-                              const std::function<aig()>& generate,
-                              const stage_observer& observer) {
+  cached_outcome run_cached_core(const std::string& name,
+                                 std::uint64_t circuit_hash,
+                                 std::size_t num_gates,
+                                 const flow_options& options,
+                                 std::optional<aig> network,
+                                 double generate_ms,
+                                 const std::function<aig()>& generate,
+                                 const stage_observer& observer) {
     using clock = std::chrono::steady_clock;
-    // Cache keys fingerprint the *effective* partition count: small circuits
-    // clamp flow_jobs down (often to 1), so requests whose clamp coincides
-    // produce byte-identical results and must share one entry.
-    flow_options keyed = options;
-    keyed.opt.flow_jobs =
-        effective_partition_count(num_gates, options.opt.flow_jobs);
-    // The circuit name joins the circuit half of the key: name-derived
-    // artifacts (result.name, the emit stage's default Verilog module
-    // header) must never be served across two names that happen to
-    // generate content-identical circuits.
-    const cache_key full_key{hash_mix_str(circuit_hash, name),
-                             fingerprint(keyed)};
+    const flow_options keyed = keyed_options(num_gates, options);
+    const cache_key full_key = full_key_for(circuit_hash, name, keyed);
     if (auto cached = lookup_full(full_key)) {
       full_hits.fetch_add(1, std::memory_order_relaxed);
-      return finish_hit(*cached, name, generate_ms, observer);
+      replay_timings(*cached, generate_ms, observer);
+      return {std::move(cached), /*hit=*/true};
     }
     full_misses.fetch_add(1, std::memory_order_relaxed);
     if (disk) {
       if (auto loaded = disk->load(full_key.circuit, full_key.options)) {
-        store_full(full_key, *loaded, /*persist=*/false);
-        return finish_hit(*loaded, name, generate_ms, observer);
+        auto entry =
+            std::make_shared<const flow_result>(*std::move(loaded));
+        store_full(full_key, entry, /*persist=*/false);
+        replay_timings(*entry, generate_ms, observer);
+        return {std::move(entry), /*hit=*/true};
       }
     }
     if (!network) {  // hash came from the memo or the caller
@@ -468,8 +534,9 @@ struct batch_runner::impl {
       result.timings.front().ms += generate_ms;
       result.total_ms += generate_ms;
     }
-    store_full(full_key, result, /*persist=*/true);
-    return result;
+    auto entry = std::make_shared<const flow_result>(std::move(result));
+    store_full(full_key, entry, /*persist=*/true);
+    return {std::move(entry), /*hit=*/false};
   }
 
   /// Registry entry point: the benchmark generator is deterministic for the
@@ -508,13 +575,47 @@ struct batch_runner::impl {
       std::lock_guard<std::mutex> lock(cache_mutex);
       hash_memo.emplace(name, std::make_pair(circuit_hash, num_gates));
     }
-    return run_cached_core(
-        name, circuit_hash, num_gates, options, std::move(network),
-        generate_ms, [&name] { return benchgen::make_benchmark(name); }, {});
+    return materialize(
+        run_cached_core(name, circuit_hash, num_gates, options,
+                        std::move(network), generate_ms,
+                        [&name] { return benchgen::make_benchmark(name); },
+                        {}),
+        name, generate_ms);
+  }
+
+  /// By-value materialization of a core outcome.  Hits pay the same deep
+  /// copy finish_hit always made; misses pay one copy out of the stored
+  /// entry — exactly the copy store_full used to make, just relocated.
+  flow_result materialize(cached_outcome out, const std::string& name,
+                          double generate_ms) {
+    if (out.hit) return finish_hit(*out.entry, name, generate_ms);
+    return *out.entry;
   }
 
   /// Serving entry point: an already-built network (parsed from a request
   /// payload or a corpus file) with optional per-stage progress streaming.
+  /// Shared-ownership return — the serving delta path renders straight out
+  /// of the cache entry, so hit and miss alike move zero flow_results.
+  std::shared_ptr<const flow_result> run_cached_network_shared(
+      aig network, const std::string& name,
+      const flow_options& caller_options, const stage_observer& observer) {
+    const flow_options options = with_pool_executor(caller_options);
+    if (!cache_enabled.load(std::memory_order_relaxed)) {
+      flow f("synthesis");
+      f.add_stage(stages::preset(std::move(network), name));
+      f.add_stages(make_synthesis_flow(options));
+      return std::make_shared<const flow_result>(f.run(observer));
+    }
+    const std::uint64_t circuit_hash = network.content_hash();
+    const std::size_t num_gates = network.num_gates();
+    // Every served network is retained (bounded FIFO) so a later
+    // synth_delta request can name it by content hash.
+    retain_network(circuit_hash, network);
+    return run_cached_core(name, circuit_hash, num_gates, options,
+                           std::move(network), 0.0, {}, observer)
+        .entry;
+  }
+
   flow_result run_cached_network(aig network, const std::string& name,
                                  const flow_options& caller_options,
                                  const stage_observer& observer) {
@@ -527,8 +628,30 @@ struct batch_runner::impl {
     }
     const std::uint64_t circuit_hash = network.content_hash();
     const std::size_t num_gates = network.num_gates();
-    return run_cached_core(name, circuit_hash, num_gates, options,
-                           std::move(network), 0.0, {}, observer);
+    retain_network(circuit_hash, network);
+    return materialize(run_cached_core(name, circuit_hash, num_gates, options,
+                                       std::move(network), 0.0, {}, observer),
+                       name, 0.0);
+  }
+
+  /// Every tier bypassed: the ECO force-full comparator.  The pool executor
+  /// is still installed when asked for (parallelism never changes bytes),
+  /// but the region cache is explicitly NOT.
+  flow_result run_uncached_network(aig network, const std::string& name,
+                                   const flow_options& caller_options,
+                                   const stage_observer& observer) {
+    flow_options options = caller_options;
+    options.opt.regions = nullptr;
+    if (options.opt.flow_jobs > 1 && !options.opt.executor) {
+      options.opt.executor =
+          [this](std::vector<std::function<void()>>&& tasks) {
+            run_subtasks(std::move(tasks));
+          };
+    }
+    flow f("synthesis");
+    f.add_stage(stages::preset(std::move(network), name));
+    f.add_stages(make_synthesis_flow(options));
+    return f.run(observer);
   }
 };
 
@@ -591,7 +714,81 @@ batch_cache_stats batch_runner::cache_stats() const {
     s.disk_misses = d.misses;
     s.disk_writes = d.writes;
   }
+  const region_cache::counters rc = impl_->region_tier.counts();
+  s.region_hits = rc.hits;
+  s.region_misses = rc.misses;
+  s.eco_patches = impl_->eco_patches.load();
+  {
+    std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    s.retained_networks = impl_->retained.size();
+  }
   return s;
+}
+
+std::shared_ptr<const aig> batch_runner::retained_network(
+    std::uint64_t content_hash) const {
+  std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+  const auto it = impl_->retained.find(content_hash);
+  return it == impl_->retained.end() ? nullptr : it->second;
+}
+
+region_cache& batch_runner::regions() { return impl_->region_tier; }
+
+void batch_runner::patch_entry(std::uint64_t circuit_hash,
+                               std::size_t num_gates, const std::string& name,
+                               const flow_options& options,
+                               const flow_result& result) {
+  const flow_options keyed = impl_->keyed_options(num_gates, options);
+  const impl::cache_key key =
+      impl_->full_key_for(circuit_hash, name, keyed);
+  impl_->store_full(key, std::make_shared<const flow_result>(result),
+                    /*persist=*/true);
+  impl_->eco_patches.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool batch_runner::drop_entry(std::uint64_t circuit_hash,
+                              std::size_t num_gates, const std::string& name,
+                              const flow_options& options) {
+  const flow_options keyed = impl_->keyed_options(num_gates, options);
+  const impl::cache_key full_key =
+      impl_->full_key_for(circuit_hash, name, keyed);
+  const impl::cache_key opt_key{circuit_hash, fingerprint(keyed.opt)};
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    if (impl_->full_cache.erase(full_key) > 0) {
+      dropped = true;
+      for (auto it = impl_->full_order.begin(); it != impl_->full_order.end();
+           ++it) {
+        if (*it == full_key) {
+          impl_->full_order.erase(it);
+          break;
+        }
+      }
+    }
+    // The optimized-network tier only drops *ready* entries: an in-flight
+    // producer still owns its promise and must be left to publish.
+    const auto oit = impl_->opt_cache.find(opt_key);
+    if (oit != impl_->opt_cache.end() &&
+        oit->second.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      impl_->opt_cache.erase(oit);
+      dropped = true;
+      for (auto it = impl_->opt_order.begin(); it != impl_->opt_order.end();
+           ++it) {
+        if (*it == opt_key) {
+          impl_->opt_order.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  if (impl_->disk && impl_->disk->drop_entry(full_key.circuit,
+                                             full_key.options)) {
+    dropped = true;
+  }
+  if (dropped) impl_->eco_patches.fetch_add(1, std::memory_order_relaxed);
+  return dropped;
 }
 
 void batch_runner::set_disk_cache(const std::string& directory,
@@ -625,6 +822,20 @@ flow_result batch_runner::run_cached(aig network, const std::string& name,
                                    observer);
 }
 
+std::shared_ptr<const flow_result> batch_runner::run_cached_shared(
+    aig network, const std::string& name, const flow_options& options,
+    const stage_observer& observer) {
+  return impl_->run_cached_network_shared(std::move(network), name, options,
+                                          observer);
+}
+
+flow_result batch_runner::run_uncached(aig network, const std::string& name,
+                                       const flow_options& options,
+                                       const stage_observer& observer) {
+  return impl_->run_uncached_network(std::move(network), name, options,
+                                     observer);
+}
+
 void batch_runner::run_subtasks(std::vector<std::function<void()>> tasks) {
   impl_->run_subtasks(std::move(tasks));
 }
@@ -645,12 +856,17 @@ std::future<flow_result> batch_runner::enqueue_job(
 }
 
 void batch_runner::clear_cache() {
-  std::lock_guard<std::mutex> lock(impl_->cache_mutex);
-  impl_->full_cache.clear();
-  impl_->full_order.clear();
-  impl_->opt_cache.clear();
-  impl_->opt_order.clear();
-  impl_->hash_memo.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    impl_->full_cache.clear();
+    impl_->full_order.clear();
+    impl_->opt_cache.clear();
+    impl_->opt_order.clear();
+    impl_->hash_memo.clear();
+    impl_->retained.clear();
+    impl_->retained_order.clear();
+  }
+  impl_->region_tier.clear();
 }
 
 batch_report batch_runner::run_jobs(

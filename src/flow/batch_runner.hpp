@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,6 +85,10 @@ struct batch_cache_stats {
   std::uint64_t disk_hits = 0;    ///< flow_results loaded from the disk tier
   std::uint64_t disk_misses = 0;  ///< disk lookups that found nothing usable
   std::uint64_t disk_writes = 0;  ///< flow_results persisted to disk
+  std::uint64_t region_hits = 0;    ///< optimized regions replayed (ECO tier)
+  std::uint64_t region_misses = 0;  ///< regions optimized live
+  std::uint64_t eco_patches = 0;    ///< entries patched/dropped by ECO
+  std::uint64_t retained_networks = 0;  ///< networks held for delta requests
 };
 
 /// Thread-pool flow executor.  Construct once, run many batches; worker
@@ -161,6 +166,55 @@ class batch_runner {
   flow_result run_cached(aig network, const std::string& name,
                          const flow_options& options,
                          const stage_observer& observer = {});
+
+  /// run_cached without the by-value copies: returns the immutable cache
+  /// entry itself (hit or freshly stored miss alike).  The serving delta
+  /// path renders its response straight out of the entry, so a sub-ms ECO
+  /// pays zero flow_result copies; a cache-disabled runner still computes
+  /// and wraps a fresh result.  Cached timings are replayed through the
+  /// observer with from_cache=true exactly as run_cached does.
+  std::shared_ptr<const flow_result> run_cached_shared(
+      aig network, const std::string& name, const flow_options& options,
+      const stage_observer& observer = {});
+
+  /// The canned flow with every cache tier bypassed — no lookups, no stores,
+  /// no region cache — executed inline on the calling thread.  This is the
+  /// ECO comparator: "what would a cold run of this exact circuit produce",
+  /// byte-identical to the incremental path by the determinism contract.
+  flow_result run_uncached(aig network, const std::string& name,
+                           const flow_options& options,
+                           const stage_observer& observer = {});
+
+  // ----- ECO surface (serve/synth_service delta requests) -------------------
+
+  /// The network most recently served under `content_hash` through the
+  /// serving entry points (enqueue / run_cached), or nullptr when it was
+  /// never seen or has been evicted (bounded FIFO).  Delta requests replay
+  /// their edit script onto this retained base instead of re-parsing it.
+  std::shared_ptr<const aig> retained_network(std::uint64_t content_hash) const;
+
+  /// The cross-run optimized-region cache shared by every grain-mode flow on
+  /// this runner (installed automatically when flow_options asks for
+  /// opt.partition_grain > 0 without supplying its own cache).
+  region_cache& regions();
+
+  /// Inserts `result` for (circuit, name, options) into the memory tier and
+  /// the disk tier directly, as if a flow had just computed it — the ECO
+  /// patch path: the incrementally recomputed result lands under the edited
+  /// circuit's key without waiting for the next request to recompute it.
+  /// Counted in cache_stats().eco_patches.
+  void patch_entry(std::uint64_t circuit_hash, std::size_t num_gates,
+                   const std::string& name, const flow_options& options,
+                   const flow_result& result);
+
+  /// Drops the memory/disk entries (full result + optimized network) for
+  /// (circuit, name, options).  Returns true when anything was dropped.  The
+  /// ECO supersede path calls this on the base circuit's hash so a stale
+  /// entry cannot be served after its circuit was edited away; without it,
+  /// superseded entries linger until mtime pruning.  Counted in
+  /// cache_stats().eco_patches when something was dropped.
+  bool drop_entry(std::uint64_t circuit_hash, std::size_t num_gates,
+                  const std::string& name, const flow_options& options);
 
   /// Runs every closure to completion with pool assistance: the closures are
   /// offered to the worker deques AND claimed by the calling thread itself,

@@ -153,6 +153,17 @@ void disk_result_cache::store(std::uint64_t circuit_key,
   if (max_entries_ != 0 && entry_count_ > max_entries_) prune_locked();
 }
 
+bool disk_result_cache::drop_entry(std::uint64_t circuit_key,
+                                   std::uint64_t options_key) {
+  const std::string path = entry_path(circuit_key, options_key);
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.drops;
+  if (entry_count_ > 0) --entry_count_;
+  return true;
+}
+
 void disk_result_cache::prune_locked() {
   if (max_entries_ == 0) return;
   struct entry {

@@ -30,6 +30,7 @@ struct disk_cache_stats {
   std::uint64_t misses = 0;     ///< absent, stale-version, or corrupt entries
   std::uint64_t writes = 0;     ///< entries persisted
   std::uint64_t evictions = 0;  ///< entries pruned by the size cap
+  std::uint64_t drops = 0;      ///< entries removed by drop_entry (ECO)
 };
 
 class disk_result_cache {
@@ -55,6 +56,12 @@ class disk_result_cache {
   /// a correctness dependency.  Thread-safe.
   void store(std::uint64_t circuit_key, std::uint64_t options_key,
              const flow_result& result);
+
+  /// Removes the entry for (circuit_key, options_key) if present; returns
+  /// whether a file was removed.  The ECO supersede path drops the base
+  /// circuit's entry here so a stale result cannot outlive its edit.
+  /// Thread-safe; IO errors read as "nothing dropped".
+  bool drop_entry(std::uint64_t circuit_key, std::uint64_t options_key);
 
   disk_cache_stats stats() const;
   const std::string& directory() const { return directory_; }

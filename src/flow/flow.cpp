@@ -158,10 +158,19 @@ std::uint64_t fingerprint(const optimize_params& params) {
   h = hash_mix(h, params.refactor_cut_size);
   h = hash_mix(h, params.validate_passes);
   h = hash_mix(h, params.validate_passes ? params.validate_rounds : 0);
-  // The partition count changes the optimized network (region boundaries
-  // freeze cuts), so it is part of the result identity; the executor is
-  // wall-clock-only and deliberately excluded.
-  h = hash_mix(h, params.flow_jobs == 0 ? 1u : params.flow_jobs);
+  // The partition shape changes the optimized network (region boundaries
+  // freeze cuts), so it is part of the result identity; the executor and the
+  // region cache are wall-clock-only and deliberately excluded.  In grain
+  // mode the shape is the grain alone — flow_jobs degrades to a parallelism
+  // knob — so the grain joins the digest in flow_jobs' place (the extra mix
+  // keeps grain-mode digests disjoint from every legacy one); with grain 0
+  // the mix sequence is exactly the legacy digest.
+  if (params.partition_grain > 0) {
+    h = hash_mix(h, 1u);
+    h = hash_mix(h, params.partition_grain);
+  } else {
+    h = hash_mix(h, params.flow_jobs == 0 ? 1u : params.flow_jobs);
+  }
   return h;
 }
 

@@ -7,6 +7,7 @@
 
 #include "aig/simulate.hpp"
 #include "opt/opt_engine.hpp"
+#include "util/hash.hpp"
 
 namespace xsfq {
 namespace {
@@ -22,10 +23,65 @@ struct region {
   std::vector<aig::node_index> outputs;  ///< exported parent gates (= sub-POs)
   aig optimized;
   optimize_stats stats;
+  std::shared_ptr<const region_cache::entry> cached;  ///< hit, when non-null
+  std::uint64_t cache_key = 0;
   std::exception_ptr error;
 };
 
+/// Digest of the parameters a region is optimized under — the second half of
+/// the region-cache key.  Deliberately excludes anything that cannot change
+/// the optimized region's bytes (grain, flow_jobs, executor): identical
+/// extracted subnetworks share entries across partition shapes.
+std::uint64_t sub_params_digest(const optimize_params& params) {
+  std::uint64_t h = 0x5E617C0DE5ull;
+  h = hash_mix(h, params.max_rounds);
+  h = hash_mix(h, params.zero_gain_final);
+  h = hash_mix(h, params.refactor_cut_size);
+  h = hash_mix(h, params.validate_passes);
+  h = hash_mix(h, params.validate_passes ? params.validate_rounds : 0);
+  return h;
+}
+
 }  // namespace
+
+std::shared_ptr<const region_cache::entry> region_cache::lookup(
+    std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void region_cache::store(std::uint64_t key, aig optimized,
+                         const optimize_stats& stats) {
+  auto e = std::make_shared<entry>();
+  e->optimized = std::move(optimized);
+  e->stats = stats;
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= max_entries_ && !entries_.contains(key)) {
+    entries_.erase(entries_.begin());  // arbitrary victim: time, never bytes
+  }
+  entries_[key] = std::move(e);
+}
+
+region_cache::counters region_cache::counts() const {
+  std::lock_guard lock(mutex_);
+  return {hits_, misses_};
+}
+
+std::size_t region_cache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void region_cache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
 
 unsigned effective_partition_count(std::size_t num_gates, unsigned flow_jobs) {
   const unsigned regions_wanted = std::max(1u, flow_jobs);
@@ -37,22 +93,39 @@ unsigned effective_partition_count(std::size_t num_gates, unsigned flow_jobs) {
 aig optimize_partitioned(const aig& network, const optimize_params& params,
                          optimize_stats* stats, partition_info* info) {
   const std::size_t num_gates = network.num_gates();
-  const unsigned P = effective_partition_count(num_gates, params.flow_jobs);
+  const std::size_t grain = params.partition_grain;
+  const unsigned P =
+      grain > 0 ? static_cast<unsigned>(std::max<std::size_t>(
+                      1, num_gates / std::max<std::size_t>(1, grain)))
+                : effective_partition_count(num_gates, params.flow_jobs);
   if (P <= 1) {
-    if (info) *info = {1, 0};
+    if (info) *info = {1, 0, 0, 0};
     return opt_engine::thread_local_engine().optimize(network, params, stats);
   }
 
   // ----- plan: contiguous topological regions over the gate array ----------
   // chunk[n] = region of gate n (-1 for CIs/constant).  Contiguity over the
   // topologically sorted node array guarantees a region's fanins resolve to
-  // combinational inputs or strictly earlier regions.
+  // combinational inputs or strictly earlier regions.  Grain mode assigns
+  // fixed-size regions by gate ordinal — a pure function of the network, so
+  // edited and freshly submitted copies of the same circuit partition
+  // identically — while the legacy mode deals P proportional shares.
+  // Each region's gates occupy one contiguous node-index window
+  // [begin_k, end_k); the extraction loops below walk windows, not the whole
+  // array, so planning + extraction stay O(n) regardless of P.
   std::vector<std::int32_t> chunk(network.size(), -1);
+  std::vector<aig::node_index> window_begin(P, 0);
+  std::vector<aig::node_index> window_end(P, 0);
+  std::vector<std::size_t> region_gates(P, 0);
   {
     std::size_t ordinal = 0;
     network.foreach_gate([&](aig::node_index n) {
-      chunk[n] = static_cast<std::int32_t>(
-          std::min<std::size_t>(P - 1, ordinal * P / num_gates));
+      const auto k = static_cast<unsigned>(
+          grain > 0 ? std::min<std::size_t>(P - 1, ordinal / grain)
+                    : std::min<std::size_t>(P - 1, ordinal * P / num_gates));
+      chunk[n] = static_cast<std::int32_t>(k);
+      if (region_gates[k]++ == 0) window_begin[k] = n;
+      window_end[k] = n + 1;
       ++ordinal;
     });
   }
@@ -71,29 +144,78 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
   });
 
   // ----- extract one subnetwork per region ----------------------------------
+  // The expensive part of extraction is building the sub-AIG (structural
+  // hashing per gate).  Its construction is a pure function of the region's
+  // normalized window encoding — inputs numbered in first-encounter order,
+  // gates by window ordinal — so the region-cache key is computed by hashing
+  // that encoding directly, and the sub-AIG itself is only materialized on a
+  // cache miss.  On the ECO hot path every clean region skips construction
+  // entirely; identical windows produce identical keys by construction.
+  optimize_params sub_params = params;
+  sub_params.flow_jobs = 1;
+  sub_params.partition_grain = 0;
+  sub_params.regions = nullptr;
+  sub_params.executor = nullptr;
+  const std::uint64_t digest = sub_params_digest(sub_params);
+  std::size_t cache_hits = 0;
+
   std::vector<region> regions(P);
   std::vector<signal> sub_map(network.size());
+  std::vector<std::uint32_t> local(network.size(), 0);
   std::vector<std::int32_t> seen(network.size(), -1);
   for (unsigned k = 0; k < P; ++k) {
     region& r = regions[k];
-    const auto in_region = [&](aig::node_index n) {
-      return chunk[n] == static_cast<std::int32_t>(k);
-    };
-    network.foreach_gate([&](aig::node_index n) {
-      if (!in_region(n)) return;
+    const auto self = static_cast<std::int32_t>(k);
+    for (aig::node_index n = window_begin[k]; n < window_end[k]; ++n) {
+      if (!network.is_gate(n)) continue;
       for (const signal f : {network.fanin0(n), network.fanin1(n)}) {
         const aig::node_index m = f.index();
-        if (m != 0 && !in_region(m) && seen[m] != static_cast<std::int32_t>(k)) {
-          seen[m] = static_cast<std::int32_t>(k);
+        if (m != 0 && chunk[m] != self && seen[m] != self) {
+          seen[m] = self;
           r.inputs.push_back(m);
         }
       }
-    });
+    }
+    // Normalized window encoding: const0 = 0, inputs 1..I in discovery
+    // order, window gates I+1.. by ordinal.  The fanin id/complement
+    // sequence plus the exported-gate list fully determine the sub-AIG the
+    // builder below would construct.
+    for (std::size_t i = 0; i < r.inputs.size(); ++i) {
+      local[r.inputs[i]] = static_cast<std::uint32_t>(i + 1);
+    }
+    const auto encode = [&](signal f) {
+      const std::uint32_t id = f.index() == 0 ? 0 : local[f.index()];
+      return (static_cast<std::uint64_t>(id) << 1) |
+             (f.is_complemented() ? 1u : 0u);
+    };
+    std::uint64_t key = hash_mix(digest, r.inputs.size());
+    std::uint32_t next_local = static_cast<std::uint32_t>(r.inputs.size());
+    for (aig::node_index n = window_begin[k]; n < window_end[k]; ++n) {
+      if (!network.is_gate(n)) continue;
+      local[n] = ++next_local;
+      key = hash_mix(key, encode(network.fanin0(n)));
+      key = hash_mix(key, encode(network.fanin1(n)));
+    }
+    key = hash_mix(key, 0xEC0Full);  // gates | exports separator
+    for (aig::node_index n = window_begin[k]; n < window_end[k]; ++n) {
+      if (!network.is_gate(n) || !exported[n]) continue;
+      r.outputs.push_back(n);
+      key = hash_mix(key, local[n]);
+    }
+    r.cache_key = key;
+    if (params.regions) {
+      r.cached = params.regions->lookup(r.cache_key);
+      if (r.cached) {
+        ++cache_hits;
+        continue;  // merge replays the cached result; no sub-AIG needed
+      }
+    }
+    r.sub.reserve(r.inputs.size() + region_gates[k]);
     for (const aig::node_index m : r.inputs) {
       sub_map[m] = r.sub.create_pi();
     }
-    network.foreach_gate([&](aig::node_index n) {
-      if (!in_region(n)) return;
+    for (aig::node_index n = window_begin[k]; n < window_end[k]; ++n) {
+      if (!network.is_gate(n)) continue;
       const auto resolve = [&](signal f) {
         return (f.index() == 0 ? r.sub.get_constant(false)
                                : sub_map[f.index()]) ^
@@ -101,31 +223,32 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
       };
       sub_map[n] =
           r.sub.create_and(resolve(network.fanin0(n)), resolve(network.fanin1(n)));
-    });
-    network.foreach_gate([&](aig::node_index n) {
-      if (!in_region(n) || !exported[n]) return;
-      r.outputs.push_back(n);
+    }
+    for (const aig::node_index n : r.outputs) {
       r.sub.create_po(sub_map[n]);
-    });
+    }
   }
 
   // ----- optimize every region (inline or on the caller's executor) --------
-  optimize_params sub_params = params;
-  sub_params.flow_jobs = 1;
-  sub_params.executor = nullptr;
+  // Region optimization is a pure function of (extracted sub, sub_params),
+  // so cached regions replay the stored result — identical bytes, identical
+  // work counters — and only cache misses spend optimizer time.
   std::vector<std::function<void()>> tasks;
   tasks.reserve(P);
   for (unsigned k = 0; k < P; ++k) {
     region* r = &regions[k];
-    tasks.push_back([r, sub_params] {
+    if (r->cached) continue;
+    region_cache* cache = params.regions;
+    tasks.push_back([r, cache, sub_params] {
       try {
         r->optimized = optimize(r->sub, sub_params, &r->stats);
+        if (cache) cache->store(r->cache_key, r->optimized, r->stats);
       } catch (...) {
         r->error = std::current_exception();
       }
     });
   }
-  if (params.executor) {
+  if (params.executor && !tasks.empty()) {
     params.executor(std::move(tasks));
   } else {
     for (auto& task : tasks) task();
@@ -136,6 +259,7 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
 
   // ----- deterministic merge, region order, global strash -------------------
   aig merged;
+  merged.reserve(network.size());
   std::vector<signal> merged_map(network.size(), merged.get_constant(false));
   for (std::size_t i = 0; i < network.num_pis(); ++i) {
     merged_map[network.pi(i).index()] = merged.create_pi(network.pi_name(i));
@@ -148,7 +272,7 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
   std::vector<signal> replay;
   for (unsigned k = 0; k < P; ++k) {
     const region& r = regions[k];
-    const aig& opt = r.optimized;
+    const aig& opt = r.cached ? r.cached->optimized : r.optimized;
     replay.assign(opt.size(), merged.get_constant(false));
     for (std::size_t i = 0; i < opt.num_pis(); ++i) {
       replay[opt.pi(i).index()] = merged_map[r.inputs[i]];
@@ -176,7 +300,16 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
                                        reg.input.is_complemented());
     }
   }
-  aig result = merged.cleanup();
+  // mark_reachable's zero return certifies that compaction would reproduce
+  // `merged` verbatim, so the fully-live case (the common one on the ECO hot
+  // path) skips the rebuild copy entirely.
+  static thread_local aig::compaction_scratch compaction;
+  aig result;
+  if (merged.mark_reachable(compaction) == 0) {
+    result = std::move(merged);
+  } else {
+    merged.compact_into(result, compaction);
+  }
 
   if (params.validate_passes &&
       !random_equivalent(network, result, params.validate_rounds,
@@ -192,9 +325,10 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
     total.final_gates = result.num_gates();
     total.final_depth = result.depth();
     for (const region& r : regions) {
-      total.rounds = std::max(total.rounds, r.stats.rounds);
+      const optimize_stats& rs = r.cached ? r.cached->stats : r.stats;
+      total.rounds = std::max(total.rounds, rs.rounds);
       opt_counters& w = total.work;
-      const opt_counters& rw = r.stats.work;
+      const opt_counters& rw = rs.work;
       w.passes += rw.passes;
       w.cuts_enumerated += rw.cuts_enumerated;
       w.cut_candidates += rw.cut_candidates;
@@ -213,7 +347,7 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
   if (info) {
     std::size_t boundary = 0;
     for (const region& r : regions) boundary += r.outputs.size();
-    *info = {P, boundary};
+    *info = {P, boundary, cache_hits, P - cache_hits};
   }
   return result;
 }

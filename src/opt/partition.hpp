@@ -19,6 +19,10 @@
 /// boundaries, and exported boundary nodes must be preserved), which is why
 /// flow_jobs joins the flow-options fingerprint.
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 #include "aig/aig.hpp"
 #include "opt/script.hpp"
 
@@ -28,6 +32,51 @@ namespace xsfq {
 struct partition_info {
   unsigned partitions = 0;           ///< regions actually used (after clamping)
   std::size_t boundary_signals = 0;  ///< gate outputs exported across regions
+  std::size_t region_cache_hits = 0;    ///< regions served from the cache
+  std::size_t region_cache_misses = 0;  ///< regions optimized live
+};
+
+/// Cross-run cache of optimized regions, keyed by (extracted subnetwork
+/// content hash, digest of the optimization parameters the region runs
+/// under).  This is the engine of ECO resynthesis: with fixed-grain
+/// partitioning (optimize_params::partition_grain) a position-stable edit
+/// leaves every untouched region's extracted content byte-identical, so a
+/// warm cache reduces re-optimization to the one or two regions the edit
+/// actually dirtied.  Correctness never depends on it — region optimization
+/// is a pure function of the extracted subnetwork, so a hit replays exactly
+/// the bytes a live run would produce (the stored optimize_stats make even
+/// the work counters match).
+///
+/// Thread-safe; entries are shared const so concurrent flows can merge from
+/// the same stored region.  Bounded by `max_entries` with arbitrary-entry
+/// eviction (eviction affects time, never bytes).
+class region_cache {
+ public:
+  struct entry {
+    aig optimized;
+    optimize_stats stats;  ///< the live run's counters, replayed on a hit
+  };
+
+  explicit region_cache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  std::shared_ptr<const entry> lookup(std::uint64_t key);
+  void store(std::uint64_t key, aig optimized, const optimize_stats& stats);
+
+  struct counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< lookups that found nothing
+  };
+  [[nodiscard]] counters counts() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const entry>> entries_;
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 /// The region count optimize_partitioned will actually use for a network of
@@ -36,13 +85,16 @@ struct partition_info {
 /// *effective* count: requests whose clamp coincides share cache entries.
 unsigned effective_partition_count(std::size_t num_gates, unsigned flow_jobs);
 
-/// The resyn script over `params.flow_jobs` concurrent regions.  Subtasks run
-/// through params.executor when set (the flow layer passes the batch_runner
-/// pool) and inline otherwise — identical results either way.  Regions
-/// validate their own passes when params.validate_passes is set, and the
-/// merged network is additionally checked against the input.  Small networks
-/// are clamped to fewer regions (deterministically, by gate count); a clamp
-/// to one region is exactly the sequential script.
+/// The resyn script over concurrent regions: `params.flow_jobs` proportional
+/// shares, or — when params.partition_grain > 0 — fixed regions of that many
+/// gates whose boundaries depend on the network alone (the ECO mode; see
+/// region_cache).  Subtasks run through params.executor when set (the flow
+/// layer passes the batch_runner pool) and inline otherwise — identical
+/// results either way.  Regions validate their own passes when
+/// params.validate_passes is set, and the merged network is additionally
+/// checked against the input.  Small networks are clamped to fewer regions
+/// (deterministically, by gate count); a clamp to one region is exactly the
+/// sequential script.
 aig optimize_partitioned(const aig& network, const optimize_params& params,
                          optimize_stats* stats = nullptr,
                          partition_info* info = nullptr);

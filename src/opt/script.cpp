@@ -23,7 +23,7 @@ opt_counters opt_counters::delta_since(const opt_counters& before) const {
 
 aig optimize(const aig& network, const optimize_params& params,
              optimize_stats* stats) {
-  if (params.flow_jobs > 1) {
+  if (params.flow_jobs > 1 || params.partition_grain > 0) {
     return optimize_partitioned(network, params, stats);
   }
   // The calling thread's engine: every balance/rewrite/refactor round of

@@ -16,6 +16,8 @@
 
 namespace xsfq {
 
+class region_cache;  // opt/partition.hpp
+
 /// Runs every closure to completion before returning (closures must not
 /// throw; callers wrap their work to capture errors).  The flow layer backs
 /// this with the batch_runner's work-stealing pool so one large circuit can
@@ -41,6 +43,22 @@ struct optimize_params {
   /// result (cuts cannot cross region boundaries), so it joins the flow
   /// fingerprint; 1 is the exact legacy single-region pipeline.
   unsigned flow_jobs = 1;
+  /// Fixed-grain partitioning (ECO mode): > 0 cuts the gate array into
+  /// regions of exactly this many gates (the last region absorbs the
+  /// remainder) instead of flow_jobs equal shares.  Region boundaries are
+  /// then a pure function of the network alone, so a position-stable edit
+  /// (aig/edit.hpp) leaves every untouched region's extracted content
+  /// identical — which is what makes the region result cache hit.  The grain
+  /// changes the optimized network exactly like a partition count does, so
+  /// it replaces flow_jobs in the fingerprint; flow_jobs degrades to a pure
+  /// parallelism knob in grain mode.
+  unsigned partition_grain = 0;
+  /// Cross-run cache of optimized regions (opt/partition.hpp), consulted per
+  /// extracted region keyed by its content hash.  Hits replay the stored
+  /// region verbatim; because region optimization is a pure function of the
+  /// extracted subnetwork, a hit can change wall-clock but never bytes.
+  /// Not part of the fingerprint.  nullptr = no region caching.
+  region_cache* regions = nullptr;
   /// Executes the partition subtasks; empty runs them inline.  Not part of
   /// the fingerprint: the executor affects wall-clock only, never results.
   subtask_runner executor;

@@ -123,6 +123,17 @@ void client::authenticate(const std::string& token) {
 synth_response client::submit(const synth_request& req,
                               const progress_fn& progress) {
   write_frame_fd(fd_, msg_type::submit, encode_synth_request(req));
+  return read_submit_response(progress);
+}
+
+synth_response client::submit_delta(const synth_delta_request& req,
+                                    const progress_fn& progress) {
+  write_frame_fd(fd_, msg_type::synth_delta,
+                 encode_synth_delta_request(req));
+  return read_submit_response(progress);
+}
+
+synth_response client::read_submit_response(const progress_fn& progress) {
   for (;;) {
     std::optional<frame> f = read_frame_fd(fd_);
     if (!f) throw protocol_error("daemon closed the connection mid-request");

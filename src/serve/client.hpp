@@ -61,6 +61,14 @@ class client {
   synth_response submit(const synth_request& req,
                         const progress_fn& progress = {});
 
+  /// v4: runs one incremental-resynthesis request (an edit script against a
+  /// previously synthesized base named by content hash).  Response shape and
+  /// streaming match submit(); the ECO-specific rejections come back as
+  /// service_error{unknown_base} (resubmit the full circuit) and
+  /// service_error{bad_edit} (fix the script).
+  synth_response submit_delta(const synth_delta_request& req,
+                              const progress_fn& progress = {});
+
   server_status status();
   cache_stats_reply cache_stats();
   /// The full v3 metrics scrape (admission counters, cache tiers, latency
@@ -73,6 +81,8 @@ class client {
  private:
   frame roundtrip(msg_type request, std::span<const std::uint8_t> payload,
                   msg_type expected);
+  /// Shared progress/result consumption loop of submit() and submit_delta().
+  synth_response read_submit_response(const progress_fn& progress);
 
   int fd_ = -1;
 };

@@ -160,6 +160,7 @@ std::vector<std::uint8_t> encode_synth_request(const synth_request& req) {
   w.u32(req.flow_jobs);
   w.u8(req.priority);
   w.f64(req.deadline_ms);
+  w.u32(req.partition_grain);
   return w.take();
 }
 
@@ -188,6 +189,41 @@ synth_request decode_synth_request(std::span<const std::uint8_t> payload) {
   if (std::isnan(req.deadline_ms) || req.deadline_ms < 0.0) {
     throw serialize_error("deadline_ms out of range");
   }
+  req.partition_grain = r.u32();
+  // Same cap as --partition-grain; one hand-crafted frame must not make the
+  // daemon partition into degenerate single-gate regions forever.
+  if (req.partition_grain > 100000) {
+    throw serialize_error("partition_grain out of range");
+  }
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_synth_delta_request(
+    const synth_delta_request& req) {
+  byte_writer w;
+  const std::vector<std::uint8_t> base = encode_synth_request(req.base);
+  w.u64(base.size());
+  w.bytes(base.data(), base.size());
+  w.u64(req.base_content_hash);
+  w.str(req.edit_text);
+  w.boolean(req.supersede_base);
+  w.boolean(req.force_full);
+  return w.take();
+}
+
+synth_delta_request decode_synth_delta_request(
+    std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  synth_delta_request req;
+  // The base request is nested as a length-prefixed blob so its codec can
+  // grow without the delta codec knowing its field list.
+  const std::size_t base_len = r.count(/*min_element_bytes=*/1);
+  req.base = decode_synth_request(r.raw(base_len));
+  req.base_content_hash = r.u64();
+  req.edit_text = r.str();
+  req.supersede_base = r.boolean();
+  req.force_full = r.boolean();
   r.expect_done();
   return req;
 }
@@ -228,6 +264,7 @@ std::vector<std::uint8_t> encode_synth_response(const synth_response& resp) {
   flow::write_stage_timings(w, resp.timings);
   w.f64(resp.total_ms);
   w.boolean(resp.served_from_cache);
+  w.u64(resp.content_hash);
   return w.take();
 }
 
@@ -244,6 +281,7 @@ synth_response decode_synth_response(std::span<const std::uint8_t> payload) {
   resp.timings = flow::read_stage_timings(r);
   resp.total_ms = r.f64();
   resp.served_from_cache = r.boolean();
+  resp.content_hash = r.u64();
   r.expect_done();
   return resp;
 }
@@ -283,6 +321,10 @@ std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply) {
   w.u64(reply.stats.disk_hits);
   w.u64(reply.stats.disk_misses);
   w.u64(reply.stats.disk_writes);
+  w.u64(reply.stats.region_hits);
+  w.u64(reply.stats.region_misses);
+  w.u64(reply.stats.eco_patches);
+  w.u64(reply.stats.retained_networks);
   w.str(reply.disk_directory);
   return w.take();
 }
@@ -297,6 +339,10 @@ cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload) {
   reply.stats.disk_hits = r.u64();
   reply.stats.disk_misses = r.u64();
   reply.stats.disk_writes = r.u64();
+  reply.stats.region_hits = r.u64();
+  reply.stats.region_misses = r.u64();
+  reply.stats.eco_patches = r.u64();
+  reply.stats.retained_networks = r.u64();
   reply.disk_directory = r.str();
   r.expect_done();
   return reply;
@@ -372,6 +418,10 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u64(reply.cache.disk_hits);
   w.u64(reply.cache.disk_misses);
   w.u64(reply.cache.disk_writes);
+  w.u64(reply.cache.region_hits);
+  w.u64(reply.cache.region_misses);
+  w.u64(reply.cache.eco_patches);
+  w.u64(reply.cache.retained_networks);
   w.str(reply.disk_directory);
   w.u64(reply.accepted);
   w.u64(reply.rejected_overload);
@@ -385,6 +435,10 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u32(reply.max_inflight);
   w.u32(reply.max_conns);
   w.u64(reply.runner_queue_depth);
+  w.u64(reply.eco_requests);
+  w.u64(reply.eco_retained_hits);
+  w.u64(reply.eco_base_rebuilds);
+  w.u64(reply.eco_failures);
   w.u64(reply.histograms.size());
   for (const auto& h : reply.histograms) {
     w.str(h.name);
@@ -414,6 +468,10 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.cache.disk_hits = r.u64();
   reply.cache.disk_misses = r.u64();
   reply.cache.disk_writes = r.u64();
+  reply.cache.region_hits = r.u64();
+  reply.cache.region_misses = r.u64();
+  reply.cache.eco_patches = r.u64();
+  reply.cache.retained_networks = r.u64();
   reply.disk_directory = r.str();
   reply.accepted = r.u64();
   reply.rejected_overload = r.u64();
@@ -427,6 +485,10 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.max_inflight = r.u32();
   reply.max_conns = r.u32();
   reply.runner_queue_depth = r.u64();
+  reply.eco_requests = r.u64();
+  reply.eco_retained_hits = r.u64();
+  reply.eco_base_rebuilds = r.u64();
+  reply.eco_failures = r.u64();
   const std::size_t n = r.count(/*min_element_bytes=*/8);
   reply.histograms.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -456,7 +518,7 @@ error_reply decode_error(std::span<const std::uint8_t> payload) {
   byte_reader r(payload);
   error_reply reply;
   const std::uint8_t code = r.u8();
-  reply.code = code > static_cast<std::uint8_t>(error_code::shutting_down)
+  reply.code = code > static_cast<std::uint8_t>(error_code::bad_edit)
                    ? error_code::generic
                    : static_cast<error_code>(code);
   reply.message = r.str();

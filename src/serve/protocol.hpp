@@ -30,8 +30,20 @@
 /// `priority`/`deadline_ms` admission fields, structured `error` payloads
 /// carrying a typed `error_code`, and the `server_stats` metrics request
 /// (admission counters + latency histograms) generalizing v2's
-/// `cache_stats`.  docs/protocol.md is the normative reference; a test
-/// cross-checks its constant tables against this header.
+/// `cache_stats`.
+///
+/// v4 adds incremental ECO resynthesis: the `synth_delta` request names a
+/// previously synthesized base circuit by content hash and ships a textual
+/// edit script (aig/edit.hpp grammar); the daemon replays the edit onto the
+/// retained base network and resynthesizes incrementally, bit-identical to
+/// a from-scratch run of the edited circuit.  `synth_request` gains
+/// `partition_grain` (the fixed-grain region partitioning that makes edits
+/// cheap), `synth_response` gains `content_hash` (the served circuit's
+/// identity, which a later delta request names as its base), `cache_stats`
+/// gains the region/ECO tier counters, and the `unknown_base`/`bad_edit`
+/// error codes type the two ECO-specific failures.  docs/protocol.md is the
+/// normative reference; a test cross-checks its constant tables against
+/// this header.
 ///
 /// Thread-safety: every free function here is stateless and safe to call
 /// concurrently; the fd helpers assume at most one reader and one writer
@@ -54,8 +66,11 @@ namespace xsfq::serve {
 // v2: synth_request gained flow_jobs (intra-flow parallelism), stage
 // counters gained arena_peak_bytes + rebuilds_avoided.
 // v3: hello/auth/server_stats messages, error codes, priority + deadline_ms
-// on synth_request (see docs/protocol.md for the full history).
-inline constexpr std::uint8_t protocol_version = 3;
+// on synth_request.
+// v4: synth_delta (incremental ECO resynthesis), partition_grain on
+// synth_request, content_hash on synth_response, region/ECO cache counters
+// (see docs/protocol.md for the full history).
+inline constexpr std::uint8_t protocol_version = 4;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;
@@ -72,6 +87,7 @@ enum class msg_type : std::uint8_t {
   hello = 6,         ///< v3: capability/version exchange, always allowed
   auth = 7,          ///< v3: shared-secret token, must precede requests on TCP
   server_stats = 8,  ///< v3: metrics scrape (generalizes cache_stats)
+  synth_delta = 9,   ///< v4: edit script against a retained base network
   // responses
   result = 64,
   status_ok = 65,
@@ -98,6 +114,10 @@ enum class error_code : std::uint8_t {
   deadline_expired = 6,     ///< deadline passed while queued
   too_many_connections = 7, ///< connection cap reached; connection is closed
   shutting_down = 8,        ///< daemon is draining
+  unknown_base = 9,         ///< v4: delta names a base hash the daemon cannot
+                            ///< reconstruct (not retained, and the request's
+                            ///< circuit hashes differently)
+  bad_edit = 10,            ///< v4: malformed edit script or illegal replay
 };
 
 struct protocol_error : std::runtime_error {
@@ -190,6 +210,36 @@ struct synth_request {
   /// frees within this budget of the request's arrival, the daemon fails it
   /// with `deadline_expired` instead of running work nobody is waiting for.
   double deadline_ms = 0.0;
+  /// v4: fixed-grain region partitioning for the optimize stage (0 = the
+  /// legacy monolithic/flow_jobs pipeline).  Regions of ~grain gates are
+  /// optimized independently and their results cached across requests,
+  /// which is what makes a later `synth_delta` against this circuit cheap.
+  /// Joins the result-cache fingerprint (the partition shape changes the
+  /// optimized network).
+  std::uint32_t partition_grain = 0;
+};
+
+/// v4: one incremental-resynthesis request.  `base` carries the circuit and
+/// every synthesis knob exactly as a plain submit would (so the daemon can
+/// rebuild the base when it is no longer retained, and so the edited run is
+/// keyed/cached like any other request); `base_content_hash` names the
+/// synthesized network the edit applies to.
+struct synth_delta_request {
+  synth_request base;
+  std::uint64_t base_content_hash = 0;
+  /// Edit script in the aig/edit.hpp grammar (replace/sub/po/and/addpi/
+  /// addpo lines).  An empty script is legal and degrades to a plain cached
+  /// submit of the base circuit.
+  std::string edit_text;
+  /// Drop the base circuit's memory/disk cache entries once the edited
+  /// result is stored: an interactive session edits a design *away*, so the
+  /// superseded entry would never be requested again.
+  bool supersede_base = true;
+  /// Bypass every cache tier (region, optimized-network, full-result) and
+  /// resynthesize the edited circuit from scratch.  The ECO comparator: a
+  /// client can assert byte-identity between the incremental and the cold
+  /// path end-to-end.
+  bool force_full = false;
 };
 
 /// One per-stage progress notification (flow::stage_event on the wire).
@@ -216,6 +266,9 @@ struct synth_response {
   std::vector<flow::stage_timing> timings;
   double total_ms = 0.0;
   bool served_from_cache = false;  ///< every stage replayed from a cache tier
+  /// v4: content hash of the request's (edited) input circuit — the identity
+  /// a later synth_delta request names as its base.
+  std::uint64_t content_hash = 0;
 };
 
 /// Client side of the v3 capability exchange.
@@ -285,6 +338,13 @@ struct server_stats_reply {
   /// Jobs sitting in the batch_runner's worker deques (scheduled, not yet
   /// picked up) — distinct from the admission queue in front of it.
   std::uint64_t runner_queue_depth = 0;
+  // v4: incremental-resynthesis (ECO) counters.  The cache-tier side
+  // (region hits/misses, eco_patches, retained_networks) lives in `cache`;
+  // these count the request-level outcomes.
+  std::uint64_t eco_requests = 0;       ///< synth_delta frames accepted
+  std::uint64_t eco_retained_hits = 0;  ///< base found in the retained tier
+  std::uint64_t eco_base_rebuilds = 0;  ///< base re-materialized from request
+  std::uint64_t eco_failures = 0;       ///< unknown_base + bad_edit rejections
   std::vector<histogram_snapshot> histograms;
 };
 
@@ -292,6 +352,11 @@ struct server_stats_reply {
 // protocol violation the caller maps to an error frame) on malformed input.
 std::vector<std::uint8_t> encode_synth_request(const synth_request& req);
 synth_request decode_synth_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_synth_delta_request(
+    const synth_delta_request& req);
+synth_delta_request decode_synth_delta_request(
+    std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_progress_event(const progress_event& ev);
 progress_event decode_progress_event(std::span<const std::uint8_t> payload);

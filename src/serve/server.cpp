@@ -309,7 +309,7 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           reply.auth_required = !authed;
           reply.max_payload = max_frame_payload;
           reply.capabilities = {"auth", "priorities", "deadlines",
-                                "server_stats", "progress"};
+                                "server_stats", "progress", "synth_delta"};
           send(msg_type::hello_ok, encode_hello_reply(reply));
           break;
         }
@@ -368,6 +368,66 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           }
           admission_.release();
           record_ms("request_total",
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - started)
+                        .count());
+          (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
+          send(msg_type::result, encode_synth_response(resp));
+          break;
+        }
+        case msg_type::synth_delta: {
+          const synth_delta_request req =
+              decode_synth_delta_request(f->payload);
+          jobs_submitted_.fetch_add(1);
+          eco_requests_.fetch_add(1);
+          const auto ticket = admission_.acquire(req.base.priority,
+                                                 req.base.deadline_ms);
+          if (ticket.outcome == admission_queue::verdict::overloaded) {
+            jobs_failed_.fetch_add(1);
+            send(msg_type::error,
+                 encode_error(error_code::overloaded,
+                              "admission queue full (max_queue=" +
+                                  std::to_string(options_.max_queue) +
+                                  "); retry later"));
+            break;
+          }
+          if (ticket.outcome == admission_queue::verdict::deadline_expired) {
+            jobs_failed_.fetch_add(1);
+            send(msg_type::error,
+                 encode_error(error_code::deadline_expired,
+                              "deadline passed after " +
+                                  std::to_string(ticket.queued_ms) +
+                                  " ms in the admission queue"));
+            break;
+          }
+          record_ms("queue_wait", ticket.queued_ms);
+          const auto progress = [&](const progress_event& ev) {
+            if (!ev.from_cache) record_ms("stage:" + ev.stage, ev.ms);
+            if (req.base.stream_progress) {
+              send(msg_type::progress, encode_progress_event(ev));
+            }
+          };
+          const auto started = std::chrono::steady_clock::now();
+          synth_response resp;
+          eco_outcome outcome;
+          try {
+            resp = run_synth_delta(req, *runner_, progress, &outcome);
+          } catch (const service_error& e) {
+            // unknown_base / bad_edit: the client's mistake, typed so an
+            // interactive session can resubmit the full circuit instead.
+            admission_.release();
+            jobs_failed_.fetch_add(1);
+            eco_failures_.fetch_add(1);
+            send(msg_type::error, encode_error(e.code, e.what()));
+            break;
+          } catch (...) {
+            admission_.release();
+            throw;
+          }
+          admission_.release();
+          if (outcome.base_retained) eco_retained_hits_.fetch_add(1);
+          if (outcome.base_rebuilt) eco_base_rebuilds_.fetch_add(1);
+          record_ms("eco_total",
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - started)
                         .count());
@@ -521,6 +581,10 @@ server_stats_reply server::stats() const {
   reply.max_inflight = static_cast<std::uint32_t>(adm.max_inflight);
   reply.max_conns = static_cast<std::uint32_t>(options_.max_conns);
   reply.runner_queue_depth = runner_->queue_depth();
+  reply.eco_requests = eco_requests_.load();
+  reply.eco_retained_hits = eco_retained_hits_.load();
+  reply.eco_base_rebuilds = eco_base_rebuilds_.load();
+  reply.eco_failures = eco_failures_.load();
 
   // Merge-on-read: the retired set plus every live connection's recycled
   // per-worker histograms, none of which pay anything on the request path.

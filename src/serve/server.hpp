@@ -127,6 +127,11 @@ class server {
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> rejected_auth_{0};
   std::atomic<std::uint64_t> rejected_conns_{0};
+  // v4 incremental-resynthesis (synth_delta) outcome counters.
+  std::atomic<std::uint64_t> eco_requests_{0};
+  std::atomic<std::uint64_t> eco_retained_hits_{0};
+  std::atomic<std::uint64_t> eco_base_rebuilds_{0};
+  std::atomic<std::uint64_t> eco_failures_{0};
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -1,10 +1,12 @@
 #include "serve/synth_service.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "aig/edit.hpp"
 #include "benchgen/registry.hpp"
 #include "cells/cell_library.hpp"
 #include "core/xsfq_writer.hpp"
@@ -67,26 +69,43 @@ aig load_request_circuit(const synth_request& req) {
   }
 }
 
-synth_response run_synth(
-    const synth_request& req, flow::batch_runner& runner,
-    const std::function<void(const progress_event&)>& progress) {
+namespace {
+
+/// The request's synthesis knobs as flow options — one translation, shared
+/// by the submit path, the delta path, and the delta path's cache
+/// supersession (drop_entry must key exactly what run_cached stored).
+flow::flow_options options_for(const synth_request& req) {
+  flow::flow_options options;
+  options.map = req.map;
+  // --validate also pins every optimize pass to its input with the wide
+  // sim engine (the pulse-level check in run_synth_on covers mapping).
+  options.opt.validate_passes = req.validate;
+  // Intra-flow parallelism: the runner installs its own pool as the
+  // partition executor when flow_jobs > 1.
+  options.opt.flow_jobs = req.flow_jobs == 0 ? 1u : req.flow_jobs;
+  // Fixed-grain region partitioning (v4): the shape that makes synth_delta
+  // requests cheap.  The runner installs its cross-request region cache.
+  options.opt.partition_grain = req.partition_grain;
+  return options;
+}
+
+/// The shared back half of run_synth and run_synth_delta: synthesizes an
+/// already-materialized network under the request's options and renders the
+/// response.  Byte-identity between the submit and delta paths holds because
+/// both funnel through here with nothing but the network differing.
+synth_response run_synth_on(
+    const synth_request& req, aig network, flow::batch_runner& runner,
+    const std::function<void(const progress_event&)>& progress,
+    bool force_full, bool inline_exec) {
   synth_response resp;
   try {
-    aig network = load_request_circuit(req);
-
     std::ostringstream report;
     report << "loaded " << req.spec << ": " << network.num_pis() << " PI, "
            << network.num_pos() << " PO, " << network.num_registers()
            << " FF, " << network.num_gates() << " AIG nodes\n";
 
-    flow::flow_options options;
-    options.map = req.map;
-    // --validate also pins every optimize pass to its input with the wide
-    // sim engine (the pulse-level check below covers the mapping side).
-    options.opt.validate_passes = req.validate;
-    // Intra-flow parallelism: the runner installs its own pool as the
-    // partition executor when flow_jobs > 1.
-    options.opt.flow_jobs = req.flow_jobs == 0 ? 1u : req.flow_jobs;
+    const flow::flow_options options = options_for(req);
+    resp.content_hash = network.content_hash();
 
     bool any_live_stage = false;
     bool any_stage = false;
@@ -102,14 +121,42 @@ synth_response run_synth(
                       ev.counters, ev.from_cache});
           }
         };
-    const flow::flow_result r =
-        runner.enqueue(std::move(network), req.spec, options, observer).get();
+    // Delta requests (inline_exec) run on the calling thread — the daemon's
+    // connection handler — skipping the pool handoff entirely: two context
+    // switches are real money against a sub-ms budget, and admission control
+    // already bounds how many handlers synthesize at once.  Plain submits
+    // keep the pool path.  Determinism makes the two execution modes
+    // byte-identical; force_full is the ECO comparator, the identical flow
+    // with every cache tier bypassed.
+    std::shared_ptr<const flow::flow_result> shared;
+    if (inline_exec) {
+      shared = force_full
+                   ? std::make_shared<const flow::flow_result>(
+                         runner.run_uncached(std::move(network), req.spec,
+                                             options, observer))
+                   : runner.run_cached_shared(std::move(network), req.spec,
+                                              options, observer);
+    } else {
+      shared = std::make_shared<const flow::flow_result>(
+          force_full
+              ? runner
+                    .enqueue_job([&runner, network = std::move(network),
+                                  spec = req.spec, options,
+                                  observer]() mutable {
+                      return runner.run_uncached(std::move(network), spec,
+                                                 options, observer);
+                    })
+                    .get()
+              : runner.enqueue(std::move(network), req.spec, options, observer)
+                    .get());
+    }
+    const flow::flow_result& r = *shared;
 
     report << "optimized: " << r.opt_stats.initial_gates << " -> "
            << r.opt_stats.final_gates << " nodes (depth "
            << r.opt_stats.initial_depth << " -> " << r.opt_stats.final_depth
            << ")\n";
-    report << "mapped:    " << r.mapped.netlist.summary() << "\n";
+    report << "mapped:    " << summary_line(r.mapped.stats) << "\n";
     report << "baseline:  clocked RSFQ " << r.baseline.jj_without_clock
            << " JJ (" << r.baseline.jj_with_clock
            << " with clock tree) -> savings "
@@ -148,6 +195,86 @@ synth_response run_synth(
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
+  }
+  return resp;
+}
+
+}  // namespace
+
+synth_response run_synth(
+    const synth_request& req, flow::batch_runner& runner,
+    const std::function<void(const progress_event&)>& progress) {
+  aig network;
+  try {
+    network = load_request_circuit(req);
+  } catch (const std::exception& e) {
+    synth_response resp;
+    resp.ok = false;
+    resp.error = e.what();
+    return resp;
+  }
+  return run_synth_on(req, std::move(network), runner, progress,
+                      /*force_full=*/false, /*inline_exec=*/false);
+}
+
+synth_response run_synth_delta(
+    const synth_delta_request& req, flow::batch_runner& runner,
+    const std::function<void(const progress_event&)>& progress,
+    eco_outcome* outcome) {
+  eco_outcome scratch;
+  eco_outcome& out = outcome ? *outcome : scratch;
+
+  // Locate the base: the retained tier is the fast path (no parse, no
+  // registry build); a cold daemon re-materializes the base from the
+  // request's own circuit spec and verifies it IS the named base.
+  aig base;
+  if (const auto retained = runner.retained_network(req.base_content_hash)) {
+    base = *retained;
+    out.base_retained = true;
+  } else {
+    try {
+      base = load_request_circuit(req.base);
+    } catch (const std::exception& e) {
+      throw service_error(error_code::unknown_base,
+                          "base network not retained and the request's "
+                          "circuit cannot be loaded: " +
+                              std::string(e.what()));
+    }
+    if (base.content_hash() != req.base_content_hash) {
+      char hex[2 * sizeof(std::uint64_t) + 1];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(base.content_hash()));
+      throw service_error(error_code::unknown_base,
+                          "base network not retained and the request's "
+                          "circuit hashes to " +
+                              std::string(hex) +
+                              ", not the named base hash");
+    }
+    out.base_rebuilt = true;
+  }
+  const std::size_t base_gates = base.num_gates();
+
+  // Replay the edit in place.  Position-stable replay (aig/edit.hpp) keeps
+  // untouched regions byte-identical, which is what the region cache keys
+  // on; a malformed or illegal script is the client's error, typed.
+  try {
+    eco::apply_edit_text(base, req.edit_text);
+  } catch (const eco::edit_error& e) {
+    throw service_error(error_code::bad_edit, e.what());
+  }
+
+  synth_response resp =
+      run_synth_on(req.base, std::move(base), runner, progress,
+                   req.force_full, /*inline_exec=*/true);
+
+  // Supersede: the interactive session has edited the base away, so its
+  // cache entries (memory + disk) would never be requested again.  An empty
+  // edit leaves the hash unchanged — dropping would evict the entry we just
+  // served from.
+  if (resp.ok && req.supersede_base &&
+      resp.content_hash != req.base_content_hash) {
+    runner.drop_entry(req.base_content_hash, base_gates, req.base.spec,
+                      options_for(req.base));
   }
   return resp;
 }
@@ -229,6 +356,15 @@ cli_parse parse_synth_option(const std::string& arg, synth_cli_options& cli,
       return cli_parse::invalid;
     }
     cli.flow_jobs = static_cast<unsigned>(n);
+  } else if (auto v8 = cli_value(arg, "--partition-grain"); !v8.empty()) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(v8.c_str(), &end, 10);
+    if (end == v8.c_str() || *end != '\0' || n > 100000) {
+      error = "--partition-grain expects gates-per-region 0..100000, got: " +
+              v8;
+      return cli_parse::invalid;
+    }
+    cli.partition_grain = static_cast<unsigned>(n);
   } else if (arg == "--validate") {
     cli.validate = true;
   } else if (arg == "--timing") {
@@ -249,6 +385,7 @@ void apply_cli_options(const synth_cli_options& cli, synth_request& req) {
   req.want_verilog = !cli.verilog_path.empty();
   req.want_dot = !cli.dot_path.empty();
   req.flow_jobs = cli.flow_jobs;
+  req.partition_grain = cli.partition_grain;
 }
 
 void print_progress_event(const progress_event& ev) {
@@ -310,7 +447,17 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_cache_misses_total{tier=\"opt\"} " << c.opt_misses << "\n"
      << "xsfq_cache_hits_total{tier=\"disk\"} " << c.disk_hits << "\n"
      << "xsfq_cache_misses_total{tier=\"disk\"} " << c.disk_misses << "\n"
-     << "xsfq_cache_disk_writes_total " << c.disk_writes << "\n";
+     << "xsfq_cache_disk_writes_total " << c.disk_writes << "\n"
+     << "xsfq_cache_hits_total{tier=\"region\"} " << c.region_hits << "\n"
+     << "xsfq_cache_misses_total{tier=\"region\"} " << c.region_misses
+     << "\n";
+
+  os << "xsfq_eco_requests_total " << stats.eco_requests << "\n"
+     << "xsfq_eco_retained_hits_total " << stats.eco_retained_hits << "\n"
+     << "xsfq_eco_base_rebuilds_total " << stats.eco_base_rebuilds << "\n"
+     << "xsfq_eco_failures_total " << stats.eco_failures << "\n"
+     << "xsfq_eco_patches_total " << c.eco_patches << "\n"
+     << "xsfq_eco_retained_networks " << c.retained_networks << "\n";
 
   os << "xsfq_admission_accepted_total " << stats.accepted << "\n"
      << "xsfq_admission_rejected_total{reason=\"overload\"} "

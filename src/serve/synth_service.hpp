@@ -40,6 +40,30 @@ synth_response run_synth(const synth_request& req, flow::batch_runner& runner,
                          const std::function<void(const progress_event&)>&
                              progress = {});
 
+/// How a delta request located its base network — the server's eco_*
+/// counters distinguish the fast path (retained) from the rebuild.
+struct eco_outcome {
+  bool base_retained = false;  ///< served from the runner's retained tier
+  bool base_rebuilt = false;   ///< re-materialized from the request's circuit
+};
+
+/// Runs one v4 incremental-resynthesis request: locates the base network
+/// (retained tier, else rebuilt from req.base and verified against
+/// base_content_hash), replays the edit script, and synthesizes the edited
+/// circuit through the identical flow a plain submit would run — so the
+/// response is byte-identical to submitting the edited circuit from scratch,
+/// only faster (region/result caches skip everything the edit left alone).
+/// On success the base circuit's cache entries are dropped when
+/// `supersede_base` asks for it.  Throws service_error{unknown_base} when
+/// the base cannot be reconstructed and service_error{bad_edit} on a
+/// malformed or illegal edit script (the server maps both onto typed error
+/// frames); other request-level failures come back as ok=false.
+synth_response run_synth_delta(const synth_delta_request& req,
+                               flow::batch_runner& runner,
+                               const std::function<void(const progress_event&)>&
+                                   progress = {},
+                               eco_outcome* outcome = nullptr);
+
 /// The non-deterministic stage-timing footer ("timing:   ... (total X ms)").
 std::string format_timing_line(const std::vector<flow::stage_timing>& timings,
                                double total_ms);
@@ -66,6 +90,10 @@ struct synth_cli_options {
   bool no_timing = false;    ///< --no-timing
   bool progress = false;     ///< --progress (stderr)
   unsigned flow_jobs = 1;    ///< --flow-jobs=N (intra-flow parallelism)
+  /// --partition-grain=N (fixed-grain region partitioning; 0 = legacy
+  /// monolithic optimize).  The knob interactive ECO sessions set so edits
+  /// resynthesize in region-cache time.
+  unsigned partition_grain = 0;
 };
 
 enum class cli_parse {

@@ -98,6 +98,15 @@ class byte_reader {
     pos_ += static_cast<std::size_t>(n);
     return s;
   }
+  /// Consumes `n` bytes and returns them as a subspan — how a codec nests
+  /// another codec's payload without copying it.
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    if (n > remaining()) throw serialize_error("raw length exceeds buffer");
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   /// Reads a count prefix for a sequence whose elements take at least
   /// `min_element_bytes` each; rejects counts the buffer cannot hold.
   std::size_t count(std::size_t min_element_bytes) {

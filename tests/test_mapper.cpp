@@ -61,6 +61,24 @@ TEST(Mapper, Eq1MatchesExactSplitterCount) {
   }
 }
 
+TEST(Mapper, SummaryLineMatchesNetlistSummary) {
+  // summary_line() renders the report line from mapping_stats alone (the
+  // serving hot path formats responses without re-walking the netlist); it
+  // must stay byte-identical to the netlist's own summary().  Cover
+  // combinational, pipelined, and sequential mappings — DROC counts and
+  // splitter depth all appear in the line.
+  for (const char* name : {"c432", "c6288", "s641", "s526"}) {
+    const aig g = optimize(benchgen::make_benchmark(name));
+    const auto m = map_to_xsfq(g);
+    EXPECT_EQ(summary_line(m.stats), m.netlist.summary()) << name;
+  }
+  mapping_params pipelined;
+  pipelined.pipeline_stages = 2;
+  const auto m =
+      map_to_xsfq(optimize(benchgen::make_benchmark("c880")), pipelined);
+  EXPECT_EQ(summary_line(m.stats), m.netlist.summary());
+}
+
 TEST(Mapper, JjFormulaHolds) {
   const aig g = optimize(benchgen::make_benchmark("c880"));
   const auto m = map_to_xsfq(g);

@@ -104,6 +104,7 @@ TEST(ProtocolDoc, MessageTypeTableMatchesEnum) {
       {"hello", serve::msg_type::hello},
       {"auth", serve::msg_type::auth},
       {"server_stats", serve::msg_type::server_stats},
+      {"synth_delta", serve::msg_type::synth_delta},
       {"result", serve::msg_type::result},
       {"status_ok", serve::msg_type::status_ok},
       {"cache_stats_ok", serve::msg_type::cache_stats_ok},
@@ -138,6 +139,8 @@ TEST(ProtocolDoc, ErrorCodeTableMatchesEnum) {
       {"deadline_expired", serve::error_code::deadline_expired},
       {"too_many_connections", serve::error_code::too_many_connections},
       {"shutting_down", serve::error_code::shutting_down},
+      {"unknown_base", serve::error_code::unknown_base},
+      {"bad_edit", serve::error_code::bad_edit},
   };
   EXPECT_EQ(rows.size(), expected.size())
       << "error-code table row count != error_code enumerator count";

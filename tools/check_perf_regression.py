@@ -19,6 +19,13 @@ is compared recursively against baseline[NAME]:
   * keys ending in "_per_s"   -> higher is better; fail when
                                  current < baseline / ((1 + tol) * scale)
 
+A baseline entry may also carry an "abs_caps" object mapping dotted metric
+paths (relative to the bench entry) to absolute millisecond ceilings, e.g.
+{"eco.c6288.edit1_ms": 2.0}.  Caps encode acceptance criteria ("a single-gate
+c6288 edit resynthesizes in under 2 ms") rather than drift tolerances: they
+are enforced without tolerance, slack, or hardware calibration, and --update
+preserves them across re-baselining.
+
 Everything else (counters, speedup ratios, nested arrays) is informational
 only.  `scale` compensates for the benchmark host being faster/slower than
 the machine that produced the baseline: it is derived from the calibration
@@ -45,7 +52,7 @@ UNGATED_SUBTREES = {"service"}
 def walk(prefix, base, cur, out):
     if isinstance(base, dict) and isinstance(cur, dict):
         for key, bval in base.items():
-            if key in UNGATED_SUBTREES:
+            if key in UNGATED_SUBTREES or key == "abs_caps":
                 continue
             if key in cur:
                 walk(prefix + (key,), bval, cur[key], out)
@@ -90,7 +97,11 @@ def main(argv):
 
     if update:
         for name, cur in currents.items():
+            caps = baseline.get(name, {}).get("abs_caps")
             baseline[name] = cur
+            if caps is not None:
+                # Caps are policy, not measurement; they survive re-baselining.
+                baseline[name]["abs_caps"] = caps
             print(f"re-baselined {name}")
         with open(positional[0], "w") as f:
             json.dump(baseline, f, indent=2)
@@ -139,6 +150,27 @@ def main(argv):
                       f"(baseline {bval:.3f}, floor {limit:.3f})")
                 if cval < limit:
                     failures.append((label, bval, cval, limit, "/s"))
+
+    # Absolute caps: acceptance-criterion ceilings, no tolerance and no
+    # hardware calibration (a slower host does not get to miss the claim).
+    for name, cur in currents.items():
+        caps = baseline.get(name, {}).get("abs_caps", {})
+        for dotted, cap in caps.items():
+            node = cur
+            for key in dotted.split("."):
+                node = node.get(key) if isinstance(node, dict) else None
+            if not isinstance(node, (int, float)):
+                print(f"FAIL {name}.{dotted}: capped metric missing from "
+                      f"current run")
+                failures.append((f"{name}.{dotted}", float(cap), float("nan"),
+                                 float(cap), "ms"))
+                continue
+            status = "FAIL" if node > cap else "ok"
+            print(f"{status:4} {name}.{dotted}: {node:.3f} ms "
+                  f"(absolute cap {cap:.3f})")
+            if node > cap:
+                failures.append((f"{name}.{dotted}", float(cap), float(node),
+                                 float(cap), "ms"))
 
     if failures:
         print(f"\nperf regression: {len(failures)} metric(s) beyond "
