@@ -33,6 +33,17 @@
 /// --no-supersede keeps the base circuit's cache entries alive alongside
 /// the edited result.  The new content hash is printed to stderr as
 /// `content_hash=<hex>` for chaining further edits.
+///
+/// Resilience (v5): --retries=N wraps the request in
+/// serve::resilient_client — reconnect + capped exponential backoff with
+/// jitter, honoring the daemon's retry_after_ms hints — so a daemon
+/// restart, a reset connection, or an overload rejection is survived by
+/// resubmitting (results are deterministic, so replays are idempotent).
+/// --timeout-ms=X bounds each attempt's wait for a response;
+/// --backoff-ms=X sets the first backoff (doubling, capped at 2000 ms).
+/// With retries the attempt counters are printed to stderr as
+/// `client_retries=N client_reconnects=N`.  Default (--retries=0) keeps
+/// the classic fail-fast single-connection behavior.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -42,6 +53,7 @@
 #include <string>
 
 #include "serve/client.hpp"
+#include "serve/resilient_client.hpp"
 #include "serve/synth_service.hpp"
 
 using namespace xsfq;
@@ -54,7 +66,8 @@ void print_cache_stats(const serve::cache_stats_reply& reply) {
             << " opt_hits=" << s.opt_hits << " opt_misses=" << s.opt_misses
             << " disk_hits=" << s.disk_hits
             << " disk_misses=" << s.disk_misses
-            << " disk_writes=" << s.disk_writes << " disk_dir="
+            << " disk_writes=" << s.disk_writes
+            << " disk_quarantined=" << s.disk_quarantined << " disk_dir="
             << (reply.disk_directory.empty() ? "(disabled)"
                                              : reply.disk_directory)
             << "\n";
@@ -76,6 +89,9 @@ int main(int argc, char** argv) {
   std::string edit_path;      // --edit=FILE → submit_delta
   bool edit_full = false;     // --edit-full: force a cold full resynthesis
   bool supersede = true;      // --no-supersede clears it
+  unsigned retries = 0;       // --retries=N → resilient_client path
+  int timeout_ms = 0;         // --timeout-ms: per-attempt response deadline
+  unsigned backoff_ms = 50;   // --backoff-ms: first retry backoff
   enum class action { synth, status, cache_stats, server_stats, shutdown };
   action act = action::synth;
 
@@ -115,6 +131,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       deadline_ms = d;
+    } else if (auto vr = serve::cli_value(arg, "--retries"); !vr.empty()) {
+      char* end = nullptr;
+      const unsigned long r = std::strtoul(vr.c_str(), &end, 10);
+      if (end == vr.c_str() || *end != '\0' || r > 100) {
+        std::cerr << "--retries expects 0..100, got: " << vr << "\n";
+        return 2;
+      }
+      retries = static_cast<unsigned>(r);
+    } else if (auto vto = serve::cli_value(arg, "--timeout-ms");
+               !vto.empty()) {
+      char* end = nullptr;
+      const long t = std::strtol(vto.c_str(), &end, 10);
+      if (end == vto.c_str() || *end != '\0' || t < 0 || t > 86400000) {
+        std::cerr << "--timeout-ms expects 0..86400000, got: " << vto << "\n";
+        return 2;
+      }
+      timeout_ms = static_cast<int>(t);
+    } else if (auto vb = serve::cli_value(arg, "--backoff-ms"); !vb.empty()) {
+      char* end = nullptr;
+      const unsigned long b = std::strtoul(vb.c_str(), &end, 10);
+      if (end == vb.c_str() || *end != '\0' || b == 0 || b > 60000) {
+        std::cerr << "--backoff-ms expects 1..60000, got: " << vb << "\n";
+        return 2;
+      }
+      backoff_ms = static_cast<unsigned>(b);
     } else if (auto ve = serve::cli_value(arg, "--edit"); !ve.empty()) {
       edit_path = ve;
     } else if (arg == "--edit-full") {
@@ -153,29 +194,62 @@ int main(int argc, char** argv) {
   }
 
   try {
-    auto make_client = [&]() {
-      if (tcp_address.empty()) {
-        return std::make_unique<serve::client>(socket_path);
-      }
+    auto parse_tcp = [&](std::string& host, std::uint16_t& port) {
       const auto colon = tcp_address.find_last_of(':');
       if (colon == std::string::npos || colon == tcp_address.size() - 1) {
         throw std::runtime_error("--tcp expects HOST:PORT, got: " +
                                  tcp_address);
       }
-      const std::string host = tcp_address.substr(0, colon);
-      const int port = std::atoi(tcp_address.c_str() + colon + 1);
-      if (port <= 0 || port > 65535) {
+      host = tcp_address.substr(0, colon);
+      const int p = std::atoi(tcp_address.c_str() + colon + 1);
+      if (p <= 0 || p > 65535) {
         throw std::runtime_error("--tcp has a bad port: " + tcp_address);
       }
-      auto cli = std::make_unique<serve::client>(
-          host, static_cast<std::uint16_t>(port));
+      port = static_cast<std::uint16_t>(p);
+    };
+    auto make_client = [&]() {
+      if (tcp_address.empty()) {
+        auto cli = std::make_unique<serve::client>(socket_path);
+        if (timeout_ms > 0) cli->set_receive_timeout_ms(timeout_ms);
+        return cli;
+      }
+      std::string host;
+      std::uint16_t port = 0;
+      parse_tcp(host, port);
+      auto cli = std::make_unique<serve::client>(host, port);
+      if (timeout_ms > 0) cli->set_receive_timeout_ms(timeout_ms);
       if (!auth_token.empty()) cli->authenticate(auth_token);
       return cli;
     };
-    auto cli = make_client();
+    // --shutdown is the one request that must NOT be retried (the daemon
+    // acknowledging and then dying looks like a transport failure, and a
+    // resubmit would just fail against the dead socket); it always takes
+    // the plain fail-fast path.
+    std::unique_ptr<serve::resilient_client> rcli;
+    if (retries > 0 && act != action::shutdown) {
+      serve::endpoint ep;
+      if (tcp_address.empty()) {
+        ep.socket_path = socket_path;
+      } else {
+        parse_tcp(ep.host, ep.port);
+      }
+      ep.auth_token = auth_token;
+      serve::retry_policy policy;
+      policy.max_retries = retries;
+      policy.initial_backoff_ms = backoff_ms;
+      policy.request_timeout_ms = timeout_ms;
+      rcli = std::make_unique<serve::resilient_client>(ep, policy);
+    }
+    auto report_attempts = [&]() {
+      if (rcli) {
+        std::fprintf(stderr, "client_retries=%llu client_reconnects=%llu\n",
+                     static_cast<unsigned long long>(rcli->retries()),
+                     static_cast<unsigned long long>(rcli->reconnects()));
+      }
+    };
     switch (act) {
       case action::status: {
-        const auto s = cli->status();
+        const auto s = rcli ? rcli->status() : make_client()->status();
         std::cout << "jobs_submitted=" << s.jobs_submitted
                   << " jobs_completed=" << s.jobs_completed
                   << " jobs_failed=" << s.jobs_failed
@@ -183,16 +257,21 @@ int main(int argc, char** argv) {
                   << " worker_threads=" << s.worker_threads
                   << " steals=" << s.steals << " uptime_s=" << s.uptime_s
                   << "\n";
+        report_attempts();
         return 0;
       }
       case action::cache_stats:
-        print_cache_stats(cli->cache_stats());
+        print_cache_stats(rcli ? rcli->cache_stats()
+                               : make_client()->cache_stats());
+        report_attempts();
         return 0;
       case action::server_stats:
-        std::cout << serve::format_server_stats_text(cli->server_stats());
+        std::cout << serve::format_server_stats_text(
+            rcli ? rcli->server_stats() : make_client()->server_stats());
+        report_attempts();
         return 0;
       case action::shutdown:
-        cli->shutdown_server();
+        make_client()->shutdown_server();
         std::cout << "daemon acknowledged shutdown\n";
         return 0;
       case action::synth:
@@ -207,7 +286,8 @@ int main(int argc, char** argv) {
 
     serve::synth_response resp;
     if (edit_path.empty()) {
-      resp = cli->submit(req, serve::print_progress_event);
+      resp = rcli ? rcli->submit(req, serve::print_progress_event)
+                  : make_client()->submit(req, serve::print_progress_event);
     } else {
       std::ifstream in(edit_path);
       if (!in) {
@@ -223,12 +303,15 @@ int main(int argc, char** argv) {
                             std::istreambuf_iterator<char>());
       dreq.supersede_base = supersede;
       dreq.force_full = edit_full;
-      resp = cli->submit_delta(dreq, serve::print_progress_event);
+      resp = rcli ? rcli->submit_delta(dreq, serve::print_progress_event)
+                  : make_client()->submit_delta(dreq,
+                                                serve::print_progress_event);
       if (resp.ok) {
         std::fprintf(stderr, "content_hash=%016llx\n",
                      static_cast<unsigned long long>(resp.content_hash));
       }
     }
+    report_attempts();
     if (synth.progress && resp.served_from_cache) {
       std::cerr << "(served from daemon cache)\n";
     }

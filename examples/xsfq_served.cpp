@@ -3,6 +3,7 @@
 ///   xsfq_served [--socket=PATH] [--listen=HOST:PORT] [--auth-token=SECRET]
 ///               [--threads=N] [--cache-dir=DIR] [--max-disk-entries=N]
 ///               [--max-queue=N] [--max-inflight=N] [--max-conns=N]
+///               [--io-timeout-ms=N] [--idle-timeout-ms=N] [--faults=SCHED]
 ///
 /// Owns one long-lived flow::batch_runner behind up to two listeners
 /// speaking the serve protocol (src/serve/protocol.hpp): the Unix-domain
@@ -18,11 +19,19 @@
 /// --max-inflight) sheds load with typed `overloaded` errors instead of
 /// queueing unboundedly; --max-conns bounds handler threads the same way.
 ///
+/// Every connection runs under an I/O deadline (--io-timeout-ms, default
+/// 30000; 0 disables): a peer that stalls mid-frame or stops draining its
+/// socket gets a typed io_timeout error and its handler thread back,
+/// instead of pinning it (--idle-timeout-ms separately bounds quiet
+/// keep-alive connections).  --faults=SCHEDULE (or XSFQ_FAULTS=) arms the
+/// deterministic fault-injection registry (util/fault.hpp) for chaos
+/// drills; never set it in production.
+///
 /// Runs in the foreground (a supervisor or `&` backgrounds it).  SIGINT,
 /// SIGTERM, or a client `shutdown` request drain gracefully: in-flight
 /// requests finish and receive their responses, disk-cache writes land
 /// atomically, and the process exits 0.  docs/operations.md covers
-/// deployment and sizing.
+/// deployment, sizing, and failure modes.
 #include <unistd.h>
 
 #include <csignal>
@@ -35,6 +44,7 @@
 #include "flow/batch_runner.hpp"
 #include "serve/server.hpp"
 #include "serve/synth_service.hpp"
+#include "util/fault.hpp"
 
 using namespace xsfq;
 
@@ -60,8 +70,18 @@ int main(int argc, char** argv) {
     std::cerr << "usage: xsfq_served [--socket=PATH] [--listen=HOST:PORT] "
                  "[--auth-token=SECRET] [--threads=N] [--cache-dir=DIR] "
                  "[--max-disk-entries=N] [--max-queue=N] [--max-inflight=N] "
-                 "[--max-conns=N]\n";
+                 "[--max-conns=N] [--io-timeout-ms=N] [--idle-timeout-ms=N] "
+                 "[--faults=SCHEDULE]\n";
     return 2;
+  };
+  std::string fault_schedule;
+  const auto parse_timeout = [](const std::string& value, int& out) {
+    char* end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 0 || n > 86400000)
+      return false;
+    out = static_cast<int>(n);
+    return true;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,9 +126,39 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
+    } else if (auto v8 = serve::cli_value(arg, "--io-timeout-ms");
+               !v8.empty()) {
+      if (!parse_timeout(v8, options.io_timeout_ms)) {
+        std::cerr << "--io-timeout-ms expects 0..86400000 (0 = no deadline), "
+                     "got: " << v8 << "\n";
+        return 2;
+      }
+    } else if (auto v9 = serve::cli_value(arg, "--idle-timeout-ms");
+               !v9.empty()) {
+      if (!parse_timeout(v9, options.idle_timeout_ms)) {
+        std::cerr << "--idle-timeout-ms expects 0..86400000 (0 = forever), "
+                     "got: " << v9 << "\n";
+        return 2;
+      }
+    } else if (auto vf = serve::cli_value(arg, "--faults"); !vf.empty()) {
+      fault_schedule = vf;
     } else {
       return usage();
     }
+  }
+
+  // Arm fault injection for chaos drills: the flag wins over the
+  // environment so a drill script can override a stale export.  A bad
+  // schedule must abort startup loudly, not run a fault-free "drill".
+  try {
+    if (!fault_schedule.empty()) {
+      fault::arm(fault_schedule);
+    } else {
+      fault::arm_from_env();
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "xsfq_served: " << e.what() << "\n";
+    return 2;
   }
 
   // Signals are consumed synchronously below; block them before any thread
@@ -132,8 +182,12 @@ int main(int argc, char** argv) {
               << (options.cache_dir.empty()
                       ? std::string{}
                       : ", disk cache " + options.cache_dir)
-              << ")\n"
-              << std::flush;
+              << ")\n";
+    if (fault::armed()) {
+      std::cout << "xsfq_served: FAULT INJECTION ARMED: " << fault::describe()
+                << "\n";
+    }
+    std::cout << std::flush;
 
     // Two wake sources, one drain: a client shutdown request re-raises
     // SIGTERM so the main thread only ever waits in sigwait.

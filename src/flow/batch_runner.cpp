@@ -713,6 +713,7 @@ batch_cache_stats batch_runner::cache_stats() const {
     s.disk_hits = d.hits;
     s.disk_misses = d.misses;
     s.disk_writes = d.writes;
+    s.disk_quarantined = d.quarantined;
   }
   const region_cache::counters rc = impl_->region_tier.counts();
   s.region_hits = rc.hits;

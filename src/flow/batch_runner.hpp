@@ -85,6 +85,9 @@ struct batch_cache_stats {
   std::uint64_t disk_hits = 0;    ///< flow_results loaded from the disk tier
   std::uint64_t disk_misses = 0;  ///< disk lookups that found nothing usable
   std::uint64_t disk_writes = 0;  ///< flow_results persisted to disk
+  /// Undecodable disk entries / orphaned temp files moved to quarantine/
+  /// instead of served (v5; see flow/disk_cache.hpp).
+  std::uint64_t disk_quarantined = 0;
   std::uint64_t region_hits = 0;    ///< optimized regions replayed (ECO tier)
   std::uint64_t region_misses = 0;  ///< regions optimized live
   std::uint64_t eco_patches = 0;    ///< entries patched/dropped by ECO

@@ -5,12 +5,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 #include <vector>
 
 #include "flow/result_io.hpp"
+#include "util/fault.hpp"
 
 namespace xsfq::flow {
 
@@ -28,6 +30,23 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+/// Parses the `<circuit-hex>-<options-hex>.xfr` filename back into its keys;
+/// false for anything that does not match the naming scheme.
+bool parse_entry_name(const std::string& name, std::uint64_t& circuit_key,
+                      std::uint64_t& options_key) {
+  if (name.size() != 16 + 1 + 16 + 4 || name[16] != '-' ||
+      name.substr(33) != entry_suffix) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string circuit_hex = name.substr(0, 16);
+  const std::string options_hex = name.substr(17, 16);
+  circuit_key = std::strtoull(circuit_hex.c_str(), &end, 16);
+  if (end != circuit_hex.c_str() + 16) return false;
+  options_key = std::strtoull(options_hex.c_str(), &end, 16);
+  return end == options_hex.c_str() + 16;
+}
+
 }  // namespace
 
 disk_result_cache::disk_result_cache(std::string directory,
@@ -39,29 +58,84 @@ disk_result_cache::disk_result_cache(std::string directory,
     throw std::runtime_error("disk_result_cache: cannot create directory " +
                              directory_);
   }
-  // Sweep temp files orphaned by a crashed writer (they never match the
-  // entry suffix, so pruning would skip them forever).  Only files at least
-  // an hour old: a sibling process may legitimately be mid-store right now.
-  // Iteration over a shared directory can itself throw (entries vanishing
-  // under a concurrent daemon); the sweep is best-effort like every other
-  // cache IO path.
+  recovery_scan();
+}
+
+std::string disk_result_cache::quarantine_directory() const {
+  return directory_ + "/quarantine";
+}
+
+bool disk_result_cache::quarantine_file(const std::string& path,
+                                        const char* reason) {
+  std::error_code ec;
+  fs::create_directories(quarantine_directory(), ec);
+  const std::string dest = quarantine_directory() + "/" +
+                           fs::path(path).filename().string() + "." + reason;
+  fs::rename(path, dest, ec);
+  if (ec) {
+    // Quarantine is best-effort (the subdirectory may be unwritable); the
+    // poisoned file must still never be served, so fall back to removal.
+    ec.clear();
+    fs::remove(path, ec);
+    return !ec;
+  }
+  return true;
+}
+
+void disk_result_cache::recovery_scan() {
+  // Verify every entry's header up front and quarantine mismatches, so a
+  // restart after a crash (or a format upgrade) starts from a directory
+  // where every .xfr file is structurally sound.  Temp files orphaned by a
+  // crashed writer are quarantined too — only once they are at least an
+  // hour old, since a sibling process may legitimately be mid-store right
+  // now.  Iteration over a shared directory can itself throw (entries
+  // vanishing under a concurrent daemon); the scan is best-effort like
+  // every other cache IO path.
   try {
     const auto cutoff =
         fs::file_time_type::clock::now() - std::chrono::hours(1);
+    std::error_code ec;
     for (const auto& de : fs::directory_iterator(directory_, ec)) {
       if (ec) break;
+      const std::string name = de.path().filename().string();
       if (de.path().extension() == entry_suffix) {
-        ++entry_count_;  // seed the prune trigger with the existing entries
+        std::uint64_t circuit_key = 0, options_key = 0;
+        const char* reason = nullptr;
+        if (!parse_entry_name(name, circuit_key, options_key)) {
+          reason = "bad_name";
+        } else {
+          // Only the 24-byte prologue is read here; full payload
+          // verification (content hash, expect_done) stays on the load
+          // path so startup cost is one small read per entry.
+          std::uint8_t head[24];
+          std::ifstream is(de.path(), std::ios::binary);
+          if (!is.read(reinterpret_cast<char*>(head), sizeof(head))) {
+            reason = "truncated_header";
+          } else {
+            byte_reader r(std::span<const std::uint8_t>(head, sizeof(head)));
+            if (r.u32() != cache_magic) {
+              reason = "bad_magic";
+            } else if (r.u32() != format_version) {
+              reason = "stale_version";
+            } else if (r.u64() != circuit_key || r.u64() != options_key) {
+              reason = "key_mismatch";
+            }
+          }
+        }
+        if (reason != nullptr) {
+          if (quarantine_file(de.path().string(), reason))
+            ++stats_.quarantined;
+        } else {
+          ++entry_count_;  // seed the prune trigger with the live entries
+        }
         continue;
       }
-      if (de.path().filename().string().find(".xfr.tmp.") ==
-          std::string::npos) {
-        continue;
-      }
+      if (name.find(".xfr.tmp.") == std::string::npos) continue;
       std::error_code tec;
       if (const auto mtime = fs::last_write_time(de.path(), tec);
           !tec && mtime < cutoff) {
-        fs::remove(de.path(), tec);
+        if (quarantine_file(de.path().string(), "orphaned_tmp"))
+          ++stats_.quarantined;
       }
     }
   } catch (const fs::filesystem_error&) {
@@ -106,11 +180,14 @@ std::optional<flow_result> disk_result_cache::load(std::uint64_t circuit_key,
     ++stats_.hits;
     return result;
   } catch (const serialize_error&) {
-    // Stale format or corruption: drop the file so it is rewritten fresh.
-    std::error_code ec;
-    fs::remove(path, ec);
+    // Stale format or corruption: quarantine the bytes for inspection (the
+    // entry will be rewritten fresh on the next store) instead of erasing
+    // the evidence of whatever produced them.
+    const bool gone = quarantine_file(path, "undecodable");
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
+    if (gone) ++stats_.quarantined;
+    if (entry_count_ > 0) --entry_count_;
     return std::nullopt;
   }
 }
@@ -127,22 +204,39 @@ void disk_result_cache::store(std::uint64_t circuit_key,
 
   const std::string path = entry_path(circuit_key, options_key);
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // Chaos sites (util/fault.hpp): each models one real storage failure the
+  // load path and recovery scan must absorb — a truncated entry that made
+  // it past the rename, a full disk, and a writer crash on either side of
+  // the rename.  All unarmed in production: one relaxed load each.
+  const bool short_write = fault::fire("disk_cache.write.short");
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return;  // unwritable directory: stay a pure accelerator
+    const std::size_t n = short_write ? w.size() / 2 : w.size();
     os.write(reinterpret_cast<const char*>(w.data().data()),
-             static_cast<std::streamsize>(w.size()));
-    if (!os) {
+             static_cast<std::streamsize>(n));
+    if (!os || fault::fire("disk_cache.write.enospc")) {
       os.close();
       std::error_code ec;
       fs::remove(tmp, ec);
       return;
     }
   }
+  if (fault::fire("disk_cache.rename.crash_before")) {
+    // Writer "crashed" after the tmp write, before the rename: the tmp
+    // orphan stays behind for the recovery scan to quarantine.
+    return;
+  }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
+    return;
+  }
+  if (fault::fire("disk_cache.rename.crash_after")) {
+    // Writer "crashed" right after the rename: the entry is live on disk
+    // (short_write above makes it a truncated one) but none of the
+    // in-memory bookkeeping below happened.
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);

@@ -8,13 +8,26 @@
 /// stored under, and the serialized result (whose embedded AIG content hash
 /// is re-verified on load).  Any mismatch — wrong version after an upgrade,
 /// truncation from a crashed writer that somehow survived the atomic rename,
-/// plain corruption — reads as a miss and the offending file is removed.
+/// plain corruption — reads as a miss and the offending file is moved into
+/// a `quarantine/` subdirectory (reason-tagged, e.g. `...xfr.bad_magic`)
+/// rather than deleted: corruption in a persistent cache is evidence of a
+/// bug or failing storage, and an operator must be able to inspect the bytes
+/// after the fact (docs/operations.md, "Failure modes and recovery").
 ///
 /// Writes go to a `.tmp.<pid>` sibling and are renamed into place, so a
 /// reader never observes a half-written entry and concurrent daemons sharing
 /// a directory at worst overwrite each other with identical bytes.  Eviction
 /// is by file modification time: when the entry count exceeds the cap after
 /// a store, the oldest entries are pruned.
+///
+/// Construction runs a recovery scan: every entry's header (magic, format
+/// version, embedded keys vs the filename) is verified and mismatches are
+/// quarantined up front, and temp files orphaned by a crashed writer are
+/// quarantined once they are old enough to rule out a live sibling writer.
+/// The write path carries fault-injection sites (`disk_cache.write.short`,
+/// `disk_cache.write.enospc`, `disk_cache.rename.crash_before`,
+/// `disk_cache.rename.crash_after` — util/fault.hpp) so chaos drills can
+/// prove all of the above without a real crash or a full disk.
 
 #include <cstdint>
 #include <mutex>
@@ -31,6 +44,9 @@ struct disk_cache_stats {
   std::uint64_t writes = 0;     ///< entries persisted
   std::uint64_t evictions = 0;  ///< entries pruned by the size cap
   std::uint64_t drops = 0;      ///< entries removed by drop_entry (ECO)
+  /// Undecodable entries and orphaned temp files moved to quarantine/
+  /// (startup recovery scan + load-time verification).
+  std::uint64_t quarantined = 0;
 };
 
 class disk_result_cache {
@@ -66,10 +82,18 @@ class disk_result_cache {
   disk_cache_stats stats() const;
   const std::string& directory() const { return directory_; }
   std::size_t max_entries() const { return max_entries_; }
+  /// Where undecodable entries end up (`<directory>/quarantine`); the
+  /// directory is created lazily on first quarantine.
+  std::string quarantine_directory() const;
 
  private:
   std::string entry_path(std::uint64_t circuit_key,
                          std::uint64_t options_key) const;
+  /// Moves `path` into quarantine/ with a `.reason` suffix (falls back to
+  /// removal when the move fails — a poisoned entry must never be served).
+  /// Returns whether the file is gone from the live directory.
+  bool quarantine_file(const std::string& path, const char* reason);
+  void recovery_scan();
   void prune_locked();
 
   std::string directory_;

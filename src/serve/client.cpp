@@ -5,11 +5,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cstring>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace xsfq::serve {
 
@@ -24,12 +27,17 @@ namespace {
                         "daemon error: " + decode_legacy_error(f.payload));
   }
   const error_reply err = decode_error(f.payload);
-  throw service_error(err.code, "daemon error: " + err.message);
+  throw service_error(err.code, "daemon error: " + err.message,
+                      err.retry_after_ms);
 }
 
 }  // namespace
 
 client::client(const std::string& socket_path) {
+  if (fault::fire("client.connect.fail")) {
+    throw std::runtime_error("serve: injected connect failure "
+                             "(client.connect.fail)");
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -53,6 +61,10 @@ client::client(const std::string& socket_path) {
 }
 
 client::client(const std::string& host, std::uint16_t port) {
+  if (fault::fire("client.connect.fail")) {
+    throw std::runtime_error("serve: injected connect failure "
+                             "(client.connect.fail)");
+  }
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -90,6 +102,19 @@ client::client(const std::string& host, std::uint16_t port) {
 
 client::~client() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void client::set_receive_timeout_ms(int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  }
+  // 0/negative clears the deadline (timeval{0,0} = block forever).  A read
+  // that trips the deadline surfaces as io_timeout_error out of
+  // read_frame_fd (EAGAIN mapping), which resilient_client treats as a
+  // reconnect-and-resubmit signal.
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 frame client::roundtrip(msg_type request,

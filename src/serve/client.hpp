@@ -42,6 +42,13 @@ class client {
   client(const client&) = delete;
   client& operator=(const client&) = delete;
 
+  /// Bounds every subsequent read on this connection (SO_RCVTIMEO): a
+  /// response that takes longer than `timeout_ms` throws io_timeout_error
+  /// instead of blocking forever on a hung daemon.  <= 0 restores the
+  /// default (wait forever).  The connection is NOT safely reusable after a
+  /// timeout mid-response — reconnect and resubmit (resilient_client does).
+  void set_receive_timeout_ms(int timeout_ms);
+
   using progress_fn = std::function<void(const progress_event&)>;
 
   /// v3 capability exchange: the daemon's version, whether THIS connection

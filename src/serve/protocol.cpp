@@ -1,6 +1,7 @@
 #include "serve/protocol.hpp"
 
 #include <errno.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -117,6 +118,46 @@ std::optional<frame> read_frame_fd(int fd) {
       const ssize_t got = ::read(fd, dst, n);
       if (got >= 0) return static_cast<std::size_t>(got);
       if (errno == EINTR) continue;
+      // A receive timeout set on the socket (SO_RCVTIMEO, the client-side
+      // deadline) surfaces as EAGAIN — map it to the typed timeout so
+      // callers can distinguish "peer is slow" from "peer sent garbage".
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw io_timeout_error("read timed out");
+      throw protocol_error(std::string("read failed: ") +
+                           std::strerror(errno));
+    }
+  });
+}
+
+std::optional<frame> read_frame_fd(int fd, int io_timeout_ms,
+                                   int idle_timeout_ms) {
+  // The first poll of a frame waits under the idle deadline (nothing is in
+  // flight yet; an idle keep-alive connection is legitimate for longer);
+  // every later byte falls under the stricter io deadline — a peer that
+  // sent half a header and stopped is a stalled or malicious peer, and must
+  // not pin this handler thread beyond it.
+  bool mid_frame = false;
+  return read_frame([fd, io_timeout_ms, idle_timeout_ms,
+                     &mid_frame](void* dst, std::size_t n) -> std::size_t {
+    const int timeout_ms = mid_frame ? io_timeout_ms : idle_timeout_ms;
+    for (;;) {
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw protocol_error(std::string("poll failed: ") +
+                             std::strerror(errno));
+      }
+      if (rc == 0)
+        throw io_timeout_error(mid_frame ? "read timed out mid-frame"
+                                         : "idle timeout");
+      const ssize_t got = ::read(fd, dst, n);
+      if (got >= 0) {
+        if (got > 0) mid_frame = true;
+        return static_cast<std::size_t>(got);
+      }
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;  // spurious wakeup — re-poll under the same deadline
       throw protocol_error(std::string("read failed: ") +
                            std::strerror(errno));
     }
@@ -126,15 +167,33 @@ std::optional<frame> read_frame_fd(int fd) {
 void write_frame_fd(int fd, msg_type type,
                     std::span<const std::uint8_t> payload,
                     std::uint8_t version) {
+  write_frame_fd(fd, type, payload, version, /*io_timeout_ms=*/0);
+}
+
+void write_frame_fd(int fd, msg_type type,
+                    std::span<const std::uint8_t> payload,
+                    std::uint8_t version, int io_timeout_ms) {
   const std::vector<std::uint8_t> bytes = encode_frame(type, payload, version);
   std::size_t written = 0;
   while (written < bytes.size()) {
+    if (io_timeout_ms > 0) {
+      // A peer that stopped draining its socket fills the kernel buffer and
+      // would block this send forever; poll bounds each wait.
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, io_timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw protocol_error(std::string("poll failed: ") +
+                             std::strerror(errno));
+      }
+      if (rc == 0) throw io_timeout_error("write timed out");
+    }
     // MSG_NOSIGNAL: a peer that disappeared mid-response must surface as a
     // protocol_error on this connection, not as SIGPIPE for the process.
     const ssize_t n = ::send(fd, bytes.data() + written,
                              bytes.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw protocol_error(std::string("write failed: ") +
                            std::strerror(errno));
     }
@@ -321,6 +380,7 @@ std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply) {
   w.u64(reply.stats.disk_hits);
   w.u64(reply.stats.disk_misses);
   w.u64(reply.stats.disk_writes);
+  w.u64(reply.stats.disk_quarantined);
   w.u64(reply.stats.region_hits);
   w.u64(reply.stats.region_misses);
   w.u64(reply.stats.eco_patches);
@@ -339,6 +399,7 @@ cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload) {
   reply.stats.disk_hits = r.u64();
   reply.stats.disk_misses = r.u64();
   reply.stats.disk_writes = r.u64();
+  reply.stats.disk_quarantined = r.u64();
   reply.stats.region_hits = r.u64();
   reply.stats.region_misses = r.u64();
   reply.stats.eco_patches = r.u64();
@@ -418,6 +479,7 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u64(reply.cache.disk_hits);
   w.u64(reply.cache.disk_misses);
   w.u64(reply.cache.disk_writes);
+  w.u64(reply.cache.disk_quarantined);
   w.u64(reply.cache.region_hits);
   w.u64(reply.cache.region_misses);
   w.u64(reply.cache.eco_patches);
@@ -439,6 +501,14 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u64(reply.eco_retained_hits);
   w.u64(reply.eco_base_rebuilds);
   w.u64(reply.eco_failures);
+  w.u64(reply.io_timeouts);
+  w.u64(reply.fault_fired);
+  w.u64(reply.fault_sites.size());
+  for (const auto& s : reply.fault_sites) {
+    w.str(s.site);
+    w.u64(s.hits);
+    w.u64(s.fired);
+  }
   w.u64(reply.histograms.size());
   for (const auto& h : reply.histograms) {
     w.str(h.name);
@@ -468,6 +538,7 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.cache.disk_hits = r.u64();
   reply.cache.disk_misses = r.u64();
   reply.cache.disk_writes = r.u64();
+  reply.cache.disk_quarantined = r.u64();
   reply.cache.region_hits = r.u64();
   reply.cache.region_misses = r.u64();
   reply.cache.eco_patches = r.u64();
@@ -489,6 +560,17 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.eco_retained_hits = r.u64();
   reply.eco_base_rebuilds = r.u64();
   reply.eco_failures = r.u64();
+  reply.io_timeouts = r.u64();
+  reply.fault_fired = r.u64();
+  const std::size_t nf = r.count(/*min_element_bytes=*/8);
+  reply.fault_sites.reserve(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    fault_site_snapshot s;
+    s.site = r.str();
+    s.hits = r.u64();
+    s.fired = r.u64();
+    reply.fault_sites.push_back(std::move(s));
+  }
   const std::size_t n = r.count(/*min_element_bytes=*/8);
   reply.histograms.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -507,10 +589,12 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_error(error_code code,
-                                       const std::string& message) {
+                                       const std::string& message,
+                                       std::uint32_t retry_after_ms) {
   byte_writer w;
   w.u8(static_cast<std::uint8_t>(code));
   w.str(message);
+  w.u32(retry_after_ms);
   return w.take();
 }
 
@@ -518,12 +602,29 @@ error_reply decode_error(std::span<const std::uint8_t> payload) {
   byte_reader r(payload);
   error_reply reply;
   const std::uint8_t code = r.u8();
-  reply.code = code > static_cast<std::uint8_t>(error_code::bad_edit)
+  reply.code = code > static_cast<std::uint8_t>(error_code::io_timeout)
                    ? error_code::generic
                    : static_cast<error_code>(code);
   reply.message = r.str();
+  // v5 appended the backoff hint; a v3/v4 payload simply ends here.
+  if (r.remaining() > 0) reply.retry_after_ms = r.u32();
   r.expect_done();
   return reply;
+}
+
+std::vector<std::uint8_t> encode_error_for_version(
+    std::uint8_t peer_version, error_code code, const std::string& message,
+    std::uint32_t retry_after_ms) {
+  if (peer_version < 3) return encode_legacy_error(message);
+  if (peer_version < 5) {
+    // v3/v4 layout: typed code + message, no trailing hint (their decoder
+    // calls expect_done() and would reject extra bytes).
+    byte_writer w;
+    w.u8(static_cast<std::uint8_t>(code));
+    w.str(message);
+    return w.take();
+  }
+  return encode_error(code, message, retry_after_ms);
 }
 
 std::vector<std::uint8_t> encode_legacy_error(const std::string& message) {

@@ -41,9 +41,19 @@
 /// cheap), `synth_response` gains `content_hash` (the served circuit's
 /// identity, which a later delta request names as its base), `cache_stats`
 /// gains the region/ECO tier counters, and the `unknown_base`/`bad_edit`
-/// error codes type the two ECO-specific failures.  docs/protocol.md is the
-/// normative reference; a test cross-checks its constant tables against
-/// this header.
+/// error codes type the two ECO-specific failures.
+///
+/// v5 adds the failure/retry contract: the `io_timeout` error code (a peer
+/// blew the daemon's per-connection read/write deadline), a trailing
+/// `retry_after_ms` hint on the typed error payload (non-zero on
+/// `overloaded`/`too_many_connections`, telling a well-behaved client how
+/// long to back off before resubmitting — results are deterministic, so a
+/// resubmit is idempotent by construction), and `io_timeouts`/fault-site
+/// counters in the `server_stats` scrape.  The v3/v4 error payload decodes
+/// unchanged (the hint is read only when present), and replies to older
+/// peers are still encoded at THEIR version via encode_error_for_version.
+/// docs/protocol.md is the normative reference; a test cross-checks its
+/// constant tables against this header.
 ///
 /// Thread-safety: every free function here is stateless and safe to call
 /// concurrently; the fd helpers assume at most one reader and one writer
@@ -68,9 +78,11 @@ namespace xsfq::serve {
 // v3: hello/auth/server_stats messages, error codes, priority + deadline_ms
 // on synth_request.
 // v4: synth_delta (incremental ECO resynthesis), partition_grain on
-// synth_request, content_hash on synth_response, region/ECO cache counters
+// synth_request, content_hash on synth_response, region/ECO cache counters.
+// v5: io_timeout error code, retry_after_ms hint on error payloads,
+// io_timeouts + fault-injection counters in server_stats
 // (see docs/protocol.md for the full history).
-inline constexpr std::uint8_t protocol_version = 4;
+inline constexpr std::uint8_t protocol_version = 5;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;
@@ -118,6 +130,8 @@ enum class error_code : std::uint8_t {
                             ///< reconstruct (not retained, and the request's
                             ///< circuit hashes differently)
   bad_edit = 10,            ///< v4: malformed edit script or illegal replay
+  io_timeout = 11,          ///< v5: peer blew the daemon's I/O deadline;
+                            ///< connection is closed (resubmit on a new one)
 };
 
 struct protocol_error : std::runtime_error {
@@ -125,12 +139,23 @@ struct protocol_error : std::runtime_error {
       : std::runtime_error("protocol: " + what) {}
 };
 
+/// An I/O deadline expired while reading or writing a frame.  Distinct from
+/// protocol_error so callers can tell "the peer is slow/stalled" (retryable
+/// with backoff) from "the peer is speaking garbage" (it is not).
+struct io_timeout_error : protocol_error {
+  explicit io_timeout_error(const std::string& what) : protocol_error(what) {}
+};
+
 /// A server-reported error frame, decoded: carries the typed code alongside
 /// the human-readable message.  Thrown by the client's request methods.
 struct service_error : protocol_error {
   error_code code;
-  service_error(error_code c, const std::string& message)
-      : protocol_error(message), code(c) {}
+  /// v5: server's backoff hint in ms (0 = none).  Non-zero on
+  /// overloaded/too_many_connections; resilient_client honors it.
+  std::uint32_t retry_after_ms = 0;
+  service_error(error_code c, const std::string& message,
+                std::uint32_t retry_after = 0)
+      : protocol_error(message), code(c), retry_after_ms(retry_after) {}
 };
 
 struct frame {
@@ -169,6 +194,22 @@ std::optional<frame> read_frame_fd(int fd);
 void write_frame_fd(int fd, msg_type type,
                     std::span<const std::uint8_t> payload,
                     std::uint8_t version = protocol_version);
+
+/// Deadline variant: poll()s the fd before every read.  `io_timeout_ms`
+/// bounds each wait once the first header byte has arrived (a peer stalled
+/// MID-frame — the slowloris case); `idle_timeout_ms` bounds the wait for
+/// the first byte of the NEXT frame (an idle keep-alive connection).  A
+/// timeout of <= 0 means wait forever for that phase.  Throws
+/// io_timeout_error when a deadline expires.
+std::optional<frame> read_frame_fd(int fd, int io_timeout_ms,
+                                   int idle_timeout_ms);
+
+/// Deadline variant of the writer: poll()s for writability before every
+/// send, so a peer that stopped draining its socket cannot pin the caller.
+/// Throws io_timeout_error when `io_timeout_ms` (> 0) expires.
+void write_frame_fd(int fd, msg_type type,
+                    std::span<const std::uint8_t> payload,
+                    std::uint8_t version, int io_timeout_ms);
 
 /// Timing-safe token comparison: examines every byte of the longer input
 /// regardless of where the first mismatch sits, so a remote attacker cannot
@@ -306,6 +347,14 @@ struct cache_stats_reply {
   std::string disk_directory;  ///< empty when the disk tier is disabled
 };
 
+/// v5: one fault-injection site's counters inside a server_stats scrape
+/// (mirrors fault::site_stats; populated only while a schedule is armed).
+struct fault_site_snapshot {
+  std::string site;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
 /// One named latency histogram inside a server_stats scrape (the fixed
 /// log-bucket layout of util/histogram.hpp on the wire).
 struct histogram_snapshot {
@@ -345,6 +394,12 @@ struct server_stats_reply {
   std::uint64_t eco_retained_hits = 0;  ///< base found in the retained tier
   std::uint64_t eco_base_rebuilds = 0;  ///< base re-materialized from request
   std::uint64_t eco_failures = 0;       ///< unknown_base + bad_edit rejections
+  // v5: robustness counters.
+  std::uint64_t io_timeouts = 0;   ///< connections dropped at an I/O deadline
+  std::uint64_t fault_fired = 0;   ///< injected faults fired (chaos drills)
+  /// Per-site fire counters of the armed fault schedule (empty outside
+  /// drills) — lets a chaos harness assert exactly which sites fired.
+  std::vector<fault_site_snapshot> fault_sites;
   std::vector<histogram_snapshot> histograms;
 };
 
@@ -382,16 +437,28 @@ cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload);
 std::vector<std::uint8_t> encode_server_stats(const server_stats_reply& reply);
 server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload);
 
-/// v3 error payload: [u8 code][str message].
+/// Typed error payload: [u8 code][str message][u32 retry_after_ms (v5+)].
+/// The trailing hint is OPTIONAL on decode — a v3/v4 payload without it
+/// parses fine — so one decoder handles every typed-error vintage.
 std::vector<std::uint8_t> encode_error(error_code code,
-                                       const std::string& message);
-/// Decoded v3 error payload (out-of-range codes map to error_code::generic
-/// so a newer daemon's codes degrade gracefully).
+                                       const std::string& message,
+                                       std::uint32_t retry_after_ms = 0);
+/// Decoded typed error payload (out-of-range codes map to
+/// error_code::generic so a newer daemon's codes degrade gracefully).
 struct error_reply {
   error_code code = error_code::generic;
   std::string message;
+  std::uint32_t retry_after_ms = 0;  ///< absent on the wire decodes as 0
 };
 error_reply decode_error(std::span<const std::uint8_t> payload);
+
+/// Encodes an error payload in the layout the PEER's announced version can
+/// decode: bare string below v3, [code][message] for v3/v4, the full v5
+/// layout with retry_after_ms at v5+.  The version-mismatch reply path and
+/// every best-effort error frame funnel through this.
+std::vector<std::uint8_t> encode_error_for_version(
+    std::uint8_t peer_version, error_code code, const std::string& message,
+    std::uint32_t retry_after_ms = 0);
 
 /// v1/v2 error payload (bare string) — used only when answering a peer that
 /// announced an older version, encoded at THAT version so it can decode.

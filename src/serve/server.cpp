@@ -8,11 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "serve/synth_service.hpp"
+#include "util/fault.hpp"
 
 namespace xsfq::serve {
 
@@ -200,7 +202,8 @@ void server::accept_loop(int listen_fd, bool is_tcp) {
                        encode_error(error_code::too_many_connections,
                                     "connection limit reached (" +
                                         std::to_string(options_.max_conns) +
-                                        "); retry later"));
+                                        "); retry later",
+                                    retry_after_hint_ms()));
       } catch (const protocol_error&) {
       }
       ::close(fd);
@@ -244,8 +247,22 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
   const auto send = [&](msg_type type,
                         const std::vector<std::uint8_t>& payload) {
     if (!writable) return;
+    if (fault::fire("serve.send.reset")) {
+      // Chaos: the connection "resets" before this response hits the wire.
+      // The peer sees a mid-request EOF — exactly what a daemon crash or a
+      // dropped route looks like — and must recover by resubmitting.
+      ::shutdown(fd, SHUT_RDWR);
+      writable = false;
+      return;
+    }
     try {
-      write_frame_fd(fd, type, payload);
+      write_frame_fd(fd, type, payload, protocol_version,
+                     options_.io_timeout_ms);
+    } catch (const io_timeout_error&) {
+      // The peer stopped draining its socket: reclaim this thread instead
+      // of blocking in send() forever at its mercy.
+      io_timeouts_.fetch_add(1);
+      writable = false;
     } catch (const protocol_error& e) {
       // An over-limit encode throws before any byte hits the wire, so the
       // stream is still clean — tell the client why before giving up.
@@ -269,25 +286,27 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
 
   try {
     for (;;) {
-      std::optional<frame> f = read_frame_fd(fd);
+      if (fault::fire("serve.recv.stall")) {
+        // Chaos: behave exactly as if this peer went silent mid-frame and
+        // the poll deadline expired — drives the io_timeout handling below.
+        throw io_timeout_error("injected stall (serve.recv.stall)");
+      }
+      std::optional<frame> f =
+          read_frame_fd(fd, options_.io_timeout_ms, options_.idle_timeout_ms);
       if (!f) break;  // clean end-of-stream (client closed, or drain)
       if (f->version != protocol_version) {
         // Typed, decodable rejection instead of a hang: the header layout
         // is frozen, so we answer AT THE PEER'S VERSION (legacy string
-        // payload below v3) and close.
+        // payload below v3, no retry_after hint below v5) and close.
         const std::string what =
             "protocol version mismatch: daemon speaks v" +
             std::to_string(protocol_version) + ", client sent v" +
             std::to_string(f->version) + "; upgrade the client";
         try {
-          if (f->version < 3) {
-            write_frame_fd(fd, msg_type::error, encode_legacy_error(what),
-                           f->version);
-          } else {
-            write_frame_fd(fd, msg_type::error,
-                           encode_error(error_code::unsupported_version, what),
-                           f->version);
-          }
+          write_frame_fd(fd, msg_type::error,
+                         encode_error_for_version(
+                             f->version, error_code::unsupported_version, what),
+                         f->version);
         } catch (const protocol_error&) {
         }
         break;
@@ -336,7 +355,8 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
                  encode_error(error_code::overloaded,
                               "admission queue full (max_queue=" +
                                   std::to_string(options_.max_queue) +
-                                  "); retry later"));
+                                  "); retry later",
+                              retry_after_hint_ms()));
             break;
           }
           if (ticket.outcome == admission_queue::verdict::deadline_expired) {
@@ -367,10 +387,11 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
             throw;
           }
           admission_.release();
-          record_ms("request_total",
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - started)
-                        .count());
+          const double total_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - started)
+                                      .count();
+          record_ms("request_total", total_ms);
+          record_request_ms(total_ms);
           (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
           send(msg_type::result, encode_synth_response(resp));
           break;
@@ -388,7 +409,8 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
                  encode_error(error_code::overloaded,
                               "admission queue full (max_queue=" +
                                   std::to_string(options_.max_queue) +
-                                  "); retry later"));
+                                  "); retry later",
+                              retry_after_hint_ms()));
             break;
           }
           if (ticket.outcome == admission_queue::verdict::deadline_expired) {
@@ -427,10 +449,11 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           admission_.release();
           if (outcome.base_retained) eco_retained_hits_.fetch_add(1);
           if (outcome.base_rebuilt) eco_base_rebuilds_.fetch_add(1);
-          record_ms("eco_total",
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - started)
-                        .count());
+          const double total_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - started)
+                                      .count();
+          record_ms("eco_total", total_ms);
+          record_request_ms(total_ms);
           (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
           send(msg_type::result, encode_synth_response(resp));
           break;
@@ -474,6 +497,14 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
     }
   } catch (const serialize_error& e) {
     send(msg_type::error, encode_error(error_code::bad_request, e.what()));
+  } catch (const io_timeout_error& e) {
+    // The peer stalled past the I/O deadline (or the idle timeout lapsed):
+    // count it, tell the peer why if its socket still drains — the write
+    // itself is under the same deadline via send() — and reclaim the
+    // thread.  This is the slowloris defense: the handler is back in the
+    // pool within ~io_timeout_ms of the stall, never pinned.
+    io_timeouts_.fetch_add(1);
+    send(msg_type::error, encode_error(error_code::io_timeout, e.what()));
   } catch (const protocol_error& e) {
     send(msg_type::error, encode_error(error_code::bad_request, e.what()));
   } catch (const std::exception& e) {
@@ -545,6 +576,30 @@ bool server::shutdown_requested() const {
   return shutdown_requested_;
 }
 
+void server::record_request_ms(double ms) {
+  std::lock_guard<std::mutex> lock(request_hist_mutex_);
+  request_hist_.record(ms);
+}
+
+std::uint32_t server::retry_after_hint_ms() const {
+  // "Come back once the backlog ahead of you has plausibly drained": depth
+  // of the admission queue times the recent median end-to-end latency.
+  // Before any request has completed, fall back to a nominal warm-request
+  // figure; clamp the product so one slow cold run cannot tell clients to
+  // go away for an hour, and a zero-depth race never returns 0 (which the
+  // wire format reserves for "no hint").
+  double median_ms;
+  {
+    std::lock_guard<std::mutex> lock(request_hist_mutex_);
+    median_ms = request_hist_.count() > 0 ? request_hist_.quantile_ms(0.5)
+                                          : 25.0;
+  }
+  const std::size_t depth = admission_.snapshot().queue_depth;
+  const double hint =
+      std::max(1.0, static_cast<double>(depth)) * std::max(median_ms, 1.0);
+  return static_cast<std::uint32_t>(std::clamp(hint, 10.0, 10000.0));
+}
+
 server_status server::status() const {
   server_status s;
   s.jobs_submitted = jobs_submitted_.load();
@@ -585,6 +640,13 @@ server_stats_reply server::stats() const {
   reply.eco_retained_hits = eco_retained_hits_.load();
   reply.eco_base_rebuilds = eco_base_rebuilds_.load();
   reply.eco_failures = eco_failures_.load();
+  reply.io_timeouts = io_timeouts_.load();
+  // Fault-injection counters: all zero / empty outside chaos drills (the
+  // registry is process-global; an armed schedule covers every layer).
+  reply.fault_fired = fault::total_fired();
+  for (const auto& s : fault::stats()) {
+    reply.fault_sites.push_back({s.site, s.hits, s.fired});
+  }
 
   // Merge-on-read: the retired set plus every live connection's recycled
   // per-worker histograms, none of which pay anything on the request path.

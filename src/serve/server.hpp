@@ -64,6 +64,17 @@ struct server_options {
   std::size_t max_queue = 64;     ///< admission waiters before shedding
   std::size_t max_inflight = 0;   ///< concurrent submits; 0 = worker count
   std::size_t max_conns = 256;    ///< concurrent connections before bouncing
+  /// Per-connection I/O deadline in ms (<= 0 disables).  Bounds every read
+  /// once a frame has started arriving and every write: a peer that stalls
+  /// mid-frame or stops draining its socket (slowloris) gets a typed
+  /// `io_timeout` error and its handler thread back within this bound,
+  /// instead of pinning the thread forever.
+  int io_timeout_ms = 30000;
+  /// How long a connection may sit idle BETWEEN frames before it is closed
+  /// (<= 0 = forever).  Separate from io_timeout_ms because an idle
+  /// keep-alive connection is legitimate for much longer than a stall in
+  /// the middle of a frame.
+  int idle_timeout_ms = 0;
 };
 
 class server {
@@ -103,6 +114,11 @@ class server {
   void handle_connection(const std::shared_ptr<connection>& conn);
   void reap_finished_locked();
   std::size_t active_connections_locked() const;
+  /// Backoff hint for overloaded/too_many_connections errors: queue depth ×
+  /// the recent request_total median (clamped to a sane window), i.e. "how
+  /// long until the backlog ahead of you plausibly drains".
+  std::uint32_t retry_after_hint_ms() const;
+  void record_request_ms(double ms);
 
   server_options options_;
   std::unique_ptr<flow::batch_runner> runner_;
@@ -122,11 +138,19 @@ class server {
   /// samples survive the connection objects.
   histogram_set retired_hist_;
 
+  /// Server-wide copy of every request's end-to-end latency, kept separate
+  /// from the per-connection scrape histograms so retry_after_hint_ms() can
+  /// read a median without merging the whole histogram set per rejection.
+  mutable std::mutex request_hist_mutex_;
+  log_histogram request_hist_;
+
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> rejected_auth_{0};
   std::atomic<std::uint64_t> rejected_conns_{0};
+  std::atomic<std::uint64_t> io_timeouts_{0};  ///< connections dropped at a
+                                               ///< read/write deadline (v5)
   // v4 incremental-resynthesis (synth_delta) outcome counters.
   std::atomic<std::uint64_t> eco_requests_{0};
   std::atomic<std::uint64_t> eco_retained_hits_{0};

@@ -448,6 +448,7 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_cache_hits_total{tier=\"disk\"} " << c.disk_hits << "\n"
      << "xsfq_cache_misses_total{tier=\"disk\"} " << c.disk_misses << "\n"
      << "xsfq_cache_disk_writes_total " << c.disk_writes << "\n"
+     << "xsfq_cache_disk_quarantined_total " << c.disk_quarantined << "\n"
      << "xsfq_cache_hits_total{tier=\"region\"} " << c.region_hits << "\n"
      << "xsfq_cache_misses_total{tier=\"region\"} " << c.region_misses
      << "\n";
@@ -474,6 +475,18 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_admission_max_inflight " << stats.max_inflight << "\n"
      << "xsfq_max_connections " << stats.max_conns << "\n"
      << "xsfq_runner_queue_depth " << stats.runner_queue_depth << "\n";
+
+  // v5 robustness counters.  Per-site lines appear only during chaos
+  // drills (the fault registry is empty otherwise), so a production scrape
+  // carries no fault noise.
+  os << "xsfq_io_timeouts_total " << stats.io_timeouts << "\n"
+     << "xsfq_fault_fired_total " << stats.fault_fired << "\n";
+  for (const auto& site : stats.fault_sites) {
+    os << "xsfq_fault_hits{site=\"" << site.site << "\"} " << site.hits
+       << "\n"
+       << "xsfq_fault_fired{site=\"" << site.site << "\"} " << site.fired
+       << "\n";
+  }
 
   // Sparse cumulative exposition: only buckets that actually hold samples
   // get a line (28 log buckets x N histograms would mostly be zeros), then

@@ -1,0 +1,216 @@
+/// \file fault.cpp
+/// \brief Schedule parsing and the armed slow path for fault injection.
+
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// One parsed schedule entry plus its live counters.  Each rule carries its
+/// own generator (seeded from the schedule seed mixed with the site name) so
+/// fire sequences are independent of evaluation order across sites.
+struct rule {
+  std::string site;
+  std::uint64_t nth = 1;     // first eligible hit (1-based)
+  double prob = 1.0;         // per-eligible-hit fire probability
+  std::uint64_t repeat = 1;  // max fires; 0 = unlimited
+  rng gen;
+
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+struct registry {
+  std::mutex mutex;
+  std::vector<rule> rules;
+  std::string schedule_text;
+};
+
+registry& reg() {
+  static registry r;
+  return r;
+}
+
+[[noreturn]] void bad(const std::string& schedule, const std::string& why) {
+  throw std::invalid_argument("bad fault schedule \"" + schedule +
+                              "\": " + why);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::uint64_t parse_u64(const std::string& schedule, const std::string& text,
+                        const std::string& what) {
+  std::uint64_t v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    bad(schedule, what + " is not an integer: " + text);
+  }
+  if (pos != text.size() || text.empty() || text[0] == '-')
+    bad(schedule, what + " is not an integer: " + text);
+  return v;
+}
+
+double parse_prob(const std::string& schedule, const std::string& text) {
+  double v = 0.0;
+  std::size_t pos = 0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    bad(schedule, "prob is not a number: " + text);
+  }
+  if (pos != text.size() || v < 0.0 || v > 1.0)
+    bad(schedule, "prob must be in [0,1]: " + text);
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, const char* seps) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find_first_of(seps, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void arm(const std::string& schedule) {
+  std::uint64_t seed = 0;
+  std::vector<rule> rules;
+
+  for (const std::string& raw_entry : split(schedule, ";,")) {
+    const std::string entry = trim(raw_entry);
+    if (entry.empty()) continue;
+
+    std::vector<std::string> parts = split(entry, ":");
+    const std::string head = trim(parts[0]);
+    if (head.rfind("seed=", 0) == 0) {
+      if (parts.size() != 1) bad(schedule, "seed entry takes no options");
+      seed = parse_u64(schedule, trim(head.substr(5)), "seed");
+      continue;
+    }
+    if (head.empty()) bad(schedule, "empty site name in \"" + entry + "\"");
+    if (head.find('=') != std::string::npos)
+      bad(schedule, "unknown directive \"" + head + "\"");
+
+    rule r;
+    r.site = head;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string opt = trim(parts[i]);
+      const std::size_t eq = opt.find('=');
+      if (eq == std::string::npos)
+        bad(schedule, "option \"" + opt + "\" is not key=value");
+      const std::string key = trim(opt.substr(0, eq));
+      const std::string val = trim(opt.substr(eq + 1));
+      if (key == "nth") {
+        r.nth = parse_u64(schedule, val, "nth");
+        if (r.nth == 0) bad(schedule, "nth must be >= 1");
+      } else if (key == "prob") {
+        r.prob = parse_prob(schedule, val);
+      } else if (key == "repeat") {
+        r.repeat = parse_u64(schedule, val, "repeat");
+      } else {
+        bad(schedule, "unknown option \"" + key + "\"");
+      }
+    }
+    rules.push_back(std::move(r));
+  }
+
+  // Seed after parsing: every rule mixes the shared seed with its site name,
+  // so adding a rule never perturbs another rule's fire sequence.
+  for (rule& r : rules)
+    r.gen = rng(hash_mix(hash_mix(0x66617578ull, seed),
+                         hash_mix_str(0, r.site)));
+
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.rules = std::move(rules);
+  g.schedule_text = g.rules.empty() ? std::string{} : trim(schedule);
+  detail::g_armed.store(!g.rules.empty(), std::memory_order_relaxed);
+}
+
+bool arm_from_env() {
+  const char* env = std::getenv("XSFQ_FAULTS");
+  if (env == nullptr || *env == '\0') return false;
+  arm(env);
+  return armed();
+}
+
+void disarm() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  // Counters survive so a drill can disarm, then assert on what fired.
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool check_slow(std::string_view site) {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  for (rule& r : g.rules) {
+    if (r.site != site) continue;
+    ++r.hits;
+    if (r.hits < r.nth) return false;
+    if (r.repeat != 0 && r.fired >= r.repeat) return false;
+    if (r.prob < 1.0 && r.gen.uniform() >= r.prob) return false;
+    ++r.fired;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+std::vector<site_stats> stats() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::vector<site_stats> out;
+  out.reserve(g.rules.size());
+  for (const rule& r : g.rules) out.push_back({r.site, r.hits, r.fired});
+  return out;
+}
+
+std::uint64_t total_fired() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::uint64_t total = 0;
+  for (const rule& r : g.rules) total += r.fired;
+  return total;
+}
+
+std::string describe() {
+  registry& g = reg();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (!detail::g_armed.load(std::memory_order_relaxed) || g.rules.empty())
+    return "(disarmed)";
+  return g.schedule_text;
+}
+
+}  // namespace xsfq::fault

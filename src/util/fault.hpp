@@ -1,0 +1,99 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the service path.
+///
+/// Production failure modes — a peer resetting its connection mid-response,
+/// a disk filling up under a cache write, a crash between a temp-file write
+/// and its rename — are rare enough that the code handling them is the least
+/// exercised in the tree.  This subsystem makes them *injectable on demand*:
+/// hot paths carry named injection sites (`fault::fire("disk_cache.write.
+/// short")`), and a seeded schedule armed from the `XSFQ_FAULTS` environment
+/// variable or a `--faults=` flag decides which sites fire, on which hit,
+/// with what probability, how many times.  The same schedule string with the
+/// same seed reproduces the same failure sequence run after run, which is
+/// what lets a chaos test assert byte-identical recovery instead of
+/// shrugging at flaky nondeterminism.
+///
+/// Cost contract: an unarmed site is one relaxed atomic load and a branch —
+/// measurably free on every hot path that carries one (the perf gate runs
+/// with the hooks compiled in).  The slow path (schedule lookup under a
+/// mutex) only runs while a schedule is armed, i.e. during chaos drills.
+///
+/// Schedule grammar (entries split on ';' or ','):
+///
+///   [seed=S;]site[:nth=N][:prob=P][:repeat=R][;site2...]
+///
+///   - `site`   exact site name, e.g. `serve.send.reset`
+///   - `nth=N`  first fire on the Nth hit of the site (default 1)
+///   - `prob=P` once eligible, each hit fires with probability P (default
+///              1.0), drawn from a deterministic per-rule generator seeded
+///              by `seed` and the site name
+///   - `repeat=R` stop after R fires (default 1; 0 = fire forever)
+///   - `seed=S` seeds every probabilistic rule (default 0)
+///
+/// Example: `XSFQ_FAULTS="seed=7;serve.send.reset:nth=2:repeat=3;
+/// disk_cache.write.enospc:prob=0.5:repeat=0"`.
+///
+/// Thread-safety: fire()/arm()/disarm()/stats() are safe from any thread.
+/// The registry is process-global (one schedule per process), matching how a
+/// chaos drill drives one daemon.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsfq::fault {
+
+namespace detail {
+/// Fast-path gate: false whenever no schedule is armed.
+extern std::atomic<bool> g_armed;
+bool check_slow(std::string_view site);
+}  // namespace detail
+
+/// Hot-path check: returns true when the armed schedule says this hit of
+/// `site` must fail.  Unarmed cost is one relaxed load + branch.
+inline bool fire(std::string_view site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::check_slow(site);
+}
+
+/// Whether any schedule is currently armed.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Parses and arms `schedule` (see the grammar above), replacing any
+/// previously armed schedule.  An empty/whitespace string disarms.  Throws
+/// std::invalid_argument on malformed input — a typo in a chaos drill must
+/// abort loudly, not silently run fault-free.
+void arm(const std::string& schedule);
+
+/// Arms from the XSFQ_FAULTS environment variable when it is set and
+/// non-empty; returns whether a schedule was armed.
+bool arm_from_env();
+
+/// Drops the schedule; every site reverts to the one-load fast path.
+/// Fire counters of the dropped schedule are retained until the next arm()
+/// so post-run assertions can still read them.
+void disarm();
+
+/// One scheduled site's observation counters.
+struct site_stats {
+  std::string site;
+  std::uint64_t hits = 0;   ///< times the site was evaluated while armed
+  std::uint64_t fired = 0;  ///< times it was told to fail
+};
+
+/// Counters for every site in the current (or last disarmed) schedule.
+std::vector<site_stats> stats();
+
+/// Total fires across all sites since the last arm().
+std::uint64_t total_fired();
+
+/// Human-readable description of the armed schedule ("(disarmed)" when
+/// none) — for daemon startup lines and drill logs.
+std::string describe();
+
+}  // namespace xsfq::fault

@@ -19,6 +19,7 @@
 #include "benchgen/registry.hpp"
 #include "flow/batch_runner.hpp"
 #include "serve/client.hpp"
+#include "serve/resilient_client.hpp"
 #include "serve/server.hpp"
 #include "serve/synth_service.hpp"
 
@@ -589,6 +590,53 @@ TEST(EcoEndToEnd, TypedErrorsCrossTheWire) {
   const server_stats_reply stats = cli.server_stats();
   EXPECT_EQ(stats.eco_requests, 2u);
   EXPECT_EQ(stats.eco_failures, 2u);
+}
+
+TEST(EcoEndToEnd, DeltaSurvivesDaemonRestartThroughRetryingClient) {
+  temp_dir dir;
+  server_options options;
+  options.socket_path = dir.path + "/served.sock";
+  options.cache_dir = dir.path + "/cache";
+  options.threads = 2;
+  auto srv = std::make_unique<server>(options);
+
+  synth_request base = make_request_for_spec("c432");
+  const aig base_net = load_request_circuit(base);
+
+  endpoint ep;
+  ep.socket_path = options.socket_path;
+  retry_policy policy;
+  policy.max_retries = 5;
+  policy.initial_backoff_ms = 10;
+  resilient_client rcli(ep, policy);
+  ASSERT_TRUE(rcli.submit(base).ok);
+
+  synth_delta_request dreq;
+  dreq.base = base;
+  dreq.base_content_hash = base_net.content_hash();
+  dreq.edit_text = flip_gate_edit(base_net);
+  const synth_response eco = rcli.submit_delta(dreq);
+  ASSERT_TRUE(eco.ok);
+
+  // Restart the daemon: the retained-network tier dies with the process and
+  // the client's connection goes stale.  The delta request still carries
+  // the base circuit, so the restarted daemon rebuilds the base, replays
+  // the edit, and the retrying client never surfaces the outage.
+  srv->stop();
+  srv.reset();
+  srv = std::make_unique<server>(options);
+
+  const synth_response replayed = rcli.submit_delta(dreq);
+  ASSERT_TRUE(replayed.ok);
+  EXPECT_EQ(replayed.report, eco.report);
+  EXPECT_EQ(replayed.content_hash, eco.content_hash);
+  EXPECT_GE(rcli.reconnects(), 2u);
+
+  client fresh(options.socket_path);
+  const server_stats_reply stats = fresh.server_stats();
+  EXPECT_EQ(stats.eco_requests, 1u);       // post-restart counters only
+  EXPECT_EQ(stats.eco_retained_hits, 0u);  // the retained tier was lost...
+  EXPECT_EQ(stats.eco_base_rebuilds, 1u);  // ...so the base was rebuilt
 }
 
 }  // namespace

@@ -141,6 +141,7 @@ TEST(ProtocolDoc, ErrorCodeTableMatchesEnum) {
       {"shutting_down", serve::error_code::shutting_down},
       {"unknown_base", serve::error_code::unknown_base},
       {"bad_edit", serve::error_code::bad_edit},
+      {"io_timeout", serve::error_code::io_timeout},
   };
   EXPECT_EQ(rows.size(), expected.size())
       << "error-code table row count != error_code enumerator count";

@@ -156,7 +156,7 @@ TEST(DiskCache, StoreLoadHitAndAbsentMiss) {
   EXPECT_EQ(stats.writes, 1u);
 }
 
-TEST(DiskCache, CorruptAndStaleVersionEntriesReadAsMissAndAreRemoved) {
+TEST(DiskCache, CorruptAndStaleVersionEntriesReadAsMissAndAreQuarantined) {
   temp_dir dir;
   const std::string cache_dir = dir.path + "/cache";
   const flow::flow_result result = flow::run_flow("c432");
@@ -175,7 +175,10 @@ TEST(DiskCache, CorruptAndStaleVersionEntriesReadAsMissAndAreRemoved) {
   {
     flow::disk_result_cache cache(cache_dir);
     EXPECT_FALSE(cache.load(7, 9).has_value());
-    EXPECT_FALSE(fs::exists(entry));  // corrupt entry dropped
+    EXPECT_FALSE(fs::exists(entry));  // corrupt entry out of the live dir
+    // Not erased, though: the bytes move to quarantine/ for inspection.
+    EXPECT_EQ(cache.stats().quarantined, 1u);
+    EXPECT_TRUE(fs::exists(cache.quarantine_directory()));
   }
   // A version from the future reads as a miss too.
   {

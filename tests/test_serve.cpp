@@ -149,6 +149,7 @@ TEST(ServeProtocol, V3PayloadRoundTrips) {
       decode_error(encode_error(error_code::overloaded, "full"));
   EXPECT_EQ(err.code, error_code::overloaded);
   EXPECT_EQ(err.message, "full");
+  EXPECT_EQ(err.retry_after_ms, 0u);
   byte_writer fw;
   fw.u8(200);  // a code this build does not know
   fw.str("from the future");
@@ -160,10 +161,14 @@ TEST(ServeProtocol, V3PayloadRoundTrips) {
   server_stats_reply stats;
   stats.status.jobs_submitted = 7;
   stats.cache.full_hits = 3;
+  stats.cache.disk_quarantined = 2;
   stats.accepted = 5;
   stats.rejected_overload = 2;
   stats.queue_depth = 1;
   stats.runner_queue_depth = 4;
+  stats.io_timeouts = 6;
+  stats.fault_fired = 3;
+  stats.fault_sites.push_back({"serve.send.reset", 9, 3});
   histogram_snapshot h;
   h.name = "queue_wait";
   h.count = 2;
@@ -180,11 +185,44 @@ TEST(ServeProtocol, V3PayloadRoundTrips) {
   EXPECT_EQ(sback.rejected_overload, 2u);
   EXPECT_EQ(sback.queue_depth, 1u);
   EXPECT_EQ(sback.runner_queue_depth, 4u);
+  EXPECT_EQ(sback.cache.disk_quarantined, 2u);
+  EXPECT_EQ(sback.io_timeouts, 6u);
+  EXPECT_EQ(sback.fault_fired, 3u);
+  ASSERT_EQ(sback.fault_sites.size(), 1u);
+  EXPECT_EQ(sback.fault_sites[0].site, "serve.send.reset");
+  EXPECT_EQ(sback.fault_sites[0].hits, 9u);
+  EXPECT_EQ(sback.fault_sites[0].fired, 3u);
   ASSERT_EQ(sback.histograms.size(), 1u);
   EXPECT_EQ(sback.histograms[0].name, "queue_wait");
   EXPECT_EQ(sback.histograms[0].count, 2u);
   ASSERT_EQ(sback.histograms[0].buckets.size(), log_histogram::num_buckets);
   EXPECT_EQ(sback.histograms[0].buckets[4], 2u);
+}
+
+TEST(ServeProtocol, RetryAfterHintRoundTripsAndDegradesPerVersion) {
+  // v5 payload carries the hint...
+  const error_reply hinted =
+      decode_error(encode_error(error_code::overloaded, "full", 1234));
+  EXPECT_EQ(hinted.code, error_code::overloaded);
+  EXPECT_EQ(hinted.retry_after_ms, 1234u);
+  // ...and the one decoder reads every vintage: a v3/v4 payload (no
+  // trailing hint) decodes with hint 0 instead of throwing.
+  const auto v4_payload = encode_error_for_version(
+      4, error_code::overloaded, "full", 1234);
+  const error_reply v4_err = decode_error(v4_payload);
+  EXPECT_EQ(v4_err.code, error_code::overloaded);
+  EXPECT_EQ(v4_err.retry_after_ms, 0u);  // hint dropped for the v4 peer
+  EXPECT_LT(v4_payload.size(),
+            encode_error(error_code::overloaded, "full", 1234).size());
+  // A pre-v3 peer gets the legacy bare-string payload.
+  EXPECT_EQ(decode_legacy_error(encode_error_for_version(
+                2, error_code::overloaded, "full", 1234)),
+            "full");
+  // v5+ peers (and the future) get the full layout.
+  EXPECT_EQ(decode_error(encode_error_for_version(
+                            5, error_code::overloaded, "full", 777))
+                .retry_after_ms,
+            777u);
 }
 
 TEST(ServeProtocol, ConstantTimeEqualCompares) {
@@ -619,6 +657,9 @@ TEST(ServeEndToEnd, OverloadShedsWithTypedErrorWhileAcceptedWorkCompletes) {
     FAIL() << "burst submit should have been shed";
   } catch (const service_error& e) {
     EXPECT_EQ(e.code, error_code::overloaded);
+    // v5 retry contract: shedding carries a non-zero backoff hint.
+    EXPECT_GT(e.retry_after_ms, 0u);
+    EXPECT_LE(e.retry_after_ms, 10000u);
   }
   EXPECT_TRUE(cli_b.ping());
 
@@ -684,6 +725,7 @@ TEST(ServeEndToEnd, ConnectionCapBouncesWithTypedError) {
     EXPECT_EQ(reply->type, msg_type::error);
     const error_reply err = decode_error(reply->payload);
     EXPECT_EQ(err.code, error_code::too_many_connections);
+    EXPECT_GT(err.retry_after_ms, 0u);  // v5: bounce carries a backoff hint
     EXPECT_FALSE(read_frame_fd(extra.fd).has_value());
   }
   EXPECT_TRUE(first->ping());  // the admitted connection is unaffected
