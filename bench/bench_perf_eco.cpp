@@ -1,6 +1,7 @@
 /// bench_perf_eco — edit→resynthesize latency through the live service path.
 ///
-///   bench_perf_eco [reps] [--json=FILE]   (default: 16 reps per edit size)
+///   bench_perf_eco [reps] [--json=FILE] [--trace]
+///                                         (default: 16 reps per edit size)
 ///
 /// Spins an in-process daemon (Unix socket, no disk cache — the interactive
 /// regime is memory/region-cache bound) and drives it over one persistent
@@ -19,6 +20,12 @@
 /// against bench/BENCH_baseline.json, where an absolute cap (not a relative
 /// gate) enforces the headline: a single-gate edit on c6288 resynthesizes
 /// in under 2 ms end to end.
+///
+/// --trace stamps a fresh v6 trace id on every request and, per session,
+/// reads the last request's span waterfall back from the daemon
+/// (PERF_ECO_TRACE lines).  Reported-only: CI runs it alongside the gated
+/// untraced run to show the per-request collector riding the hot path, but
+/// the regression gate keys off the untraced JSON figures.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +41,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/synth_service.hpp"
+#include "util/log.hpp"
 
 using namespace xsfq;
 
@@ -45,6 +53,16 @@ double ms_since(clock_type::time_point start) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - start)
       .count();
 }
+
+/// --trace id allocator: unique per request within this process/daemon pair
+/// (both in-process, so a plain counter under a recognizable hi word is
+/// enough — no need for real randomness in a benchmark).
+bool g_trace = false;
+std::uint64_t next_trace_lo() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+constexpr std::uint64_t bench_trace_hi = 0xecb0'0000'0000'0001ull;
 
 std::string sig_token(const signal s) {
   return (s.is_complemented() ? std::string("!") : std::string()) + "n" +
@@ -63,6 +81,7 @@ struct eco_session {
   std::vector<aig::node_index> gates;
   std::size_t next_flip = 0;
   std::unordered_set<std::uint64_t> seen;  ///< every hash served so far
+  std::uint64_t last_trace_lo = 0;         ///< id of the latest request
 
   eco_session(serve::client& client, const std::string& name, unsigned grain)
       : cli(client), base(serve::make_request_for_spec(name)) {
@@ -76,7 +95,17 @@ struct eco_session {
     std::rotate(gates.begin(), gates.begin() + gates.size() / 2, gates.end());
   }
 
+  /// Stamps a fresh trace id on `req` when --trace is active (the id rides
+  /// the synth_request tail, so deltas stamp their embedded base).
+  void stamp(serve::synth_request& req) {
+    if (!g_trace) return;
+    last_trace_lo = next_trace_lo();
+    req.trace_hi = bench_trace_hi;
+    req.trace_lo = last_trace_lo;
+  }
+
   double submit_cold() {
+    stamp(base);
     const auto start = clock_type::now();
     const serve::synth_response r = cli.submit(base);
     const double ms = ms_since(start);
@@ -107,6 +136,7 @@ struct eco_session {
     }
     serve::synth_delta_request dreq;
     dreq.base = base;
+    stamp(dreq.base);
     dreq.base_content_hash = current_hash;
     dreq.edit_text = script;
     dreq.supersede_base = false;
@@ -158,6 +188,26 @@ eco_figures run_session(serve::client& cli, const std::string& name,
               "edit8_ms=%.3f edit64_ms=%.3f\n",
               name.c_str(), grain, out.cold_ms, out.edit1_ms, out.edit8_ms,
               out.edit64_ms);
+  if (g_trace) {
+    // Read the last measured request's waterfall back from the daemon:
+    // proves the per-request collector rode the same hot path the figures
+    // above timed (reported-only, not part of the gated JSON).
+    const serve::trace_reply tr =
+        cli.trace({bench_trace_hi, session.last_trace_lo});
+    double total_ms = 0.0;
+    double stage_ms = 0.0;
+    for (const auto& sp : tr.spans) {
+      if (sp.name == "request_total") total_ms = sp.dur_us / 1000.0;
+      if (sp.name.rfind("stage:", 0) == 0) stage_ms += sp.dur_us / 1000.0;
+    }
+    std::printf("PERF_ECO_TRACE circuit=%s spans=%zu stage_sum_ms=%.3f "
+                "request_total_ms=%.3f\n",
+                name.c_str(), tr.spans.size(), stage_ms, total_ms);
+    if (tr.spans.empty()) {
+      std::fprintf(stderr, "--trace produced no spans for the last edit\n");
+      std::exit(1);
+    }
+  }
   return out;
 }
 
@@ -179,18 +229,29 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--trace") {
+      g_trace = true;
     } else if (!arg.empty() &&
                arg.find_first_not_of("0123456789") == std::string::npos) {
       reps = std::atoi(arg.c_str());
     } else {
-      std::cerr << "usage: " << argv[0] << " [reps>0] [--json=FILE]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [reps>0] [--json=FILE] [--trace]\n";
       return 2;
     }
   }
   if (reps <= 0) {
-    std::cerr << "usage: " << argv[0] << " [reps>0] [--json=FILE]\n";
+    std::cerr << "usage: " << argv[0]
+              << " [reps>0] [--json=FILE] [--trace]\n";
     return 2;
   }
+
+  // The in-process daemon's info-level request.done lines would put one
+  // stderr write inside every measured round trip — and make the sub-ms
+  // figures depend on how fast whatever consumes stderr drains it.  Warn
+  // and above still surface; the always-on span recorder stays on, which
+  // is exactly what the gate is meant to price.
+  log::set_level(log::level::warn);
 
   char tmpl[] = "/tmp/xsfq_bench_eco_XXXXXX";
   const char* dir = mkdtemp(tmpl);

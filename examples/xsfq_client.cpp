@@ -44,17 +44,30 @@
 /// With retries the attempt counters are printed to stderr as
 /// `client_retries=N client_reconnects=N`.  Default (--retries=0) keeps
 /// the classic fail-fast single-connection behavior.
+///
+/// Tracing (v6): --trace stamps the request with a random 16-byte trace id,
+/// fetches the daemon's collected span tree after the result arrives, and
+/// prints a per-stage waterfall to stderr — queue wait, runner queue, cache
+/// probes, each flow stage, and the end-to-end request_total — so "where
+/// did my milliseconds go?" is answerable per request.  stdout stays
+/// byte-identical to xsfq_synth.  --log-level=LEVEL gates the structured
+/// retry/reconnect log lines (default info).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <memory>
+#include <random>
 #include <string>
 
 #include "serve/client.hpp"
 #include "serve/resilient_client.hpp"
 #include "serve/synth_service.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
 
 using namespace xsfq;
 
@@ -71,6 +84,59 @@ void print_cache_stats(const serve::cache_stats_reply& reply) {
             << (reply.disk_directory.empty() ? "(disabled)"
                                              : reply.disk_directory)
             << "\n";
+}
+
+/// The --trace waterfall: one line per span, time-offset and duration in
+/// ms, with a bar scaled against the request_total span.  Goes to stderr so
+/// stdout stays diffable against xsfq_synth.
+void print_trace_waterfall(const xsfq::trace::trace_id id,
+                           const serve::trace_reply& reply) {
+  std::fprintf(stderr, "trace %s:\n", xsfq::trace::to_hex(id).c_str());
+  if (reply.spans.empty()) {
+    std::fprintf(stderr, "  (no spans collected — daemon predates v6, or "
+                         "the trace was evicted)\n");
+    return;
+  }
+  std::uint64_t t0 = reply.spans.front().start_us;
+  std::uint64_t total_us = 0;
+  for (const auto& s : reply.spans) {
+    t0 = std::min(t0, s.start_us);
+    if (s.name == "request_total") total_us = s.dur_us;
+  }
+  if (total_us == 0) {
+    for (const auto& s : reply.spans) {
+      total_us = std::max(total_us, s.start_us + s.dur_us - t0);
+    }
+  }
+  constexpr int bar_width = 32;
+  double stage_sum_ms = 0.0;
+  for (const auto& s : reply.spans) {
+    if (s.name.rfind("stage:", 0) == 0) {
+      stage_sum_ms += static_cast<double>(s.dur_us) / 1000.0;
+    }
+    // Bar: offset spaces then '#'s, both scaled to request_total.
+    char bar[bar_width + 1];
+    int lead = 0, fill = 0;
+    if (total_us > 0) {
+      lead = static_cast<int>((s.start_us - t0) * bar_width / total_us);
+      fill = static_cast<int>(s.dur_us * bar_width / total_us);
+    }
+    // Clamp so every span keeps one visible tick — the send span starts
+    // after request_total closes, which would otherwise scale off the bar.
+    lead = std::min(lead, bar_width - 1);
+    fill = std::min(std::max(fill, 1), bar_width - lead);
+    std::memset(bar, ' ', bar_width);
+    std::memset(bar + lead, '#', static_cast<std::size_t>(fill));
+    bar[bar_width] = '\0';
+    std::fprintf(stderr, "  %-24s %10.3f ms  @%10.3f ms  [tid %u] |%s|\n",
+                 s.name.c_str(), static_cast<double>(s.dur_us) / 1000.0,
+                 static_cast<double>(s.start_us - t0) / 1000.0, s.tid, bar);
+  }
+  std::fprintf(stderr,
+               "trace_summary spans=%zu stage_sum_ms=%.3f "
+               "request_total_ms=%.3f\n",
+               reply.spans.size(), stage_sum_ms,
+               static_cast<double>(total_us) / 1000.0);
 }
 
 }  // namespace
@@ -92,6 +158,7 @@ int main(int argc, char** argv) {
   unsigned retries = 0;       // --retries=N → resilient_client path
   int timeout_ms = 0;         // --timeout-ms: per-attempt response deadline
   unsigned backoff_ms = 50;   // --backoff-ms: first retry backoff
+  bool want_trace = false;    // --trace: stamp an id, print the waterfall
   enum class action { synth, status, cache_stats, server_stats, shutdown };
   action act = action::synth;
 
@@ -158,6 +225,17 @@ int main(int argc, char** argv) {
       backoff_ms = static_cast<unsigned>(b);
     } else if (auto ve = serve::cli_value(arg, "--edit"); !ve.empty()) {
       edit_path = ve;
+    } else if (arg == "--trace") {
+      want_trace = true;
+    } else if (auto vll = serve::cli_value(arg, "--log-level");
+               !vll.empty()) {
+      log::level lvl;
+      if (!log::parse_level(vll, lvl)) {
+        std::cerr << "--log-level expects trace|debug|info|warn|error|off, "
+                     "got: " << vll << "\n";
+        return 2;
+      }
+      log::set_level(lvl);
     } else if (arg == "--edit-full") {
       edit_full = true;
     } else if (arg == "--no-supersede") {
@@ -284,6 +362,24 @@ int main(int argc, char** argv) {
     req.priority = static_cast<std::uint8_t>(priority);
     req.deadline_ms = deadline_ms;
 
+    // --trace: a random non-zero 16-byte id makes the daemon collect this
+    // request's spans; we read them back once the result is in hand.
+    trace::trace_id trace_id;
+    if (want_trace) {
+      std::random_device rd;
+      const auto word = [&rd] {
+        return (static_cast<std::uint64_t>(rd()) << 32) |
+               static_cast<std::uint64_t>(rd());
+      };
+      trace_id.hi = word();
+      trace_id.lo = word();
+      if (!trace_id.valid()) trace_id.lo = 1;
+      req.trace_hi = trace_id.hi;
+      req.trace_lo = trace_id.lo;
+      // Install locally too, so retry/reconnect log lines correlate.
+      trace::set_current(trace_id);
+    }
+
     serve::synth_response resp;
     if (edit_path.empty()) {
       resp = rcli ? rcli->submit(req, serve::print_progress_event)
@@ -312,6 +408,13 @@ int main(int argc, char** argv) {
       }
     }
     report_attempts();
+    if (want_trace) {
+      serve::trace_request treq;
+      treq.trace_hi = trace_id.hi;
+      treq.trace_lo = trace_id.lo;
+      print_trace_waterfall(trace_id, rcli ? rcli->trace(treq)
+                                           : make_client()->trace(treq));
+    }
     if (synth.progress && resp.served_from_cache) {
       std::cerr << "(served from daemon cache)\n";
     }

@@ -4,6 +4,7 @@
 ///               [--threads=N] [--cache-dir=DIR] [--max-disk-entries=N]
 ///               [--max-queue=N] [--max-inflight=N] [--max-conns=N]
 ///               [--io-timeout-ms=N] [--idle-timeout-ms=N] [--faults=SCHED]
+///               [--log-level=LEVEL] [--trace-out=DIR]
 ///
 /// Owns one long-lived flow::batch_runner behind up to two listeners
 /// speaking the serve protocol (src/serve/protocol.hpp): the Unix-domain
@@ -27,6 +28,15 @@
 /// deterministic fault-injection registry (util/fault.hpp) for chaos
 /// drills; never set it in production.
 ///
+/// Observability (v6): --log-level=LEVEL (trace|debug|info|warn|error|off,
+/// default info) gates the structured logfmt stream on stderr — one line
+/// per connection/request lifecycle event, each carrying the request's
+/// trace_id when the client sent one.  --trace-out=DIR exports every traced
+/// request's span tree as Chrome trace-event JSON (Perfetto-loadable) to
+/// DIR.  SIGUSR1 dumps the always-on flight recorder — the last ~2k spans
+/// per thread, traced or not — to xsfq_flight_<pid>.json (in --trace-out's
+/// directory when set, else the working directory) and keeps serving.
+///
 /// Runs in the foreground (a supervisor or `&` backgrounds it).  SIGINT,
 /// SIGTERM, or a client `shutdown` request drain gracefully: in-flight
 /// requests finish and receive their responses, disk-cache writes land
@@ -45,6 +55,8 @@
 #include "serve/server.hpp"
 #include "serve/synth_service.hpp"
 #include "util/fault.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
 
 using namespace xsfq;
 
@@ -71,7 +83,7 @@ int main(int argc, char** argv) {
                  "[--auth-token=SECRET] [--threads=N] [--cache-dir=DIR] "
                  "[--max-disk-entries=N] [--max-queue=N] [--max-inflight=N] "
                  "[--max-conns=N] [--io-timeout-ms=N] [--idle-timeout-ms=N] "
-                 "[--faults=SCHEDULE]\n";
+                 "[--faults=SCHEDULE] [--log-level=LEVEL] [--trace-out=DIR]\n";
     return 2;
   };
   std::string fault_schedule;
@@ -142,6 +154,16 @@ int main(int argc, char** argv) {
       }
     } else if (auto vf = serve::cli_value(arg, "--faults"); !vf.empty()) {
       fault_schedule = vf;
+    } else if (auto vll = serve::cli_value(arg, "--log-level"); !vll.empty()) {
+      log::level lvl;
+      if (!log::parse_level(vll, lvl)) {
+        std::cerr << "--log-level expects trace|debug|info|warn|error|off, "
+                     "got: " << vll << "\n";
+        return 2;
+      }
+      log::set_level(lvl);
+    } else if (auto vto = serve::cli_value(arg, "--trace-out"); !vto.empty()) {
+      options.trace_out_dir = vto;
     } else {
       return usage();
     }
@@ -162,11 +184,14 @@ int main(int argc, char** argv) {
   }
 
   // Signals are consumed synchronously below; block them before any thread
-  // exists so every server/worker thread inherits the mask.
+  // exists so every server/worker thread inherits the mask.  SIGUSR1 joins
+  // the set so the flight-recorder dump runs on the main thread — plain
+  // function calls, no async-signal-safety gymnastics.
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGINT);
   sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
 
@@ -196,7 +221,23 @@ int main(int argc, char** argv) {
       if (srv.shutdown_requested()) kill(getpid(), SIGTERM);
     });
     int sig = 0;
-    sigwait(&sigs, &sig);
+    for (;;) {
+      sigwait(&sigs, &sig);
+      if (sig != SIGUSR1) break;
+      // Flight-recorder dump: snapshot every thread's span ring to Chrome
+      // trace-event JSON and keep serving.  Lands next to the per-request
+      // exports when --trace-out is set, else in the working directory.
+      const std::string dump_path =
+          (options.trace_out_dir.empty() ? std::string{}
+                                         : options.trace_out_dir + "/") +
+          "xsfq_flight_" + std::to_string(getpid()) + ".json";
+      if (trace::dump_chrome_trace(dump_path)) {
+        log::line(log::level::info, "flight.dump").kv("path", dump_path);
+      } else {
+        log::line(log::level::warn, "flight.dump_failed").kv("path",
+                                                             dump_path);
+      }
+    }
     std::cout << "xsfq_served: "
               << (srv.shutdown_requested() ? "shutdown requested"
                                            : strsignal(sig))

@@ -19,6 +19,7 @@
 #include "flow/disk_cache.hpp"
 #include "opt/partition.hpp"
 #include "util/hash.hpp"
+#include "util/trace.hpp"
 
 namespace xsfq::flow {
 
@@ -351,7 +352,12 @@ struct batch_runner::impl {
     }
     // Disk writes happen outside cache_mutex (the disk tier has its own
     // lock); entries loaded *from* disk pass persist=false.
-    if (persist && disk) disk->store(key.circuit, key.options, *entry);
+    if (persist && disk) {
+      const std::uint64_t store_start = trace::now_us();
+      disk->store(key.circuit, key.options, *entry);
+      trace::record("cache.disk_store", store_start,
+                    trace::now_us() - store_start);
+    }
   }
 
   /// Outcome of claiming an optimize-cache slot: a consumer gets the future
@@ -467,14 +473,20 @@ struct batch_runner::impl {
     using clock = std::chrono::steady_clock;
     const flow_options keyed = keyed_options(num_gates, options);
     const cache_key full_key = full_key_for(circuit_hash, name, keyed);
+    const std::uint64_t mem_start = trace::now_us();
     if (auto cached = lookup_full(full_key)) {
       full_hits.fetch_add(1, std::memory_order_relaxed);
+      trace::record("cache.full_hit", mem_start, trace::now_us() - mem_start);
       replay_timings(*cached, generate_ms, observer);
       return {std::move(cached), /*hit=*/true};
     }
     full_misses.fetch_add(1, std::memory_order_relaxed);
     if (disk) {
-      if (auto loaded = disk->load(full_key.circuit, full_key.options)) {
+      const std::uint64_t disk_start = trace::now_us();
+      auto loaded = disk->load(full_key.circuit, full_key.options);
+      trace::record(loaded ? "cache.disk_hit" : "cache.disk_miss", disk_start,
+                    trace::now_us() - disk_start);
+      if (loaded) {
         auto entry =
             std::make_shared<const flow_result>(*std::move(loaded));
         store_full(full_key, entry, /*persist=*/false);
@@ -805,9 +817,19 @@ std::string batch_runner::disk_cache_directory() const {
 std::future<flow_result> batch_runner::enqueue(aig network, std::string name,
                                                flow_options options,
                                                stage_observer observer) {
+  // Capture the submitting thread's trace context: the job body runs on a
+  // pool worker, and its spans (flow stages, cache lookups) must attribute
+  // to the originating request.  The runner_queue span covers the time the
+  // job sat in a worker deque before a thread picked it up.
+  const trace::trace_id tid = trace::current();
+  const std::uint64_t enqueued_us = trace::now_us();
   auto task = std::make_shared<std::packaged_task<flow_result()>>(
-      [this, network = std::move(network), name = std::move(name),
-       options = std::move(options), observer = std::move(observer)]() mutable {
+      [this, tid, enqueued_us, network = std::move(network),
+       name = std::move(name), options = std::move(options),
+       observer = std::move(observer)]() mutable {
+        trace::context_scope tscope(tid);
+        trace::record("runner_queue", enqueued_us,
+                      trace::now_us() - enqueued_us);
         return impl_->run_cached_network(std::move(network), name, options,
                                          observer);
       });
@@ -849,8 +871,15 @@ subtask_runner batch_runner::make_subtask_runner() {
 
 std::future<flow_result> batch_runner::enqueue_job(
     std::function<flow_result()> job) {
-  auto task =
-      std::make_shared<std::packaged_task<flow_result()>>(std::move(job));
+  const trace::trace_id tid = trace::current();
+  const std::uint64_t enqueued_us = trace::now_us();
+  auto task = std::make_shared<std::packaged_task<flow_result()>>(
+      [tid, enqueued_us, job = std::move(job)]() mutable {
+        trace::context_scope tscope(tid);
+        trace::record("runner_queue", enqueued_us,
+                      trace::now_us() - enqueued_us);
+        return job();
+      });
   std::future<flow_result> future = task->get_future();
   impl_->submit([task] { (*task)(); });
   return future;

@@ -8,6 +8,7 @@
 #include "aig/simulate.hpp"
 #include "opt/opt_engine.hpp"
 #include "util/hash.hpp"
+#include "util/trace.hpp"
 
 namespace xsfq {
 namespace {
@@ -235,17 +236,24 @@ aig optimize_partitioned(const aig& network, const optimize_params& params,
   // work counters — and only cache misses spend optimizer time.
   std::vector<std::function<void()>> tasks;
   tasks.reserve(P);
+  // Region re-opt spans attribute to the requesting trace even when the
+  // executor scatters the tasks across pool threads: capture the context
+  // here (this code runs on the request's thread) and reinstall per task.
+  const trace::trace_id trace_ctx = trace::current();
   for (unsigned k = 0; k < P; ++k) {
     region* r = &regions[k];
     if (r->cached) continue;
     region_cache* cache = params.regions;
-    tasks.push_back([r, cache, sub_params] {
+    tasks.push_back([r, cache, sub_params, trace_ctx] {
+      trace::context_scope tscope(trace_ctx);
+      const std::uint64_t start_us = trace::now_us();
       try {
         r->optimized = optimize(r->sub, sub_params, &r->stats);
         if (cache) cache->store(r->cache_key, r->optimized, r->stats);
       } catch (...) {
         r->error = std::current_exception();
       }
+      trace::record("region_reopt", start_us, trace::now_us() - start_us);
     });
   }
   if (params.executor && !tasks.empty()) {

@@ -177,6 +177,12 @@ synth_response client::read_submit_response(const progress_fn& progress) {
   }
 }
 
+trace_reply client::trace(const trace_request& req) {
+  const frame f = roundtrip(msg_type::trace, encode_trace_request(req),
+                            msg_type::trace_ok);
+  return decode_trace_reply(f.payload);
+}
+
 server_status client::status() {
   const frame f = roundtrip(msg_type::status, {}, msg_type::status_ok);
   return decode_server_status(f.payload);

@@ -76,6 +76,11 @@ class client {
   synth_response submit_delta(const synth_delta_request& req,
                               const progress_fn& progress = {});
 
+  /// v6: fetches the span tree the daemon's flight recorder collected for a
+  /// traced request (one whose submit carried a non-zero trace_id).  An
+  /// unknown or already-evicted id returns an empty span list, not an error.
+  trace_reply trace(const trace_request& req);
+
   server_status status();
   cache_stats_reply cache_stats();
   /// The full v3 metrics scrape (admission counters, cache tiers, latency

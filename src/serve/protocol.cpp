@@ -220,6 +220,8 @@ std::vector<std::uint8_t> encode_synth_request(const synth_request& req) {
   w.u8(req.priority);
   w.f64(req.deadline_ms);
   w.u32(req.partition_grain);
+  w.u64(req.trace_hi);
+  w.u64(req.trace_lo);
   return w.take();
 }
 
@@ -254,6 +256,8 @@ synth_request decode_synth_request(std::span<const std::uint8_t> payload) {
   if (req.partition_grain > 100000) {
     throw serialize_error("partition_grain out of range");
   }
+  req.trace_hi = r.u64();
+  req.trace_lo = r.u64();
   r.expect_done();
   return req;
 }
@@ -462,6 +466,55 @@ auth_request decode_auth_request(std::span<const std::uint8_t> payload) {
   return req;
 }
 
+std::vector<std::uint8_t> encode_trace_request(const trace_request& req) {
+  byte_writer w;
+  w.u64(req.trace_hi);
+  w.u64(req.trace_lo);
+  return w.take();
+}
+
+trace_request decode_trace_request(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  trace_request req;
+  req.trace_hi = r.u64();
+  req.trace_lo = r.u64();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_trace_reply(const trace_reply& reply) {
+  byte_writer w;
+  w.u64(reply.trace_hi);
+  w.u64(reply.trace_lo);
+  w.u64(reply.spans.size());
+  for (const auto& s : reply.spans) {
+    w.str(s.name);
+    w.u64(s.start_us);
+    w.u64(s.dur_us);
+    w.u32(s.tid);
+  }
+  return w.take();
+}
+
+trace_reply decode_trace_reply(std::span<const std::uint8_t> payload) {
+  byte_reader r(payload);
+  trace_reply reply;
+  reply.trace_hi = r.u64();
+  reply.trace_lo = r.u64();
+  const std::size_t n = r.count(/*min_element_bytes=*/8);
+  reply.spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace_span s;
+    s.name = r.str();
+    s.start_us = r.u64();
+    s.dur_us = r.u64();
+    s.tid = r.u32();
+    reply.spans.push_back(std::move(s));
+  }
+  r.expect_done();
+  return reply;
+}
+
 std::vector<std::uint8_t> encode_server_stats(
     const server_stats_reply& reply) {
   byte_writer w;
@@ -503,6 +556,8 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u64(reply.eco_failures);
   w.u64(reply.io_timeouts);
   w.u64(reply.fault_fired);
+  w.u64(reply.trace_spans_recorded);
+  w.u64(reply.trace_spans_dropped);
   w.u64(reply.fault_sites.size());
   for (const auto& s : reply.fault_sites) {
     w.str(s.site);
@@ -562,6 +617,8 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.eco_failures = r.u64();
   reply.io_timeouts = r.u64();
   reply.fault_fired = r.u64();
+  reply.trace_spans_recorded = r.u64();
+  reply.trace_spans_dropped = r.u64();
   const std::size_t nf = r.count(/*min_element_bytes=*/8);
   reply.fault_sites.reserve(nf);
   for (std::size_t i = 0; i < nf; ++i) {

@@ -49,9 +49,16 @@
 /// `overloaded`/`too_many_connections`, telling a well-behaved client how
 /// long to back off before resubmitting — results are deterministic, so a
 /// resubmit is idempotent by construction), and `io_timeouts`/fault-site
-/// counters in the `server_stats` scrape.  The v3/v4 error payload decodes
-/// unchanged (the hint is read only when present), and replies to older
-/// peers are still encoded at THEIR version via encode_error_for_version.
+/// counters in the `server_stats` scrape.
+///
+/// v6 adds end-to-end request tracing: `synth_request` carries an optional
+/// 16-byte client-generated `trace_id` (zero = untraced) that the daemon
+/// threads through admission wait, runner queueing, cache lookups, flow
+/// stages, and the send path (util/trace.hpp), and the new `trace` request
+/// returns the completed span set for a given id so the client can print a
+/// per-stage waterfall.  `server_stats` gains the flight-recorder counters
+/// (`trace_spans_recorded`/`trace_spans_dropped`).  Replies to older peers
+/// are still encoded at THEIR version via encode_error_for_version.
 /// docs/protocol.md is the normative reference; a test cross-checks its
 /// constant tables against this header.
 ///
@@ -80,9 +87,11 @@ namespace xsfq::serve {
 // v4: synth_delta (incremental ECO resynthesis), partition_grain on
 // synth_request, content_hash on synth_response, region/ECO cache counters.
 // v5: io_timeout error code, retry_after_ms hint on error payloads,
-// io_timeouts + fault-injection counters in server_stats
+// io_timeouts + fault-injection counters in server_stats.
+// v6: trace_id on synth_request, the trace request/reply pair, flight-
+// recorder span counters in server_stats
 // (see docs/protocol.md for the full history).
-inline constexpr std::uint8_t protocol_version = 5;
+inline constexpr std::uint8_t protocol_version = 6;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;
@@ -100,6 +109,7 @@ enum class msg_type : std::uint8_t {
   auth = 7,          ///< v3: shared-secret token, must precede requests on TCP
   server_stats = 8,  ///< v3: metrics scrape (generalizes cache_stats)
   synth_delta = 9,   ///< v4: edit script against a retained base network
+  trace = 10,        ///< v6: fetch the span set of a completed traced request
   // responses
   result = 64,
   status_ok = 65,
@@ -109,6 +119,7 @@ enum class msg_type : std::uint8_t {
   hello_ok = 69,
   auth_ok = 70,
   server_stats_ok = 71,
+  trace_ok = 72,  ///< v6: reply to `trace`
   progress = 96,  ///< streamed before `result` when the client asked for it
   error = 127,
 };
@@ -258,6 +269,12 @@ struct synth_request {
   /// Joins the result-cache fingerprint (the partition shape changes the
   /// optimized network).
   std::uint32_t partition_grain = 0;
+  /// v6: client-generated 16-byte trace id (both halves zero = untraced).
+  /// The daemon records every stage of this request's life against it; a
+  /// later `trace` request with the same id returns the span set.  Does NOT
+  /// join any cache fingerprint — tracing never changes results.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
 };
 
 /// v4: one incremental-resynthesis request.  `base` carries the circuit and
@@ -332,6 +349,31 @@ struct auth_request {
   std::string token;
 };
 
+/// v6: asks for the span set collected for one traced request.  Sent after
+/// the result arrived (spans complete when the response does); the reply
+/// for an unknown/evicted id is an empty span list, not an error.
+struct trace_request {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+};
+
+/// One completed span on the wire (util/trace.hpp span, minus the id — the
+/// reply is already scoped to one trace).
+struct trace_span {
+  std::string name;  ///< "queue_wait", "stage:optimize", "request_total", ...
+  std::uint64_t start_us = 0;  ///< daemon-side steady clock, see trace.hpp
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;  ///< daemon thread that recorded the span
+};
+
+/// v6: reply to `trace` — every span the daemon collected for the id,
+/// sorted by start time.
+struct trace_reply {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::vector<trace_span> spans;
+};
+
 struct server_status {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
@@ -397,6 +439,10 @@ struct server_stats_reply {
   // v5: robustness counters.
   std::uint64_t io_timeouts = 0;   ///< connections dropped at an I/O deadline
   std::uint64_t fault_fired = 0;   ///< injected faults fired (chaos drills)
+  // v6: flight-recorder counters (util/trace.hpp) — dropped > 0 means the
+  // per-thread rings or the per-trace collector overflowed their windows.
+  std::uint64_t trace_spans_recorded = 0;
+  std::uint64_t trace_spans_dropped = 0;
   /// Per-site fire counters of the armed fault schedule (empty outside
   /// drills) — lets a chaos harness assert exactly which sites fired.
   std::vector<fault_site_snapshot> fault_sites;
@@ -427,6 +473,12 @@ hello_reply decode_hello_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_auth_request(const auth_request& req);
 auth_request decode_auth_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_trace_request(const trace_request& req);
+trace_request decode_trace_request(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_trace_reply(const trace_reply& reply);
+trace_reply decode_trace_reply(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_server_status(const server_status& status);
 server_status decode_server_status(std::span<const std::uint8_t> payload);

@@ -8,11 +8,21 @@
 #include <thread>
 #include <utility>
 
+#include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace xsfq::serve {
 
 namespace {
+
+/// Attaches the calling thread's current trace id (when one is installed)
+/// so retry noise can be correlated with the request it delayed.
+log::line& with_trace(log::line& l) {
+  const trace::trace_id id = trace::current();
+  if (id.valid()) l.kv("trace_id", trace::to_hex(id));
+  return l;
+}
 
 /// Whether a service-level rejection is worth retrying at all.  Load
 /// shedding and lifecycle races clear up on their own; everything else
@@ -47,6 +57,14 @@ client& resilient_client::ensure_connected() {
     conn_ = std::make_unique<client>(endpoint_.host, endpoint_.port);
   }
   ++reconnects_;
+  if (log::enabled(log::level::debug)) {
+    log::line l(log::level::debug, "client.reconnect");
+    with_trace(l)
+        .kv("target", endpoint_.socket_path.empty()
+                          ? endpoint_.host + ":" + std::to_string(endpoint_.port)
+                          : endpoint_.socket_path)
+        .kv("reconnects", reconnects_);
+  }
   if (policy_.request_timeout_ms > 0) {
     conn_->set_receive_timeout_ms(policy_.request_timeout_ms);
   }
@@ -82,6 +100,11 @@ void resilient_client::backoff(unsigned attempt, std::uint32_t server_hint_ms) {
   // The server knows its backlog better than our exponential guess does.
   ms = std::max(ms, static_cast<double>(server_hint_ms));
   ++retries_;
+  if (log::enabled(log::level::debug)) {
+    log::line l(log::level::debug, "client.backoff");
+    with_trace(l).kv("attempt", attempt).kv("sleep_ms", ms).kv(
+        "server_hint_ms", server_hint_ms);
+  }
   if (ms >= 1.0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long>(ms)));
@@ -101,21 +124,43 @@ auto resilient_client::with_retries(Fn&& fn)
         throw;
       }
       hint_ms = e.retry_after_ms;
+      {
+        log::line l(log::level::warn, "client.retry");
+        with_trace(l)
+            .kv("attempt", attempt + 1)
+            .kv("reason", "service_error")
+            .kv("code", static_cast<std::uint64_t>(e.code))
+            .kv("what", e.what());
+      }
       // Shedding errors keep the connection usable EXCEPT
       // too_many_connections/io_timeout, where the server closes it; a
       // fresh dial is correct in every case and costs one socket.
       drop_connection();
-    } catch (const protocol_error&) {
+    } catch (const protocol_error& e) {
       // Transport/framing failure (daemon died mid-request, connection
       // reset, response timeout): the connection is poisoned.  Resubmitting
       // on a new one is idempotent — results are a pure function of the
       // request — so this is exactly the recovery path.
       if (attempt >= policy_.max_retries) throw;
+      {
+        log::line l(log::level::warn, "client.retry");
+        with_trace(l)
+            .kv("attempt", attempt + 1)
+            .kv("reason", "transport")
+            .kv("what", e.what());
+      }
       drop_connection();
-    } catch (const std::exception&) {
+    } catch (const std::exception& e) {
       // Connect failures (daemon restarting: ECONNREFUSED, missing socket
       // file) arrive as std::runtime_error from the client constructor.
       if (attempt >= policy_.max_retries) throw;
+      {
+        log::line l(log::level::warn, "client.retry");
+        with_trace(l)
+            .kv("attempt", attempt + 1)
+            .kv("reason", "connect")
+            .kv("what", e.what());
+      }
       drop_connection();
     }
     backoff(attempt, hint_ms);
@@ -145,6 +190,10 @@ cache_stats_reply resilient_client::cache_stats() {
 
 server_stats_reply resilient_client::server_stats() {
   return with_retries([](client& c) { return c.server_stats(); });
+}
+
+trace_reply resilient_client::trace(const trace_request& req) {
+  return with_retries([&](client& c) { return c.trace(req); });
 }
 
 bool resilient_client::ping() {

@@ -78,6 +78,9 @@ class resilient_client {
   server_status status();
   cache_stats_reply cache_stats();
   server_stats_reply server_stats();
+  /// v6: fetch a traced request's span tree (read-only, safely retryable —
+  /// an evicted id just comes back empty).
+  trace_reply trace(const trace_request& req);
   bool ping();
 
   /// Total retry sleeps taken and reconnects performed since construction

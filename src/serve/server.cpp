@@ -9,12 +9,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "serve/synth_service.hpp"
 #include "util/fault.hpp"
+#include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace xsfq::serve {
 
@@ -24,6 +27,33 @@ void close_quietly(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
+  }
+}
+
+/// Per-request trace export (--trace-out): the collected span set of one
+/// traced request as Chrome trace-event JSON, atomically written.  Failures
+/// are logged and swallowed — exporting must never fail a request.
+void export_trace(const std::string& dir, trace::trace_id id) {
+  const std::vector<trace::span> spans = trace::collected(id);
+  const std::string path = dir + "/trace_" + trace::to_hex(id) + ".json";
+  const std::string json = trace::chrome_trace_json(spans);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  bool ok = f != nullptr;
+  if (ok) {
+    ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) std::remove(tmp.c_str());
+  }
+  if (!ok) {
+    log::line(log::level::warn, "trace.export_failed")
+        .kv("path", path)
+        .kv("spans", static_cast<std::uint64_t>(spans.size()));
+  } else {
+    log::line(log::level::debug, "trace.exported")
+        .kv("path", path)
+        .kv("spans", static_cast<std::uint64_t>(spans.size()));
   }
 }
 
@@ -92,6 +122,8 @@ int listen_tcp(const std::string& address, std::uint16_t& bound_port) {
 /// merged into the server's retired set when the connection is reaped.
 struct server::connection {
   int fd = -1;
+  std::uint64_t id = 0;     ///< monotonic, correlates log lines
+  bool is_tcp = false;
   bool needs_auth = false;  ///< TCP with a configured token; cleared by auth
   std::thread thread;
   std::atomic<bool> done{false};
@@ -179,6 +211,8 @@ void server::accept_loop(int listen_fd, bool is_tcp) {
     }
     auto conn = std::make_shared<connection>();
     conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1);
+    conn->is_tcp = is_tcp;
     conn->needs_auth = is_tcp && !options_.auth_token.empty();
     bool over_cap = false;
     {
@@ -197,6 +231,10 @@ void server::accept_loop(int listen_fd, bool is_tcp) {
       // this cap, not the thread allocator.  Best-effort write — the frame
       // fits any socket buffer, and a peer that vanished just loses it.
       rejected_conns_.fetch_add(1);
+      log::line(log::level::warn, "conn.bounce")
+          .kv("conn", conn->id)
+          .kv("reason", "too_many_connections")
+          .kv("max_conns", static_cast<std::uint64_t>(options_.max_conns));
       try {
         write_frame_fd(fd, msg_type::error,
                        encode_error(error_code::too_many_connections,
@@ -210,6 +248,9 @@ void server::accept_loop(int listen_fd, bool is_tcp) {
       conn->fd = -1;
       continue;
     }
+    log::line(log::level::debug, "conn.accept")
+        .kv("conn", conn->id)
+        .kv("transport", is_tcp ? "tcp" : "unix");
     conn->thread =
         std::thread([this, conn] { handle_connection(conn); });
   }
@@ -256,12 +297,17 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
       return;
     }
     try {
+      // The send path is a traced stage too: a slow client that drains its
+      // socket lazily shows up as a long "send" span, not as mystery time.
+      const std::uint64_t send_start = trace::now_us();
       write_frame_fd(fd, type, payload, protocol_version,
                      options_.io_timeout_ms);
+      trace::record("send", send_start, trace::now_us() - send_start);
     } catch (const io_timeout_error&) {
       // The peer stopped draining its socket: reclaim this thread instead
       // of blocking in send() forever at its mercy.
       io_timeouts_.fetch_add(1);
+      log::line(log::level::warn, "conn.send_timeout").kv("conn", conn->id);
       writable = false;
     } catch (const protocol_error& e) {
       // An over-limit encode throws before any byte hits the wire, so the
@@ -313,6 +359,9 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
       }
       if (!authed && f->type != msg_type::hello && f->type != msg_type::auth) {
         rejected_auth_.fetch_add(1);
+        log::line(log::level::warn, "auth.required")
+            .kv("conn", conn->id)
+            .kv("type", static_cast<std::uint64_t>(f->type));
         send(msg_type::error,
              encode_error(error_code::auth_required,
                           "authenticate first: this transport requires an "
@@ -327,8 +376,9 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           reply.server_version = protocol_version;
           reply.auth_required = !authed;
           reply.max_payload = max_frame_payload;
-          reply.capabilities = {"auth", "priorities", "deadlines",
-                                "server_stats", "progress", "synth_delta"};
+          reply.capabilities = {"auth",     "priorities",  "deadlines",
+                                "server_stats", "progress", "synth_delta",
+                                "trace"};
           send(msg_type::hello_ok, encode_hello_reply(reply));
           break;
         }
@@ -339,6 +389,7 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
             send(msg_type::auth_ok, {});
           } else {
             rejected_auth_.fetch_add(1);
+            log::line(log::level::warn, "auth.fail").kv("conn", conn->id);
             send(msg_type::error,
                  encode_error(error_code::auth_failed, "auth token mismatch"));
             writable = false;  // close: do not offer retries on one stream
@@ -348,9 +399,26 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
         case msg_type::submit: {
           const synth_request req = decode_synth_request(f->payload);
           jobs_submitted_.fetch_add(1);
+          // Install the request's trace context for this handler thread:
+          // every span recorded below (and on pool threads, via the
+          // batch_runner's context capture) attributes to this id.
+          const trace::trace_id tid{req.trace_hi, req.trace_lo};
+          trace::context_scope tscope(tid);
+          log::line(log::level::debug, "request.start")
+              .kv("conn", conn->id)
+              .kv("type", "submit")
+              .kv("spec", req.spec)
+              .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
+          const std::uint64_t admit_start = trace::now_us();
           const auto ticket = admission_.acquire(req.priority, req.deadline_ms);
+          trace::record("queue_wait", admit_start,
+                        trace::now_us() - admit_start);
           if (ticket.outcome == admission_queue::verdict::overloaded) {
             jobs_failed_.fetch_add(1);
+            log::line(log::level::warn, "request.shed")
+                .kv("conn", conn->id)
+                .kv("reason", "overloaded")
+                .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
             send(msg_type::error,
                  encode_error(error_code::overloaded,
                               "admission queue full (max_queue=" +
@@ -361,6 +429,11 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           }
           if (ticket.outcome == admission_queue::verdict::deadline_expired) {
             jobs_failed_.fetch_add(1);
+            log::line(log::level::warn, "request.shed")
+                .kv("conn", conn->id)
+                .kv("reason", "deadline_expired")
+                .kv("queued_ms", ticket.queued_ms)
+                .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
             send(msg_type::error,
                  encode_error(error_code::deadline_expired,
                               "deadline passed after " +
@@ -373,12 +446,22 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           // event happens strictly before run_synth returns, so writes to
           // the socket never interleave with the result frame below.
           const auto progress = [&](const progress_event& ev) {
-            if (!ev.from_cache) record_ms("stage:" + ev.stage, ev.ms);
+            if (!ev.from_cache) {
+              record_ms("stage:" + ev.stage, ev.ms);
+              // The stage just finished on the calling thread: spans are
+              // recorded end-anchored (start = now - duration).
+              const std::uint64_t dur_us =
+                  static_cast<std::uint64_t>(ev.ms * 1000.0);
+              const std::uint64_t end_us = trace::now_us();
+              trace::record("stage:" + ev.stage,
+                            end_us > dur_us ? end_us - dur_us : 0, dur_us);
+            }
             if (req.stream_progress) {
               send(msg_type::progress, encode_progress_event(ev));
             }
           };
           const auto started = std::chrono::steady_clock::now();
+          const std::uint64_t started_us = trace::now_us();
           synth_response resp;
           try {
             resp = run_synth(req, *runner_, progress);
@@ -390,10 +473,23 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           const double total_ms = std::chrono::duration<double, std::milli>(
                                       std::chrono::steady_clock::now() - started)
                                       .count();
+          trace::record("request_total", started_us,
+                        trace::now_us() - started_us);
           record_ms("request_total", total_ms);
           record_request_ms(total_ms);
           (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
+          log::line(log::level::info, "request.done")
+              .kv("conn", conn->id)
+              .kv("type", "submit")
+              .kv("spec", req.spec)
+              .kv("ok", resp.ok)
+              .kv("cached", resp.served_from_cache)
+              .kv("ms", total_ms)
+              .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
           send(msg_type::result, encode_synth_response(resp));
+          if (tid.valid() && !options_.trace_out_dir.empty()) {
+            export_trace(options_.trace_out_dir, tid);
+          }
           break;
         }
         case msg_type::synth_delta: {
@@ -401,10 +497,26 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
               decode_synth_delta_request(f->payload);
           jobs_submitted_.fetch_add(1);
           eco_requests_.fetch_add(1);
+          // The trace id rides on the nested base request.
+          const trace::trace_id tid{req.base.trace_hi, req.base.trace_lo};
+          trace::context_scope tscope(tid);
+          log::line(log::level::debug, "request.start")
+              .kv("conn", conn->id)
+              .kv("type", "synth_delta")
+              .kv("spec", req.base.spec)
+              .kv_hex("base", req.base_content_hash)
+              .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
+          const std::uint64_t admit_start = trace::now_us();
           const auto ticket = admission_.acquire(req.base.priority,
                                                  req.base.deadline_ms);
+          trace::record("queue_wait", admit_start,
+                        trace::now_us() - admit_start);
           if (ticket.outcome == admission_queue::verdict::overloaded) {
             jobs_failed_.fetch_add(1);
+            log::line(log::level::warn, "request.shed")
+                .kv("conn", conn->id)
+                .kv("reason", "overloaded")
+                .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
             send(msg_type::error,
                  encode_error(error_code::overloaded,
                               "admission queue full (max_queue=" +
@@ -415,6 +527,11 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           }
           if (ticket.outcome == admission_queue::verdict::deadline_expired) {
             jobs_failed_.fetch_add(1);
+            log::line(log::level::warn, "request.shed")
+                .kv("conn", conn->id)
+                .kv("reason", "deadline_expired")
+                .kv("queued_ms", ticket.queued_ms)
+                .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
             send(msg_type::error,
                  encode_error(error_code::deadline_expired,
                               "deadline passed after " +
@@ -424,12 +541,20 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           }
           record_ms("queue_wait", ticket.queued_ms);
           const auto progress = [&](const progress_event& ev) {
-            if (!ev.from_cache) record_ms("stage:" + ev.stage, ev.ms);
+            if (!ev.from_cache) {
+              record_ms("stage:" + ev.stage, ev.ms);
+              const std::uint64_t dur_us =
+                  static_cast<std::uint64_t>(ev.ms * 1000.0);
+              const std::uint64_t end_us = trace::now_us();
+              trace::record("stage:" + ev.stage,
+                            end_us > dur_us ? end_us - dur_us : 0, dur_us);
+            }
             if (req.base.stream_progress) {
               send(msg_type::progress, encode_progress_event(ev));
             }
           };
           const auto started = std::chrono::steady_clock::now();
+          const std::uint64_t started_us = trace::now_us();
           synth_response resp;
           eco_outcome outcome;
           try {
@@ -440,6 +565,11 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
             admission_.release();
             jobs_failed_.fetch_add(1);
             eco_failures_.fetch_add(1);
+            log::line(log::level::warn, "request.error")
+                .kv("conn", conn->id)
+                .kv("type", "synth_delta")
+                .kv("error", e.what())
+                .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
             send(msg_type::error, encode_error(e.code, e.what()));
             break;
           } catch (...) {
@@ -452,10 +582,23 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
           const double total_ms = std::chrono::duration<double, std::milli>(
                                       std::chrono::steady_clock::now() - started)
                                       .count();
+          trace::record("request_total", started_us,
+                        trace::now_us() - started_us);
           record_ms("eco_total", total_ms);
           record_request_ms(total_ms);
           (resp.ok ? jobs_completed_ : jobs_failed_).fetch_add(1);
+          log::line(log::level::info, "request.done")
+              .kv("conn", conn->id)
+              .kv("type", "synth_delta")
+              .kv("spec", req.base.spec)
+              .kv("ok", resp.ok)
+              .kv("retained", outcome.base_retained)
+              .kv("ms", total_ms)
+              .kv("trace_id", tid.valid() ? trace::to_hex(tid) : "");
           send(msg_type::result, encode_synth_response(resp));
+          if (tid.valid() && !options_.trace_out_dir.empty()) {
+            export_trace(options_.trace_out_dir, tid);
+          }
           break;
         }
         case msg_type::status: {
@@ -471,6 +614,20 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
         }
         case msg_type::server_stats: {
           send(msg_type::server_stats_ok, encode_server_stats(stats()));
+          break;
+        }
+        case msg_type::trace: {
+          const trace_request req = decode_trace_request(f->payload);
+          trace_reply reply;
+          reply.trace_hi = req.trace_hi;
+          reply.trace_lo = req.trace_lo;
+          // Unknown/evicted ids answer with an empty span list rather than
+          // an error: the collector is a bounded window by design.
+          for (const trace::span& sp :
+               trace::collected({req.trace_hi, req.trace_lo})) {
+            reply.spans.push_back({sp.name, sp.start_us, sp.dur_us, sp.tid});
+          }
+          send(msg_type::trace_ok, encode_trace_reply(reply));
           break;
         }
         case msg_type::shutdown: {
@@ -496,6 +653,9 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
       if (!writable) break;  // response undeliverable: close, don't strand
     }
   } catch (const serialize_error& e) {
+    log::line(log::level::warn, "conn.bad_request")
+        .kv("conn", conn->id)
+        .kv("error", e.what());
     send(msg_type::error, encode_error(error_code::bad_request, e.what()));
   } catch (const io_timeout_error& e) {
     // The peer stalled past the I/O deadline (or the idle timeout lapsed):
@@ -504,14 +664,24 @@ void server::handle_connection(const std::shared_ptr<connection>& conn) {
     // thread.  This is the slowloris defense: the handler is back in the
     // pool within ~io_timeout_ms of the stall, never pinned.
     io_timeouts_.fetch_add(1);
+    log::line(log::level::warn, "conn.io_timeout")
+        .kv("conn", conn->id)
+        .kv("error", e.what());
     send(msg_type::error, encode_error(error_code::io_timeout, e.what()));
   } catch (const protocol_error& e) {
+    log::line(log::level::warn, "conn.protocol_error")
+        .kv("conn", conn->id)
+        .kv("error", e.what());
     send(msg_type::error, encode_error(error_code::bad_request, e.what()));
   } catch (const std::exception& e) {
+    log::line(log::level::error, "conn.internal_error")
+        .kv("conn", conn->id)
+        .kv("error", e.what());
     send(msg_type::error,
          encode_error(error_code::generic,
                       std::string("internal: ") + e.what()));
   }
+  log::line(log::level::debug, "conn.close").kv("conn", conn->id);
   // Signal end-of-stream to the peer now; the fd itself is closed when the
   // connection object is reaped (next accept or stop()).
   ::shutdown(fd, SHUT_RDWR);
@@ -641,6 +811,9 @@ server_stats_reply server::stats() const {
   reply.eco_base_rebuilds = eco_base_rebuilds_.load();
   reply.eco_failures = eco_failures_.load();
   reply.io_timeouts = io_timeouts_.load();
+  // Flight-recorder counters (process-global; see util/trace.hpp).
+  reply.trace_spans_recorded = trace::spans_recorded();
+  reply.trace_spans_dropped = trace::spans_dropped();
   // Fault-injection counters: all zero / empty outside chaos drills (the
   // registry is process-global; an armed schedule covers every layer).
   reply.fault_fired = fault::total_fired();

@@ -75,6 +75,11 @@ struct server_options {
   /// keep-alive connection is legitimate for much longer than a stall in
   /// the middle of a frame.
   int idle_timeout_ms = 0;
+  /// v6: when non-empty, every traced request (non-zero trace_id) writes its
+  /// collected span set as Chrome trace-event JSON to
+  /// `<trace_out_dir>/trace_<id>.json` after the result is sent.  The
+  /// directory must exist; write failures are logged, never fatal.
+  std::string trace_out_dir;
 };
 
 class server {
@@ -156,6 +161,8 @@ class server {
   std::atomic<std::uint64_t> eco_retained_hits_{0};
   std::atomic<std::uint64_t> eco_base_rebuilds_{0};
   std::atomic<std::uint64_t> eco_failures_{0};
+  /// Monotonic connection id, only for correlating log lines.
+  std::atomic<std::uint64_t> next_conn_id_{1};
   std::chrono::steady_clock::time_point start_time_;
 };
 

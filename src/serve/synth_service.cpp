@@ -429,9 +429,23 @@ int render_synth_response(const synth_response& resp,
   return 0;
 }
 
+// Baked in by the build system (CMake passes the working tree's short sha);
+// fallbacks keep non-CMake builds (and tooling that compiles this file in
+// isolation) compiling.
+#ifndef XSFQ_VERSION
+#define XSFQ_VERSION "dev"
+#endif
+#ifndef XSFQ_GIT_SHA
+#define XSFQ_GIT_SHA "unknown"
+#endif
+
 std::string format_server_stats_text(const server_stats_reply& stats) {
   std::ostringstream os;
   const auto& st = stats.status;
+  // The standard build-identity gauge: constant 1, identity in the labels,
+  // so dashboards can join any series against the running version.
+  os << "xsfq_build_info{version=\"" XSFQ_VERSION "\",git_sha=\"" XSFQ_GIT_SHA
+        "\"} 1\n";
   os << "xsfq_uptime_seconds " << st.uptime_s << "\n"
      << "xsfq_worker_threads " << st.worker_threads << "\n"
      << "xsfq_active_connections " << st.active_connections << "\n"
@@ -475,6 +489,14 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_admission_max_inflight " << stats.max_inflight << "\n"
      << "xsfq_max_connections " << stats.max_conns << "\n"
      << "xsfq_runner_queue_depth " << stats.runner_queue_depth << "\n";
+
+  // v6 flight-recorder counters: spans written into the per-thread rings
+  // and spans lost to ring-wrap or collector caps.  A growing dropped count
+  // under normal load means the rings are undersized for the span rate.
+  os << "xsfq_trace_spans_recorded_total " << stats.trace_spans_recorded
+     << "\n"
+     << "xsfq_trace_spans_dropped_total " << stats.trace_spans_dropped
+     << "\n";
 
   // v5 robustness counters.  Per-site lines appear only during chaos
   // drills (the fault registry is empty otherwise), so a production scrape

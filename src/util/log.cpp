@@ -1,0 +1,190 @@
+/// \file log.cpp
+/// \brief Logfmt assembly, value escaping, and the stderr sink.
+
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace xsfq::log {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(level::info)};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_sink_mutex;
+std::function<void(std::string_view)> g_sink;  // empty = default stderr
+
+void default_sink(std::string_view ln) {
+  // One fwrite per line: stdio buffers the whole thing, so concurrent
+  // lines never interleave mid-record on the (unbuffered-ish) stderr.
+  std::fwrite(ln.data(), 1, ln.size(), stderr);
+}
+
+void emit(std::string_view ln) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink)
+    g_sink(ln);
+  else
+    default_sink(ln);
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || c == '"' || c == '=' || c == '\\' || u == 0x7f)
+      return true;
+  }
+  return false;
+}
+
+void append_value(std::string& buf, std::string_view v) {
+  if (!needs_quoting(v)) {
+    buf.append(v);
+    return;
+  }
+  buf.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"': buf.append("\\\""); break;
+      case '\\': buf.append("\\\\"); break;
+      case '\n': buf.append("\\n"); break;
+      case '\r': buf.append("\\r"); break;
+      case '\t': buf.append("\\t"); break;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\x%02x", u);
+          buf.append(esc);
+        } else {
+          buf.push_back(c);
+        }
+      }
+    }
+  }
+  buf.push_back('"');
+}
+
+void append_timestamp(std::string& buf) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[40];
+  std::snprintf(stamp, sizeof stamp,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms));
+  buf.append(stamp);
+}
+
+}  // namespace
+
+void set_level(level l) {
+  detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+level get_level() {
+  return static_cast<level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+bool parse_level(std::string_view text, level& out) {
+  if (text == "trace") out = level::trace;
+  else if (text == "debug") out = level::debug;
+  else if (text == "info") out = level::info;
+  else if (text == "warn") out = level::warn;
+  else if (text == "error") out = level::error;
+  else if (text == "off") out = level::off;
+  else return false;
+  return true;
+}
+
+std::string_view level_name(level l) {
+  switch (l) {
+    case level::trace: return "trace";
+    case level::debug: return "debug";
+    case level::info: return "info";
+    case level::warn: return "warn";
+    case level::error: return "error";
+    case level::off: return "off";
+  }
+  return "info";
+}
+
+void set_sink(std::function<void(std::string_view line)> sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+line::line(level l, std::string_view event) {
+  if (!enabled(l)) return;
+  active_ = true;
+  buf_.reserve(160);
+  buf_.append("ts=");
+  append_timestamp(buf_);
+  buf_.append(" level=");
+  buf_.append(level_name(l));
+  buf_.append(" event=");
+  append_value(buf_, event);
+}
+
+line::~line() {
+  if (active_ && !emitted_) done();
+}
+
+line& line::kv(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  buf_.push_back(' ');
+  buf_.append(key);
+  buf_.push_back('=');
+  append_value(buf_, value);
+  return *this;
+}
+
+line& line::kv(std::string_view key, bool value) {
+  return kv(key, value ? std::string_view("true") : std::string_view("false"));
+}
+
+line& line::kv(std::string_view key, std::uint64_t value) {
+  char num[24];
+  std::snprintf(num, sizeof num, "%" PRIu64, value);
+  return kv(key, std::string_view(num));
+}
+
+line& line::kv(std::string_view key, std::int64_t value) {
+  char num[24];
+  std::snprintf(num, sizeof num, "%" PRId64, value);
+  return kv(key, std::string_view(num));
+}
+
+line& line::kv(std::string_view key, double value) {
+  char num[40];
+  std::snprintf(num, sizeof num, "%.3f", value);
+  return kv(key, std::string_view(num));
+}
+
+line& line::kv_hex(std::string_view key, std::uint64_t value) {
+  char num[20];
+  std::snprintf(num, sizeof num, "%016" PRIx64, value);
+  return kv(key, std::string_view(num));
+}
+
+void line::done() {
+  if (!active_ || emitted_) return;
+  emitted_ = true;
+  buf_.push_back('\n');
+  emit(buf_);
+}
+
+}  // namespace xsfq::log

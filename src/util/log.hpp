@@ -1,0 +1,113 @@
+#pragma once
+/// \file log.hpp
+/// \brief Level-gated structured (logfmt) logger for the service binaries.
+///
+/// One event per line, `key=value` pairs, values quoted/escaped only when
+/// they need it — the format Grafana/Loki-style pipelines ingest without a
+/// parser config, and grep still works:
+///
+///   ts=2026-08-07T12:34:56.789Z level=info event=request.done conn=3
+///       trace_id=00f1d2... ms=1.72
+///
+/// Design constraints, in order:
+///  - A disabled level must cost one relaxed atomic load and a branch, so
+///    `debug`-level instrumentation can stay in the request hot path.
+///  - A line is assembled in one buffer and handed to the sink as a single
+///    call, so concurrent handler threads never interleave mid-line.
+///  - The sink is replaceable (tests capture lines; the daemon keeps the
+///    default stderr sink).
+///
+/// This is the daemon's operational voice.  It deliberately does NOT replace
+/// stdout result output (xsfq_client's stdout stays byte-identical to
+/// xsfq_synth — the served/local diff contract) and it is independent of the
+/// flight recorder in util/trace.hpp: logs are for humans tailing a box,
+/// spans are for per-request waterfalls.  Lifecycle events carry the
+/// request's trace_id so the two correlate.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace xsfq::log {
+
+enum class level : int {
+  trace = 0,
+  debug = 1,
+  info = 2,
+  warn = 3,
+  error = 4,
+  off = 5,  ///< nothing is emitted
+};
+
+namespace detail {
+extern std::atomic<int> g_level;  // default: info
+}
+
+/// The one hot-path check: relaxed load + compare.
+inline bool enabled(level l) {
+  return static_cast<int>(l) >=
+         detail::g_level.load(std::memory_order_relaxed);
+}
+
+void set_level(level l);
+level get_level();
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (what --log-level
+/// accepts).  Returns false and leaves `out` untouched on anything else.
+bool parse_level(std::string_view text, level& out);
+/// The inverse, for printing the active level back ("info", ...).
+std::string_view level_name(level l);
+
+/// Replaces the line sink (default: one write(2)-ish call to stderr per
+/// line, newline included).  Pass nullptr to restore the default.  Intended
+/// for tests; swap sinks only while no other thread is logging.
+void set_sink(std::function<void(std::string_view line)> sink);
+
+/// Fluent single-line builder.  Usage:
+///
+///   log::line(log::level::info, "conn.accept")
+///       .kv("conn", id).kv("peer", peer).done();
+///
+/// When the level is disabled the constructor short-circuits and every kv()
+/// is a no-op on a dead object (no formatting, no allocation beyond the
+/// empty string).  done() emits; the destructor emits if done() was not
+/// called, so early returns cannot swallow a line.
+class line {
+ public:
+  line(level l, std::string_view event);
+  ~line();
+  line(const line&) = delete;
+  line& operator=(const line&) = delete;
+
+  line& kv(std::string_view key, std::string_view value);
+  line& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  line& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  line& kv(std::string_view key, bool value);
+  line& kv(std::string_view key, std::uint64_t value);
+  line& kv(std::string_view key, std::int64_t value);
+  line& kv(std::string_view key, std::uint32_t value) {
+    return kv(key, static_cast<std::uint64_t>(value));
+  }
+  line& kv(std::string_view key, int value) {
+    return kv(key, static_cast<std::int64_t>(value));
+  }
+  /// Fixed 3 decimal places — millisecond values line up in a terminal.
+  line& kv(std::string_view key, double value);
+  /// 16 lowercase hex digits, zero-padded (content hashes, half trace ids).
+  line& kv_hex(std::string_view key, std::uint64_t value);
+
+  void done();
+
+ private:
+  std::string buf_;
+  bool active_ = false;
+  bool emitted_ = false;
+};
+
+}  // namespace xsfq::log

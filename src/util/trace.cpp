@@ -1,0 +1,406 @@
+/// \file trace.cpp
+/// \brief Ring storage, interning, collection, and the Chrome JSON writer.
+
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <unistd.h>
+
+namespace xsfq::trace {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clock.
+// ---------------------------------------------------------------------------
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first now_us() caller (maybe
+// on a worker thread) races nothing.
+const auto g_epoch_init = process_epoch();
+
+// ---------------------------------------------------------------------------
+// Name interning.
+// ---------------------------------------------------------------------------
+
+const char* intern_slow(std::string_view name) {
+  static std::mutex mutex;
+  static std::unordered_set<std::string> table;
+  std::lock_guard<std::mutex> lock(mutex);
+  return table.emplace(name).first->c_str();
+}
+
+struct sv_hash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view v) const {
+    return std::hash<std::string_view>{}(v);
+  }
+};
+struct sv_eq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+const char* intern(std::string_view name) {
+  // Per-thread cache in front of the global table: steady-state record()
+  // never takes the intern lock and never allocates (heterogeneous
+  // lookup).  The vocabulary is small — a few dozen site names.
+  thread_local std::unordered_map<std::string, const char*, sv_hash, sv_eq>
+      cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  const char* interned = intern_slow(name);
+  cache.emplace(std::string(name), interned);
+  return interned;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread ring.
+// ---------------------------------------------------------------------------
+
+/// One recorder slot.  seq is a per-slot seqlock: 0 = never written,
+/// odd = write in progress, even > 0 = stable (value 2*(entry_index+1)).
+/// Every payload field is a relaxed atomic so cross-thread snapshots are
+/// race-free; only the owning thread writes.
+struct slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> id_hi{0};
+  std::atomic<std::uint64_t> id_lo{0};
+  std::atomic<std::uint64_t> start_us{0};
+  std::atomic<std::uint64_t> dur_us{0};
+  std::atomic<const char*> name{nullptr};
+};
+
+constexpr std::size_t ring_slots = 2048;  // power of two, ~128 KiB/thread
+
+struct ring {
+  slot slots[ring_slots];
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t tid = 0;
+
+  void push(trace_id id, const char* name, std::uint64_t start,
+            std::uint64_t dur, std::atomic<std::uint64_t>& dropped) {
+    const std::uint64_t i = head.load(std::memory_order_relaxed);
+    slot& s = slots[i & (ring_slots - 1)];
+    if (s.seq.load(std::memory_order_relaxed) != 0)
+      dropped.fetch_add(1, std::memory_order_relaxed);  // overwriting
+    s.seq.store(2 * i + 1, std::memory_order_relaxed);  // odd: writing
+    s.id_hi.store(id.hi, std::memory_order_relaxed);
+    s.id_lo.store(id.lo, std::memory_order_relaxed);
+    s.start_us.store(start, std::memory_order_relaxed);
+    s.dur_us.store(dur, std::memory_order_relaxed);
+    s.name.store(name, std::memory_order_relaxed);
+    s.seq.store(2 * (i + 1), std::memory_order_release);  // even: stable
+    head.store(i + 1, std::memory_order_release);
+  }
+
+  /// Collects every stable slot.  A slot mid-write (odd seq, or seq that
+  /// moved under us) is skipped — at most one per ring.
+  void collect(std::vector<span>& out) const {
+    for (const slot& s : slots) {
+      const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1)) continue;
+      span sp;
+      sp.id.hi = s.id_hi.load(std::memory_order_relaxed);
+      sp.id.lo = s.id_lo.load(std::memory_order_relaxed);
+      sp.start_us = s.start_us.load(std::memory_order_relaxed);
+      sp.dur_us = s.dur_us.load(std::memory_order_relaxed);
+      const char* n = s.name.load(std::memory_order_relaxed);
+      const std::uint64_t s2 = s.seq.load(std::memory_order_acquire);
+      if (s1 != s2 || n == nullptr) continue;
+      sp.name = n;
+      sp.tid = tid;
+      out.push_back(std::move(sp));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Global state: ring registry, retired spans, collector, counters.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t retired_cap = 8192;       // spans kept from dead threads
+constexpr std::size_t collector_max_traces = 64;
+constexpr std::size_t collector_max_spans = 512;  // per trace
+
+struct global_state {
+  std::mutex registry_mutex;
+  std::vector<ring*> rings;
+  std::atomic<std::uint32_t> next_tid{1};
+
+  std::mutex retired_mutex;
+  std::deque<span> retired;
+
+  std::mutex collector_mutex;
+  struct key_hash {
+    std::size_t operator()(const trace_id& k) const {
+      return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  std::unordered_map<trace_id, std::vector<span>, key_hash> traces;
+  std::deque<trace_id> trace_order;  // FIFO eviction
+
+  std::atomic<std::uint64_t> recorded{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+global_state& g() {
+  static global_state* s = new global_state;  // immortal: threads may
+  return *s;                                  // retire after main() returns
+}
+
+/// Owns the calling thread's ring: registers on first span, merges the
+/// ring's surviving spans into the bounded retired set at thread exit so a
+/// per-connection thread's last moments stay visible after it is reaped.
+struct ring_owner {
+  ring* r;
+
+  ring_owner() : r(new ring) {
+    global_state& s = g();
+    r->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.registry_mutex);
+    s.rings.push_back(r);
+  }
+
+  ~ring_owner() {
+    global_state& s = g();
+    {
+      std::lock_guard<std::mutex> lock(s.registry_mutex);
+      std::erase(s.rings, r);
+    }
+    std::vector<span> spans;
+    r->collect(spans);
+    {
+      std::lock_guard<std::mutex> lock(s.retired_mutex);
+      for (span& sp : spans) {
+        if (s.retired.size() >= retired_cap) {
+          s.retired.pop_front();
+          s.dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+        s.retired.push_back(std::move(sp));
+      }
+    }
+    delete r;
+  }
+};
+
+ring& my_ring() {
+  thread_local ring_owner owner;
+  return *owner.r;
+}
+
+thread_local trace_id t_current{};
+
+void collect_for_trace(trace_id id, const char* name, std::uint64_t start,
+                       std::uint64_t dur, std::uint32_t tid) {
+  global_state& s = g();
+  std::lock_guard<std::mutex> lock(s.collector_mutex);
+  auto it = s.traces.find(id);
+  if (it == s.traces.end()) {
+    while (s.traces.size() >= collector_max_traces) {
+      s.traces.erase(s.trace_order.front());
+      s.trace_order.pop_front();
+    }
+    s.trace_order.push_back(id);
+    it = s.traces.emplace(id, std::vector<span>{}).first;
+    it->second.reserve(16);
+  }
+  if (it->second.size() >= collector_max_spans) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  span sp;
+  sp.id = id;
+  sp.name = name;
+  sp.start_us = start;
+  sp.dur_us = dur;
+  sp.tid = tid;
+  it->second.push_back(std::move(sp));
+}
+
+void record_impl(trace_id id, std::string_view name, std::uint64_t start,
+                 std::uint64_t dur) {
+  const char* interned = intern(name);
+  global_state& s = g();
+  ring& r = my_ring();
+  r.push(id, interned, start, dur, s.dropped);
+  s.recorded.fetch_add(1, std::memory_order_relaxed);
+  if (id.valid()) collect_for_trace(id, interned, start, dur, r.tid);
+}
+
+void append_json_escaped(std::string& out, std::string_view v) {
+  for (char c : v) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof esc, "\\u%04x", u);
+      out.append(esc);
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_hex(trace_id id) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, id.hi, id.lo);
+  return buf;
+}
+
+bool from_hex(std::string_view text, trace_id& out) {
+  if (text.size() != 32) return false;
+  std::uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = text[static_cast<std::size_t>(w * 16 + i)];
+      std::uint64_t nib;
+      if (c >= '0' && c <= '9') nib = static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        nib = static_cast<std::uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        nib = static_cast<std::uint64_t>(c - 'A' + 10);
+      else
+        return false;
+      words[w] = (words[w] << 4) | nib;
+    }
+  }
+  out.hi = words[0];
+  out.lo = words[1];
+  return true;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+void record(std::string_view name, std::uint64_t start_us,
+            std::uint64_t dur_us) {
+  record_impl(t_current, name, start_us, dur_us);
+}
+
+void record_for(trace_id id, std::string_view name, std::uint64_t start_us,
+                std::uint64_t dur_us) {
+  record_impl(id, name, start_us, dur_us);
+}
+
+scoped_span::~scoped_span() {
+  const std::uint64_t end = now_us();
+  record_impl(t_current, name_, start_us_,
+              end > start_us_ ? end - start_us_ : 0);
+}
+
+trace_id current() { return t_current; }
+void set_current(trace_id id) { t_current = id; }
+
+std::vector<span> collected(trace_id id) {
+  global_state& s = g();
+  std::vector<span> out;
+  {
+    std::lock_guard<std::mutex> lock(s.collector_mutex);
+    auto it = s.traces.find(id);
+    if (it != s.traces.end()) out = it->second;
+  }
+  std::sort(out.begin(), out.end(), [](const span& a, const span& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;  // enclosing span first
+  });
+  return out;
+}
+
+std::vector<span> snapshot() {
+  global_state& s = g();
+  std::vector<span> out;
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mutex);
+    for (const ring* r : s.rings) r->collect(out);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.retired_mutex);
+    out.insert(out.end(), s.retired.begin(), s.retired.end());
+  }
+  std::sort(out.begin(), out.end(), [](const span& a, const span& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;
+  });
+  return out;
+}
+
+std::uint64_t spans_recorded() {
+  return g().recorded.load(std::memory_order_relaxed);
+}
+
+std::uint64_t spans_dropped() {
+  return g().dropped.load(std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json(const std::vector<span>& spans) {
+  std::string out;
+  out.reserve(64 + spans.size() * 128);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  const int pid = static_cast<int>(::getpid());
+  bool first = true;
+  for (const span& sp : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    append_json_escaped(out, sp.name);
+    char num[160];
+    std::snprintf(num, sizeof num,
+                  "\",\"ph\":\"X\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                  ",\"pid\":%d,\"tid\":%u",
+                  sp.start_us, sp.dur_us, pid, sp.tid);
+    out.append(num);
+    if (sp.id.valid()) {
+      out.append(",\"args\":{\"trace_id\":\"");
+      out.append(to_hex(sp.id));
+      out.append("\"}");
+    }
+    out.append("}");
+  }
+  out.append("]}\n");
+  return out;
+}
+
+bool dump_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json(snapshot());
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) ==
+                     json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xsfq::trace

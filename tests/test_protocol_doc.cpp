@@ -105,6 +105,7 @@ TEST(ProtocolDoc, MessageTypeTableMatchesEnum) {
       {"auth", serve::msg_type::auth},
       {"server_stats", serve::msg_type::server_stats},
       {"synth_delta", serve::msg_type::synth_delta},
+      {"trace", serve::msg_type::trace},
       {"result", serve::msg_type::result},
       {"status_ok", serve::msg_type::status_ok},
       {"cache_stats_ok", serve::msg_type::cache_stats_ok},
@@ -113,6 +114,7 @@ TEST(ProtocolDoc, MessageTypeTableMatchesEnum) {
       {"hello_ok", serve::msg_type::hello_ok},
       {"auth_ok", serve::msg_type::auth_ok},
       {"server_stats_ok", serve::msg_type::server_stats_ok},
+      {"trace_ok", serve::msg_type::trace_ok},
       {"progress", serve::msg_type::progress},
       {"error", serve::msg_type::error},
   };

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <thread>
 
@@ -197,6 +198,54 @@ TEST(ServeProtocol, V3PayloadRoundTrips) {
   EXPECT_EQ(sback.histograms[0].count, 2u);
   ASSERT_EQ(sback.histograms[0].buckets.size(), log_histogram::num_buckets);
   EXPECT_EQ(sback.histograms[0].buckets[4], 2u);
+}
+
+TEST(ServeProtocol, V6TracePayloadRoundTrips) {
+  // The trace id rides the tail of synth_request (absent = 0/0 untraced).
+  synth_request req;
+  req.spec = "c432";
+  req.trace_hi = 0x0123456789abcdefull;
+  req.trace_lo = 0xfedcba9876543210ull;
+  const synth_request back = decode_synth_request(encode_synth_request(req));
+  EXPECT_EQ(back.trace_hi, req.trace_hi);
+  EXPECT_EQ(back.trace_lo, req.trace_lo);
+
+  const trace_request tback = decode_trace_request(
+      encode_trace_request({0x1111ull, 0x2222ull}));
+  EXPECT_EQ(tback.trace_hi, 0x1111ull);
+  EXPECT_EQ(tback.trace_lo, 0x2222ull);
+
+  trace_reply reply;
+  reply.trace_hi = 0x1111ull;
+  reply.trace_lo = 0x2222ull;
+  reply.spans.push_back({"queue_wait", 100, 25, 3});
+  reply.spans.push_back({"stage:optimize", 130, 900, 4});
+  reply.spans.push_back({"request_total", 100, 1000, 3});
+  const trace_reply rback = decode_trace_reply(encode_trace_reply(reply));
+  EXPECT_EQ(rback.trace_hi, reply.trace_hi);
+  EXPECT_EQ(rback.trace_lo, reply.trace_lo);
+  ASSERT_EQ(rback.spans.size(), 3u);
+  EXPECT_EQ(rback.spans[0].name, "queue_wait");
+  EXPECT_EQ(rback.spans[0].start_us, 100u);
+  EXPECT_EQ(rback.spans[0].dur_us, 25u);
+  EXPECT_EQ(rback.spans[0].tid, 3u);
+  EXPECT_EQ(rback.spans[1].name, "stage:optimize");
+  EXPECT_EQ(rback.spans[2].name, "request_total");
+
+  // Empty reply (unknown id) round trips too.
+  const trace_reply eback =
+      decode_trace_reply(encode_trace_reply({0x9ull, 0x9ull, {}}));
+  EXPECT_EQ(eback.trace_hi, 0x9ull);
+  EXPECT_TRUE(eback.spans.empty());
+
+  // v6 flight-recorder counters in the stats scrape.
+  server_stats_reply stats;
+  stats.trace_spans_recorded = 12345;
+  stats.trace_spans_dropped = 67;
+  const server_stats_reply sback =
+      decode_server_stats(encode_server_stats(stats));
+  EXPECT_EQ(sback.trace_spans_recorded, 12345u);
+  EXPECT_EQ(sback.trace_spans_dropped, 67u);
 }
 
 TEST(ServeProtocol, RetryAfterHintRoundTripsAndDegradesPerVersion) {
@@ -797,6 +846,134 @@ TEST(ServeEndToEnd, ServerStatsReportsCountersAndLatencyHistograms) {
       text.find("xsfq_latency_ms_count{name=\"request_total\"} 2"),
       std::string::npos)
       << text;
+  // v6: the build-identity gauge and flight-recorder counters are always
+  // present (values vary; the series must not).
+  EXPECT_NE(text.find("xsfq_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("xsfq_trace_spans_recorded_total "), std::string::npos);
+  EXPECT_NE(text.find("xsfq_trace_spans_dropped_total "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// v6: end-to-end request tracing.
+// ---------------------------------------------------------------------------
+
+TEST(ServeEndToEnd, TracedSubmitCollectsSpansThatAddUp) {
+  server_fixture fx;
+  fx.start(/*threads=*/2);
+  client cli(fx.socket_path());
+
+  synth_request req = make_request_for_spec("c432");
+  req.trace_hi = 0x0123456789abcdefull;
+  req.trace_lo = 0xfedcba9876543210ull;
+  ASSERT_TRUE(cli.submit(req).ok);
+
+  trace_request treq;
+  treq.trace_hi = req.trace_hi;
+  treq.trace_lo = req.trace_lo;
+  const trace_reply reply = cli.trace(treq);
+  EXPECT_EQ(reply.trace_hi, req.trace_hi);
+  EXPECT_EQ(reply.trace_lo, req.trace_lo);
+  ASSERT_FALSE(reply.spans.empty());
+
+  // Sorted by start, and every expected span kind present exactly once
+  // (cold run: queue_wait, runner_queue, each live stage, request_total).
+  const auto count = [&](const std::string& name) {
+    std::size_t n = 0;
+    for (const auto& s : reply.spans) n += (s.name == name);
+    return n;
+  };
+  EXPECT_EQ(count("queue_wait"), 1u);
+  EXPECT_EQ(count("runner_queue"), 1u);
+  EXPECT_EQ(count("request_total"), 1u);
+  EXPECT_EQ(count("stage:optimize"), 1u);
+  for (std::size_t i = 1; i < reply.spans.size(); ++i) {
+    EXPECT_LE(reply.spans[i - 1].start_us, reply.spans[i].start_us);
+  }
+
+  // The waterfall acceptance invariant: stage spans sum to no more than
+  // the measured end-to-end total, and the total contains every span.
+  std::uint64_t total_dur = 0, total_start = 0, stage_sum = 0;
+  for (const auto& s : reply.spans) {
+    if (s.name == "request_total") {
+      total_dur = s.dur_us;
+      total_start = s.start_us;
+    }
+    if (s.name.rfind("stage:", 0) == 0) stage_sum += s.dur_us;
+  }
+  EXPECT_GT(total_dur, 0u);
+  EXPECT_GT(stage_sum, 0u);
+  EXPECT_LE(stage_sum, total_dur);
+  for (const auto& s : reply.spans) {
+    // queue_wait precedes the total; send follows it (the response bytes
+    // leave after the handler's request_total span closed).
+    if (s.name == "queue_wait" || s.name == "request_total" ||
+        s.name == "send") {
+      continue;
+    }
+    EXPECT_GE(s.start_us + s.dur_us, total_start) << s.name;
+    EXPECT_LE(s.start_us + s.dur_us, total_start + total_dur) << s.name;
+  }
+
+  // The scrape counts the recorded spans.
+  const server_stats_reply stats = cli.server_stats();
+  EXPECT_GE(stats.trace_spans_recorded, reply.spans.size());
+}
+
+TEST(ServeEndToEnd, UntracedSubmitCollectsNothingAndUnknownIdIsEmpty) {
+  server_fixture fx;
+  fx.start();
+  client cli(fx.socket_path());
+
+  // hello advertises the capability.
+  const hello_reply hello = cli.hello();
+  bool has_trace = false;
+  for (const auto& cap : hello.capabilities) has_trace |= (cap == "trace");
+  EXPECT_TRUE(has_trace);
+
+  ASSERT_TRUE(cli.submit(make_request_for_spec("c432")).ok);  // untraced
+
+  trace_request treq;
+  treq.trace_hi = 0xdeadbeefdeadbeefull;
+  treq.trace_lo = 0x1111111111111111ull;
+  // Unknown id: empty reply, not an error, and the connection stays usable.
+  EXPECT_TRUE(cli.trace(treq).spans.empty());
+  EXPECT_TRUE(cli.ping());
+}
+
+TEST(ServeEndToEnd, TraceOutDirExportsChromeJsonPerTracedRequest) {
+  server_fixture fx;
+  const std::string out_dir = fx.dir.path + "/traces";
+  fs::create_directories(out_dir);
+  {
+    server_options options;
+    options.socket_path = fx.socket_path();
+    options.threads = 2;
+    options.trace_out_dir = out_dir;
+    fx.start_with(std::move(options));
+  }
+  client cli(fx.socket_path());
+  synth_request req = make_request_for_spec("c432");
+  req.trace_hi = 1;
+  req.trace_lo = 2;
+  ASSERT_TRUE(cli.submit(req).ok);
+
+  // Exactly one export, named by the hex trace id, valid Chrome JSON shape.
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    files.push_back(entry.path().string());
+  }
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_NE(files[0].find("trace_00000000000000010000000000000002.json"),
+            std::string::npos);
+  std::ifstream in(files[0]);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_total\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"trace_id\":\"00000000000000010000000000000002\""),
+      std::string::npos);
 }
 
 }  // namespace

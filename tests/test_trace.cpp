@@ -1,0 +1,242 @@
+/// Tests for the flight recorder + per-request trace collection
+/// (src/util/trace.hpp): hex id round trips, thread context scoping,
+/// ring recording and cross-thread snapshots, per-trace collection order
+/// and caps, drop accounting, and the Chrome trace-event JSON export.
+///
+/// The recorder is process-global (deliberately — it is a flight
+/// recorder), so tests assert on *deltas* of the counters and use unique
+/// ids/names rather than assuming a pristine recorder.
+
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xsfq {
+namespace {
+
+TEST(Trace, HexRoundTripAndValidation) {
+  const trace::trace_id id{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const std::string hex = trace::to_hex(id);
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  trace::trace_id back;
+  ASSERT_TRUE(trace::from_hex(hex, back));
+  EXPECT_EQ(back, id);
+
+  trace::trace_id untouched{1, 2};
+  EXPECT_FALSE(trace::from_hex("", untouched));
+  EXPECT_FALSE(trace::from_hex("0123", untouched));
+  EXPECT_FALSE(trace::from_hex(std::string(32, 'g'), untouched));
+  EXPECT_FALSE(trace::from_hex(hex + "00", untouched));
+  EXPECT_EQ(untouched, (trace::trace_id{1, 2}));
+
+  EXPECT_FALSE((trace::trace_id{}).valid());
+  EXPECT_TRUE((trace::trace_id{0, 1}).valid());
+  EXPECT_TRUE((trace::trace_id{1, 0}).valid());
+}
+
+TEST(Trace, ContextScopeInstallsAndRestores) {
+  const trace::trace_id outer{10, 20};
+  const trace::trace_id inner{30, 40};
+  const trace::trace_id before = trace::current();
+  {
+    trace::context_scope a(outer);
+    EXPECT_EQ(trace::current(), outer);
+    {
+      trace::context_scope b(inner);
+      EXPECT_EQ(trace::current(), inner);
+    }
+    EXPECT_EQ(trace::current(), outer);
+  }
+  EXPECT_EQ(trace::current(), before);
+}
+
+TEST(Trace, ContextIsPerThread) {
+  const trace::trace_id mine{1, 1};
+  trace::context_scope scope(mine);
+  trace::trace_id seen_on_thread{9, 9};
+  std::thread([&] { seen_on_thread = trace::current(); }).join();
+  EXPECT_FALSE(seen_on_thread.valid());  // fresh thread: no context
+  EXPECT_EQ(trace::current(), mine);
+}
+
+TEST(Trace, CollectedSpansComeBackSortedWithDurations) {
+  const trace::trace_id id{0x7e57ull, 0x0001ull};
+  trace::context_scope scope(id);
+  const std::uint64_t base = trace::now_us();
+  // Recorded out of order on purpose; collected() must sort by start.
+  trace::record("t.second", base + 100, 50);
+  trace::record("t.first", base + 10, 80);
+  trace::record("t.third", base + 200, 5);
+
+  const auto spans = trace::collected(id);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "t.first");
+  EXPECT_EQ(spans[1].name, "t.second");
+  EXPECT_EQ(spans[2].name, "t.third");
+  EXPECT_EQ(spans[0].dur_us, 80u);
+  EXPECT_EQ(spans[0].id, id);
+  EXPECT_NE(spans[0].tid, 0u);
+}
+
+TEST(Trace, UntracedRecordsSkipTheCollector) {
+  const trace::trace_id none{};
+  ASSERT_FALSE(trace::current().valid())
+      << "test requires no ambient context";
+  trace::record("t.untraced", trace::now_us(), 1);
+  EXPECT_TRUE(trace::collected(none).empty());
+}
+
+TEST(Trace, ScopedSpanRecordsOnDestruction) {
+  const trace::trace_id id{0x7e57ull, 0x0002ull};
+  trace::context_scope scope(id);
+  { trace::scoped_span span("t.scoped"); }
+  const auto spans = trace::collected(id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "t.scoped");
+}
+
+TEST(Trace, RecordForAttributesWithoutInstalledContext) {
+  const trace::trace_id id{0x7e57ull, 0x0003ull};
+  ASSERT_FALSE(trace::current().valid());
+  trace::record_for(id, "t.explicit", trace::now_us(), 7);
+  const auto spans = trace::collected(id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "t.explicit");
+  EXPECT_EQ(spans[0].dur_us, 7u);
+}
+
+TEST(Trace, CountersGrowAndSpansLandInSnapshot) {
+  const std::uint64_t before = trace::spans_recorded();
+  const trace::trace_id id{0x7e57ull, 0x0004ull};
+  trace::context_scope scope(id);
+  trace::record("t.snapshot_probe", trace::now_us(), 3);
+  EXPECT_GE(trace::spans_recorded(), before + 1);
+
+  bool found = false;
+  for (const auto& s : trace::snapshot()) {
+    found |= (s.name == "t.snapshot_probe" && s.id == id);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, CrossThreadSnapshotSeesOtherThreadsSpans) {
+  const trace::trace_id id{0x7e57ull, 0x0005ull};
+  std::thread([&] {
+    trace::context_scope scope(id);
+    trace::record("t.worker_span", trace::now_us(), 11);
+  }).join();
+  // The worker thread has exited; its spans must survive in the retired
+  // ring (snapshot) and in the collector (collected).
+  bool in_snapshot = false;
+  for (const auto& s : trace::snapshot()) {
+    in_snapshot |= (s.name == "t.worker_span");
+  }
+  EXPECT_TRUE(in_snapshot);
+  const auto spans = trace::collected(id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "t.worker_span");
+}
+
+TEST(Trace, PerTraceCollectionIsCappedWithDropsCounted) {
+  const trace::trace_id id{0x7e57ull, 0x0006ull};
+  trace::context_scope scope(id);
+  const std::uint64_t dropped_before = trace::spans_dropped();
+  const std::uint64_t base = trace::now_us();
+  // Far beyond the per-trace cap (512): collection must stay bounded and
+  // the overflow must be counted, not silent.
+  for (int i = 0; i < 2000; ++i) {
+    trace::record("t.flood", base + static_cast<std::uint64_t>(i), 1);
+  }
+  const auto spans = trace::collected(id);
+  EXPECT_LE(spans.size(), 512u);
+  EXPECT_GT(spans.size(), 0u);
+  EXPECT_GT(trace::spans_dropped(), dropped_before);
+}
+
+TEST(Trace, UnknownIdCollectsEmpty) {
+  EXPECT_TRUE(trace::collected({0xabadull, 0x1deaull}).empty());
+}
+
+TEST(Trace, ChromeTraceJsonShape) {
+  std::vector<trace::span> spans;
+  spans.push_back({{0x1ull, 0x2ull}, "queue_wait", 100, 25, 7});
+  spans.push_back({{}, "background \"work\"\n", 50, 10, 8});
+  const std::string json = trace::chrome_trace_json(spans);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  // Traced span carries its id; untraced has no args.trace_id.
+  EXPECT_NE(json.find(
+                "\"trace_id\":\"00000000000000010000000000000002\""),
+            std::string::npos);
+  // Quotes and control characters in names are escaped, not emitted raw
+  // (the writer uses \uXXXX for everything below 0x20).
+  EXPECT_NE(json.find("background \\\"work\\\"\\u000a"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Trace, DumpChromeTraceWritesLoadableFile) {
+  trace::record("t.dump_probe", trace::now_us(), 2);
+  char tmpl[] = "/tmp/xsfq_trace_XXXXXX";
+  const int fd = mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string path = tmpl;
+  ASSERT_TRUE(trace::dump_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("t.dump_probe"), std::string::npos);
+  std::remove(path.c_str());
+  // A path in a nonexistent directory fails without throwing.
+  EXPECT_FALSE(trace::dump_chrome_trace("/nonexistent_dir_xsfq/x.json"));
+}
+
+TEST(Trace, ConcurrentRecordersDoNotCorruptEachOther) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const trace::trace_id id{0xc0ffeeull,
+                               0x1000ull + static_cast<std::uint64_t>(t)};
+      trace::context_scope scope(id);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        trace::record("t.concurrent", trace::now_us(), 1);
+      }
+    });
+  }
+  // Concurrent snapshots while writers run: must not crash or tear.
+  for (int i = 0; i < 10; ++i) {
+    for (const auto& s : trace::snapshot()) {
+      ASSERT_FALSE(s.name.empty());
+    }
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const auto spans = trace::collected(
+        {0xc0ffeeull, 0x1000ull + static_cast<std::uint64_t>(t)});
+    EXPECT_EQ(spans.size(), static_cast<std::size_t>(kSpansPerThread));
+    for (const auto& s : spans) EXPECT_EQ(s.name, "t.concurrent");
+  }
+}
+
+}  // namespace
+}  // namespace xsfq

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON files (the xsfq flight-recorder format).
+
+Usage:
+    check_trace_json.py FILE [FILE...]     validate dump files
+    check_trace_json.py --self-test        validate an embedded sample
+
+Checks the subset of the Chrome trace-event spec that Perfetto /
+about:tracing actually require to load the file:
+
+  - the top level is an object with a "traceEvents" array;
+  - every event is an object with a non-empty string "name", phase
+    "ph" == "X" (complete events are the only kind xsfq emits), and
+    numeric, non-negative "ts"/"dur"/"pid"/"tid";
+  - when an event carries args.trace_id it is 32 lowercase hex digits.
+
+Runs with no third-party dependencies so the no-build docs CI job can call
+it, and exits nonzero with a per-file message on the first violation.
+"""
+
+import json
+import re
+import sys
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+
+SELF_TEST_SAMPLE = """\
+{"displayTimeUnit":"ms","traceEvents":[
+ {"name":"queue_wait","ph":"X","ts":12,"dur":3,"pid":4242,"tid":1,
+  "args":{"trace_id":"00112233445566778899aabbccddeeff"}},
+ {"name":"stage:optimize","ph":"X","ts":15,"dur":820,"pid":4242,"tid":2},
+ {"name":"request_total","ph":"X","ts":12,"dur":900,"pid":4242,"tid":1,
+  "args":{"trace_id":"00112233445566778899aabbccddeeff"}}
+]}
+"""
+
+
+def check_event(ev, where):
+    if not isinstance(ev, dict):
+        return f"{where}: event is not an object"
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        return f"{where}: missing or empty event name"
+    if ev.get("ph") != "X":
+        return f"{where} ({name}): ph must be \"X\", got {ev.get('ph')!r}"
+    for key in ("ts", "dur", "pid", "tid"):
+        value = ev.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return f"{where} ({name}): {key} must be a number, got {value!r}"
+        if value < 0:
+            return f"{where} ({name}): {key} must be >= 0, got {value!r}"
+    args = ev.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            return f"{where} ({name}): args must be an object"
+        trace_id = args.get("trace_id")
+        if trace_id is not None and not TRACE_ID_RE.match(str(trace_id)):
+            return (f"{where} ({name}): args.trace_id must be 32 lowercase "
+                    f"hex digits, got {trace_id!r}")
+    return None
+
+
+def check_text(text, label):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return f"{label}: not valid JSON: {e}"
+    if not isinstance(doc, dict):
+        return f"{label}: top level must be an object"
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return f"{label}: missing traceEvents array"
+    for i, ev in enumerate(events):
+        error = check_event(ev, f"{label}: traceEvents[{i}]")
+        if error:
+            return error
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        error = check_text(SELF_TEST_SAMPLE, "self-test sample")
+        if error:
+            print(f"check_trace_json: SELF-TEST FAILED: {error}",
+                  file=sys.stderr)
+            return 1
+        print("check_trace_json: self-test OK")
+        return 0
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_trace_json: {e}", file=sys.stderr)
+            status = 1
+            continue
+        error = check_text(text, path)
+        if error:
+            print(f"check_trace_json: {error}", file=sys.stderr)
+            status = 1
+        else:
+            events = json.loads(text)["traceEvents"]
+            print(f"check_trace_json: {path}: OK ({len(events)} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
