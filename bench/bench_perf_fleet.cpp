@@ -1,0 +1,233 @@
+/// bench_perf_fleet — fleet routing overhead and failover latency through
+/// the sharded client (serve/fleet.hpp).
+///
+///   bench_perf_fleet [reps] [--json=FILE]      (default: 8 reps)
+///
+/// Spins 1- and 3-shard in-process daemon fleets (Unix sockets, no disk
+/// cache) and drives the ISCAS85 warm corpus through a fleet_client,
+/// answering the three questions an operator asks before sharding:
+///
+///   route_overhead_ms — warm per-request cost of the consistent-hash
+///       routing layer itself: min-over-reps of a warm c432 round trip
+///       through a 1-endpoint fleet vs a plain client on the same daemon.
+///   fleet3_corpus_ms  — min-over-reps wall time for the 4-circuit warm
+///       corpus through 3 shards (every request routes by content hash,
+///       so circuits pin to their owners and each shard's memory cache
+///       serves its own slice).
+///   failover_ms       — client-observed round trip of the first request
+///       after its primary shard dies (connect failure + health demotion
+///       + replica retry), measured against a freshly killed owner.
+///
+/// --json emits a bench_perf_fleet block for tools/check_perf_regression.py;
+/// the keys are informational until a baseline entry pins them (the checker
+/// skips names absent from bench/BENCH_baseline.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/fleet.hpp"
+#include "serve/server.hpp"
+#include "serve/synth_service.hpp"
+#include "util/log.hpp"
+
+using namespace xsfq;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+const std::vector<std::string> corpus{"c432", "c880", "c1908", "c6288"};
+
+/// An in-process fleet of `n` daemons on Unix sockets under `dir`.
+struct fleet_harness {
+  std::string dir;
+  std::vector<std::unique_ptr<serve::server>> servers;
+  std::vector<serve::endpoint> endpoints;
+
+  fleet_harness(const std::string& base_dir, std::size_t n) : dir(base_dir) {
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::server_options options;
+      options.socket_path = dir + "/shard" + std::to_string(i) + ".sock";
+      options.threads = 2;
+      servers.push_back(std::make_unique<serve::server>(options));
+      serve::endpoint ep;
+      ep.socket_path = options.socket_path;
+      endpoints.push_back(ep);
+    }
+  }
+  void stop_all() {
+    for (auto& s : servers) s->stop();
+  }
+};
+
+serve::fleet_options bench_fleet_options() {
+  serve::fleet_options options;
+  options.replicas = 2;
+  options.policy.max_retries = 4;
+  options.policy.initial_backoff_ms = 1;
+  options.policy.max_backoff_ms = 20;
+  options.down_after = 1;  // first connect failure demotes — the common
+                           // production setting for fast failover
+  return options;
+}
+
+/// min-over-reps of one warm submit round trip.
+template <typename Submit>
+double min_round_trip(Submit&& submit, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = clock_type::now();
+    submit();
+    best = std::min(best, ms_since(start));
+  }
+  return best;
+}
+
+struct fleet_figures {
+  double direct_warm_ms = 0.0;
+  double fleet1_warm_ms = 0.0;
+  double route_overhead_ms = 0.0;
+  double fleet3_corpus_ms = 0.0;
+  double failover_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 8;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (!arg.empty() &&
+               arg.find_first_not_of("0123456789") == std::string::npos) {
+      reps = std::atoi(arg.c_str());
+    } else {
+      std::cerr << "usage: " << argv[0] << " [reps>0] [--json=FILE]\n";
+      return 2;
+    }
+  }
+  if (reps <= 0) {
+    std::cerr << "usage: " << argv[0] << " [reps>0] [--json=FILE]\n";
+    return 2;
+  }
+
+  // Same rationale as bench_perf_eco: keep the daemons' info-level request
+  // logging out of the measured round trips.
+  log::set_level(log::level::warn);
+
+  char tmpl[] = "/tmp/xsfq_bench_fleet_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::cerr << "mkdtemp failed\n";
+    return 1;
+  }
+  fleet_figures out;
+
+  {
+    // --- Routing overhead: plain client vs 1-endpoint fleet, same daemon.
+    fleet_harness solo(std::string(dir) + "", 1);
+    serve::client direct(solo.endpoints[0].socket_path);
+    const serve::synth_request req = serve::make_request_for_spec("c432");
+    if (!direct.submit(req).ok) {  // warm the shard's memory cache
+      std::cerr << "cold submit failed\n";
+      return 1;
+    }
+    out.direct_warm_ms =
+        min_round_trip([&] { (void)direct.submit(req); }, reps);
+
+    serve::fleet_client fleet(solo.endpoints, bench_fleet_options());
+    (void)fleet.submit(req);  // first fleet send pays connect
+    out.fleet1_warm_ms =
+        min_round_trip([&] { (void)fleet.submit(req); }, reps);
+    out.route_overhead_ms =
+        std::max(0.0, out.fleet1_warm_ms - out.direct_warm_ms);
+    solo.stop_all();
+  }
+
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+  std::filesystem::create_directory(dir, ignored);
+
+  {
+    // --- 3-shard corpus throughput and kill-one failover latency.
+    fleet_harness trio(std::string(dir) + "", 3);
+    auto fleet = std::make_unique<serve::fleet_client>(trio.endpoints,
+                                                       bench_fleet_options());
+    std::vector<serve::synth_request> reqs;
+    for (const auto& name : corpus) {
+      reqs.push_back(serve::make_request_for_spec(name));
+      if (!fleet->submit(reqs.back()).ok) {  // warm every owner
+        std::cerr << "fleet warm-up failed for " << name << "\n";
+        return 1;
+      }
+    }
+    out.fleet3_corpus_ms = min_round_trip(
+        [&] {
+          for (const auto& r : reqs) (void)fleet->submit(r);
+        },
+        reps);
+
+    // Kill c432's primary owner, then time the very first resubmit: the
+    // figure includes the dead connect, the health demotion, and the
+    // replica retry.  One-shot by construction — later submits route
+    // around the corpse — so it is a single sample, not min-over-reps.
+    const auto owners =
+        fleet->owners_for(serve::fleet_client::routing_key(reqs[0]));
+    std::size_t victim = trio.servers.size();
+    for (std::size_t i = 0; i < trio.servers.size(); ++i) {
+      if (serve::fleet_client::endpoint_id(trio.endpoints[i]) ==
+          owners.front()) {
+        victim = i;
+      }
+    }
+    if (victim == trio.servers.size()) {
+      std::cerr << "victim endpoint not found\n";
+      return 1;
+    }
+    trio.servers[victim]->stop();
+    const auto start = clock_type::now();
+    const serve::synth_response r = fleet->submit(reqs[0]);
+    out.failover_ms = ms_since(start);
+    if (!r.ok || fleet->counters().failovers == 0) {
+      std::cerr << "failover submit did not fail over\n";
+      return 1;
+    }
+    fleet.reset();
+    trio.stop_all();
+  }
+
+  std::printf("PERF_FLEET direct_warm_ms=%.3f fleet1_warm_ms=%.3f "
+              "route_overhead_ms=%.3f fleet3_corpus_ms=%.3f "
+              "failover_ms=%.3f\n",
+              out.direct_warm_ms, out.fleet1_warm_ms, out.route_overhead_ms,
+              out.fleet3_corpus_ms, out.failover_ms);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n  \"fleet\": {\n    \"warm\": {\n"
+       << "      \"direct_warm_ms\": " << out.direct_warm_ms << ",\n"
+       << "      \"fleet1_warm_ms\": " << out.fleet1_warm_ms << ",\n"
+       << "      \"route_overhead_ms\": " << out.route_overhead_ms << ",\n"
+       << "      \"fleet3_corpus_ms\": " << out.fleet3_corpus_ms << ",\n"
+       << "      \"failover_ms\": " << out.failover_ms << "\n"
+       << "    }\n  }\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  std::filesystem::remove_all(dir, ignored);
+  return 0;
+}

@@ -4,6 +4,8 @@
 ///               <circuit|file.bench|file.blif> [options]
 ///   xsfq_client [connection flags] --status | --cache-stats | --stats |
 ///               --shutdown
+///   xsfq_client --fleet=EP1,EP2,... [--replicas=R] <spec>... |
+///               --route <spec>... | --stats
 ///
 /// Connects over the daemon's Unix socket (default) or TCP (--tcp); a
 /// daemon with an auth token requires --auth-token (or the XSFQ_AUTH_TOKEN
@@ -52,6 +54,20 @@
 /// did my milliseconds go?" is answerable per request.  stdout stays
 /// byte-identical to xsfq_synth.  --log-level=LEVEL gates the structured
 /// retry/reconnect log lines (default info).
+///
+/// Fleet mode (v7): --fleet=EP1,EP2,... replaces the single connection with
+/// serve::fleet_client — consistent-hash routing by content hash across the
+/// listed daemons, health-checked failover, hedged sends.  An endpoint
+/// containing '/' is a Unix socket path, anything else is HOST:PORT
+/// (--auth-token applies to every TCP endpoint).  --replicas=R sets the
+/// placement fan-out (default 2).  Several circuit specs may be given and
+/// run in order (a corpus); after the run the client-side fleet counters go
+/// to stderr (`fleet_failovers_total=N fleet_hedged_total=N ...`) for
+/// chaos-drill assertions.  --fleet --stats prints the merged scrape (all
+/// reachable daemons summed, plus per-endpoint health); --route prints each
+/// spec's owner endpoints in preference order (first column repeats the
+/// spec, second is the primary) without contacting any daemon — CI uses it
+/// to pick its kill victim.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -61,9 +77,12 @@
 #include <iterator>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "serve/client.hpp"
+#include "serve/fleet.hpp"
 #include "serve/resilient_client.hpp"
 #include "serve/synth_service.hpp"
 #include "util/log.hpp"
@@ -148,7 +167,7 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("XSFQ_AUTH_TOKEN"); env != nullptr) {
     auth_token = env;
   }
-  std::string spec;
+  std::vector<std::string> specs;  // >1 only in fleet mode (a corpus)
   serve::synth_cli_options synth;  // shared parser with xsfq_synth
   unsigned priority = 100;
   double deadline_ms = 0.0;
@@ -159,7 +178,10 @@ int main(int argc, char** argv) {
   int timeout_ms = 0;         // --timeout-ms: per-attempt response deadline
   unsigned backoff_ms = 50;   // --backoff-ms: first retry backoff
   bool want_trace = false;    // --trace: stamp an id, print the waterfall
-  enum class action { synth, status, cache_stats, server_stats, shutdown };
+  std::string fleet_spec;     // --fleet=EP1,EP2,... → fleet_client path
+  std::size_t fleet_replicas = 2;  // --replicas: placement fan-out
+  enum class action { synth, status, cache_stats, server_stats, shutdown,
+                      route };
   action act = action::synth;
 
   for (int i = 1; i < argc; ++i) {
@@ -225,6 +247,18 @@ int main(int argc, char** argv) {
       backoff_ms = static_cast<unsigned>(b);
     } else if (auto ve = serve::cli_value(arg, "--edit"); !ve.empty()) {
       edit_path = ve;
+    } else if (auto vfl = serve::cli_value(arg, "--fleet"); !vfl.empty()) {
+      fleet_spec = vfl;
+    } else if (auto vre = serve::cli_value(arg, "--replicas"); !vre.empty()) {
+      char* end = nullptr;
+      const unsigned long r = std::strtoul(vre.c_str(), &end, 10);
+      if (end == vre.c_str() || *end != '\0' || r == 0 || r > 16) {
+        std::cerr << "--replicas expects 1..16, got: " << vre << "\n";
+        return 2;
+      }
+      fleet_replicas = static_cast<std::size_t>(r);
+    } else if (arg == "--route") {
+      act = action::route;
     } else if (arg == "--trace") {
       want_trace = true;
     } else if (auto vll = serve::cli_value(arg, "--log-level");
@@ -251,27 +285,154 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       return 2;
-    } else if (spec.empty()) {
-      spec = arg;
     } else {
-      std::cerr << "unexpected argument: " << arg << "\n";
-      return 2;
+      specs.push_back(arg);
     }
   }
-  if (act == action::synth && spec.empty()) {
+  const bool fleet_mode = !fleet_spec.empty();
+  if ((act == action::synth || act == action::route) && specs.empty()) {
     std::cerr << "usage: xsfq_client [--socket=PATH | --tcp=HOST:PORT "
                  "[--auth-token=SECRET]] <circuit|file.bench|file.blif> "
                  "[options] [--edit=FILE [--edit-full] [--no-supersede]]\n"
                  "       xsfq_client [connection flags] --status | "
-                 "--cache-stats | --stats | --shutdown\n";
+                 "--cache-stats | --stats | --shutdown\n"
+                 "       xsfq_client --fleet=EP1,EP2,... [--replicas=R] "
+                 "<spec>... | --route <spec>... | --stats\n";
     return 2;
   }
   if (edit_path.empty() && (edit_full || !supersede)) {
     std::cerr << "--edit-full and --no-supersede require --edit=FILE\n";
     return 2;
   }
+  if (act == action::route && !fleet_mode) {
+    std::cerr << "--route requires --fleet=EP1,EP2,...\n";
+    return 2;
+  }
+  if (fleet_mode && (act == action::status || act == action::cache_stats ||
+                     act == action::shutdown)) {
+    std::cerr << "--fleet supports synthesis, --route, and --stats only\n";
+    return 2;
+  }
+  if (fleet_mode && (want_trace || !tcp_address.empty())) {
+    std::cerr << "--fleet replaces --tcp and does not support --trace\n";
+    return 2;
+  }
+  if (!fleet_mode && specs.size() > 1) {
+    std::cerr << "unexpected argument: " << specs[1]
+              << " (a multi-circuit corpus needs --fleet)\n";
+    return 2;
+  }
+  if (!edit_path.empty() && specs.size() > 1) {
+    std::cerr << "--edit takes exactly one base circuit\n";
+    return 2;
+  }
 
   try {
+    if (fleet_mode) {
+      // One endpoint per comma-separated item; '/' marks a Unix socket
+      // path, anything else is HOST:PORT.  The ring identity of each
+      // endpoint is canonical (fleet_client::endpoint_id), so every client
+      // pointed at the same --fleet list routes identically.
+      std::vector<serve::endpoint> endpoints;
+      std::stringstream ss(fleet_spec);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (item.empty()) continue;
+        serve::endpoint ep;
+        if (item.find('/') != std::string::npos) {
+          ep.socket_path = item;
+        } else {
+          const auto colon = item.find_last_of(':');
+          if (colon == std::string::npos || colon == item.size() - 1) {
+            throw std::runtime_error(
+                "--fleet endpoint expects a socket path or HOST:PORT, "
+                "got: " + item);
+          }
+          ep.host = item.substr(0, colon);
+          const int p = std::atoi(item.c_str() + colon + 1);
+          if (p <= 0 || p > 65535) {
+            throw std::runtime_error("--fleet endpoint has a bad port: " +
+                                     item);
+          }
+          ep.port = static_cast<std::uint16_t>(p);
+          ep.auth_token = auth_token;
+        }
+        endpoints.push_back(std::move(ep));
+      }
+      serve::fleet_options fopts;
+      fopts.replicas = fleet_replicas;
+      if (retries > 0) fopts.policy.max_retries = retries;
+      fopts.policy.initial_backoff_ms = backoff_ms;
+      fopts.policy.request_timeout_ms = timeout_ms;
+      serve::fleet_client fleet(std::move(endpoints), fopts);
+
+      if (act == action::server_stats) {
+        std::cout << serve::format_fleet_stats_text(fleet.stats());
+        return 0;
+      }
+      if (act == action::route) {
+        // Pure ring lookup, no daemon contact: `<spec> <primary> <next>...`
+        // per line — `awk '{print $2}'` hands CI its kill -9 victim.
+        for (const auto& s : specs) {
+          const auto req = serve::make_request_for_spec(s);
+          std::cout << s;
+          for (const auto& owner :
+               fleet.owners_for(serve::fleet_client::routing_key(req))) {
+            std::cout << ' ' << owner;
+          }
+          std::cout << '\n';
+        }
+        return 0;
+      }
+
+      int rc = 0;
+      for (const auto& s : specs) {
+        serve::synth_request req = serve::make_request_for_spec(s);
+        serve::apply_cli_options(synth, req);
+        req.stream_progress = false;  // fleet sends carry no progress stream
+        req.priority = static_cast<std::uint8_t>(priority);
+        req.deadline_ms = deadline_ms;
+        serve::synth_response resp;
+        if (edit_path.empty()) {
+          resp = fleet.submit(req);
+        } else {
+          std::ifstream in(edit_path);
+          if (!in) {
+            std::cerr << "cannot read edit script: " << edit_path << "\n";
+            return 2;
+          }
+          serve::synth_delta_request dreq;
+          dreq.base = req;
+          dreq.base_content_hash =
+              serve::load_request_circuit(req).content_hash();
+          dreq.edit_text.assign(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+          dreq.supersede_base = supersede;
+          dreq.force_full = edit_full;
+          resp = fleet.submit_delta(dreq);
+          if (resp.ok) {
+            std::fprintf(stderr, "content_hash=%016llx\n",
+                         static_cast<unsigned long long>(resp.content_hash));
+          }
+        }
+        rc = std::max(rc, serve::render_synth_response(resp, synth));
+      }
+      // The chaos drill's assertion surface: grep fleet_failovers_total.
+      const auto& fc = fleet.counters();
+      std::fprintf(stderr,
+                   "fleet_requests_total=%llu fleet_failovers_total=%llu "
+                   "fleet_hedged_total=%llu fleet_hedge_wins_total=%llu "
+                   "fleet_probes_total=%llu "
+                   "fleet_eco_full_fallbacks_total=%llu\n",
+                   static_cast<unsigned long long>(fc.requests),
+                   static_cast<unsigned long long>(fc.failovers),
+                   static_cast<unsigned long long>(fc.hedged),
+                   static_cast<unsigned long long>(fc.hedge_wins),
+                   static_cast<unsigned long long>(fc.probes),
+                   static_cast<unsigned long long>(fc.eco_full_fallbacks));
+      return rc;
+    }
+
     auto parse_tcp = [&](std::string& host, std::uint16_t& port) {
       const auto colon = tcp_address.find_last_of(':');
       if (colon == std::string::npos || colon == tcp_address.size() - 1) {
@@ -356,7 +517,7 @@ int main(int argc, char** argv) {
         break;
     }
 
-    serve::synth_request req = serve::make_request_for_spec(spec);
+    serve::synth_request req = serve::make_request_for_spec(specs.front());
     serve::apply_cli_options(synth, req);
     req.stream_progress = synth.progress;
     req.priority = static_cast<std::uint8_t>(priority);

@@ -2,9 +2,9 @@
 ///
 ///   xsfq_served [--socket=PATH] [--listen=HOST:PORT] [--auth-token=SECRET]
 ///               [--threads=N] [--cache-dir=DIR] [--max-disk-entries=N]
-///               [--max-queue=N] [--max-inflight=N] [--max-conns=N]
-///               [--io-timeout-ms=N] [--idle-timeout-ms=N] [--faults=SCHED]
-///               [--log-level=LEVEL] [--trace-out=DIR]
+///               [--retained-bytes=N] [--max-queue=N] [--max-inflight=N]
+///               [--max-conns=N] [--io-timeout-ms=N] [--idle-timeout-ms=N]
+///               [--faults=SCHED] [--log-level=LEVEL] [--trace-out=DIR]
 ///
 /// Owns one long-lived flow::batch_runner behind up to two listeners
 /// speaking the serve protocol (src/serve/protocol.hpp): the Unix-domain
@@ -81,9 +81,10 @@ int main(int argc, char** argv) {
   const auto usage = [] {
     std::cerr << "usage: xsfq_served [--socket=PATH] [--listen=HOST:PORT] "
                  "[--auth-token=SECRET] [--threads=N] [--cache-dir=DIR] "
-                 "[--max-disk-entries=N] [--max-queue=N] [--max-inflight=N] "
-                 "[--max-conns=N] [--io-timeout-ms=N] [--idle-timeout-ms=N] "
-                 "[--faults=SCHEDULE] [--log-level=LEVEL] [--trace-out=DIR]\n";
+                 "[--max-disk-entries=N] [--retained-bytes=N] [--max-queue=N] "
+                 "[--max-inflight=N] [--max-conns=N] [--io-timeout-ms=N] "
+                 "[--idle-timeout-ms=N] [--faults=SCHEDULE] "
+                 "[--log-level=LEVEL] [--trace-out=DIR]\n";
     return 2;
   };
   std::string fault_schedule;
@@ -117,6 +118,16 @@ int main(int argc, char** argv) {
       if (!parse_count(v4, options.max_disk_entries)) {
         std::cerr << "--max-disk-entries expects a number (0 = unlimited), "
                      "got: " << v4 << "\n";
+        return 2;
+      }
+    } else if (auto vr = serve::cli_value(arg, "--retained-bytes");
+               !vr.empty()) {
+      // Byte budget of the ECO retained-network LRU (v7); sub-megabyte
+      // budgets are almost certainly a unit mistake, except 0 ("retain the
+      // current base only"), which is a legitimate minimal setting.
+      if (!parse_count(vr, options.retained_bytes)) {
+        std::cerr << "--retained-bytes expects a byte count (default "
+                     "268435456), got: " << vr << "\n";
         return 2;
       }
     } else if (auto v5 = serve::cli_value(arg, "--max-queue"); !v5.empty()) {

@@ -8,6 +8,7 @@
 #include <deque>
 #include <exception>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -310,25 +311,55 @@ struct batch_runner::impl {
   /// grain-mode flow: the engine of ECO resynthesis.
   region_cache region_tier;
 
-  /// Retained-network tier: the serving entry points keep the last
-  /// max_retained distinct networks they ran, keyed by content hash, so a
-  /// synth_delta request can replay its edit script onto the base without
-  /// shipping or re-parsing the base circuit.
-  static constexpr std::size_t max_retained = 32;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const aig>> retained;
-  std::deque<std::uint64_t> retained_order;  ///< FIFO eviction
+  /// Retained-network tier: the serving entry points keep the networks they
+  /// ran, keyed by content hash, so a synth_delta request can replay its
+  /// edit script onto the base without shipping or re-parsing the base
+  /// circuit.  Sized by traffic, not count: an LRU under a byte budget
+  /// (aig::memory_bytes per entry), so a burst of tiny interactive sessions
+  /// is not evicted by one huge batch circuit the way a fixed count was.
+  struct retained_entry {
+    std::shared_ptr<const aig> network;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_pos;  ///< position in retained_lru
+  };
+  std::unordered_map<std::uint64_t, retained_entry> retained;
+  std::list<std::uint64_t> retained_lru;  ///< front = most recently used
+  std::size_t retained_budget = 256u << 20;
+  std::size_t retained_bytes = 0;
+  std::uint64_t retained_evictions = 0;
+
+  /// Drops least-recently-used entries until the tier fits the budget.
+  /// Always keeps the most recent entry even when it alone exceeds the
+  /// budget — evicting the base a session is actively editing would turn
+  /// every delta into a full rebuild.  Caller holds cache_mutex.
+  void evict_retained_locked() {
+    while (retained_bytes > retained_budget && retained.size() > 1) {
+      const std::uint64_t victim = retained_lru.back();
+      retained_lru.pop_back();
+      const auto it = retained.find(victim);
+      retained_bytes -= it->second.bytes;
+      retained.erase(it);
+      ++retained_evictions;
+    }
+  }
 
   void retain_network(std::uint64_t content_hash, const aig& network) {
     auto copy = std::make_shared<const aig>(network);  // outside the lock
+    const std::size_t bytes = copy->memory_bytes();
     std::lock_guard<std::mutex> lock(cache_mutex);
-    if (!retained.emplace(content_hash, std::move(copy)).second) {
-      return;  // already retained (refresh would only churn the FIFO)
+    const auto it = retained.find(content_hash);
+    if (it != retained.end()) {
+      // Already retained: just touch (refresh the LRU position).
+      retained_lru.splice(retained_lru.begin(), retained_lru,
+                          it->second.lru_pos);
+      return;
     }
-    retained_order.push_back(content_hash);
-    if (retained_order.size() > max_retained) {
-      retained.erase(retained_order.front());
-      retained_order.pop_front();
-    }
+    retained_lru.push_front(content_hash);
+    retained.emplace(content_hash,
+                     retained_entry{std::move(copy), bytes,
+                                    retained_lru.begin()});
+    retained_bytes += bytes;
+    evict_retained_locked();
   }
 
   std::shared_ptr<const flow_result> lookup_full(const cache_key& key) {
@@ -620,7 +651,7 @@ struct batch_runner::impl {
     }
     const std::uint64_t circuit_hash = network.content_hash();
     const std::size_t num_gates = network.num_gates();
-    // Every served network is retained (bounded FIFO) so a later
+    // Every served network is retained (byte-budgeted LRU) so a later
     // synth_delta request can name it by content hash.
     retain_network(circuit_hash, network);
     return run_cached_core(name, circuit_hash, num_gates, options,
@@ -726,6 +757,7 @@ batch_cache_stats batch_runner::cache_stats() const {
     s.disk_misses = d.misses;
     s.disk_writes = d.writes;
     s.disk_quarantined = d.quarantined;
+    s.disk_quarantine_pruned = d.pruned;
   }
   const region_cache::counters rc = impl_->region_tier.counts();
   s.region_hits = rc.hits;
@@ -734,6 +766,7 @@ batch_cache_stats batch_runner::cache_stats() const {
   {
     std::lock_guard<std::mutex> lock(impl_->cache_mutex);
     s.retained_networks = impl_->retained.size();
+    s.retained_evictions = impl_->retained_evictions;
   }
   return s;
 }
@@ -742,7 +775,17 @@ std::shared_ptr<const aig> batch_runner::retained_network(
     std::uint64_t content_hash) const {
   std::lock_guard<std::mutex> lock(impl_->cache_mutex);
   const auto it = impl_->retained.find(content_hash);
-  return it == impl_->retained.end() ? nullptr : it->second;
+  if (it == impl_->retained.end()) return nullptr;
+  // LRU touch: a base being edited must outlive colder retained entries.
+  impl_->retained_lru.splice(impl_->retained_lru.begin(),
+                             impl_->retained_lru, it->second.lru_pos);
+  return it->second.network;
+}
+
+void batch_runner::set_retained_bytes(std::size_t budget) {
+  std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+  impl_->retained_budget = budget;
+  impl_->evict_retained_locked();
 }
 
 region_cache& batch_runner::regions() { return impl_->region_tier; }
@@ -894,7 +937,8 @@ void batch_runner::clear_cache() {
     impl_->opt_order.clear();
     impl_->hash_memo.clear();
     impl_->retained.clear();
-    impl_->retained_order.clear();
+    impl_->retained_lru.clear();
+    impl_->retained_bytes = 0;  // retained_evictions stays cumulative
   }
   impl_->region_tier.clear();
 }

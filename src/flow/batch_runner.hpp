@@ -92,6 +92,13 @@ struct batch_cache_stats {
   std::uint64_t region_misses = 0;  ///< regions optimized live
   std::uint64_t eco_patches = 0;    ///< entries patched/dropped by ECO
   std::uint64_t retained_networks = 0;  ///< networks held for delta requests
+  /// v7: retained networks evicted by the LRU byte budget (see
+  /// set_retained_bytes) — a high rate means sessions churn through more
+  /// base circuits than the budget can pin.
+  std::uint64_t retained_evictions = 0;
+  /// v7: quarantined disk-cache files pruned to keep quarantine/ inside its
+  /// count/byte bounds (see flow/disk_cache.hpp).
+  std::uint64_t disk_quarantine_pruned = 0;
 };
 
 /// Thread-pool flow executor.  Construct once, run many batches; worker
@@ -192,9 +199,17 @@ class batch_runner {
 
   /// The network most recently served under `content_hash` through the
   /// serving entry points (enqueue / run_cached), or nullptr when it was
-  /// never seen or has been evicted (bounded FIFO).  Delta requests replay
-  /// their edit script onto this retained base instead of re-parsing it.
+  /// never seen or has been evicted (byte-budgeted LRU; a hit refreshes the
+  /// entry).  Delta requests replay their edit script onto this retained
+  /// base instead of re-parsing it.
   std::shared_ptr<const aig> retained_network(std::uint64_t content_hash) const;
+
+  /// v7: byte budget of the retained-network tier (default 256 MiB),
+  /// measured with aig::memory_bytes.  Shrinking below the current
+  /// footprint evicts least-recently-used entries immediately (counted in
+  /// cache_stats().retained_evictions); the most recent entry is always
+  /// kept even when it alone exceeds the budget.
+  void set_retained_bytes(std::size_t budget);
 
   /// The cross-run optimized-region cache shared by every grain-mode flow on
   /// this runner (installed automatically when flow_options asks for

@@ -79,7 +79,63 @@ bool disk_result_cache::quarantine_file(const std::string& path,
     fs::remove(path, ec);
     return !ec;
   }
+  prune_quarantine();
   return true;
+}
+
+void disk_result_cache::prune_quarantine() {
+  // Oldest-first removal until quarantine/ fits both caps.  Best-effort
+  // like every other cache IO path: iteration or removal failing just
+  // leaves more evidence on disk than intended.
+  struct candidate {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t bytes;
+  };
+  std::vector<candidate> files;
+  std::uintmax_t total_bytes = 0;
+  try {
+    std::error_code ec;
+    for (const auto& de : fs::directory_iterator(quarantine_directory(), ec)) {
+      if (ec) break;
+      std::error_code fec;
+      if (!de.is_regular_file(fec) || fec) continue;
+      const std::uintmax_t bytes = de.file_size(fec);
+      if (fec) continue;
+      const fs::file_time_type mtime = de.last_write_time(fec);
+      if (fec) continue;
+      files.push_back({de.path(), mtime, bytes});
+      total_bytes += bytes;
+    }
+  } catch (const fs::filesystem_error&) {
+    return;
+  }
+  if (files.size() <= max_quarantine_entries &&
+      total_bytes <= max_quarantine_bytes) {
+    return;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const candidate& a, const candidate& b) {
+              return a.mtime < b.mtime;
+            });
+  std::uint64_t removed = 0;
+  std::size_t remaining = files.size();
+  for (const candidate& c : files) {
+    if (remaining <= max_quarantine_entries &&
+        total_bytes <= max_quarantine_bytes) {
+      break;
+    }
+    std::error_code ec;
+    if (fs::remove(c.path, ec) && !ec) {
+      ++removed;
+      --remaining;
+      total_bytes -= c.bytes;
+    }
+  }
+  if (removed != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.pruned += removed;
+  }
 }
 
 void disk_result_cache::recovery_scan() {

@@ -47,6 +47,10 @@ struct disk_cache_stats {
   /// Undecodable entries and orphaned temp files moved to quarantine/
   /// (startup recovery scan + load-time verification).
   std::uint64_t quarantined = 0;
+  /// v7: quarantined files removed (oldest first) to keep quarantine/
+  /// inside its count/byte bounds — a corruption storm must not be able to
+  /// fill the disk with evidence.
+  std::uint64_t pruned = 0;
 };
 
 class disk_result_cache {
@@ -86,6 +90,12 @@ class disk_result_cache {
   /// directory is created lazily on first quarantine.
   std::string quarantine_directory() const;
 
+  /// v7: bounds on quarantine/ — keeping the newest evidence is enough for
+  /// an operator to diagnose a corruption storm; the oldest files go first
+  /// once either cap is exceeded (counted in stats().pruned).
+  static constexpr std::size_t max_quarantine_entries = 64;
+  static constexpr std::uintmax_t max_quarantine_bytes = 64u << 20;
+
  private:
   std::string entry_path(std::uint64_t circuit_key,
                          std::uint64_t options_key) const;
@@ -93,6 +103,9 @@ class disk_result_cache {
   /// removal when the move fails — a poisoned entry must never be served).
   /// Returns whether the file is gone from the live directory.
   bool quarantine_file(const std::string& path, const char* reason);
+  /// Enforces the quarantine/ count+byte caps (oldest-first).  Called after
+  /// every successful quarantine; takes mutex_ only to bump stats_.pruned.
+  void prune_quarantine();
   void recovery_scan();
   void prune_locked();
 

@@ -27,6 +27,27 @@ std::string upper(std::string s) {
                               message);
 }
 
+/// Input-hardening caps shared with the BLIF reader: real netlists carry
+/// identifiers of a few dozen characters, so anything kilobytes long (or
+/// containing NUL — text formats never do) is fuzz/attack input, rejected
+/// with the same typed error any other malformed line gets.
+constexpr std::size_t max_identifier_len = 4096;
+
+void check_line(const std::string& line, std::size_t line_number) {
+  if (line.find('\0') != std::string::npos) {
+    fail(line_number, "NUL byte in input");
+  }
+}
+
+const std::string& check_identifier(const std::string& name,
+                                    std::size_t line_number) {
+  if (name.size() > max_identifier_len) {
+    fail(line_number, "identifier exceeds " +
+                          std::to_string(max_identifier_len) + " characters");
+  }
+  return name;
+}
+
 gate_kind kind_from_name(const std::string& name, std::size_t line) {
   const std::string u = upper(name);
   if (u == "AND") return gate_kind::and_gate;
@@ -55,6 +76,7 @@ netlist read_bench(std::istream& is, const std::string& model_name) {
 
   while (std::getline(is, raw_line)) {
     ++line_number;
+    check_line(raw_line, line_number);
     std::string line = raw_line;
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
@@ -71,6 +93,7 @@ netlist read_bench(std::istream& is, const std::string& model_name) {
       }
       const std::string net = trim(line.substr(open + 1, close - open - 1));
       if (net.empty()) fail(line_number, "empty port name");
+      check_identifier(net, line_number);
       if (u.starts_with("INPUT(")) {
         result.add_input(net);
       } else {
@@ -82,7 +105,8 @@ netlist read_bench(std::istream& is, const std::string& model_name) {
 
     const auto eq = line.find('=');
     if (eq == std::string::npos) fail(line_number, "expected '='");
-    const std::string target = trim(line.substr(0, eq));
+    const std::string target =
+        check_identifier(trim(line.substr(0, eq)), line_number);
     std::string rhs = trim(line.substr(eq + 1));
     const auto open = rhs.find('(');
     const auto close = rhs.rfind(')');
@@ -101,7 +125,9 @@ netlist read_bench(std::istream& is, const std::string& model_name) {
     std::vector<std::string> arg_names;
     while (std::getline(ss, token, ',')) {
       token = trim(token);
-      if (!token.empty()) arg_names.push_back(token);
+      if (!token.empty()) {
+        arg_names.push_back(check_identifier(token, line_number));
+      }
     }
     if (kind == gate_kind::dff) {
       if (arg_names.empty() || arg_names.size() > 2) {

@@ -21,6 +21,11 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+/// Input-hardening cap shared with the bench reader: identifiers kilobytes
+/// long are fuzz/attack input, not netlists — reject with the same typed
+/// error any malformed line gets instead of growing name tables unboundedly.
+constexpr std::size_t max_identifier_len = 4096;
+
 /// A parsed .names block before lowering.
 struct names_block {
   std::vector<std::string> nets;  ///< inputs then output
@@ -121,6 +126,9 @@ netlist read_blif(std::istream& is) {
     line.clear();
     while (std::getline(is, raw_line)) {
       ++line_number;
+      if (raw_line.find('\0') != std::string::npos) {
+        fail(line_number, "NUL byte in input");
+      }
       if (const auto hash = raw_line.find('#'); hash != std::string::npos) {
         raw_line.resize(hash);
       }
@@ -145,6 +153,13 @@ netlist read_blif(std::istream& is) {
 
   while (read_logical_line()) {
     const auto tokens = tokenize(line);
+    for (const std::string& t : tokens) {
+      if (t.size() > max_identifier_len) {
+        fail(line_number, "token exceeds " +
+                              std::to_string(max_identifier_len) +
+                              " characters");
+      }
+    }
     const std::string& head = tokens.front();
     if (head[0] == '.') {
       open_block = nullptr;

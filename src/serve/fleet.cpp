@@ -1,0 +1,592 @@
+/// \file fleet.cpp
+/// \brief Sharded fleet client: routing, health, failover, hedging, stats.
+
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "aig/edit.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/netlist.hpp"
+#include "serve/synth_service.hpp"
+#include "util/fault.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace xsfq::serve {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+/// Same classification resilient_client uses: shedding and lifecycle races
+/// are worth another attempt (on another shard, here); everything else
+/// indicts the request.
+bool retryable_service_error(error_code code) {
+  switch (code) {
+    case error_code::overloaded:
+    case error_code::too_many_connections:
+    case error_code::shutting_down:
+    case error_code::io_timeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void merge_status(server_status& into, const server_status& from) {
+  into.jobs_submitted += from.jobs_submitted;
+  into.jobs_completed += from.jobs_completed;
+  into.jobs_failed += from.jobs_failed;
+  into.active_connections += from.active_connections;
+  into.worker_threads += from.worker_threads;
+  into.steals += from.steals;
+  // Fleet uptime = the longest-lived member (restarted shards report less).
+  into.uptime_s = std::max(into.uptime_s, from.uptime_s);
+}
+
+void merge_cache(flow::batch_cache_stats& into,
+                 const flow::batch_cache_stats& from) {
+  into.full_hits += from.full_hits;
+  into.full_misses += from.full_misses;
+  into.opt_hits += from.opt_hits;
+  into.opt_misses += from.opt_misses;
+  into.disk_hits += from.disk_hits;
+  into.disk_misses += from.disk_misses;
+  into.disk_writes += from.disk_writes;
+  into.disk_quarantined += from.disk_quarantined;
+  into.disk_quarantine_pruned += from.disk_quarantine_pruned;
+  into.region_hits += from.region_hits;
+  into.region_misses += from.region_misses;
+  into.eco_patches += from.eco_patches;
+  into.retained_networks += from.retained_networks;
+  into.retained_evictions += from.retained_evictions;
+}
+
+void merge_stats(server_stats_reply& into, const server_stats_reply& from) {
+  merge_status(into.status, from.status);
+  merge_cache(into.cache, from.cache);
+  if (into.disk_directory.empty()) into.disk_directory = from.disk_directory;
+  into.accepted += from.accepted;
+  into.rejected_overload += from.rejected_overload;
+  into.rejected_deadline += from.rejected_deadline;
+  into.rejected_auth += from.rejected_auth;
+  into.rejected_conns += from.rejected_conns;
+  into.peak_queue_depth += from.peak_queue_depth;
+  into.queue_depth += from.queue_depth;
+  into.inflight += from.inflight;
+  // Capacity gauges sum to total fleet capacity.
+  into.max_queue += from.max_queue;
+  into.max_inflight += from.max_inflight;
+  into.max_conns += from.max_conns;
+  into.runner_queue_depth += from.runner_queue_depth;
+  into.eco_requests += from.eco_requests;
+  into.eco_retained_hits += from.eco_retained_hits;
+  into.eco_base_rebuilds += from.eco_base_rebuilds;
+  into.eco_failures += from.eco_failures;
+  into.io_timeouts += from.io_timeouts;
+  into.fault_fired += from.fault_fired;
+  into.trace_spans_recorded += from.trace_spans_recorded;
+  into.trace_spans_dropped += from.trace_spans_dropped;
+  for (const fault_site_snapshot& site : from.fault_sites) {
+    auto it = std::find_if(into.fault_sites.begin(), into.fault_sites.end(),
+                           [&](const fault_site_snapshot& s) {
+                             return s.site == site.site;
+                           });
+    if (it == into.fault_sites.end()) {
+      into.fault_sites.push_back(site);
+    } else {
+      it->hits += site.hits;
+      it->fired += site.fired;
+    }
+  }
+  for (const histogram_snapshot& h : from.histograms) {
+    auto it = std::find_if(into.histograms.begin(), into.histograms.end(),
+                           [&](const histogram_snapshot& s) {
+                             return s.name == h.name;
+                           });
+    if (it == into.histograms.end()) {
+      into.histograms.push_back(h);
+      continue;
+    }
+    it->count += h.count;
+    it->sum_ms += h.sum_ms;
+    it->max_ms = std::max(it->max_ms, h.max_ms);
+    if (it->buckets.size() < h.buckets.size()) {
+      it->buckets.resize(h.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      it->buckets[i] += h.buckets[i];
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(endpoint_health h) {
+  switch (h) {
+    case endpoint_health::healthy: return "healthy";
+    case endpoint_health::suspect: return "suspect";
+    case endpoint_health::down: return "down";
+    case endpoint_health::probing: return "probing";
+  }
+  return "unknown";
+}
+
+/// One fleet member: the endpoint description, its (lazily dialed)
+/// connection, and the health state machine this client maintains for it.
+struct fleet_client::shard {
+  endpoint ep;
+  std::string id;
+  std::unique_ptr<client> conn;
+  endpoint_health health = endpoint_health::healthy;
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  clock_type::time_point next_probe{};  ///< meaningful while non-healthy
+};
+
+std::string fleet_client::endpoint_id(const endpoint& ep) {
+  if (!ep.socket_path.empty()) return "unix:" + ep.socket_path;
+  return "tcp:" + ep.host + ":" + std::to_string(ep.port);
+}
+
+namespace {
+std::vector<std::string> make_ids(const std::vector<endpoint>& endpoints) {
+  std::vector<std::string> ids;
+  ids.reserve(endpoints.size());
+  for (const endpoint& ep : endpoints) {
+    ids.push_back(fleet_client::endpoint_id(ep));
+  }
+  return ids;
+}
+}  // namespace
+
+fleet_client::fleet_client(std::vector<endpoint> endpoints,
+                           fleet_options options)
+    : options_(options),
+      ring_(make_ids(endpoints), options.vnodes),
+      rng_state_(options.policy.seed) {
+  shards_.reserve(endpoints.size());
+  for (endpoint& ep : endpoints) {
+    auto sh = std::make_unique<shard>();
+    sh->id = endpoint_id(ep);
+    sh->ep = std::move(ep);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+fleet_client::~fleet_client() = default;
+
+std::size_t fleet_client::size() const { return shards_.size(); }
+
+std::uint64_t fleet_client::routing_key(const synth_request& req) {
+  try {
+    return load_request_circuit(req).content_hash();
+  } catch (const std::exception&) {
+    // Unloadable circuit: the daemon will reject it with a typed error, but
+    // it must still route deterministically (same shard every retry).
+    std::uint64_t h = hash_mix(0x1eefu, static_cast<std::uint64_t>(req.source));
+    h = hash_mix_str(h, req.spec);
+    h = hash_mix_str(h, req.source_text);
+    h = hash_mix_str(h, req.model);
+    return h;
+  }
+}
+
+std::vector<std::string> fleet_client::owners_for(std::uint64_t key) const {
+  std::vector<std::string> ids;
+  for (const std::size_t owner : ring_.route(key, options_.replicas)) {
+    ids.push_back(ring_.id(owner));
+  }
+  return ids;
+}
+
+client& fleet_client::shard_connection(shard& sh) {
+  if (sh.conn) return *sh.conn;
+  std::unique_ptr<client> conn;
+  if (!sh.ep.socket_path.empty()) {
+    conn = std::make_unique<client>(sh.ep.socket_path);
+  } else {
+    conn = std::make_unique<client>(sh.ep.host, sh.ep.port);
+  }
+  if (!sh.ep.auth_token.empty()) {
+    conn->authenticate(sh.ep.auth_token);
+  }
+  sh.conn = std::move(conn);
+  return *sh.conn;
+}
+
+void fleet_client::mark_transport_failure(shard& sh) {
+  ++sh.failures;
+  ++sh.consecutive_failures;
+  if (sh.health == endpoint_health::probing ||
+      sh.consecutive_failures >= options_.down_after) {
+    sh.health = endpoint_health::down;
+  } else {
+    sh.health = endpoint_health::suspect;
+  }
+  schedule_probe(sh);
+}
+
+void fleet_client::mark_success(shard& sh) {
+  sh.consecutive_failures = 0;
+  sh.health = endpoint_health::healthy;
+}
+
+void fleet_client::schedule_probe(shard& sh) {
+  // Seeded-jitter probe interval (±policy.jitter), decorrelating a fleet of
+  // clients that all watched the same shard die.
+  double ms = static_cast<double>(options_.probe_interval_ms);
+  if (options_.policy.jitter > 0.0) {
+    rng jitter_rng(rng_state_);
+    rng_state_ = jitter_rng();
+    const double u = jitter_rng.uniform() * 2.0 - 1.0;  // [-1, 1)
+    ms *= 1.0 + options_.policy.jitter * u;
+  }
+  sh.next_probe =
+      clock_type::now() + std::chrono::milliseconds(
+                              static_cast<long>(std::max(ms, 1.0)));
+}
+
+void fleet_client::run_due_probes() {
+  const auto now = clock_type::now();
+  for (const std::unique_ptr<shard>& sp : shards_) {
+    shard& sh = *sp;
+    if (sh.health == endpoint_health::healthy || now < sh.next_probe) {
+      continue;
+    }
+    ++counters_.probes;
+    ++sh.probes;
+    bool ok = false;
+    if (!fault::fire("fleet.probe.fail")) {
+      try {
+        sh.conn.reset();  // probe on a fresh dial: the old socket is suspect
+        ok = shard_connection(sh).ping();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      // down → probing (traffic allowed again; one real success completes
+      // recovery), anything milder → healthy.
+      sh.health = sh.health == endpoint_health::down
+                      ? endpoint_health::probing
+                      : endpoint_health::healthy;
+      sh.consecutive_failures = 0;
+      if (log::enabled(log::level::info)) {
+        log::line(log::level::info, "fleet.probe.ok")
+            .kv("endpoint", sh.id)
+            .kv("health", to_string(sh.health));
+      }
+    } else {
+      ++counters_.probe_failures;
+      ++sh.probe_failures;
+      sh.conn.reset();
+      sh.health = endpoint_health::down;
+      if (log::enabled(log::level::debug)) {
+        log::line(log::level::debug, "fleet.probe.fail")
+            .kv("endpoint", sh.id)
+            .kv("probe_failures", sh.probe_failures);
+      }
+    }
+    schedule_probe(sh);
+  }
+}
+
+void fleet_client::backoff(unsigned sweep, std::uint32_t server_hint_ms) {
+  double ms = static_cast<double>(options_.policy.initial_backoff_ms);
+  for (unsigned i = 0; i < sweep && ms < options_.policy.max_backoff_ms; ++i) {
+    ms *= 2.0;
+  }
+  ms = std::min(ms, static_cast<double>(options_.policy.max_backoff_ms));
+  if (options_.policy.jitter > 0.0) {
+    rng jitter_rng(rng_state_);
+    rng_state_ = jitter_rng();
+    const double u = jitter_rng.uniform() * 2.0 - 1.0;
+    ms *= 1.0 + options_.policy.jitter * u;
+  }
+  ms = std::max(ms, static_cast<double>(server_hint_ms));
+  if (ms >= 1.0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(ms)));
+  }
+}
+
+double fleet_client::hedge_deadline_ms() const {
+  if (options_.hedge_quantile <= 0.0 || shards_.size() < 2 ||
+      latency_.count() < options_.hedge_min_samples) {
+    return 0.0;
+  }
+  const double q = latency_.quantile_ms(options_.hedge_quantile);
+  double deadline =
+      std::max(options_.hedge_floor_ms, q * options_.hedge_multiplier);
+  if (options_.policy.request_timeout_ms > 0) {
+    deadline = std::min(
+        deadline, static_cast<double>(options_.policy.request_timeout_ms));
+  }
+  return deadline;
+}
+
+void fleet_client::record_latency(double ms) { latency_.record(ms); }
+
+template <typename Fn>
+synth_response fleet_client::with_failover(std::uint64_t key, Fn&& send) {
+  ++counters_.requests;
+  const std::vector<std::size_t> owners = ring_.route(key, options_.replicas);
+  bool hedge_pending = false;
+  std::uint64_t attempt_index = 0;
+  std::exception_ptr last_error;
+  for (unsigned sweep = 0; sweep <= options_.policy.max_retries; ++sweep) {
+    run_due_probes();
+    // Down endpoints are skipped — unless every owner is down, where trying
+    // anyway beats failing without a single packet sent.
+    bool all_down = true;
+    for (const std::size_t o : owners) {
+      if (shards_[o]->health != endpoint_health::down) {
+        all_down = false;
+        break;
+      }
+    }
+    std::uint32_t sweep_hint_ms = 0;
+    for (const std::size_t o : owners) {
+      shard& sh = *shards_[o];
+      if (sh.health == endpoint_health::down && !all_down) continue;
+      // The first attempt of a request runs under the adaptive hedge
+      // deadline (when armed); a request stuck past it is abandoned and
+      // re-sent to the next replica.  The slow shard finishes and caches
+      // the byte-identical result on its own time.
+      const double hedge_ms = attempt_index == 0 ? hedge_deadline_ms() : 0.0;
+      ++attempt_index;
+      const char* reason = nullptr;
+      try {
+        if (fault::fire("fleet.route.down")) {
+          throw protocol_error("injected endpoint failure (fleet.route.down)");
+        }
+        client& c = shard_connection(sh);
+        int timeout_ms = options_.policy.request_timeout_ms;
+        if (hedge_ms > 0.0) {
+          timeout_ms = std::max(1, static_cast<int>(std::ceil(hedge_ms)));
+        }
+        c.set_receive_timeout_ms(timeout_ms);
+        ++sh.requests;
+        const auto start = clock_type::now();
+        synth_response r = send(c);
+        record_latency(ms_since(start));
+        mark_success(sh);
+        if (hedge_pending) ++counters_.hedge_wins;
+        return r;
+      } catch (const service_error& e) {
+        last_error = std::current_exception();
+        if (!retryable_service_error(e.code)) throw;
+        // The shard is shedding load (or draining) — alive, just busy, so
+        // this is not a health event.  retry_after_ms means "not me, not
+        // now": route to the next replica immediately and only honor the
+        // hint if the whole sweep comes up empty.
+        ++sh.failures;
+        sweep_hint_ms = std::max(sweep_hint_ms, e.retry_after_ms);
+        sh.conn.reset();  // shedding closes or poisons the connection
+        if (e.code == error_code::io_timeout) mark_transport_failure(sh);
+        reason = "shed";
+      } catch (const io_timeout_error&) {
+        last_error = std::current_exception();
+        if (hedge_ms > 0.0) {
+          ++counters_.hedged;
+          hedge_pending = true;
+          reason = "hedge";
+        } else {
+          reason = "timeout";
+        }
+        sh.conn.reset();
+        mark_transport_failure(sh);
+      } catch (const protocol_error&) {
+        last_error = std::current_exception();
+        sh.conn.reset();
+        mark_transport_failure(sh);
+        reason = "transport";
+      } catch (const std::exception&) {
+        // Connect failure (daemon dead/restarting): ECONNREFUSED, missing
+        // socket file — std::runtime_error from the client constructor.
+        last_error = std::current_exception();
+        sh.conn.reset();
+        mark_transport_failure(sh);
+        reason = "connect";
+      }
+      ++counters_.failovers;
+      if (log::enabled(log::level::warn)) {
+        log::line(log::level::warn, "fleet.failover")
+            .kv("endpoint", sh.id)
+            .kv("reason", reason)
+            .kv("health", to_string(sh.health))
+            .kv("attempt", attempt_index);
+      }
+    }
+    if (sweep < options_.policy.max_retries) backoff(sweep, sweep_hint_ms);
+  }
+  if (last_error) std::rethrow_exception(last_error);
+  throw protocol_error("fleet: no owner reachable for key");
+}
+
+synth_response fleet_client::submit(const synth_request& req) {
+  return with_failover(routing_key(req),
+                       [&](client& c) { return c.submit(req); });
+}
+
+synth_response fleet_client::submit_delta(const synth_delta_request& req) {
+  try {
+    return with_failover(req.base_content_hash,
+                         [&](client& c) { return c.submit_delta(req); });
+  } catch (const service_error& e) {
+    if (e.code != error_code::unknown_base) throw;
+    // A failed-over shard cannot reconstruct the base this delta names.
+    // When the embedded base request *is* that base (the hashes agree),
+    // the fleet can finish the job itself: apply the edit locally and
+    // submit the edited circuit as a plain full request — byte-identical
+    // output by the determinism contract.  When the hashes disagree the
+    // request names a chained intermediate state only the original shard
+    // ever held; no fallback can reconstruct it, so the error stands.
+    aig base;
+    try {
+      base = load_request_circuit(req.base);
+    } catch (const std::exception&) {
+      throw e;
+    }
+    if (base.content_hash() != req.base_content_hash) throw;
+    eco::apply_edit_text(base, req.edit_text);
+    ++counters_.eco_full_fallbacks;
+    synth_request full = req.base;
+    full.source = circuit_source::bench_text;
+    full.model = full.model.empty() ? "top" : full.model;
+    full.source_text = write_bench_string(netlist_from_aig(base, full.model));
+    if (log::enabled(log::level::warn)) {
+      log::line(log::level::warn, "fleet.eco.full_fallback")
+          .kv("base_hash", req.base_content_hash)
+          .kv("edited_hash", base.content_hash());
+    }
+    return with_failover(base.content_hash(),
+                         [&](client& c) { return c.submit(full); });
+  }
+}
+
+fleet_stats fleet_client::stats() {
+  fleet_stats out;
+  out.endpoints_total = shards_.size();
+  for (const std::unique_ptr<shard>& sp : shards_) {
+    shard& sh = *sp;
+    try {
+      client& c = shard_connection(sh);
+      c.set_receive_timeout_ms(options_.policy.request_timeout_ms > 0
+                                   ? options_.policy.request_timeout_ms
+                                   : 5000);
+      merge_stats(out.merged, c.server_stats());
+      ++out.endpoints_up;
+      mark_success(sh);
+    } catch (const std::exception&) {
+      sh.conn.reset();
+      mark_transport_failure(sh);
+    }
+  }
+  out.endpoints = endpoint_statuses();
+  out.counters = counters_;
+  return out;
+}
+
+std::vector<endpoint_status> fleet_client::endpoint_statuses() const {
+  std::vector<endpoint_status> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<shard>& sp : shards_) {
+    endpoint_status st;
+    st.id = sp->id;
+    st.health = sp->health;
+    st.requests = sp->requests;
+    st.failures = sp->failures;
+    st.probes = sp->probes;
+    st.probe_failures = sp->probe_failures;
+    st.consecutive_failures = sp->consecutive_failures;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::string format_fleet_stats_text(const fleet_stats& stats) {
+  std::string out = format_server_stats_text(stats.merged);
+  auto line = [&out](const std::string& name, std::uint64_t value) {
+    out += name + " " + std::to_string(value) + "\n";
+  };
+  out += "# HELP xsfq_fleet_endpoints Fleet members (client view).\n";
+  out += "# TYPE xsfq_fleet_endpoints gauge\n";
+  line("xsfq_fleet_endpoints", stats.endpoints_total);
+  out += "# HELP xsfq_fleet_endpoints_up Members that answered the scrape.\n";
+  out += "# TYPE xsfq_fleet_endpoints_up gauge\n";
+  line("xsfq_fleet_endpoints_up", stats.endpoints_up);
+  out += "# HELP xsfq_fleet_requests_total Requests routed by this client.\n";
+  out += "# TYPE xsfq_fleet_requests_total counter\n";
+  line("xsfq_fleet_requests_total", stats.counters.requests);
+  out += "# HELP xsfq_fleet_failovers_total Attempts that failed and were "
+         "re-routed to another replica.\n";
+  out += "# TYPE xsfq_fleet_failovers_total counter\n";
+  line("xsfq_fleet_failovers_total", stats.counters.failovers);
+  out += "# HELP xsfq_fleet_hedged_total First attempts abandoned at the "
+         "hedge deadline and re-sent.\n";
+  out += "# TYPE xsfq_fleet_hedged_total counter\n";
+  line("xsfq_fleet_hedged_total", stats.counters.hedged);
+  out += "# HELP xsfq_fleet_hedge_wins_total Hedged requests completed by a "
+         "replica.\n";
+  out += "# TYPE xsfq_fleet_hedge_wins_total counter\n";
+  line("xsfq_fleet_hedge_wins_total", stats.counters.hedge_wins);
+  out += "# HELP xsfq_fleet_probes_total Health probes sent.\n";
+  out += "# TYPE xsfq_fleet_probes_total counter\n";
+  line("xsfq_fleet_probes_total", stats.counters.probes);
+  out += "# HELP xsfq_fleet_probe_failures_total Health probes that "
+         "failed.\n";
+  out += "# TYPE xsfq_fleet_probe_failures_total counter\n";
+  line("xsfq_fleet_probe_failures_total", stats.counters.probe_failures);
+  out += "# HELP xsfq_fleet_eco_full_fallbacks_total unknown_base deltas "
+         "finished via local edit + full resynthesis.\n";
+  out += "# TYPE xsfq_fleet_eco_full_fallbacks_total counter\n";
+  line("xsfq_fleet_eco_full_fallbacks_total",
+       stats.counters.eco_full_fallbacks);
+  out += "# HELP xsfq_fleet_endpoint_up Per-endpoint health (1 = routable).\n";
+  out += "# TYPE xsfq_fleet_endpoint_up gauge\n";
+  for (const endpoint_status& ep : stats.endpoints) {
+    out += "xsfq_fleet_endpoint_up{endpoint=\"" + ep.id + "\"} " +
+           std::to_string(ep.health == endpoint_health::down ? 0 : 1) + "\n";
+  }
+  out += "# HELP xsfq_fleet_endpoint_health Per-endpoint state machine "
+         "position (1 at the current state).\n";
+  out += "# TYPE xsfq_fleet_endpoint_health gauge\n";
+  for (const endpoint_status& ep : stats.endpoints) {
+    out += "xsfq_fleet_endpoint_health{endpoint=\"" + ep.id + "\",state=\"" +
+           to_string(ep.health) + "\"} 1\n";
+  }
+  out += "# HELP xsfq_fleet_endpoint_requests_total Attempts sent per "
+         "endpoint.\n";
+  out += "# TYPE xsfq_fleet_endpoint_requests_total counter\n";
+  for (const endpoint_status& ep : stats.endpoints) {
+    out += "xsfq_fleet_endpoint_requests_total{endpoint=\"" + ep.id + "\"} " +
+           std::to_string(ep.requests) + "\n";
+  }
+  out += "# HELP xsfq_fleet_endpoint_failures_total Failed attempts per "
+         "endpoint.\n";
+  out += "# TYPE xsfq_fleet_endpoint_failures_total counter\n";
+  for (const endpoint_status& ep : stats.endpoints) {
+    out += "xsfq_fleet_endpoint_failures_total{endpoint=\"" + ep.id + "\"} " +
+           std::to_string(ep.failures) + "\n";
+  }
+  return out;
+}
+
+}  // namespace xsfq::serve

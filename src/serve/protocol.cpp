@@ -389,6 +389,8 @@ std::vector<std::uint8_t> encode_cache_stats(const cache_stats_reply& reply) {
   w.u64(reply.stats.region_misses);
   w.u64(reply.stats.eco_patches);
   w.u64(reply.stats.retained_networks);
+  w.u64(reply.stats.retained_evictions);       // v7
+  w.u64(reply.stats.disk_quarantine_pruned);   // v7
   w.str(reply.disk_directory);
   return w.take();
 }
@@ -408,6 +410,8 @@ cache_stats_reply decode_cache_stats(std::span<const std::uint8_t> payload) {
   reply.stats.region_misses = r.u64();
   reply.stats.eco_patches = r.u64();
   reply.stats.retained_networks = r.u64();
+  reply.stats.retained_evictions = r.u64();      // v7
+  reply.stats.disk_quarantine_pruned = r.u64();  // v7
   reply.disk_directory = r.str();
   r.expect_done();
   return reply;
@@ -537,6 +541,8 @@ std::vector<std::uint8_t> encode_server_stats(
   w.u64(reply.cache.region_misses);
   w.u64(reply.cache.eco_patches);
   w.u64(reply.cache.retained_networks);
+  w.u64(reply.cache.retained_evictions);       // v7
+  w.u64(reply.cache.disk_quarantine_pruned);   // v7
   w.str(reply.disk_directory);
   w.u64(reply.accepted);
   w.u64(reply.rejected_overload);
@@ -598,6 +604,8 @@ server_stats_reply decode_server_stats(std::span<const std::uint8_t> payload) {
   reply.cache.region_misses = r.u64();
   reply.cache.eco_patches = r.u64();
   reply.cache.retained_networks = r.u64();
+  reply.cache.retained_evictions = r.u64();      // v7
+  reply.cache.disk_quarantine_pruned = r.u64();  // v7
   reply.disk_directory = r.str();
   reply.accepted = r.u64();
   reply.rejected_overload = r.u64();

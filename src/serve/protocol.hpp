@@ -90,8 +90,10 @@ namespace xsfq::serve {
 // io_timeouts + fault-injection counters in server_stats.
 // v6: trace_id on synth_request, the trace request/reply pair, flight-
 // recorder span counters in server_stats
+// v7: retained-tier LRU + quarantine-bound counters (retained_evictions,
+// disk_quarantine_pruned) in cache/server stats
 // (see docs/protocol.md for the full history).
-inline constexpr std::uint8_t protocol_version = 6;
+inline constexpr std::uint8_t protocol_version = 7;
 /// Upper bound on one frame's payload; a header announcing more is garbage
 /// (the largest legitimate payload is a synth_response with Verilog text).
 inline constexpr std::uint32_t max_frame_payload = 64u << 20;

@@ -1,0 +1,101 @@
+#include "serve/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace xsfq::serve {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.  The ring
+/// must hash identically in every process, so everything below is spelled
+/// out rather than delegated to std::hash.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over the id bytes — stable across platforms and runs.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t consistent_ring::key_point(std::uint64_t key) {
+  return mix64(key);
+}
+
+std::uint64_t consistent_ring::endpoint_point(const std::string& id,
+                                              unsigned replica) {
+  return mix64(fnv1a(id) ^ (0xA24BAED4963EE407ull * (replica + 1)));
+}
+
+consistent_ring::consistent_ring(std::vector<std::string> endpoint_ids,
+                                 unsigned vnodes)
+    : ids_(std::move(endpoint_ids)) {
+  if (ids_.empty()) {
+    throw std::invalid_argument("consistent_ring: no endpoints");
+  }
+  if (vnodes == 0) {
+    throw std::invalid_argument("consistent_ring: vnodes must be > 0");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& id : ids_) {
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("consistent_ring: duplicate endpoint " + id);
+    }
+  }
+  points_.reserve(ids_.size() * vnodes);
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    for (unsigned v = 0; v < vnodes; ++v) {
+      points_.push_back({endpoint_point(ids_[i], v),
+                         static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const point& a, const point& b) {
+              // Position ties (astronomically unlikely) break on owner so
+              // the sort — and therefore placement — is fully determined.
+              return a.position != b.position ? a.position < b.position
+                                              : a.owner < b.owner;
+            });
+}
+
+std::vector<std::size_t> consistent_ring::route(std::uint64_t key,
+                                                std::size_t replicas) const {
+  const std::size_t want = std::min(std::max<std::size_t>(replicas, 1),
+                                    ids_.size());
+  const std::uint64_t pos = key_point(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), pos,
+                             [](const point& p, std::uint64_t value) {
+                               return p.position < value;
+                             });
+  std::vector<std::size_t> owners;
+  owners.reserve(want);
+  std::vector<bool> taken(ids_.size(), false);
+  for (std::size_t walked = 0; walked < points_.size() && owners.size() < want;
+       ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (!taken[it->owner]) {
+      taken[it->owner] = true;
+      owners.push_back(it->owner);
+    }
+    ++it;
+  }
+  return owners;
+}
+
+std::size_t consistent_ring::primary(std::uint64_t key) const {
+  return route(key, 1).front();
+}
+
+}  // namespace xsfq::serve

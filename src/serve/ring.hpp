@@ -1,0 +1,76 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Deterministic consistent-hash ring for fleet routing.
+///
+/// The fleet client places every request on a fixed ring keyed by the
+/// circuit's `content_hash`, so the same circuit always lands on the same
+/// daemon (maximizing that daemon's retained-network and result-cache hit
+/// rates) and adding or removing a daemon only moves ~1/N of the keyspace.
+/// Each endpoint contributes `vnodes` points to the ring; a request's owner
+/// list is the next R *distinct* endpoints clockwise from the key's point.
+///
+/// Determinism contract: the ring is a pure function of the endpoint
+/// identity strings and the vnode count.  Point hashes use FNV-1a plus a
+/// splitmix64 finalizer — never std::hash, whose value is
+/// implementation-defined — so two processes (e.g. the CI chaos driver
+/// picking a kill victim via `xsfq_client --route`, and the fleet client
+/// it later kills out from under) always agree on placement.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsfq::serve {
+
+/// Immutable consistent-hash ring over a set of endpoint identity strings
+/// (e.g. "unix:/tmp/a.sock", "tcp:127.0.0.1:9090").  Cheap to copy; all
+/// queries are const and thread-safe after construction.
+class consistent_ring {
+ public:
+  /// Builds the ring.  `endpoint_ids` order is irrelevant to placement
+  /// (points are position-independent hashes of the id strings) but the
+  /// returned owner indices refer to this vector.  Duplicate ids would
+  /// make replica sets degenerate and throw std::invalid_argument, as
+  /// does an empty endpoint list or zero vnodes.
+  explicit consistent_ring(std::vector<std::string> endpoint_ids,
+                           unsigned vnodes = 64);
+
+  /// Number of endpoints on the ring.
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+  /// Identity string of endpoint `index`.
+  [[nodiscard]] const std::string& id(std::size_t index) const {
+    return ids_[index];
+  }
+
+  /// Owner indices for `key` in preference order: the first R distinct
+  /// endpoints clockwise from the key's ring position.  Returns
+  /// min(replicas, size()) indices; replicas == 0 is treated as 1.
+  [[nodiscard]] std::vector<std::size_t> route(std::uint64_t key,
+                                               std::size_t replicas) const;
+
+  /// The first owner for `key` (== route(key, 1)[0]).
+  [[nodiscard]] std::size_t primary(std::uint64_t key) const;
+
+  /// Ring position of a request key.  content_hash values are already
+  /// well mixed, but the finalizer keeps weak keys (tests routing small
+  /// integers) uniformly spread too.
+  static std::uint64_t key_point(std::uint64_t key);
+
+  /// Ring position of vnode `replica` of endpoint `id` (exposed for the
+  /// placement-stability tests).
+  static std::uint64_t endpoint_point(const std::string& id,
+                                      unsigned replica);
+
+ private:
+  struct point {
+    std::uint64_t position;  ///< location on the [0, 2^64) ring
+    std::uint32_t owner;     ///< index into ids_
+  };
+
+  std::vector<std::string> ids_;
+  std::vector<point> points_;  ///< sorted by position
+};
+
+}  // namespace xsfq::serve

@@ -153,6 +153,7 @@ server::server(server_options options)
   if (!options_.cache_dir.empty()) {
     runner_->set_disk_cache(options_.cache_dir, options_.max_disk_entries);
   }
+  runner_->set_retained_bytes(options_.retained_bytes);
 
   if (!options_.socket_path.empty()) {
     sockaddr_un addr{};

@@ -61,6 +61,10 @@ struct server_options {
   unsigned threads = 0;        ///< runner workers; 0 = hardware concurrency
   std::string cache_dir;       ///< empty disables the disk-persistent tier
   std::size_t max_disk_entries = 1024;
+  /// v7: byte budget of the ECO retained-network LRU (xsfq_served
+  /// --retained-bytes).  Evictions surface as retained_evictions in
+  /// server_stats.
+  std::size_t retained_bytes = 256u << 20;
   std::size_t max_queue = 64;     ///< admission waiters before shedding
   std::size_t max_inflight = 0;   ///< concurrent submits; 0 = worker count
   std::size_t max_conns = 256;    ///< concurrent connections before bouncing

@@ -12,6 +12,7 @@
 #include "core/xsfq_writer.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/blif_io.hpp"
+#include "util/fault.hpp"
 #include "pulsesim/pulse_sim.hpp"
 
 namespace xsfq::serve {
@@ -223,6 +224,15 @@ synth_response run_synth_delta(
     eco_outcome* outcome) {
   eco_outcome scratch;
   eco_outcome& out = outcome ? *outcome : scratch;
+
+  // Chaos site: simulate the shard that can NEITHER find the base retained
+  // NOR rebuild it — what a fleet client sees after failing over a chained
+  // delta to a shard that never served the session.  Drives the client-side
+  // full-resynthesis fallback in tests without needing a real second shard.
+  if (fault::fire("serve.eco.unknown_base")) {
+    throw service_error(error_code::unknown_base,
+                        "injected unknown_base (serve.eco.unknown_base)");
+  }
 
   // Locate the base: the retained tier is the fast path (no parse, no
   // registry build); a cold daemon re-materializes the base from the
@@ -463,6 +473,8 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_cache_misses_total{tier=\"disk\"} " << c.disk_misses << "\n"
      << "xsfq_cache_disk_writes_total " << c.disk_writes << "\n"
      << "xsfq_cache_disk_quarantined_total " << c.disk_quarantined << "\n"
+     << "xsfq_cache_disk_quarantine_pruned_total " << c.disk_quarantine_pruned
+     << "\n"
      << "xsfq_cache_hits_total{tier=\"region\"} " << c.region_hits << "\n"
      << "xsfq_cache_misses_total{tier=\"region\"} " << c.region_misses
      << "\n";
@@ -472,7 +484,8 @@ std::string format_server_stats_text(const server_stats_reply& stats) {
      << "xsfq_eco_base_rebuilds_total " << stats.eco_base_rebuilds << "\n"
      << "xsfq_eco_failures_total " << stats.eco_failures << "\n"
      << "xsfq_eco_patches_total " << c.eco_patches << "\n"
-     << "xsfq_eco_retained_networks " << c.retained_networks << "\n";
+     << "xsfq_eco_retained_networks " << c.retained_networks << "\n"
+     << "xsfq_eco_retained_evictions_total " << c.retained_evictions << "\n";
 
   os << "xsfq_admission_accepted_total " << stats.accepted << "\n"
      << "xsfq_admission_rejected_total{reason=\"overload\"} "

@@ -372,7 +372,7 @@ TEST(EcoFlow, UnknownBaseAndBadEditThrowTypedErrors) {
 // batch_runner ECO surface.
 // ---------------------------------------------------------------------------
 
-TEST(EcoRunner, RetainedNetworkTierIsABoundedFifo) {
+TEST(EcoRunner, RetainedNetworkTierIsAByteBudgetedLru) {
   flow::batch_runner runner(1);
   synth_request req = make_request_for_spec("c432");
   const std::uint64_t hash = load_request_circuit(req).content_hash();
@@ -383,19 +383,43 @@ TEST(EcoRunner, RetainedNetworkTierIsABoundedFifo) {
   EXPECT_EQ(retained->content_hash(), hash);
   EXPECT_EQ(runner.retained_network(hash ^ 1), nullptr);
   EXPECT_GE(runner.cache_stats().retained_networks, 1u);
+  EXPECT_EQ(runner.cache_stats().retained_evictions, 0u);
 
-  // Push > max_retained distinct circuits through the serving path; the
-  // oldest retained network must be evicted, the count stays bounded.
-  // Each iteration flips a previously untouched gate, so every content
-  // hash along the way is new (a toggled-back gate would revisit one).
+  // Budget for ~3 copies of this circuit (the edited variants below are
+  // the same size — replace edits keep the node count), then push edited
+  // variants through the serving path: the coldest entries must go, every
+  // eviction counted.  Each iteration flips a previously untouched gate,
+  // so every content hash along the way is new.
+  const std::size_t entry_bytes = retained->memory_bytes();
+  runner.set_retained_bytes(3 * entry_bytes);
   aig net = load_request_circuit(req);
-  for (std::size_t i = 0; i < 33; ++i) {
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < 6; ++i) {
     eco::apply_edit_text(net, flip_gate_edit(net, i));
     flow::flow_options options;
     runner.run_cached(net, "evict_" + std::to_string(i), options);
+    hashes.push_back(net.content_hash());
   }
-  EXPECT_EQ(runner.retained_network(hash), nullptr);
-  EXPECT_LE(runner.cache_stats().retained_networks, 32u);
+  EXPECT_EQ(runner.retained_network(hash), nullptr);  // base: evicted
+  const flow::batch_cache_stats stats = runner.cache_stats();
+  EXPECT_LE(stats.retained_networks, 3u);
+  EXPECT_GE(stats.retained_evictions, 3u);
+
+  // LRU, not FIFO: touching the oldest survivor must protect it — the
+  // next insert evicts the now-least-recently-used entry instead.
+  ASSERT_NE(runner.retained_network(hashes[3]), nullptr);  // touch
+  eco::apply_edit_text(net, flip_gate_edit(net, 6));
+  flow::flow_options options;
+  runner.run_cached(net, "evict_6", options);
+  EXPECT_NE(runner.retained_network(hashes[3]), nullptr);  // protected
+  EXPECT_EQ(runner.retained_network(hashes[4]), nullptr);  // evicted
+
+  // Shrinking the budget below one entry keeps the most recently used
+  // network (hashes[3], touched above): evicting the base a session is
+  // actively editing would turn every delta into a full rebuild.
+  runner.set_retained_bytes(1);
+  EXPECT_EQ(runner.cache_stats().retained_networks, 1u);
+  EXPECT_NE(runner.retained_network(hashes[3]), nullptr);
 }
 
 TEST(EcoRunner, PatchEntryInstallsServableResult) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -209,6 +210,47 @@ TEST(DiskCache, EvictsOldestBeyondMaxEntries) {
   EXPECT_GE(cache.stats().evictions, 1u);
   EXPECT_FALSE(cache.load(1, 1).has_value());  // oldest gone
   EXPECT_TRUE(cache.load(3, 3).has_value());
+}
+
+TEST(DiskCache, QuarantineIsBoundedOldestFirst) {
+  // A corruption storm (failing disk, bad RAM) must not fill the volume
+  // with quarantined evidence: quarantine/ is capped, oldest-first.  Seed
+  // the live directory with more garbage entries than the cap and let the
+  // recovery scan quarantine them all.
+  temp_dir dir;
+  const std::string cache_dir = dir.path + "/cache";
+  fs::create_directories(cache_dir);
+  const std::size_t total = flow::disk_result_cache::max_quarantine_entries + 6;
+  const auto now = fs::file_time_type::clock::now();
+  std::string oldest_stem, newest_stem;
+  for (std::size_t i = 0; i < total; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%016zx-%016zx.xfr", i + 1, i + 1);
+    const std::string path = cache_dir + "/" + name;
+    std::ofstream(path) << "not a cache entry";
+    // Distinct mtimes make "oldest" well defined; i=0 is oldest.
+    fs::last_write_time(path, now - std::chrono::minutes(total - i));
+    if (i == 0) oldest_stem = name;
+    if (i + 1 == total) newest_stem = name;
+  }
+
+  flow::disk_result_cache cache(cache_dir);
+  EXPECT_EQ(cache.stats().quarantined, total);
+  EXPECT_EQ(cache.stats().pruned, 6u);
+
+  std::size_t kept = 0;
+  bool oldest_present = false, newest_present = false;
+  for (const auto& de : fs::directory_iterator(cache.quarantine_directory())) {
+    if (!de.is_regular_file()) continue;
+    ++kept;
+    const std::string file = de.path().filename().string();
+    // Quarantine names keep the original stem plus a .reason suffix.
+    oldest_present |= file.rfind(oldest_stem, 0) == 0;
+    newest_present |= file.rfind(newest_stem, 0) == 0;
+  }
+  EXPECT_EQ(kept, flow::disk_result_cache::max_quarantine_entries);
+  EXPECT_FALSE(oldest_present);  // oldest evidence went first
+  EXPECT_TRUE(newest_present);   // newest evidence always survives
 }
 
 TEST(DiskCache, BatchRunnerWarmHitsAcrossRestart) {

@@ -1,0 +1,132 @@
+/// Tests for the consistent-hash ring (serve/ring.hpp): construction
+/// validation, replica-set shape, the ~1/N movement bound on membership
+/// change, cross-instance (stand-in for cross-process) determinism, and
+/// pinned placements that freeze the hash function itself — the CI chaos
+/// driver picks its kill victim in a different process from the fleet
+/// client it kills, so placement must never drift between builds.
+#include "serve/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xsfq {
+namespace {
+
+using serve::consistent_ring;
+
+std::vector<std::string> fleet_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("unix:/tmp/xsfq_fleet_" + std::to_string(i) + ".sock");
+  }
+  return ids;
+}
+
+TEST(ConsistentRing, RejectsDegenerateDefinitions) {
+  EXPECT_THROW(consistent_ring({}), std::invalid_argument);
+  EXPECT_THROW(consistent_ring({"unix:/a"}, /*vnodes=*/0),
+               std::invalid_argument);
+  EXPECT_THROW(consistent_ring({"unix:/a", "unix:/b", "unix:/a"}),
+               std::invalid_argument);
+}
+
+TEST(ConsistentRing, RouteReturnsDistinctOwnersInPreferenceOrder) {
+  const consistent_ring ring(fleet_ids(5));
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto owners = ring.route(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    const std::set<std::size_t> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), 3u) << "replica collision for key " << key;
+    EXPECT_EQ(owners.front(), ring.primary(key));
+    for (const auto o : owners) EXPECT_LT(o, ring.size());
+  }
+  // Replica clamping: more replicas than endpoints yields all endpoints,
+  // zero is treated as one.
+  EXPECT_EQ(ring.route(42, 99).size(), 5u);
+  EXPECT_EQ(ring.route(42, 0).size(), 1u);
+}
+
+TEST(ConsistentRing, OwnerListOrderIndependentOfEndpointVectorOrder) {
+  // Placement hashes the id strings, not their indices: a reshuffled
+  // endpoint vector must produce the same owner *ids* for every key.
+  auto ids = fleet_ids(4);
+  const consistent_ring a(ids);
+  std::swap(ids[0], ids[3]);
+  std::swap(ids[1], ids[2]);
+  const consistent_ring b(ids);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const auto oa = a.route(key, 2);
+    const auto ob = b.route(key, 2);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(a.id(oa[i]), b.id(ob[i])) << key;
+    }
+  }
+}
+
+TEST(ConsistentRing, MembershipChangeMovesAboutOneNthOfKeys) {
+  // The consistent-hashing contract: growing N=4 to N=5 remaps ~1/5 of
+  // the keyspace, not ~4/5 like modulo hashing would.  10k keys keeps the
+  // binomial noise far from the asserted bounds.
+  constexpr std::uint64_t num_keys = 10000;
+  const consistent_ring before(fleet_ids(4));
+  auto grown_ids = fleet_ids(5);
+  const consistent_ring grown(grown_ids);
+
+  std::uint64_t moved = 0;
+  for (std::uint64_t key = 0; key < num_keys; ++key) {
+    if (before.id(before.primary(key)) != grown.id(grown.primary(key))) {
+      ++moved;
+    }
+  }
+  // Ideal is 1/5 = 2000; vnode placement variance stays well inside 2x.
+  EXPECT_GT(moved, num_keys / 10) << "suspiciously little movement";
+  EXPECT_LT(moved, (num_keys * 2) / 5) << "far more than ~1/N moved";
+
+  // Keys that did not move to the new endpoint keep their old primary:
+  // removal (grown -> before) only reassigns the removed endpoint's keys.
+  for (std::uint64_t key = 0; key < num_keys; ++key) {
+    const auto& new_owner = grown.id(grown.primary(key));
+    if (new_owner != grown_ids.back()) {
+      EXPECT_EQ(new_owner, before.id(before.primary(key))) << key;
+    }
+  }
+}
+
+TEST(ConsistentRing, IndependentInstancesAgree) {
+  // Two rings built from their own copies of the definition (as two
+  // processes would) agree on every placement decision.
+  const consistent_ring a(fleet_ids(3), 64);
+  const consistent_ring b(fleet_ids(3), 64);
+  for (std::uint64_t key = 1; key < 3000; key += 7) {
+    EXPECT_EQ(a.route(key, 2), b.route(key, 2)) << key;
+  }
+}
+
+TEST(ConsistentRing, HashFunctionIsFrozen) {
+  // Pinned values: these fail if anyone "improves" the point hash, which
+  // would silently break cross-process routing agreement (xsfq_client
+  // --route in CI vs the fleet client under test) and invalidate every
+  // recorded placement.  Update them only with a protocol version bump.
+  EXPECT_EQ(consistent_ring::key_point(0), 0xe220a8397b1dcdafull);
+  EXPECT_NE(consistent_ring::key_point(1), consistent_ring::key_point(2));
+  EXPECT_NE(consistent_ring::endpoint_point("unix:/a", 0),
+            consistent_ring::endpoint_point("unix:/a", 1));
+  EXPECT_NE(consistent_ring::endpoint_point("unix:/a", 0),
+            consistent_ring::endpoint_point("unix:/b", 0));
+
+  // A full placement pin: 8 keys on a 3-endpoint ring, values recorded
+  // from a known-good build.
+  const consistent_ring ring(fleet_ids(3));
+  const std::vector<std::size_t> recorded{2, 1, 2, 1, 0, 0, 0, 1};
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    EXPECT_EQ(ring.primary(key), recorded[key]) << key;
+  }
+}
+
+}  // namespace
+}  // namespace xsfq

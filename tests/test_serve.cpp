@@ -248,6 +248,39 @@ TEST(ServeProtocol, V6TracePayloadRoundTrips) {
   EXPECT_EQ(sback.trace_spans_dropped, 67u);
 }
 
+TEST(ServeProtocol, V7RetainedAndQuarantineCountersRoundTrip) {
+  // v7 appends the retained-tier LRU eviction count and the quarantine
+  // prune count to both stats codecs.
+  cache_stats_reply cache;
+  cache.stats.retained_networks = 3;
+  cache.stats.retained_evictions = 11;
+  cache.stats.disk_quarantine_pruned = 4;
+  cache.disk_directory = "/tmp/somewhere";
+  const cache_stats_reply cback =
+      decode_cache_stats(encode_cache_stats(cache));
+  EXPECT_EQ(cback.stats.retained_networks, 3u);
+  EXPECT_EQ(cback.stats.retained_evictions, 11u);
+  EXPECT_EQ(cback.stats.disk_quarantine_pruned, 4u);
+  EXPECT_EQ(cback.disk_directory, "/tmp/somewhere");
+
+  server_stats_reply stats;
+  stats.cache.retained_evictions = 7;
+  stats.cache.disk_quarantine_pruned = 2;
+  const server_stats_reply sback =
+      decode_server_stats(encode_server_stats(stats));
+  EXPECT_EQ(sback.cache.retained_evictions, 7u);
+  EXPECT_EQ(sback.cache.disk_quarantine_pruned, 2u);
+
+  // And both surface in the Prometheus rendering.
+  const std::string text = format_server_stats_text(sback);
+  EXPECT_NE(text.find("xsfq_eco_retained_evictions_total 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xsfq_cache_disk_quarantine_pruned_total 2"),
+            std::string::npos)
+      << text;
+}
+
 TEST(ServeProtocol, RetryAfterHintRoundTripsAndDegradesPerVersion) {
   // v5 payload carries the hint...
   const error_reply hinted =
@@ -974,6 +1007,54 @@ TEST(ServeEndToEnd, TraceOutDirExportsChromeJsonPerTracedRequest) {
   EXPECT_NE(
       json.find("\"trace_id\":\"00000000000000010000000000000002\""),
       std::string::npos);
+}
+
+TEST(ServeEndToEnd, RetainedByteBudgetEvictsAndSurfacesInScrape) {
+  // A deliberately starved retained-network budget: every new session
+  // evicts the previous one (the most recent entry is always kept), and
+  // the v7 counters show up in cache_stats and the Prometheus scrape.
+  server_fixture fx;
+  {
+    server_options options;
+    options.threads = 2;
+    options.retained_bytes = 1;  // below any real network's footprint
+    fx.start_with(std::move(options));
+  }
+  client cli(fx.socket_path());
+
+  for (const char* name : {"c432", "c880", "c1908"}) {
+    synth_request base = make_request_for_spec(name);
+    const aig base_net = load_request_circuit(base);
+    ASSERT_TRUE(cli.submit(base).ok) << name;
+
+    synth_delta_request dreq;
+    dreq.base = base;
+    dreq.base_content_hash = base_net.content_hash();
+    // Flip one gate's fanin complement — always a legal, non-no-op edit.
+    aig::node_index target = 0;
+    for (aig::node_index n = 0; n < base_net.size(); ++n) {
+      if (base_net.is_gate(n)) target = n;
+    }
+    const signal a = base_net.fanin0(target);
+    const signal b = base_net.fanin1(target);
+    const auto tok = [](const signal s) {
+      return std::string(s.is_complemented() ? "!" : "") + "n" +
+             std::to_string(s.index());
+    };
+    dreq.edit_text = "replace n" + std::to_string(target) + " " + tok(a) +
+                     " " + tok(!b) + "\n";
+    ASSERT_TRUE(cli.submit_delta(dreq).ok) << name;
+  }
+
+  const cache_stats_reply cache = cli.cache_stats();
+  EXPECT_GT(cache.stats.retained_evictions, 0u);
+  EXPECT_LE(cache.stats.retained_networks, 1u);  // budget keeps only newest
+
+  const std::string text = format_server_stats_text(cli.server_stats());
+  EXPECT_NE(text.find("xsfq_eco_retained_evictions_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("xsfq_cache_disk_quarantine_pruned_total"),
+            std::string::npos);
 }
 
 }  // namespace

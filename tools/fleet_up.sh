@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# fleet_up.sh — launch an N-daemon xsfq_served fleet on Unix sockets.
+#
+#   tools/fleet_up.sh SERVED_BINARY DIR N [extra xsfq_served args...]
+#
+# Starts N daemons on DIR/shard<i>.sock, writes DIR/shard<i>.pid for each,
+# waits until every socket accepts, and prints the comma-separated endpoint
+# list on stdout — ready to paste into `xsfq_client --fleet=...`:
+#
+#   FLEET=$(tools/fleet_up.sh ./build/xsfq_served /tmp/fleet 3)
+#   ./build/xsfq_client --fleet=$FLEET c432 c880
+#
+# Extra arguments are forwarded verbatim to every daemon (--threads=...,
+# --faults=..., --log-level=...).  Daemon stderr goes to DIR/shard<i>.log.
+# Tear the fleet down with:  kill $(cat DIR/shard*.pid)
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+  echo "usage: $0 SERVED_BINARY DIR N [extra xsfq_served args...]" >&2
+  exit 2
+fi
+
+served=$1
+dir=$2
+count=$3
+shift 3
+
+if [ ! -x "$served" ]; then
+  echo "fleet_up: $served is not an executable" >&2
+  exit 2
+fi
+case "$count" in
+  ''|*[!0-9]*|0) echo "fleet_up: N must be a positive integer" >&2; exit 2 ;;
+esac
+
+mkdir -p "$dir"
+
+endpoints=""
+for i in $(seq 0 $((count - 1))); do
+  sock="$dir/shard$i.sock"
+  rm -f "$sock"
+  # Both streams go to the log: a daemon inheriting our stdout would keep a
+  # caller's $(fleet_up.sh ...) command substitution open forever.
+  "$served" --socket="$sock" "$@" > "$dir/shard$i.log" 2>&1 &
+  echo $! > "$dir/shard$i.pid"
+  endpoints="${endpoints:+$endpoints,}$sock"
+done
+
+# Every shard must come up; a daemon that died at startup (bad flag, bound
+# socket) fails the launcher instead of leaving a silently smaller fleet.
+for i in $(seq 0 $((count - 1))); do
+  sock="$dir/shard$i.sock"
+  pid=$(cat "$dir/shard$i.pid")
+  for _ in $(seq 100); do
+    [ -S "$sock" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "fleet_up: shard$i (pid $pid) died during startup:" >&2
+      cat "$dir/shard$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ ! -S "$sock" ]; then
+    echo "fleet_up: shard$i never bound $sock" >&2
+    exit 1
+  fi
+done
+
+echo "$endpoints"
